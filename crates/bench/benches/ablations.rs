@@ -1,0 +1,125 @@
+//! Ablations over the design choices DESIGN.md §8 calls out:
+//!
+//! * horizontal task clustering on/off (Pegasus's remote-overhead
+//!   optimisation, §III of the paper);
+//! * retry budget on the preemption-prone OSG model;
+//! * pre-staged software on OSG (the paper's stated future work).
+//!
+//! The measured quantity is the end-to-end plan+simulate cost; the
+//! simulated wall times are printed once per configuration so the
+//! ablation's *effect* is visible in the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use blast2cap3_pegasus::experiment::{
+    calibrate_workload, calibrated_chunk_costs, simulate_blast2cap3,
+};
+use gridsim::platforms::{osg, osg_churning, osg_prestaged};
+use gridsim::SimBackend;
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::planner::{plan, PlannerConfig};
+
+fn simulate_with_clustering(n: usize, cluster_factor: Option<usize>, seed: u64) -> f64 {
+    let calibration = calibrate_workload(seed);
+    let chunk_costs = calibrated_chunk_costs(&calibration, n);
+    let params = WorkflowParams::with_n(chunk_costs.len()).with_chunk_costs(chunk_costs);
+    let wf = build_workflow(&params);
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    let mut cfg = PlannerConfig::for_site("osg");
+    cfg.cluster_factor = cluster_factor;
+    let exec = plan(&wf, &sites, &tc, &rc, &cfg).expect("plan");
+    let mut backend = SimBackend::new(osg(seed), seed);
+    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(10));
+    assert!(run.succeeded());
+    run.wall_time
+}
+
+fn simulate_prestaged(n: usize, prestaged: bool, seed: u64) -> f64 {
+    if !prestaged {
+        return simulate_blast2cap3("osg", n, seed, 10).run.wall_time;
+    }
+    let calibration = calibrate_workload(seed);
+    let chunk_costs = calibrated_chunk_costs(&calibration, n);
+    let params = WorkflowParams::with_n(chunk_costs.len()).with_chunk_costs(chunk_costs);
+    let wf = build_workflow(&params);
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).expect("plan");
+    let mut backend = SimBackend::new(osg_prestaged(seed), seed);
+    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(10));
+    assert!(run.succeeded());
+    run.wall_time
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // Print the ablation effects once, then benchmark the pipelines.
+    let base = simulate_with_clustering(300, None, 42);
+    let clustered = simulate_with_clustering(300, Some(4), 42);
+    println!("ablation clustering @ OSG n=300: none={base:.0}s, factor4={clustered:.0}s");
+    let normal = simulate_prestaged(300, false, 42);
+    let staged = simulate_prestaged(300, true, 42);
+    println!(
+        "ablation prestage   @ OSG n=300: install-per-task={normal:.0}s, prestaged={staged:.0}s"
+    );
+    for retries in [3u32, 10, 30] {
+        let out = simulate_blast2cap3("osg", 100, 42, retries);
+        println!(
+            "ablation retries    @ OSG n=100: budget={retries} wall={:.0}s succeeded={}",
+            out.run.wall_time,
+            out.run.succeeded()
+        );
+    }
+    // Hazard-based vs churn-based eviction models.
+    {
+        let calibration = calibrate_workload(42);
+        let chunk_costs = calibrated_chunk_costs(&calibration, 300);
+        let params = WorkflowParams::with_n(chunk_costs.len()).with_chunk_costs(chunk_costs);
+        let wf = build_workflow(&params);
+        let (sites, tc) = paper_catalogs();
+        let mut rc = ReplicaCatalog::new();
+        rc.register("transcripts.fasta", "submit");
+        rc.register("alignments.out", "submit");
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).unwrap();
+        let mut be = SimBackend::new(osg_churning(42), 42);
+        let run = run_workflow(&exec, &mut be, &EngineConfig::with_retries(20));
+        println!(
+            "ablation eviction   @ OSG n=300: churn-model wall={:.0}s (hazard-model={normal:.0}s), {} evictions",
+            run.wall_time,
+            be.preemptions()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("clustering_off", |b| {
+        b.iter(|| simulate_with_clustering(300, None, 42))
+    });
+    group.bench_function("clustering_factor4", |b| {
+        b.iter(|| simulate_with_clustering(300, Some(4), 42))
+    });
+    group.bench_function("osg_prestaged", |b| {
+        b.iter(|| simulate_prestaged(300, true, 42))
+    });
+    for retries in [3u32, 30] {
+        group.bench_with_input(
+            BenchmarkId::new("osg_retries", retries),
+            &retries,
+            |b, &r| b.iter(|| simulate_blast2cap3("osg", 100, 42, r).run.wall_time),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench behind Fig. 4: simulated workflow wall time per
+//! platform and cluster count. The *measured* quantity here is the
+//! cost of running the planner + DAGMan engine + discrete-event
+//! platform simulation end to end; the *reported paper series* is the
+//! simulated wall time, which the `fig4` binary prints and asserts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use blast2cap3_pegasus::experiment::simulate_blast2cap3;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_walltime");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for site in ["sandhills", "osg"] {
+        for n in [10usize, 100, 300, 500] {
+            group.bench_with_input(BenchmarkId::new(site, n), &(site, n), |b, &(site, n)| {
+                b.iter(|| {
+                    // Generous retry budget: OSG n=10 chunks run
+                    // ~8 simulated hours each and can be preempted
+                    // repeatedly before one attempt survives.
+                    let out = simulate_blast2cap3(site, n, 42, 100);
+                    assert!(out.run.succeeded());
+                    out.run.wall_time
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench behind Fig. 5: per-task statistics extraction.
+//!
+//! Measures the pegasus-statistics pipeline (run → compute → per-type
+//! breakdown) at the paper's four cluster counts, on both platform
+//! models. The `fig5` binary prints the actual Kickstart / Waiting /
+//! Download-Install series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use blast2cap3_pegasus::experiment::simulate_blast2cap3;
+use pegasus_wms::statistics::{compute, render_csv, render_text};
+
+fn bench_fig5(c: &mut Criterion) {
+    // Pre-run the simulations once; bench the statistics stage, which
+    // is what pegasus-statistics adds on top of the run.
+    let runs: Vec<_> = [10usize, 100, 300, 500]
+        .iter()
+        .flat_map(|&n| {
+            ["sandhills", "osg"]
+                .iter()
+                .map(move |&site| (site, n, simulate_blast2cap3(site, n, 42, 10).run))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fig5_statistics");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (site, n, run) in &runs {
+        group.bench_with_input(BenchmarkId::new(*site, n), run, |b, run| {
+            b.iter(|| {
+                let stats = compute(run);
+                let text = render_text(&stats);
+                let csv = render_csv(&stats);
+                (stats.per_type.len(), text.len(), csv.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

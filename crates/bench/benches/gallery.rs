@@ -1,0 +1,73 @@
+//! The Pegasus workflow gallery on both platform models.
+//!
+//! Runs the four classic synthetic application shapes (Montage,
+//! CyberShake, Epigenomics, LIGO Inspiral) through the planner,
+//! engine, and both platform simulators — demonstrating that the WMS
+//! stack is not specific to the blast2cap3 shape, and showing how the
+//! campus-cluster/grid trade-off shifts with workflow structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use gridsim::platforms::{osg, sandhills};
+use gridsim::SimBackend;
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::planner::{plan, PlannerConfig};
+use pegasus_wms::synthetic::{cybershake, epigenomics, ligo_inspiral, montage};
+use pegasus_wms::workflow::AbstractWorkflow;
+
+fn simulate(wf: &AbstractWorkflow, site: &str, seed: u64) -> f64 {
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    for input in wf.external_inputs() {
+        rc.register(input.name, "submit");
+    }
+    let exec = plan(wf, &sites, &tc, &rc, &PlannerConfig::for_site(site)).expect("plan");
+    let platform = match site {
+        "sandhills" => sandhills(),
+        _ => osg(seed),
+    };
+    let mut backend = SimBackend::new(platform, seed);
+    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(10));
+    assert!(run.succeeded(), "{site}/{} failed", wf.name);
+    run.wall_time
+}
+
+fn bench_gallery(c: &mut Criterion) {
+    let shapes: Vec<(&str, AbstractWorkflow)> = vec![
+        ("montage", montage(30)),
+        ("cybershake", cybershake(40)),
+        ("epigenomics", epigenomics(2, 8)),
+        ("ligo", ligo_inspiral(4, 8)),
+    ];
+    // Report the simulated wall times once so the platform contrast is
+    // visible in the bench log.
+    for (name, wf) in &shapes {
+        let sh = simulate(wf, "sandhills", 42);
+        let og = simulate(wf, "osg", 42);
+        println!(
+            "gallery {name:<12} ({} jobs): sandhills {sh:.0}s, osg {og:.0}s",
+            wf.jobs.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("gallery");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, wf) in &shapes {
+        for site in ["sandhills", "osg"] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, site),
+                &(wf, site),
+                |b, (wf, site)| b.iter(|| simulate(wf, site, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gallery);
+criterion_main!(benches);

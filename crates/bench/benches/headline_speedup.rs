@@ -1,0 +1,67 @@
+//! Criterion bench behind the headline claim: serial blast2cap3 vs.
+//! the parallel workflow decomposition, on identical in-memory
+//! synthetic inputs with the *real* Rust CAP3 doing the merging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bioseq::simulate::{generate, TranscriptomeConfig};
+use blast2cap3::parallel::run_parallel;
+use blast2cap3::serial::run_serial;
+use blastx::search::{SearchParams, Searcher};
+use blastx::tabular::TabularRecord;
+use cap3::Cap3Params;
+
+fn workload(families: usize, seed: u64) -> (Vec<bioseq::fasta::Record>, Vec<TabularRecord>) {
+    let cfg = TranscriptomeConfig {
+        n_families: families,
+        family_size_mean: 4.0,
+        family_size_cap: 16,
+        ..TranscriptomeConfig::tiny(seed)
+    };
+    let data = generate(&cfg);
+    let searcher = Searcher::new(data.proteins.clone(), SearchParams::default()).unwrap();
+    let queries: Vec<(String, bioseq::seq::DnaSeq)> = data
+        .transcripts
+        .iter()
+        .map(|r| (r.id.clone(), r.seq.clone()))
+        .collect();
+    let alignments = searcher
+        .search_many(&queries, 0)
+        .iter()
+        .map(TabularRecord::from)
+        .collect();
+    (data.transcripts, alignments)
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let (transcripts, alignments) = workload(40, 9);
+    let params = Cap3Params::default();
+
+    let mut group = c.benchmark_group("headline_speedup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| run_serial(&transcripts, &alignments, &params).output.len())
+    });
+    for n_chunks in [10usize, 40] {
+        group.bench_with_input(
+            BenchmarkId::new("workflow", n_chunks),
+            &n_chunks,
+            |b, &n| {
+                b.iter(|| {
+                    run_parallel(&transcripts, &alignments, &params, n, 0)
+                        .output
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_headline);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 4 — workflow wall time on Sandhills and OSG, serial vs.
+//! n ∈ {10, 100, 300, 500}.
+//!
+//! Regenerates the paper's central comparison on the calibrated
+//! simulator. Output: `target/experiments/fig4.csv` plus an ASCII bar
+//! chart. Expected shape (paper §VI-A):
+//!
+//! * every workflow configuration beats serial by > 95 %;
+//! * Sandhills beats OSG at n = 10, 100, 300;
+//! * on Sandhills, n = 10 is ~4× slower than n ≥ 100; n = 300 is the
+//!   optimum.
+
+use blast2cap3_pegasus::experiment::simulate_blast2cap3;
+use gridsim::platforms::SERIAL_REFERENCE_SECONDS;
+use wms_bench::{ascii_bars, human_duration, write_experiment_file, DEFAULT_SEED, PAPER_N_VALUES};
+
+fn main() {
+    let retries = 10; // Pegasus retry profile for opportunistic sites
+    let mut csv = String::from("platform,n,wall_time_s,retries,reduction_vs_serial\n");
+    let mut rows: Vec<(String, f64)> =
+        vec![("serial (paper: 100h)".to_string(), SERIAL_REFERENCE_SECONDS)];
+    csv.push_str(&format!("serial,1,{SERIAL_REFERENCE_SECONDS},0,0.0\n"));
+
+    for site in ["sandhills", "osg"] {
+        for &n in &PAPER_N_VALUES {
+            let out = simulate_blast2cap3(site, n, DEFAULT_SEED, retries);
+            assert!(out.run.succeeded(), "{site} n={n} failed: {:?}", out.stats);
+            let wall = out.run.wall_time;
+            let reduction = 1.0 - wall / SERIAL_REFERENCE_SECONDS;
+            csv.push_str(&format!(
+                "{site},{n},{wall:.1},{},{reduction:.4}\n",
+                out.stats.retries
+            ));
+            rows.push((format!("{site:<9} n={n:<3}"), wall));
+            println!(
+                "{site:<9} n={n:<3}  wall={wall:>9.1}s ({:<7})  retries={:<3} reduction={:.1}%",
+                human_duration(wall),
+                out.stats.retries,
+                100.0 * reduction
+            );
+        }
+    }
+
+    let path = write_experiment_file("fig4.csv", &csv);
+    println!();
+    println!(
+        "{}",
+        ascii_bars(
+            "Fig. 4 — Workflow Wall Time (simulated platforms, calibrated to the paper's 100h serial)",
+            &rows,
+            "s",
+            60
+        )
+    );
+    println!("series written to {}", path.display());
+}

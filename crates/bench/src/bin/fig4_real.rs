@@ -1,0 +1,93 @@
+//! Fig. 4 cross-validation with *real* execution.
+//!
+//! The `fig4` binary reproduces the paper's curve on the discrete-event
+//! simulator. This binary validates the simulator against reality: the
+//! same calibrated workload is executed by the actual DAGMan engine on
+//! the actual `condor::LocalPool` (64 worker threads), with each task
+//! sleeping for its calibrated duration scaled down by 10,000× (one
+//! paper-second = 0.1 ms). Wall-clock times therefore come from real
+//! thread scheduling, channel traffic, and engine bookkeeping — if the
+//! simulated shape (n = 10 far slower; n ≥ 100 flat; diminishing
+//! returns) were an artifact of the simulator, it would not survive
+//! this re-measurement.
+//!
+//! Output: `target/experiments/fig4_real.csv`.
+
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
+use condor::pool::{LocalPool, PoolConfig, TaskRegistry};
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::planner::{plan, PlannerConfig};
+use wms_bench::{write_experiment_file, DEFAULT_SEED, PAPER_N_VALUES};
+
+/// Real seconds of sleep per calibrated paper-second.
+const TIME_SCALE: f64 = 1.0e-4;
+
+/// Worker threads — the Sandhills allocation size.
+const WORKERS: usize = 64;
+
+fn main() {
+    let calibration = calibrate_workload(DEFAULT_SEED);
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+
+    let mut csv = String::from("n,real_wall_s,paper_scale_equivalent_s\n");
+    let mut results = Vec::new();
+    for &n in &PAPER_N_VALUES {
+        let chunk_costs = calibrated_chunk_costs(&calibration, n);
+        let wf = build_workflow(
+            &WorkflowParams::with_n(chunk_costs.len()).with_chunk_costs(chunk_costs),
+        );
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.stage_data = false;
+        cfg.add_create_dir = false;
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).expect("plan");
+
+        // No registered kernels: every task sleeps runtime_hint *
+        // TIME_SCALE on a real worker thread.
+        let mut pool = LocalPool::new(
+            PoolConfig {
+                workers: WORKERS,
+                workdir: std::env::temp_dir().join("fig4_real"),
+                synthetic_time_scale: TIME_SCALE,
+                install_time_scale: TIME_SCALE,
+            },
+            TaskRegistry::new(),
+        );
+        let run = run_workflow(&exec, &mut pool, &EngineConfig::with_retries(0));
+        assert!(run.succeeded());
+        let equivalent = run.wall_time / TIME_SCALE;
+        println!(
+            "n={n:<4} real wall {:>7.2}s  ->  {:>9.0} paper-seconds (sim fig4 for comparison: see fig4.csv)",
+            run.wall_time, equivalent
+        );
+        csv.push_str(&format!("{n},{:.3},{equivalent:.0}\n", run.wall_time));
+        results.push((n, equivalent));
+    }
+
+    // Shape checks: the real-threads curve must match the paper's.
+    let w10 = results[0].1;
+    let w100 = results[1].1;
+    let w300 = results[2].1;
+    let w500 = results[3].1;
+    assert!(
+        w10 > 3.0 * w100,
+        "n=10 must be several times slower than n=100 ({w10:.0} vs {w100:.0})"
+    );
+    let hi = w100.max(w300).max(w500);
+    let lo = w100.min(w300).min(w500);
+    assert!(
+        hi / lo < 1.6,
+        "n>=100 must be comparatively flat: {w100:.0}/{w300:.0}/{w500:.0}"
+    );
+    println!(
+        "\nshape check: n=10 is {:.1}x n=100; n>=100 band spread {:.2}x -> REPRODUCED with real threads",
+        w10 / w100,
+        hi / lo
+    );
+    let path = write_experiment_file("fig4_real.csv", &csv);
+    println!("series written to {}", path.display());
+}

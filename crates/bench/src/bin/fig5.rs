@@ -1,0 +1,93 @@
+//! Fig. 5 — per-task running time on Sandhills and OSG for each
+//! n ∈ {10, 100, 300, 500}.
+//!
+//! Reproduces the paper's per-task breakdown into the three
+//! pegasus-statistics components:
+//!
+//! * **Kickstart Time** — decreases as n grows (smaller chunks) and
+//!   is *lower on OSG* for the same n (faster opportunistic nodes,
+//!   paper §VII);
+//! * **Waiting Time** — small and negligible on Sandhills, large and
+//!   erratic on OSG;
+//! * **Download/Install Time** — zero on Sandhills, paid by every
+//!   task on OSG.
+//!
+//! Output: `target/experiments/fig5.csv` plus per-configuration
+//! tables.
+
+use blast2cap3_pegasus::experiment::simulate_blast2cap3;
+use wms_bench::{write_experiment_file, DEFAULT_SEED, PAPER_N_VALUES};
+
+const TASK_TYPES: [&str; 6] = [
+    "list_transcripts",
+    "list_alignments",
+    "split",
+    "run_cap3",
+    "merge",
+    "extract_unjoined",
+];
+
+fn main() {
+    let mut csv =
+        String::from("platform,n,task_type,count,kickstart_mean_s,waiting_mean_s,install_mean_s\n");
+    for site in ["sandhills", "osg"] {
+        for &n in &PAPER_N_VALUES {
+            let out = simulate_blast2cap3(site, n, DEFAULT_SEED, 10);
+            assert!(out.run.succeeded(), "{site} n={n} failed");
+            println!("── {site}, n = {n} ───────────────────────────────────────────");
+            println!(
+                "  {:<18} {:>6} {:>14} {:>12} {:>14}",
+                "task", "count", "kickstart(s)", "waiting(s)", "install(s)"
+            );
+            for t in TASK_TYPES {
+                if let Some(s) = out.stats.for_type(t) {
+                    println!(
+                        "  {:<18} {:>6} {:>14.1} {:>12.1} {:>14.1}",
+                        t, s.count, s.kickstart_mean, s.waiting_mean, s.install_mean
+                    );
+                    csv.push_str(&format!(
+                        "{site},{n},{t},{},{:.2},{:.2},{:.2}\n",
+                        s.count, s.kickstart_mean, s.waiting_mean, s.install_mean
+                    ));
+                }
+            }
+            println!();
+        }
+    }
+
+    // Shape checks mirrored from the paper's narrative.
+    let sh300 = simulate_blast2cap3("sandhills", 300, DEFAULT_SEED, 10);
+    let osg300 = simulate_blast2cap3("osg", 300, DEFAULT_SEED, 10);
+    let sh = sh300.stats.for_type("run_cap3").expect("run_cap3 stats");
+    let og = osg300.stats.for_type("run_cap3").expect("run_cap3 stats");
+    println!("paper shape checks @ n = 300:");
+    println!(
+        "  Sandhills waiting ({:.0}s) is negligible; OSG waiting ({:.0}s) is not  -> {}",
+        sh.waiting_mean,
+        og.waiting_mean,
+        verdict(og.waiting_mean > 10.0 * sh.waiting_mean)
+    );
+    println!(
+        "  Sandhills install = {:.0}s; every OSG task pays install ({:.0}s)      -> {}",
+        sh.install_mean,
+        og.install_mean,
+        verdict(sh.install_mean == 0.0 && og.install_mean > 0.0)
+    );
+    println!(
+        "  pure kickstart is lower on OSG ({:.0}s vs {:.0}s on Sandhills)        -> {}",
+        og.kickstart_mean,
+        sh.kickstart_mean,
+        verdict(og.kickstart_mean < sh.kickstart_mean)
+    );
+
+    let path = write_experiment_file("fig5.csv", &csv);
+    println!("\nseries written to {}", path.display());
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "REPRODUCED"
+    } else {
+        "DEVIATION"
+    }
+}

@@ -1,0 +1,122 @@
+//! §V-B — "Considering larger input files and datasets, the time
+//! requirements and complexity of running the protein-guided assembly
+//! grow."
+//!
+//! Two sweeps:
+//!
+//! 1. **Real execution**: the actual Rust blast2cap3 (alignment +
+//!    clustering + CAP3) at increasing synthetic dataset scales,
+//!    serial vs the workflow decomposition — measures genuine growth
+//!    of the laptop-scale pipeline.
+//! 2. **Simulated paper scale**: the Sandhills model at multiples of
+//!    the calibrated 100-hour workload — shows that the workflow's
+//!    advantage persists (and grows in absolute terms) as datasets
+//!    grow.
+//!
+//! Output: `target/experiments/scaling.csv`.
+
+use bioseq::simulate::{generate, TranscriptomeConfig};
+use blast2cap3::parallel::run_parallel;
+use blast2cap3::serial::run_serial;
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
+use blastx::search::{SearchParams, Searcher};
+use blastx::tabular::TabularRecord;
+use cap3::Cap3Params;
+use gridsim::platforms::sandhills;
+use gridsim::SimBackend;
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::planner::{plan, PlannerConfig};
+use wms_bench::{write_experiment_file, DEFAULT_SEED};
+
+fn main() {
+    let mut csv = String::from("kind,scale,transcripts,serial_s,workflow_s\n");
+
+    println!("real execution sweep (serial vs workflow, wall seconds):");
+    for families in [20usize, 40, 80, 160] {
+        let cfg = TranscriptomeConfig {
+            n_families: families,
+            family_size_mean: 4.0,
+            family_size_cap: 16,
+            ..TranscriptomeConfig::tiny(DEFAULT_SEED)
+        };
+        let data = generate(&cfg);
+        let searcher = Searcher::new(data.proteins.clone(), SearchParams::default()).unwrap();
+        let queries: Vec<(String, bioseq::seq::DnaSeq)> = data
+            .transcripts
+            .iter()
+            .map(|r| (r.id.clone(), r.seq.clone()))
+            .collect();
+        let alignments: Vec<TabularRecord> = searcher
+            .search_many(&queries, 0)
+            .iter()
+            .map(TabularRecord::from)
+            .collect();
+        let serial = run_serial(&data.transcripts, &alignments, &Cap3Params::default());
+        let par = run_parallel(
+            &data.transcripts,
+            &alignments,
+            &Cap3Params::default(),
+            families,
+            0,
+        );
+        assert_eq!(serial.output.len(), par.output.len());
+        println!(
+            "  {:>4} families / {:>5} transcripts: serial {:>8.4}s, workflow {:>8.4}s",
+            families,
+            data.transcripts.len(),
+            serial.elapsed.as_secs_f64(),
+            par.elapsed.as_secs_f64()
+        );
+        csv.push_str(&format!(
+            "real,{families},{},{:.4},{:.4}\n",
+            data.transcripts.len(),
+            serial.elapsed.as_secs_f64(),
+            par.elapsed.as_secs_f64()
+        ));
+    }
+
+    println!("\nsimulated paper-scale sweep (Sandhills, n = 300):");
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    for scale in [1usize, 2, 4] {
+        let cal = calibrate_workload(DEFAULT_SEED);
+        // Scale the workload: `scale` copies of the cluster costs.
+        let scaled = blast2cap3_pegasus::experiment::WorkloadCalibration {
+            cluster_costs: cal
+                .cluster_costs
+                .iter()
+                .cycle()
+                .take(cal.cluster_costs.len() * scale)
+                .copied()
+                .collect(),
+            serial_total: cal.serial_total * scale as f64,
+        };
+        let chunk_costs = calibrated_chunk_costs(&scaled, 300);
+        let wf = build_workflow(
+            &WorkflowParams::with_n(chunk_costs.len()).with_chunk_costs(chunk_costs),
+        );
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+        let mut backend = SimBackend::new(sandhills(), DEFAULT_SEED);
+        let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(3));
+        assert!(run.succeeded());
+        let serial_s = scaled.serial_total;
+        println!(
+            "  {scale}x dataset: serial {:>9.0}s, workflow {:>8.0}s ({:.1}% reduction)",
+            serial_s,
+            run.wall_time,
+            100.0 * (1.0 - run.wall_time / serial_s)
+        );
+        csv.push_str(&format!(
+            "simulated,{scale},{},{serial_s:.0},{:.0}\n",
+            scaled.cluster_costs.len(),
+            run.wall_time
+        ));
+    }
+
+    let path = write_experiment_file("scaling.csv", &csv);
+    println!("\nseries written to {}", path.display());
+}

@@ -1,0 +1,91 @@
+//! Shared helpers for the figure-regeneration binaries and benches.
+//!
+//! Every binary writes its series to `target/experiments/<name>.csv`
+//! and prints an ASCII rendition of the corresponding paper figure, so
+//! `cargo run -p wms-bench --bin fig4` (etc.) regenerates the paper's
+//! evaluation artifacts end to end.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The paper's cluster-count sweep (Fig. 4 / Fig. 5 x-axis).
+pub const PAPER_N_VALUES: [usize; 4] = [10, 100, 300, 500];
+
+/// Seed used by default for the deterministic experiments.
+pub const DEFAULT_SEED: u64 = 20140519; // IPDPSW 2014 week
+
+/// Directory where experiment CSVs are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes `content` to `target/experiments/<name>` and returns the
+/// path.
+pub fn write_experiment_file(name: &str, content: &str) -> PathBuf {
+    let path = experiments_dir().join(name);
+    std::fs::write(&path, content).expect("write experiment file");
+    path
+}
+
+/// Renders a horizontal ASCII bar chart: one `(label, value)` row per
+/// bar, scaled to `width` columns.
+pub fn ascii_bars(title: &str, rows: &[(String, f64)], unit: &str, width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-9);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let filled = ((value / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$} | {:<width$} {value:>12.1} {unit}",
+            "#".repeat(filled.min(width)),
+        );
+    }
+    out
+}
+
+/// Formats seconds as `Xh Ym` for readability next to raw seconds.
+pub fn human_duration(seconds: f64) -> String {
+    let total_minutes = (seconds / 60.0).round() as i64;
+    let h = total_minutes / 60;
+    let m = total_minutes % 60;
+    if h > 0 {
+        format!("{h}h{m:02}m")
+    } else {
+        format!("{m}m")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let rows = vec![("a".to_string(), 100.0), ("bb".to_string(), 50.0)];
+        let chart = ascii_bars("t", &rows, "s", 20);
+        assert!(chart.contains(&"#".repeat(20)));
+        assert!(chart.contains(&"#".repeat(10)));
+        assert!(chart.starts_with("t\n"));
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_duration(60.0), "1m");
+        assert_eq!(human_duration(3600.0), "1h00m");
+        assert_eq!(human_duration(41593.0), "11h33m");
+        assert_eq!(human_duration(360_000.0), "100h00m");
+    }
+
+    #[test]
+    fn experiment_dir_is_creatable() {
+        let p = experiments_dir();
+        assert!(p.exists());
+        let f = write_experiment_file("selftest.csv", "a,b\n1,2\n");
+        assert!(f.exists());
+        std::fs::remove_file(f).ok();
+    }
+}

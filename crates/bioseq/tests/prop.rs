@@ -1,0 +1,119 @@
+//! Property-based tests for the sequence substrate.
+
+use bioseq::codon::{reverse_translate, translate_frame};
+use bioseq::fasta::{self, Record};
+use bioseq::kmer;
+use bioseq::seq::{DnaSeq, ProteinSeq};
+use bioseq::stats::assembly_stats;
+use proptest::prelude::*;
+
+fn dna_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ACGTN]{0,200}").expect("valid regex")
+}
+
+fn canonical_dna_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ACGT]{1,200}").expect("valid regex")
+}
+
+fn protein_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ACDEFGHIKLMNPQRSTVWY]{1,120}").expect("valid regex")
+}
+
+fn fasta_id() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9_.:-]{1,24}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn reverse_complement_is_involution(s in dna_string()) {
+        let seq = DnaSeq::from_ascii(s.as_bytes()).unwrap();
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn reverse_complement_preserves_length_and_gc(s in dna_string()) {
+        let seq = DnaSeq::from_ascii(s.as_bytes()).unwrap();
+        let rc = seq.reverse_complement();
+        prop_assert_eq!(rc.len(), seq.len());
+        // G+C count is strand-symmetric.
+        prop_assert!((rc.gc_content() - seq.gc_content()).abs() < 1e-12);
+        prop_assert_eq!(rc.n_count(), seq.n_count());
+    }
+
+    #[test]
+    fn fasta_round_trip(ids in proptest::collection::vec(fasta_id(), 0..8),
+                        seqs in proptest::collection::vec(dna_string(), 0..8),
+                        width in 1usize..100) {
+        let records: Vec<Record> = ids
+            .iter()
+            .zip(&seqs)
+            .enumerate()
+            .map(|(i, (id, s))| {
+                Record::new(
+                    format!("{id}_{i}"), // unique ids
+                    "",
+                    DnaSeq::from_ascii(s.as_bytes()).unwrap(),
+                )
+            })
+            .collect();
+        let mut text = String::new();
+        for r in &records {
+            text.push_str(&r.to_fasta_string(width));
+        }
+        let parsed = fasta::parse_str(&text).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn kmer_pack_unpack_round_trip(s in canonical_dna_string(), k in 1usize..33) {
+        let bytes = s.as_bytes();
+        if bytes.len() >= k {
+            for (pos, packed) in kmer::KmerIter::new(bytes, k).unwrap() {
+                prop_assert_eq!(&kmer::unpack(packed, k)[..], &bytes[pos..pos + k]);
+            }
+        }
+    }
+
+    #[test]
+    fn kmer_count_matches_window_count(s in canonical_dna_string(), k in 1usize..33) {
+        let bytes = s.as_bytes();
+        let count = kmer::KmerIter::new(bytes, k).unwrap().count();
+        let expected = bytes.len().saturating_sub(k - 1);
+        prop_assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn translation_length_law(s in canonical_dna_string(), off in 0usize..3) {
+        let dna = DnaSeq::from_ascii(s.as_bytes()).unwrap();
+        let prot = translate_frame(&dna, off);
+        prop_assert_eq!(prot.len(), dna.len().saturating_sub(off) / 3);
+    }
+
+    #[test]
+    fn reverse_translate_round_trips(p in protein_string(), pick in 0usize..16) {
+        let prot = ProteinSeq::from_ascii(p.as_bytes()).unwrap();
+        let dna = reverse_translate(&prot, |i| i.wrapping_mul(31).wrapping_add(pick));
+        prop_assert_eq!(dna.len(), prot.len() * 3);
+        prop_assert_eq!(translate_frame(&dna, 0), prot);
+    }
+
+    #[test]
+    fn n50_bounds(seqs in proptest::collection::vec(canonical_dna_string(), 1..20)) {
+        let records: Vec<Record> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Record::new(format!("s{i}"), "", DnaSeq::from_ascii(s.as_bytes()).unwrap()))
+            .collect();
+        let stats = assembly_stats(&records);
+        prop_assert!(stats.n50 >= stats.min_len);
+        prop_assert!(stats.n50 <= stats.max_len);
+        prop_assert_eq!(stats.count, records.len());
+        let mean_gap = stats.mean_len * records.len() as f64 - stats.total_len as f64;
+        prop_assert!(mean_gap.abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_bytes_always_rejected(s in "[acgtnACGTN]{0,20}[!-@]{1}[acgtnACGTN]{0,20}") {
+        prop_assert!(DnaSeq::from_ascii(s.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! File-based task kernels.
+//!
+//! The real Pegasus workflow communicates through files in the site
+//! work directory; these kernels do the same, so the `condor` local
+//! pool can execute the blast2cap3 DAG with genuine file dataflow:
+//! each function reads its declared inputs from `workdir` and writes
+//! its declared outputs there, mirroring the logical file names of
+//! [`crate::workflow::build_workflow`].
+
+use crate::cluster::{cluster_by_best_hit, Clusters};
+use crate::split::{split_clusters, Chunk};
+use crate::tasks::{make_transcript_dict, run_cap3_chunk, ChunkOutput};
+use bioseq::fasta::{self, Record};
+use cap3::Cap3Params;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// Logical file names used inside the work directory.
+pub mod names {
+    /// Workflow input: the redundant transcript set.
+    pub const TRANSCRIPTS: &str = "transcripts.fasta";
+    /// Workflow input: the BLASTX tabular output.
+    pub const ALIGNMENTS: &str = "alignments.out";
+    /// `list_transcripts` output.
+    pub const TRANSCRIPTS_DICT: &str = "transcripts_dict.txt";
+    /// `list_alignments` output.
+    pub const ALIGNMENTS_LIST: &str = "alignments_list.txt";
+    /// `split` outputs (`protein_<i>.txt`).
+    pub fn protein_chunk(i: usize) -> String {
+        format!("protein_{i}.txt")
+    }
+    /// `run_cap3` contig outputs.
+    pub fn joined(i: usize) -> String {
+        format!("joined_{i}.fasta")
+    }
+    /// `run_cap3` joined-id outputs.
+    pub fn joined_ids(i: usize) -> String {
+        format!("joined_ids_{i}.txt")
+    }
+    /// `merge` outputs.
+    pub const JOINED_ALL: &str = "joined_all.fasta";
+    /// `merge` joined-id union.
+    pub const JOINED_IDS_ALL: &str = "joined_ids_all.txt";
+    /// Final protein-guided assembly.
+    pub const FINAL: &str = "final.fasta";
+}
+
+fn io_err<E: std::fmt::Display>(what: &str) -> impl Fn(E) -> String + '_ {
+    move |e| format!("{what}: {e}")
+}
+
+/// Serialises chunks as one `protein<TAB>tx1,tx2,...` line per cluster.
+pub fn chunk_to_tsv(chunk: &Chunk) -> String {
+    let mut out = String::new();
+    for (protein, members) in &chunk.clusters {
+        out.push_str(protein);
+        out.push('\t');
+        out.push_str(&members.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the chunk TSV format.
+pub fn chunk_from_tsv(text: &str) -> Result<Chunk, String> {
+    let mut clusters = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (protein, members) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("chunk line {}: missing tab", i + 1))?;
+        let members: Vec<String> = members
+            .split(',')
+            .filter(|m| !m.is_empty())
+            .map(String::from)
+            .collect();
+        clusters.push((protein.to_string(), members));
+    }
+    Ok(Chunk { clusters })
+}
+
+/// `list_transcripts`: dedupes `transcripts.fasta` into the
+/// transcript dictionary file.
+pub fn task_list_transcripts(workdir: &Path) -> Result<(), String> {
+    let records = fasta::read_file(workdir.join(names::TRANSCRIPTS))
+        .map_err(io_err("reading transcripts.fasta"))?;
+    let dict = make_transcript_dict(&records);
+    let deduped: Vec<Record> = dict.records().cloned().collect();
+    fasta::write_file(workdir.join(names::TRANSCRIPTS_DICT), &deduped)
+        .map_err(io_err("writing transcripts_dict.txt"))?;
+    Ok(())
+}
+
+/// `list_alignments`: validates `alignments.out` and re-emits it as
+/// the alignment list artifact.
+pub fn task_list_alignments(workdir: &Path) -> Result<(), String> {
+    let recs = blastx::tabular::read_file(workdir.join(names::ALIGNMENTS))
+        .map_err(io_err("reading alignments.out"))?;
+    blastx::tabular::write_file(workdir.join(names::ALIGNMENTS_LIST), &recs)
+        .map_err(io_err("writing alignments_list.txt"))?;
+    Ok(())
+}
+
+/// `split -n <n>`: clusters by best hit and writes `n` chunk files
+/// (`protein_0.txt` .. `protein_{n-1}.txt`); when there are fewer
+/// clusters than `n`, trailing chunk files are written empty so every
+/// downstream `run_cap3_i` finds its input.
+pub fn task_split(workdir: &Path, n: usize) -> Result<(), String> {
+    let recs = blastx::tabular::read_file(workdir.join(names::ALIGNMENTS_LIST))
+        .map_err(io_err("reading alignments_list.txt"))?;
+    let clusters: Clusters = cluster_by_best_hit(&recs);
+    let chunks = split_clusters(&clusters, n);
+    for i in 0..n.max(1) {
+        let text = chunks.get(i).map(chunk_to_tsv).unwrap_or_default();
+        std::fs::write(workdir.join(names::protein_chunk(i)), text)
+            .map_err(io_err("writing protein chunk"))?;
+    }
+    Ok(())
+}
+
+/// `run_cap3 <i>`: assembles chunk `i` and writes its contigs and the
+/// ids of merged transcripts.
+pub fn task_run_cap3(workdir: &Path, i: usize, params: &Cap3Params) -> Result<(), String> {
+    let dict_records = fasta::read_file(workdir.join(names::TRANSCRIPTS_DICT))
+        .map_err(io_err("reading transcripts_dict.txt"))?;
+    let dict = make_transcript_dict(&dict_records);
+    let chunk_text = std::fs::read_to_string(workdir.join(names::protein_chunk(i)))
+        .map_err(io_err("reading protein chunk"))?;
+    let chunk = chunk_from_tsv(&chunk_text)?;
+    let out = run_cap3_chunk(&dict, &chunk, params);
+    fasta::write_file(workdir.join(names::joined(i)), &out.contigs)
+        .map_err(io_err("writing joined fasta"))?;
+    std::fs::write(
+        workdir.join(names::joined_ids(i)),
+        out.joined_ids.join("\n") + if out.joined_ids.is_empty() { "" } else { "\n" },
+    )
+    .map_err(io_err("writing joined ids"))?;
+    Ok(())
+}
+
+/// `merge -n <n>`: concatenates the per-chunk contigs (renumbering
+/// globally) and unions the joined-id lists.
+pub fn task_merge(workdir: &Path, n: usize) -> Result<(), String> {
+    let mut outputs: Vec<ChunkOutput> = Vec::with_capacity(n);
+    for i in 0..n.max(1) {
+        let contigs = fasta::read_file(workdir.join(names::joined(i)))
+            .map_err(io_err("reading joined fasta"))?;
+        let ids_text = std::fs::read_to_string(workdir.join(names::joined_ids(i)))
+            .map_err(io_err("reading joined ids"))?;
+        outputs.push(ChunkOutput {
+            contigs,
+            joined_ids: ids_text.lines().map(String::from).collect(),
+        });
+    }
+    let merged = crate::tasks::merge_contigs(&outputs);
+    fasta::write_file(workdir.join(names::JOINED_ALL), &merged)
+        .map_err(io_err("writing joined_all.fasta"))?;
+    let all_ids: Vec<String> = outputs.iter().flat_map(|o| o.joined_ids.clone()).collect();
+    std::fs::write(
+        workdir.join(names::JOINED_IDS_ALL),
+        all_ids.join("\n") + if all_ids.is_empty() { "" } else { "\n" },
+    )
+    .map_err(io_err("writing joined_ids_all.txt"))?;
+    Ok(())
+}
+
+/// `extract_unjoined`: emits the final assembly — merged contigs
+/// followed by every transcript that joined nothing.
+pub fn task_extract_unjoined(workdir: &Path) -> Result<(), String> {
+    let dict_records = fasta::read_file(workdir.join(names::TRANSCRIPTS_DICT))
+        .map_err(io_err("reading transcripts_dict.txt"))?;
+    let joined_all = fasta::read_file(workdir.join(names::JOINED_ALL))
+        .map_err(io_err("reading joined_all.fasta"))?;
+    let ids_text = std::fs::read_to_string(workdir.join(names::JOINED_IDS_ALL))
+        .map_err(io_err("reading joined_ids_all.txt"))?;
+    let joined: HashSet<&str> = ids_text.lines().collect();
+    let mut final_records = joined_all;
+    final_records.extend(
+        dict_records
+            .into_iter()
+            .filter(|r| !joined.contains(r.id.as_str())),
+    );
+    fasta::write_file(workdir.join(names::FINAL), &final_records)
+        .map_err(io_err("writing final.fasta"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::run_serial;
+    use bioseq::seq::DnaSeq;
+    use blastx::tabular::TabularRecord;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn random_template(seed: u64, len: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| bioseq::alphabet::DNA_BASES[rng.gen_range(0..4)])
+            .collect()
+    }
+
+    fn rec(id: &str, bytes: &[u8]) -> Record {
+        Record::new(id, "", DnaSeq::from_ascii(bytes).unwrap())
+    }
+
+    fn aln(q: &str, s: &str) -> TabularRecord {
+        TabularRecord {
+            query_id: q.into(),
+            subject_id: s.into(),
+            percent_identity: 98.0,
+            length: 100,
+            mismatches: 2,
+            gap_opens: 0,
+            q_start: 1,
+            q_end: 300,
+            s_start: 1,
+            s_end: 100,
+            evalue: 1e-40,
+            bit_score: 200.0,
+        }
+    }
+
+    fn workload(families: usize) -> (Vec<Record>, Vec<TabularRecord>) {
+        let mut transcripts = Vec::new();
+        let mut alignments = Vec::new();
+        for f in 0..families {
+            let t = random_template(500 + f as u64, 400);
+            for (k, range) in [(0usize, 0..250), (1, 120..370), (2, 150..400)] {
+                let id = format!("f{f}_t{k}");
+                transcripts.push(rec(&id, &t[range]));
+                alignments.push(aln(&id, &format!("p{f}")));
+            }
+        }
+        transcripts.push(rec("orphan", &random_template(999, 150)));
+        (transcripts, alignments)
+    }
+
+    fn fresh_workdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("blast2cap3_files_tests")
+            .join(format!("{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Runs the full kernel sequence, as the workflow engine would.
+    fn run_all_kernels(workdir: &Path, n: usize) {
+        task_list_transcripts(workdir).unwrap();
+        task_list_alignments(workdir).unwrap();
+        task_split(workdir, n).unwrap();
+        for i in 0..n {
+            task_run_cap3(workdir, i, &Cap3Params::default()).unwrap();
+        }
+        task_merge(workdir, n).unwrap();
+        task_extract_unjoined(workdir).unwrap();
+    }
+
+    #[test]
+    fn chunk_tsv_round_trip() {
+        let chunk = Chunk {
+            clusters: vec![
+                ("pA".into(), vec!["t1".into(), "t2".into()]),
+                ("pB".into(), vec!["t3".into()]),
+            ],
+        };
+        let text = chunk_to_tsv(&chunk);
+        assert_eq!(text, "pA\tt1,t2\npB\tt3\n");
+        assert_eq!(chunk_from_tsv(&text).unwrap(), chunk);
+        assert!(chunk_from_tsv("no tab here").is_err());
+        assert_eq!(chunk_from_tsv("").unwrap().clusters.len(), 0);
+    }
+
+    #[test]
+    fn file_pipeline_matches_in_memory_serial() {
+        let (transcripts, alignments) = workload(4);
+        let workdir = fresh_workdir("match_serial");
+        fasta::write_file(workdir.join(names::TRANSCRIPTS), &transcripts).unwrap();
+        blastx::tabular::write_file(workdir.join(names::ALIGNMENTS), &alignments).unwrap();
+
+        run_all_kernels(&workdir, 3);
+
+        let final_records = fasta::read_file(workdir.join(names::FINAL)).unwrap();
+        let serial = run_serial(&transcripts, &alignments, &Cap3Params::default());
+        assert_eq!(final_records.len(), serial.output.len());
+        let seqs_file: BTreeSet<Vec<u8>> = final_records
+            .iter()
+            .map(|r| r.seq.as_bytes().to_vec())
+            .collect();
+        let seqs_mem: BTreeSet<Vec<u8>> = serial
+            .output
+            .iter()
+            .map(|r| r.seq.as_bytes().to_vec())
+            .collect();
+        assert_eq!(seqs_file, seqs_mem);
+        std::fs::remove_dir_all(&workdir).ok();
+    }
+
+    #[test]
+    fn split_pads_empty_chunks_to_n() {
+        let (transcripts, alignments) = workload(2); // only 2 clusters
+        let workdir = fresh_workdir("padding");
+        fasta::write_file(workdir.join(names::TRANSCRIPTS), &transcripts).unwrap();
+        blastx::tabular::write_file(workdir.join(names::ALIGNMENTS), &alignments).unwrap();
+        task_list_transcripts(&workdir).unwrap();
+        task_list_alignments(&workdir).unwrap();
+        task_split(&workdir, 5).unwrap();
+        for i in 0..5 {
+            assert!(
+                workdir.join(names::protein_chunk(i)).exists(),
+                "chunk {i} missing"
+            );
+        }
+        // Empty chunks still process cleanly.
+        for i in 0..5 {
+            task_run_cap3(&workdir, i, &Cap3Params::default()).unwrap();
+        }
+        task_merge(&workdir, 5).unwrap();
+        task_extract_unjoined(&workdir).unwrap();
+        let final_records = fasta::read_file(workdir.join(names::FINAL)).unwrap();
+        // 2 families of 3 overlapping tx -> 2 contigs, plus the orphan.
+        assert_eq!(final_records.len(), 3);
+        std::fs::remove_dir_all(&workdir).ok();
+    }
+
+    #[test]
+    fn orphan_transcripts_survive_to_final() {
+        let (transcripts, alignments) = workload(1);
+        let workdir = fresh_workdir("orphan");
+        fasta::write_file(workdir.join(names::TRANSCRIPTS), &transcripts).unwrap();
+        blastx::tabular::write_file(workdir.join(names::ALIGNMENTS), &alignments).unwrap();
+        run_all_kernels(&workdir, 1);
+        let final_records = fasta::read_file(workdir.join(names::FINAL)).unwrap();
+        assert!(final_records.iter().any(|r| r.id == "orphan"));
+        assert!(final_records.iter().any(|r| r.id.starts_with("Contig")));
+        std::fs::remove_dir_all(&workdir).ok();
+    }
+
+    #[test]
+    fn missing_inputs_produce_informative_errors() {
+        let workdir = fresh_workdir("missing");
+        let err = task_list_transcripts(&workdir).unwrap_err();
+        assert!(err.contains("transcripts.fasta"), "err={err}");
+        let err = task_run_cap3(&workdir, 0, &Cap3Params::default()).unwrap_err();
+        assert!(err.contains("transcripts_dict"), "err={err}");
+        std::fs::remove_dir_all(&workdir).ok();
+    }
+}

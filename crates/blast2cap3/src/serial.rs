@@ -1,0 +1,164 @@
+//! The serial blast2cap3 baseline.
+//!
+//! A faithful port of the original Python control flow: one cluster of
+//! protein-sharing transcripts is built and handed to CAP3, and only
+//! after CAP3 terminates is the next cluster processed. This is the
+//! configuration the paper reports as taking ~100 hours on the full
+//! wheat dataset; the timing hooks here let the benchmark harness
+//! measure its cost distribution on synthetic workloads.
+
+use crate::cluster::cluster_by_best_hit;
+use crate::split::Chunk;
+use crate::tasks::{
+    extract_unjoined, finalize, make_transcript_dict, merge_contigs, run_cap3_chunk,
+};
+use bioseq::fasta::Record;
+use blastx::tabular::TabularRecord;
+use cap3::Cap3Params;
+use std::time::{Duration, Instant};
+
+/// Outcome of a serial blast2cap3 run.
+#[derive(Debug, Clone)]
+pub struct SerialReport {
+    /// Final output: merged contigs followed by unjoined transcripts.
+    pub output: Vec<Record>,
+    /// Number of protein clusters processed.
+    pub n_clusters: usize,
+    /// Number of input transcripts that were merged into contigs.
+    pub joined: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-cluster CAP3 durations, in cluster order.
+    pub per_cluster: Vec<Duration>,
+}
+
+impl SerialReport {
+    /// Input-to-output reduction in sequence count, as a fraction.
+    pub fn reduction(&self, input_count: usize) -> f64 {
+        bioseq::stats::reduction_ratio(input_count, self.output.len())
+    }
+}
+
+/// Runs the serial blast2cap3 pipeline.
+pub fn run_serial(
+    transcripts: &[Record],
+    alignments: &[TabularRecord],
+    params: &Cap3Params,
+) -> SerialReport {
+    let start = Instant::now();
+    let dict = make_transcript_dict(transcripts);
+    let clusters = cluster_by_best_hit(alignments);
+    let mut outputs = Vec::with_capacity(clusters.len());
+    let mut per_cluster = Vec::with_capacity(clusters.len());
+    for group in &clusters.groups {
+        // One cluster at a time, exactly like the Python script.
+        let single = Chunk {
+            clusters: vec![group.clone()],
+        };
+        let t0 = Instant::now();
+        outputs.push(run_cap3_chunk(&dict, &single, params));
+        per_cluster.push(t0.elapsed());
+    }
+    let joined = outputs.iter().map(|o| o.joined_ids.len()).sum();
+    let merged = merge_contigs(&outputs);
+    let unjoined = extract_unjoined(&dict, &outputs);
+    SerialReport {
+        output: finalize(merged, unjoined),
+        n_clusters: clusters.len(),
+        joined,
+        elapsed: start.elapsed(),
+        per_cluster,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::seq::DnaSeq;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_template(seed: u64, len: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| bioseq::alphabet::DNA_BASES[rng.gen_range(0..4)])
+            .collect()
+    }
+
+    fn rec(id: &str, bytes: &[u8]) -> Record {
+        Record::new(id, "", DnaSeq::from_ascii(bytes).unwrap())
+    }
+
+    fn aln(q: &str, s: &str) -> TabularRecord {
+        TabularRecord {
+            query_id: q.into(),
+            subject_id: s.into(),
+            percent_identity: 98.0,
+            length: 100,
+            mismatches: 2,
+            gap_opens: 0,
+            q_start: 1,
+            q_end: 300,
+            s_start: 1,
+            s_end: 100,
+            evalue: 1e-40,
+            bit_score: 200.0,
+        }
+    }
+
+    #[test]
+    fn serial_run_merges_families_and_passes_orphans() {
+        let ta = random_template(1, 300);
+        let tb = random_template(2, 400);
+        let transcripts = vec![
+            rec("a1", &ta[..200]),
+            rec("a2", &ta[140..]),
+            rec("b1", &tb[..250]),
+            rec("b2", &tb[180..]),
+            rec("orphan", &random_template(3, 150)),
+        ];
+        let alignments = vec![
+            aln("a1", "pA"),
+            aln("a2", "pA"),
+            aln("b1", "pB"),
+            aln("b2", "pB"),
+        ];
+        let report = run_serial(&transcripts, &alignments, &Cap3Params::default());
+        assert_eq!(report.n_clusters, 2);
+        assert_eq!(report.joined, 4);
+        // 5 inputs -> 2 contigs + 1 orphan.
+        assert_eq!(report.output.len(), 3);
+        assert_eq!(report.per_cluster.len(), 2);
+        assert!(report.reduction(5) > 0.0);
+    }
+
+    #[test]
+    fn no_alignments_means_passthrough() {
+        let transcripts = vec![
+            rec("x", &random_template(4, 100)),
+            rec("y", &random_template(5, 100)),
+        ];
+        let report = run_serial(&transcripts, &[], &Cap3Params::default());
+        assert_eq!(report.n_clusters, 0);
+        assert_eq!(report.joined, 0);
+        assert_eq!(report.output.len(), 2);
+        assert_eq!(report.reduction(2), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        let report = run_serial(&[], &[], &Cap3Params::default());
+        assert!(report.output.is_empty());
+        assert_eq!(report.n_clusters, 0);
+    }
+
+    #[test]
+    fn per_cluster_durations_cover_every_cluster() {
+        let ta = random_template(6, 300);
+        let transcripts = vec![rec("a1", &ta[..200]), rec("a2", &ta[140..])];
+        let alignments = vec![aln("a1", "pA"), aln("a2", "pA")];
+        let report = run_serial(&transcripts, &alignments, &Cap3Params::default());
+        assert_eq!(report.per_cluster.len(), report.n_clusters);
+        assert!(report.elapsed >= report.per_cluster.iter().sum());
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for blast2cap3's invariants:
+//!
+//! * clustering is a partition of the aligned transcripts;
+//! * splitting never divides a cluster and conserves transcripts;
+//! * serial and parallel drivers agree for every chunking;
+//! * no transcript is ever lost: every input id is accounted for in
+//!   the final output (merged into a contig or passed through).
+
+use bioseq::fasta::Record;
+use bioseq::seq::DnaSeq;
+use blast2cap3::cluster::cluster_by_best_hit;
+use blast2cap3::parallel::run_parallel;
+use blast2cap3::serial::run_serial;
+use blast2cap3::split::split_clusters;
+use blastx::tabular::TabularRecord;
+use cap3::Cap3Params;
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+
+fn aln(q: &str, s: &str, bits: f64) -> TabularRecord {
+    TabularRecord {
+        query_id: q.into(),
+        subject_id: s.into(),
+        percent_identity: 95.0,
+        length: 100,
+        mismatches: 5,
+        gap_opens: 0,
+        q_start: 1,
+        q_end: 300,
+        s_start: 1,
+        s_end: 100,
+        evalue: 1e-30,
+        bit_score: bits,
+    }
+}
+
+fn template(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            bioseq::alphabet::DNA_BASES[(state % 4) as usize]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn clustering_is_a_partition(
+        assignments in proptest::collection::vec((0usize..12, 0usize..5, 1u32..200), 1..60)
+    ) {
+        let alignments: Vec<TabularRecord> = assignments
+            .iter()
+            .map(|&(t, p, bits)| aln(&format!("t{t}"), &format!("p{p}"), bits as f64))
+            .collect();
+        let clusters = cluster_by_best_hit(&alignments);
+        let mut seen: HashSet<&str> = HashSet::new();
+        for (_, members) in &clusters.groups {
+            for m in members {
+                prop_assert!(seen.insert(m), "transcript {m} in two clusters");
+            }
+        }
+        let distinct: HashSet<&str> =
+            alignments.iter().map(|a| a.query_id.as_str()).collect();
+        prop_assert_eq!(seen.len(), distinct.len());
+    }
+
+    #[test]
+    fn split_conserves_clusters(
+        sizes in proptest::collection::vec(1usize..20, 1..40),
+        n in 1usize..20,
+    ) {
+        let clusters = blast2cap3::cluster::Clusters {
+            groups: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    (format!("p{i:03}"), (0..s).map(|j| format!("t{i}_{j}")).collect())
+                })
+                .collect(),
+        };
+        let chunks = split_clusters(&clusters, n);
+        prop_assert!(chunks.len() <= n);
+        prop_assert!(chunks.iter().all(|c| !c.clusters.is_empty()));
+        let total: usize = chunks.iter().map(|c| c.total_transcripts()).sum();
+        prop_assert_eq!(total, clusters.total_transcripts());
+        // Each protein appears in exactly one chunk.
+        let mut proteins = Vec::new();
+        for c in &chunks {
+            for (p, _) in &c.clusters {
+                proteins.push(p.clone());
+            }
+        }
+        proteins.sort();
+        let mut expected: Vec<String> =
+            clusters.groups.iter().map(|(p, _)| p.clone()).collect();
+        expected.sort();
+        prop_assert_eq!(proteins, expected);
+    }
+
+    #[test]
+    fn no_transcript_is_ever_lost(
+        n_families in 1usize..5,
+        n_orphans in 0usize..4,
+        n_chunks in 1usize..8,
+        seed in 0u64..100_000,
+    ) {
+        let mut transcripts: Vec<Record> = Vec::new();
+        let mut alignments: Vec<TabularRecord> = Vec::new();
+        for f in 0..n_families {
+            let t = template(400, seed.wrapping_add(f as u64));
+            for (k, range) in [(0usize, 0..250), (1, 150..400)] {
+                let id = format!("f{f}_t{k}");
+                transcripts.push(Record::new(
+                    &id, "", DnaSeq::from_ascii(&t[range]).unwrap(),
+                ));
+                alignments.push(aln(&id, &format!("p{f}"), 150.0));
+            }
+        }
+        for o in 0..n_orphans {
+            transcripts.push(Record::new(
+                format!("orphan{o}"),
+                "",
+                DnaSeq::from_ascii(&template(150, seed ^ (o as u64 + 999))).unwrap(),
+            ));
+        }
+        let report = run_parallel(&transcripts, &alignments, &Cap3Params::default(), n_chunks, 2);
+        // Every input id is either in the output or recorded as joined.
+        let output_ids: HashSet<&str> =
+            report.output.iter().map(|r| r.id.as_str()).collect();
+        let mut joined = 0usize;
+        for rec in &transcripts {
+            let in_output = output_ids.contains(rec.id.as_str());
+            if !in_output {
+                joined += 1;
+            }
+        }
+        prop_assert_eq!(joined, report.joined);
+        // Orphans always pass through.
+        for o in 0..n_orphans {
+            let id = format!("orphan{o}");
+            prop_assert!(output_ids.contains(id.as_str()), "missing {}", id);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_for_any_chunking(
+        n_chunks in 1usize..10,
+        threads in 1usize..4,
+        seed in 0u64..50_000,
+    ) {
+        let mut transcripts = Vec::new();
+        let mut alignments = Vec::new();
+        for f in 0..4usize {
+            let t = template(400, seed.wrapping_add(f as u64 * 31));
+            for (k, range) in [(0usize, 0..250), (1, 150..400)] {
+                let id = format!("f{f}_t{k}");
+                transcripts.push(Record::new(&id, "", DnaSeq::from_ascii(&t[range]).unwrap()));
+                alignments.push(aln(&id, &format!("p{f}"), 100.0));
+            }
+        }
+        let serial = run_serial(&transcripts, &alignments, &Cap3Params::default());
+        let par = run_parallel(&transcripts, &alignments, &Cap3Params::default(), n_chunks, threads);
+        prop_assert_eq!(serial.output.len(), par.output.len());
+        prop_assert_eq!(serial.joined, par.joined);
+        let seqs = |rs: &[Record]| -> BTreeSet<Vec<u8>> {
+            rs.iter().map(|r| r.seq.as_bytes().to_vec()).collect()
+        };
+        prop_assert_eq!(seqs(&serial.output), seqs(&par.output));
+    }
+}

@@ -1,0 +1,287 @@
+//! BLAST `-outfmt 6` tabular records.
+//!
+//! The paper's `alignments.out` is a 12-column tab-separated BLASTX
+//! table; blast2cap3 reads columns 1 (query) and 2 (subject) to build
+//! protein-sharing clusters. This module writes search results in that
+//! format and parses it back, tolerating extra columns the way
+//! blast2cap3's own parser does.
+
+use crate::search::Hsp;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// One row of 12-column tabular output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabularRecord {
+    /// Query sequence id.
+    pub query_id: String,
+    /// Subject sequence id.
+    pub subject_id: String,
+    /// Percent identity.
+    pub percent_identity: f64,
+    /// Alignment length.
+    pub length: usize,
+    /// Mismatch count.
+    pub mismatches: usize,
+    /// Gap-open count.
+    pub gap_opens: usize,
+    /// 1-based query start.
+    pub q_start: usize,
+    /// 1-based query end.
+    pub q_end: usize,
+    /// 1-based subject start.
+    pub s_start: usize,
+    /// 1-based subject end.
+    pub s_end: usize,
+    /// Expectation value.
+    pub evalue: f64,
+    /// Bit score.
+    pub bit_score: f64,
+}
+
+impl From<&Hsp> for TabularRecord {
+    fn from(h: &Hsp) -> Self {
+        TabularRecord {
+            query_id: h.query_id.clone(),
+            subject_id: h.subject_id.clone(),
+            percent_identity: h.percent_identity,
+            length: h.length,
+            mismatches: h.mismatches,
+            gap_opens: h.gap_opens,
+            q_start: h.q_start,
+            q_end: h.q_end,
+            s_start: h.s_start,
+            s_end: h.s_end,
+            evalue: h.evalue,
+            bit_score: h.bit_score,
+        }
+    }
+}
+
+impl TabularRecord {
+    /// Renders the record as one tab-separated line (no newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{:.2}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.2e}\t{:.1}",
+            self.query_id,
+            self.subject_id,
+            self.percent_identity,
+            self.length,
+            self.mismatches,
+            self.gap_opens,
+            self.q_start,
+            self.q_end,
+            self.s_start,
+            self.s_end,
+            self.evalue,
+            self.bit_score
+        )
+    }
+
+    /// Parses one tabular line; extra columns beyond the twelfth are
+    /// ignored, matching common BLAST post-processors.
+    pub fn parse_line(line: &str) -> Result<TabularRecord, TabularError> {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 12 {
+            return Err(TabularError::TooFewColumns(cols.len()));
+        }
+        let f = |i: usize| -> Result<f64, TabularError> {
+            cols[i]
+                .trim()
+                .parse()
+                .map_err(|_| TabularError::BadField(i + 1, cols[i].to_string()))
+        };
+        let u = |i: usize| -> Result<usize, TabularError> {
+            cols[i]
+                .trim()
+                .parse()
+                .map_err(|_| TabularError::BadField(i + 1, cols[i].to_string()))
+        };
+        Ok(TabularRecord {
+            query_id: cols[0].to_string(),
+            subject_id: cols[1].to_string(),
+            percent_identity: f(2)?,
+            length: u(3)?,
+            mismatches: u(4)?,
+            gap_opens: u(5)?,
+            q_start: u(6)?,
+            q_end: u(7)?,
+            s_start: u(8)?,
+            s_end: u(9)?,
+            evalue: f(10)?,
+            bit_score: f(11)?,
+        })
+    }
+}
+
+/// Tabular parsing errors.
+#[derive(Debug, PartialEq)]
+pub enum TabularError {
+    /// Fewer than 12 tab-separated columns.
+    TooFewColumns(usize),
+    /// A numeric field failed to parse (1-based column, raw text).
+    BadField(usize, String),
+    /// Underlying I/O failure (message).
+    Io(String),
+}
+
+impl std::fmt::Display for TabularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TabularError::TooFewColumns(n) => write!(f, "expected 12 columns, found {n}"),
+            TabularError::BadField(col, raw) => write!(f, "bad value {raw:?} in column {col}"),
+            TabularError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+/// Writes HSPs as tabular lines.
+pub fn write_hsps<W: Write>(mut w: W, hsps: &[Hsp]) -> Result<(), TabularError> {
+    for h in hsps {
+        let rec = TabularRecord::from(h);
+        writeln!(w, "{}", rec.to_line()).map_err(|e| TabularError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Renders HSPs to a single tabular string.
+pub fn to_string(hsps: &[Hsp]) -> String {
+    let mut out = Vec::new();
+    write_hsps(&mut out, hsps).expect("writing to Vec cannot fail");
+    String::from_utf8(out).expect("tabular output is ASCII")
+}
+
+/// Parses every record from a reader, skipping blank and `#` comment
+/// lines.
+pub fn parse_reader<R: Read>(r: R) -> Result<Vec<TabularRecord>, TabularError> {
+    let mut out = Vec::new();
+    for line in BufReader::new(r).lines() {
+        let line = line.map_err(|e| TabularError::Io(e.to_string()))?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(TabularRecord::parse_line(trimmed)?);
+    }
+    Ok(out)
+}
+
+/// Parses every record from an in-memory string.
+pub fn parse_str(s: &str) -> Result<Vec<TabularRecord>, TabularError> {
+    parse_reader(s.as_bytes())
+}
+
+/// Reads a tabular file from disk.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<TabularRecord>, TabularError> {
+    let f = std::fs::File::open(path).map_err(|e| TabularError::Io(e.to_string()))?;
+    parse_reader(f)
+}
+
+/// Writes records to a tabular file on disk.
+pub fn write_file(path: impl AsRef<Path>, records: &[TabularRecord]) -> Result<(), TabularError> {
+    let f = std::fs::File::create(path).map_err(|e| TabularError::Io(e.to_string()))?;
+    let mut w = std::io::BufWriter::new(f);
+    for rec in records {
+        writeln!(w, "{}", rec.to_line()).map_err(|e| TabularError::Io(e.to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::codon::Frame;
+
+    fn sample_hsp() -> Hsp {
+        Hsp {
+            query_id: "tx_1_0".into(),
+            subject_id: "prot_1".into(),
+            frame: Frame(2),
+            percent_identity: 98.75,
+            length: 80,
+            mismatches: 1,
+            gap_opens: 0,
+            q_start: 2,
+            q_end: 241,
+            s_start: 1,
+            s_end: 80,
+            evalue: 3.2e-42,
+            bit_score: 170.3,
+            raw_score: 410,
+        }
+    }
+
+    #[test]
+    fn line_format_has_twelve_columns() {
+        let rec = TabularRecord::from(&sample_hsp());
+        let line = rec.to_line();
+        assert_eq!(line.split('\t').count(), 12);
+        assert!(line.starts_with("tx_1_0\tprot_1\t98.75\t80\t"));
+    }
+
+    #[test]
+    fn round_trip_preserves_pairing_and_integers() {
+        let rec = TabularRecord::from(&sample_hsp());
+        let back = TabularRecord::parse_line(&rec.to_line()).unwrap();
+        assert_eq!(back.query_id, rec.query_id);
+        assert_eq!(back.subject_id, rec.subject_id);
+        assert_eq!(back.length, rec.length);
+        assert_eq!(back.q_start, rec.q_start);
+        assert_eq!(back.q_end, rec.q_end);
+        assert!((back.percent_identity - rec.percent_identity).abs() < 0.01);
+        assert!((back.evalue - rec.evalue).abs() / rec.evalue < 0.01);
+    }
+
+    #[test]
+    fn parse_rejects_short_rows() {
+        assert_eq!(
+            TabularRecord::parse_line("a\tb\tc"),
+            Err(TabularError::TooFewColumns(3))
+        );
+    }
+
+    #[test]
+    fn parse_reports_bad_numeric_field() {
+        let line = "q\ts\tninety\t80\t1\t0\t2\t241\t1\t80\t3e-42\t170.3";
+        match TabularRecord::parse_line(line) {
+            Err(TabularError::BadField(3, raw)) => assert_eq!(raw, "ninety"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_columns_are_tolerated() {
+        let line = "q\ts\t99.0\t80\t1\t0\t2\t241\t1\t80\t3e-42\t170.3\textra\tmore";
+        let rec = TabularRecord::parse_line(line).unwrap();
+        assert_eq!(rec.query_id, "q");
+        assert!((rec.bit_score - 170.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# BLASTX 2.2.28+\n\nq\ts\t99.0\t80\t1\t0\t2\t241\t1\t80\t3e-42\t170.3\n";
+        let recs = parse_str(text).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("blastx_tab_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alignments.out");
+        let recs = vec![TabularRecord::from(&sample_hsp())];
+        write_file(&path, &recs).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].subject_id, "prot_1");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn to_string_emits_one_line_per_hsp() {
+        let text = to_string(&[sample_hsp(), sample_hsp()]);
+        assert_eq!(text.lines().count(), 2);
+    }
+}

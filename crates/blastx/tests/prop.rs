@@ -1,0 +1,150 @@
+//! Property-based tests for the translated aligner.
+
+use bioseq::codon::reverse_translate;
+use bioseq::seq::{DnaSeq, ProteinSeq};
+use blastx::evalue::BLOSUM62_UNGAPPED;
+use blastx::matrix::blosum62;
+use blastx::search::{SearchParams, Searcher};
+use blastx::tabular::TabularRecord;
+use proptest::prelude::*;
+
+fn protein_string() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ACDEFGHIKLMNPQRSTVWY]{30,100}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blosum_symmetry_over_all_bytes(a in 0u8..128, b in 0u8..128) {
+        prop_assert_eq!(blosum62(a, b), blosum62(b, a));
+    }
+
+    #[test]
+    fn self_score_dominates_cross_score(
+        p in proptest::sample::select(&b"ACDEFGHIKLMNPQRSTVWY"[..]),
+        q in proptest::sample::select(&b"ACDEFGHIKLMNPQRSTVWY"[..]),
+    ) {
+        // BLOSUM62 diagonal dominance: s(a,a) >= s(a,b).
+        prop_assert!(blosum62(p, p) >= blosum62(p, q));
+    }
+
+    #[test]
+    fn encoding_protein_makes_it_findable(p in protein_string(), codon_seed in 0usize..7) {
+        let prot = ProteinSeq::from_ascii(p.as_bytes()).unwrap();
+        let db = vec![("target".to_string(), prot.clone())];
+        let searcher = Searcher::new(db, SearchParams::default()).unwrap();
+        let dna = reverse_translate(&prot, |i| i.wrapping_mul(5).wrapping_add(codon_seed));
+        let hits = searcher.search_one("q", &dna);
+        prop_assert!(!hits.is_empty(), "an exact coding query must hit its protein");
+        prop_assert_eq!(hits[0].subject_id.as_str(), "target");
+        prop_assert!(hits[0].percent_identity > 99.0);
+        // And the reverse complement must hit on a negative frame.
+        let rc_hits = searcher.search_one("q_rc", &dna.reverse_complement());
+        prop_assert!(!rc_hits.is_empty());
+        prop_assert!(!rc_hits[0].frame.is_forward());
+    }
+
+    #[test]
+    fn hit_coordinates_are_in_bounds(p in protein_string()) {
+        let prot = ProteinSeq::from_ascii(p.as_bytes()).unwrap();
+        let db = vec![("t".to_string(), prot.clone())];
+        let searcher = Searcher::new(db, SearchParams::default()).unwrap();
+        let dna = reverse_translate(&prot, |i| i);
+        for h in searcher.search_one("q", &dna) {
+            let (lo, hi) = (h.q_start.min(h.q_end), h.q_start.max(h.q_end));
+            prop_assert!(lo >= 1 && hi <= dna.len());
+            prop_assert!(h.s_start >= 1 && h.s_end <= prot.len());
+            prop_assert!(h.s_start <= h.s_end);
+            prop_assert!(h.evalue >= 0.0);
+            prop_assert!(h.length >= 1);
+            prop_assert!(h.percent_identity <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn evalue_monotone_in_score(s1 in 1i32..200, s2 in 1i32..200, m in 10usize..1000, n in 100usize..100_000) {
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        prop_assert!(BLOSUM62_UNGAPPED.evalue(hi, m, n) <= BLOSUM62_UNGAPPED.evalue(lo, m, n));
+        prop_assert!(BLOSUM62_UNGAPPED.bit_score(hi) >= BLOSUM62_UNGAPPED.bit_score(lo));
+    }
+
+    #[test]
+    fn tabular_line_round_trip(
+        q in "[A-Za-z0-9_]{1,16}", s in "[A-Za-z0-9_]{1,16}",
+        pid in 0.0f64..100.0, len in 1usize..1000,
+        mm in 0usize..100, gaps in 0usize..10,
+        qs in 1usize..3000, qe in 1usize..3000,
+        ss in 1usize..1000, se in 1usize..1000,
+    ) {
+        let rec = TabularRecord {
+            query_id: q, subject_id: s,
+            percent_identity: pid, length: len,
+            mismatches: mm, gap_opens: gaps,
+            q_start: qs, q_end: qe, s_start: ss, s_end: se,
+            evalue: 3.1e-12, bit_score: 88.4,
+        };
+        let back = TabularRecord::parse_line(&rec.to_line()).unwrap();
+        prop_assert_eq!(&back.query_id, &rec.query_id);
+        prop_assert_eq!(&back.subject_id, &rec.subject_id);
+        prop_assert_eq!(back.length, rec.length);
+        prop_assert_eq!(back.mismatches, rec.mismatches);
+        prop_assert_eq!(back.gap_opens, rec.gap_opens);
+        prop_assert_eq!(back.q_start, rec.q_start);
+        prop_assert_eq!(back.q_end, rec.q_end);
+        prop_assert!((back.percent_identity - rec.percent_identity).abs() < 0.01);
+    }
+
+    #[test]
+    fn smith_waterman_dominates_xdrop(p in protein_string(), mutate_at in 0usize..30) {
+        use blastx::align::{local_align, GapParams};
+        use blastx::extend::xdrop_extend;
+        let q = p.as_bytes();
+        let mut s = q.to_vec();
+        if !s.is_empty() {
+            let i = mutate_at % s.len();
+            s[i] = if s[i] == b'A' { b'G' } else { b'A' };
+        }
+        let sw = local_align(q, &s, GapParams::default());
+        if q.len() >= 4 {
+            let ext = xdrop_extend(q, &s, 0, 0, 4, 20);
+            prop_assert!(sw.score >= ext.score,
+                "exact {} < heuristic {}", sw.score, ext.score);
+        }
+        // Score symmetry under argument swap (BLOSUM62 is symmetric).
+        let sw_rev = local_align(&s, q, GapParams::default());
+        prop_assert_eq!(sw.score, sw_rev.score);
+    }
+
+    #[test]
+    fn smith_waterman_cigar_is_consistent(p in protein_string(), q in protein_string()) {
+        use blastx::align::{local_align, CigarOp, GapParams};
+        let a = local_align(p.as_bytes(), q.as_bytes(), GapParams::default());
+        let q_cols: usize = a.cigar.iter()
+            .filter(|(_, op)| matches!(op, CigarOp::AlignedPair | CigarOp::Insertion))
+            .map(|(n, _)| n).sum();
+        let s_cols: usize = a.cigar.iter()
+            .filter(|(_, op)| matches!(op, CigarOp::AlignedPair | CigarOp::Deletion))
+            .map(|(n, _)| n).sum();
+        prop_assert_eq!(q_cols, a.query_range.1 - a.query_range.0);
+        prop_assert_eq!(s_cols, a.subject_range.1 - a.subject_range.0);
+        prop_assert!(a.identities <= a.length());
+        prop_assert!(a.score >= 0);
+        prop_assert!(a.query_range.1 <= p.len());
+        prop_assert!(a.subject_range.1 <= q.len());
+    }
+
+    #[test]
+    fn parallel_equals_serial_search(p in protein_string(), k in 2usize..5) {
+        let prot = ProteinSeq::from_ascii(p.as_bytes()).unwrap();
+        let db = vec![("t".to_string(), prot.clone())];
+        let searcher = Searcher::new(db, SearchParams::default()).unwrap();
+        let queries: Vec<(String, DnaSeq)> = (0..k)
+            .map(|i| (format!("q{i}"), reverse_translate(&prot, |j| j + i)))
+            .collect();
+        prop_assert_eq!(
+            searcher.search_many(&queries, 1),
+            searcher.search_many(&queries, 4)
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Assembler tuning parameters.
+
+/// Parameters mirroring the CAP3 command-line cutoffs the paper's
+/// pipeline relies on.
+#[derive(Debug, Clone)]
+pub struct Cap3Params {
+    /// Minimum overlap length in bases (CAP3 `-o`, default 40).
+    pub min_overlap_len: usize,
+    /// Minimum overlap percent identity in `[0, 100]` (CAP3 `-p`,
+    /// default 90).
+    pub min_overlap_identity: f64,
+    /// Seed k-mer size for overlap detection.
+    pub seed_k: usize,
+    /// Minimum shared-seed votes on a diagonal before the overlap is
+    /// evaluated exactly.
+    pub min_seed_votes: usize,
+    /// Diagonals within this distance of the best are also evaluated,
+    /// to tolerate small indels near read ends.
+    pub diagonal_slop: usize,
+    /// K-mer buckets larger than this are skipped during candidate
+    /// generation (repeat masking).
+    pub max_bucket: usize,
+}
+
+impl Default for Cap3Params {
+    fn default() -> Self {
+        Cap3Params {
+            min_overlap_len: 40,
+            min_overlap_identity: 90.0,
+            seed_k: 12,
+            min_seed_votes: 2,
+            diagonal_slop: 2,
+            max_bucket: 64,
+        }
+    }
+}
+
+impl Cap3Params {
+    /// Validates parameter ranges, returning a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_overlap_len == 0 {
+            return Err("min_overlap_len must be positive".into());
+        }
+        if !(0.0..=100.0).contains(&self.min_overlap_identity) {
+            return Err(format!(
+                "min_overlap_identity {} outside [0, 100]",
+                self.min_overlap_identity
+            ));
+        }
+        if self.seed_k == 0 || self.seed_k > 32 {
+            return Err(format!("seed_k {} outside 1..=32", self.seed_k));
+        }
+        if self.seed_k > self.min_overlap_len {
+            return Err(format!(
+                "seed_k {} exceeds min_overlap_len {}",
+                self.seed_k, self.min_overlap_len
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_cap3_conventions() {
+        let p = Cap3Params::default();
+        assert_eq!(p.min_overlap_len, 40);
+        assert!((p.min_overlap_identity - 90.0).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        let bad = [
+            Cap3Params {
+                min_overlap_len: 0,
+                ..Default::default()
+            },
+            Cap3Params {
+                min_overlap_identity: 101.0,
+                ..Default::default()
+            },
+            Cap3Params {
+                seed_k: 0,
+                ..Default::default()
+            },
+            Cap3Params {
+                seed_k: 33,
+                ..Default::default()
+            },
+            Cap3Params {
+                seed_k: 20,
+                min_overlap_len: 10,
+                ..Default::default()
+            },
+        ];
+        for p in bad {
+            assert!(p.validate().is_err(), "{p:?} should be invalid");
+        }
+    }
+}

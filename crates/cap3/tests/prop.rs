@@ -1,0 +1,104 @@
+//! Property-based tests for the assembler: fragments tiled from a
+//! random template must reassemble to the template, regardless of
+//! fragment layout, orientation flips, or input order.
+
+use bioseq::fasta::Record;
+use bioseq::seq::DnaSeq;
+use cap3::{Assembler, Cap3Params};
+use proptest::prelude::*;
+
+fn template(len: usize, seed: u64) -> Vec<u8> {
+    // Deterministic pseudo-random template from the seed, avoiding
+    // low-complexity repeats that defeat overlap detection.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            bioseq::alphabet::DNA_BASES[(state % 4) as usize]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tiled_fragments_reassemble(
+        seed in 0u64..1_000_000,
+        n_frags in 2usize..6,
+        overlap in 45usize..90,
+        flip_mask in 0u8..64,
+    ) {
+        let tlen = 600usize;
+        let t = template(tlen, seed);
+        let frag_len = (tlen + (n_frags - 1) * overlap) / n_frags + 1;
+        let step = frag_len - overlap;
+        let mut frags = Vec::new();
+        for i in 0..n_frags {
+            let start = (i * step).min(tlen - frag_len);
+            let bytes = &t[start..start + frag_len];
+            let seq = DnaSeq::from_ascii(bytes).unwrap();
+            let seq = if flip_mask & (1 << i) != 0 {
+                seq.reverse_complement()
+            } else {
+                seq
+            };
+            frags.push(Record::new(format!("f{i}"), "", seq));
+        }
+        let asm = Assembler::new(Cap3Params::default()).assemble(&frags);
+        prop_assert_eq!(asm.contigs.len(), 1, "fragments must merge");
+        prop_assert!(asm.singlets.is_empty());
+        let c = &asm.contigs[0].seq;
+        let fwd = c.as_bytes() == &t[..];
+        let rev = c.reverse_complement().as_bytes() == &t[..];
+        prop_assert!(fwd || rev, "consensus must equal the template");
+    }
+
+    #[test]
+    fn input_order_does_not_change_output_count(
+        seed in 0u64..1_000_000,
+        rotate in 0usize..4,
+    ) {
+        let t = template(500, seed);
+        let mut frags = vec![
+            Record::new("a", "", DnaSeq::from_ascii(&t[..220]).unwrap()),
+            Record::new("b", "", DnaSeq::from_ascii(&t[150..370]).unwrap()),
+            Record::new("c", "", DnaSeq::from_ascii(&t[300..]).unwrap()),
+            Record::new("d", "", DnaSeq::from_ascii(&template(200, seed ^ 0xDEAD)).unwrap()),
+        ];
+        let len = frags.len();
+        frags.rotate_left(rotate % len);
+        let asm = Assembler::new(Cap3Params::default()).assemble(&frags);
+        prop_assert_eq!(asm.contigs.len(), 1);
+        prop_assert_eq!(asm.singlets.len(), 1, "the unrelated read stays a singlet");
+    }
+
+    #[test]
+    fn unrelated_reads_never_merge(seed_a in 0u64..100_000, seed_b in 100_001u64..200_000) {
+        let a = Record::new("a", "", DnaSeq::from_ascii(&template(300, seed_a)).unwrap());
+        let b = Record::new("b", "", DnaSeq::from_ascii(&template(300, seed_b)).unwrap());
+        let asm = Assembler::new(Cap3Params::default()).assemble(&[a, b]);
+        prop_assert!(asm.contigs.is_empty());
+        prop_assert_eq!(asm.singlets.len(), 2);
+    }
+
+    #[test]
+    fn output_never_grows(seed in 0u64..1_000_000, n in 1usize..8) {
+        let t = template(800, seed);
+        let frags: Vec<Record> = (0..n)
+            .map(|i| {
+                let start = (i * 90).min(600);
+                Record::new(
+                    format!("f{i}"),
+                    "",
+                    DnaSeq::from_ascii(&t[start..start + 200]).unwrap(),
+                )
+            })
+            .collect();
+        let asm = Assembler::new(Cap3Params::default()).assemble(&frags);
+        prop_assert!(asm.output_count() <= frags.len());
+        prop_assert!(asm.output_count() >= 1);
+    }
+}

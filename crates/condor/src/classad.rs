@@ -1,0 +1,567 @@
+//! ClassAd-lite: typed attribute lists and requirement expressions.
+//!
+//! HTCondor matchmaking pairs job ads with machine ads by evaluating
+//! each side's `Requirements` expression against the other's
+//! attributes. This module implements the subset that slot
+//! matchmaking needs: integer/float/boolean/string attributes and
+//! expressions with comparisons, `&&`, `||`, `!`, and parentheses.
+//! Undefined attributes make a comparison evaluate to `false`, like
+//! Condor's `UNDEFINED` semantics under strict evaluation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer attribute (e.g. `Memory = 2048`).
+    Int(i64),
+    /// Floating-point attribute.
+    Float(f64),
+    /// Boolean attribute (e.g. `HasCap3 = true`).
+    Bool(bool),
+    /// String attribute (e.g. `Arch = "X86_64"`).
+    Str(String),
+}
+
+impl Value {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// An attribute list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassAd {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl ClassAd {
+    /// Creates an empty ad.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: sets an attribute.
+    pub fn set(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.attrs.insert(key.into(), value);
+        self
+    }
+
+    /// Inserts an attribute in place.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.attrs.insert(key.into(), value);
+    }
+
+    /// Looks an attribute up (case-sensitive, like new ClassAds).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.attrs.get(key)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` when the ad carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+impl fmt::Display for ClassAd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for (k, v) in &self.attrs {
+            writeln!(f, "  {k} = {v};")?;
+        }
+        write!(f, "]")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// Parsed requirements expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Attribute reference, resolved against the target ad.
+    Attr(String),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Expression parse/eval errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdError {
+    /// Lexing or parsing failed at a byte offset.
+    Parse {
+        /// Byte offset of the failure.
+        pos: usize,
+        /// Description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdError::Parse { pos, reason } => write!(f, "parse error at byte {pos}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AdError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Op(&'static str),
+}
+
+fn lex(s: &str) -> Result<Vec<(usize, Token)>, AdError> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push((i, Token::Op("(")));
+                i += 1;
+            }
+            b')' => {
+                out.push((i, Token::Op(")")));
+                i += 1;
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push((i, Token::Op("&&")));
+                    i += 2;
+                } else {
+                    return Err(AdError::Parse {
+                        pos: i,
+                        reason: "single '&'".into(),
+                    });
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push((i, Token::Op("||")));
+                    i += 2;
+                } else {
+                    return Err(AdError::Parse {
+                        pos: i,
+                        reason: "single '|'".into(),
+                    });
+                }
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Op("==")));
+                    i += 2;
+                } else {
+                    return Err(AdError::Parse {
+                        pos: i,
+                        reason: "single '=' (use ==)".into(),
+                    });
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Op("!=")));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Op("!")));
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Op("<=")));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Op("<")));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Op(">=")));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Op(">")));
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    j += 1;
+                }
+                if j == b.len() {
+                    return Err(AdError::Parse {
+                        pos: i,
+                        reason: "unterminated string".into(),
+                    });
+                }
+                out.push((i, Token::Str(s[start..j].to_string())));
+                i = j + 1;
+            }
+            b'0'..=b'9' | b'.' | b'-' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.' || b[i] == b'e') {
+                    i += 1;
+                }
+                let text = &s[start..i];
+                let num: f64 = text.parse().map_err(|_| AdError::Parse {
+                    pos: start,
+                    reason: format!("bad number {text:?}"),
+                })?;
+                out.push((start, Token::Num(num)));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push((start, Token::Ident(s[start..i].to_string())));
+            }
+            other => {
+                return Err(AdError::Parse {
+                    pos: i,
+                    reason: format!("unexpected byte 0x{other:02x}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, reason: impl Into<String>) -> AdError {
+        let pos = self
+            .tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX);
+        AdError::Parse {
+            pos,
+            reason: reason.into(),
+        }
+    }
+
+    // or := and ('||' and)*
+    fn parse_or(&mut self) -> Result<Expr, AdError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Op("||")) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    // and := cmp ('&&' cmp)*
+    fn parse_and(&mut self) -> Result<Expr, AdError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == Some(&Token::Op("&&")) {
+            self.bump();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    // cmp := unary (CMPOP unary)?
+    fn parse_cmp(&mut self) -> Result<Expr, AdError> {
+        let lhs = self.parse_unary()?;
+        let op = match self.peek() {
+            Some(Token::Op("==")) => Some(CmpOp::Eq),
+            Some(Token::Op("!=")) => Some(CmpOp::Ne),
+            Some(Token::Op("<")) => Some(CmpOp::Lt),
+            Some(Token::Op("<=")) => Some(CmpOp::Le),
+            Some(Token::Op(">")) => Some(CmpOp::Gt),
+            Some(Token::Op(">=")) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            return Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    // unary := '!' unary | '(' or ')' | literal | ident
+    fn parse_unary(&mut self) -> Result<Expr, AdError> {
+        match self.peek() {
+            Some(Token::Op("!")) => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Token::Op("(")) => {
+                self.bump();
+                let inner = self.parse_or()?;
+                if self.bump() != Some(Token::Op(")")) {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(Token::Num(_)) => {
+                if let Some(Token::Num(n)) = self.bump() {
+                    Ok(Expr::Lit(Value::Float(n)))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Str(_)) => {
+                if let Some(Token::Str(s)) = self.bump() {
+                    Ok(Expr::Lit(Value::Str(s)))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Ident(id)) => {
+                let id = id.clone();
+                self.bump();
+                match id.as_str() {
+                    "true" | "TRUE" | "True" => Ok(Expr::Lit(Value::Bool(true))),
+                    "false" | "FALSE" | "False" => Ok(Expr::Lit(Value::Bool(false))),
+                    _ => Ok(Expr::Attr(id)),
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+impl Expr {
+    /// Parses a requirements expression.
+    ///
+    /// ```
+    /// use condor::classad::{ClassAd, Expr, Value};
+    ///
+    /// let machine = ClassAd::new()
+    ///     .set("Memory", Value::Int(4096))
+    ///     .set("HasCap3", Value::Bool(true));
+    /// let req = Expr::parse("Memory >= 1024 && HasCap3").unwrap();
+    /// assert!(req.eval(&machine));
+    /// ```
+    pub fn parse(s: &str) -> Result<Expr, AdError> {
+        let tokens = lex(s)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let e = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return Err(p.err("trailing tokens"));
+        }
+        Ok(e)
+    }
+
+    /// Evaluates the expression against `target` (the other side's
+    /// ad). Undefined attributes and type mismatches yield `false`
+    /// for the enclosing comparison.
+    pub fn eval(&self, target: &ClassAd) -> bool {
+        self.eval_value(target)
+            .map(|v| matches!(v, Value::Bool(true)))
+            .unwrap_or(false)
+    }
+
+    fn eval_value(&self, target: &ClassAd) -> Option<Value> {
+        match self {
+            Expr::Lit(v) => Some(v.clone()),
+            Expr::Attr(name) => target.get(name).cloned(),
+            Expr::Not(e) => match e.eval_value(target) {
+                Some(Value::Bool(b)) => Some(Value::Bool(!b)),
+                _ => Some(Value::Bool(false)),
+            },
+            Expr::And(a, b) => Some(Value::Bool(a.eval(target) && b.eval(target))),
+            Expr::Or(a, b) => Some(Value::Bool(a.eval(target) || b.eval(target))),
+            Expr::Cmp(a, op, b) => {
+                let av = a.eval_value(target)?;
+                let bv = b.eval_value(target)?;
+                let res = match (&av, &bv) {
+                    (Value::Str(x), Value::Str(y)) => match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        CmpOp::Lt => x < y,
+                        CmpOp::Le => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Ge => x >= y,
+                    },
+                    (Value::Bool(x), Value::Bool(y)) => match op {
+                        CmpOp::Eq => x == y,
+                        CmpOp::Ne => x != y,
+                        _ => return Some(Value::Bool(false)),
+                    },
+                    _ => {
+                        let x = av.as_f64()?;
+                        let y = bv.as_f64()?;
+                        match op {
+                            CmpOp::Eq => x == y,
+                            CmpOp::Ne => x != y,
+                            CmpOp::Lt => x < y,
+                            CmpOp::Le => x <= y,
+                            CmpOp::Gt => x > y,
+                            CmpOp::Ge => x >= y,
+                        }
+                    }
+                };
+                Some(Value::Bool(res))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> ClassAd {
+        ClassAd::new()
+            .set("Memory", Value::Int(4096))
+            .set("Cpus", Value::Int(8))
+            .set("Arch", Value::Str("X86_64".into()))
+            .set("HasCap3", Value::Bool(true))
+            .set("LoadAvg", Value::Float(0.25))
+    }
+
+    #[test]
+    fn simple_comparisons() {
+        let m = machine();
+        assert!(Expr::parse("Memory >= 1024").unwrap().eval(&m));
+        assert!(!Expr::parse("Memory < 1024").unwrap().eval(&m));
+        assert!(Expr::parse("Arch == \"X86_64\"").unwrap().eval(&m));
+        assert!(Expr::parse("Arch != \"ARM\"").unwrap().eval(&m));
+        assert!(Expr::parse("LoadAvg <= 0.5").unwrap().eval(&m));
+    }
+
+    #[test]
+    fn boolean_attributes_and_literals() {
+        let m = machine();
+        assert!(Expr::parse("HasCap3").unwrap().eval(&m));
+        assert!(Expr::parse("HasCap3 == true").unwrap().eval(&m));
+        assert!(Expr::parse("true").unwrap().eval(&m));
+        assert!(!Expr::parse("false").unwrap().eval(&m));
+        assert!(Expr::parse("!false").unwrap().eval(&m));
+    }
+
+    #[test]
+    fn logical_combinations_and_precedence() {
+        let m = machine();
+        assert!(Expr::parse("Memory >= 1024 && HasCap3").unwrap().eval(&m));
+        assert!(Expr::parse("Memory < 10 || Cpus == 8").unwrap().eval(&m));
+        // && binds tighter than ||.
+        assert!(Expr::parse("false && false || true").unwrap().eval(&m));
+        assert!(!Expr::parse("false && (false || true)").unwrap().eval(&m));
+    }
+
+    #[test]
+    fn undefined_attributes_are_false() {
+        let m = machine();
+        assert!(!Expr::parse("Gpus >= 1").unwrap().eval(&m));
+        assert!(!Expr::parse("MissingFlag").unwrap().eval(&m));
+        // But an OR can still rescue the match.
+        assert!(Expr::parse("Gpus >= 1 || Memory >= 1024").unwrap().eval(&m));
+    }
+
+    #[test]
+    fn int_float_comparisons_coerce() {
+        let m = machine();
+        assert!(Expr::parse("Memory == 4096.0").unwrap().eval(&m));
+        assert!(Expr::parse("LoadAvg < 1").unwrap().eval(&m));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        match Expr::parse("Memory = 10") {
+            Err(AdError::Parse { pos, .. }) => assert_eq!(pos, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Expr::parse("a &&").is_err());
+        assert!(Expr::parse("(a").is_err());
+        assert!(Expr::parse("\"open").is_err());
+        assert!(Expr::parse("a ) b").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_ad_shape() {
+        let m = machine();
+        let text = m.to_string();
+        assert!(text.contains("Memory = 4096;"));
+        assert!(text.contains("Arch = \"X86_64\";"));
+        assert_eq!(m.len(), 5);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_comparisons_are_false() {
+        let m = machine();
+        assert!(!Expr::parse("Arch >= 5").unwrap().eval(&m));
+        assert!(!Expr::parse("HasCap3 < true").unwrap().eval(&m));
+    }
+}

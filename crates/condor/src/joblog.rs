@@ -1,0 +1,350 @@
+//! The Condor user job log.
+//!
+//! HTCondor appends structured events (submit, execute, terminate,
+//! abort) to a per-workflow "user log"; Pegasus's monitord tails that
+//! file to populate its statistics database. This module provides the
+//! equivalent: a [`JobLogMonitor`] that records events while the
+//! engine runs (via the [`WorkflowMonitor`] hook), a writer for the
+//! classic text format, and a parser that reconstructs per-job timing
+//! — closing the provenance loop the same way the real stack does.
+
+use pegasus_wms::engine::{CompletionEvent, JobOutcome, WorkflowMonitor};
+use pegasus_wms::planner::ExecutableJob;
+use std::fmt;
+
+/// Condor user-log event codes (the subset the WMS stack uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventCode {
+    /// 000: job submitted.
+    Submit,
+    /// 001: job began executing.
+    Execute,
+    /// 005: job terminated (successfully).
+    Terminated,
+    /// 009: job aborted / evicted.
+    Aborted,
+}
+
+impl EventCode {
+    /// The three-digit code used in the text format.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EventCode::Submit => "000",
+            EventCode::Execute => "001",
+            EventCode::Terminated => "005",
+            EventCode::Aborted => "009",
+        }
+    }
+
+    /// Parses a three-digit code.
+    pub fn from_code(code: &str) -> Option<EventCode> {
+        match code {
+            "000" => Some(EventCode::Submit),
+            "001" => Some(EventCode::Execute),
+            "005" => Some(EventCode::Terminated),
+            "009" => Some(EventCode::Aborted),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EventCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One event in the user log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEvent {
+    /// Event type.
+    pub code: EventCode,
+    /// Job name (we use the planned job name as the cluster id).
+    pub job: String,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Backend timestamp in seconds.
+    pub time: f64,
+    /// Free-text note (return value, abort reason).
+    pub note: String,
+}
+
+impl LogEvent {
+    /// Renders the event in the Condor-ish banner format:
+    ///
+    /// ```text
+    /// 005 (run_cap3_3.002) 1234.567 Job terminated. (return value 0)
+    /// ...
+    /// ```
+    pub fn to_text(&self) -> String {
+        format!(
+            "{} ({}.{:03}) {:.3} {}\n...\n",
+            self.code.code(),
+            self.job,
+            self.attempt,
+            self.time,
+            self.note
+        )
+    }
+
+    /// Parses one banner line (the `...` terminator is handled by the
+    /// log-level parser).
+    pub fn parse_banner(line: &str) -> Option<LogEvent> {
+        let mut rest = line.trim();
+        let code = EventCode::from_code(rest.get(0..3)?)?;
+        rest = rest.get(3..)?.trim_start();
+        let open = rest.find('(')?;
+        let close = rest.find(')')?;
+        let id = &rest[open + 1..close];
+        let (job, attempt) = id.rsplit_once('.')?;
+        let attempt: u32 = attempt.parse().ok()?;
+        rest = rest[close + 1..].trim_start();
+        let (time_str, note) = rest.split_once(' ').unwrap_or((rest, ""));
+        let time: f64 = time_str.parse().ok()?;
+        Some(LogEvent {
+            code,
+            job: job.to_string(),
+            attempt,
+            time,
+            note: note.to_string(),
+        })
+    }
+}
+
+/// Collects user-log events while a workflow runs.
+#[derive(Debug, Default, Clone)]
+pub struct JobLogMonitor {
+    /// Events in arrival order.
+    pub events: Vec<LogEvent>,
+}
+
+impl JobLogMonitor {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the whole log.
+    pub fn to_text(&self) -> String {
+        self.events.iter().map(LogEvent::to_text).collect()
+    }
+
+    /// Parses a log text back into events (inverse of [`Self::to_text`]).
+    pub fn parse(text: &str) -> Result<Vec<LogEvent>, String> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() || t == "..." {
+                continue;
+            }
+            match LogEvent::parse_banner(t) {
+                Some(ev) => out.push(ev),
+                None => return Err(format!("unparseable log line: {t:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-job (name, attempt) -> (execute time, terminate time)
+    /// pairs reconstructed from the log; the monitord-style rollup.
+    pub fn execution_intervals(&self) -> Vec<(String, u32, f64, f64)> {
+        let mut started: std::collections::HashMap<(String, u32), f64> = Default::default();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match ev.code {
+                EventCode::Execute => {
+                    started.insert((ev.job.clone(), ev.attempt), ev.time);
+                }
+                EventCode::Terminated | EventCode::Aborted => {
+                    if let Some(start) = started.remove(&(ev.job.clone(), ev.attempt)) {
+                        out.push((ev.job.clone(), ev.attempt, start, ev.time));
+                    }
+                }
+                EventCode::Submit => {}
+            }
+        }
+        out
+    }
+}
+
+impl WorkflowMonitor for JobLogMonitor {
+    fn job_submitted(&mut self, job: &ExecutableJob, attempt: u32, now: f64) {
+        self.events.push(LogEvent {
+            code: EventCode::Submit,
+            job: job.name.clone(),
+            attempt,
+            time: now,
+            note: "Job submitted from host submit.local".into(),
+        });
+    }
+
+    fn job_terminated(&mut self, job: &ExecutableJob, event: &CompletionEvent) {
+        self.events.push(LogEvent {
+            code: EventCode::Execute,
+            job: job.name.clone(),
+            attempt: event.attempt,
+            time: event.times.started,
+            note: "Job executing on host worker".into(),
+        });
+        match &event.outcome {
+            JobOutcome::Success => self.events.push(LogEvent {
+                code: EventCode::Terminated,
+                job: job.name.clone(),
+                attempt: event.attempt,
+                time: event.times.finished,
+                note: "Job terminated. (return value 0)".into(),
+            }),
+            JobOutcome::Failure(reason) => self.events.push(LogEvent {
+                code: EventCode::Aborted,
+                job: job.name.clone(),
+                attempt: event.attempt,
+                time: event.times.finished,
+                note: format!("Job was aborted: {reason}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus_wms::engine::JobTimes;
+    use pegasus_wms::planner::JobKind;
+
+    fn job(name: &str) -> ExecutableJob {
+        ExecutableJob {
+            id: 0,
+            name: name.into(),
+            transformation: "t".into(),
+            kind: JobKind::Compute,
+            args: vec![],
+            runtime_hint: 1.0,
+            install_hint: 0.0,
+            source_jobs: vec![],
+        }
+    }
+
+    fn completion(attempt: u32, started: f64, finished: f64, ok: bool) -> CompletionEvent {
+        CompletionEvent {
+            job: 0,
+            attempt,
+            outcome: if ok {
+                JobOutcome::Success
+            } else {
+                JobOutcome::Failure("preempted".into())
+            },
+            times: JobTimes {
+                submitted: started - 1.0,
+                started,
+                install_done: started,
+                finished,
+            },
+        }
+    }
+
+    #[test]
+    fn monitor_records_the_event_sequence() {
+        let mut log = JobLogMonitor::new();
+        log.job_submitted(&job("split"), 0, 5.0);
+        log.job_terminated(&job("split"), &completion(0, 6.0, 16.0, true));
+        let codes: Vec<EventCode> = log.events.iter().map(|e| e.code).collect();
+        assert_eq!(
+            codes,
+            vec![EventCode::Submit, EventCode::Execute, EventCode::Terminated]
+        );
+    }
+
+    #[test]
+    fn failures_become_abort_events() {
+        let mut log = JobLogMonitor::new();
+        log.job_terminated(&job("cap3"), &completion(1, 0.0, 3.0, false));
+        assert_eq!(log.events[1].code, EventCode::Aborted);
+        assert!(log.events[1].note.contains("preempted"));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut log = JobLogMonitor::new();
+        log.job_submitted(&job("run_cap3_3"), 2, 1.5);
+        log.job_terminated(&job("run_cap3_3"), &completion(2, 2.0, 12.25, true));
+        let text = log.to_text();
+        assert!(text.contains("000 (run_cap3_3.002) 1.500"));
+        assert!(text.contains("005 (run_cap3_3.002) 12.250"));
+        let parsed = JobLogMonitor::parse(&text).unwrap();
+        assert_eq!(parsed, log.events);
+    }
+
+    #[test]
+    fn job_names_with_dots_parse() {
+        let ev = LogEvent {
+            code: EventCode::Submit,
+            job: "stage_in_alignments.out".into(),
+            attempt: 0,
+            time: 3.0,
+            note: "x".into(),
+        };
+        let back = LogEvent::parse_banner(ev.to_text().lines().next().unwrap()).unwrap();
+        assert_eq!(back.job, "stage_in_alignments.out");
+        assert_eq!(back.attempt, 0);
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected() {
+        assert!(JobLogMonitor::parse("wat\n").is_err());
+        assert!(LogEvent::parse_banner("777 (a.000) 1.0 x").is_none());
+        assert!(LogEvent::parse_banner("005 no-parens 1.0").is_none());
+    }
+
+    #[test]
+    fn execution_intervals_pair_up() {
+        let mut log = JobLogMonitor::new();
+        log.job_submitted(&job("a"), 0, 0.0);
+        log.job_terminated(&job("a"), &completion(0, 1.0, 5.0, false));
+        log.job_submitted(&job("a"), 1, 5.0);
+        log.job_terminated(&job("a"), &completion(1, 6.0, 11.0, true));
+        let iv = log.execution_intervals();
+        assert_eq!(iv.len(), 2);
+        assert_eq!(iv[0], ("a".to_string(), 0, 1.0, 5.0));
+        assert_eq!(iv[1], ("a".to_string(), 1, 6.0, 11.0));
+    }
+
+    #[test]
+    fn full_engine_run_produces_a_complete_log() {
+        use pegasus_wms::engine::{run_workflow_monitored, EngineConfig};
+        use pegasus_wms::planner::ExecutableWorkflow;
+        // Use the local pool for a real end-to-end log.
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: (0..3)
+                .map(|i| ExecutableJob {
+                    id: i,
+                    name: format!("j{i}"),
+                    transformation: "noop".into(),
+                    kind: JobKind::Compute,
+                    args: vec![],
+                    runtime_hint: 0.0,
+                    install_hint: 0.0,
+                    source_jobs: vec![],
+                })
+                .collect(),
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let mut pool = crate::pool::LocalPool::new(
+            crate::pool::PoolConfig {
+                workers: 2,
+                workdir: std::env::temp_dir().join("joblog_test"),
+                ..Default::default()
+            },
+            crate::pool::TaskRegistry::new(),
+        );
+        let mut log = JobLogMonitor::new();
+        let run = run_workflow_monitored(&wf, &mut pool, &EngineConfig::default(), &mut log);
+        assert!(run.succeeded());
+        // 3 submits + 3 executes + 3 terminations.
+        assert_eq!(log.events.len(), 9);
+        assert_eq!(log.execution_intervals().len(), 3);
+        let reparsed = JobLogMonitor::parse(&log.to_text()).unwrap();
+        assert_eq!(reparsed.len(), 9);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! A Condor-like local execution backend.
+//!
+//! Pegasus submits planned jobs to HTCondor; this crate provides the
+//! equivalent for local, *real* execution:
+//!
+//! * [`classad`] — ClassAd-lite attribute lists and a requirements
+//!   expression evaluator, the matchmaking language Condor uses to
+//!   pair jobs with machine slots;
+//! * [`matchmaker`] — slot ads and job-to-slot matching;
+//! * [`pool`] — [`pool::LocalPool`], a crossbeam worker pool that
+//!   implements [`pegasus_wms::ExecutionBackend`] and executes
+//!   registered Rust task kernels with real wall-clock timing, plus a
+//!   failure-injection hook for exercising the engine's retry and
+//!   rescue machinery.
+
+pub mod classad;
+pub mod joblog;
+pub mod matchmaker;
+pub mod pool;
+
+pub use classad::{ClassAd, Value};
+pub use pool::{LocalPool, PoolConfig, TaskContext, TaskRegistry};

@@ -1,0 +1,162 @@
+//! Slot matchmaking.
+//!
+//! A pool advertises machine slots as ClassAds; jobs carry a
+//! requirements expression. The matchmaker pairs each job with a slot
+//! whose ad satisfies the requirements, preferring less-loaded slots —
+//! the essentials of the Condor negotiator cycle.
+
+use crate::classad::{AdError, ClassAd, Expr, Value};
+
+/// One advertised slot.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    /// Slot name, e.g. `"slot1@node07"`.
+    pub name: String,
+    /// The machine ad the slot advertises.
+    pub ad: ClassAd,
+    /// Jobs currently assigned (the matchmaker prefers lower values).
+    pub assigned: usize,
+}
+
+impl Slot {
+    /// Creates a slot.
+    pub fn new(name: impl Into<String>, ad: ClassAd) -> Self {
+        Slot {
+            name: name.into(),
+            ad,
+            assigned: 0,
+        }
+    }
+}
+
+/// A set of slots with matchmaking.
+#[derive(Debug, Clone, Default)]
+pub struct Matchmaker {
+    slots: Vec<Slot>,
+}
+
+impl Matchmaker {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a slot.
+    pub fn add_slot(&mut self, slot: Slot) {
+        self.slots.push(slot);
+    }
+
+    /// Number of advertised slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no slots are advertised.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Finds the least-loaded slot satisfying `requirements`,
+    /// increments its assignment count, and returns its name.
+    pub fn claim(&mut self, requirements: &str) -> Result<Option<String>, AdError> {
+        let expr = Expr::parse(requirements)?;
+        let best = self
+            .slots
+            .iter_mut()
+            .filter(|s| expr.eval(&s.ad))
+            .min_by_key(|s| (s.assigned, s.name.clone()));
+        Ok(best.map(|s| {
+            s.assigned += 1;
+            s.name.clone()
+        }))
+    }
+
+    /// Releases one assignment from the named slot.
+    pub fn release(&mut self, slot_name: &str) {
+        if let Some(s) = self.slots.iter_mut().find(|s| s.name == slot_name) {
+            s.assigned = s.assigned.saturating_sub(1);
+        }
+    }
+
+    /// Builds a uniform pool of `n` slots sharing `base` attributes.
+    pub fn uniform(n: usize, base: ClassAd) -> Self {
+        let mut mm = Matchmaker::new();
+        for i in 0..n {
+            mm.add_slot(Slot::new(format!("slot{}", i + 1), base.clone()));
+        }
+        mm
+    }
+}
+
+/// A convenience machine ad for a campus-cluster-style node with
+/// the blast2cap3 software preinstalled.
+pub fn campus_node_ad(memory_mb: i64, cpus: i64) -> ClassAd {
+    ClassAd::new()
+        .set("Memory", Value::Int(memory_mb))
+        .set("Cpus", Value::Int(cpus))
+        .set("Arch", Value::Str("X86_64".into()))
+        .set("HasPython", Value::Bool(true))
+        .set("HasBiopython", Value::Bool(true))
+        .set("HasCap3", Value::Bool(true))
+}
+
+/// A bare opportunistic-grid node ad: no guaranteed software.
+pub fn grid_node_ad(memory_mb: i64, cpus: i64) -> ClassAd {
+    ClassAd::new()
+        .set("Memory", Value::Int(memory_mb))
+        .set("Cpus", Value::Int(cpus))
+        .set("Arch", Value::Str("X86_64".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_matches_requirements() {
+        let mut mm = Matchmaker::uniform(2, campus_node_ad(4096, 8));
+        let got = mm.claim("Memory >= 1024 && HasCap3").unwrap();
+        assert_eq!(got, Some("slot1".into()));
+    }
+
+    #[test]
+    fn claim_prefers_least_loaded() {
+        let mut mm = Matchmaker::uniform(2, campus_node_ad(4096, 8));
+        assert_eq!(mm.claim("true").unwrap(), Some("slot1".into()));
+        assert_eq!(mm.claim("true").unwrap(), Some("slot2".into()));
+        assert_eq!(mm.claim("true").unwrap(), Some("slot1".into()));
+        mm.release("slot2");
+        mm.release("slot2");
+        assert_eq!(mm.claim("true").unwrap(), Some("slot2".into()));
+    }
+
+    #[test]
+    fn unsatisfiable_requirements_match_nothing() {
+        let mut mm = Matchmaker::uniform(3, grid_node_ad(2048, 4));
+        assert_eq!(mm.claim("HasCap3").unwrap(), None);
+        assert_eq!(mm.claim("Memory >= 100000").unwrap(), None);
+    }
+
+    #[test]
+    fn campus_vs_grid_ads_encode_software_contrast() {
+        let mut campus = Matchmaker::uniform(1, campus_node_ad(4096, 8));
+        let mut grid = Matchmaker::uniform(1, grid_node_ad(4096, 8));
+        let req = "HasPython && HasBiopython && HasCap3";
+        assert!(campus.claim(req).unwrap().is_some());
+        assert!(grid.claim(req).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_requirements_are_an_error() {
+        let mut mm = Matchmaker::uniform(1, grid_node_ad(1024, 1));
+        assert!(mm.claim("Memory >=").is_err());
+    }
+
+    #[test]
+    fn release_unknown_slot_is_a_noop() {
+        let mut mm = Matchmaker::uniform(1, grid_node_ad(1024, 1));
+        mm.release("nope");
+        assert_eq!(mm.len(), 1);
+        assert!(!mm.is_empty());
+    }
+}

@@ -1,0 +1,490 @@
+//! The local worker pool: a real execution backend.
+//!
+//! [`LocalPool`] runs planned jobs on OS threads with real wall-clock
+//! timing. Compute transformations execute Rust closures registered in
+//! a [`TaskRegistry`] (the blast2cap3 kernels, in this repository);
+//! auxiliary jobs and unregistered transformations succeed after an
+//! optional scaled sleep, so simulation-calibration experiments can
+//! also run through the real machinery. A failure-injection hook
+//! fabricates OSG-style preemptions to exercise the engine's retry and
+//! rescue paths for real.
+
+use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, JobOutcome, JobTimes};
+use pegasus_wms::planner::ExecutableJob;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything a task kernel sees about its job.
+#[derive(Debug, Clone)]
+pub struct TaskContext {
+    /// Planned job name (e.g. `"run_cap3_17"`).
+    pub job_name: String,
+    /// Transformation name used for registry lookup.
+    pub transformation: String,
+    /// Arguments from the abstract job.
+    pub args: Vec<String>,
+    /// 0-based attempt number.
+    pub attempt: u32,
+    /// Working directory shared by the workflow's tasks.
+    pub workdir: PathBuf,
+}
+
+/// A task kernel: returns `Err(reason)` to fail the attempt.
+pub type TaskFn = Arc<dyn Fn(&TaskContext) -> Result<(), String> + Send + Sync>;
+
+/// Maps transformation names to task kernels.
+#[derive(Clone, Default)]
+pub struct TaskRegistry {
+    map: HashMap<String, TaskFn>,
+}
+
+impl TaskRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the kernel for a transformation.
+    pub fn register<F>(&mut self, transformation: impl Into<String>, f: F)
+    where
+        F: Fn(&TaskContext) -> Result<(), String> + Send + Sync + 'static,
+    {
+        self.map.insert(transformation.into(), Arc::new(f));
+    }
+
+    /// Looks a kernel up.
+    pub fn get(&self, transformation: &str) -> Option<&TaskFn> {
+        self.map.get(transformation)
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl std::fmt::Debug for TaskRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskRegistry")
+            .field("transformations", &self.map.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Pool options.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Working directory handed to task kernels.
+    pub workdir: PathBuf,
+    /// Real seconds slept per `runtime_hint` second for transformations
+    /// with no registered kernel (0.0 = return immediately).
+    pub synthetic_time_scale: f64,
+    /// Real seconds slept per `install_hint` second, emulating the
+    /// OSG download/install phase at laptop scale (0.0 = skip).
+    pub install_time_scale: f64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            workdir: std::env::temp_dir().join("condor_pool"),
+            synthetic_time_scale: 0.0,
+            install_time_scale: 0.0,
+        }
+    }
+}
+
+/// A failure injector: given (job name, attempt), return `Some(reason)`
+/// to make that attempt fail.
+pub type FailureInjector = Arc<dyn Fn(&str, u32) -> Option<String> + Send + Sync>;
+
+struct WorkItem {
+    job: ExecutableJob,
+    attempt: u32,
+    submitted: f64,
+}
+
+/// The local execution backend.
+pub struct LocalPool {
+    job_tx: Option<crossbeam::channel::Sender<WorkItem>>,
+    done_rx: crossbeam::channel::Receiver<CompletionEvent>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    t0: Instant,
+}
+
+impl LocalPool {
+    /// Starts a pool with no failure injection.
+    pub fn new(config: PoolConfig, registry: TaskRegistry) -> Self {
+        Self::with_failure_injector(config, registry, None)
+    }
+
+    /// Starts a pool, optionally injecting failures.
+    pub fn with_failure_injector(
+        config: PoolConfig,
+        registry: TaskRegistry,
+        injector: Option<FailureInjector>,
+    ) -> Self {
+        std::fs::create_dir_all(&config.workdir).ok();
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<WorkItem>();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<CompletionEvent>();
+        let t0 = Instant::now();
+        let registry = Arc::new(registry);
+        let config = Arc::new(config);
+        let mut handles = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let registry = Arc::clone(&registry);
+            let config = Arc::clone(&config);
+            let injector = injector.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(item) = job_rx.recv() {
+                    let now = |t0: Instant| t0.elapsed().as_secs_f64();
+                    let started = now(t0);
+                    // Install phase (scaled emulation).
+                    if item.job.install_hint > 0.0 && config.install_time_scale > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(
+                            item.job.install_hint * config.install_time_scale,
+                        ));
+                    }
+                    let install_done = now(t0);
+
+                    let ctx = TaskContext {
+                        job_name: item.job.name.clone(),
+                        transformation: item.job.transformation.clone(),
+                        args: item.job.args.clone(),
+                        attempt: item.attempt,
+                        workdir: config.workdir.clone(),
+                    };
+                    let injected = injector
+                        .as_ref()
+                        .and_then(|f| f(&item.job.name, item.attempt));
+                    let outcome = if let Some(reason) = injected {
+                        JobOutcome::Failure(reason)
+                    } else if let Some(task) = registry.get(&item.job.transformation) {
+                        let task = Arc::clone(task);
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&ctx)))
+                        {
+                            Ok(Ok(())) => JobOutcome::Success,
+                            Ok(Err(reason)) => JobOutcome::Failure(reason),
+                            Err(_) => JobOutcome::Failure("task panicked".into()),
+                        }
+                    } else {
+                        if config.synthetic_time_scale > 0.0 && item.job.runtime_hint > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(
+                                item.job.runtime_hint * config.synthetic_time_scale,
+                            ));
+                        }
+                        JobOutcome::Success
+                    };
+                    let finished = now(t0);
+                    let _ = done_tx.send(CompletionEvent {
+                        job: item.job.id,
+                        attempt: item.attempt,
+                        outcome,
+                        times: JobTimes {
+                            submitted: item.submitted,
+                            started,
+                            install_done,
+                            finished,
+                        },
+                    });
+                }
+            }));
+        }
+        LocalPool {
+            job_tx: Some(job_tx),
+            done_rx,
+            handles,
+            t0,
+        }
+    }
+}
+
+impl ExecutionBackend for LocalPool {
+    fn submit(&mut self, job: &ExecutableJob, attempt: u32) {
+        let item = WorkItem {
+            job: job.clone(),
+            attempt,
+            submitted: self.now(),
+        };
+        self.job_tx
+            .as_ref()
+            .expect("pool not shut down")
+            .send(item)
+            .expect("workers alive");
+    }
+
+    fn wait_any(&mut self) -> CompletionEvent {
+        self.done_rx.recv().expect("workers alive")
+    }
+
+    fn now(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for LocalPool {
+    fn drop(&mut self) {
+        self.job_tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pegasus_wms::engine::{run_workflow, EngineConfig, WorkflowOutcome};
+    use pegasus_wms::planner::{ExecutableWorkflow, JobKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn job(id: usize, name: &str, transformation: &str) -> ExecutableJob {
+        ExecutableJob {
+            id,
+            name: name.into(),
+            transformation: transformation.into(),
+            kind: JobKind::Compute,
+            args: vec![],
+            runtime_hint: 0.0,
+            install_hint: 0.0,
+            source_jobs: vec![],
+        }
+    }
+
+    fn pool_config() -> PoolConfig {
+        PoolConfig {
+            workers: 4,
+            workdir: std::env::temp_dir().join("condor_pool_tests"),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn executes_registered_kernels() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        let mut reg = TaskRegistry::new();
+        reg.register("touch", |_ctx| {
+            COUNT.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: (0..5).map(|i| job(i, &format!("t{i}"), "touch")).collect(),
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        assert!(run.succeeded());
+        assert_eq!(COUNT.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn kernel_receives_context() {
+        let (tx, rx) = crossbeam::channel::unbounded::<(String, Vec<String>)>();
+        let mut reg = TaskRegistry::new();
+        reg.register("ctx", move |ctx| {
+            tx.send((ctx.job_name.clone(), ctx.args.clone())).unwrap();
+            Ok(())
+        });
+        let mut j = job(0, "the_job", "ctx");
+        j.args = vec!["-n".into(), "300".into()];
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![j],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        assert!(run.succeeded());
+        let (name, args) = rx.recv().unwrap();
+        assert_eq!(name, "the_job");
+        assert_eq!(args, vec!["-n", "300"]);
+    }
+
+    #[test]
+    fn unregistered_transformations_succeed() {
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![job(0, "aux", "pegasus::dirmanager")],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), TaskRegistry::new());
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        assert!(run.succeeded());
+    }
+
+    #[test]
+    fn task_errors_become_failures_and_retries_work() {
+        static ATTEMPTS: AtomicUsize = AtomicUsize::new(0);
+        let mut reg = TaskRegistry::new();
+        reg.register("flaky", |ctx| {
+            ATTEMPTS.fetch_add(1, Ordering::SeqCst);
+            if ctx.attempt < 2 {
+                Err("transient".into())
+            } else {
+                Ok(())
+            }
+        });
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![job(0, "f", "flaky")],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(3));
+        assert!(run.succeeded());
+        assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 3);
+        assert_eq!(run.records[0].failed_attempts.len(), 2);
+    }
+
+    #[test]
+    fn panics_are_contained_as_failures() {
+        let mut reg = TaskRegistry::new();
+        reg.register("boom", |_ctx| panic!("kaboom"));
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![job(0, "b", "boom")],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        match &run.outcome {
+            WorkflowOutcome::Failed(rescue) => assert!(rescue.done.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_injector_simulates_preemption() {
+        let injector: FailureInjector = Arc::new(|name: &str, attempt: u32| {
+            if name == "victim" && attempt == 0 {
+                Some("preempted".into())
+            } else {
+                None
+            }
+        });
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "osg".into(),
+            jobs: vec![job(0, "victim", "anything")],
+            edges: vec![],
+        };
+        let mut pool =
+            LocalPool::with_failure_injector(pool_config(), TaskRegistry::new(), Some(injector));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(1));
+        assert!(run.succeeded());
+        assert_eq!(run.records[0].attempts, 2);
+    }
+
+    #[test]
+    fn dependency_order_is_respected_under_parallel_workers() {
+        let (tx, rx) = crossbeam::channel::unbounded::<String>();
+        let mut reg = TaskRegistry::new();
+        reg.register("log", move |ctx| {
+            tx.send(ctx.job_name.clone()).unwrap();
+            Ok(())
+        });
+        // a -> b -> c must serialize even with 4 workers.
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![job(0, "a", "log"), job(1, "b", "log"), job(2, "c", "log")],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        assert!(run.succeeded());
+        let order: Vec<String> = rx.try_iter().collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn wide_fanout_uses_parallel_workers() {
+        // 4 tasks sleeping 100ms on 4 workers should take well under
+        // 400ms total.
+        let mut reg = TaskRegistry::new();
+        reg.register("sleep", |_ctx| {
+            std::thread::sleep(Duration::from_millis(100));
+            Ok(())
+        });
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: (0..4).map(|i| job(i, &format!("s{i}"), "sleep")).collect(),
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        assert!(run.succeeded());
+        assert!(
+            run.wall_time < 0.35,
+            "expected parallel execution, wall={}",
+            run.wall_time
+        );
+        // Kickstart of each task is ~0.1s and accounted per job.
+        for rec in &run.records {
+            let t = rec.times.unwrap();
+            assert!(t.kickstart() >= 0.09, "kickstart {}", t.kickstart());
+        }
+    }
+
+    #[test]
+    fn times_are_monotone() {
+        let mut reg = TaskRegistry::new();
+        reg.register("quick", |_ctx| Ok(()));
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![job(0, "q", "quick")],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        let t = run.records[0].times.unwrap();
+        assert!(t.submitted <= t.started);
+        assert!(t.started <= t.install_done);
+        assert!(t.install_done <= t.finished);
+        assert!(t.waiting() >= 0.0 && t.install() >= 0.0 && t.kickstart() >= 0.0);
+    }
+
+    #[test]
+    fn synthetic_sleep_scales_install_and_runtime() {
+        let mut cfg = pool_config();
+        cfg.workers = 1;
+        cfg.synthetic_time_scale = 0.01; // 10ms per hint second
+        cfg.install_time_scale = 0.01;
+        let mut j = job(0, "synthetic", "unregistered");
+        j.runtime_hint = 5.0; // 50ms
+        j.install_hint = 5.0; // 50ms
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![j],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(cfg, TaskRegistry::new());
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        let t = run.records[0].times.unwrap();
+        assert!(t.install() >= 0.04, "install {}", t.install());
+        assert!(t.kickstart() >= 0.04, "kickstart {}", t.kickstart());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the ClassAd expression machinery.
+
+use condor::classad::{ClassAd, Expr, Value};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "true" | "false" | "True" | "False" | "TRUE" | "FALSE"
+        )
+    })
+}
+
+/// Builds a random but *syntactically valid* expression string plus an
+/// ad that defines all referenced attributes, by composing comparison
+/// leaves with && / || / ! connectives.
+fn expr_and_ad() -> impl Strategy<Value = (String, ClassAd)> {
+    let leaf = (
+        ident(),
+        0i64..100,
+        0i64..100,
+        proptest::sample::select(vec!["==", "!=", "<", "<=", ">", ">="]),
+    )
+        .prop_map(|(name, val, rhs, op)| {
+            let text = format!("{name} {op} {rhs}");
+            (text, name, val)
+        });
+    proptest::collection::vec(leaf, 1..6).prop_map(|leaves| {
+        let mut ad = ClassAd::new();
+        let mut parts = Vec::new();
+        for (i, (text, name, val)) in leaves.into_iter().enumerate() {
+            ad.insert(name, Value::Int(val));
+            let wrapped = match i % 3 {
+                0 => format!("({text})"),
+                1 => format!("!({text})"),
+                _ => text,
+            };
+            parts.push(wrapped);
+        }
+        let glue = ["&&", "||"];
+        let mut expr = parts[0].clone();
+        for (i, p) in parts.iter().enumerate().skip(1) {
+            expr = format!("{expr} {} {p}", glue[i % 2]);
+        }
+        (expr, ad)
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_expressions_parse_and_evaluate((text, ad) in expr_and_ad()) {
+        let e = Expr::parse(&text).unwrap_or_else(|err| panic!("{text:?}: {err}"));
+        // Evaluation is total and deterministic.
+        let v1 = e.eval(&ad);
+        let v2 = e.eval(&ad);
+        prop_assert_eq!(v1, v2);
+        // Double negation preserves truth for boolean-valued exprs.
+        let neg = Expr::parse(&format!("!(!({text}))")).unwrap();
+        prop_assert_eq!(neg.eval(&ad), v1);
+    }
+
+    #[test]
+    fn numeric_comparison_semantics(a in -1000i64..1000, b in -1000i64..1000) {
+        let ad = ClassAd::new().set("X", Value::Int(a));
+        let cases = [
+            ("==", a == b), ("!=", a != b),
+            ("<", a < b), ("<=", a <= b),
+            (">", a > b), (">=", a >= b),
+        ];
+        for (op, expected) in cases {
+            let e = Expr::parse(&format!("X {op} {b}")).unwrap();
+            prop_assert_eq!(e.eval(&ad), expected, "X({}) {} {}", a, op, b);
+        }
+    }
+
+    #[test]
+    fn undefined_attributes_never_match(name in ident(), rhs in 0i64..100) {
+        let empty = ClassAd::new();
+        for op in ["==", "!=", "<", ">"] {
+            let e = Expr::parse(&format!("{name} {op} {rhs}")).unwrap();
+            prop_assert!(!e.eval(&empty));
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_parser(garbage in "\\PC{0,40}") {
+        // Parsing arbitrary text must return Ok or Err, never panic.
+        let _ = Expr::parse(&garbage);
+    }
+
+    #[test]
+    fn and_or_laws(p in any::<bool>(), q in any::<bool>()) {
+        let ad = ClassAd::new()
+            .set("P", Value::Bool(p))
+            .set("Q", Value::Bool(q));
+        let and = Expr::parse("P && Q").unwrap().eval(&ad);
+        let or = Expr::parse("P || Q").unwrap().eval(&ad);
+        prop_assert_eq!(and, p && q);
+        prop_assert_eq!(or, p || q);
+        // De Morgan.
+        let dm = Expr::parse("!(P && Q)").unwrap().eval(&ad);
+        let dm2 = Expr::parse("!P || !Q").unwrap().eval(&ad);
+        prop_assert_eq!(dm, dm2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Post-mortem analysis — the `pegasus-analyzer` equivalent.
+//!
+//! After a (possibly failed) run, the analyzer summarises what went
+//! wrong: which jobs exhausted their retries and why, which never ran
+//! because an ancestor failed, how much time was burnt in failed
+//! attempts, and what to do next (resubmit with the rescue DAG, raise
+//! the retry budget, avoid the site). The paper's §VI-A discussion of
+//! OSG failures and retries is exactly the situation this tool exists
+//! for.
+
+use crate::engine::{JobState, WorkflowOutcome, WorkflowRun};
+use std::collections::BTreeMap;
+
+/// Analysis of one failed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedJobReport {
+    /// Job display name.
+    pub name: String,
+    /// Transformation name.
+    pub transformation: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Distinct failure reasons with occurrence counts, sorted by
+    /// reason.
+    pub reasons: Vec<(String, usize)>,
+    /// Seconds burnt across the failed attempts.
+    pub badput: f64,
+}
+
+/// The full analysis of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Workflow name.
+    pub workflow: String,
+    /// Site the run targeted.
+    pub site: String,
+    /// Whether the run succeeded.
+    pub succeeded: bool,
+    /// Jobs that completed (including rescue-skipped).
+    pub done: usize,
+    /// Jobs that exhausted retries, with details.
+    pub failed: Vec<FailedJobReport>,
+    /// Jobs that never became ready.
+    pub unready: Vec<String>,
+    /// Transient failures that retries absorbed: (job name, attempts).
+    pub recovered: Vec<(String, u32)>,
+    /// Fraction of jobs already complete (useful before a rescue
+    /// resubmission).
+    pub completion_fraction: f64,
+}
+
+impl Analysis {
+    /// Actionable suggestions derived from the failure pattern.
+    pub fn suggestions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.succeeded {
+            if !self.recovered.is_empty() {
+                out.push(format!(
+                    "{} job(s) needed retries; the site is flaky but the retry budget held",
+                    self.recovered.len()
+                ));
+            }
+            return out;
+        }
+        out.push(format!(
+            "resubmit with the rescue DAG: {:.0}% of the workflow is already complete",
+            100.0 * self.completion_fraction
+        ));
+        let preempted = self
+            .failed
+            .iter()
+            .any(|f| f.reasons.iter().any(|(r, _)| r.contains("preempt")));
+        if preempted {
+            out.push(
+                "failures are preemptions: raise the retry budget or move to a dedicated site"
+                    .to_string(),
+            );
+        }
+        if self.failed.iter().any(|f| f.attempts == 1) {
+            out.push("some jobs were never retried: set max_retries > 0".to_string());
+        }
+        out
+    }
+
+    /// Renders a pegasus-analyzer-style text report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# pegasus-analyzer: {} @ {}", self.workflow, self.site);
+        let _ = writeln!(
+            out,
+            "status: {}",
+            if self.succeeded { "SUCCESS" } else { "FAILED" }
+        );
+        let _ = writeln!(
+            out,
+            "jobs: {} done, {} failed, {} never ran ({:.0}% complete)",
+            self.done,
+            self.failed.len(),
+            self.unready.len(),
+            100.0 * self.completion_fraction
+        );
+        for f in &self.failed {
+            let _ = writeln!(
+                out,
+                "\nFAILED {} ({}) after {} attempt(s), {:.1}s badput",
+                f.name, f.transformation, f.attempts, f.badput
+            );
+            for (reason, count) in &f.reasons {
+                let _ = writeln!(out, "    {count}x {reason}");
+            }
+        }
+        if !self.unready.is_empty() {
+            let _ = writeln!(out, "\nnever ran: {}", self.unready.join(", "));
+        }
+        for s in self.suggestions() {
+            let _ = writeln!(out, "hint: {s}");
+        }
+        out
+    }
+}
+
+/// Analyses a run.
+pub fn analyze(run: &WorkflowRun) -> Analysis {
+    let mut failed = Vec::new();
+    let mut unready = Vec::new();
+    let mut recovered = Vec::new();
+    let mut done = 0usize;
+    for rec in &run.records {
+        match rec.state {
+            JobState::Done | JobState::SkippedDone => {
+                done += 1;
+                if rec.attempts > 1 {
+                    recovered.push((rec.name.clone(), rec.attempts));
+                }
+            }
+            JobState::Failed => {
+                let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+                for r in &rec.failure_reasons {
+                    *reasons.entry(r.clone()).or_insert(0) += 1;
+                }
+                failed.push(FailedJobReport {
+                    name: rec.name.clone(),
+                    transformation: rec.transformation.clone(),
+                    attempts: rec.attempts,
+                    reasons: reasons.into_iter().collect(),
+                    badput: rec.failed_attempts.iter().map(|t| t.total()).sum(),
+                });
+            }
+            JobState::Unready => unready.push(rec.name.clone()),
+        }
+    }
+    let total = run.records.len().max(1);
+    Analysis {
+        workflow: run.name.clone(),
+        site: run.site.clone(),
+        succeeded: matches!(run.outcome, WorkflowOutcome::Success),
+        done,
+        failed,
+        unready,
+        recovered,
+        completion_fraction: done as f64 / total as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{JobRecord, JobTimes};
+    use crate::planner::JobKind;
+    use crate::rescue::RescueDag;
+
+    fn times(total: f64) -> JobTimes {
+        JobTimes {
+            submitted: 0.0,
+            started: 0.0,
+            install_done: 0.0,
+            finished: total,
+        }
+    }
+
+    fn record(name: &str, state: JobState, attempts: u32) -> JobRecord {
+        JobRecord {
+            job: 0,
+            name: name.into(),
+            transformation: "t".into(),
+            kind: JobKind::Compute,
+            state,
+            attempts,
+            times: (state == JobState::Done).then(|| times(5.0)),
+            failed_attempts: vec![],
+            failure_reasons: vec![],
+        }
+    }
+
+    fn failed_run() -> WorkflowRun {
+        let mut bad = record("bad", JobState::Failed, 3);
+        bad.failed_attempts = vec![times(10.0), times(20.0), times(5.0)];
+        bad.failure_reasons = vec![
+            "preempted".into(),
+            "preempted".into(),
+            "node vanished".into(),
+        ];
+        WorkflowRun {
+            name: "wf".into(),
+            site: "osg".into(),
+            outcome: WorkflowOutcome::Failed(RescueDag::default()),
+            wall_time: 100.0,
+            records: vec![
+                record("ok", JobState::Done, 1),
+                bad,
+                record("never", JobState::Unready, 0),
+                record("flaky_but_fine", JobState::Done, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn analysis_classifies_jobs() {
+        let a = analyze(&failed_run());
+        assert!(!a.succeeded);
+        assert_eq!(a.done, 2);
+        assert_eq!(a.failed.len(), 1);
+        assert_eq!(a.unready, vec!["never"]);
+        assert_eq!(a.recovered, vec![("flaky_but_fine".to_string(), 2)]);
+        assert!((a.completion_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_reasons_are_aggregated() {
+        let a = analyze(&failed_run());
+        let f = &a.failed[0];
+        assert_eq!(f.attempts, 3);
+        assert_eq!(
+            f.reasons,
+            vec![
+                ("node vanished".to_string(), 1),
+                ("preempted".to_string(), 2)
+            ]
+        );
+        assert_eq!(f.badput, 35.0);
+    }
+
+    #[test]
+    fn suggestions_mention_rescue_and_preemption() {
+        let a = analyze(&failed_run());
+        let text = a.suggestions().join("\n");
+        assert!(text.contains("rescue"), "{text}");
+        assert!(text.contains("preempt"), "{text}");
+    }
+
+    #[test]
+    fn successful_run_with_retries_notes_flakiness() {
+        let run = WorkflowRun {
+            name: "wf".into(),
+            site: "osg".into(),
+            outcome: WorkflowOutcome::Success,
+            wall_time: 10.0,
+            records: vec![record("flaky", JobState::Done, 4)],
+        };
+        let a = analyze(&run);
+        assert!(a.succeeded);
+        let s = a.suggestions();
+        assert_eq!(s.len(), 1);
+        assert!(s[0].contains("retries"));
+    }
+
+    #[test]
+    fn report_text_mentions_everything() {
+        let text = analyze(&failed_run()).render_text();
+        assert!(text.contains("FAILED bad"));
+        assert!(text.contains("2x preempted"));
+        assert!(text.contains("never ran: never"));
+        assert!(text.contains("hint:"));
+        assert!(text.contains("50% complete"));
+    }
+
+    #[test]
+    fn clean_success_has_no_suggestions() {
+        let run = WorkflowRun {
+            name: "wf".into(),
+            site: "sandhills".into(),
+            outcome: WorkflowOutcome::Success,
+            wall_time: 10.0,
+            records: vec![record("a", JobState::Done, 1)],
+        };
+        let a = analyze(&run);
+        assert!(a.suggestions().is_empty());
+        assert!(a.render_text().contains("SUCCESS"));
+    }
+}

@@ -1,0 +1,571 @@
+//! DAX: the "directed acyclic graph in XML" interchange format.
+//!
+//! Pegasus workflows are described by DAX files listing jobs, their
+//! arguments, the files they use (`link="input"`/`link="output"`), and
+//! explicit parent/child relations. This module writes an
+//! [`AbstractWorkflow`] as a DAX 3-style document and parses such
+//! documents back, using a small built-in XML scanner (no external
+//! dependencies, and only the subset of XML that DAX needs).
+//!
+//! Round-trip caveat: arguments are serialized space-joined inside
+//! `<argument>`, so individual arguments containing whitespace do not
+//! survive a round trip — the same limitation the real DAX text layout
+//! has.
+
+use crate::error::WmsError;
+use crate::workflow::{AbstractWorkflow, Job, LogicalFile};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape_xml(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Serializes a workflow as a DAX document.
+pub fn to_dax(wf: &AbstractWorkflow) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let _ = writeln!(
+        out,
+        "<adag name=\"{}\" jobCount=\"{}\">",
+        escape_xml(&wf.name),
+        wf.jobs.len()
+    );
+    for job in &wf.jobs {
+        let _ = writeln!(
+            out,
+            "  <job id=\"{}\" name=\"{}\" runtime=\"{}\">",
+            escape_xml(&job.id),
+            escape_xml(&job.transformation),
+            job.runtime_hint
+        );
+        if !job.args.is_empty() {
+            let _ = writeln!(
+                out,
+                "    <argument>{}</argument>",
+                escape_xml(&job.args.join(" "))
+            );
+        }
+        for f in &job.inputs {
+            let _ = writeln!(
+                out,
+                "    <uses file=\"{}\" link=\"input\" size=\"{}\"/>",
+                escape_xml(&f.name),
+                f.size_bytes
+            );
+        }
+        for f in &job.outputs {
+            let _ = writeln!(
+                out,
+                "    <uses file=\"{}\" link=\"output\" size=\"{}\"/>",
+                escape_xml(&f.name),
+                f.size_bytes
+            );
+        }
+        out.push_str("  </job>\n");
+    }
+    for &(p, c) in &wf.explicit_edges {
+        let _ = writeln!(
+            out,
+            "  <child ref=\"{}\"><parent ref=\"{}\"/></child>",
+            escape_xml(&wf.jobs[c].id),
+            escape_xml(&wf.jobs[p].id)
+        );
+    }
+    out.push_str("</adag>\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum XmlEvent {
+    Open {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    Close(String),
+    Text(String),
+}
+
+struct XmlScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> XmlScanner<'a> {
+    fn new(s: &'a str) -> Self {
+        XmlScanner {
+            bytes: s.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> WmsError {
+        WmsError::DaxParse {
+            line: self.line,
+            reason: reason.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_until(&mut self, needle: &str) -> Result<(), WmsError> {
+        let n = needle.as_bytes();
+        while self.pos + n.len() <= self.bytes.len() {
+            if &self.bytes[self.pos..self.pos + n.len()] == n {
+                for _ in 0..n.len() {
+                    self.bump();
+                }
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.err(format!("unterminated construct, expected {needle:?}")))
+    }
+
+    fn read_name(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':' || b == b'.' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn read_attrs(&mut self) -> Result<(Vec<(String, String)>, bool), WmsError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        return Ok((attrs, true));
+                    }
+                    return Err(self.err("stray '/' in tag"));
+                }
+                Some(b'>') => {
+                    self.bump();
+                    return Ok((attrs, false));
+                }
+                Some(b'?') => {
+                    // Inside a processing instruction; caller handles.
+                    self.bump();
+                }
+                Some(_) => {
+                    let name = self.read_name();
+                    if name.is_empty() {
+                        return Err(self.err("expected attribute name"));
+                    }
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("attribute {name:?} missing '='")));
+                    }
+                    self.bump();
+                    self.skip_ws();
+                    let quote = self
+                        .bump()
+                        .filter(|&q| q == b'"' || q == b'\'')
+                        .ok_or_else(|| self.err("attribute value must be quoted"))?;
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    if self.bump() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    attrs.push((name, unescape_xml(&raw)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+    }
+
+    /// Next event, or `None` at clean end of input.
+    fn next_event(&mut self) -> Result<Option<XmlEvent>, WmsError> {
+        loop {
+            // Text before the next '<'.
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'<' {
+                    break;
+                }
+                self.bump();
+            }
+            if self.pos > start {
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    return Ok(Some(XmlEvent::Text(unescape_xml(trimmed))));
+                }
+            }
+            if self.peek().is_none() {
+                return Ok(None);
+            }
+            self.bump(); // consume '<'
+            match self.peek() {
+                Some(b'?') => {
+                    self.skip_until("?>")?;
+                    continue;
+                }
+                Some(b'!') => {
+                    self.skip_until("-->")?;
+                    continue;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    let name = self.read_name();
+                    self.skip_ws();
+                    if self.bump() != Some(b'>') {
+                        return Err(self.err(format!("malformed closing tag </{name}")));
+                    }
+                    return Ok(Some(XmlEvent::Close(name)));
+                }
+                Some(_) => {
+                    let name = self.read_name();
+                    if name.is_empty() {
+                        return Err(self.err("expected tag name after '<'"));
+                    }
+                    let (attrs, self_closing) = self.read_attrs()?;
+                    return Ok(Some(XmlEvent::Open {
+                        name,
+                        attrs,
+                        self_closing,
+                    }));
+                }
+                None => return Err(self.err("dangling '<' at end of input")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing DAX
+// ---------------------------------------------------------------------------
+
+fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parses a DAX document back into an [`AbstractWorkflow`].
+pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
+    let mut scan = XmlScanner::new(text);
+    let mut wf: Option<AbstractWorkflow> = None;
+    let mut cur_job: Option<Job> = None;
+    let mut in_argument = false;
+    let mut cur_child: Option<String> = None;
+    let mut pending_edges: Vec<(String, String)> = Vec::new(); // (parent, child)
+
+    while let Some(ev) = scan.next_event()? {
+        match ev {
+            XmlEvent::Open {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
+                "adag" => {
+                    let wname = attr(&attrs, "name").unwrap_or("workflow").to_string();
+                    wf = Some(AbstractWorkflow::new(wname));
+                }
+                "job" => {
+                    if wf.is_none() {
+                        return Err(scan.err("<job> outside <adag>"));
+                    }
+                    let id =
+                        attr(&attrs, "id").ok_or_else(|| scan.err("<job> missing id attribute"))?;
+                    let tname = attr(&attrs, "name").unwrap_or(id);
+                    let mut job = Job::new(id, tname);
+                    if let Some(rt) = attr(&attrs, "runtime") {
+                        job.runtime_hint = rt
+                            .parse()
+                            .map_err(|_| scan.err(format!("bad runtime {rt:?}")))?;
+                    }
+                    if self_closing {
+                        let w = wf.as_mut().expect("checked above");
+                        w.add_job(job).map_err(|e| WmsError::DaxParse {
+                            line: scan.line,
+                            reason: e.to_string(),
+                        })?;
+                    } else {
+                        cur_job = Some(job);
+                    }
+                }
+                "argument" => {
+                    if cur_job.is_none() {
+                        return Err(scan.err("<argument> outside <job>"));
+                    }
+                    in_argument = !self_closing;
+                }
+                "uses" => {
+                    let job = cur_job
+                        .as_mut()
+                        .ok_or_else(|| scan.err("<uses> outside <job>"))?;
+                    let file = attr(&attrs, "file")
+                        .ok_or_else(|| scan.err("<uses> missing file attribute"))?;
+                    let size: u64 = attr(&attrs, "size")
+                        .unwrap_or("0")
+                        .parse()
+                        .map_err(|_| scan.err("bad size attribute"))?;
+                    let lf = LogicalFile::sized(file, size);
+                    match attr(&attrs, "link") {
+                        Some("input") => job.inputs.push(lf),
+                        Some("output") => job.outputs.push(lf),
+                        other => {
+                            return Err(scan.err(format!(
+                                "<uses> link must be input or output, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                "child" => {
+                    let r = attr(&attrs, "ref").ok_or_else(|| scan.err("<child> missing ref"))?;
+                    cur_child = Some(r.to_string());
+                }
+                "parent" => {
+                    let child = cur_child
+                        .clone()
+                        .ok_or_else(|| scan.err("<parent> outside <child>"))?;
+                    let r = attr(&attrs, "ref").ok_or_else(|| scan.err("<parent> missing ref"))?;
+                    pending_edges.push((r.to_string(), child));
+                }
+                other => {
+                    return Err(scan.err(format!("unexpected element <{other}>")));
+                }
+            },
+            XmlEvent::Close(name) => match name.as_str() {
+                "job" => {
+                    let job = cur_job.take().ok_or_else(|| scan.err("stray </job>"))?;
+                    wf.as_mut()
+                        .ok_or_else(|| scan.err("</job> outside <adag>"))?
+                        .add_job(job)
+                        .map_err(|e| WmsError::DaxParse {
+                            line: scan.line,
+                            reason: e.to_string(),
+                        })?;
+                }
+                "argument" => in_argument = false,
+                "child" => cur_child = None,
+                "adag" | "parent" | "uses" => {}
+                other => return Err(scan.err(format!("unexpected closing </{other}>"))),
+            },
+            XmlEvent::Text(text) => {
+                if in_argument {
+                    let job = cur_job.as_mut().expect("in_argument implies job");
+                    job.args.extend(text.split_whitespace().map(String::from));
+                }
+            }
+        }
+    }
+
+    let mut wf = wf.ok_or_else(|| WmsError::DaxParse {
+        line: 0,
+        reason: "no <adag> element found".into(),
+    })?;
+    for (p, c) in pending_edges {
+        let pid = wf.job_by_name(&p).ok_or_else(|| WmsError::DaxParse {
+            line: 0,
+            reason: format!("edge references unknown parent {p:?}"),
+        })?;
+        let cid = wf.job_by_name(&c).ok_or_else(|| WmsError::DaxParse {
+            line: 0,
+            reason: format!("edge references unknown child {c:?}"),
+        })?;
+        wf.add_edge(pid, cid).map_err(|e| WmsError::DaxParse {
+            line: 0,
+            reason: e.to_string(),
+        })?;
+    }
+    Ok(wf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AbstractWorkflow {
+        let mut wf = AbstractWorkflow::new("blast2cap3");
+        wf.add_job(
+            Job::new("list_tx", "make_list")
+                .arg("--kind")
+                .arg("transcripts")
+                .input(LogicalFile::sized("transcripts.fasta", 404_000_000))
+                .output(LogicalFile::named("transcripts_dict.txt"))
+                .runtime(120.0),
+        )
+        .unwrap();
+        wf.add_job(
+            Job::new("split", "split")
+                .arg("-n")
+                .arg("300")
+                .input(LogicalFile::sized("alignments.out", 155_000_000))
+                .output(LogicalFile::named("protein_1.txt"))
+                .output(LogicalFile::named("protein_2.txt")),
+        )
+        .unwrap();
+        wf.add_job(
+            Job::new("cap3_1", "run_cap3")
+                .input(LogicalFile::named("transcripts_dict.txt"))
+                .input(LogicalFile::named("protein_1.txt"))
+                .output(LogicalFile::named("joined_1.fasta")),
+        )
+        .unwrap();
+        let a = wf.job_by_name("list_tx").unwrap();
+        let b = wf.job_by_name("split").unwrap();
+        wf.add_edge(a, b).unwrap();
+        wf
+    }
+
+    #[test]
+    fn writer_emits_wellformed_skeleton() {
+        let text = to_dax(&sample());
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains("<adag name=\"blast2cap3\" jobCount=\"3\">"));
+        assert!(text.contains("<job id=\"split\" name=\"split\""));
+        assert!(text.contains("link=\"input\""));
+        assert!(text.contains("<child ref=\"split\"><parent ref=\"list_tx\"/></child>"));
+        assert!(text.trim_end().ends_with("</adag>"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = sample();
+        let parsed = from_dax(&to_dax(&original)).unwrap();
+        assert_eq!(parsed.name, original.name);
+        assert_eq!(parsed.jobs.len(), original.jobs.len());
+        for (a, b) in parsed.jobs.iter().zip(&original.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.transformation, b.transformation);
+            assert_eq!(a.args, b.args);
+            assert_eq!(a.inputs, b.inputs);
+            assert_eq!(a.outputs, b.outputs);
+            assert!((a.runtime_hint - b.runtime_hint).abs() < 1e-9);
+        }
+        assert_eq!(parsed.edges().unwrap(), original.edges().unwrap());
+    }
+
+    #[test]
+    fn special_characters_survive_round_trip() {
+        let mut wf = AbstractWorkflow::new("weird & <name>");
+        wf.add_job(
+            Job::new("j\"1\"", "tool")
+                .arg("--expr")
+                .arg("a<b&&c>d")
+                .input(LogicalFile::named("in'put")),
+        )
+        .unwrap();
+        let parsed = from_dax(&to_dax(&wf)).unwrap();
+        assert_eq!(parsed.name, "weird & <name>");
+        assert_eq!(parsed.jobs[0].id, "j\"1\"");
+        assert_eq!(parsed.jobs[0].args, vec!["--expr", "a<b&&c>d"]);
+        assert_eq!(parsed.jobs[0].inputs[0].name, "in'put");
+    }
+
+    #[test]
+    fn comments_and_pi_are_skipped() {
+        let text = "<?xml version=\"1.0\"?>\n<!-- generated -->\n<adag name=\"w\">\n<job id=\"a\" name=\"t\"/>\n</adag>";
+        let wf = from_dax(text).unwrap();
+        assert_eq!(wf.jobs.len(), 1);
+        assert_eq!(wf.jobs[0].id, "a");
+    }
+
+    #[test]
+    fn missing_adag_is_an_error() {
+        let err = from_dax("<job id=\"a\"/>").unwrap_err();
+        assert!(matches!(err, WmsError::DaxParse { .. }));
+    }
+
+    #[test]
+    fn bad_link_attribute_is_an_error() {
+        let text = "<adag name=\"w\"><job id=\"a\" name=\"t\"><uses file=\"f\" link=\"inout\"/></job></adag>";
+        assert!(from_dax(text).is_err());
+    }
+
+    #[test]
+    fn unknown_edge_reference_is_an_error() {
+        let text = "<adag name=\"w\"><job id=\"a\" name=\"t\"/><child ref=\"a\"><parent ref=\"ghost\"/></child></adag>";
+        let err = from_dax(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_job_in_dax_is_an_error() {
+        let text = "<adag name=\"w\"><job id=\"a\" name=\"t\"/><job id=\"a\" name=\"t\"/></adag>";
+        assert!(from_dax(text).is_err());
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let text = "<adag name=\"w\">\n\n<job name=\"missing-id\"/>\n</adag>";
+        match from_dax(text).unwrap_err() {
+            WmsError::DaxParse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(from_dax("<!-- never closed").is_err());
+    }
+
+    #[test]
+    fn parsed_workflow_validates() {
+        let parsed = from_dax(&to_dax(&sample())).unwrap();
+        assert!(parsed.validate().is_ok());
+    }
+}

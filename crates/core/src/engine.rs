@@ -1,0 +1,721 @@
+//! The DAGMan-style execution engine.
+//!
+//! The engine walks an [`ExecutableWorkflow`] the way Condor DAGMan
+//! walks a DAG: every job whose parents have finished is submitted to
+//! the execution backend; completions come back as events; failures
+//! are retried up to a configurable limit; if a job exhausts its
+//! retries its descendants are never released and the run ends with a
+//! **rescue DAG** recording what completed, ready for resubmission —
+//! Pegasus's recovery story, which the paper leans on for the OSG runs.
+//!
+//! The engine is deliberately time-agnostic: all timestamps come from
+//! the backend, so the same engine drives the real thread-pool backend
+//! (`condor` crate) and the discrete-event platform simulator
+//! (`gridsim` crate).
+
+use crate::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
+use crate::rescue::RescueDag;
+use crate::workflow::JobId;
+use std::collections::HashSet;
+
+/// Timestamps of one job attempt, in backend seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobTimes {
+    /// When the engine handed the job to the backend.
+    pub submitted: f64,
+    /// When a slot was acquired and the job left the queue.
+    pub started: f64,
+    /// When the download/install phase finished (== `started` when
+    /// there is no install phase).
+    pub install_done: f64,
+    /// When the job terminated.
+    pub finished: f64,
+}
+
+impl JobTimes {
+    /// "Waiting Time": submit-host plus remote-queue wait before
+    /// execution begins.
+    pub fn waiting(&self) -> f64 {
+        self.started - self.submitted
+    }
+
+    /// "Download/Install Time": software provisioning on the worker.
+    pub fn install(&self) -> f64 {
+        self.install_done - self.started
+    }
+
+    /// "Kickstart Time": the actual remote execution duration.
+    pub fn kickstart(&self) -> f64 {
+        self.finished - self.install_done
+    }
+
+    /// Total time from submission to termination.
+    pub fn total(&self) -> f64 {
+        self.finished - self.submitted
+    }
+}
+
+/// Terminal status of one attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The attempt succeeded.
+    Success,
+    /// The attempt failed, with a reason (e.g. `"preempted"`).
+    Failure(String),
+}
+
+/// A completion event delivered by a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionEvent {
+    /// Which job terminated.
+    pub job: JobId,
+    /// Which attempt (0-based).
+    pub attempt: u32,
+    /// How it ended.
+    pub outcome: JobOutcome,
+    /// Its timestamps.
+    pub times: JobTimes,
+}
+
+/// The contract between the engine and an execution platform.
+pub trait ExecutionBackend {
+    /// Accepts a job for execution; must not block.
+    fn submit(&mut self, job: &ExecutableJob, attempt: u32);
+
+    /// Blocks until some previously submitted job terminates.
+    ///
+    /// # Panics
+    /// Implementations may panic if called with no job in flight.
+    fn wait_any(&mut self) -> CompletionEvent;
+
+    /// Current backend time in seconds (real or simulated).
+    fn now(&self) -> f64;
+}
+
+/// Engine options.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// How many times a failed job is retried before the workflow is
+    /// declared failed (Pegasus `retry` profile).
+    pub max_retries: u32,
+    /// Job *names* to treat as already done (from a rescue DAG).
+    pub skip_done: HashSet<String>,
+}
+
+impl EngineConfig {
+    /// Config with a retry budget and nothing pre-completed.
+    pub fn with_retries(max_retries: u32) -> Self {
+        EngineConfig {
+            max_retries,
+            skip_done: HashSet::new(),
+        }
+    }
+
+    /// Config resuming from a rescue DAG.
+    pub fn resuming(max_retries: u32, rescue: &RescueDag) -> Self {
+        EngineConfig {
+            max_retries,
+            skip_done: rescue.done.iter().cloned().collect(),
+        }
+    }
+}
+
+/// Final state of a job after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Completed successfully (possibly after retries).
+    Done,
+    /// Exhausted its retries.
+    Failed,
+    /// Never became ready (an ancestor failed).
+    Unready,
+    /// Skipped because a rescue DAG marked it done.
+    SkippedDone,
+}
+
+/// Per-job accounting for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job index in the executable workflow.
+    pub job: JobId,
+    /// Display name.
+    pub name: String,
+    /// Transformation name.
+    pub transformation: String,
+    /// Job role.
+    pub kind: JobKind,
+    /// Final state.
+    pub state: JobState,
+    /// Attempts consumed (0 if never submitted).
+    pub attempts: u32,
+    /// Timestamps of the successful attempt, if any.
+    pub times: Option<JobTimes>,
+    /// Timestamps of failed attempts, in order.
+    pub failed_attempts: Vec<JobTimes>,
+    /// Failure reasons, parallel to `failed_attempts`.
+    pub failure_reasons: Vec<String>,
+}
+
+/// Overall outcome of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowOutcome {
+    /// Every job completed.
+    Success,
+    /// At least one job exhausted retries; the rescue DAG lists what
+    /// already completed so the run can be resubmitted.
+    Failed(RescueDag),
+}
+
+/// The result of executing a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowRun {
+    /// Workflow name.
+    pub name: String,
+    /// Execution site handle.
+    pub site: String,
+    /// Success or failure with rescue.
+    pub outcome: WorkflowOutcome,
+    /// Workflow Wall Time: from first submission to last termination,
+    /// in backend seconds.
+    pub wall_time: f64,
+    /// Per-job accounting, indexed by [`JobId`].
+    pub records: Vec<JobRecord>,
+}
+
+impl WorkflowRun {
+    /// `true` if the whole workflow completed.
+    pub fn succeeded(&self) -> bool {
+        matches!(self.outcome, WorkflowOutcome::Success)
+    }
+
+    /// Total retries consumed across all jobs.
+    pub fn total_retries(&self) -> u32 {
+        self.records
+            .iter()
+            .map(|r| r.attempts.saturating_sub(1))
+            .sum()
+    }
+}
+
+/// Observer hooks for live workflow progress — the engine-side half of
+/// `pegasus-status` (see [`crate::monitor`] for ready-made monitors).
+pub trait WorkflowMonitor {
+    /// A job attempt was handed to the backend.
+    fn job_submitted(&mut self, job: &ExecutableJob, attempt: u32, now: f64) {
+        let _ = (job, attempt, now);
+    }
+
+    /// A job attempt terminated (successfully or not).
+    fn job_terminated(&mut self, job: &ExecutableJob, event: &CompletionEvent) {
+        let _ = (job, event);
+    }
+
+    /// The whole workflow finished.
+    fn workflow_finished(&mut self, succeeded: bool, wall_time: f64) {
+        let _ = (succeeded, wall_time);
+    }
+}
+
+/// The do-nothing monitor used by [`run_workflow`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopMonitor;
+
+impl WorkflowMonitor for NoopMonitor {}
+
+/// Executes `wf` on `backend` under `config`.
+pub fn run_workflow(
+    wf: &ExecutableWorkflow,
+    backend: &mut dyn ExecutionBackend,
+    config: &EngineConfig,
+) -> WorkflowRun {
+    run_workflow_monitored(wf, backend, config, &mut NoopMonitor)
+}
+
+/// Executes `wf` on `backend` under `config`, reporting progress to
+/// `monitor`.
+pub fn run_workflow_monitored(
+    wf: &ExecutableWorkflow,
+    backend: &mut dyn ExecutionBackend,
+    config: &EngineConfig,
+    monitor: &mut dyn WorkflowMonitor,
+) -> WorkflowRun {
+    let n = wf.jobs.len();
+    let children = wf.children();
+    let parents = wf.parents();
+    let mut pending_parents: Vec<usize> = parents.iter().map(Vec::len).collect();
+
+    let mut records: Vec<JobRecord> = wf
+        .jobs
+        .iter()
+        .map(|j| JobRecord {
+            job: j.id,
+            name: j.name.clone(),
+            transformation: j.transformation.clone(),
+            kind: j.kind,
+            state: JobState::Unready,
+            attempts: 0,
+            times: None,
+            failed_attempts: Vec::new(),
+            failure_reasons: Vec::new(),
+        })
+        .collect();
+
+    let start = backend.now();
+    let mut in_flight = 0usize;
+    let mut done = vec![false; n];
+
+    // Seed: pre-completed jobs (rescue) propagate readiness; then
+    // everything with no pending parents is submitted.
+    let mut ready: Vec<JobId> = Vec::new();
+    let mark_done = |job: JobId,
+                     done: &mut Vec<bool>,
+                     pending_parents: &mut Vec<usize>,
+                     ready: &mut Vec<JobId>| {
+        done[job] = true;
+        for &c in &children[job] {
+            pending_parents[c] -= 1;
+            if pending_parents[c] == 0 && !done[c] {
+                ready.push(c);
+            }
+        }
+    };
+
+    // Rescue skips: a DONE node is done unconditionally — its work
+    // products exist from the previous run even when this plan's
+    // auxiliary ancestors (create_dir, transfers) differ and re-run.
+    #[allow(clippy::needless_range_loop)] // `job` indexes three parallel arrays
+    for job in 0..n {
+        if config.skip_done.contains(&wf.jobs[job].name) {
+            records[job].state = JobState::SkippedDone;
+            mark_done(job, &mut done, &mut pending_parents, &mut ready);
+        }
+    }
+    for job in 0..n {
+        if pending_parents[job] == 0 && !done[job] && records[job].state == JobState::Unready {
+            ready.push(job);
+        }
+    }
+    ready.sort_unstable();
+    ready.dedup();
+    ready.retain(|&j| !done[j]);
+
+    let submit = |job: JobId,
+                  attempt: u32,
+                  backend: &mut dyn ExecutionBackend,
+                  monitor: &mut dyn WorkflowMonitor| {
+        backend.submit(&wf.jobs[job], attempt);
+        let now = backend.now();
+        monitor.job_submitted(&wf.jobs[job], attempt, now);
+    };
+    for &job in &ready {
+        records[job].attempts = 1;
+        submit(job, 0, backend, monitor);
+        in_flight += 1;
+    }
+    ready.clear();
+
+    let mut any_failed = false;
+    while in_flight > 0 {
+        let ev = backend.wait_any();
+        in_flight -= 1;
+        monitor.job_terminated(&wf.jobs[ev.job], &ev);
+        let rec = &mut records[ev.job];
+        match ev.outcome {
+            JobOutcome::Success => {
+                rec.state = JobState::Done;
+                rec.times = Some(ev.times);
+                mark_done(ev.job, &mut done, &mut pending_parents, &mut ready);
+                for &c in ready.iter() {
+                    records[c].attempts = 1;
+                    submit(c, 0, backend, monitor);
+                    in_flight += 1;
+                }
+                ready.clear();
+            }
+            JobOutcome::Failure(reason) => {
+                rec.failed_attempts.push(ev.times);
+                rec.failure_reasons.push(reason);
+                if ev.attempt < config.max_retries {
+                    rec.attempts += 1;
+                    submit(ev.job, ev.attempt + 1, backend, monitor);
+                    in_flight += 1;
+                } else {
+                    rec.state = JobState::Failed;
+                    any_failed = true;
+                }
+            }
+        }
+    }
+
+    let wall_time = backend.now() - start;
+    monitor.workflow_finished(!any_failed, wall_time);
+    let outcome = if any_failed {
+        let done_names: Vec<String> = records
+            .iter()
+            .filter(|r| matches!(r.state, JobState::Done | JobState::SkippedDone))
+            .map(|r| r.name.clone())
+            .collect();
+        WorkflowOutcome::Failed(RescueDag {
+            workflow_name: wf.name.clone(),
+            site: wf.site.clone(),
+            done: done_names,
+        })
+    } else {
+        WorkflowOutcome::Success
+    };
+    WorkflowRun {
+        name: wf.name.clone(),
+        site: wf.site.clone(),
+        outcome,
+        wall_time,
+        records,
+    }
+}
+
+pub mod scripted {
+    //! A deterministic in-memory backend for tests and examples:
+    //! jobs take `runtime_hint` simulated seconds on unlimited slots,
+    //! with no queueing, and fail exactly on the (job name, attempt)
+    //! pairs listed in `fail_plan`. Useful wherever engine behaviour
+    //! must be exercised without a platform model.
+
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Scripted simulation backend.
+    #[derive(Debug, Default)]
+    pub struct ScriptedBackend {
+        clock: f64,
+        /// (job name, attempt) pairs that must fail.
+        pub fail_plan: HashSet<(String, u32)>,
+        /// Events not yet delivered: (finish_time, event).
+        queue: Vec<(f64, CompletionEvent)>,
+        /// Names, for the fail plan.
+        names: HashMap<JobId, String>,
+        /// Submission log (name, attempt).
+        pub log: Vec<(String, u32)>,
+    }
+
+    impl ScriptedBackend {
+        /// Creates an empty backend at simulated time zero.
+        pub fn new() -> Self {
+            ScriptedBackend {
+                clock: 0.0,
+                fail_plan: HashSet::new(),
+                queue: Vec::new(),
+                names: HashMap::new(),
+                log: Vec::new(),
+            }
+        }
+    }
+
+    impl ExecutionBackend for ScriptedBackend {
+        fn submit(&mut self, job: &ExecutableJob, attempt: u32) {
+            self.names.insert(job.id, job.name.clone());
+            self.log.push((job.name.clone(), attempt));
+            let submitted = self.clock;
+            let started = submitted; // unlimited slots, no queue
+            let install_done = started + job.install_hint;
+            let finished = install_done + job.runtime_hint;
+            let fails = self.fail_plan.contains(&(job.name.clone(), attempt));
+            self.queue.push((
+                finished,
+                CompletionEvent {
+                    job: job.id,
+                    attempt,
+                    outcome: if fails {
+                        JobOutcome::Failure("scripted".into())
+                    } else {
+                        JobOutcome::Success
+                    },
+                    times: JobTimes {
+                        submitted,
+                        started,
+                        install_done,
+                        finished,
+                    },
+                },
+            ));
+        }
+
+        fn wait_any(&mut self) -> CompletionEvent {
+            let (idx, _) = self
+                .queue
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite times"))
+                .expect("wait_any with nothing in flight");
+            let (t, ev) = self.queue.swap_remove(idx);
+            self.clock = self.clock.max(t);
+            ev
+        }
+
+        fn now(&self) -> f64 {
+            self.clock
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scripted::ScriptedBackend;
+    use super::*;
+    use crate::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
+
+    fn job(id: JobId, name: &str, runtime: f64, install: f64) -> ExecutableJob {
+        ExecutableJob {
+            id,
+            name: name.into(),
+            transformation: name.split('_').next().unwrap_or(name).to_string(),
+            kind: JobKind::Compute,
+            args: vec![],
+            runtime_hint: runtime,
+            install_hint: install,
+            source_jobs: vec![],
+        }
+    }
+
+    /// chain: a -> b -> c
+    fn chain() -> ExecutableWorkflow {
+        ExecutableWorkflow {
+            name: "chain".into(),
+            site: "test".into(),
+            jobs: vec![
+                job(0, "a", 10.0, 0.0),
+                job(1, "b", 20.0, 0.0),
+                job(2, "c", 5.0, 0.0),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+        }
+    }
+
+    /// fan: root -> {w0..w3} -> sink
+    fn fan() -> ExecutableWorkflow {
+        let mut jobs = vec![job(0, "root", 1.0, 0.0)];
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            jobs.push(job(1 + i, &format!("w{i}"), 10.0 + i as f64, 0.0));
+            edges.push((0, 1 + i));
+        }
+        jobs.push(job(5, "sink", 2.0, 0.0));
+        for i in 0..4 {
+            edges.push((1 + i, 5));
+        }
+        ExecutableWorkflow {
+            name: "fan".into(),
+            site: "test".into(),
+            jobs,
+            edges,
+        }
+    }
+
+    #[test]
+    fn chain_executes_in_order_and_sums_wall_time() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(run.succeeded());
+        assert_eq!(run.wall_time, 35.0);
+        let order: Vec<&str> = be.log.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert!(run.records.iter().all(|r| r.state == JobState::Done));
+    }
+
+    #[test]
+    fn fan_out_runs_in_parallel() {
+        let wf = fan();
+        let mut be = ScriptedBackend::new();
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(run.succeeded());
+        // root(1) + slowest worker(13) + sink(2) on unlimited slots.
+        assert_eq!(run.wall_time, 16.0);
+    }
+
+    #[test]
+    fn install_time_is_accounted_separately() {
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "osg".into(),
+            jobs: vec![job(0, "task", 100.0, 45.0)],
+            edges: vec![],
+        };
+        let mut be = ScriptedBackend::new();
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let t = run.records[0].times.unwrap();
+        assert_eq!(t.install(), 45.0);
+        assert_eq!(t.kickstart(), 100.0);
+        assert_eq!(t.waiting(), 0.0);
+        assert_eq!(t.total(), 145.0);
+        assert_eq!(run.wall_time, 145.0);
+    }
+
+    #[test]
+    fn failure_without_retries_yields_rescue() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(!run.succeeded());
+        match &run.outcome {
+            WorkflowOutcome::Failed(rescue) => {
+                assert_eq!(rescue.done, vec!["a"]);
+                assert_eq!(rescue.workflow_name, "chain");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(run.records[1].state, JobState::Failed);
+        assert_eq!(run.records[2].state, JobState::Unready);
+        assert_eq!(run.records[1].failed_attempts.len(), 1);
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        be.fail_plan.insert(("b".into(), 1));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(3));
+        assert!(run.succeeded());
+        assert_eq!(run.records[1].attempts, 3);
+        assert_eq!(run.total_retries(), 2);
+        // Wall time includes the two wasted attempts of b.
+        assert_eq!(run.wall_time, 10.0 + 20.0 * 3.0 + 5.0);
+    }
+
+    #[test]
+    fn retries_exhausted_still_fails() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        for attempt in 0..5 {
+            be.fail_plan.insert(("b".into(), attempt));
+        }
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(2));
+        assert!(!run.succeeded());
+        assert_eq!(run.records[1].attempts, 3); // initial + 2 retries
+    }
+
+    #[test]
+    fn independent_branch_completes_despite_failure() {
+        // root -> {ok, bad}; bad fails; ok still completes.
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "t".into(),
+            jobs: vec![
+                job(0, "root", 1.0, 0.0),
+                job(1, "ok", 5.0, 0.0),
+                job(2, "bad", 5.0, 0.0),
+            ],
+            edges: vec![(0, 1), (0, 2)],
+        };
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("bad".into(), 0));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(!run.succeeded());
+        assert_eq!(run.records[1].state, JobState::Done);
+        match &run.outcome {
+            WorkflowOutcome::Failed(rescue) => {
+                assert!(rescue.done.contains(&"root".to_string()));
+                assert!(rescue.done.contains(&"ok".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rescue_resume_skips_done_jobs() {
+        let wf = chain();
+        // First run: b fails.
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        let first = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let rescue = match first.outcome {
+            WorkflowOutcome::Failed(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Second run resumes: a is skipped, b and c run.
+        let mut be2 = ScriptedBackend::new();
+        let run = run_workflow(&wf, &mut be2, &EngineConfig::resuming(0, &rescue));
+        assert!(run.succeeded());
+        assert_eq!(run.records[0].state, JobState::SkippedDone);
+        let order: Vec<&str> = be2.log.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(order, vec!["b", "c"]);
+        assert_eq!(run.wall_time, 25.0);
+    }
+
+    #[test]
+    fn empty_workflow_succeeds_immediately() {
+        let wf = ExecutableWorkflow {
+            name: "empty".into(),
+            site: "t".into(),
+            jobs: vec![],
+            edges: vec![],
+        };
+        let mut be = ScriptedBackend::new();
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(run.succeeded());
+        assert_eq!(run.wall_time, 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_tolerated() {
+        // The planner may emit redundant edges (create_dir -> every
+        // compute plus transitive paths); the engine must count each
+        // distinct edge once per occurrence consistently.
+        let wf = ExecutableWorkflow {
+            name: "dup".into(),
+            site: "t".into(),
+            jobs: vec![job(0, "a", 1.0, 0.0), job(1, "b", 1.0, 0.0)],
+            edges: vec![(0, 1), (0, 1)],
+        };
+        let mut be = ScriptedBackend::new();
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(run.succeeded());
+        assert_eq!(run.wall_time, 2.0);
+    }
+
+    #[test]
+    fn monitor_hooks_fire_in_order() {
+        struct OrderMonitor(Vec<String>);
+        impl WorkflowMonitor for OrderMonitor {
+            fn job_submitted(&mut self, job: &ExecutableJob, attempt: u32, _now: f64) {
+                self.0.push(format!("submit:{}:{attempt}", job.name));
+            }
+            fn job_terminated(&mut self, job: &ExecutableJob, _ev: &CompletionEvent) {
+                self.0.push(format!("done:{}", job.name));
+            }
+            fn workflow_finished(&mut self, succeeded: bool, _wall: f64) {
+                self.0.push(format!("finished:{succeeded}"));
+            }
+        }
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        let mut mon = OrderMonitor(Vec::new());
+        let run = run_workflow_monitored(&wf, &mut be, &EngineConfig::default(), &mut mon);
+        assert!(run.succeeded());
+        assert_eq!(
+            mon.0,
+            vec![
+                "submit:a:0",
+                "done:a",
+                "submit:b:0",
+                "done:b",
+                "submit:c:0",
+                "done:c",
+                "finished:true"
+            ]
+        );
+    }
+
+    #[test]
+    fn skip_done_cascade_releases_deep_children() {
+        let wf = chain();
+        let mut cfg = EngineConfig::default();
+        cfg.skip_done.insert("a".into());
+        cfg.skip_done.insert("b".into());
+        let mut be = ScriptedBackend::new();
+        let run = run_workflow(&wf, &mut be, &cfg);
+        assert!(run.succeeded());
+        let order: Vec<&str> = be.log.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(order, vec!["c"]);
+    }
+}

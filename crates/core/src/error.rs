@@ -1,0 +1,104 @@
+//! Error type for workflow construction, planning, and parsing.
+
+use std::fmt;
+
+/// Errors raised across the WMS stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WmsError {
+    /// A job id was declared twice.
+    DuplicateJob(String),
+    /// An explicit dependency references an unknown job.
+    UnknownJob(String),
+    /// The dependency graph contains a cycle through this job.
+    CycleDetected(String),
+    /// Two different jobs declare the same output file.
+    ConflictingProducer {
+        /// The logical file with two producers.
+        file: String,
+        /// The first producer.
+        first: String,
+        /// The conflicting second producer.
+        second: String,
+    },
+    /// The planner could not find a site in the site catalog.
+    UnknownSite(String),
+    /// The planner could not resolve a transformation at the target
+    /// site or as a stageable/installable executable.
+    UnresolvableTransformation {
+        /// The transformation name.
+        transformation: String,
+        /// The target site.
+        site: String,
+    },
+    /// DAX parsing failed.
+    DaxParse {
+        /// One-based line number (0 when unknown).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A rescue file was malformed.
+    RescueParse(String),
+}
+
+impl fmt::Display for WmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WmsError::DuplicateJob(id) => write!(f, "duplicate job id {id:?}"),
+            WmsError::UnknownJob(id) => write!(f, "dependency references unknown job {id:?}"),
+            WmsError::CycleDetected(id) => {
+                write!(f, "workflow is not a DAG: cycle through job {id:?}")
+            }
+            WmsError::ConflictingProducer {
+                file,
+                first,
+                second,
+            } => write!(
+                f,
+                "logical file {file:?} produced by both {first:?} and {second:?}"
+            ),
+            WmsError::UnknownSite(s) => write!(f, "site {s:?} not in site catalog"),
+            WmsError::UnresolvableTransformation {
+                transformation,
+                site,
+            } => write!(
+                f,
+                "transformation {transformation:?} unavailable at site {site:?} and not installable"
+            ),
+            WmsError::DaxParse { line, reason } => {
+                write!(f, "DAX parse error at line {line}: {reason}")
+            }
+            WmsError::RescueParse(reason) => write!(f, "rescue DAG parse error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(WmsError::DuplicateJob("split".into())
+            .to_string()
+            .contains("split"));
+        assert!(WmsError::UnknownSite("osg".into())
+            .to_string()
+            .contains("osg"));
+        let e = WmsError::ConflictingProducer {
+            file: "out.txt".into(),
+            first: "a".into(),
+            second: "b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("out.txt") && s.contains('a') && s.contains('b'));
+        assert!(WmsError::DaxParse {
+            line: 12,
+            reason: "bad tag".into()
+        }
+        .to_string()
+        .contains("12"));
+    }
+}

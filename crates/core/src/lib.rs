@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! pegasus-wms: a workflow management system in the style of Pegasus.
+//!
+//! Pegasus ("Planning for Execution in Grids") maps *abstract*
+//! scientific workflows — DAGs of logical tasks and files — onto
+//! concrete execution platforms, submits them through Condor DAGMan,
+//! retries failures, writes rescue DAGs, and reports statistics. This
+//! crate rebuilds that stack for the blast2cap3 reproduction:
+//!
+//! * [`workflow`] — the abstract workflow model: jobs, logical files,
+//!   dataflow- and explicitly-declared dependencies, DAG validation
+//!   and topological analysis;
+//! * [`dax`] — the DAX (directed acyclic graph in XML) writer and
+//!   parser, the interchange format of the paper's Fig. 2/3 DAGs;
+//! * [`catalog`] — site, transformation, and replica catalogs, the
+//!   information the planner consults;
+//! * [`planner`] — abstract → executable planning: per-site software
+//!   checks that inject download/install phases (the red rectangles of
+//!   Fig. 3), stage-in/stage-out jobs, optional horizontal task
+//!   clustering;
+//! * [`engine`] — a DAGMan-style scheduler generic over an
+//!   [`engine::ExecutionBackend`]: ready-set submission, per-job retry
+//!   policy, rescue-DAG generation on unrecoverable failure;
+//! * [`statistics`] — pegasus-statistics equivalents: Workflow Wall
+//!   Time, per-task Kickstart / Waiting / Download-Install breakdowns;
+//! * [`rescue`] — rescue DAGs: the re-submittable remainder of a
+//!   partially failed run.
+//!
+//! Execution backends live in separate crates: `condor` runs jobs for
+//! real on a local worker pool; `gridsim` simulates campus-cluster and
+//! opportunistic-grid platforms.
+
+pub mod analyzer;
+pub mod catalog;
+pub mod catalog_io;
+pub mod dax;
+pub mod engine;
+pub mod error;
+pub mod monitor;
+pub mod planner;
+pub mod rescue;
+pub mod statistics;
+pub mod synthetic;
+pub mod workflow;
+
+pub use catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
+pub use engine::{run_workflow, CompletionEvent, EngineConfig, ExecutionBackend, WorkflowRun};
+pub use error::WmsError;
+pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
+pub use workflow::{AbstractWorkflow, Job, JobId, LogicalFile};

@@ -1,0 +1,295 @@
+//! Live progress monitoring — the `pegasus-status` equivalent.
+//!
+//! [`StatusMonitor`] keeps running counts and renders the familiar
+//! one-line status (`%done  queued/running/done/failed`);
+//! [`TimelineMonitor`] records a full event timeline suitable for
+//! Gantt rendering and concurrency analysis (how many jobs were in
+//! flight at any simulated/real moment).
+
+use crate::engine::{CompletionEvent, JobOutcome, WorkflowMonitor};
+use crate::planner::ExecutableJob;
+
+/// Running counters and a status line.
+#[derive(Debug, Default, Clone)]
+pub struct StatusMonitor {
+    /// Total jobs expected (set at construction).
+    pub total: usize,
+    /// Attempts currently in flight.
+    pub in_flight: usize,
+    /// Jobs completed successfully.
+    pub done: usize,
+    /// Attempts that failed (retries count individually).
+    pub failed_attempts: usize,
+    /// Total submissions seen.
+    pub submissions: usize,
+    /// Captured status lines, one per state change (for tests/UIs).
+    pub history: Vec<String>,
+}
+
+impl StatusMonitor {
+    /// Creates a monitor expecting `total` jobs.
+    pub fn new(total: usize) -> Self {
+        StatusMonitor {
+            total,
+            ..Default::default()
+        }
+    }
+
+    /// Percent of jobs completed.
+    pub fn percent_done(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.done as f64 / self.total as f64
+        }
+    }
+
+    /// The `pegasus-status`-style one-liner.
+    pub fn status_line(&self) -> String {
+        format!(
+            "{:>5.1}% done | {} running | {}/{} jobs | {} failed attempts",
+            self.percent_done(),
+            self.in_flight,
+            self.done,
+            self.total,
+            self.failed_attempts
+        )
+    }
+}
+
+impl WorkflowMonitor for StatusMonitor {
+    fn job_submitted(&mut self, _job: &ExecutableJob, _attempt: u32, _now: f64) {
+        self.in_flight += 1;
+        self.submissions += 1;
+        self.history.push(self.status_line());
+    }
+
+    fn job_terminated(&mut self, _job: &ExecutableJob, event: &CompletionEvent) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        match event.outcome {
+            JobOutcome::Success => self.done += 1,
+            JobOutcome::Failure(_) => self.failed_attempts += 1,
+        }
+        self.history.push(self.status_line());
+    }
+}
+
+/// One row of the execution timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Job display name.
+    pub name: String,
+    /// Transformation name.
+    pub transformation: String,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Execution start (slot acquired).
+    pub start: f64,
+    /// Termination time.
+    pub end: f64,
+    /// Whether the attempt succeeded.
+    pub succeeded: bool,
+}
+
+/// Records every attempt's execution interval.
+#[derive(Debug, Default, Clone)]
+pub struct TimelineMonitor {
+    /// Completed attempt intervals, in completion order.
+    pub entries: Vec<TimelineEntry>,
+}
+
+impl TimelineMonitor {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum number of simultaneously executing attempts — the
+    /// realised concurrency of the run.
+    pub fn peak_concurrency(&self) -> usize {
+        let mut events: Vec<(f64, i32)> = Vec::with_capacity(self.entries.len() * 2);
+        for e in &self.entries {
+            events.push((e.start, 1));
+            events.push((e.end, -1));
+        }
+        // Ends sort before starts at equal times so touching intervals
+        // don't double-count.
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite times")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut cur = 0i32;
+        let mut peak = 0i32;
+        for (_, delta) in events {
+            cur += delta;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
+    }
+
+    /// Renders the timeline as CSV (`name,transformation,attempt,start,end,succeeded`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,transformation,attempt,start_s,end_s,succeeded\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{},{},{:.3},{:.3},{}\n",
+                e.name, e.transformation, e.attempt, e.start, e.end, e.succeeded
+            ));
+        }
+        out
+    }
+}
+
+impl WorkflowMonitor for TimelineMonitor {
+    fn job_terminated(&mut self, job: &ExecutableJob, event: &CompletionEvent) {
+        self.entries.push(TimelineEntry {
+            name: job.name.clone(),
+            transformation: job.transformation.clone(),
+            attempt: event.attempt,
+            start: event.times.started,
+            end: event.times.finished,
+            succeeded: matches!(event.outcome, JobOutcome::Success),
+        });
+    }
+}
+
+/// Fans one engine callback stream out to several monitors.
+#[derive(Default)]
+pub struct MultiMonitor<'a> {
+    monitors: Vec<&'a mut dyn WorkflowMonitor>,
+}
+
+impl<'a> MultiMonitor<'a> {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a monitor to the fan-out.
+    pub fn push(&mut self, m: &'a mut dyn WorkflowMonitor) {
+        self.monitors.push(m);
+    }
+}
+
+impl WorkflowMonitor for MultiMonitor<'_> {
+    fn job_submitted(&mut self, job: &ExecutableJob, attempt: u32, now: f64) {
+        for m in &mut self.monitors {
+            m.job_submitted(job, attempt, now);
+        }
+    }
+
+    fn job_terminated(&mut self, job: &ExecutableJob, event: &CompletionEvent) {
+        for m in &mut self.monitors {
+            m.job_terminated(job, event);
+        }
+    }
+
+    fn workflow_finished(&mut self, succeeded: bool, wall_time: f64) {
+        for m in &mut self.monitors {
+            m.workflow_finished(succeeded, wall_time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::JobTimes;
+    use crate::planner::JobKind;
+
+    fn job(id: usize, name: &str) -> ExecutableJob {
+        ExecutableJob {
+            id,
+            name: name.into(),
+            transformation: "t".into(),
+            kind: JobKind::Compute,
+            args: vec![],
+            runtime_hint: 1.0,
+            install_hint: 0.0,
+            source_jobs: vec![],
+        }
+    }
+
+    fn event(id: usize, start: f64, end: f64, ok: bool) -> CompletionEvent {
+        CompletionEvent {
+            job: id,
+            attempt: 0,
+            outcome: if ok {
+                JobOutcome::Success
+            } else {
+                JobOutcome::Failure("x".into())
+            },
+            times: JobTimes {
+                submitted: start,
+                started: start,
+                install_done: start,
+                finished: end,
+            },
+        }
+    }
+
+    #[test]
+    fn status_counts_and_percentages() {
+        let mut m = StatusMonitor::new(4);
+        assert_eq!(m.percent_done(), 0.0);
+        m.job_submitted(&job(0, "a"), 0, 0.0);
+        m.job_submitted(&job(1, "b"), 0, 0.0);
+        assert_eq!(m.in_flight, 2);
+        m.job_terminated(&job(0, "a"), &event(0, 0.0, 5.0, true));
+        assert_eq!(m.done, 1);
+        assert_eq!(m.in_flight, 1);
+        assert_eq!(m.percent_done(), 25.0);
+        m.job_terminated(&job(1, "b"), &event(1, 0.0, 5.0, false));
+        assert_eq!(m.failed_attempts, 1);
+        assert!(m.status_line().contains("25.0% done"));
+        assert_eq!(m.history.len(), 4);
+    }
+
+    #[test]
+    fn empty_status_is_100_percent() {
+        assert_eq!(StatusMonitor::new(0).percent_done(), 100.0);
+    }
+
+    #[test]
+    fn timeline_records_intervals_and_concurrency() {
+        let mut t = TimelineMonitor::new();
+        t.job_terminated(&job(0, "a"), &event(0, 0.0, 10.0, true));
+        t.job_terminated(&job(1, "b"), &event(1, 2.0, 8.0, true));
+        t.job_terminated(&job(2, "c"), &event(2, 10.0, 15.0, true));
+        assert_eq!(t.entries.len(), 3);
+        assert_eq!(t.peak_concurrency(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("a,t,0,0.000,10.000,true"));
+    }
+
+    #[test]
+    fn touching_intervals_do_not_double_count() {
+        let mut t = TimelineMonitor::new();
+        t.job_terminated(&job(0, "a"), &event(0, 0.0, 10.0, true));
+        t.job_terminated(&job(1, "b"), &event(1, 10.0, 20.0, true));
+        assert_eq!(t.peak_concurrency(), 1);
+    }
+
+    #[test]
+    fn empty_timeline_has_zero_peak() {
+        assert_eq!(TimelineMonitor::new().peak_concurrency(), 0);
+    }
+
+    #[test]
+    fn multi_monitor_fans_out() {
+        let mut status = StatusMonitor::new(1);
+        let mut timeline = TimelineMonitor::new();
+        {
+            let mut multi = MultiMonitor::new();
+            multi.push(&mut status);
+            multi.push(&mut timeline);
+            multi.job_submitted(&job(0, "a"), 0, 0.0);
+            multi.job_terminated(&job(0, "a"), &event(0, 0.0, 3.0, true));
+            multi.workflow_finished(true, 3.0);
+        }
+        assert_eq!(status.done, 1);
+        assert_eq!(timeline.entries.len(), 1);
+    }
+}

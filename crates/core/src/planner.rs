@@ -1,0 +1,912 @@
+//! The planner: mapping an abstract workflow onto a concrete site.
+//!
+//! Planning turns logical jobs into an *executable workflow*:
+//!
+//! * a `create_dir` job materialises the site work directory;
+//! * `stage_in` jobs transfer external input files that the replica
+//!   catalog says are absent from the target site;
+//! * compute jobs gain a **download/install phase** when the site
+//!   lacks packages the transformation requires — this is precisely
+//!   how the paper's Fig. 2 (Sandhills, everything preinstalled)
+//!   becomes Fig. 3 (OSG, red install rectangles on every task);
+//! * `stage_out` jobs return final outputs to the submit host;
+//! * optional *horizontal clustering* merges small same-transformation
+//!   jobs on the same DAG level, Pegasus's remote-overhead reduction.
+
+use crate::catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
+use crate::error::WmsError;
+use crate::workflow::{AbstractWorkflow, Job, JobId, LogicalFile};
+use std::collections::HashMap;
+
+/// The role of an executable job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// Creates the site-side working directory.
+    CreateDir,
+    /// Transfers an input file to the site.
+    StageIn,
+    /// Runs a (possibly clustered) transformation.
+    Compute,
+    /// Transfers a final output back to the submit host.
+    StageOut,
+    /// Removes the site-side working directory after stage-out.
+    Cleanup,
+}
+
+impl std::fmt::Display for JobKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JobKind::CreateDir => "create_dir",
+            JobKind::StageIn => "stage_in",
+            JobKind::Compute => "compute",
+            JobKind::StageOut => "stage_out",
+            JobKind::Cleanup => "cleanup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A planned, site-bound job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutableJob {
+    /// Index within the executable workflow.
+    pub id: JobId,
+    /// Unique display name, e.g. `"stage_in_alignments.out"`.
+    pub name: String,
+    /// Transformation name (for compute jobs) or an auxiliary-kind
+    /// marker (`"pegasus::transfer"`, `"pegasus::dirmanager"`).
+    pub transformation: String,
+    /// Role of the job.
+    pub kind: JobKind,
+    /// Arguments (compute jobs carry their abstract arguments).
+    pub args: Vec<String>,
+    /// Estimated execution seconds on a reference core.
+    pub runtime_hint: f64,
+    /// Seconds of download/install required before execution on this
+    /// site (0 when the software is preinstalled).
+    pub install_hint: f64,
+    /// The abstract job ids folded into this job (empty for auxiliary
+    /// jobs; more than one after clustering).
+    pub source_jobs: Vec<String>,
+}
+
+/// A planned workflow bound to one execution site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutableWorkflow {
+    /// Workflow name, carried from the abstract workflow.
+    pub name: String,
+    /// Target site handle.
+    pub site: String,
+    /// Planned jobs; [`JobId`]s index into this.
+    pub jobs: Vec<ExecutableJob>,
+    /// Dependency edges (parent, child), deduped and sorted.
+    pub edges: Vec<(JobId, JobId)>,
+}
+
+impl ExecutableWorkflow {
+    /// Parent lists per job.
+    pub fn parents(&self) -> Vec<Vec<JobId>> {
+        let mut p = vec![Vec::new(); self.jobs.len()];
+        for &(a, b) in &self.edges {
+            p[b].push(a);
+        }
+        p
+    }
+
+    /// Child lists per job.
+    pub fn children(&self) -> Vec<Vec<JobId>> {
+        let mut c = vec![Vec::new(); self.jobs.len()];
+        for &(a, b) in &self.edges {
+            c[a].push(b);
+        }
+        c
+    }
+
+    /// Number of jobs of each kind.
+    pub fn counts_by_kind(&self) -> HashMap<JobKind, usize> {
+        let mut m = HashMap::new();
+        for j in &self.jobs {
+            *m.entry(j.kind).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Sum of install hints across all jobs — the total extra work a
+    /// software-bare site imposes.
+    pub fn total_install_time(&self) -> f64 {
+        self.jobs.iter().map(|j| j.install_hint).sum()
+    }
+
+    /// Kahn topological order (the workflow is a DAG by construction;
+    /// this is exposed for engines and tests).
+    pub fn topological_order(&self) -> Vec<JobId> {
+        let n = self.jobs.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<JobId>> = vec![Vec::new(); n];
+        for &(p, c) in &self.edges {
+            indeg[c] += 1;
+            adj[p].push(c);
+        }
+        let mut queue: std::collections::VecDeque<JobId> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "executable workflow must be a DAG");
+        order
+    }
+
+    /// Graphviz dot rendering (compute ovals, install-annotated jobs
+    /// as Fig. 3-style boxes, transfers as diamonds).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph workflow {\n  rankdir=TB;\n");
+        for j in &self.jobs {
+            let shape = match j.kind {
+                JobKind::Compute if j.install_hint > 0.0 => "box",
+                JobKind::Compute => "ellipse",
+                JobKind::StageIn | JobKind::StageOut => "diamond",
+                JobKind::CreateDir | JobKind::Cleanup => "folder",
+            };
+            let color = if j.install_hint > 0.0 {
+                ", color=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  j{} [label=\"{}\", shape={}{}];",
+                j.id, j.name, shape, color
+            );
+        }
+        for &(p, c) in &self.edges {
+            let _ = writeln!(out, "  j{p} -> j{c};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Planner options.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Site to bind the workflow to.
+    pub target_site: String,
+    /// Insert the leading `create_dir` job.
+    pub add_create_dir: bool,
+    /// Insert stage-in/stage-out transfer jobs based on the replica
+    /// catalog.
+    pub stage_data: bool,
+    /// Horizontal clustering factor: merge up to this many
+    /// same-transformation jobs on one DAG level into one clustered
+    /// job. `None` disables clustering.
+    pub cluster_factor: Option<usize>,
+    /// Workflow reduction (Pegasus "data reuse"): prune jobs whose
+    /// outputs the replica catalog already provides, cascading to
+    /// producers that become dead.
+    pub data_reuse: bool,
+    /// Append a cleanup job that removes the site work directory once
+    /// all stage-outs complete.
+    pub add_cleanup: bool,
+}
+
+impl PlannerConfig {
+    /// Default options for a site.
+    pub fn for_site(site: impl Into<String>) -> Self {
+        PlannerConfig {
+            target_site: site.into(),
+            add_create_dir: true,
+            stage_data: true,
+            cluster_factor: None,
+            data_reuse: false,
+            add_cleanup: false,
+        }
+    }
+}
+
+/// Workflow reduction (Pegasus's data-reuse step): removes every job
+/// whose outputs are all already replicated at `site` (or on the
+/// submit host), then cascades upward — a producer all of whose
+/// consumers were removed, and whose outputs are not workflow-final,
+/// is dead and removed too. Files that lose their producer become
+/// external inputs, so the staging logic fetches them from the
+/// replicas instead.
+pub fn reduce_workflow(
+    wf: &AbstractWorkflow,
+    replicas: &ReplicaCatalog,
+    site: &str,
+) -> Result<AbstractWorkflow, WmsError> {
+    let available = |f: &LogicalFile| {
+        replicas.has_replica(&f.name, site) || replicas.has_replica(&f.name, "submit")
+    };
+    let n = wf.jobs.len();
+    let mut removed = vec![false; n];
+    // Pass 1: outputs already available.
+    for (i, job) in wf.jobs.iter().enumerate() {
+        if !job.outputs.is_empty() && job.outputs.iter().all(&available) {
+            removed[i] = true;
+        }
+    }
+    // Pass 2: cascade upward over the reverse topological order.
+    let order = wf.topological_order()?;
+    let edges = wf.edges()?;
+    let mut consumers: Vec<Vec<JobId>> = vec![Vec::new(); n];
+    for &(p, c) in &edges {
+        consumers[p].push(c);
+    }
+    let final_names: std::collections::HashSet<String> =
+        wf.final_outputs().into_iter().map(|f| f.name).collect();
+    for &i in order.iter().rev() {
+        if removed[i] {
+            continue;
+        }
+        let job = &wf.jobs[i];
+        let produces_final = job.outputs.iter().any(|f| final_names.contains(&f.name));
+        let has_consumers = !consumers[i].is_empty();
+        let all_consumers_removed = consumers[i].iter().all(|&c| removed[c]);
+        if !produces_final && has_consumers && all_consumers_removed
+            || (!job.outputs.is_empty() && job.outputs.iter().all(&available))
+        {
+            removed[i] = true;
+        }
+    }
+    let mut out = AbstractWorkflow::new(wf.name.clone());
+    let mut kept_name: std::collections::HashSet<&str> = Default::default();
+    for (i, job) in wf.jobs.iter().enumerate() {
+        if !removed[i] {
+            kept_name.insert(job.id.as_str());
+            out.add_job(job.clone())?;
+        }
+    }
+    for &(p, c) in &wf.explicit_edges {
+        let (pn, cn) = (wf.jobs[p].id.as_str(), wf.jobs[c].id.as_str());
+        if kept_name.contains(pn) && kept_name.contains(cn) {
+            let np = out.job_by_name(pn).expect("kept");
+            let nc = out.job_by_name(cn).expect("kept");
+            out.add_edge(np, nc)?;
+        }
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+/// Horizontal clustering: merges same-level, same-transformation jobs
+/// into groups of at most `factor`, summing runtimes and unioning file
+/// sets. Returns a new abstract workflow; `factor <= 1` returns a
+/// clone.
+pub fn cluster_workflow(
+    wf: &AbstractWorkflow,
+    factor: usize,
+) -> Result<AbstractWorkflow, WmsError> {
+    if factor <= 1 {
+        return Ok(wf.clone());
+    }
+    let levels = wf.levels()?;
+    // Group job indices by (level, transformation).
+    let mut groups: HashMap<(usize, &str), Vec<JobId>> = HashMap::new();
+    for (i, job) in wf.jobs.iter().enumerate() {
+        groups
+            .entry((levels[i], job.transformation.as_str()))
+            .or_default()
+            .push(i);
+    }
+    // old job -> new merged job name.
+    let mut out = AbstractWorkflow::new(wf.name.clone());
+    let mut new_id_of: HashMap<JobId, String> = HashMap::new();
+    let mut keys: Vec<(usize, &str)> = groups.keys().copied().collect();
+    keys.sort();
+    for key in keys {
+        let members = &groups[&key];
+        for (ci, batch) in members.chunks(factor).enumerate() {
+            if batch.len() == 1 {
+                let j = &wf.jobs[batch[0]];
+                new_id_of.insert(batch[0], j.id.clone());
+                out.add_job(j.clone())?;
+                continue;
+            }
+            let mut merged = Job::new(
+                format!("cluster_{}_{}_{}", key.1, key.0, ci),
+                key.1.to_string(),
+            );
+            let mut runtime = 0.0;
+            for &m in batch {
+                let j = &wf.jobs[m];
+                runtime += j.runtime_hint;
+                merged.args.extend(j.args.iter().cloned());
+                for f in &j.inputs {
+                    if !merged.inputs.contains(f) {
+                        merged.inputs.push(f.clone());
+                    }
+                }
+                for f in &j.outputs {
+                    merged.outputs.push(f.clone());
+                }
+                new_id_of.insert(m, merged.id.clone());
+            }
+            merged.runtime_hint = runtime;
+            // Inputs produced inside the cluster are internal.
+            let produced: std::collections::HashSet<&str> =
+                merged.outputs.iter().map(|f| f.name.as_str()).collect();
+            merged
+                .inputs
+                .retain(|f| !produced.contains(f.name.as_str()));
+            out.add_job(merged)?;
+        }
+    }
+    // Remap explicit edges.
+    for &(p, c) in &wf.explicit_edges {
+        let np = out.job_by_name(&new_id_of[&p]).expect("mapped job exists");
+        let nc = out.job_by_name(&new_id_of[&c]).expect("mapped job exists");
+        if np != nc {
+            out.add_edge(np, nc)?;
+        }
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+/// Plans `abstract_wf` onto the configured site.
+pub fn plan(
+    abstract_wf: &AbstractWorkflow,
+    sites: &SiteCatalog,
+    transformations: &TransformationCatalog,
+    replicas: &ReplicaCatalog,
+    config: &PlannerConfig,
+) -> Result<ExecutableWorkflow, WmsError> {
+    let site = sites
+        .get(&config.target_site)
+        .ok_or_else(|| WmsError::UnknownSite(config.target_site.clone()))?;
+    abstract_wf.validate()?;
+    let reduced;
+    let pre_cluster = if config.data_reuse {
+        reduced = reduce_workflow(abstract_wf, replicas, &config.target_site)?;
+        &reduced
+    } else {
+        abstract_wf
+    };
+    let wf = match config.cluster_factor {
+        Some(k) => cluster_workflow(pre_cluster, k)?,
+        None => pre_cluster.clone(),
+    };
+
+    let mut jobs: Vec<ExecutableJob> = Vec::new();
+    let mut edges: Vec<(JobId, JobId)> = Vec::new();
+    let push_job = |jobs: &mut Vec<ExecutableJob>, mut j: ExecutableJob| -> JobId {
+        j.id = jobs.len();
+        jobs.push(j);
+        jobs.len() - 1
+    };
+
+    // 1. create_dir.
+    let create_dir = if config.add_create_dir {
+        Some(push_job(
+            &mut jobs,
+            ExecutableJob {
+                id: 0,
+                name: format!("create_dir_{}", site.name),
+                transformation: "pegasus::dirmanager".into(),
+                kind: JobKind::CreateDir,
+                args: vec![],
+                runtime_hint: 1.0,
+                install_hint: 0.0,
+                source_jobs: vec![],
+            },
+        ))
+    } else {
+        None
+    };
+
+    // 2. stage-in jobs for external inputs absent from the site.
+    let mut stage_in_of: HashMap<String, JobId> = HashMap::new();
+    if config.stage_data {
+        for f in wf.external_inputs() {
+            if replicas.has_replica(&f.name, &site.name) {
+                continue;
+            }
+            let runtime = transfer_seconds(&f, site.bandwidth_bps);
+            let id = push_job(
+                &mut jobs,
+                ExecutableJob {
+                    id: 0,
+                    name: format!("stage_in_{}", f.name),
+                    transformation: "pegasus::transfer".into(),
+                    kind: JobKind::StageIn,
+                    args: vec![f.name.clone()],
+                    runtime_hint: runtime,
+                    install_hint: 0.0,
+                    source_jobs: vec![],
+                },
+            );
+            if let Some(cd) = create_dir {
+                edges.push((cd, id));
+            }
+            stage_in_of.insert(f.name.clone(), id);
+        }
+    }
+
+    // 3. compute jobs with install phases.
+    let mut compute_id_of: HashMap<JobId, JobId> = HashMap::new();
+    for (ai, aj) in wf.jobs.iter().enumerate() {
+        let missing = transformations.missing_packages(&aj.transformation, site);
+        let install_hint = if missing.is_empty() {
+            0.0
+        } else {
+            let t = transformations
+                .get(&aj.transformation)
+                .expect("missing packages implies catalog entry");
+            if !t.installable {
+                return Err(WmsError::UnresolvableTransformation {
+                    transformation: aj.transformation.clone(),
+                    site: site.name.clone(),
+                });
+            }
+            missing.len() as f64 * t.install_cost_per_pkg
+        };
+        let source_jobs = vec![aj.id.clone()];
+        let id = push_job(
+            &mut jobs,
+            ExecutableJob {
+                id: 0,
+                name: aj.id.clone(),
+                transformation: aj.transformation.clone(),
+                kind: JobKind::Compute,
+                args: aj.args.clone(),
+                runtime_hint: aj.runtime_hint,
+                install_hint,
+                source_jobs,
+            },
+        );
+        compute_id_of.insert(ai, id);
+        // Stage-in edges.
+        for f in &aj.inputs {
+            if let Some(&sid) = stage_in_of.get(&f.name) {
+                edges.push((sid, id));
+            }
+        }
+        // Root computes depend on create_dir.
+        if let Some(cd) = create_dir {
+            edges.push((cd, id));
+        }
+    }
+
+    // 4. abstract dependency edges.
+    for (p, c) in wf.edges()? {
+        edges.push((compute_id_of[&p], compute_id_of[&c]));
+    }
+
+    // 5. stage-out jobs for final outputs.
+    if config.stage_data {
+        // Producer lookup for final outputs.
+        let mut producer: HashMap<&str, JobId> = HashMap::new();
+        for (ai, aj) in wf.jobs.iter().enumerate() {
+            for f in &aj.outputs {
+                producer.insert(f.name.as_str(), compute_id_of[&ai]);
+            }
+        }
+        for f in wf.final_outputs() {
+            let runtime = transfer_seconds(&f, site.bandwidth_bps);
+            let id = push_job(
+                &mut jobs,
+                ExecutableJob {
+                    id: 0,
+                    name: format!("stage_out_{}", f.name),
+                    transformation: "pegasus::transfer".into(),
+                    kind: JobKind::StageOut,
+                    args: vec![f.name.clone()],
+                    runtime_hint: runtime,
+                    install_hint: 0.0,
+                    source_jobs: vec![],
+                },
+            );
+            if let Some(&p) = producer.get(f.name.as_str()) {
+                edges.push((p, id));
+            }
+        }
+    }
+
+    // 6. cleanup job after every leaf.
+    if config.add_cleanup && !jobs.is_empty() {
+        let mut has_children = vec![false; jobs.len()];
+        for &(p, _) in &edges {
+            has_children[p] = true;
+        }
+        let leaves: Vec<JobId> = (0..jobs.len()).filter(|&i| !has_children[i]).collect();
+        let id = push_job(
+            &mut jobs,
+            ExecutableJob {
+                id: 0,
+                name: format!("cleanup_{}", site.name),
+                transformation: "pegasus::cleanup".into(),
+                kind: JobKind::Cleanup,
+                args: vec![],
+                runtime_hint: 1.0,
+                install_hint: 0.0,
+                source_jobs: vec![],
+            },
+        );
+        for l in leaves {
+            edges.push((l, id));
+        }
+    }
+
+    edges.sort_unstable();
+    edges.dedup();
+    // Drop redundant create_dir->compute edges where another parent
+    // already transitively implies them (keep simple: retain; engines
+    // tolerate redundant edges).
+    Ok(ExecutableWorkflow {
+        name: wf.name.clone(),
+        site: site.name.clone(),
+        jobs,
+        edges,
+    })
+}
+
+/// Transfer time estimate: size over bandwidth with a 1-second floor
+/// (connection setup), matching the coarse costs Pegasus planners use.
+fn transfer_seconds(f: &LogicalFile, bandwidth_bps: f64) -> f64 {
+    (f.size_bytes as f64 / bandwidth_bps.max(1.0)).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::paper_catalogs;
+
+    /// A miniature blast2cap3-shaped workflow: 2 list jobs, split,
+    /// n=3 run_cap3, merge, extract_unjoined.
+    fn mini_blast2cap3(n: usize) -> AbstractWorkflow {
+        let mut wf = AbstractWorkflow::new("blast2cap3");
+        wf.add_job(
+            Job::new("list_transcripts", "list_transcripts")
+                .input(LogicalFile::sized("transcripts.fasta", 404_000_000))
+                .output(LogicalFile::named("transcripts_dict.txt"))
+                .runtime(120.0),
+        )
+        .unwrap();
+        wf.add_job(
+            Job::new("list_alignments", "list_alignments")
+                .input(LogicalFile::sized("alignments.out", 155_000_000))
+                .output(LogicalFile::named("alignments_list.txt"))
+                .runtime(90.0),
+        )
+        .unwrap();
+        let mut split = Job::new("split", "split")
+            .input(LogicalFile::named("alignments_list.txt"))
+            .runtime(60.0);
+        for i in 0..n {
+            split = split.output(LogicalFile::named(format!("protein_{i}.txt")));
+        }
+        wf.add_job(split).unwrap();
+        for i in 0..n {
+            wf.add_job(
+                Job::new(format!("run_cap3_{i}"), "run_cap3")
+                    .input(LogicalFile::named("transcripts_dict.txt"))
+                    .input(LogicalFile::named(format!("protein_{i}.txt")))
+                    .output(LogicalFile::named(format!("joined_{i}.fasta")))
+                    .runtime(1000.0),
+            )
+            .unwrap();
+        }
+        let mut merge = Job::new("merge", "merge")
+            .output(LogicalFile::named("joined_all.fasta"))
+            .runtime(30.0);
+        for i in 0..n {
+            merge = merge.input(LogicalFile::named(format!("joined_{i}.fasta")));
+        }
+        wf.add_job(merge).unwrap();
+        wf.add_job(
+            Job::new("extract_unjoined", "extract_unjoined")
+                .input(LogicalFile::named("transcripts_dict.txt"))
+                .input(LogicalFile::named("joined_all.fasta"))
+                .output(LogicalFile::named("final.fasta"))
+                .runtime(45.0),
+        )
+        .unwrap();
+        wf
+    }
+
+    fn catalogs_with_submit_replicas() -> (SiteCatalog, TransformationCatalog, ReplicaCatalog) {
+        let (sites, tc) = paper_catalogs();
+        let mut rc = ReplicaCatalog::new();
+        rc.register("transcripts.fasta", "submit");
+        rc.register("alignments.out", "submit");
+        (sites, tc, rc)
+    }
+
+    #[test]
+    fn unknown_site_fails() {
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(3);
+        let err = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("mars")).unwrap_err();
+        assert_eq!(err, WmsError::UnknownSite("mars".into()));
+    }
+
+    #[test]
+    fn sandhills_plan_has_no_install_time() {
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(3);
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+        assert_eq!(exec.total_install_time(), 0.0);
+        let counts = exec.counts_by_kind();
+        assert_eq!(counts[&JobKind::Compute], 3 + 3 + 2); // lists+split+cap3s+merge+extract = 8
+        assert_eq!(counts[&JobKind::StageIn], 2);
+        assert_eq!(counts[&JobKind::StageOut], 1);
+        assert_eq!(counts[&JobKind::CreateDir], 1);
+    }
+
+    #[test]
+    fn osg_plan_attaches_install_to_every_compute_job() {
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(3);
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).unwrap();
+        assert!(exec.total_install_time() > 0.0);
+        for j in &exec.jobs {
+            match j.kind {
+                JobKind::Compute => {
+                    assert!(j.install_hint > 0.0, "{} must need install on OSG", j.name)
+                }
+                _ => assert_eq!(j.install_hint, 0.0),
+            }
+        }
+        // run_cap3 needs 3 packages; list jobs need 1.
+        let cap3 = exec.jobs.iter().find(|j| j.name == "run_cap3_0").unwrap();
+        let list = exec
+            .jobs
+            .iter()
+            .find(|j| j.name == "list_transcripts")
+            .unwrap();
+        assert!(cap3.install_hint > list.install_hint);
+    }
+
+    #[test]
+    fn edges_respect_dataflow_and_staging() {
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(2);
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+        let name_of = |id: JobId| exec.jobs[id].name.as_str();
+        let has_edge = |p: &str, c: &str| {
+            exec.edges
+                .iter()
+                .any(|&(a, b)| name_of(a) == p && name_of(b) == c)
+        };
+        assert!(has_edge("stage_in_transcripts.fasta", "list_transcripts"));
+        assert!(has_edge("stage_in_alignments.out", "list_alignments"));
+        assert!(has_edge("list_alignments", "split"));
+        assert!(has_edge("split", "run_cap3_0"));
+        assert!(has_edge("run_cap3_1", "merge"));
+        assert!(has_edge("merge", "extract_unjoined"));
+        assert!(has_edge("extract_unjoined", "stage_out_final.fasta"));
+        // The planned graph is a DAG covering every job.
+        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+    }
+
+    #[test]
+    fn replicas_at_site_suppress_stage_in() {
+        let (sites, tc, mut rc) = catalogs_with_submit_replicas();
+        rc.register("transcripts.fasta", "sandhills");
+        rc.register("alignments.out", "sandhills");
+        let wf = mini_blast2cap3(2);
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+        assert_eq!(exec.counts_by_kind().get(&JobKind::StageIn), None);
+    }
+
+    #[test]
+    fn staging_can_be_disabled() {
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.stage_data = false;
+        cfg.add_create_dir = false;
+        let exec = plan(&mini_blast2cap3(2), &sites, &tc, &rc, &cfg).unwrap();
+        let counts = exec.counts_by_kind();
+        assert_eq!(counts.len(), 1);
+        assert!(counts.contains_key(&JobKind::Compute));
+    }
+
+    #[test]
+    fn not_installable_transformation_fails_on_bare_site() {
+        let (sites, mut tc, rc) = catalogs_with_submit_replicas();
+        tc.add(
+            crate::catalog::Transformation::new("run_cap3")
+                .requires_pkg("cap3")
+                .not_installable(),
+        );
+        let err = plan(
+            &mini_blast2cap3(2),
+            &sites,
+            &tc,
+            &rc,
+            &PlannerConfig::for_site("osg"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WmsError::UnresolvableTransformation { .. }));
+    }
+
+    #[test]
+    fn clustering_reduces_job_count_and_preserves_work() {
+        let wf = mini_blast2cap3(6);
+        let clustered = cluster_workflow(&wf, 3).unwrap();
+        // 6 run_cap3 jobs -> 2 clustered jobs; other singles unchanged.
+        assert_eq!(clustered.jobs.len(), wf.jobs.len() - 6 + 2);
+        let total: f64 = wf.jobs.iter().map(|j| j.runtime_hint).sum();
+        let total_c: f64 = clustered.jobs.iter().map(|j| j.runtime_hint).sum();
+        assert!((total - total_c).abs() < 1e-9);
+        clustered.validate().unwrap();
+        // Clustered workflow still plans.
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.cluster_factor = Some(3);
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
+        let cap3_jobs = exec
+            .jobs
+            .iter()
+            .filter(|j| j.transformation == "run_cap3")
+            .count();
+        assert_eq!(cap3_jobs, 2);
+    }
+
+    #[test]
+    fn cluster_factor_one_is_identity() {
+        let wf = mini_blast2cap3(4);
+        assert_eq!(cluster_workflow(&wf, 1).unwrap(), wf);
+        assert_eq!(cluster_workflow(&wf, 0).unwrap(), wf);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let small = LogicalFile::sized("s", 1_000);
+        let big = LogicalFile::sized("b", 10_000_000_000);
+        assert_eq!(transfer_seconds(&small, 100e6), 1.0); // floor
+        assert!(transfer_seconds(&big, 100e6) > 99.0);
+    }
+
+    #[test]
+    fn dot_export_marks_install_jobs_red() {
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(2);
+        let osg = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).unwrap();
+        let dot = osg.to_dot();
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("digraph"));
+        let sh = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+        assert!(!sh.to_dot().contains("color=red"));
+    }
+
+    #[test]
+    fn data_reuse_prunes_replicated_outputs() {
+        // Register every run_cap3 output as already available: the
+        // reduction must prune the cap3 jobs AND the now-dead split
+        // and list_alignments producers, keeping merge/extract (their
+        // inputs come from replicas via stage-in).
+        let (sites, tc, mut rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(3);
+        for i in 0..3 {
+            rc.register(format!("joined_{i}.fasta"), "sandhills");
+        }
+        let reduced = reduce_workflow(&wf, &rc, "sandhills").unwrap();
+        assert!(reduced.job_by_name("run_cap3_0").is_none());
+        assert!(reduced.job_by_name("run_cap3_1").is_none());
+        assert!(reduced.job_by_name("split").is_none(), "split is dead");
+        assert!(
+            reduced.job_by_name("list_alignments").is_none(),
+            "list_alignments is dead"
+        );
+        // list_transcripts survives: extract_unjoined consumes its dict.
+        assert!(reduced.job_by_name("list_transcripts").is_some());
+        assert!(reduced.job_by_name("merge").is_some());
+        assert!(reduced.job_by_name("extract_unjoined").is_some());
+
+        // Planning the reduced workflow stages the replicated chunks in.
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.data_reuse = true;
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
+        let computes = exec.counts_by_kind()[&JobKind::Compute];
+        assert_eq!(computes, 3); // list_transcripts, merge, extract_unjoined
+                                 // joined_i come from replicas at the site: no stage-in needed
+                                 // for them, but the original external inputs still stage.
+        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+    }
+
+    #[test]
+    fn data_reuse_keeps_everything_without_replicas() {
+        let (_, _, rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(3);
+        let reduced = reduce_workflow(&wf, &rc, "sandhills").unwrap();
+        assert_eq!(reduced.jobs.len(), wf.jobs.len());
+    }
+
+    #[test]
+    fn data_reuse_never_prunes_final_output_producers() {
+        let (_, _, mut rc) = catalogs_with_submit_replicas();
+        let wf = mini_blast2cap3(2);
+        // Even with every intermediate replicated, the final producer
+        // stays unless final.fasta itself is replicated.
+        for i in 0..2 {
+            rc.register(format!("joined_{i}.fasta"), "sandhills");
+        }
+        rc.register("joined_all.fasta", "sandhills");
+        rc.register("joined_ids_all.txt", "sandhills");
+        rc.register("transcripts_dict.txt", "sandhills");
+        let reduced = reduce_workflow(&wf, &rc, "sandhills").unwrap();
+        assert_eq!(reduced.jobs.len(), 1);
+        assert!(reduced.job_by_name("extract_unjoined").is_some());
+    }
+
+    #[test]
+    fn cleanup_job_is_appended_after_all_leaves() {
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.add_cleanup = true;
+        let exec = plan(&mini_blast2cap3(2), &sites, &tc, &rc, &cfg).unwrap();
+        let counts = exec.counts_by_kind();
+        assert_eq!(counts[&JobKind::Cleanup], 1);
+        // The cleanup job is the unique sink.
+        let children = exec.children();
+        let sinks: Vec<_> = (0..exec.jobs.len())
+            .filter(|&i| children[i].is_empty())
+            .collect();
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(exec.jobs[sinks[0]].kind, JobKind::Cleanup);
+        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+    }
+
+    #[test]
+    fn all_planner_options_compose() {
+        // Reduction + clustering + cleanup + staging together must
+        // still yield a valid DAG with conserved compute runtime for
+        // the surviving jobs.
+        let (sites, tc, mut rc) = catalogs_with_submit_replicas();
+        // Two cap3 outputs already replicated: those jobs are pruned.
+        rc.register("joined_0.fasta", "osg");
+        rc.register("joined_ids_0.txt", "osg");
+        let wf = mini_blast2cap3(6);
+        let mut cfg = PlannerConfig::for_site("osg");
+        cfg.cluster_factor = Some(2);
+        cfg.data_reuse = true;
+        cfg.add_cleanup = true;
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
+        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+        let counts = exec.counts_by_kind();
+        assert_eq!(counts[&JobKind::Cleanup], 1);
+        assert_eq!(counts[&JobKind::CreateDir], 1);
+        // run_cap3_0 was pruned by data reuse; the remaining 5 cap3
+        // jobs cluster into ceil(5/2) = 3 jobs.
+        let cap3_jobs = exec
+            .jobs
+            .iter()
+            .filter(|j| j.transformation == "run_cap3")
+            .count();
+        assert_eq!(cap3_jobs, 3);
+        // Every OSG compute job still carries its install phase.
+        for j in &exec.jobs {
+            if j.kind == JobKind::Compute {
+                assert!(j.install_hint > 0.0, "{}", j.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_shape_job_counts_scale_with_n() {
+        // Fig. 2: 2 list tasks + split + n cap3 + merge + extract.
+        let (sites, tc, rc) = catalogs_with_submit_replicas();
+        for n in [10usize, 100, 300] {
+            let exec = plan(
+                &mini_blast2cap3(n),
+                &sites,
+                &tc,
+                &rc,
+                &PlannerConfig::for_site("sandhills"),
+            )
+            .unwrap();
+            let counts = exec.counts_by_kind();
+            assert_eq!(counts[&JobKind::Compute], n + 5, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Rescue DAGs.
+//!
+//! When a Pegasus workflow fails, DAGMan leaves behind a *rescue file*
+//! marking every node that already completed; resubmitting the
+//! workflow with the rescue file skips that work. The paper relies on
+//! this on OSG, where job preemption makes partial failures routine.
+//!
+//! The text format here mirrors DAGMan's rescue files: a header, then
+//! one `DONE <job-name>` line per completed node.
+
+use crate::error::WmsError;
+
+/// The re-submittable remainder of a partially executed workflow.
+///
+/// ```
+/// use pegasus_wms::rescue::RescueDag;
+///
+/// let rescue = RescueDag {
+///     workflow_name: "blast2cap3".into(),
+///     site: "osg".into(),
+///     done: vec!["split".into(), "run_cap3_0".into()],
+/// };
+/// let text = rescue.to_text();
+/// assert!(text.contains("DONE split"));
+/// assert_eq!(RescueDag::from_text(&text).unwrap(), rescue);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RescueDag {
+    /// Name of the workflow the rescue belongs to.
+    pub workflow_name: String,
+    /// Site the failed run targeted.
+    pub site: String,
+    /// Names of jobs that completed successfully.
+    pub done: Vec<String>,
+}
+
+impl RescueDag {
+    /// Fraction of `total_jobs` already completed.
+    pub fn completion_fraction(&self, total_jobs: usize) -> f64 {
+        if total_jobs == 0 {
+            return 1.0;
+        }
+        self.done.len() as f64 / total_jobs as f64
+    }
+
+    /// Serializes to the DAGMan-style rescue text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Rescue DAG (DAGMan-style)\n");
+        out.push_str(&format!("WORKFLOW {}\n", self.workflow_name));
+        out.push_str(&format!("SITE {}\n", self.site));
+        out.push_str(&format!("TOTAL_DONE {}\n", self.done.len()));
+        for name in &self.done {
+            out.push_str(&format!("DONE {name}\n"));
+        }
+        out
+    }
+
+    /// Parses the rescue text format.
+    pub fn from_text(text: &str) -> Result<RescueDag, WmsError> {
+        let mut rescue = RescueDag::default();
+        let mut declared: Option<usize> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let rest = rest.trim();
+            match keyword {
+                "WORKFLOW" => rescue.workflow_name = rest.to_string(),
+                "SITE" => rescue.site = rest.to_string(),
+                "TOTAL_DONE" => {
+                    declared = Some(rest.parse().map_err(|_| {
+                        WmsError::RescueParse(format!(
+                            "line {}: bad TOTAL_DONE value {rest:?}",
+                            lineno + 1
+                        ))
+                    })?)
+                }
+                "DONE" => {
+                    if rest.is_empty() {
+                        return Err(WmsError::RescueParse(format!(
+                            "line {}: DONE with no job name",
+                            lineno + 1
+                        )));
+                    }
+                    rescue.done.push(rest.to_string());
+                }
+                other => {
+                    return Err(WmsError::RescueParse(format!(
+                        "line {}: unknown keyword {other:?}",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+        if let Some(n) = declared {
+            if n != rescue.done.len() {
+                return Err(WmsError::RescueParse(format!(
+                    "TOTAL_DONE {} does not match {} DONE lines",
+                    n,
+                    rescue.done.len()
+                )));
+            }
+        }
+        Ok(rescue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RescueDag {
+        RescueDag {
+            workflow_name: "blast2cap3".into(),
+            site: "osg".into(),
+            done: vec!["create_dir_osg".into(), "stage_in_alignments.out".into()],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let text = r.to_text();
+        assert!(text.contains("DONE create_dir_osg"));
+        let back = RescueDag::from_text(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn completion_fraction() {
+        let r = sample();
+        assert!((r.completion_fraction(4) - 0.5).abs() < 1e-12);
+        assert_eq!(r.completion_fraction(0), 1.0);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_tolerated() {
+        let text = "# comment\n\nWORKFLOW w\nSITE s\nDONE a\n\n# trailing\n";
+        let r = RescueDag::from_text(text).unwrap();
+        assert_eq!(r.done, vec!["a"]);
+        assert_eq!(r.workflow_name, "w");
+    }
+
+    #[test]
+    fn job_names_with_spaces_survive() {
+        let mut r = sample();
+        r.done.push("stage_in_my file.txt".into());
+        let back = RescueDag::from_text(&r.to_text()).unwrap();
+        assert_eq!(back.done.last().unwrap(), "stage_in_my file.txt");
+    }
+
+    #[test]
+    fn mismatched_total_is_rejected() {
+        let text = "WORKFLOW w\nTOTAL_DONE 3\nDONE a\n";
+        assert!(RescueDag::from_text(text).is_err());
+    }
+
+    #[test]
+    fn unknown_keyword_is_rejected() {
+        let err = RescueDag::from_text("FROBNICATE yes\n").unwrap_err();
+        assert!(err.to_string().contains("FROBNICATE"));
+    }
+
+    #[test]
+    fn empty_done_line_is_rejected() {
+        assert!(RescueDag::from_text("DONE \n").is_err());
+        assert!(RescueDag::from_text("DONE\n").is_err());
+    }
+}

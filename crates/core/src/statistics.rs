@@ -1,0 +1,367 @@
+//! pegasus-statistics equivalents.
+//!
+//! After a run, `pegasus-statistics` reports workflow-level and
+//! per-transformation numbers. The paper's evaluation is built on four
+//! of them, all reproduced here:
+//!
+//! * **Workflow Wall Time** — first submission to last termination;
+//! * **Kickstart Time** — actual remote execution duration per task;
+//! * **Waiting Time** — submit-host + remote-queue wait per task;
+//! * **Download/Install Time** — software provisioning per task
+//!   (OSG only; zero wherever software is preinstalled).
+
+use crate::engine::{JobState, WorkflowRun};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Aggregated timing for one transformation (task type).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TaskTypeStats {
+    /// Transformation name.
+    pub transformation: String,
+    /// Number of successful jobs of this type.
+    pub count: usize,
+    /// Total kickstart seconds across jobs.
+    pub kickstart_total: f64,
+    /// Mean kickstart seconds.
+    pub kickstart_mean: f64,
+    /// Maximum kickstart seconds.
+    pub kickstart_max: f64,
+    /// Mean waiting seconds.
+    pub waiting_mean: f64,
+    /// Maximum waiting seconds.
+    pub waiting_max: f64,
+    /// Total download/install seconds.
+    pub install_total: f64,
+    /// Mean download/install seconds.
+    pub install_mean: f64,
+}
+
+/// Workflow-level statistics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkflowStatistics {
+    /// Workflow name.
+    pub name: String,
+    /// Execution site.
+    pub site: String,
+    /// Workflow Wall Time in seconds.
+    pub workflow_wall_time: f64,
+    /// Sum of kickstart times over successful jobs — the work a
+    /// serial execution would pay end to end.
+    pub cumulative_job_walltime: f64,
+    /// Time burnt in failed attempts ("badput").
+    pub cumulative_badput: f64,
+    /// Jobs that completed.
+    pub jobs_succeeded: usize,
+    /// Jobs that exhausted retries.
+    pub jobs_failed: usize,
+    /// Jobs never released.
+    pub jobs_unready: usize,
+    /// Total retries consumed.
+    pub retries: u32,
+    /// Per-transformation breakdown, keyed and ordered by name.
+    pub per_type: Vec<TaskTypeStats>,
+}
+
+impl WorkflowStatistics {
+    /// Parallel efficiency proxy: cumulative job wall time divided by
+    /// workflow wall time (the average concurrency achieved).
+    pub fn speedup_over_serial(&self) -> f64 {
+        if self.workflow_wall_time <= 0.0 {
+            return 1.0;
+        }
+        self.cumulative_job_walltime / self.workflow_wall_time
+    }
+
+    /// Looks up one transformation's stats.
+    pub fn for_type(&self, transformation: &str) -> Option<&TaskTypeStats> {
+        self.per_type
+            .iter()
+            .find(|t| t.transformation == transformation)
+    }
+}
+
+/// Computes statistics from a run.
+pub fn compute(run: &WorkflowRun) -> WorkflowStatistics {
+    let mut per_type: BTreeMap<&str, Vec<&crate::engine::JobRecord>> = BTreeMap::new();
+    let mut cumulative = 0.0;
+    let mut badput = 0.0;
+    let mut succeeded = 0;
+    let mut failed = 0;
+    let mut unready = 0;
+    for rec in &run.records {
+        match rec.state {
+            JobState::Done => {
+                succeeded += 1;
+                if let Some(t) = rec.times {
+                    cumulative += t.kickstart();
+                }
+                per_type
+                    .entry(rec.transformation.as_str())
+                    .or_default()
+                    .push(rec);
+            }
+            JobState::SkippedDone => succeeded += 1,
+            JobState::Failed => failed += 1,
+            JobState::Unready => unready += 1,
+        }
+        for t in &rec.failed_attempts {
+            badput += t.total();
+        }
+    }
+    let per_type = per_type
+        .into_iter()
+        .map(|(name, recs)| {
+            let times: Vec<_> = recs.iter().filter_map(|r| r.times).collect();
+            let count = times.len();
+            let kick: Vec<f64> = times.iter().map(|t| t.kickstart()).collect();
+            let waits: Vec<f64> = times.iter().map(|t| t.waiting()).collect();
+            let installs: Vec<f64> = times.iter().map(|t| t.install()).collect();
+            let sum = |v: &[f64]| v.iter().sum::<f64>();
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    sum(v) / v.len() as f64
+                }
+            };
+            let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
+            TaskTypeStats {
+                transformation: name.to_string(),
+                count,
+                kickstart_total: sum(&kick),
+                kickstart_mean: mean(&kick),
+                kickstart_max: max(&kick),
+                waiting_mean: mean(&waits),
+                waiting_max: max(&waits),
+                install_total: sum(&installs),
+                install_mean: mean(&installs),
+            }
+        })
+        .collect();
+    WorkflowStatistics {
+        name: run.name.clone(),
+        site: run.site.clone(),
+        workflow_wall_time: run.wall_time,
+        cumulative_job_walltime: cumulative,
+        cumulative_badput: badput,
+        jobs_succeeded: succeeded,
+        jobs_failed: failed,
+        jobs_unready: unready,
+        retries: run.total_retries(),
+        per_type,
+    }
+}
+
+/// Renders a pegasus-statistics-style text report.
+pub fn render_text(stats: &WorkflowStatistics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# pegasus-statistics: {} @ {}", stats.name, stats.site);
+    let _ = writeln!(
+        out,
+        "Workflow Wall Time        : {:>12.1} s",
+        stats.workflow_wall_time
+    );
+    let _ = writeln!(
+        out,
+        "Cumulative Job Wall Time  : {:>12.1} s",
+        stats.cumulative_job_walltime
+    );
+    let _ = writeln!(
+        out,
+        "Cumulative Badput         : {:>12.1} s",
+        stats.cumulative_badput
+    );
+    let _ = writeln!(
+        out,
+        "Jobs (succeeded/failed/unready): {}/{}/{}",
+        stats.jobs_succeeded, stats.jobs_failed, stats.jobs_unready
+    );
+    let _ = writeln!(out, "Retries                   : {:>12}", stats.retries);
+    let _ = writeln!(
+        out,
+        "Average concurrency       : {:>12.2}",
+        stats.speedup_over_serial()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "TASK TYPE", "COUNT", "KICK MEAN", "KICK MAX", "WAIT MEAN", "INSTALL MEAN"
+    );
+    for t in &stats.per_type {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            t.transformation,
+            t.count,
+            t.kickstart_mean,
+            t.kickstart_max,
+            t.waiting_mean,
+            t.install_mean
+        );
+    }
+    out
+}
+
+/// Renders statistics as CSV rows (`task_type,count,kick_mean,...`),
+/// the machine-readable side of the report used by the figure
+/// harness.
+pub fn render_csv(stats: &WorkflowStatistics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "task_type,count,kickstart_total,kickstart_mean,kickstart_max,waiting_mean,waiting_max,install_total,install_mean\n",
+    );
+    for t in &stats.per_type {
+        let _ = writeln!(
+            out,
+            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            t.transformation,
+            t.count,
+            t.kickstart_total,
+            t.kickstart_mean,
+            t.kickstart_max,
+            t.waiting_mean,
+            t.waiting_max,
+            t.install_total,
+            t.install_mean
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{JobRecord, JobTimes, WorkflowOutcome};
+    use crate::planner::JobKind;
+
+    fn times(submitted: f64, wait: f64, install: f64, kick: f64) -> JobTimes {
+        JobTimes {
+            submitted,
+            started: submitted + wait,
+            install_done: submitted + wait + install,
+            finished: submitted + wait + install + kick,
+        }
+    }
+
+    fn record(job: usize, transformation: &str, state: JobState, t: Option<JobTimes>) -> JobRecord {
+        JobRecord {
+            job,
+            name: format!("{transformation}_{job}"),
+            transformation: transformation.into(),
+            kind: JobKind::Compute,
+            state,
+            attempts: 1,
+            times: t,
+            failed_attempts: vec![],
+            failure_reasons: vec![],
+        }
+    }
+
+    fn sample_run() -> WorkflowRun {
+        WorkflowRun {
+            name: "w".into(),
+            site: "sandhills".into(),
+            outcome: WorkflowOutcome::Success,
+            wall_time: 100.0,
+            records: vec![
+                record(0, "split", JobState::Done, Some(times(0.0, 2.0, 0.0, 10.0))),
+                record(
+                    1,
+                    "run_cap3",
+                    JobState::Done,
+                    Some(times(12.0, 3.0, 45.0, 50.0)),
+                ),
+                record(
+                    2,
+                    "run_cap3",
+                    JobState::Done,
+                    Some(times(12.0, 5.0, 45.0, 70.0)),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn computes_workflow_level_numbers() {
+        let stats = compute(&sample_run());
+        assert_eq!(stats.workflow_wall_time, 100.0);
+        assert_eq!(stats.cumulative_job_walltime, 130.0);
+        assert_eq!(stats.jobs_succeeded, 3);
+        assert_eq!(stats.jobs_failed, 0);
+        assert!((stats.speedup_over_serial() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_type_breakdown_is_grouped_and_sorted() {
+        let stats = compute(&sample_run());
+        let names: Vec<&str> = stats
+            .per_type
+            .iter()
+            .map(|t| t.transformation.as_str())
+            .collect();
+        assert_eq!(names, vec!["run_cap3", "split"]);
+        let cap3 = stats.for_type("run_cap3").unwrap();
+        assert_eq!(cap3.count, 2);
+        assert_eq!(cap3.kickstart_total, 120.0);
+        assert_eq!(cap3.kickstart_mean, 60.0);
+        assert_eq!(cap3.kickstart_max, 70.0);
+        assert_eq!(cap3.waiting_mean, 4.0);
+        assert_eq!(cap3.waiting_max, 5.0);
+        assert_eq!(cap3.install_total, 90.0);
+        assert_eq!(cap3.install_mean, 45.0);
+    }
+
+    #[test]
+    fn badput_counts_failed_attempts() {
+        let mut run = sample_run();
+        run.records[1].failed_attempts = vec![times(0.0, 1.0, 45.0, 20.0)];
+        let stats = compute(&run);
+        assert_eq!(stats.cumulative_badput, 66.0);
+    }
+
+    #[test]
+    fn failed_and_unready_jobs_are_counted() {
+        let mut run = sample_run();
+        run.records.push(record(3, "merge", JobState::Failed, None));
+        run.records
+            .push(record(4, "extract_unjoined", JobState::Unready, None));
+        let stats = compute(&run);
+        assert_eq!(stats.jobs_failed, 1);
+        assert_eq!(stats.jobs_unready, 1);
+        assert_eq!(stats.jobs_succeeded, 3);
+    }
+
+    #[test]
+    fn text_report_mentions_key_lines() {
+        let text = render_text(&compute(&sample_run()));
+        assert!(text.contains("Workflow Wall Time"));
+        assert!(text.contains("run_cap3"));
+        assert!(text.contains("INSTALL MEAN"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_type() {
+        let csv = render_csv(&compute(&sample_run()));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("task_type,"));
+        assert!(csv.contains("run_cap3,2,"));
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let run = WorkflowRun {
+            name: "w".into(),
+            site: "s".into(),
+            outcome: WorkflowOutcome::Success,
+            wall_time: 0.0,
+            records: vec![],
+        };
+        let stats = compute(&run);
+        assert_eq!(stats.cumulative_job_walltime, 0.0);
+        assert_eq!(stats.speedup_over_serial(), 1.0);
+        assert!(stats.per_type.is_empty());
+    }
+}

@@ -1,0 +1,708 @@
+//! The abstract workflow model.
+//!
+//! An abstract workflow is a DAG of logical jobs. Jobs name a
+//! *transformation* (a logical executable), arguments, and the logical
+//! files they consume and produce. Dependencies come from two places:
+//! dataflow (job B reads a file job A writes) and explicit
+//! parent/child declarations, exactly like a Pegasus DAX.
+
+use crate::error::WmsError;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Index of a job within its workflow.
+pub type JobId = usize;
+
+/// A logical file: a name in the workflow's namespace, with an
+/// estimated size used by staging cost models.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicalFile {
+    /// Logical file name, e.g. `"alignments.out"`.
+    pub name: String,
+    /// Estimated size in bytes (0 when unknown).
+    pub size_bytes: u64,
+}
+
+impl LogicalFile {
+    /// A logical file with unknown size.
+    pub fn named(name: impl Into<String>) -> Self {
+        LogicalFile {
+            name: name.into(),
+            size_bytes: 0,
+        }
+    }
+
+    /// A logical file with an estimated size.
+    pub fn sized(name: impl Into<String>, size_bytes: u64) -> Self {
+        LogicalFile {
+            name: name.into(),
+            size_bytes,
+        }
+    }
+}
+
+/// One abstract job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Unique job identifier within the workflow.
+    pub id: String,
+    /// Logical transformation name (looked up in the transformation
+    /// catalog at planning time).
+    pub transformation: String,
+    /// Command-line-style arguments.
+    pub args: Vec<String>,
+    /// Files consumed.
+    pub inputs: Vec<LogicalFile>,
+    /// Files produced.
+    pub outputs: Vec<LogicalFile>,
+    /// Estimated execution time in seconds on a reference core
+    /// (consumed by simulation backends; ignored by real ones).
+    pub runtime_hint: f64,
+}
+
+impl Job {
+    /// Creates a job with empty file sets.
+    pub fn new(id: impl Into<String>, transformation: impl Into<String>) -> Self {
+        Job {
+            id: id.into(),
+            transformation: transformation.into(),
+            args: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            runtime_hint: 1.0,
+        }
+    }
+
+    /// Builder: appends an argument.
+    pub fn arg(mut self, a: impl Into<String>) -> Self {
+        self.args.push(a.into());
+        self
+    }
+
+    /// Builder: declares an input file.
+    pub fn input(mut self, f: LogicalFile) -> Self {
+        self.inputs.push(f);
+        self
+    }
+
+    /// Builder: declares an output file.
+    pub fn output(mut self, f: LogicalFile) -> Self {
+        self.outputs.push(f);
+        self
+    }
+
+    /// Builder: sets the runtime hint in seconds.
+    pub fn runtime(mut self, seconds: f64) -> Self {
+        self.runtime_hint = seconds;
+        self
+    }
+}
+
+/// An abstract workflow: jobs plus explicit dependency edges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AbstractWorkflow {
+    /// Workflow name (the DAX `name` attribute).
+    pub name: String,
+    /// Jobs in declaration order; [`JobId`]s index into this.
+    pub jobs: Vec<Job>,
+    /// Explicit parent → child edges (by job index), in addition to
+    /// dataflow-derived edges.
+    pub explicit_edges: Vec<(JobId, JobId)>,
+}
+
+impl AbstractWorkflow {
+    /// Creates an empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        AbstractWorkflow {
+            name: name.into(),
+            jobs: Vec::new(),
+            explicit_edges: Vec::new(),
+        }
+    }
+
+    /// Adds a job, returning its id; fails on duplicate string ids.
+    pub fn add_job(&mut self, job: Job) -> Result<JobId, WmsError> {
+        if self.jobs.iter().any(|j| j.id == job.id) {
+            return Err(WmsError::DuplicateJob(job.id));
+        }
+        self.jobs.push(job);
+        Ok(self.jobs.len() - 1)
+    }
+
+    /// Declares an explicit dependency `parent -> child`.
+    pub fn add_edge(&mut self, parent: JobId, child: JobId) -> Result<(), WmsError> {
+        if parent >= self.jobs.len() {
+            return Err(WmsError::UnknownJob(format!("#{parent}")));
+        }
+        if child >= self.jobs.len() {
+            return Err(WmsError::UnknownJob(format!("#{child}")));
+        }
+        self.explicit_edges.push((parent, child));
+        Ok(())
+    }
+
+    /// Looks a job up by string id.
+    pub fn job_by_name(&self, id: &str) -> Option<JobId> {
+        self.jobs.iter().position(|j| j.id == id)
+    }
+
+    /// All dependency edges: dataflow-derived plus explicit, deduped
+    /// and sorted. Fails if two jobs produce the same file.
+    pub fn edges(&self) -> Result<Vec<(JobId, JobId)>, WmsError> {
+        let mut producer: HashMap<&str, JobId> = HashMap::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            for out in &job.outputs {
+                if let Some(&first) = producer.get(out.name.as_str()) {
+                    return Err(WmsError::ConflictingProducer {
+                        file: out.name.clone(),
+                        first: self.jobs[first].id.clone(),
+                        second: job.id.clone(),
+                    });
+                }
+                producer.insert(&out.name, i);
+            }
+        }
+        let mut set: HashSet<(JobId, JobId)> = HashSet::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            for inp in &job.inputs {
+                if let Some(&p) = producer.get(inp.name.as_str()) {
+                    if p != i {
+                        set.insert((p, i));
+                    }
+                }
+            }
+        }
+        for &(p, c) in &self.explicit_edges {
+            if p != c {
+                set.insert((p, c));
+            }
+        }
+        let mut edges: Vec<(JobId, JobId)> = set.into_iter().collect();
+        edges.sort_unstable();
+        Ok(edges)
+    }
+
+    /// Files consumed by some job but produced by none — the
+    /// workflow's external inputs.
+    pub fn external_inputs(&self) -> Vec<LogicalFile> {
+        let produced: HashSet<&str> = self
+            .jobs
+            .iter()
+            .flat_map(|j| j.outputs.iter().map(|f| f.name.as_str()))
+            .collect();
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut out = Vec::new();
+        for job in &self.jobs {
+            for f in &job.inputs {
+                if !produced.contains(f.name.as_str()) && seen.insert(f.name.as_str()) {
+                    out.push(f.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Files produced by some job but consumed by none — the
+    /// workflow's final outputs.
+    pub fn final_outputs(&self) -> Vec<LogicalFile> {
+        let consumed: HashSet<&str> = self
+            .jobs
+            .iter()
+            .flat_map(|j| j.inputs.iter().map(|f| f.name.as_str()))
+            .collect();
+        let mut out = Vec::new();
+        for job in &self.jobs {
+            for f in &job.outputs {
+                if !consumed.contains(f.name.as_str()) {
+                    out.push(f.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Kahn topological order over all edges; detects cycles.
+    pub fn topological_order(&self) -> Result<Vec<JobId>, WmsError> {
+        let edges = self.edges()?;
+        let n = self.jobs.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<JobId>> = vec![Vec::new(); n];
+        for &(p, c) in &edges {
+            indeg[c] += 1;
+            adj[p].push(c);
+        }
+        let mut queue: VecDeque<JobId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .expect("cycle implies a stuck node");
+            return Err(WmsError::CycleDetected(self.jobs[stuck].id.clone()));
+        }
+        Ok(order)
+    }
+
+    /// Validates the workflow: id uniqueness is enforced at insert;
+    /// this checks producer conflicts and acyclicity.
+    pub fn validate(&self) -> Result<(), WmsError> {
+        self.topological_order().map(|_| ())
+    }
+
+    /// DAG level (longest path from any root) of every job.
+    pub fn levels(&self) -> Result<Vec<usize>, WmsError> {
+        let order = self.topological_order()?;
+        let edges = self.edges()?;
+        let mut adj: Vec<Vec<JobId>> = vec![Vec::new(); self.jobs.len()];
+        for &(p, c) in &edges {
+            adj[p].push(c);
+        }
+        let mut level = vec![0usize; self.jobs.len()];
+        for &u in &order {
+            for &v in &adj[u] {
+                level[v] = level[v].max(level[u] + 1);
+            }
+        }
+        Ok(level)
+    }
+
+    /// Maximum number of jobs on a single level — the theoretical
+    /// parallel width of the workflow.
+    pub fn width(&self) -> Result<usize, WmsError> {
+        let levels = self.levels()?;
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for l in levels {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        Ok(counts.values().copied().max().unwrap_or(0))
+    }
+
+    /// Critical path: the dependency chain with the largest total
+    /// runtime hint. Returns `(total_seconds, path)` — the theoretical
+    /// lower bound on makespan with unlimited resources, which the
+    /// blast2cap3 analysis calls the "largest cluster" floor.
+    pub fn critical_path(&self) -> Result<(f64, Vec<JobId>), WmsError> {
+        let order = self.topological_order()?;
+        let edges = self.edges()?;
+        let n = self.jobs.len();
+        let mut parents: Vec<Vec<JobId>> = vec![Vec::new(); n];
+        for &(p, c) in &edges {
+            parents[c].push(p);
+        }
+        // dist[i] = cost of the heaviest path ending at i (inclusive).
+        let mut dist = vec![0.0f64; n];
+        let mut prev: Vec<Option<JobId>> = vec![None; n];
+        for &i in &order {
+            let mut best = 0.0f64;
+            let mut best_p = None;
+            for &p in &parents[i] {
+                if dist[p] > best {
+                    best = dist[p];
+                    best_p = Some(p);
+                }
+            }
+            dist[i] = best + self.jobs[i].runtime_hint;
+            prev[i] = best_p;
+        }
+        let Some((end, &total)) = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite runtimes"))
+        else {
+            return Ok((0.0, Vec::new()));
+        };
+        let mut path = vec![end];
+        while let Some(p) = prev[*path.last().expect("non-empty")] {
+            path.push(p);
+        }
+        path.reverse();
+        Ok((total, path))
+    }
+
+    /// Hierarchical workflows (Pegasus sub-DAX jobs): returns a copy
+    /// of `self` in which the `placeholder` job is replaced by the
+    /// whole of `sub`, inline.
+    ///
+    /// * sub jobs are renamed `"<placeholder-id>/<sub-id>"`;
+    /// * the sub-workflow's *interface* files — its external inputs
+    ///   and final outputs — keep their names, so parent dataflow
+    ///   connects to them directly;
+    /// * every other (internal) sub file is namespaced
+    ///   `"<placeholder-id>/<file>"` to avoid collisions with parent
+    ///   files;
+    /// * explicit parent edges touching the placeholder are redirected
+    ///   to the sub-workflow's roots (incoming) and sinks (outgoing).
+    pub fn with_inlined_subworkflow(
+        &self,
+        placeholder: JobId,
+        sub: &AbstractWorkflow,
+    ) -> Result<AbstractWorkflow, WmsError> {
+        if placeholder >= self.jobs.len() {
+            return Err(WmsError::UnknownJob(format!("#{placeholder}")));
+        }
+        sub.validate()?;
+        let ns = self.jobs[placeholder].id.clone();
+        let mut interface: HashSet<String> =
+            sub.external_inputs().into_iter().map(|f| f.name).collect();
+        interface.extend(sub.final_outputs().into_iter().map(|f| f.name));
+        let rename_file = |f: &LogicalFile| {
+            if interface.contains(f.name.as_str()) {
+                f.clone()
+            } else {
+                LogicalFile {
+                    name: format!("{ns}/{}", f.name),
+                    size_bytes: f.size_bytes,
+                }
+            }
+        };
+
+        let mut out = AbstractWorkflow::new(self.name.clone());
+        // Parent jobs (minus the placeholder), preserving order.
+        let mut new_index: HashMap<JobId, JobId> = HashMap::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            if i == placeholder {
+                continue;
+            }
+            new_index.insert(i, out.add_job(job.clone())?);
+        }
+        // Sub jobs, renamed and namespaced.
+        let mut sub_index: HashMap<JobId, JobId> = HashMap::new();
+        for (i, job) in sub.jobs.iter().enumerate() {
+            let mut j = job.clone();
+            j.id = format!("{ns}/{}", job.id);
+            j.inputs = job.inputs.iter().map(&rename_file).collect();
+            j.outputs = job.outputs.iter().map(&rename_file).collect();
+            sub_index.insert(i, out.add_job(j)?);
+        }
+        // Sub explicit edges.
+        for &(p, c) in &sub.explicit_edges {
+            out.add_edge(sub_index[&p], sub_index[&c])?;
+        }
+        // Parent explicit edges, with placeholder redirection.
+        let sub_edges = sub.edges()?;
+        let mut indeg = vec![0usize; sub.jobs.len()];
+        let mut outdeg = vec![0usize; sub.jobs.len()];
+        for &(p, c) in &sub_edges {
+            outdeg[p] += 1;
+            indeg[c] += 1;
+        }
+        let roots: Vec<JobId> = (0..sub.jobs.len()).filter(|&i| indeg[i] == 0).collect();
+        let sinks: Vec<JobId> = (0..sub.jobs.len()).filter(|&i| outdeg[i] == 0).collect();
+        for &(p, c) in &self.explicit_edges {
+            match (p == placeholder, c == placeholder) {
+                (false, false) => out.add_edge(new_index[&p], new_index[&c])?,
+                (true, false) => {
+                    for &s in &sinks {
+                        out.add_edge(sub_index[&s], new_index[&c])?;
+                    }
+                }
+                (false, true) => {
+                    for &r in &roots {
+                        out.add_edge(new_index[&p], sub_index[&r])?;
+                    }
+                }
+                (true, true) => {}
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: a -> {b, c} -> d via dataflow.
+    fn diamond() -> AbstractWorkflow {
+        let mut wf = AbstractWorkflow::new("diamond");
+        wf.add_job(Job::new("a", "gen").output(LogicalFile::named("x")))
+            .unwrap();
+        wf.add_job(
+            Job::new("b", "proc")
+                .input(LogicalFile::named("x"))
+                .output(LogicalFile::named("y1")),
+        )
+        .unwrap();
+        wf.add_job(
+            Job::new("c", "proc")
+                .input(LogicalFile::named("x"))
+                .output(LogicalFile::named("y2")),
+        )
+        .unwrap();
+        wf.add_job(
+            Job::new("d", "join")
+                .input(LogicalFile::named("y1"))
+                .input(LogicalFile::named("y2"))
+                .output(LogicalFile::named("z")),
+        )
+        .unwrap();
+        wf
+    }
+
+    #[test]
+    fn dataflow_edges_are_derived() {
+        let wf = diamond();
+        let edges = wf.edges().unwrap();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_job_ids_rejected() {
+        let mut wf = AbstractWorkflow::new("w");
+        wf.add_job(Job::new("a", "t")).unwrap();
+        assert_eq!(
+            wf.add_job(Job::new("a", "t")).unwrap_err(),
+            WmsError::DuplicateJob("a".into())
+        );
+    }
+
+    #[test]
+    fn conflicting_producers_rejected() {
+        let mut wf = AbstractWorkflow::new("w");
+        wf.add_job(Job::new("a", "t").output(LogicalFile::named("f")))
+            .unwrap();
+        wf.add_job(Job::new("b", "t").output(LogicalFile::named("f")))
+            .unwrap();
+        assert!(matches!(
+            wf.edges().unwrap_err(),
+            WmsError::ConflictingProducer { .. }
+        ));
+    }
+
+    #[test]
+    fn explicit_edges_merge_with_dataflow() {
+        let mut wf = diamond();
+        let b = wf.job_by_name("b").unwrap();
+        let c = wf.job_by_name("c").unwrap();
+        wf.add_edge(b, c).unwrap();
+        let edges = wf.edges().unwrap();
+        assert!(edges.contains(&(1, 2)));
+        assert_eq!(edges.len(), 5);
+    }
+
+    #[test]
+    fn edge_bounds_checked() {
+        let mut wf = diamond();
+        assert!(wf.add_edge(0, 99).is_err());
+        assert!(wf.add_edge(99, 0).is_err());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let wf = diamond();
+        let order = wf.topological_order().unwrap();
+        let pos: HashMap<JobId, usize> = order.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+        for (p, c) in wf.edges().unwrap() {
+            assert!(pos[&p] < pos[&c], "{p} must precede {c}");
+        }
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut wf = AbstractWorkflow::new("cyclic");
+        wf.add_job(Job::new("a", "t")).unwrap();
+        wf.add_job(Job::new("b", "t")).unwrap();
+        wf.add_edge(0, 1).unwrap();
+        wf.add_edge(1, 0).unwrap();
+        assert!(matches!(
+            wf.validate().unwrap_err(),
+            WmsError::CycleDetected(_)
+        ));
+    }
+
+    #[test]
+    fn self_loop_edges_are_ignored() {
+        let mut wf = AbstractWorkflow::new("w");
+        wf.add_job(Job::new("a", "t")).unwrap();
+        wf.add_edge(0, 0).unwrap();
+        assert!(wf.validate().is_ok());
+    }
+
+    #[test]
+    fn external_inputs_and_final_outputs() {
+        let wf = diamond();
+        // x is produced internally; nothing external.
+        assert!(wf.external_inputs().is_empty());
+        let outs = wf.final_outputs();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].name, "z");
+
+        let mut wf2 = AbstractWorkflow::new("w2");
+        wf2.add_job(
+            Job::new("only", "t")
+                .input(LogicalFile::sized("raw.fasta", 404_000_000))
+                .output(LogicalFile::named("clean.fasta")),
+        )
+        .unwrap();
+        let ins = wf2.external_inputs();
+        assert_eq!(ins.len(), 1);
+        assert_eq!(ins[0].name, "raw.fasta");
+        assert_eq!(ins[0].size_bytes, 404_000_000);
+    }
+
+    #[test]
+    fn levels_and_width() {
+        let wf = diamond();
+        let levels = wf.levels().unwrap();
+        assert_eq!(levels, vec![0, 1, 1, 2]);
+        assert_eq!(wf.width().unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_workflow_is_valid() {
+        let wf = AbstractWorkflow::new("empty");
+        assert!(wf.validate().is_ok());
+        assert_eq!(wf.width().unwrap(), 0);
+        assert!(wf.external_inputs().is_empty());
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_chain() {
+        let mut wf = diamond();
+        // Give b a big runtime so the a-b-d chain dominates.
+        wf.jobs[1].runtime_hint = 100.0;
+        wf.jobs[0].runtime_hint = 1.0;
+        wf.jobs[2].runtime_hint = 5.0;
+        wf.jobs[3].runtime_hint = 2.0;
+        let (total, path) = wf.critical_path().unwrap();
+        assert_eq!(total, 103.0);
+        assert_eq!(path, vec![0, 1, 3]);
+        // Empty workflow.
+        let empty = AbstractWorkflow::new("e");
+        assert_eq!(empty.critical_path().unwrap(), (0.0, vec![]));
+    }
+
+    /// A sub-workflow: consumes "x", produces "sub_out" through an
+    /// internal intermediate "mid".
+    fn sub_workflow() -> AbstractWorkflow {
+        let mut sub = AbstractWorkflow::new("sub");
+        sub.add_job(
+            Job::new("s1", "t")
+                .input(LogicalFile::named("x"))
+                .output(LogicalFile::named("mid")),
+        )
+        .unwrap();
+        sub.add_job(
+            Job::new("s2", "t")
+                .input(LogicalFile::named("mid"))
+                .output(LogicalFile::named("sub_out")),
+        )
+        .unwrap();
+        sub
+    }
+
+    #[test]
+    fn inline_subworkflow_replaces_placeholder() {
+        // Parent: a -> SUB -> d, where SUB consumes x and produces
+        // sub_out consumed by d.
+        let mut parent = AbstractWorkflow::new("parent");
+        parent
+            .add_job(Job::new("a", "gen").output(LogicalFile::named("x")))
+            .unwrap();
+        let ph = parent
+            .add_job(
+                Job::new("SUB", "pegasus::dax")
+                    .input(LogicalFile::named("x"))
+                    .output(LogicalFile::named("sub_out")),
+            )
+            .unwrap();
+        parent
+            .add_job(
+                Job::new("d", "join")
+                    .input(LogicalFile::named("sub_out"))
+                    .output(LogicalFile::named("z")),
+            )
+            .unwrap();
+
+        let flat = parent
+            .with_inlined_subworkflow(ph, &sub_workflow())
+            .unwrap();
+        assert_eq!(flat.jobs.len(), 4); // a, d, SUB/s1, SUB/s2
+        assert!(flat.job_by_name("SUB").is_none());
+        let s1 = flat.job_by_name("SUB/s1").unwrap();
+        let s2 = flat.job_by_name("SUB/s2").unwrap();
+        // Internal file namespaced; interface files untouched.
+        assert_eq!(flat.jobs[s1].outputs[0].name, "SUB/mid");
+        assert_eq!(flat.jobs[s1].inputs[0].name, "x");
+        assert_eq!(flat.jobs[s2].outputs[0].name, "sub_out");
+        // Dataflow connects a -> s1 -> s2 -> d.
+        let edges = flat.edges().unwrap();
+        let a = flat.job_by_name("a").unwrap();
+        let d = flat.job_by_name("d").unwrap();
+        assert!(edges.contains(&(a, s1)));
+        assert!(edges.contains(&(s1, s2)));
+        assert!(edges.contains(&(s2, d)));
+        // Levels: a=0, s1=1, s2=2, d=3.
+        assert_eq!(flat.levels().unwrap()[d], 3);
+    }
+
+    #[test]
+    fn inline_redirects_explicit_edges() {
+        let mut parent = AbstractWorkflow::new("parent");
+        let before = parent.add_job(Job::new("before", "t")).unwrap();
+        let ph = parent.add_job(Job::new("SUB", "pegasus::dax")).unwrap();
+        let after = parent.add_job(Job::new("after", "t")).unwrap();
+        parent.add_edge(before, ph).unwrap();
+        parent.add_edge(ph, after).unwrap();
+
+        let flat = parent
+            .with_inlined_subworkflow(ph, &sub_workflow())
+            .unwrap();
+        let edges = flat.edges().unwrap();
+        let b = flat.job_by_name("before").unwrap();
+        let a = flat.job_by_name("after").unwrap();
+        let s1 = flat.job_by_name("SUB/s1").unwrap();
+        let s2 = flat.job_by_name("SUB/s2").unwrap();
+        // before -> sub roots; sub sinks -> after.
+        assert!(edges.contains(&(b, s1)));
+        assert!(edges.contains(&(s2, a)));
+        // No direct before -> after edge appears.
+        assert!(!edges.contains(&(b, a)));
+    }
+
+    #[test]
+    fn inline_rejects_bad_placeholder() {
+        let parent = AbstractWorkflow::new("p");
+        assert!(parent.with_inlined_subworkflow(0, &sub_workflow()).is_err());
+    }
+
+    #[test]
+    fn nested_inlining_namespaces_twice() {
+        // SUB inside SUB: file names gain two levels of namespace.
+        let mut mid = AbstractWorkflow::new("mid");
+        let inner_ph = mid.add_job(Job::new("INNER", "pegasus::dax")).unwrap();
+        let mid = mid
+            .with_inlined_subworkflow(inner_ph, &sub_workflow())
+            .unwrap();
+        assert!(mid.job_by_name("INNER/s1").is_some());
+        let mut top = AbstractWorkflow::new("top");
+        let ph = top.add_job(Job::new("OUTER", "pegasus::dax")).unwrap();
+        let flat = top.with_inlined_subworkflow(ph, &mid).unwrap();
+        assert!(flat.job_by_name("OUTER/INNER/s1").is_some());
+        let s1 = flat.job_by_name("OUTER/INNER/s1").unwrap();
+        assert_eq!(flat.jobs[s1].outputs[0].name, "OUTER/INNER/mid");
+        flat.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_accumulates_fields() {
+        let j = Job::new("j", "t")
+            .arg("-n")
+            .arg("300")
+            .input(LogicalFile::named("in"))
+            .output(LogicalFile::named("out"))
+            .runtime(12.5);
+        assert_eq!(j.args, vec!["-n", "300"]);
+        assert_eq!(j.runtime_hint, 12.5);
+        assert_eq!(j.inputs.len(), 1);
+        assert_eq!(j.outputs.len(), 1);
+    }
+}

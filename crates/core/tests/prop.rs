@@ -1,0 +1,293 @@
+//! Property-based tests for the WMS core: DAX round-trips over
+//! generated workflows, topological-order laws, planner invariants,
+//! and engine determinism on the scripted backend model.
+
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::dax;
+use pegasus_wms::engine::scripted::ScriptedBackend;
+use pegasus_wms::engine::{run_workflow, EngineConfig, JobState, WorkflowOutcome};
+use pegasus_wms::planner::{cluster_workflow, plan, JobKind, PlannerConfig};
+use pegasus_wms::rescue::RescueDag;
+use pegasus_wms::workflow::{AbstractWorkflow, Job, LogicalFile};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Generates a random *layered* DAG workflow: `layers` layers of up to
+/// `width` jobs; each job consumes a random subset of the previous
+/// layer's outputs. Layered construction guarantees acyclicity while
+/// exercising arbitrary fan-in/fan-out.
+fn layered_workflow(layers: usize, width: usize, edge_bits: u64) -> AbstractWorkflow {
+    let mut wf = AbstractWorkflow::new("generated");
+    let mut prev_outputs: Vec<String> = Vec::new();
+    let mut bit = 0u32;
+    let mut next_bit = move || {
+        let b = (edge_bits >> (bit % 64)) & 1 == 1;
+        bit += 1;
+        b
+    };
+    for layer in 0..layers {
+        let mut outputs_this_layer = Vec::new();
+        for w in 0..width {
+            let id = format!("j_{layer}_{w}");
+            let mut job = Job::new(&id, format!("t{}", (layer + w) % 3))
+                .runtime(1.0 + (layer * width + w) as f64);
+            let out = format!("f_{layer}_{w}");
+            job = job.output(LogicalFile::named(&out));
+            for prev in &prev_outputs {
+                if next_bit() {
+                    job = job.input(LogicalFile::named(prev));
+                }
+            }
+            outputs_this_layer.push(out);
+            wf.add_job(job).expect("unique ids");
+        }
+        prev_outputs = outputs_this_layer;
+    }
+    wf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_workflows_validate(layers in 1usize..5, width in 1usize..5, bits: u64) {
+        let wf = layered_workflow(layers, width, bits);
+        prop_assert!(wf.validate().is_ok());
+    }
+
+    #[test]
+    fn topological_order_is_a_valid_linearisation(
+        layers in 1usize..5, width in 1usize..5, bits: u64
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let order = wf.topological_order().unwrap();
+        prop_assert_eq!(order.len(), wf.jobs.len());
+        let pos: HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+        for (p, c) in wf.edges().unwrap() {
+            prop_assert!(pos[&p] < pos[&c]);
+        }
+    }
+
+    #[test]
+    fn dax_round_trip_preserves_workflows(
+        layers in 1usize..5, width in 1usize..5, bits: u64
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let text = dax::to_dax(&wf);
+        let back = dax::from_dax(&text).unwrap();
+        prop_assert_eq!(back.jobs.len(), wf.jobs.len());
+        for (a, b) in back.jobs.iter().zip(&wf.jobs) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(&a.transformation, &b.transformation);
+            prop_assert_eq!(&a.inputs, &b.inputs);
+            prop_assert_eq!(&a.outputs, &b.outputs);
+        }
+        prop_assert_eq!(back.edges().unwrap(), wf.edges().unwrap());
+    }
+
+    #[test]
+    fn planning_preserves_compute_work(
+        layers in 1usize..4, width in 1usize..5, bits: u64
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (sites, tc) = paper_catalogs();
+        let rc = ReplicaCatalog::new();
+        for site in ["sandhills", "osg"] {
+            let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site(site)).unwrap();
+            // Every abstract job appears exactly once as a compute job.
+            let computes = exec
+                .jobs
+                .iter()
+                .filter(|j| j.kind == JobKind::Compute)
+                .count();
+            prop_assert_eq!(computes, wf.jobs.len());
+            // Total compute runtime is preserved by planning.
+            let total_abstract: f64 = wf.jobs.iter().map(|j| j.runtime_hint).sum();
+            let total_planned: f64 = exec
+                .jobs
+                .iter()
+                .filter(|j| j.kind == JobKind::Compute)
+                .map(|j| j.runtime_hint)
+                .sum();
+            prop_assert!((total_abstract - total_planned).abs() < 1e-9);
+            // The planned graph stays a DAG.
+            prop_assert_eq!(exec.topological_order().len(), exec.jobs.len());
+        }
+    }
+
+    #[test]
+    fn clustering_preserves_total_runtime(
+        layers in 1usize..4, width in 2usize..6, bits: u64, factor in 2usize..5
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let clustered = cluster_workflow(&wf, factor).unwrap();
+        prop_assert!(clustered.jobs.len() <= wf.jobs.len());
+        let before: f64 = wf.jobs.iter().map(|j| j.runtime_hint).sum();
+        let after: f64 = clustered.jobs.iter().map(|j| j.runtime_hint).sum();
+        prop_assert!((before - after).abs() < 1e-9);
+        prop_assert!(clustered.validate().is_ok());
+    }
+
+    /// Chaos: random failure plans over random layered workflows.
+    /// Engine invariants that must hold no matter what fails:
+    /// * every job ends Done, Failed, or Unready;
+    /// * a Failed job consumed exactly `max_retries + 1` attempts;
+    /// * every Unready job has a Failed or Unready ancestor;
+    /// * on failure, resubmitting with the rescue DAG on a healthy
+    ///   backend completes the workflow and re-runs no Done job.
+    #[test]
+    fn engine_chaos_invariants(
+        layers in 1usize..4,
+        width in 1usize..4,
+        bits: u64,
+        fail_mask in 0u64..u64::MAX,
+        max_retries in 0u32..3,
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (sites, tc) = paper_catalogs();
+        let rc = ReplicaCatalog::new();
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.add_create_dir = false;
+        cfg.stage_data = false;
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
+
+        let mut be = ScriptedBackend::new();
+        // Fail plan: job i fails attempts 0..=k where k comes from
+        // fail_mask nibbles (0 = never fails).
+        for (i, j) in exec.jobs.iter().enumerate() {
+            let k = ((fail_mask >> ((i % 16) * 4)) & 0xF) as u32;
+            for attempt in 0..k.min(5) {
+                be.fail_plan.insert((j.name.clone(), attempt));
+            }
+        }
+        let run = run_workflow(&exec, &mut be, &EngineConfig::with_retries(max_retries));
+
+        let parents = exec.parents();
+        for rec in &run.records {
+            match rec.state {
+                JobState::Done => {
+                    prop_assert!(rec.times.is_some());
+                    prop_assert!(rec.attempts >= 1);
+                }
+                JobState::Failed => {
+                    prop_assert_eq!(rec.attempts, max_retries + 1);
+                    prop_assert_eq!(rec.failed_attempts.len() as u32, rec.attempts);
+                }
+                JobState::Unready => {
+                    prop_assert_eq!(rec.attempts, 0);
+                    // Some ancestor failed or was itself unready.
+                    let blocked = parents[rec.job].iter().any(|&p| {
+                        matches!(
+                            run.records[p].state,
+                            JobState::Failed | JobState::Unready
+                        )
+                    });
+                    prop_assert!(blocked, "unready {} with live parents", rec.name);
+                }
+                JobState::SkippedDone => prop_assert!(false, "no skips configured"),
+            }
+        }
+
+        match &run.outcome {
+            WorkflowOutcome::Success => {
+                prop_assert!(run
+                    .records
+                    .iter()
+                    .all(|r| r.state == JobState::Done));
+            }
+            WorkflowOutcome::Failed(rescue) => {
+                // Resume on a healthy backend completes everything.
+                let mut healthy = ScriptedBackend::new();
+                let resumed = run_workflow(
+                    &exec,
+                    &mut healthy,
+                    &EngineConfig::resuming(0, rescue),
+                );
+                prop_assert!(resumed.succeeded());
+                let skipped: std::collections::HashSet<&str> = resumed
+                    .records
+                    .iter()
+                    .filter(|r| r.state == JobState::SkippedDone)
+                    .map(|r| r.name.as_str())
+                    .collect();
+                for name in &rescue.done {
+                    prop_assert!(skipped.contains(name.as_str()));
+                }
+                // Healthy backend never re-ran a rescued job.
+                for (name, _) in &healthy.log {
+                    prop_assert!(!rescue.done.contains(name));
+                }
+            }
+        }
+    }
+
+    /// Catalog files round-trip arbitrary site/transformation shapes.
+    #[test]
+    fn catalog_io_round_trip(
+        site_specs in proptest::collection::vec(
+            ("[a-z][a-z0-9_]{0,12}", proptest::collection::vec("[a-z]{2,8}", 0..4), any::<bool>(), 1u32..100, 1u32..40),
+            1..5
+        ),
+        tc_specs in proptest::collection::vec(
+            ("[a-z][a-z0-9_]{0,12}", proptest::collection::vec("[a-z]{2,8}", 0..4), 1u32..200),
+            0..4
+        ),
+    ) {
+        use pegasus_wms::catalog::{Site, SiteCatalog, Transformation, TransformationCatalog};
+        use pegasus_wms::catalog_io;
+        let mut sites = SiteCatalog::new();
+        for (name, pkgs, shared, bw, speed10) in &site_specs {
+            let mut s = Site::new(name.clone())
+                .with_shared_fs(*shared)
+                .with_cpu_speed(*speed10 as f64 / 10.0);
+            s.bandwidth_bps = *bw as f64 * 1.0e6;
+            for p in pkgs {
+                s.preinstalled.insert(p.clone());
+            }
+            sites.add(s);
+        }
+        let mut tc = TransformationCatalog::new();
+        for (name, reqs, cost) in &tc_specs {
+            let mut t = Transformation::new(name.clone()).install_cost(*cost as f64);
+            // Dedupe requirements: the text format merges repeats.
+            let mut seen = std::collections::BTreeSet::new();
+            for r in reqs {
+                if seen.insert(r.clone()) {
+                    t.requires.push(r.clone());
+                }
+            }
+            tc.add(t);
+        }
+        let rc = ReplicaCatalog::new();
+        let text = catalog_io::to_text(&sites, &tc, &rc, &[]);
+        let back = catalog_io::parse(&text).unwrap();
+        for (name, ..) in &site_specs {
+            let a = sites.get(name).unwrap();
+            let b = back.sites.get(name).unwrap();
+            prop_assert_eq!(&a.preinstalled, &b.preinstalled);
+            prop_assert_eq!(a.shared_fs, b.shared_fs);
+            prop_assert!((a.cpu_speed - b.cpu_speed).abs() < 1e-9);
+            prop_assert!((a.bandwidth_bps - b.bandwidth_bps).abs() < 1.0);
+        }
+        for (name, ..) in &tc_specs {
+            let a = tc.get(name).unwrap();
+            let b = back.transformations.get(name).unwrap();
+            let a_sorted: std::collections::BTreeSet<_> = a.requires.iter().collect();
+            let b_sorted: std::collections::BTreeSet<_> = b.requires.iter().collect();
+            prop_assert_eq!(a_sorted, b_sorted);
+            prop_assert!((a.install_cost_per_pkg - b.install_cost_per_pkg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rescue_text_round_trip(names in proptest::collection::vec("[a-z0-9_.]{1,20}", 0..20)) {
+        let rescue = RescueDag {
+            workflow_name: "wf".into(),
+            site: "osg".into(),
+            done: names,
+        };
+        let back = RescueDag::from_text(&rescue.to_text()).unwrap();
+        prop_assert_eq!(back, rescue);
+    }
+}

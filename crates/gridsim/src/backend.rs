@@ -1,0 +1,652 @@
+//! The simulation backend: a [`PlatformModel`] behind the
+//! [`ExecutionBackend`] contract.
+//!
+//! Job lifecycle: `submit` samples a queue delay and schedules an
+//! *eligible* event (no earlier than the platform's allocation
+//! delay); an eligible job grabs a free slot or joins the FIFO wait
+//! queue; on assignment the install and execution durations — and a
+//! possible preemption point — are sampled and a *complete* event is
+//! scheduled; completion frees the slot and admits the next waiter.
+//! `wait_any` advances the event clock until a completion surfaces.
+
+use crate::dist::{sample_exponential, sample_standard_normal};
+use crate::event::EventQueue;
+use crate::platform::PlatformModel;
+use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, JobOutcome, JobTimes};
+use pegasus_wms::planner::ExecutableJob;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+
+/// Internal per-submission key (one per attempt).
+type Key = u64;
+
+#[derive(Debug, Clone)]
+enum SimEvent {
+    Eligible(Key),
+    /// Completion for a specific scheduling generation of a job; a
+    /// stale generation (the job was evicted and rescheduled) is
+    /// ignored.
+    Complete(Key, u64),
+    /// An opportunistic slot is reclaimed by its owner.
+    SlotDown(usize),
+    /// The slot returns to the pool.
+    SlotUp(usize),
+}
+
+#[derive(Debug, Clone)]
+struct PendingJob {
+    job_id: usize,
+    attempt: u32,
+    runtime_hint: f64,
+    install_hint: f64,
+    submitted: f64,
+    /// Filled at assignment.
+    started: f64,
+    install_done: f64,
+    finished: f64,
+    slot: usize,
+    preempted: bool,
+    /// Scheduling generation, bumped on (re)scheduling so stale
+    /// completion events can be recognised.
+    event_gen: u64,
+}
+
+/// A job accepted by the engine but not yet released to the remote
+/// queue by the DAGMan-style submission throttle.
+#[derive(Debug, Clone)]
+struct HeldJob {
+    job_id: usize,
+    attempt: u32,
+    runtime_hint: f64,
+    install_hint: f64,
+}
+
+/// Discrete-event execution backend over one platform model.
+///
+/// Like DAGMan's `maxjobs` throttle, at most `slot_count()` jobs are
+/// *released* to the remote queue at a time; jobs beyond that are held
+/// at the submit host and their [`JobTimes::submitted`] stamp is set
+/// at release, matching how pegasus-statistics derives per-job waiting
+/// from the Condor job log (held-back jobs accrue no queue wait).
+#[derive(Debug)]
+pub struct SimBackend {
+    platform: PlatformModel,
+    rng: StdRng,
+    clock: f64,
+    events: EventQueue<SimEvent>,
+    pending: HashMap<Key, PendingJob>,
+    waiting: VecDeque<Key>,
+    free_slots: Vec<usize>,
+    next_key: Key,
+    /// Jobs held at the submit host by the throttle.
+    held: VecDeque<HeldJob>,
+    /// Released-but-unfinished job count (throttle occupancy).
+    released: usize,
+    /// Maximum simultaneously released jobs (DAGMan `maxjobs`).
+    throttle: usize,
+    /// Total busy seconds accumulated across slots (utilisation).
+    busy_seconds: f64,
+    /// Count of preemptions that occurred.
+    preemptions: u64,
+    /// Which job currently occupies each slot.
+    occupant: Vec<Option<Key>>,
+    /// Whether each slot is currently in the pool (churn).
+    slot_up: Vec<bool>,
+    /// Churn events observed: (downs, ups).
+    churn_events: (u64, u64),
+}
+
+impl SimBackend {
+    /// Creates a backend over `platform` with a deterministic seed.
+    /// The submission throttle defaults to the slot count.
+    pub fn new(platform: PlatformModel, seed: u64) -> Self {
+        let free_slots = (0..platform.slot_count()).rev().collect();
+        let throttle = platform.slot_count().max(1);
+        let n_slots = platform.slot_count();
+        let mut backend = SimBackend {
+            platform,
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0.0,
+            events: EventQueue::new(),
+            pending: HashMap::new(),
+            waiting: VecDeque::new(),
+            free_slots,
+            next_key: 0,
+            held: VecDeque::new(),
+            released: 0,
+            throttle,
+            busy_seconds: 0.0,
+            preemptions: 0,
+            occupant: vec![None; n_slots],
+            slot_up: vec![true; n_slots],
+            churn_events: (0, 0),
+        };
+        if let Some(churn) = backend.platform.churn {
+            for slot in 0..n_slots {
+                let first_down = sample_exponential(&mut backend.rng, 1.0 / churn.mean_up);
+                backend
+                    .events
+                    .schedule(first_down, SimEvent::SlotDown(slot));
+            }
+        }
+        backend
+    }
+
+    /// (slot-down, slot-up) churn events observed so far.
+    pub fn churn_events(&self) -> (u64, u64) {
+        self.churn_events
+    }
+
+    /// Overrides the DAGMan-style submission throttle.
+    pub fn with_throttle(mut self, throttle: usize) -> Self {
+        self.throttle = throttle.max(1);
+        self
+    }
+
+    /// The modelled platform.
+    pub fn platform(&self) -> &PlatformModel {
+        &self.platform
+    }
+
+    /// Preemptions observed so far.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Mean slot utilisation over the elapsed simulated time.
+    pub fn utilisation(&self) -> f64 {
+        let denom = self.clock * self.platform.slot_count() as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.busy_seconds / denom
+        }
+    }
+
+    fn assign(&mut self, key: Key) {
+        let slot = self
+            .free_slots
+            .pop()
+            .expect("assign called with a free slot");
+        let speed = self.platform.slots[slot].speed.max(1e-9);
+        let started = self.clock;
+
+        debug_assert!(self.slot_up[slot], "assigned a downed slot");
+        self.occupant[slot] = Some(key);
+        let p = self.pending.get_mut(&key).expect("pending job exists");
+        p.slot = slot;
+        p.started = started;
+        p.event_gen += 1;
+
+        let install_dur = p.install_hint * self.platform.install_time_factor;
+        let jitter = if self.platform.runtime_jitter_sigma > 0.0 {
+            (self.platform.runtime_jitter_sigma * sample_standard_normal(&mut self.rng)).exp()
+        } else {
+            1.0
+        };
+        let exec_dur = p.runtime_hint / speed * jitter + self.platform.task_overhead;
+        let busy = install_dur + exec_dur;
+        let preempt_at = sample_exponential(&mut self.rng, self.platform.preemption_rate);
+        if preempt_at < busy {
+            p.preempted = true;
+            p.install_done = started + install_dur.min(preempt_at);
+            p.finished = started + preempt_at;
+        } else {
+            p.preempted = false;
+            p.install_done = started + install_dur;
+            p.finished = started + busy;
+        }
+        let finished = p.finished;
+        let gen = p.event_gen;
+        self.busy_seconds += finished - started;
+        self.events.schedule(finished, SimEvent::Complete(key, gen));
+    }
+
+    /// A slot is reclaimed by its owner: evict the running job (it
+    /// completes *now* as preempted) and take the slot out of the
+    /// pool until its up event.
+    fn on_slot_down(&mut self, slot: usize) {
+        let churn = self.platform.churn.expect("churn events imply a model");
+        self.churn_events.0 += 1;
+        self.slot_up[slot] = false;
+        self.free_slots.retain(|&s| s != slot);
+        if let Some(key) = self.occupant[slot].take() {
+            let clock = self.clock;
+            let p = self.pending.get_mut(&key).expect("occupant is pending");
+            // The scheduled completion at the original finish time is
+            // now stale; deliver an eviction completion instead.
+            self.busy_seconds -= p.finished - clock;
+            p.preempted = true;
+            p.finished = clock;
+            p.install_done = p.install_done.min(clock);
+            p.event_gen += 1;
+            let gen = p.event_gen;
+            self.events.schedule(clock, SimEvent::Complete(key, gen));
+        }
+        let down_for = sample_exponential(&mut self.rng, 1.0 / churn.mean_down);
+        self.events
+            .schedule(self.clock + down_for, SimEvent::SlotUp(slot));
+    }
+
+    /// The slot returns to the pool and immediately serves a waiter.
+    fn on_slot_up(&mut self, slot: usize) {
+        let churn = self.platform.churn.expect("churn events imply a model");
+        self.churn_events.1 += 1;
+        self.slot_up[slot] = true;
+        self.free_slots.push(slot);
+        if let Some(next) = self.waiting.pop_front() {
+            self.assign(next);
+        }
+        let up_for = sample_exponential(&mut self.rng, 1.0 / churn.mean_up);
+        self.events
+            .schedule(self.clock + up_for, SimEvent::SlotDown(slot));
+    }
+
+    fn on_eligible(&mut self, key: Key) {
+        if self.free_slots.is_empty() {
+            self.waiting.push_back(key);
+        } else {
+            self.assign(key);
+        }
+    }
+
+    /// Releases a held job into the remote queue at the current clock.
+    fn release(&mut self, h: HeldJob) {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.released += 1;
+        let delay = self.platform.queue_delay.sample(&mut self.rng);
+        let eligible_at = (self.clock + delay).max(self.platform.startup_delay);
+        self.pending.insert(
+            key,
+            PendingJob {
+                job_id: h.job_id,
+                attempt: h.attempt,
+                runtime_hint: h.runtime_hint,
+                install_hint: h.install_hint,
+                submitted: self.clock,
+                started: 0.0,
+                install_done: 0.0,
+                finished: 0.0,
+                slot: usize::MAX,
+                preempted: false,
+                event_gen: 0,
+            },
+        );
+        self.events.schedule(eligible_at, SimEvent::Eligible(key));
+    }
+
+    fn on_complete(&mut self, key: Key) -> CompletionEvent {
+        let p = self.pending.remove(&key).expect("completed job pending");
+        // Free the slot only if this job still owns it (an evicted
+        // job's slot left the pool with the churn event instead).
+        if p.slot != usize::MAX && self.occupant[p.slot] == Some(key) {
+            self.occupant[p.slot] = None;
+            if self.slot_up[p.slot] {
+                self.free_slots.push(p.slot);
+            }
+        }
+        self.released -= 1;
+        if p.preempted {
+            self.preemptions += 1;
+        }
+        // Admit the next waiter into a freed slot.
+        if !self.free_slots.is_empty() {
+            if let Some(next) = self.waiting.pop_front() {
+                self.assign(next);
+            }
+        }
+        // Release throttled jobs into the vacated submission budget.
+        while self.released < self.throttle {
+            match self.held.pop_front() {
+                Some(h) => self.release(h),
+                None => break,
+            }
+        }
+        CompletionEvent {
+            job: p.job_id,
+            attempt: p.attempt,
+            outcome: if p.preempted {
+                JobOutcome::Failure("preempted".into())
+            } else {
+                JobOutcome::Success
+            },
+            times: JobTimes {
+                submitted: p.submitted,
+                started: p.started,
+                install_done: p.install_done,
+                finished: p.finished,
+            },
+        }
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    fn submit(&mut self, job: &ExecutableJob, attempt: u32) {
+        assert!(
+            self.platform.slot_count() > 0,
+            "platform {} has no slots",
+            self.platform.name
+        );
+        let h = HeldJob {
+            job_id: job.id,
+            attempt,
+            runtime_hint: job.runtime_hint,
+            install_hint: job.install_hint,
+        };
+        if self.released < self.throttle {
+            self.release(h);
+        } else {
+            self.held.push_back(h);
+        }
+    }
+
+    fn wait_any(&mut self) -> CompletionEvent {
+        loop {
+            let (time, ev) = self
+                .events
+                .pop()
+                .expect("wait_any called with nothing in flight");
+            self.clock = self.clock.max(time);
+            match ev {
+                SimEvent::Eligible(key) => self.on_eligible(key),
+                SimEvent::Complete(key, gen) => {
+                    // Skip stale completions of evicted generations.
+                    let live = self.pending.get(&key).is_some_and(|p| p.event_gen == gen);
+                    if live {
+                        return self.on_complete(key);
+                    }
+                }
+                SimEvent::SlotDown(slot) => self.on_slot_down(slot),
+                SimEvent::SlotUp(slot) => self.on_slot_up(slot),
+            }
+        }
+    }
+
+    fn now(&self) -> f64 {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+    use pegasus_wms::engine::{run_workflow, EngineConfig};
+    use pegasus_wms::planner::{ExecutableWorkflow, JobKind};
+
+    fn job(id: usize, runtime: f64, install: f64) -> ExecutableJob {
+        ExecutableJob {
+            id,
+            name: format!("job{id}"),
+            transformation: "work".into(),
+            kind: JobKind::Compute,
+            args: vec![],
+            runtime_hint: runtime,
+            install_hint: install,
+            source_jobs: vec![],
+        }
+    }
+
+    fn independent(jobs: Vec<ExecutableJob>) -> ExecutableWorkflow {
+        ExecutableWorkflow {
+            name: "w".into(),
+            site: "sim".into(),
+            jobs,
+            edges: vec![],
+        }
+    }
+
+    #[test]
+    fn single_job_timing_is_exact_on_deterministic_platform() {
+        let p = PlatformModel::uniform("t", 1, 1.0);
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent(vec![job(0, 100.0, 20.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(run.succeeded());
+        let t = run.records[0].times.unwrap();
+        assert_eq!(t.waiting(), 0.0);
+        assert_eq!(t.install(), 20.0);
+        assert_eq!(t.kickstart(), 100.0);
+        assert_eq!(run.wall_time, 120.0);
+    }
+
+    #[test]
+    fn slot_speed_scales_kickstart_only() {
+        let p = PlatformModel::uniform("fast", 1, 2.0);
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent(vec![job(0, 100.0, 20.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let t = run.records[0].times.unwrap();
+        assert_eq!(t.kickstart(), 50.0);
+        assert_eq!(t.install(), 20.0); // installs are network-bound
+    }
+
+    #[test]
+    fn slot_contention_serialises_excess_jobs() {
+        // 4 jobs of 10s on 2 slots: makespan 20s. With the default
+        // DAGMan-style throttle (== slot count), the two excess jobs
+        // are held at the submit host, so their *queue* waiting stays
+        // zero — matching how pegasus-statistics reports waiting.
+        let p = PlatformModel::uniform("two", 2, 1.0);
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent((0..4).map(|i| job(i, 10.0, 0.0)).collect());
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert_eq!(run.wall_time, 20.0);
+        for rec in &run.records {
+            assert_eq!(rec.times.unwrap().waiting(), 0.0);
+        }
+        assert!(be.utilisation() > 0.99);
+    }
+
+    #[test]
+    fn raised_throttle_exposes_remote_queue_contention() {
+        // Same workload, but all 4 jobs released at once: the two
+        // excess jobs genuinely wait in the remote queue.
+        let p = PlatformModel::uniform("two", 2, 1.0);
+        let mut be = SimBackend::new(p, 1).with_throttle(4);
+        let wf = independent((0..4).map(|i| job(i, 10.0, 0.0)).collect());
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert_eq!(run.wall_time, 20.0);
+        let waited = run
+            .records
+            .iter()
+            .filter(|r| r.times.unwrap().waiting() > 0.0)
+            .count();
+        assert_eq!(waited, 2, "two jobs queue behind the first two");
+    }
+
+    #[test]
+    fn throttle_preserves_fifo_release_order() {
+        // 3 jobs, 1 slot: completion order must be submission order.
+        let p = PlatformModel::uniform("one", 1, 1.0);
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent((0..3).map(|i| job(i, 10.0 - i as f64, 0.0)).collect());
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let finishes: Vec<f64> = run
+            .records
+            .iter()
+            .map(|r| r.times.unwrap().finished)
+            .collect();
+        assert!(finishes[0] < finishes[1] && finishes[1] < finishes[2]);
+    }
+
+    #[test]
+    fn startup_delay_blocks_first_wave() {
+        let mut p = PlatformModel::uniform("campus", 4, 1.0);
+        p.startup_delay = 500.0;
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent(vec![job(0, 10.0, 0.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let t = run.records[0].times.unwrap();
+        assert_eq!(t.waiting(), 500.0);
+        assert_eq!(run.wall_time, 510.0);
+    }
+
+    #[test]
+    fn queue_delay_adds_waiting_time() {
+        let mut p = PlatformModel::uniform("queued", 4, 1.0);
+        p.queue_delay = Dist::Fixed(30.0);
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent(vec![job(0, 10.0, 0.0), job(1, 10.0, 0.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        for rec in &run.records {
+            assert_eq!(rec.times.unwrap().waiting(), 30.0);
+        }
+        assert_eq!(run.wall_time, 40.0);
+    }
+
+    #[test]
+    fn preemption_fails_and_engine_retries() {
+        // Hazard so high every long attempt is preempted; with huge
+        // retries the job still eventually... never succeeds, so keep
+        // a moderate hazard and a seed where attempt 2 survives.
+        let mut p = PlatformModel::uniform("grid", 1, 1.0);
+        p.preemption_rate = 1.0 / 150.0; // mean preemption at 150s
+        let mut be = SimBackend::new(p, 7);
+        let wf = independent(vec![job(0, 100.0, 0.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(50));
+        assert!(run.succeeded());
+        let rec = &run.records[0];
+        // With mean 150 vs duration 100 some attempts fail for seed 7
+        // ... but even if none did, the record is consistent:
+        assert_eq!(rec.failed_attempts.len() as u64, be.preemptions());
+        let t = rec.times.unwrap();
+        assert_eq!(t.kickstart(), 100.0, "successful attempt runs fully");
+    }
+
+    #[test]
+    fn heavy_preemption_exhausts_retries() {
+        let mut p = PlatformModel::uniform("hostile", 1, 1.0);
+        p.preemption_rate = 1.0; // mean preemption after 1s
+        let mut be = SimBackend::new(p, 3);
+        let wf = independent(vec![job(0, 1000.0, 0.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(3));
+        assert!(!run.succeeded());
+        assert!(be.preemptions() >= 4);
+    }
+
+    #[test]
+    fn install_factor_scales_install_phase() {
+        let mut p = PlatformModel::uniform("slow_net", 1, 1.0);
+        p.install_time_factor = 3.0;
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent(vec![job(0, 10.0, 45.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let t = run.records[0].times.unwrap();
+        assert_eq!(t.install(), 135.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let mut p = PlatformModel::uniform("jittery", 4, 1.0);
+        p.queue_delay = Dist::lognormal_median(20.0, 1.0);
+        p.runtime_jitter_sigma = 0.2;
+        let wf = independent((0..16).map(|i| job(i, 50.0, 5.0)).collect());
+        let run1 = run_workflow(
+            &wf,
+            &mut SimBackend::new(p.clone(), 9),
+            &EngineConfig::default(),
+        );
+        let run2 = run_workflow(
+            &wf,
+            &mut SimBackend::new(p.clone(), 9),
+            &EngineConfig::default(),
+        );
+        let run3 = run_workflow(&wf, &mut SimBackend::new(p, 10), &EngineConfig::default());
+        assert_eq!(run1.wall_time, run2.wall_time);
+        assert_ne!(run1.wall_time, run3.wall_time);
+    }
+
+    #[test]
+    fn dag_dependencies_respected_in_sim_time() {
+        // chain a(10) -> b(5): b's submission happens at a's finish.
+        let p = PlatformModel::uniform("t", 4, 1.0);
+        let mut be = SimBackend::new(p, 1);
+        let wf = ExecutableWorkflow {
+            name: "chain".into(),
+            site: "sim".into(),
+            jobs: vec![job(0, 10.0, 0.0), job(1, 5.0, 0.0)],
+            edges: vec![(0, 1)],
+        };
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let ta = run.records[0].times.unwrap();
+        let tb = run.records[1].times.unwrap();
+        assert_eq!(ta.finished, 10.0);
+        assert_eq!(tb.submitted, 10.0);
+        assert_eq!(run.wall_time, 15.0);
+    }
+
+    #[test]
+    fn churn_evicts_and_engine_recovers() {
+        use crate::platform::ChurnModel;
+        // One slot that stays up ~50s; a 200s job must be evicted at
+        // least once and still finish under a generous retry budget.
+        let mut p = PlatformModel::uniform("churny", 1, 1.0);
+        p.churn = Some(ChurnModel {
+            mean_up: 50.0,
+            mean_down: 10.0,
+        });
+        let mut be = SimBackend::new(p, 11);
+        let wf = independent(vec![job(0, 200.0, 0.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(200));
+        assert!(run.succeeded());
+        assert!(
+            be.preemptions() >= 1,
+            "a 200s job on a ~50s-up slot must be evicted"
+        );
+        let (downs, ups) = be.churn_events();
+        assert!(downs >= 1 && ups >= 1);
+        assert_eq!(
+            run.records[0].failed_attempts.len() as u64,
+            be.preemptions()
+        );
+        // The successful attempt ran to completion.
+        assert_eq!(run.records[0].times.unwrap().kickstart(), 200.0);
+    }
+
+    #[test]
+    fn stable_pool_without_churn_never_evicts() {
+        let p = PlatformModel::uniform("stable", 2, 1.0);
+        let mut be = SimBackend::new(p, 3);
+        let wf = independent((0..6).map(|i| job(i, 50.0, 0.0)).collect());
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(run.succeeded());
+        assert_eq!(be.preemptions(), 0);
+        assert_eq!(be.churn_events(), (0, 0));
+    }
+
+    #[test]
+    fn churn_during_idle_periods_is_harmless() {
+        use crate::platform::ChurnModel;
+        // Short up periods but an even shorter job: the job may land
+        // between churn events and finish first try; either way the
+        // run must succeed and timings stay consistent.
+        let mut p = PlatformModel::uniform("churny", 4, 1.0);
+        p.churn = Some(ChurnModel {
+            mean_up: 100.0,
+            mean_down: 5.0,
+        });
+        let mut be = SimBackend::new(p, 5);
+        let wf = independent((0..8).map(|i| job(i, 10.0, 0.0)).collect());
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(50));
+        assert!(run.succeeded());
+        for rec in &run.records {
+            let t = rec.times.unwrap();
+            assert!(t.submitted <= t.started && t.started <= t.finished);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no slots")]
+    fn zero_slot_platform_panics_on_submit() {
+        let p = PlatformModel {
+            slots: vec![],
+            ..PlatformModel::uniform("none", 1, 1.0)
+        };
+        let mut be = SimBackend::new(p, 1);
+        let j = job(0, 1.0, 0.0);
+        be.submit(&j, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by simulated time; ties break by insertion
+//! sequence so runs are reproducible regardless of floating-point
+//! coincidences.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event of payload `T`.
+#[derive(Debug, Clone)]
+struct Scheduled<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour inside BinaryHeap (max-heap).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of timed events.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN.
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((3.0, "b")));
+        assert_eq!(q.pop(), Some((5.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "first");
+        q.schedule(2.0, "second");
+        q.schedule(2.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_times_panic() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, 10);
+        q.schedule(1.0, 1);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        q.schedule(5.0, 5);
+        q.schedule(0.5, 0); // in the "past": still valid, pops first
+        assert_eq!(q.pop(), Some((0.5, 0)));
+        assert_eq!(q.pop(), Some((5.0, 5)));
+        assert_eq!(q.pop(), Some((10.0, 10)));
+    }
+}

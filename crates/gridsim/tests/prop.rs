@@ -1,0 +1,139 @@
+//! Property-based tests for the discrete-event simulator.
+
+use gridsim::dist::Dist;
+use gridsim::event::EventQueue;
+use gridsim::platform::PlatformModel;
+use gridsim::SimBackend;
+use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
+use proptest::prelude::*;
+
+fn job(id: usize, runtime: f64, install: f64) -> ExecutableJob {
+    ExecutableJob {
+        id,
+        name: format!("job{id}"),
+        transformation: "work".into(),
+        kind: JobKind::Compute,
+        args: vec![],
+        runtime_hint: runtime,
+        install_hint: install,
+        source_jobs: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn makespan_bounds_hold(
+        runtimes in proptest::collection::vec(1.0f64..100.0, 1..40),
+        slots in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let platform = PlatformModel::uniform("u", slots, 1.0);
+        let wf = ExecutableWorkflow {
+            name: "flat".into(),
+            site: "sim".into(),
+            jobs: runtimes
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| job(i, r, 0.0))
+                .collect(),
+            edges: vec![],
+        };
+        let mut backend = SimBackend::new(platform, seed);
+        let run = run_workflow(&wf, &mut backend, &EngineConfig::default());
+        prop_assert!(run.succeeded());
+        let total: f64 = runtimes.iter().sum();
+        let max: f64 = runtimes.iter().cloned().fold(0.0, f64::max);
+        // Classic makespan bounds for independent jobs on identical
+        // machines: max(longest job, total/slots) <= makespan <= total.
+        let lower = (total / slots as f64).max(max);
+        prop_assert!(run.wall_time >= lower - 1e-6,
+            "wall {} < lower bound {}", run.wall_time, lower);
+        prop_assert!(run.wall_time <= total + 1e-6,
+            "wall {} > serial bound {}", run.wall_time, total);
+    }
+
+    #[test]
+    fn job_times_are_monotone_and_consistent(
+        runtimes in proptest::collection::vec(1.0f64..50.0, 1..20),
+        installs in proptest::collection::vec(0.0f64..20.0, 1..20),
+        slots in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let n = runtimes.len().min(installs.len());
+        let mut platform = PlatformModel::uniform("u", slots, 1.0);
+        platform.queue_delay = Dist::Uniform(0.0, 10.0);
+        let wf = ExecutableWorkflow {
+            name: "flat".into(),
+            site: "sim".into(),
+            jobs: (0..n).map(|i| job(i, runtimes[i], installs[i])).collect(),
+            edges: vec![],
+        };
+        let mut backend = SimBackend::new(platform, seed);
+        let run = run_workflow(&wf, &mut backend, &EngineConfig::default());
+        for rec in &run.records {
+            let t = rec.times.unwrap();
+            prop_assert!(t.submitted <= t.started);
+            prop_assert!(t.started <= t.install_done);
+            prop_assert!(t.install_done <= t.finished);
+            prop_assert!((t.install() - installs[rec.job]).abs() < 1e-9);
+            prop_assert!((t.kickstart() - runtimes[rec.job]).abs() < 1e-9);
+            prop_assert!(t.finished <= run.wall_time + 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulation_is_seed_deterministic(
+        runtimes in proptest::collection::vec(1.0f64..50.0, 1..20),
+        seed in 0u64..10_000,
+    ) {
+        let mut platform = PlatformModel::uniform("u", 4, 1.0);
+        platform.queue_delay = Dist::lognormal_median(30.0, 1.0);
+        platform.runtime_jitter_sigma = 0.3;
+        let wf = ExecutableWorkflow {
+            name: "flat".into(),
+            site: "sim".into(),
+            jobs: runtimes.iter().enumerate().map(|(i, &r)| job(i, r, 0.0)).collect(),
+            edges: vec![],
+        };
+        let run1 = run_workflow(&wf, &mut SimBackend::new(platform.clone(), seed), &EngineConfig::default());
+        let run2 = run_workflow(&wf, &mut SimBackend::new(platform, seed), &EngineConfig::default());
+        prop_assert_eq!(run1.wall_time, run2.wall_time);
+        for (a, b) in run1.records.iter().zip(&run2.records) {
+            prop_assert_eq!(a.times, b.times);
+        }
+    }
+
+    #[test]
+    fn speed_scales_kickstart_inverse_linearly(
+        runtime in 10.0f64..1000.0,
+        speed in 0.25f64..4.0,
+    ) {
+        let platform = PlatformModel::uniform("u", 1, speed);
+        let wf = ExecutableWorkflow {
+            name: "one".into(),
+            site: "sim".into(),
+            jobs: vec![job(0, runtime, 0.0)],
+            edges: vec![],
+        };
+        let mut backend = SimBackend::new(platform, 1);
+        let run = run_workflow(&wf, &mut backend, &EngineConfig::default());
+        let t = run.records[0].times.unwrap();
+        prop_assert!((t.kickstart() - runtime / speed).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,91 @@
+//! Hierarchical workflows — Pegasus sub-DAX jobs.
+//!
+//! Builds a top-level pipeline in which the whole blast2cap3 workflow
+//! of Fig. 2 is one placeholder job inside a larger analysis (upstream
+//! assembly produces `transcripts.fasta` and `alignments.out`;
+//! downstream annotation consumes `final.fasta`), then inlines the
+//! sub-workflow and plans the flattened DAG.
+//!
+//! ```sh
+//! cargo run --release --example hierarchical_workflow
+//! ```
+
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::planner::{plan, PlannerConfig};
+use pegasus_wms::workflow::{AbstractWorkflow, Job, LogicalFile};
+
+fn main() {
+    // Top-level analysis with a sub-DAX placeholder.
+    let mut top = AbstractWorkflow::new("rnaseq_analysis");
+    top.add_job(
+        Job::new("assemble_reads", "assembler")
+            .input(LogicalFile::sized("reads.fastq", 12_000_000_000))
+            .output(LogicalFile::sized("transcripts.fasta", 404_000_000))
+            .runtime(7200.0),
+    )
+    .unwrap();
+    top.add_job(
+        Job::new("align_proteins", "blastx")
+            .input(LogicalFile::named("transcripts.fasta"))
+            .output(LogicalFile::sized("alignments.out", 155_000_000))
+            .runtime(5400.0),
+    )
+    .unwrap();
+    let placeholder = top
+        .add_job(
+            Job::new("blast2cap3", "pegasus::dax")
+                .input(LogicalFile::named("transcripts.fasta"))
+                .input(LogicalFile::named("alignments.out"))
+                .output(LogicalFile::named("final.fasta")),
+        )
+        .unwrap();
+    top.add_job(
+        Job::new("annotate", "annotator")
+            .input(LogicalFile::named("final.fasta"))
+            .output(LogicalFile::named("annotations.gff"))
+            .runtime(1800.0),
+    )
+    .unwrap();
+
+    let sub = build_workflow(&WorkflowParams::with_n(8));
+    println!(
+        "top-level: {} jobs; blast2cap3 sub-DAX: {} jobs",
+        top.jobs.len(),
+        sub.jobs.len()
+    );
+
+    let flat = top
+        .with_inlined_subworkflow(placeholder, &sub)
+        .expect("inline sub-DAX");
+    println!(
+        "flattened: {} jobs, width {}, depth {}",
+        flat.jobs.len(),
+        flat.width().unwrap(),
+        flat.levels().unwrap().iter().max().unwrap() + 1
+    );
+    let (cp_len, cp) = flat.critical_path().unwrap();
+    let names: Vec<&str> = cp.iter().map(|&i| flat.jobs[i].id.as_str()).collect();
+    println!("critical path ({:.0}s): {}", cp_len, names.join(" -> "));
+
+    // The flattened workflow plans like any other.
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("reads.fastq", "submit");
+    let exec = plan(
+        &flat,
+        &sites,
+        &tc,
+        &rc,
+        &PlannerConfig::for_site("sandhills"),
+    )
+    .unwrap();
+    println!(
+        "planned for sandhills: {} jobs, {} edges",
+        exec.jobs.len(),
+        exec.edges.len()
+    );
+    assert!(flat.job_by_name("blast2cap3/split").is_some());
+    assert!(flat.job_by_name("blast2cap3/run_cap3_0").is_some());
+    println!("sub-DAX jobs are namespaced: blast2cap3/split, blast2cap3/run_cap3_0, ...");
+}

@@ -1,0 +1,428 @@
+//! `pegasus` — a command-line front end mirroring the Pegasus tools
+//! the paper drives its experiments with:
+//!
+//! * `pegasus generate-dax` — emit the blast2cap3 Fig. 2 workflow as a
+//!   DAX file (the role of the paper's Python DAX generator);
+//! * `pegasus plan` — map a DAX onto a site (pegasus-plan): install
+//!   phases, staging, optional clustering/data-reuse/cleanup;
+//! * `pegasus run` — execute the planned workflow on a simulated
+//!   platform (pegasus-run), with live status (pegasus-status),
+//!   statistics on success (pegasus-statistics), an analyzer report on
+//!   failure (pegasus-analyzer), and a rescue file for resubmission;
+//! * `pegasus statistics` — statistics of a run in CSV.
+//!
+//! Example session (mirrors §V of the paper):
+//!
+//! ```sh
+//! pegasus generate-dax --n 300 --out b2c3.dax
+//! pegasus plan --dax b2c3.dax --site osg --dot osg.dot
+//! pegasus run  --dax b2c3.dax --site osg --retries 10
+//! ```
+
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
+use gridsim::platforms::{osg, osg_prestaged, sandhills};
+use gridsim::SimBackend;
+use pegasus_wms::analyzer::analyze;
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::dax;
+use pegasus_wms::engine::{run_workflow_monitored, EngineConfig, WorkflowOutcome};
+use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
+use pegasus_wms::planner::{plan, PlannerConfig};
+use pegasus_wms::rescue::RescueDag;
+use pegasus_wms::statistics::{compute, render_csv, render_text};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         pegasus generate-dax --n <clusters> [--out <file>] [--calibrated]\n  \
+         pegasus generate-workload --shape <montage|cybershake|epigenomics|ligo> --size <n> [--out <file>]\n  \
+         pegasus catalogs [--out <file>]          (dump the built-in site/transformation/replica catalogs)\n  \
+         pegasus plan --dax <file> --site <name> [--cluster <k>] [--data-reuse] [--cleanup] [--dot <file>] [--ascii]\n  \
+         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--quiet]\n  \
+         pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>]"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--flag`s.
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String], bool_flags: &[&str]) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if bool_flags.contains(&key) {
+                    flags.push(key.to_string());
+                    i += 1;
+                } else if i + 1 < raw.len() {
+                    values.insert(key.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    eprintln!("missing value for --{key}");
+                    usage();
+                }
+            } else {
+                eprintln!("unexpected argument {a:?}");
+                usage();
+            }
+        }
+        Args { values, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> &str {
+        self.get(key).unwrap_or_else(|| {
+            eprintln!("missing required --{key}");
+            usage()
+        })
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{key}: {v:?}");
+                usage()
+            }),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn default_replicas() -> ReplicaCatalog {
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    rc
+}
+
+/// Catalogs come from `--catalog <file>` when given, otherwise the
+/// built-in paper pair with submit-host replicas of the two inputs.
+fn load_catalogs(
+    args: &Args,
+) -> (
+    pegasus_wms::catalog::SiteCatalog,
+    pegasus_wms::catalog::TransformationCatalog,
+    ReplicaCatalog,
+) {
+    match args.get("catalog") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read catalog {path}: {e}");
+                std::process::exit(1);
+            });
+            let bundle = pegasus_wms::catalog_io::parse(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse catalog {path}: {e}");
+                std::process::exit(1);
+            });
+            (bundle.sites, bundle.transformations, bundle.replicas)
+        }
+        None => {
+            let (sites, tc) = paper_catalogs();
+            (sites, tc, default_replicas())
+        }
+    }
+}
+
+fn cmd_catalogs(args: &Args) -> ExitCode {
+    let (sites, tc) = paper_catalogs();
+    let rc = default_replicas();
+    let text = pegasus_wms::catalog_io::to_text(
+        &sites,
+        &tc,
+        &rc,
+        &["transcripts.fasta", "alignments.out"],
+    );
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write catalogs");
+            println!("built-in catalogs written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_dax(path: &str) -> pegasus_wms::workflow::AbstractWorkflow {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    dax::from_dax(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_generate_dax(args: &Args) -> ExitCode {
+    let n: usize = args.parsed("n", 300);
+    let params = if args.flag("calibrated") {
+        let cal = calibrate_workload(args.parsed("seed", 20140519u64));
+        let costs = calibrated_chunk_costs(&cal, n);
+        WorkflowParams::with_n(costs.len()).with_chunk_costs(costs)
+    } else {
+        WorkflowParams::with_n(n)
+    };
+    let wf = build_workflow(&params);
+    let text = dax::to_dax(&wf);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write DAX");
+            println!("wrote {} jobs to {path}", wf.jobs.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_generate_workload(args: &Args) -> ExitCode {
+    use pegasus_wms::synthetic;
+    let size: usize = args.parsed("size", 20);
+    let wf = match args.require("shape") {
+        "montage" => synthetic::montage(size),
+        "cybershake" => synthetic::cybershake(size),
+        "epigenomics" => synthetic::epigenomics(2, size.div_ceil(2).max(1)),
+        "ligo" => synthetic::ligo_inspiral(size.div_ceil(5).max(1), 5),
+        other => {
+            eprintln!("unknown shape {other:?}");
+            usage();
+        }
+    };
+    let text = dax::to_dax(&wf);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write DAX");
+            println!("wrote {} ({} jobs) to {path}", wf.name, wf.jobs.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_plan(args: &Args) -> ExitCode {
+    let wf = load_dax(args.require("dax"));
+    let (sites, tc, rc) = load_catalogs(args);
+    let mut cfg = PlannerConfig::for_site(args.require("site"));
+    if let Some(k) = args.get("cluster") {
+        cfg.cluster_factor = Some(k.parse().unwrap_or_else(|_| usage()));
+    }
+    cfg.data_reuse = args.flag("data-reuse");
+    cfg.add_cleanup = args.flag("cleanup");
+    let exec = match plan(&wf, &sites, &tc, &rc, &cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("planned {} for site {}", exec.name, exec.site);
+    let mut by_kind: Vec<(String, usize)> = exec
+        .counts_by_kind()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    by_kind.sort();
+    for (kind, count) in by_kind {
+        println!("  {kind:<12} {count}");
+    }
+    println!("  edges        {}", exec.edges.len());
+    println!("  install time {:.0}s total", exec.total_install_time());
+    if let Ok((cp, _)) = wf.critical_path() {
+        println!("  critical path {cp:.0}s (makespan lower bound)");
+    }
+    if let Some(dot_path) = args.get("dot") {
+        std::fs::write(dot_path, exec.to_dot()).expect("write dot");
+        println!("dot graph written to {dot_path}");
+    }
+    if args.flag("ascii") {
+        println!("{}", ascii_dag(&exec));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders the planned DAG as one line per level, install-carrying
+/// jobs marked `*` (the Fig. 3 red rectangles), with large fan-outs
+/// elided.
+fn ascii_dag(exec: &pegasus_wms::planner::ExecutableWorkflow) -> String {
+    use std::fmt::Write as _;
+    let order = exec.topological_order();
+    let parents = exec.parents();
+    let mut level = vec![0usize; exec.jobs.len()];
+    for &j in &order {
+        for &p in &parents[j] {
+            level[j] = level[j].max(level[p] + 1);
+        }
+    }
+    let max_level = level.iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    for l in 0..=max_level {
+        let mut names: Vec<String> = exec
+            .jobs
+            .iter()
+            .filter(|j| level[j.id] == l)
+            .map(|j| {
+                if j.install_hint > 0.0 {
+                    format!("{}*", j.name)
+                } else {
+                    j.name.clone()
+                }
+            })
+            .collect();
+        names.sort();
+        let shown = if names.len() > 6 {
+            format!(
+                "{} ... {} ({} jobs)",
+                names[..3].join("  "),
+                names[names.len() - 1],
+                names.len()
+            )
+        } else {
+            names.join("  ")
+        };
+        let _ = writeln!(out, "L{l:<2} {shown}");
+        if l < max_level {
+            let _ = writeln!(out, "    |");
+        }
+    }
+    out.push_str("(* = download/install phase attached)\n");
+    out
+}
+
+fn platform_for(site: &str, seed: u64) -> gridsim::PlatformModel {
+    match site {
+        "sandhills" => sandhills(),
+        "osg" => osg(seed),
+        "osg_prestaged" => osg_prestaged(seed),
+        other => {
+            eprintln!("unknown platform {other:?} (use sandhills, osg, osg_prestaged)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
+    let wf = load_dax(args.require("dax"));
+    let site = args.require("site");
+    let seed: u64 = args.parsed("seed", 20140519u64);
+    let retries: u32 = args.parsed("retries", 3u32);
+
+    let (sites, tc, rc) = load_catalogs(args);
+    let catalog_site = if site == "osg_prestaged" { "osg" } else { site };
+    let exec = match plan(
+        &wf,
+        &sites,
+        &tc,
+        &rc,
+        &PlannerConfig::for_site(catalog_site),
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut engine_cfg = EngineConfig::with_retries(retries);
+    if let Some(rescue_path) = args.get("resume") {
+        let text = std::fs::read_to_string(rescue_path).expect("read rescue");
+        let rescue = RescueDag::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("bad rescue file: {e}");
+            std::process::exit(1);
+        });
+        engine_cfg.skip_done = rescue.done.iter().cloned().collect();
+        if !csv_only {
+            println!(
+                "resuming: {} jobs marked DONE in {rescue_path}",
+                rescue.done.len()
+            );
+        }
+    }
+
+    let mut backend = SimBackend::new(platform_for(site, seed), seed);
+    let mut status = StatusMonitor::new(exec.jobs.len());
+    let mut timeline = TimelineMonitor::new();
+    let run = {
+        let mut multi = MultiMonitor::new();
+        multi.push(&mut status);
+        multi.push(&mut timeline);
+        run_workflow_monitored(&exec, &mut backend, &engine_cfg, &mut multi)
+    };
+
+    if !csv_only && !args.flag("quiet") {
+        // pegasus-status style tail: print every 10th line.
+        for line in status.history.iter().step_by(status.history.len() / 10 + 1) {
+            println!("status: {line}");
+        }
+        println!("status: {}", status.status_line());
+    }
+
+    let stats = compute(&run);
+    if csv_only {
+        print!("{}", render_csv(&stats));
+    } else {
+        println!("\n{}", render_text(&stats));
+        println!(
+            "realised peak concurrency: {} slots",
+            timeline.peak_concurrency()
+        );
+    }
+    if let Some(path) = args.get("timeline") {
+        std::fs::write(path, timeline.to_csv()).expect("write timeline");
+        if !csv_only {
+            println!("timeline written to {path}");
+        }
+    }
+
+    match &run.outcome {
+        WorkflowOutcome::Success => ExitCode::SUCCESS,
+        WorkflowOutcome::Failed(rescue) => {
+            let path = args
+                .get("rescue-out")
+                .map(String::from)
+                .unwrap_or_else(|| format!("{}.rescue", run.name));
+            std::fs::write(&path, rescue.to_text()).expect("write rescue");
+            eprintln!("\n{}", analyze(&run).render_text());
+            eprintln!("rescue DAG written to {path}; resubmit with --resume {path}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().map(String::as_str) else {
+        usage();
+    };
+    let rest = &raw[1..];
+    let bool_flags = ["calibrated", "data-reuse", "cleanup", "quiet", "ascii"];
+    let args = Args::parse(rest, &bool_flags);
+    match cmd {
+        "generate-dax" => cmd_generate_dax(&args),
+        "generate-workload" => cmd_generate_workload(&args),
+        "catalogs" => cmd_catalogs(&args),
+        "plan" => cmd_plan(&args),
+        "run" => cmd_run(&args, false),
+        "statistics" => cmd_run(&args, true),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            usage();
+        }
+    }
+}

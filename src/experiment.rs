@@ -1,0 +1,340 @@
+//! The shared experiment harness.
+//!
+//! Everything the figure binaries, Criterion benches, and integration
+//! tests need to re-run the paper's evaluation:
+//!
+//! * [`WorkloadCalibration`] — a synthetic per-cluster CAP3 cost
+//!   distribution with the heavy tail the wheat data exhibits, scaled
+//!   so the serial total equals the paper's 100 hours;
+//! * [`calibrated_chunk_costs`] — the `split`-equivalent partition of
+//!   those cluster costs into `n` chunk costs;
+//! * [`simulate_blast2cap3`] — plan the Fig. 2 workflow onto a
+//!   simulated platform (Sandhills or OSG) and execute it under the
+//!   DAGMan engine, returning the run and its pegasus-statistics;
+//! * [`real_local_run`] — generate a laptop-scale synthetic dataset,
+//!   run the *real* workflow (real FASTA/tabular files, real CAP3)
+//!   through the local Condor pool, and return outputs + timings.
+
+use bioseq::fasta;
+use bioseq::simulate::{generate, TranscriptomeConfig};
+use blast2cap3::files::names;
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use blastx::search::{SearchParams, Searcher};
+use blastx::tabular::TabularRecord;
+use cap3::Cap3Params;
+use condor::pool::{LocalPool, PoolConfig};
+use gridsim::platforms::{osg, osg_prestaged, sandhills, SERIAL_REFERENCE_SECONDS};
+use gridsim::SimBackend;
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::engine::{run_workflow, EngineConfig, WorkflowRun};
+use pegasus_wms::planner::{plan, PlannerConfig};
+use pegasus_wms::statistics::{compute, WorkflowStatistics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+/// The calibrated per-cluster cost model.
+#[derive(Debug, Clone)]
+pub struct WorkloadCalibration {
+    /// CAP3 seconds per protein cluster, heavy-tailed.
+    pub cluster_costs: Vec<f64>,
+    /// Sum of all cluster costs — the serial runtime, calibrated to
+    /// the paper's 100 hours.
+    pub serial_total: f64,
+}
+
+impl WorkloadCalibration {
+    /// The largest single cluster cost — the floor no decomposition
+    /// can beat (a cluster cannot straddle chunks).
+    pub fn max_cluster_cost(&self) -> f64 {
+        self.cluster_costs.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Number of protein clusters in the calibrated workload. The paper's
+/// run clusters 236,529 transcripts by shared protein hit; a few tens
+/// of thousands of clusters is the matching order of magnitude while
+/// staying cheap to partition.
+pub const CALIBRATION_CLUSTERS: usize = 20_000;
+
+/// Builds the calibrated workload: cluster sizes from the same
+/// heavy-tailed family-size law the transcriptome simulator uses,
+/// cost quadratic in cluster size (CAP3's all-pairs overlap stage),
+/// totals scaled to [`SERIAL_REFERENCE_SECONDS`].
+pub fn calibrate_workload(seed: u64) -> WorkloadCalibration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = 1.3f64;
+    let mean = 4.0f64;
+    let cap = 64usize;
+    let x_m = mean * (shape - 1.0) / shape;
+    let sizes: Vec<usize> = (0..CALIBRATION_CLUSTERS)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            ((x_m / u.powf(1.0 / shape)).round() as usize).clamp(1, cap)
+        })
+        .collect();
+    // cost = base + k * size^2, with k chosen to hit the serial total.
+    let base = 2.0f64;
+    let sq_sum: f64 = sizes.iter().map(|&s| (s * s) as f64).sum();
+    let k = (SERIAL_REFERENCE_SECONDS - base * sizes.len() as f64) / sq_sum;
+    let cluster_costs: Vec<f64> = sizes.iter().map(|&s| base + k * (s * s) as f64).collect();
+    let serial_total = cluster_costs.iter().sum();
+    WorkloadCalibration {
+        cluster_costs,
+        serial_total,
+    }
+}
+
+/// Partitions the cluster costs into `n` chunks the way the `split`
+/// task does: largest cluster first onto the lightest chunk. Returns
+/// the per-chunk cost sums (length `min(n, clusters)`).
+pub fn calibrated_chunk_costs(calibration: &WorkloadCalibration, n: usize) -> Vec<f64> {
+    let n = n.max(1).min(calibration.cluster_costs.len().max(1));
+    let mut order: Vec<usize> = (0..calibration.cluster_costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        calibration.cluster_costs[b]
+            .partial_cmp(&calibration.cluster_costs[a])
+            .expect("finite costs")
+    });
+    // Binary-heap of (cost, index) as a min-heap via Reverse ordering
+    // on an integer key would lose precision; linear scan is fine at
+    // n <= 500.
+    let mut chunks = vec![0.0f64; n];
+    for idx in order {
+        let (min_i, _) = chunks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("n >= 1");
+        chunks[min_i] += calibration.cluster_costs[idx];
+    }
+    chunks
+}
+
+/// One simulated experiment result.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The engine-level run record.
+    pub run: WorkflowRun,
+    /// Its pegasus-statistics.
+    pub stats: WorkflowStatistics,
+}
+
+/// Simulates the paper's experiment: the Fig. 2 workflow with `n`
+/// clusters, planned for `site` (`"sandhills"`, `"osg"`, or
+/// `"osg_prestaged"`), executed on the matching platform model.
+///
+/// # Panics
+/// Panics on an unknown site name or if planning fails.
+pub fn simulate_blast2cap3(site: &str, n: usize, seed: u64, retries: u32) -> ExperimentOutcome {
+    let calibration = calibrate_workload(seed);
+    let chunk_costs = calibrated_chunk_costs(&calibration, n);
+    let n_effective = chunk_costs.len();
+    let params = WorkflowParams::with_n(n_effective).with_chunk_costs(chunk_costs);
+    let wf = build_workflow(&params);
+
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    // The prestaged variant is the same site catalog entry as OSG.
+    let catalog_site = if site == "osg_prestaged" { "osg" } else { site };
+    let exec = plan(
+        &wf,
+        &sites,
+        &tc,
+        &rc,
+        &PlannerConfig::for_site(catalog_site),
+    )
+    .expect("planning the paper workflow");
+
+    let platform = match site {
+        "sandhills" => sandhills(),
+        "osg" => osg(seed),
+        "osg_prestaged" => osg_prestaged(seed),
+        other => panic!("unknown simulated site {other:?}"),
+    };
+    let mut backend = SimBackend::new(platform, seed);
+    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(retries));
+    let stats = compute(&run);
+    ExperimentOutcome { run, stats }
+}
+
+/// Result of a real local workflow run.
+#[derive(Debug)]
+pub struct RealRunOutcome {
+    /// The engine-level run record (real wall-clock seconds).
+    pub run: WorkflowRun,
+    /// pegasus-statistics over the real run.
+    pub stats: WorkflowStatistics,
+    /// The final protein-guided assembly read back from disk.
+    pub final_records: Vec<bioseq::fasta::Record>,
+    /// Number of input transcripts written.
+    pub input_count: usize,
+    /// The work directory (left on disk for inspection).
+    pub workdir: PathBuf,
+}
+
+/// Generates a synthetic dataset of `n_families` gene families, runs
+/// BLASTX to produce `alignments.out`, then executes the *real*
+/// Fig. 2 workflow (n = `n_chunks`) on a [`LocalPool`] of `workers`
+/// threads, exchanging genuine files in a fresh work directory.
+pub fn real_local_run(
+    n_families: usize,
+    n_chunks: usize,
+    workers: usize,
+    seed: u64,
+) -> RealRunOutcome {
+    // 1. Synthetic inputs.
+    let cfg = TranscriptomeConfig {
+        n_families,
+        family_size_mean: 4.0,
+        family_size_cap: 16,
+        ..TranscriptomeConfig::tiny(seed)
+    };
+    let data = generate(&cfg);
+    let searcher =
+        Searcher::new(data.proteins.clone(), SearchParams::default()).expect("non-empty db");
+    let queries: Vec<(String, bioseq::seq::DnaSeq)> = data
+        .transcripts
+        .iter()
+        .map(|r| (r.id.clone(), r.seq.clone()))
+        .collect();
+    let hsps = searcher.search_many(&queries, workers);
+    let alignments: Vec<TabularRecord> = hsps.iter().map(TabularRecord::from).collect();
+
+    let workdir = std::env::temp_dir().join(format!(
+        "blast2cap3_real_run_{}_{}",
+        std::process::id(),
+        seed
+    ));
+    std::fs::remove_dir_all(&workdir).ok();
+    std::fs::create_dir_all(&workdir).expect("create workdir");
+    fasta::write_file(workdir.join(names::TRANSCRIPTS), &data.transcripts)
+        .expect("write transcripts");
+    blastx::tabular::write_file(workdir.join(names::ALIGNMENTS), &alignments)
+        .expect("write alignments");
+
+    // 2. Plan without staging (the files are already local).
+    let params = WorkflowParams {
+        n_clusters: n_chunks,
+        transcripts_bytes: 0,
+        alignments_bytes: 0,
+        ..Default::default()
+    };
+    let wf = build_workflow(&params);
+    let (sites, tc) = paper_catalogs();
+    let mut cfg = PlannerConfig::for_site("sandhills");
+    cfg.stage_data = false;
+    cfg.add_create_dir = false;
+    let exec = plan(&wf, &sites, &tc, &ReplicaCatalog::new(), &cfg).expect("plan local workflow");
+
+    // 3. Execute for real.
+    let mut pool = LocalPool::new(
+        PoolConfig {
+            workers,
+            workdir: workdir.clone(),
+            ..Default::default()
+        },
+        crate::registry::build_registry(Cap3Params::default()),
+    );
+    let run = run_workflow(&exec, &mut pool, &EngineConfig::with_retries(0));
+    let stats = compute(&run);
+    let final_records = if run.succeeded() {
+        fasta::read_file(workdir.join(names::FINAL)).expect("final.fasta written")
+    } else {
+        Vec::new()
+    };
+    RealRunOutcome {
+        run,
+        stats,
+        final_records,
+        input_count: data.transcripts.len(),
+        workdir,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_totals_match_the_paper() {
+        let c = calibrate_workload(1);
+        assert_eq!(c.cluster_costs.len(), CALIBRATION_CLUSTERS);
+        assert!(
+            (c.serial_total - SERIAL_REFERENCE_SECONDS).abs() < 1.0,
+            "total={}",
+            c.serial_total
+        );
+        assert!(c.cluster_costs.iter().all(|&x| x > 0.0));
+        // Heavy tail: the largest cluster is much bigger than the mean.
+        let mean = c.serial_total / c.cluster_costs.len() as f64;
+        assert!(c.max_cluster_cost() > 20.0 * mean);
+    }
+
+    #[test]
+    fn chunk_costs_partition_the_total() {
+        let c = calibrate_workload(2);
+        for n in [10usize, 100, 300, 500] {
+            let chunks = calibrated_chunk_costs(&c, n);
+            assert_eq!(chunks.len(), n);
+            let total: f64 = chunks.iter().sum();
+            assert!((total - c.serial_total).abs() < 1.0, "n={n}");
+            // Balanced: max chunk is at least total/n and at least the
+            // biggest cluster, and not wildly above.
+            let max = chunks.iter().copied().fold(0.0f64, f64::max);
+            let lower = (c.serial_total / n as f64).max(c.max_cluster_cost());
+            assert!(max >= lower - 1.0, "n={n}: max={max} lower={lower}");
+            assert!(
+                max <= lower + c.max_cluster_cost() + 1.0,
+                "n={n}: max={max}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_chunk_cost_decreases_with_n() {
+        let c = calibrate_workload(3);
+        let max_of = |n: usize| {
+            calibrated_chunk_costs(&c, n)
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max)
+        };
+        let m10 = max_of(10);
+        let m100 = max_of(100);
+        let m300 = max_of(300);
+        assert!(m10 > m100, "{m10} > {m100}");
+        assert!(m100 > m300, "{m100} > {m300}");
+        // But never below the single biggest cluster.
+        assert!(m300 >= c.max_cluster_cost() - 1.0);
+    }
+
+    #[test]
+    fn simulated_sandhills_beats_serial_by_95_percent() {
+        let out = simulate_blast2cap3("sandhills", 300, 7, 3);
+        assert!(out.run.succeeded());
+        let reduction = 1.0 - out.run.wall_time / SERIAL_REFERENCE_SECONDS;
+        assert!(
+            reduction > 0.95,
+            "workflow must cut >95% of serial time; wall={} reduction={reduction}",
+            out.run.wall_time
+        );
+    }
+
+    #[test]
+    fn real_local_run_produces_final_assembly() {
+        let out = real_local_run(8, 4, 2, 11);
+        assert!(out.run.succeeded(), "records: {:?}", out.run.records);
+        assert!(!out.final_records.is_empty());
+        assert!(
+            out.final_records.len() < out.input_count,
+            "merging must reduce transcript count: {} -> {}",
+            out.input_count,
+            out.final_records.len()
+        );
+        assert!(out.stats.jobs_failed == 0);
+        std::fs::remove_dir_all(&out.workdir).ok();
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! blast2cap3-pegasus: the umbrella crate of the reproduction.
+//!
+//! This crate wires the pieces together:
+//!
+//! * [`registry`] — binds the blast2cap3 file-based task kernels to
+//!   transformation names, producing the [`condor::TaskRegistry`] the
+//!   local worker pool executes;
+//! * [`experiment`] — the shared experiment harness: workload
+//!   calibration against the paper's 100-hour serial baseline,
+//!   simulated platform runs (Fig. 4/Fig. 5), and real local workflow
+//!   runs at laptop scale.
+//!
+//! See README.md for the quickstart and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+pub mod experiment;
+pub mod registry;
+
+pub use experiment::{
+    calibrated_chunk_costs, real_local_run, simulate_blast2cap3, ExperimentOutcome,
+    WorkloadCalibration,
+};
+pub use registry::build_registry;

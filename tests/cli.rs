@@ -1,0 +1,236 @@
+//! Smoke tests for the two command-line tools, run as real processes
+//! (Cargo builds the bins and exposes their paths via
+//! `CARGO_BIN_EXE_*`). These are the "does a user session work"
+//! checks: generate → plan → run → fail → rescue → resume, plus the
+//! blast2cap3 simulate → run data path.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("b2c3_cli_tests")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn pegasus() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pegasus"))
+}
+
+fn b2c3() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_b2c3"))
+}
+
+#[test]
+fn pegasus_generate_plan_run_session() {
+    let dir = tmpdir("session");
+    let dax = dir.join("wf.dax");
+
+    let out = pegasus()
+        .args(["generate-dax", "--n", "12", "--calibrated"])
+        .args(["--out", dax.to_str().unwrap()])
+        .output()
+        .expect("spawn pegasus");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dax.exists());
+
+    let out = pegasus()
+        .args(["plan", "--dax", dax.to_str().unwrap(), "--site", "osg"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("compute"), "{text}");
+    assert!(text.contains("install time"), "{text}");
+
+    let out = pegasus()
+        .args(["run", "--dax", dax.to_str().unwrap()])
+        .args(["--site", "sandhills", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Workflow Wall Time"), "{text}");
+    assert!(text.contains("run_cap3"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pegasus_failure_rescue_resume_session() {
+    let dir = tmpdir("rescue");
+    let dax = dir.join("wf.dax");
+    let rescue = dir.join("wf.rescue");
+    pegasus()
+        .args(["generate-dax", "--n", "10", "--calibrated"])
+        .args(["--out", dax.to_str().unwrap()])
+        .status()
+        .unwrap();
+
+    // Hostile OSG, no retries: must fail and leave a rescue file.
+    let out = pegasus()
+        .args(["run", "--dax", dax.to_str().unwrap()])
+        .args(["--site", "osg", "--retries", "0", "--seed", "7", "--quiet"])
+        .args(["--rescue-out", rescue.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "hostile run must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("pegasus-analyzer"), "{err}");
+    assert!(rescue.exists());
+    let rescue_text = std::fs::read_to_string(&rescue).unwrap();
+    assert!(rescue_text.contains("DONE"), "{rescue_text}");
+
+    // Resume on the campus cluster: must succeed.
+    let out = pegasus()
+        .args(["run", "--dax", dax.to_str().unwrap()])
+        .args(["--site", "sandhills", "--quiet"])
+        .args(["--resume", rescue.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pegasus_statistics_emits_csv() {
+    let dir = tmpdir("stats");
+    let dax = dir.join("wf.dax");
+    pegasus()
+        .args(["generate-dax", "--n", "6"])
+        .args(["--out", dax.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let out = pegasus()
+        .args([
+            "statistics",
+            "--dax",
+            dax.to_str().unwrap(),
+            "--site",
+            "sandhills",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("task_type,"), "{text}");
+    assert!(text.contains("run_cap3,6,"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pegasus_workload_gallery_and_catalogs() {
+    let dir = tmpdir("gallery");
+    for shape in ["montage", "cybershake", "epigenomics", "ligo"] {
+        let dax = dir.join(format!("{shape}.dax"));
+        let out = pegasus()
+            .args(["generate-workload", "--shape", shape, "--size", "8"])
+            .args(["--out", dax.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{shape}");
+        // Plans against the built-in catalogs.
+        let out = pegasus()
+            .args([
+                "plan",
+                "--dax",
+                dax.to_str().unwrap(),
+                "--site",
+                "sandhills",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{shape}");
+    }
+    // Dump catalogs, then plan against the dumped file.
+    let cat = dir.join("catalogs.txt");
+    pegasus()
+        .args(["catalogs", "--out", cat.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let dax = dir.join("montage.dax");
+    let out = pegasus()
+        .args(["plan", "--dax", dax.to_str().unwrap(), "--site", "osg"])
+        .args(["--catalog", cat.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn blast2cap3_simulate_then_run_both_modes() {
+    let dir = tmpdir("b2c3");
+    let out = b2c3()
+        .args(["simulate", "--families", "30"])
+        .args(["--dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let transcripts = dir.join("transcripts.fasta");
+    let alignments = dir.join("alignments.out");
+    assert!(transcripts.exists() && alignments.exists());
+
+    // Re-derive alignments with the align subcommand and check they
+    // cluster the same transcripts.
+    let proteins = dir.join("proteins.fasta");
+    assert!(proteins.exists());
+    let realigned = dir.join("realigned.out");
+    let out = b2c3()
+        .args(["align", "--transcripts", transcripts.to_str().unwrap()])
+        .args(["--proteins", proteins.to_str().unwrap()])
+        .args(["--out", realigned.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(realigned.exists());
+    let rows = blastx::tabular::read_file(&realigned).unwrap();
+    assert!(!rows.is_empty());
+
+    let mut counts = Vec::new();
+    for (mode, extra) in [
+        ("parallel", vec!["--chunks", "8"]),
+        ("serial", vec!["--serial"]),
+    ] {
+        let final_path = dir.join(format!("final_{mode}.fasta"));
+        let out = b2c3()
+            .args(["run", "--transcripts", transcripts.to_str().unwrap()])
+            .args(["--alignments", alignments.to_str().unwrap()])
+            .args(["--out", final_path.to_str().unwrap()])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let records = bioseq::fasta::read_file(&final_path).unwrap();
+        assert!(!records.is_empty());
+        counts.push(records.len());
+    }
+    assert_eq!(counts[0], counts[1], "modes must agree");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,85 @@
+//! Integration through the DAX text format: the Fig. 2 workflow is
+//! serialized to DAX, parsed back, planned, and executed — proving
+//! that the interchange format carries everything the rest of the
+//! stack needs (as it must, since real Pegasus deployments hand DAX
+//! files between tools).
+
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use gridsim::platforms::sandhills;
+use gridsim::SimBackend;
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::dax;
+use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::planner::{plan, PlannerConfig};
+
+#[test]
+fn dax_file_drives_a_full_simulated_run() {
+    let original = build_workflow(&WorkflowParams::with_n(20));
+    let text = dax::to_dax(&original);
+
+    // A different "tool" picks the DAX up.
+    let parsed = dax::from_dax(&text).expect("parse own DAX");
+    assert_eq!(parsed.jobs.len(), original.jobs.len());
+
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    let exec = plan(
+        &parsed,
+        &sites,
+        &tc,
+        &rc,
+        &PlannerConfig::for_site("sandhills"),
+    )
+    .unwrap();
+
+    let mut backend = SimBackend::new(sandhills(), 5);
+    let run = run_workflow(&exec, &mut backend, &EngineConfig::default());
+    assert!(run.succeeded());
+    assert!(run.wall_time > 0.0);
+}
+
+#[test]
+fn dax_runtime_hints_survive_and_shape_the_simulation() {
+    // Two parameterisations with different chunk costs must produce
+    // different simulated wall times after a DAX round trip.
+    let cheap = WorkflowParams::with_n(4).with_chunk_costs(vec![10.0; 4]);
+    let dear = WorkflowParams::with_n(4).with_chunk_costs(vec![10_000.0; 4]);
+    let mut walls = Vec::new();
+    for params in [cheap, dear] {
+        let wf = dax::from_dax(&dax::to_dax(&build_workflow(&params))).unwrap();
+        let (sites, tc) = paper_catalogs();
+        let mut rc = ReplicaCatalog::new();
+        rc.register("transcripts.fasta", "submit");
+        rc.register("alignments.out", "submit");
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+        let mut backend = SimBackend::new(sandhills(), 5);
+        let run = run_workflow(&exec, &mut backend, &EngineConfig::default());
+        assert!(run.succeeded());
+        walls.push(run.wall_time);
+    }
+    assert!(
+        walls[1] > walls[0] + 5_000.0,
+        "runtime hints must flow through DAX: {walls:?}"
+    );
+}
+
+#[test]
+fn planner_injects_fig3_installs_after_dax_round_trip() {
+    let wf = dax::from_dax(&dax::to_dax(&build_workflow(&WorkflowParams::with_n(6)))).unwrap();
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    let sh = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+    let og = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).unwrap();
+    assert_eq!(sh.total_install_time(), 0.0);
+    assert!(og.total_install_time() > 0.0);
+    // Fig. 3 decorates *every* compute task.
+    for j in &og.jobs {
+        if j.kind == pegasus_wms::planner::JobKind::Compute {
+            assert!(j.install_hint > 0.0, "{} lacks an install phase", j.name);
+        }
+    }
+}

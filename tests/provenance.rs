@@ -1,0 +1,130 @@
+//! Provenance chain integration: one simulated paper-scale run
+//! observed simultaneously by the status monitor, the timeline
+//! monitor, and the Condor user-log monitor — then cross-checked
+//! against the engine's own records and pegasus-statistics, the same
+//! consistency the real Pegasus stack relies on between monitord, the
+//! Condor log, and the statistics database.
+
+use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
+use condor::joblog::{EventCode, JobLogMonitor};
+use gridsim::platforms::osg;
+use gridsim::SimBackend;
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::engine::{run_workflow_monitored, EngineConfig, JobState};
+use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
+use pegasus_wms::statistics::compute;
+
+#[test]
+fn monitors_joblog_and_statistics_agree() {
+    // A smallish calibrated workflow on the failure-prone OSG model,
+    // so retries appear in the provenance.
+    let cal = calibrate_workload(99);
+    let costs = calibrated_chunk_costs(&cal, 40);
+    let wf = build_workflow(&WorkflowParams::with_n(costs.len()).with_chunk_costs(costs));
+    let (sites, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    let exec = pegasus_wms::planner::plan(
+        &wf,
+        &sites,
+        &tc,
+        &rc,
+        &pegasus_wms::planner::PlannerConfig::for_site("osg"),
+    )
+    .unwrap();
+
+    let mut backend = SimBackend::new(osg(99), 99);
+    let mut status = StatusMonitor::new(exec.jobs.len());
+    let mut timeline = TimelineMonitor::new();
+    let mut joblog = JobLogMonitor::new();
+    let run = {
+        let mut multi = MultiMonitor::new();
+        multi.push(&mut status);
+        multi.push(&mut timeline);
+        multi.push(&mut joblog);
+        run_workflow_monitored(
+            &exec,
+            &mut backend,
+            &EngineConfig::with_retries(20),
+            &mut multi,
+        )
+    };
+    assert!(run.succeeded());
+
+    // --- status monitor vs engine records -------------------------
+    assert_eq!(status.done, exec.jobs.len());
+    assert_eq!(status.in_flight, 0);
+    assert_eq!(status.percent_done(), 100.0);
+    let total_attempts: u32 = run.records.iter().map(|r| r.attempts).sum();
+    assert_eq!(status.submissions as u32, total_attempts);
+    let failed_attempts: usize = run.records.iter().map(|r| r.failed_attempts.len()).sum();
+    assert_eq!(status.failed_attempts, failed_attempts);
+
+    // --- timeline vs records ---------------------------------------
+    assert_eq!(timeline.entries.len() as u32, total_attempts);
+    let peak = timeline.peak_concurrency();
+    assert!((1..=gridsim::platforms::OSG_SLOTS).contains(&peak));
+    // Every successful record's interval appears in the timeline.
+    for rec in &run.records {
+        let t = rec.times.expect("all succeeded");
+        assert!(
+            timeline
+                .entries
+                .iter()
+                .any(|e| e.name == rec.name && e.succeeded && (e.end - t.finished).abs() < 1e-9),
+            "missing timeline entry for {}",
+            rec.name
+        );
+    }
+
+    // --- job log round trip and interval reconciliation ------------
+    let text = joblog.to_text();
+    let parsed = JobLogMonitor::parse(&text).unwrap();
+    assert_eq!(parsed.len(), joblog.events.len());
+    for (a, b) in parsed.iter().zip(&joblog.events) {
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.job, b.job);
+        assert_eq!(a.attempt, b.attempt);
+        // The text format carries millisecond precision.
+        assert!((a.time - b.time).abs() < 1e-3, "{} vs {}", a.time, b.time);
+        assert_eq!(a.note, b.note);
+    }
+    let submits = joblog
+        .events
+        .iter()
+        .filter(|e| e.code == EventCode::Submit)
+        .count();
+    assert_eq!(submits as u32, total_attempts);
+    let aborts = joblog
+        .events
+        .iter()
+        .filter(|e| e.code == EventCode::Aborted)
+        .count();
+    assert_eq!(aborts, failed_attempts, "every preemption is logged");
+    let intervals = joblog.execution_intervals();
+    assert_eq!(intervals.len() as u32, total_attempts);
+
+    // --- statistics consistency -------------------------------------
+    let stats = compute(&run);
+    assert_eq!(stats.retries as usize, failed_attempts);
+    // Cumulative kickstart equals the successful intervals minus the
+    // install phases.
+    let success_exec: f64 = run
+        .records
+        .iter()
+        .filter_map(|r| r.times)
+        .map(|t| t.kickstart())
+        .sum();
+    assert!((stats.cumulative_job_walltime - success_exec).abs() < 1e-6);
+    assert!(stats.cumulative_badput > 0.0, "preemptions imply badput");
+    // Everything the stats claim succeeded really is Done.
+    assert_eq!(
+        stats.jobs_succeeded,
+        run.records
+            .iter()
+            .filter(|r| r.state == JobState::Done)
+            .count()
+    );
+}
