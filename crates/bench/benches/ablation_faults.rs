@@ -1,0 +1,104 @@
+//! Fault-injection ablations: what each chaos scenario costs the
+//! n = 300 OSG run, and what the retry policy buys back.
+//!
+//! Two sweeps are printed once per bench invocation:
+//!
+//! * scenario ablation — the same seeded run under no faults, a
+//!   preemption storm, a slot blackout, straggler nodes, an
+//!   install-failure burst, and all of them combined;
+//! * policy ablation — the full-chaos run under a flat retry limit vs
+//!   exponential backoff vs jittered exponential backoff plus a
+//!   straggler-killing timeout.
+//!
+//! The benchmarked quantity is the end-to-end plan+simulate cost of a
+//! chaos run, so regressions in the fault bookkeeping itself show up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use blast2cap3_pegasus::experiment::{simulate_blast2cap3_with, ExperimentOutcome};
+use gridsim::{FaultPlan, FaultScript};
+use pegasus_wms::engine::{EngineConfig, RetryPolicy};
+
+// Window placement: the n = 300 OSG run executes its chunks in
+// roughly [3000 s, 13000 s] simulated time, so the timed scenarios sit
+// inside that band.
+const STORM: &str = "preemption-storm start=3000 duration=4000 kill-probability=0.5\n";
+const BLACKOUT: &str = "slot-blackout start=4000 duration=3000 first-slot=0 count=16\n";
+const STRAGGLER: &str = "straggler start=0 duration=1e9 slowdown=4 probability=0.1\n";
+const INSTALL: &str = "install-failure-burst start=0 duration=1e9 fail-probability=0.3\n";
+
+fn chaos_run(plan_text: &str, policy: RetryPolicy, n: usize, seed: u64) -> ExperimentOutcome {
+    let script = (!plan_text.is_empty())
+        .then(|| FaultScript::new(FaultPlan::parse(plan_text).expect("valid plan"), seed));
+    let mut cfg = EngineConfig::with_policy(policy);
+    cfg.seed = seed;
+    simulate_blast2cap3_with("osg", n, seed, &cfg, script)
+}
+
+fn bench_ablation_faults(c: &mut Criterion) {
+    let full_chaos = format!("{STORM}{BLACKOUT}{STRAGGLER}{INSTALL}");
+    let policy = || RetryPolicy::exponential(15, 30.0);
+
+    println!("scenario ablation @ OSG n=300 (exponential backoff, 15 retries):");
+    for (label, plan) in [
+        ("no faults", String::new()),
+        ("preemption storm", STORM.into()),
+        ("slot blackout", BLACKOUT.into()),
+        ("stragglers", STRAGGLER.into()),
+        ("install burst", INSTALL.into()),
+        ("full chaos", full_chaos.clone()),
+    ] {
+        let out = chaos_run(&plan, policy(), 300, 42);
+        let f = &out.stats.faults;
+        println!(
+            "  {label:<16} wall={:>7.0}s retries={:<4} preempted={} evicted={} install={} timeout={} succeeded={}",
+            out.run.wall_time,
+            f.retries,
+            f.preemptions,
+            f.evictions,
+            f.install_failures,
+            f.timeouts,
+            out.run.succeeded()
+        );
+    }
+
+    println!("policy ablation  @ OSG n=300 (full chaos):");
+    for (label, p) in [
+        ("flat retries", RetryPolicy::flat(15)),
+        ("exp backoff", RetryPolicy::exponential(15, 30.0)),
+        (
+            "exp+jitter+timeout",
+            RetryPolicy::exponential(15, 30.0)
+                .with_jitter(0.5)
+                .with_timeout(6_000.0),
+        ),
+    ] {
+        let out = chaos_run(&full_chaos, p, 300, 42);
+        let f = &out.stats.faults;
+        println!(
+            "  {label:<18} wall={:>7.0}s retries={:<4} backoff-wait={:>7.0}s timeouts={} succeeded={}",
+            out.run.wall_time,
+            f.retries,
+            f.backoff_wait,
+            f.timeouts,
+            out.run.succeeded()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_faults");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("osg_no_faults", |b| {
+        b.iter(|| chaos_run("", policy(), 100, 42).run.wall_time)
+    });
+    group.bench_function("osg_full_chaos", |b| {
+        b.iter(|| chaos_run(&full_chaos, policy(), 100, 42).run.wall_time)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_faults);
+criterion_main!(benches);

@@ -19,9 +19,11 @@ pub enum EventCode {
     Submit,
     /// 001: job began executing.
     Execute,
+    /// 004: job was evicted from its machine (preemption, blackout).
+    Evicted,
     /// 005: job terminated (successfully).
     Terminated,
-    /// 009: job aborted / evicted.
+    /// 009: job aborted.
     Aborted,
 }
 
@@ -31,6 +33,7 @@ impl EventCode {
         match self {
             EventCode::Submit => "000",
             EventCode::Execute => "001",
+            EventCode::Evicted => "004",
             EventCode::Terminated => "005",
             EventCode::Aborted => "009",
         }
@@ -41,6 +44,7 @@ impl EventCode {
         match code {
             "000" => Some(EventCode::Submit),
             "001" => Some(EventCode::Execute),
+            "004" => Some(EventCode::Evicted),
             "005" => Some(EventCode::Terminated),
             "009" => Some(EventCode::Aborted),
             _ => None,
@@ -155,7 +159,7 @@ impl JobLogMonitor {
                 EventCode::Execute => {
                     started.insert((ev.job.clone(), ev.attempt), ev.time);
                 }
-                EventCode::Terminated | EventCode::Aborted => {
+                EventCode::Terminated | EventCode::Aborted | EventCode::Evicted => {
                     if let Some(start) = started.remove(&(ev.job.clone(), ev.attempt)) {
                         out.push((ev.job.clone(), ev.attempt, start, ev.time));
                     }
@@ -194,13 +198,26 @@ impl WorkflowMonitor for JobLogMonitor {
                 time: event.times.finished,
                 note: "Job terminated. (return value 0)".into(),
             }),
-            JobOutcome::Failure(reason) => self.events.push(LogEvent {
-                code: EventCode::Aborted,
-                job: job.name.clone(),
-                attempt: event.attempt,
-                time: event.times.finished,
-                note: format!("Job was aborted: {reason}"),
-            }),
+            JobOutcome::Failure(reason) => {
+                // Machine-initiated kills get the real Condor evicted
+                // code; everything else stays an abort.
+                let evicted = reason.starts_with("preempted") || reason.starts_with("evicted");
+                self.events.push(LogEvent {
+                    code: if evicted {
+                        EventCode::Evicted
+                    } else {
+                        EventCode::Aborted
+                    },
+                    job: job.name.clone(),
+                    attempt: event.attempt,
+                    time: event.times.finished,
+                    note: if evicted {
+                        format!("Job was evicted: {reason}")
+                    } else {
+                        format!("Job was aborted: {reason}")
+                    },
+                });
+            }
         }
     }
 }
@@ -255,11 +272,37 @@ mod tests {
     }
 
     #[test]
-    fn failures_become_abort_events() {
+    fn preemptions_become_evicted_events() {
         let mut log = JobLogMonitor::new();
         log.job_terminated(&job("cap3"), &completion(1, 0.0, 3.0, false));
-        assert_eq!(log.events[1].code, EventCode::Aborted);
+        assert_eq!(log.events[1].code, EventCode::Evicted);
         assert!(log.events[1].note.contains("preempted"));
+    }
+
+    #[test]
+    fn non_machine_failures_stay_aborts() {
+        let mut log = JobLogMonitor::new();
+        let mut ev = completion(0, 0.0, 3.0, false);
+        ev.outcome = JobOutcome::Failure("task panicked".into());
+        log.job_terminated(&job("cap3"), &ev);
+        assert_eq!(log.events[1].code, EventCode::Aborted);
+        assert!(log.events[1].note.contains("task panicked"));
+    }
+
+    #[test]
+    fn evicted_events_round_trip_and_pair_intervals() {
+        let mut log = JobLogMonitor::new();
+        let mut ev = completion(0, 1.0, 4.0, false);
+        ev.outcome = JobOutcome::Failure("evicted:blackout".into());
+        log.job_terminated(&job("b"), &ev);
+        let text = log.to_text();
+        assert!(text.contains("004 (b.000)"));
+        let parsed = JobLogMonitor::parse(&text).unwrap();
+        assert_eq!(parsed, log.events);
+        assert_eq!(
+            log.execution_intervals(),
+            vec![("b".to_string(), 0, 1.0, 4.0)]
+        );
     }
 
     #[test]

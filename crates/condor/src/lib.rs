@@ -21,4 +21,6 @@ pub mod matchmaker;
 pub mod pool;
 
 pub use classad::{ClassAd, Value};
-pub use pool::{LocalPool, PoolConfig, TaskContext, TaskRegistry};
+pub use pool::{
+    FaultInjector, FaultProbe, InjectedFault, LocalPool, PoolConfig, TaskContext, TaskRegistry,
+};

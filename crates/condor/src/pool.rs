@@ -110,6 +110,43 @@ impl Default for PoolConfig {
 /// to make that attempt fail.
 pub type FailureInjector = Arc<dyn Fn(&str, u32) -> Option<String> + Send + Sync>;
 
+/// What the fault injector learns about an attempt before it runs.
+#[derive(Debug, Clone)]
+pub struct FaultProbe {
+    /// Planned job name.
+    pub job: String,
+    /// 0-based attempt number.
+    pub attempt: u32,
+    /// Attempt start, in pool-relative seconds.
+    pub started: f64,
+    /// Planned (scaled) install-phase sleep, real seconds.
+    pub install_duration: f64,
+    /// Planned (scaled) synthetic execution sleep, real seconds;
+    /// zero for registered kernels, whose duration is unknown.
+    pub exec_duration: f64,
+}
+
+/// One fault imposed on an attempt by a [`FaultInjector`].
+#[derive(Debug, Clone)]
+pub enum InjectedFault {
+    /// Multiply the synthetic execution sleep (straggler emulation).
+    Slowdown(f64),
+    /// Fail right after the install phase with this reason.
+    Fail(String),
+    /// Evict the attempt `after` real seconds from its start. Sleeps
+    /// are cut short; registered kernels run to completion and are
+    /// failed post-hoc when they exceed the deadline.
+    Evict {
+        /// Seconds from attempt start to the eviction.
+        after: f64,
+        /// Failure reason reported to the engine.
+        reason: String,
+    },
+}
+
+/// A structured fault injector consulted once per attempt.
+pub type FaultInjector = Arc<dyn Fn(&FaultProbe) -> Vec<InjectedFault> + Send + Sync>;
+
 struct WorkItem {
     job: ExecutableJob,
     attempt: u32,
@@ -122,19 +159,41 @@ pub struct LocalPool {
     done_rx: crossbeam::channel::Receiver<CompletionEvent>,
     handles: Vec<std::thread::JoinHandle<()>>,
     t0: Instant,
+    /// Per-attempt wall-clock budget, shared with the workers.
+    timeout: Arc<std::sync::Mutex<Option<f64>>>,
 }
 
 impl LocalPool {
     /// Starts a pool with no failure injection.
     pub fn new(config: PoolConfig, registry: TaskRegistry) -> Self {
-        Self::with_failure_injector(config, registry, None)
+        Self::with_fault_injector(config, registry, None)
     }
 
-    /// Starts a pool, optionally injecting failures.
+    /// Starts a pool with the legacy flat injector: `Some(reason)`
+    /// fails the attempt right after its install phase.
     pub fn with_failure_injector(
         config: PoolConfig,
         registry: TaskRegistry,
         injector: Option<FailureInjector>,
+    ) -> Self {
+        let adapted: Option<FaultInjector> = injector.map(|f| {
+            Arc::new(move |probe: &FaultProbe| {
+                f(&probe.job, probe.attempt)
+                    .map(InjectedFault::Fail)
+                    .into_iter()
+                    .collect()
+            }) as FaultInjector
+        });
+        Self::with_fault_injector(config, registry, adapted)
+    }
+
+    /// Starts a pool consulting a structured fault injector once per
+    /// attempt. This is how scripted chaos (preemption storms,
+    /// stragglers, install bursts) reaches real thread-pool runs.
+    pub fn with_fault_injector(
+        config: PoolConfig,
+        registry: TaskRegistry,
+        injector: Option<FaultInjector>,
     ) -> Self {
         std::fs::create_dir_all(&config.workdir).ok();
         let (job_tx, job_rx) = crossbeam::channel::unbounded::<WorkItem>();
@@ -142,6 +201,7 @@ impl LocalPool {
         let t0 = Instant::now();
         let registry = Arc::new(registry);
         let config = Arc::new(config);
+        let timeout = Arc::new(std::sync::Mutex::new(None::<f64>));
         let mut handles = Vec::with_capacity(config.workers.max(1));
         for _ in 0..config.workers.max(1) {
             let job_rx = job_rx.clone();
@@ -149,15 +209,74 @@ impl LocalPool {
             let registry = Arc::clone(&registry);
             let config = Arc::clone(&config);
             let injector = injector.clone();
+            let timeout = Arc::clone(&timeout);
             handles.push(std::thread::spawn(move || {
                 while let Ok(item) = job_rx.recv() {
                     let now = |t0: Instant| t0.elapsed().as_secs_f64();
                     let started = now(t0);
-                    // Install phase (scaled emulation).
-                    if item.job.install_hint > 0.0 && config.install_time_scale > 0.0 {
-                        std::thread::sleep(Duration::from_secs_f64(
-                            item.job.install_hint * config.install_time_scale,
-                        ));
+                    let task = registry.get(&item.job.transformation).map(Arc::clone);
+                    let planned_install = if config.install_time_scale > 0.0 {
+                        item.job.install_hint.max(0.0) * config.install_time_scale
+                    } else {
+                        0.0
+                    };
+                    let planned_exec = if task.is_none() && config.synthetic_time_scale > 0.0 {
+                        item.job.runtime_hint.max(0.0) * config.synthetic_time_scale
+                    } else {
+                        0.0
+                    };
+
+                    // Consult the injector, then fold the engine's
+                    // per-attempt timeout in as one more eviction.
+                    let mut slowdown = 1.0_f64;
+                    let mut fail_after_install: Option<String> = None;
+                    let mut evict: Option<(f64, String)> = None;
+                    let propose_evict =
+                        |evict: &mut Option<(f64, String)>, after: f64, reason: String| {
+                            if evict.as_ref().is_none_or(|(t, _)| after < *t) {
+                                *evict = Some((after, reason));
+                            }
+                        };
+                    if let Some(f) = injector.as_ref() {
+                        let probe = FaultProbe {
+                            job: item.job.name.clone(),
+                            attempt: item.attempt,
+                            started,
+                            install_duration: planned_install,
+                            exec_duration: planned_exec,
+                        };
+                        for fault in f(&probe) {
+                            match fault {
+                                InjectedFault::Slowdown(s) => slowdown *= s.max(0.0),
+                                InjectedFault::Fail(reason) => {
+                                    fail_after_install.get_or_insert(reason);
+                                }
+                                InjectedFault::Evict { after, reason } => {
+                                    propose_evict(&mut evict, after, reason);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(limit) = *timeout.lock().expect("timeout lock") {
+                        propose_evict(&mut evict, limit, format!("timeout: exceeded {limit}s"));
+                    }
+                    let deadline = evict.as_ref().map(|(after, _)| started + after);
+                    let evict_reason = evict.map(|(_, reason)| reason);
+
+                    // Install phase (scaled emulation), cut short by an
+                    // eviction that lands inside it.
+                    let mut early_failure: Option<String> = None;
+                    if planned_install > 0.0 {
+                        let cut = deadline.is_some_and(|d| d < started + planned_install);
+                        let sleep_for = if cut {
+                            (deadline.expect("cut implies deadline") - now(t0)).max(0.0)
+                        } else {
+                            planned_install
+                        };
+                        std::thread::sleep(Duration::from_secs_f64(sleep_for));
+                        if cut {
+                            early_failure = evict_reason.clone();
+                        }
                     }
                     let install_done = now(t0);
 
@@ -168,26 +287,42 @@ impl LocalPool {
                         attempt: item.attempt,
                         workdir: config.workdir.clone(),
                     };
-                    let injected = injector
-                        .as_ref()
-                        .and_then(|f| f(&item.job.name, item.attempt));
-                    let outcome = if let Some(reason) = injected {
+                    let outcome = if let Some(reason) = early_failure {
                         JobOutcome::Failure(reason)
-                    } else if let Some(task) = registry.get(&item.job.transformation) {
-                        let task = Arc::clone(task);
+                    } else if let Some(reason) = fail_after_install {
+                        JobOutcome::Failure(reason)
+                    } else if let Some(task) = task {
                         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&ctx)))
                         {
-                            Ok(Ok(())) => JobOutcome::Success,
+                            // A kernel cannot be interrupted mid-run;
+                            // an overrun deadline evicts it post-hoc.
+                            Ok(Ok(())) => match deadline {
+                                Some(d) if now(t0) > d => JobOutcome::Failure(
+                                    evict_reason.clone().expect("deadline implies reason"),
+                                ),
+                                _ => JobOutcome::Success,
+                            },
                             Ok(Err(reason)) => JobOutcome::Failure(reason),
                             Err(_) => JobOutcome::Failure("task panicked".into()),
                         }
                     } else {
-                        if config.synthetic_time_scale > 0.0 && item.job.runtime_hint > 0.0 {
-                            std::thread::sleep(Duration::from_secs_f64(
-                                item.job.runtime_hint * config.synthetic_time_scale,
-                            ));
+                        let exec = planned_exec * slowdown;
+                        let cut = deadline.is_some_and(|d| d < install_done + exec);
+                        if exec > 0.0 {
+                            let sleep_for = if cut {
+                                (deadline.expect("cut implies deadline") - now(t0)).max(0.0)
+                            } else {
+                                exec
+                            };
+                            std::thread::sleep(Duration::from_secs_f64(sleep_for));
                         }
-                        JobOutcome::Success
+                        if cut {
+                            JobOutcome::Failure(
+                                evict_reason.clone().expect("deadline implies reason"),
+                            )
+                        } else {
+                            JobOutcome::Success
+                        }
                     };
                     let finished = now(t0);
                     let _ = done_tx.send(CompletionEvent {
@@ -209,6 +344,7 @@ impl LocalPool {
             done_rx,
             handles,
             t0,
+            timeout,
         }
     }
 }
@@ -233,6 +369,10 @@ impl ExecutionBackend for LocalPool {
 
     fn now(&self) -> f64 {
         self.t0.elapsed().as_secs_f64()
+    }
+
+    fn set_timeout(&mut self, timeout: Option<f64>) {
+        *self.timeout.lock().expect("timeout lock") = timeout;
     }
 }
 
@@ -393,6 +533,154 @@ mod tests {
         let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(1));
         assert!(run.succeeded());
         assert_eq!(run.records[0].attempts, 2);
+    }
+
+    #[test]
+    fn fault_injector_evicts_synthetic_sleeps_early() {
+        // A 500ms synthetic job is evicted 50ms in: the attempt fails
+        // with the injected reason and takes nowhere near its full
+        // runtime; the retry is left alone and succeeds.
+        let injector: FaultInjector = Arc::new(|probe: &FaultProbe| {
+            if probe.attempt == 0 {
+                vec![InjectedFault::Evict {
+                    after: 0.05,
+                    reason: "preempted:storm".into(),
+                }]
+            } else {
+                vec![]
+            }
+        });
+        let mut cfg = pool_config();
+        cfg.workers = 1;
+        cfg.synthetic_time_scale = 0.1;
+        let mut j = job(0, "victim", "unregistered");
+        j.runtime_hint = 5.0; // 500ms
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "osg".into(),
+            jobs: vec![j],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::with_fault_injector(cfg, TaskRegistry::new(), Some(injector));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(2));
+        assert!(run.succeeded());
+        let rec = &run.records[0];
+        assert_eq!(rec.failure_reasons, vec!["preempted:storm".to_string()]);
+        let evicted = &rec.failed_attempts[0];
+        assert!(
+            evicted.finished - evicted.started < 0.3,
+            "eviction must cut the 500ms sleep short, took {}",
+            evicted.finished - evicted.started
+        );
+        assert_eq!(run.faults.preemptions, 1);
+    }
+
+    #[test]
+    fn fault_injector_slows_stragglers_down() {
+        let injector: FaultInjector = Arc::new(|probe: &FaultProbe| {
+            if probe.job == "slow" {
+                vec![InjectedFault::Slowdown(4.0)]
+            } else {
+                vec![]
+            }
+        });
+        let mut cfg = pool_config();
+        cfg.synthetic_time_scale = 0.01;
+        let mut fast = job(0, "fast", "unregistered");
+        fast.runtime_hint = 5.0; // 50ms
+        let mut slow = job(1, "slow", "unregistered");
+        slow.runtime_hint = 5.0; // 50ms * 4 = 200ms
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "osg".into(),
+            jobs: vec![fast, slow],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::with_fault_injector(cfg, TaskRegistry::new(), Some(injector));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::default());
+        assert!(run.succeeded());
+        let t_fast = run.records[0].times.unwrap().kickstart();
+        let t_slow = run.records[1].times.unwrap().kickstart();
+        assert!(t_slow > t_fast * 2.0, "fast {t_fast}, slow {t_slow}");
+    }
+
+    #[test]
+    fn engine_timeout_kills_and_resubmits_synthetic_stragglers() {
+        use pegasus_wms::engine::RetryPolicy;
+        // First attempt would sleep 400ms; an 80ms timeout kills it.
+        // The injector only slows attempt 0, so the retry finishes.
+        let injector: FaultInjector = Arc::new(|probe: &FaultProbe| {
+            if probe.attempt == 0 {
+                vec![InjectedFault::Slowdown(8.0)]
+            } else {
+                vec![]
+            }
+        });
+        let mut cfg = pool_config();
+        cfg.workers = 1;
+        cfg.synthetic_time_scale = 0.01;
+        let mut j = job(0, "straggler", "unregistered");
+        j.runtime_hint = 5.0; // 50ms clean, 400ms slowed
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "osg".into(),
+            jobs: vec![j],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::with_fault_injector(cfg, TaskRegistry::new(), Some(injector));
+        let policy = RetryPolicy::flat(2).with_timeout(0.08);
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_policy(policy));
+        assert!(run.succeeded());
+        let rec = &run.records[0];
+        assert_eq!(rec.failure_reasons.len(), 1);
+        assert!(rec.failure_reasons[0].starts_with("timeout"));
+        assert_eq!(run.faults.timeouts, 1);
+    }
+
+    #[test]
+    fn install_phase_eviction_reports_before_execution() {
+        // Eviction lands inside a 300ms install phase: the attempt
+        // fails without ever reaching its kernel.
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let mut reg = TaskRegistry::new();
+        reg.register("guarded", |_ctx| {
+            RAN.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let injector: FaultInjector = Arc::new(|probe: &FaultProbe| {
+            if probe.attempt == 0 {
+                vec![InjectedFault::Evict {
+                    after: 0.05,
+                    reason: "install:burst".into(),
+                }]
+            } else {
+                vec![]
+            }
+        });
+        let mut cfg = pool_config();
+        cfg.workers = 1;
+        cfg.install_time_scale = 0.1;
+        let mut j = job(0, "g", "guarded");
+        j.install_hint = 3.0; // 300ms
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "osg".into(),
+            jobs: vec![j],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::with_fault_injector(cfg, reg, Some(injector));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(1));
+        assert!(run.succeeded());
+        assert_eq!(
+            RAN.load(Ordering::SeqCst),
+            1,
+            "kernel must run only on the clean retry"
+        );
+        assert_eq!(
+            run.records[0].failure_reasons,
+            vec!["install:burst".to_string()]
+        );
+        assert_eq!(run.faults.install_failures, 1);
     }
 
     #[test]

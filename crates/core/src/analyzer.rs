@@ -212,6 +212,7 @@ mod tests {
                 record("never", JobState::Unready, 0),
                 record("flaky_but_fine", JobState::Done, 2),
             ],
+            faults: Default::default(),
         }
     }
 
@@ -257,6 +258,7 @@ mod tests {
             outcome: WorkflowOutcome::Success,
             wall_time: 10.0,
             records: vec![record("flaky", JobState::Done, 4)],
+            faults: Default::default(),
         };
         let a = analyze(&run);
         assert!(a.succeeded);
@@ -283,6 +285,7 @@ mod tests {
             outcome: WorkflowOutcome::Success,
             wall_time: 10.0,
             records: vec![record("a", JobState::Done, 1)],
+            faults: Default::default(),
         };
         let a = analyze(&run);
         assert!(a.suggestions().is_empty());

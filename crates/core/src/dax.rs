@@ -307,6 +307,7 @@ fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
 pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
     let mut scan = XmlScanner::new(text);
     let mut wf: Option<AbstractWorkflow> = None;
+    let mut adag_closed = false;
     let mut cur_job: Option<Job> = None;
     let mut in_argument = false;
     let mut cur_child: Option<String> = None;
@@ -401,7 +402,8 @@ pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
                 }
                 "argument" => in_argument = false,
                 "child" => cur_child = None,
-                "adag" | "parent" | "uses" => {}
+                "adag" => adag_closed = true,
+                "parent" | "uses" => {}
                 other => return Err(scan.err(format!("unexpected closing </{other}>"))),
             },
             XmlEvent::Text(text) => {
@@ -413,10 +415,19 @@ pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
         }
     }
 
+    if let Some(job) = &cur_job {
+        return Err(scan.err(format!("unclosed <job id={:?}> at end of input", job.id)));
+    }
+    if cur_child.is_some() {
+        return Err(scan.err("unclosed <child> at end of input"));
+    }
     let mut wf = wf.ok_or_else(|| WmsError::DaxParse {
         line: 0,
         reason: "no <adag> element found".into(),
     })?;
+    if !adag_closed {
+        return Err(scan.err("unclosed <adag> at end of input"));
+    }
     for (p, c) in pending_edges {
         let pid = wf.job_by_name(&p).ok_or_else(|| WmsError::DaxParse {
             line: 0,
@@ -431,6 +442,10 @@ pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
             reason: e.to_string(),
         })?;
     }
+    // A syntactically well-formed DAX can still describe a cyclic graph
+    // or give one file two producers; surface those as their own typed
+    // errors rather than letting downstream planning panic.
+    wf.validate()?;
     Ok(wf)
 }
 
@@ -561,6 +576,52 @@ mod tests {
     #[test]
     fn unterminated_comment_is_an_error() {
         assert!(from_dax("<!-- never closed").is_err());
+    }
+
+    #[test]
+    fn unclosed_tags_are_errors_not_silent_drops() {
+        // A <job> still open at end of input used to be dropped.
+        let err = from_dax("<adag name=\"w\"><job id=\"a\" name=\"t\">").unwrap_err();
+        match err {
+            WmsError::DaxParse { reason, .. } => assert!(reason.contains("unclosed <job")),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = from_dax("<adag name=\"w\"><job id=\"a\" name=\"t\"/>").unwrap_err();
+        match err {
+            WmsError::DaxParse { reason, .. } => assert!(reason.contains("unclosed <adag>")),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err =
+            from_dax("<adag name=\"w\"><job id=\"a\" name=\"t\"/><child ref=\"a\">").unwrap_err();
+        match err {
+            WmsError::DaxParse { reason, .. } => assert!(reason.contains("unclosed <child>")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_explicit_edges_are_a_typed_error() {
+        let text = "<adag name=\"w\">\
+                    <job id=\"a\" name=\"t\"/><job id=\"b\" name=\"t\"/>\
+                    <child ref=\"b\"><parent ref=\"a\"/></child>\
+                    <child ref=\"a\"><parent ref=\"b\"/></child>\
+                    </adag>";
+        assert!(matches!(
+            from_dax(text).unwrap_err(),
+            WmsError::CycleDetected(_)
+        ));
+    }
+
+    #[test]
+    fn conflicting_producers_are_a_typed_error() {
+        let text = "<adag name=\"w\">\
+                    <job id=\"a\" name=\"t\"><uses file=\"f\" link=\"output\"/></job>\
+                    <job id=\"b\" name=\"t\"><uses file=\"f\" link=\"output\"/></job>\
+                    </adag>";
+        assert!(matches!(
+            from_dax(text).unwrap_err(),
+            WmsError::ConflictingProducer { .. }
+        ));
     }
 
     #[test]

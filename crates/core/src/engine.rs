@@ -16,6 +16,8 @@
 use crate::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 use crate::rescue::RescueDag;
 use crate::workflow::JobId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Timestamps of one job attempt, in backend seconds.
@@ -82,6 +84,22 @@ pub trait ExecutionBackend {
     /// Accepts a job for execution; must not block.
     fn submit(&mut self, job: &ExecutableJob, attempt: u32);
 
+    /// Accepts a job that must not start before `delay` backend
+    /// seconds have elapsed — the engine's retry backoff. Backends
+    /// without a notion of deferred submission ignore the delay.
+    fn submit_after(&mut self, job: &ExecutableJob, attempt: u32, delay: f64) {
+        let _ = delay;
+        self.submit(job, attempt);
+    }
+
+    /// Configures a per-attempt wall-clock timeout: backends that can
+    /// measure execution time kill attempts exceeding it (failure
+    /// reason prefix `"timeout"`). Called once before the first
+    /// submission; the default ignores it.
+    fn set_timeout(&mut self, timeout: Option<f64>) {
+        let _ = timeout;
+    }
+
     /// Blocks until some previously submitted job terminates.
     ///
     /// # Panics
@@ -92,31 +110,180 @@ pub trait ExecutionBackend {
     fn now(&self) -> f64;
 }
 
+/// Retry behaviour for failed attempts: a maximum attempt budget,
+/// exponential backoff between attempts (with optional jitter drawn
+/// from the engine RNG), and an optional per-attempt wall-clock
+/// timeout that kills and resubmits stragglers.
+///
+/// The historical flat retry limit is [`RetryPolicy::flat`]: no
+/// backoff, no timeout — byte-for-byte the old engine behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per job, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in backend seconds (0 = none).
+    pub base_backoff: f64,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff delay.
+    pub max_backoff: f64,
+    /// Jitter fraction: each delay is scaled by a uniform factor in
+    /// `[1 - jitter, 1 + jitter]` drawn from the engine RNG.
+    pub jitter: f64,
+    /// Per-attempt wall-clock timeout handed to the backend.
+    pub timeout: Option<f64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::flat(0)
+    }
+}
+
+impl RetryPolicy {
+    /// The legacy flat policy: up to `max_retries` immediate retries.
+    pub fn flat(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_retries + 1,
+            base_backoff: 0.0,
+            backoff_factor: 2.0,
+            max_backoff: f64::INFINITY,
+            jitter: 0.0,
+            timeout: None,
+        }
+    }
+
+    /// Exponential backoff: `base`, `2*base`, `4*base`, ... capped at
+    /// `64*base`, up to `max_retries` retries.
+    pub fn exponential(max_retries: u32, base: f64) -> Self {
+        RetryPolicy {
+            max_attempts: max_retries + 1,
+            base_backoff: base,
+            backoff_factor: 2.0,
+            max_backoff: 64.0 * base,
+            jitter: 0.0,
+            timeout: None,
+        }
+    }
+
+    /// Adds a per-attempt wall-clock timeout.
+    pub fn with_timeout(mut self, timeout: f64) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Adds symmetric backoff jitter (`0.2` = ±20 %).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Backoff before retry number `next_attempt` (1-based: the first
+    /// retry is attempt 1). Zero when no backoff is configured; never
+    /// consumes RNG draws in that case, so flat policies stay
+    /// reproducible against historical runs.
+    pub fn backoff_before(&self, next_attempt: u32, rng: &mut StdRng) -> f64 {
+        if self.base_backoff <= 0.0 {
+            return 0.0;
+        }
+        let exponent = next_attempt.saturating_sub(1).min(1000) as i32;
+        let raw = self.base_backoff * self.backoff_factor.powi(exponent);
+        let capped = raw.min(self.max_backoff);
+        let jittered = if self.jitter > 0.0 {
+            capped * (1.0 + self.jitter * (2.0 * rng.gen_range(0.0..1.0) - 1.0))
+        } else {
+            capped
+        };
+        jittered.max(0.0)
+    }
+}
+
 /// Engine options.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
-    /// How many times a failed job is retried before the workflow is
-    /// declared failed (Pegasus `retry` profile).
-    pub max_retries: u32,
+    /// Retry behaviour (Pegasus `retry` profile, extended with
+    /// backoff and timeout).
+    pub retry: RetryPolicy,
     /// Job *names* to treat as already done (from a rescue DAG).
     pub skip_done: HashSet<String>,
+    /// Stop the run (simulating a submit-host crash) after this many
+    /// completion events; the rescue DAG records what finished.
+    pub crash_after_events: Option<u64>,
+    /// Seed of the engine RNG (backoff jitter).
+    pub seed: u64,
 }
 
 impl EngineConfig {
-    /// Config with a retry budget and nothing pre-completed.
+    /// Config with a flat retry budget and nothing pre-completed.
     pub fn with_retries(max_retries: u32) -> Self {
         EngineConfig {
-            max_retries,
-            skip_done: HashSet::new(),
+            retry: RetryPolicy::flat(max_retries),
+            ..Default::default()
+        }
+    }
+
+    /// Config with a full retry policy.
+    pub fn with_policy(retry: RetryPolicy) -> Self {
+        EngineConfig {
+            retry,
+            ..Default::default()
         }
     }
 
     /// Config resuming from a rescue DAG.
     pub fn resuming(max_retries: u32, rescue: &RescueDag) -> Self {
         EngineConfig {
-            max_retries,
+            retry: RetryPolicy::flat(max_retries),
             skip_done: rescue.done.iter().cloned().collect(),
+            ..Default::default()
         }
+    }
+}
+
+/// Failure and retry counters for one run, classified from the
+/// normalised failure-reason prefixes the backends emit
+/// (`preempted…`, `evicted…`, `install…`, `timeout…`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultCounters {
+    /// Attempts killed by preemption (hazard or scripted storm).
+    pub preemptions: u64,
+    /// Attempts evicted by slot churn or blackout windows.
+    pub evictions: u64,
+    /// Attempts that failed during the download/install phase.
+    pub install_failures: u64,
+    /// Attempts killed by the retry policy's wall-clock timeout.
+    pub timeouts: u64,
+    /// Failures matching no known prefix (task errors, panics).
+    pub other_failures: u64,
+    /// Retries issued (equals the failures that were retried).
+    pub retries: u64,
+    /// Total backoff seconds inserted before retries.
+    pub backoff_wait: f64,
+}
+
+impl FaultCounters {
+    /// Classifies one failure reason into the matching counter.
+    pub fn record(&mut self, reason: &str) {
+        if reason.starts_with("preempted") {
+            self.preemptions += 1;
+        } else if reason.starts_with("evicted") {
+            self.evictions += 1;
+        } else if reason.starts_with("install") {
+            self.install_failures += 1;
+        } else if reason.starts_with("timeout") {
+            self.timeouts += 1;
+        } else {
+            self.other_failures += 1;
+        }
+    }
+
+    /// All failed attempts, across categories.
+    pub fn total_failures(&self) -> u64 {
+        self.preemptions
+            + self.evictions
+            + self.install_failures
+            + self.timeouts
+            + self.other_failures
     }
 }
 
@@ -180,6 +347,8 @@ pub struct WorkflowRun {
     pub wall_time: f64,
     /// Per-job accounting, indexed by [`JobId`].
     pub records: Vec<JobRecord>,
+    /// Fault and retry counters accumulated during the run.
+    pub faults: FaultCounters,
 }
 
 impl WorkflowRun {
@@ -208,6 +377,12 @@ pub trait WorkflowMonitor {
     /// A job attempt terminated (successfully or not).
     fn job_terminated(&mut self, job: &ExecutableJob, event: &CompletionEvent) {
         let _ = (job, event);
+    }
+
+    /// A failed job is about to be resubmitted as `next_attempt`,
+    /// after `delay` seconds of backoff, because of `reason`.
+    fn job_retry(&mut self, job: &ExecutableJob, next_attempt: u32, delay: f64, reason: &str) {
+        let _ = (job, next_attempt, delay, reason);
     }
 
     /// The whole workflow finished.
@@ -260,6 +435,9 @@ pub fn run_workflow_monitored(
         })
         .collect();
 
+    backend.set_timeout(config.retry.timeout);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut faults = FaultCounters::default();
     let start = backend.now();
     let mut in_flight = 0usize;
     let mut done = vec![false; n];
@@ -315,9 +493,12 @@ pub fn run_workflow_monitored(
     ready.clear();
 
     let mut any_failed = false;
+    let mut crashed = false;
+    let mut events_seen = 0u64;
     while in_flight > 0 {
         let ev = backend.wait_any();
         in_flight -= 1;
+        events_seen += 1;
         monitor.job_terminated(&wf.jobs[ev.job], &ev);
         let rec = &mut records[ev.job];
         match ev.outcome {
@@ -333,11 +514,17 @@ pub fn run_workflow_monitored(
                 ready.clear();
             }
             JobOutcome::Failure(reason) => {
+                faults.record(&reason);
                 rec.failed_attempts.push(ev.times);
-                rec.failure_reasons.push(reason);
-                if ev.attempt < config.max_retries {
+                rec.failure_reasons.push(reason.clone());
+                if rec.attempts < config.retry.max_attempts {
+                    let delay = config.retry.backoff_before(rec.attempts, &mut rng);
+                    faults.retries += 1;
+                    faults.backoff_wait += delay;
                     rec.attempts += 1;
-                    submit(ev.job, ev.attempt + 1, backend, monitor);
+                    monitor.job_retry(&wf.jobs[ev.job], ev.attempt + 1, delay, &reason);
+                    backend.submit_after(&wf.jobs[ev.job], ev.attempt + 1, delay);
+                    monitor.job_submitted(&wf.jobs[ev.job], ev.attempt + 1, backend.now());
                     in_flight += 1;
                 } else {
                     rec.state = JobState::Failed;
@@ -345,11 +532,19 @@ pub fn run_workflow_monitored(
                 }
             }
         }
+        // Scripted submit-host crash: DAGMan dies after this many
+        // events; in-flight work is abandoned and only completed jobs
+        // make it into the rescue DAG.
+        if config.crash_after_events.is_some_and(|n| events_seen >= n) && in_flight > 0 {
+            crashed = true;
+            break;
+        }
     }
 
     let wall_time = backend.now() - start;
-    monitor.workflow_finished(!any_failed, wall_time);
-    let outcome = if any_failed {
+    let failed = any_failed || crashed;
+    monitor.workflow_finished(!failed, wall_time);
+    let outcome = if failed {
         let done_names: Vec<String> = records
             .iter()
             .filter(|r| matches!(r.state, JobState::Done | JobState::SkippedDone))
@@ -369,6 +564,7 @@ pub fn run_workflow_monitored(
         outcome,
         wall_time,
         records,
+        faults,
     }
 }
 
@@ -411,9 +607,13 @@ pub mod scripted {
 
     impl ExecutionBackend for ScriptedBackend {
         fn submit(&mut self, job: &ExecutableJob, attempt: u32) {
+            self.submit_after(job, attempt, 0.0);
+        }
+
+        fn submit_after(&mut self, job: &ExecutableJob, attempt: u32, delay: f64) {
             self.names.insert(job.id, job.name.clone());
             self.log.push((job.name.clone(), attempt));
-            let submitted = self.clock;
+            let submitted = self.clock + delay.max(0.0);
             let started = submitted; // unlimited slots, no queue
             let install_done = started + job.install_hint;
             let finished = install_done + job.runtime_hint;
@@ -704,6 +904,166 @@ mod tests {
                 "finished:true"
             ]
         );
+    }
+
+    #[test]
+    fn exponential_backoff_delays_resubmission() {
+        // b fails twice; backoff 7s then 14s is inserted before the
+        // retries, and the scripted backend honours the delays.
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        be.fail_plan.insert(("b".into(), 1));
+        let cfg = EngineConfig::with_policy(RetryPolicy::exponential(3, 7.0));
+        let run = run_workflow(&wf, &mut be, &cfg);
+        assert!(run.succeeded());
+        // a(10) + b fails at 30, +7 backoff, fails at 57, +14 backoff,
+        // succeeds at 91, + c(5) = 96.
+        assert_eq!(run.wall_time, 96.0);
+        assert_eq!(run.faults.retries, 2);
+        assert_eq!(run.faults.backoff_wait, 21.0);
+        assert_eq!(run.faults.other_failures, 2);
+    }
+
+    #[test]
+    fn flat_policy_reproduces_legacy_wall_times() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        be.fail_plan.insert(("b".into(), 1));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(3));
+        assert!(run.succeeded());
+        assert_eq!(run.wall_time, 10.0 + 20.0 * 3.0 + 5.0);
+        assert_eq!(run.faults.backoff_wait, 0.0);
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_bounds_and_is_seeded() {
+        let policy = RetryPolicy::exponential(5, 10.0).with_jitter(0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for attempt in 1..=5 {
+            let base = 10.0 * 2f64.powi(attempt as i32 - 1);
+            let d = policy.backoff_before(attempt, &mut rng);
+            assert!(
+                (base * 0.8..=base * 1.2).contains(&d),
+                "attempt {attempt}: {d} outside ±20 % of {base}"
+            );
+        }
+        // Same seed, same jitter stream.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            policy.backoff_before(2, &mut a),
+            policy.backoff_before(2, &mut b)
+        );
+    }
+
+    #[test]
+    fn backoff_caps_at_max_backoff() {
+        let policy = RetryPolicy::exponential(40, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(policy.backoff_before(30, &mut rng), 64.0);
+    }
+
+    #[test]
+    fn crash_after_events_leaves_a_rescue_dag() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        let cfg = EngineConfig {
+            crash_after_events: Some(1),
+            ..Default::default()
+        };
+        let run = run_workflow(&wf, &mut be, &cfg);
+        assert!(!run.succeeded());
+        match &run.outcome {
+            WorkflowOutcome::Failed(rescue) => assert_eq!(rescue.done, vec!["a"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // b was submitted but never completed; no job is Failed.
+        assert_eq!(run.records[1].state, JobState::Unready);
+        assert!(run.records.iter().all(|r| r.state != JobState::Failed));
+    }
+
+    #[test]
+    fn crash_at_final_event_is_a_clean_success() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        let cfg = EngineConfig {
+            crash_after_events: Some(3),
+            ..Default::default()
+        };
+        let run = run_workflow(&wf, &mut be, &cfg);
+        assert!(run.succeeded(), "nothing was in flight at the crash point");
+    }
+
+    #[test]
+    fn crash_then_resume_completes_like_an_uninterrupted_run() {
+        let wf = chain();
+        let cfg = EngineConfig {
+            crash_after_events: Some(2),
+            ..Default::default()
+        };
+        let first = run_workflow(&wf, &mut ScriptedBackend::new(), &cfg);
+        let rescue = match first.outcome {
+            WorkflowOutcome::Failed(r) => r,
+            other => panic!("unexpected {other:?}"),
+        };
+        let resumed = run_workflow(
+            &wf,
+            &mut ScriptedBackend::new(),
+            &EngineConfig::resuming(0, &rescue),
+        );
+        assert!(resumed.succeeded());
+        let baseline = run_workflow(&wf, &mut ScriptedBackend::new(), &EngineConfig::default());
+        for (r, b) in resumed.records.iter().zip(&baseline.records) {
+            let r_done = matches!(r.state, JobState::Done | JobState::SkippedDone);
+            let b_done = matches!(b.state, JobState::Done | JobState::SkippedDone);
+            assert_eq!(r_done, b_done, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn fault_counters_classify_reason_prefixes() {
+        let mut c = FaultCounters::default();
+        for reason in [
+            "preempted",
+            "preempted:storm",
+            "evicted:blackout",
+            "install:burst",
+            "timeout: exceeded 600s",
+            "task panicked",
+        ] {
+            c.record(reason);
+        }
+        assert_eq!(c.preemptions, 2);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.install_failures, 1);
+        assert_eq!(c.timeouts, 1);
+        assert_eq!(c.other_failures, 1);
+        assert_eq!(c.total_failures(), 6);
+    }
+
+    #[test]
+    fn retry_monitor_hook_reports_delay_and_reason() {
+        struct RetryMonitor(Vec<(String, u32, f64, String)>);
+        impl WorkflowMonitor for RetryMonitor {
+            fn job_retry(&mut self, job: &ExecutableJob, next: u32, delay: f64, reason: &str) {
+                self.0
+                    .push((job.name.clone(), next, delay, reason.to_string()));
+            }
+        }
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        let mut mon = RetryMonitor(Vec::new());
+        let cfg = EngineConfig::with_policy(RetryPolicy::exponential(2, 5.0));
+        let run = run_workflow_monitored(&wf, &mut be, &cfg, &mut mon);
+        assert!(run.succeeded());
+        assert_eq!(mon.0.len(), 1);
+        assert_eq!(mon.0[0].0, "b");
+        assert_eq!(mon.0[0].1, 1);
+        assert_eq!(mon.0[0].2, 5.0);
+        assert_eq!(mon.0[0].3, "scripted");
     }
 
     #[test]

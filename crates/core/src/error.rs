@@ -39,6 +39,13 @@ pub enum WmsError {
     },
     /// A rescue file was malformed.
     RescueParse(String),
+    /// A fault-plan file was malformed.
+    FaultPlanParse {
+        /// One-based line number (0 when unknown).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WmsError {
@@ -69,6 +76,9 @@ impl fmt::Display for WmsError {
                 write!(f, "DAX parse error at line {line}: {reason}")
             }
             WmsError::RescueParse(reason) => write!(f, "rescue DAG parse error: {reason}"),
+            WmsError::FaultPlanParse { line, reason } => {
+                write!(f, "fault plan parse error at line {line}: {reason}")
+            }
         }
     }
 }

@@ -45,7 +45,10 @@ pub mod synthetic;
 pub mod workflow;
 
 pub use catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
-pub use engine::{run_workflow, CompletionEvent, EngineConfig, ExecutionBackend, WorkflowRun};
+pub use engine::{
+    run_workflow, CompletionEvent, EngineConfig, ExecutionBackend, FaultCounters, RetryPolicy,
+    WorkflowRun,
+};
 pub use error::WmsError;
 pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
 pub use workflow::{AbstractWorkflow, Job, JobId, LogicalFile};

@@ -22,6 +22,10 @@ pub struct StatusMonitor {
     pub failed_attempts: usize,
     /// Total submissions seen.
     pub submissions: usize,
+    /// Retries scheduled by the engine (with or without backoff).
+    pub retries: usize,
+    /// Cumulative backoff delay inserted before retries, in seconds.
+    pub backoff_wait: f64,
     /// Captured status lines, one per state change (for tests/UIs).
     pub history: Vec<String>,
 }
@@ -71,6 +75,11 @@ impl WorkflowMonitor for StatusMonitor {
             JobOutcome::Failure(_) => self.failed_attempts += 1,
         }
         self.history.push(self.status_line());
+    }
+
+    fn job_retry(&mut self, _job: &ExecutableJob, _next_attempt: u32, delay: f64, _reason: &str) {
+        self.retries += 1;
+        self.backoff_wait += delay;
     }
 }
 
@@ -185,6 +194,12 @@ impl WorkflowMonitor for MultiMonitor<'_> {
         }
     }
 
+    fn job_retry(&mut self, job: &ExecutableJob, next_attempt: u32, delay: f64, reason: &str) {
+        for m in &mut self.monitors {
+            m.job_retry(job, next_attempt, delay, reason);
+        }
+    }
+
     fn workflow_finished(&mut self, succeeded: bool, wall_time: f64) {
         for m in &mut self.monitors {
             m.workflow_finished(succeeded, wall_time);
@@ -247,6 +262,17 @@ mod tests {
     }
 
     #[test]
+    fn status_monitor_tallies_retries_and_backoff() {
+        let mut m = StatusMonitor::new(2);
+        m.job_retry(&job(0, "a"), 1, 5.0, "preempted");
+        m.job_retry(&job(0, "a"), 2, 10.0, "preempted");
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.backoff_wait, 15.0);
+        // Retry events don't pollute the status history.
+        assert!(m.history.is_empty());
+    }
+
+    #[test]
     fn empty_status_is_100_percent() {
         assert_eq!(StatusMonitor::new(0).percent_done(), 100.0);
     }
@@ -286,10 +312,13 @@ mod tests {
             multi.push(&mut status);
             multi.push(&mut timeline);
             multi.job_submitted(&job(0, "a"), 0, 0.0);
+            multi.job_retry(&job(0, "a"), 1, 2.5, "preempted");
             multi.job_terminated(&job(0, "a"), &event(0, 0.0, 3.0, true));
             multi.workflow_finished(true, 3.0);
         }
         assert_eq!(status.done, 1);
+        assert_eq!(status.retries, 1);
+        assert_eq!(status.backoff_wait, 2.5);
         assert_eq!(timeline.entries.len(), 1);
     }
 }

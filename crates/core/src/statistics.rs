@@ -10,12 +10,11 @@
 //! * **Download/Install Time** — software provisioning per task
 //!   (OSG only; zero wherever software is preinstalled).
 
-use crate::engine::{JobState, WorkflowRun};
-use serde::Serialize;
+use crate::engine::{FaultCounters, JobState, WorkflowRun};
 use std::collections::BTreeMap;
 
 /// Aggregated timing for one transformation (task type).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskTypeStats {
     /// Transformation name.
     pub transformation: String,
@@ -38,7 +37,7 @@ pub struct TaskTypeStats {
 }
 
 /// Workflow-level statistics.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkflowStatistics {
     /// Workflow name.
     pub name: String,
@@ -59,6 +58,8 @@ pub struct WorkflowStatistics {
     pub jobs_unready: usize,
     /// Total retries consumed.
     pub retries: u32,
+    /// Failure/retry breakdown by cause, as counted by the engine.
+    pub faults: FaultCounters,
     /// Per-transformation breakdown, keyed and ordered by name.
     pub per_type: Vec<TaskTypeStats>,
 }
@@ -149,6 +150,7 @@ pub fn compute(run: &WorkflowRun) -> WorkflowStatistics {
         jobs_failed: failed,
         jobs_unready: unready,
         retries: run.total_retries(),
+        faults: run.faults,
         per_type,
     }
 }
@@ -184,6 +186,19 @@ pub fn render_text(stats: &WorkflowStatistics) -> String {
         "Average concurrency       : {:>12.2}",
         stats.speedup_over_serial()
     );
+    let f = &stats.faults;
+    if f.total_failures() > 0 || f.backoff_wait > 0.0 {
+        let _ = writeln!(
+            out,
+            "Failures by cause         : preempted {} / evicted {} / install {} / timeout {} / other {}",
+            f.preemptions, f.evictions, f.install_failures, f.timeouts, f.other_failures
+        );
+        let _ = writeln!(
+            out,
+            "Backoff Wait              : {:>12.1} s",
+            f.backoff_wait
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -229,6 +244,35 @@ pub fn render_csv(stats: &WorkflowStatistics) -> String {
         );
     }
     out
+}
+
+/// Renders a one-row workflow-level summary CSV (header + one data
+/// row) covering wall time, throughput, and the fault/retry counters.
+///
+/// This is the artifact the chaos determinism tests compare
+/// byte-for-byte: two runs with the same seed and fault plan must
+/// produce identical summaries.
+pub fn render_summary_csv(stats: &WorkflowStatistics) -> String {
+    let f = &stats.faults;
+    format!(
+        "name,site,wall_time,cumulative_walltime,badput,succeeded,failed,unready,\
+         retries,preemptions,evictions,install_failures,timeouts,backoff_wait\n\
+         {},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{:.3}\n",
+        stats.name,
+        stats.site,
+        stats.workflow_wall_time,
+        stats.cumulative_job_walltime,
+        stats.cumulative_badput,
+        stats.jobs_succeeded,
+        stats.jobs_failed,
+        stats.jobs_unready,
+        stats.retries,
+        f.preemptions,
+        f.evictions,
+        f.install_failures,
+        f.timeouts,
+        f.backoff_wait
+    )
 }
 
 #[cfg(test)]
@@ -281,6 +325,7 @@ mod tests {
                     Some(times(12.0, 5.0, 45.0, 70.0)),
                 ),
             ],
+            faults: FaultCounters::default(),
         }
     }
 
@@ -351,6 +396,33 @@ mod tests {
     }
 
     #[test]
+    fn summary_csv_is_header_plus_one_row_with_fault_counters() {
+        let mut run = sample_run();
+        run.faults.preemptions = 2;
+        run.faults.retries = 3;
+        run.faults.backoff_wait = 12.5;
+        let csv = render_summary_csv(&compute(&run));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("name,site,wall_time"));
+        assert!(csv.contains("w,sandhills,100.000"));
+        assert!(csv.ends_with(",2,0,0,0,12.500\n"));
+    }
+
+    #[test]
+    fn text_report_breaks_out_fault_causes() {
+        let mut run = sample_run();
+        run.faults.install_failures = 4;
+        run.faults.timeouts = 1;
+        let text = render_text(&compute(&run));
+        assert!(text.contains("Failures by cause"));
+        assert!(text.contains("install 4"));
+        assert!(text.contains("timeout 1"));
+        // Clean runs stay clean: no fault lines when nothing failed.
+        let clean = render_text(&compute(&sample_run()));
+        assert!(!clean.contains("Failures by cause"));
+    }
+
+    #[test]
     fn empty_run_is_all_zero() {
         let run = WorkflowRun {
             name: "w".into(),
@@ -358,6 +430,7 @@ mod tests {
             outcome: WorkflowOutcome::Success,
             wall_time: 0.0,
             records: vec![],
+            faults: FaultCounters::default(),
         };
         let stats = compute(&run);
         assert_eq!(stats.cumulative_job_walltime, 0.0);

@@ -222,6 +222,84 @@ proptest! {
         }
     }
 
+    /// Submit-host crash at an arbitrary event index, then resume from
+    /// the rescue DAG: the resumed run must finish with the same final
+    /// states and per-job attempt counts as an uninterrupted run, and
+    /// must never re-execute a job the rescue recorded as DONE.
+    #[test]
+    fn crash_and_resume_matches_uninterrupted_run(
+        layers in 1usize..4,
+        width in 1usize..4,
+        bits: u64,
+        fail_mask in 0u64..u64::MAX,
+        crash_at in 1u64..40,
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (sites, tc) = paper_catalogs();
+        let rc = ReplicaCatalog::new();
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.add_create_dir = false;
+        cfg.stage_data = false;
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
+
+        // Deterministic fail plan: job i fails its first k < 3 attempts,
+        // then succeeds; with 3 retries the workflow always completes.
+        let scripted = |exec: &pegasus_wms::planner::ExecutableWorkflow| {
+            let mut be = ScriptedBackend::new();
+            for (i, j) in exec.jobs.iter().enumerate() {
+                let k = ((fail_mask >> ((i % 21) * 3)) & 0b11) as u32;
+                for attempt in 0..k {
+                    be.fail_plan.insert((j.name.clone(), attempt));
+                }
+            }
+            be
+        };
+
+        let baseline = run_workflow(
+            &exec,
+            &mut scripted(&exec),
+            &EngineConfig::with_retries(3),
+        );
+        prop_assert!(baseline.succeeded());
+
+        let mut crash_cfg = EngineConfig::with_retries(3);
+        crash_cfg.crash_after_events = Some(crash_at);
+        let crashed = run_workflow(&exec, &mut scripted(&exec), &crash_cfg);
+
+        match &crashed.outcome {
+            WorkflowOutcome::Success => {
+                // The crash index landed at or past the final event: a
+                // clean finish, identical to the baseline.
+                prop_assert!(crashed.records.iter().all(|r| r.state == JobState::Done));
+            }
+            WorkflowOutcome::Failed(rescue) => {
+                let mut resume_be = scripted(&exec);
+                let resumed = run_workflow(
+                    &exec,
+                    &mut resume_be,
+                    &EngineConfig::resuming(3, rescue),
+                );
+                prop_assert!(resumed.succeeded(), "resume must complete");
+                for (r, b) in resumed.records.iter().zip(&baseline.records) {
+                    prop_assert_eq!(&r.name, &b.name);
+                    match r.state {
+                        // Re-run jobs replay the same scripted failures,
+                        // so their attempt counts match the baseline.
+                        JobState::Done => prop_assert_eq!(r.attempts, b.attempts),
+                        JobState::SkippedDone => {
+                            prop_assert!(rescue.done.contains(&r.name));
+                        }
+                        other => prop_assert!(false, "{} ended {:?}", r.name, other),
+                    }
+                }
+                // The backend never saw a rescued job again.
+                for (name, _) in &resume_be.log {
+                    prop_assert!(!rescue.done.contains(name));
+                }
+            }
+        }
+    }
+
     /// Catalog files round-trip arbitrary site/transformation shapes.
     #[test]
     fn catalog_io_round_trip(

@@ -11,6 +11,7 @@
 
 use crate::dist::{sample_exponential, sample_standard_normal};
 use crate::event::EventQueue;
+use crate::faults::{AttemptTiming, FaultScript};
 use crate::platform::PlatformModel;
 use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, JobOutcome, JobTimes};
 use pegasus_wms::planner::ExecutableJob;
@@ -32,11 +33,17 @@ enum SimEvent {
     SlotDown(usize),
     /// The slot returns to the pool.
     SlotUp(usize),
+    /// A scripted blackout takes the slot down (one-shot; unlike
+    /// churn it does not reschedule itself).
+    BlackoutDown(usize),
+    /// The scripted blackout window ends for the slot.
+    BlackoutUp(usize),
 }
 
 #[derive(Debug, Clone)]
 struct PendingJob {
     job_id: usize,
+    name: String,
     attempt: u32,
     runtime_hint: f64,
     install_hint: f64,
@@ -47,6 +54,9 @@ struct PendingJob {
     finished: f64,
     slot: usize,
     preempted: bool,
+    /// Failure reason when `preempted`; `None` means the plain
+    /// platform hazard (`"preempted"`).
+    fail_reason: Option<String>,
     /// Scheduling generation, bumped on (re)scheduling so stale
     /// completion events can be recognised.
     event_gen: u64,
@@ -57,9 +67,12 @@ struct PendingJob {
 #[derive(Debug, Clone)]
 struct HeldJob {
     job_id: usize,
+    name: String,
     attempt: u32,
     runtime_hint: f64,
     install_hint: f64,
+    /// Backoff delay before (re)submission, in simulated seconds.
+    delay: f64,
 }
 
 /// Discrete-event execution backend over one platform model.
@@ -91,10 +104,15 @@ pub struct SimBackend {
     preemptions: u64,
     /// Which job currently occupies each slot.
     occupant: Vec<Option<Key>>,
-    /// Whether each slot is currently in the pool (churn).
-    slot_up: Vec<bool>,
+    /// How many independent causes (churn, blackout) currently hold
+    /// each slot out of the pool; 0 means the slot is available.
+    down_votes: Vec<u32>,
     /// Churn events observed: (downs, ups).
     churn_events: (u64, u64),
+    /// Compiled chaos script, if any.
+    script: Option<FaultScript>,
+    /// Per-attempt wall-clock budget from the engine's retry policy.
+    timeout: Option<f64>,
 }
 
 impl SimBackend {
@@ -119,8 +137,10 @@ impl SimBackend {
             busy_seconds: 0.0,
             preemptions: 0,
             occupant: vec![None; n_slots],
-            slot_up: vec![true; n_slots],
+            down_votes: vec![0; n_slots],
             churn_events: (0, 0),
+            script: None,
+            timeout: None,
         };
         if let Some(churn) = backend.platform.churn {
             for slot in 0..n_slots {
@@ -138,6 +158,22 @@ impl SimBackend {
         self.churn_events
     }
 
+    /// Attaches a compiled chaos script. Scripted blackout windows are
+    /// scheduled immediately as slot capacity events; per-attempt
+    /// scenarios are consulted at every assignment.
+    pub fn with_faults(mut self, script: FaultScript) -> Self {
+        let n_slots = self.platform.slot_count();
+        for (start, duration, first_slot, slot_count) in script.blackouts() {
+            for slot in first_slot..(first_slot + slot_count).min(n_slots) {
+                self.events.schedule(start, SimEvent::BlackoutDown(slot));
+                self.events
+                    .schedule(start + duration, SimEvent::BlackoutUp(slot));
+            }
+        }
+        self.script = Some(script);
+        self
+    }
+
     /// Overrides the DAGMan-style submission throttle.
     pub fn with_throttle(mut self, throttle: usize) -> Self {
         self.throttle = throttle.max(1);
@@ -149,7 +185,8 @@ impl SimBackend {
         &self.platform
     }
 
-    /// Preemptions observed so far.
+    /// Attempts killed before completion — platform preemptions,
+    /// churn/blackout evictions, scripted kills, and timeouts.
     pub fn preemptions(&self) -> u64 {
         self.preemptions
     }
@@ -172,7 +209,7 @@ impl SimBackend {
         let speed = self.platform.slots[slot].speed.max(1e-9);
         let started = self.clock;
 
-        debug_assert!(self.slot_up[slot], "assigned a downed slot");
+        debug_assert_eq!(self.down_votes[slot], 0, "assigned a downed slot");
         self.occupant[slot] = Some(key);
         let p = self.pending.get_mut(&key).expect("pending job exists");
         p.slot = slot;
@@ -185,31 +222,63 @@ impl SimBackend {
         } else {
             1.0
         };
-        let exec_dur = p.runtime_hint / speed * jitter + self.platform.task_overhead;
+        let mut exec_dur = p.runtime_hint / speed * jitter + self.platform.task_overhead;
+
+        // The chaos script rules on this attempt from its fault-free
+        // timing; its RNG is private, so platform sampling below stays
+        // on the same stream whether or not a script is attached.
+        let mut script_kill: Option<(f64, String)> = None;
+        if let Some(script) = &self.script {
+            let timing = AttemptTiming {
+                start: started,
+                install_duration: install_dur,
+                exec_duration: exec_dur,
+            };
+            let decision = script.decide(&p.name, p.attempt, &timing);
+            exec_dur *= decision.slowdown;
+            script_kill = decision.kill;
+        }
+
         let busy = install_dur + exec_dur;
         let preempt_at = sample_exponential(&mut self.rng, self.platform.preemption_rate);
+
+        // The earliest of: natural finish, platform preemption hazard,
+        // scripted kill, per-attempt timeout.
+        let mut finished = started + busy;
+        let mut fail_reason: Option<String> = None;
         if preempt_at < busy {
-            p.preempted = true;
-            p.install_done = started + install_dur.min(preempt_at);
-            p.finished = started + preempt_at;
-        } else {
-            p.preempted = false;
-            p.install_done = started + install_dur;
-            p.finished = started + busy;
+            finished = started + preempt_at;
+            fail_reason = Some("preempted".into());
         }
-        let finished = p.finished;
+        if let Some((at, reason)) = script_kill {
+            if at < finished {
+                finished = at;
+                fail_reason = Some(reason);
+            }
+        }
+        if let Some(limit) = self.timeout {
+            if started + limit < finished {
+                finished = started + limit;
+                fail_reason = Some(format!("timeout: exceeded {limit}s"));
+            }
+        }
+        p.preempted = fail_reason.is_some();
+        p.fail_reason = fail_reason;
+        p.install_done = (started + install_dur).min(finished);
+        p.finished = finished;
         let gen = p.event_gen;
         self.busy_seconds += finished - started;
         self.events.schedule(finished, SimEvent::Complete(key, gen));
     }
 
-    /// A slot is reclaimed by its owner: evict the running job (it
-    /// completes *now* as preempted) and take the slot out of the
-    /// pool until its up event.
-    fn on_slot_down(&mut self, slot: usize) {
-        let churn = self.platform.churn.expect("churn events imply a model");
-        self.churn_events.0 += 1;
-        self.slot_up[slot] = false;
+    /// One more cause holds `slot` out of the pool; on the first vote
+    /// the occupant (if any) is evicted and completes *now* with
+    /// `reason`.
+    fn take_slot_down(&mut self, slot: usize, reason: &str) {
+        self.down_votes[slot] += 1;
+        if self.down_votes[slot] > 1 {
+            return; // already out of the pool
+        }
         self.free_slots.retain(|&s| s != slot);
         if let Some(key) = self.occupant[slot].take() {
             let clock = self.clock;
@@ -218,26 +287,48 @@ impl SimBackend {
             // now stale; deliver an eviction completion instead.
             self.busy_seconds -= p.finished - clock;
             p.preempted = true;
+            p.fail_reason = Some(reason.to_string());
             p.finished = clock;
             p.install_done = p.install_done.min(clock);
             p.event_gen += 1;
             let gen = p.event_gen;
             self.events.schedule(clock, SimEvent::Complete(key, gen));
         }
+    }
+
+    /// One cause releases `slot`; when no cause holds it any more it
+    /// rejoins the pool and immediately serves a waiter.
+    fn bring_slot_up(&mut self, slot: usize) {
+        debug_assert!(self.down_votes[slot] > 0, "slot-up without a down");
+        self.down_votes[slot] = self.down_votes[slot].saturating_sub(1);
+        if self.down_votes[slot] > 0 {
+            return; // still held down by another cause
+        }
+        self.free_slots.push(slot);
+        if let Some(next) = self.waiting.pop_front() {
+            self.assign(next);
+        }
+    }
+
+    /// A slot is reclaimed by its owner: evict the running job (it
+    /// completes *now* as preempted) and take the slot out of the
+    /// pool until its up event.
+    fn on_slot_down(&mut self, slot: usize) {
+        let churn = self.platform.churn.expect("churn events imply a model");
+        self.churn_events.0 += 1;
+        // Opportunistic reclaim is exactly the paper's OSG preemption,
+        // so churn evictions keep the plain "preempted" reason.
+        self.take_slot_down(slot, "preempted");
         let down_for = sample_exponential(&mut self.rng, 1.0 / churn.mean_down);
         self.events
             .schedule(self.clock + down_for, SimEvent::SlotUp(slot));
     }
 
-    /// The slot returns to the pool and immediately serves a waiter.
+    /// The slot returns from a churn outage.
     fn on_slot_up(&mut self, slot: usize) {
         let churn = self.platform.churn.expect("churn events imply a model");
         self.churn_events.1 += 1;
-        self.slot_up[slot] = true;
-        self.free_slots.push(slot);
-        if let Some(next) = self.waiting.pop_front() {
-            self.assign(next);
-        }
+        self.bring_slot_up(slot);
         let up_for = sample_exponential(&mut self.rng, 1.0 / churn.mean_up);
         self.events
             .schedule(self.clock + up_for, SimEvent::SlotDown(slot));
@@ -251,26 +342,30 @@ impl SimBackend {
         }
     }
 
-    /// Releases a held job into the remote queue at the current clock.
+    /// Releases a held job into the remote queue, honouring any
+    /// backoff delay carried by the hold.
     fn release(&mut self, h: HeldJob) {
         let key = self.next_key;
         self.next_key += 1;
         self.released += 1;
+        let submitted = self.clock + h.delay;
         let delay = self.platform.queue_delay.sample(&mut self.rng);
-        let eligible_at = (self.clock + delay).max(self.platform.startup_delay);
+        let eligible_at = (submitted + delay).max(self.platform.startup_delay);
         self.pending.insert(
             key,
             PendingJob {
                 job_id: h.job_id,
+                name: h.name,
                 attempt: h.attempt,
                 runtime_hint: h.runtime_hint,
                 install_hint: h.install_hint,
-                submitted: self.clock,
+                submitted,
                 started: 0.0,
                 install_done: 0.0,
                 finished: 0.0,
                 slot: usize::MAX,
                 preempted: false,
+                fail_reason: None,
                 event_gen: 0,
             },
         );
@@ -283,7 +378,7 @@ impl SimBackend {
         // job's slot left the pool with the churn event instead).
         if p.slot != usize::MAX && self.occupant[p.slot] == Some(key) {
             self.occupant[p.slot] = None;
-            if self.slot_up[p.slot] {
+            if self.down_votes[p.slot] == 0 {
                 self.free_slots.push(p.slot);
             }
         }
@@ -308,7 +403,7 @@ impl SimBackend {
             job: p.job_id,
             attempt: p.attempt,
             outcome: if p.preempted {
-                JobOutcome::Failure("preempted".into())
+                JobOutcome::Failure(p.fail_reason.unwrap_or_else(|| "preempted".into()))
             } else {
                 JobOutcome::Success
             },
@@ -324,6 +419,10 @@ impl SimBackend {
 
 impl ExecutionBackend for SimBackend {
     fn submit(&mut self, job: &ExecutableJob, attempt: u32) {
+        self.submit_after(job, attempt, 0.0);
+    }
+
+    fn submit_after(&mut self, job: &ExecutableJob, attempt: u32, delay: f64) {
         assert!(
             self.platform.slot_count() > 0,
             "platform {} has no slots",
@@ -331,15 +430,21 @@ impl ExecutionBackend for SimBackend {
         );
         let h = HeldJob {
             job_id: job.id,
+            name: job.name.clone(),
             attempt,
             runtime_hint: job.runtime_hint,
             install_hint: job.install_hint,
+            delay: delay.max(0.0),
         };
         if self.released < self.throttle {
             self.release(h);
         } else {
             self.held.push_back(h);
         }
+    }
+
+    fn set_timeout(&mut self, timeout: Option<f64>) {
+        self.timeout = timeout;
     }
 
     fn wait_any(&mut self) -> CompletionEvent {
@@ -360,6 +465,8 @@ impl ExecutionBackend for SimBackend {
                 }
                 SimEvent::SlotDown(slot) => self.on_slot_down(slot),
                 SimEvent::SlotUp(slot) => self.on_slot_up(slot),
+                SimEvent::BlackoutDown(slot) => self.take_slot_down(slot, "evicted:blackout"),
+                SimEvent::BlackoutUp(slot) => self.bring_slot_up(slot),
             }
         }
     }
@@ -636,6 +743,136 @@ mod tests {
             let t = rec.times.unwrap();
             assert!(t.submitted <= t.started && t.started <= t.finished);
         }
+    }
+
+    #[test]
+    fn scripted_storm_kills_and_reports_its_reason() {
+        use crate::faults::{FaultPlan, FaultScript};
+        // A probability-1 storm: every attempt overlapping [0, 150)
+        // dies with the scripted reason. Exponential backoff walks the
+        // retries out of the window, after which the job succeeds.
+        let plan = FaultPlan::parse("preemption-storm start=0 duration=150 kill-probability=1.0\n")
+            .unwrap();
+        let p = PlatformModel::uniform("t", 1, 1.0);
+        let mut be = SimBackend::new(p, 1).with_faults(FaultScript::new(plan, 5));
+        let wf = independent(vec![job(0, 100.0, 0.0)]);
+        let run = run_workflow(
+            &wf,
+            &mut be,
+            &EngineConfig::with_policy(pegasus_wms::engine::RetryPolicy::exponential(20, 30.0)),
+        );
+        assert!(run.succeeded());
+        assert!(
+            run.records[0].times.unwrap().started >= 150.0,
+            "the surviving attempt must start after the storm"
+        );
+        let rec = &run.records[0];
+        assert!(!rec.failure_reasons.is_empty());
+        assert!(rec.failure_reasons.iter().all(|r| r == "preempted:storm"));
+        assert_eq!(run.faults.preemptions as usize, rec.failure_reasons.len());
+    }
+
+    #[test]
+    fn scripted_runs_replay_bit_for_bit() {
+        use crate::faults::{FaultPlan, FaultScript};
+        let plan = FaultPlan::parse(
+            "preemption-storm start=50 duration=400 kill-probability=0.5\n\
+             straggler start=0 duration=1000 slowdown=3 probability=0.3\n\
+             install-failure-burst start=0 duration=200 fail-probability=0.4\n",
+        )
+        .unwrap();
+        let mut p = PlatformModel::uniform("t", 4, 1.0);
+        p.runtime_jitter_sigma = 0.1;
+        let wf = independent((0..12).map(|i| job(i, 60.0, 10.0)).collect());
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let be = SimBackend::new(p.clone(), 21);
+            let mut be = be.with_faults(FaultScript::new(plan.clone(), 21));
+            runs.push(run_workflow(&wf, &mut be, &EngineConfig::with_retries(30)));
+        }
+        assert_eq!(runs[0].wall_time, runs[1].wall_time);
+        for (a, b) in runs[0].records.iter().zip(&runs[1].records) {
+            assert_eq!(a.times, b.times);
+            assert_eq!(a.failure_reasons, b.failure_reasons);
+        }
+        assert_eq!(runs[0].faults, runs[1].faults);
+    }
+
+    #[test]
+    fn blackout_evicts_and_capacity_returns() {
+        use crate::faults::{FaultPlan, FaultScript};
+        // Both slots black out at t=20 for 100s: the two running jobs
+        // are evicted, wait out the window, and finish after it.
+        let plan =
+            FaultPlan::parse("slot-blackout start=20 duration=100 first-slot=0 count=2\n").unwrap();
+        let p = PlatformModel::uniform("t", 2, 1.0);
+        let mut be = SimBackend::new(p, 1).with_faults(FaultScript::new(plan, 1));
+        let wf = independent(vec![job(0, 50.0, 0.0), job(1, 50.0, 0.0)]);
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(5));
+        assert!(run.succeeded());
+        assert_eq!(run.faults.evictions, 2);
+        for rec in &run.records {
+            assert_eq!(rec.failure_reasons, vec!["evicted:blackout".to_string()]);
+            // Retried attempts could only start once the blackout lifted.
+            assert!(rec.times.unwrap().finished >= 120.0 + 50.0);
+        }
+        assert_eq!(run.wall_time, 170.0);
+    }
+
+    #[test]
+    fn timeout_kills_stragglers_for_resubmission() {
+        use crate::faults::{FaultPlan, FaultScript};
+        // Every attempt started in [0, 10) runs 100x slower; the 80s
+        // timeout kills it and the retry (outside the window) succeeds.
+        let plan = FaultPlan::parse("straggler start=0 duration=10 slowdown=100 probability=1.0\n")
+            .unwrap();
+        let p = PlatformModel::uniform("t", 1, 1.0);
+        let mut be = SimBackend::new(p, 1).with_faults(FaultScript::new(plan, 2));
+        let wf = independent(vec![job(0, 50.0, 0.0)]);
+        let cfg = EngineConfig::with_policy(retry_with_timeout(3, 80.0));
+        let run = run_workflow(&wf, &mut be, &cfg);
+        assert!(run.succeeded());
+        let rec = &run.records[0];
+        assert_eq!(rec.failure_reasons.len(), 1);
+        assert!(rec.failure_reasons[0].starts_with("timeout"));
+        assert_eq!(run.faults.timeouts, 1);
+        // killed at 80, retried, ran clean for 50.
+        assert_eq!(run.wall_time, 130.0);
+    }
+
+    fn retry_with_timeout(retries: u32, timeout: f64) -> pegasus_wms::engine::RetryPolicy {
+        pegasus_wms::engine::RetryPolicy::flat(retries).with_timeout(timeout)
+    }
+
+    #[test]
+    fn backoff_delay_is_honoured_in_sim_time() {
+        use pegasus_wms::engine::RetryPolicy;
+        // Force one scripted install failure, then retry with a 40s
+        // backoff: the second attempt's submission is stamped 40s
+        // after the first failure.
+        use crate::faults::{FaultPlan, FaultScript};
+        let plan =
+            FaultPlan::parse("install-failure-burst start=0 duration=1 fail-probability=1.0\n")
+                .unwrap();
+        let p = PlatformModel::uniform("t", 1, 1.0);
+        let mut be = SimBackend::new(p, 1).with_faults(FaultScript::new(plan, 3));
+        let wf = independent(vec![job(0, 30.0, 10.0)]);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 40.0,
+            backoff_factor: 2.0,
+            max_backoff: f64::INFINITY,
+            jitter: 0.0,
+            timeout: None,
+        };
+        let run = run_workflow(&wf, &mut be, &EngineConfig::with_policy(policy));
+        assert!(run.succeeded());
+        let rec = &run.records[0];
+        assert_eq!(run.faults.install_failures, 1);
+        let failed_at = rec.failed_attempts[0].finished;
+        let resubmitted = rec.times.unwrap().submitted;
+        assert_eq!(resubmitted, failed_at + 40.0);
+        assert_eq!(run.faults.backoff_wait, 40.0);
     }
 
     #[test]

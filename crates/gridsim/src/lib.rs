@@ -18,7 +18,11 @@
 //!   [`pegasus_wms::ExecutionBackend`] so the same DAGMan engine that
 //!   drives real thread pools drives simulated platforms;
 //! * [`platforms`] — calibrated Sandhills and OSG model constructors
-//!   (see DESIGN.md §4 for the calibration story).
+//!   (see DESIGN.md §4 for the calibration story);
+//! * [`faults`] — seeded, scriptable fault plans (preemption storms,
+//!   blackouts, stragglers, install bursts, submit-host crashes) that
+//!   replay identically on this simulator and on the real `condor`
+//!   pool.
 //!
 //! The key property: nothing about the paper's *findings* is
 //! hard-coded. Sandhills beating OSG, the >95 % serial-vs-workflow
@@ -28,9 +32,11 @@
 pub mod backend;
 pub mod dist;
 pub mod event;
+pub mod faults;
 pub mod platform;
 pub mod platforms;
 
 pub use backend::SimBackend;
+pub use faults::{AttemptTiming, FaultDecision, FaultPlan, FaultScript, Scenario};
 pub use platform::PlatformModel;
 pub use platforms::{osg, sandhills};

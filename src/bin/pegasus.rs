@@ -22,11 +22,11 @@
 use blast2cap3::workflow::{build_workflow, WorkflowParams};
 use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
 use gridsim::platforms::{osg, osg_prestaged, sandhills};
-use gridsim::SimBackend;
+use gridsim::{FaultPlan, FaultScript, SimBackend};
 use pegasus_wms::analyzer::analyze;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
-use pegasus_wms::engine::{run_workflow_monitored, EngineConfig, WorkflowOutcome};
+use pegasus_wms::engine::{run_workflow_monitored, EngineConfig, RetryPolicy, WorkflowOutcome};
 use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
@@ -41,8 +41,8 @@ fn usage() -> ! {
          pegasus generate-workload --shape <montage|cybershake|epigenomics|ligo> --size <n> [--out <file>]\n  \
          pegasus catalogs [--out <file>]          (dump the built-in site/transformation/replica catalogs)\n  \
          pegasus plan --dax <file> --site <name> [--cluster <k>] [--data-reuse] [--cleanup] [--dot <file>] [--ascii]\n  \
-         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--quiet]\n  \
-         pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>]"
+         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--fault-plan <file>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--quiet]\n  \
+         pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>] [--fault-plan <file>]"
     );
     std::process::exit(2);
 }
@@ -338,7 +338,36 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         }
     };
 
-    let mut engine_cfg = EngineConfig::with_retries(retries);
+    let mut policy = match args.get("backoff") {
+        Some(_) => RetryPolicy::exponential(retries, args.parsed("backoff", 30.0f64)),
+        None => RetryPolicy::flat(retries),
+    };
+    if args.get("timeout").is_some() {
+        policy = policy.with_timeout(args.parsed("timeout", 0.0f64));
+    }
+    let mut engine_cfg = EngineConfig::with_policy(policy);
+    engine_cfg.seed = seed;
+
+    let script = args.get("fault-plan").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read fault plan {path}: {e}");
+            std::process::exit(1);
+        });
+        let plan = FaultPlan::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad fault plan {path}: {e}");
+            std::process::exit(1);
+        });
+        FaultScript::new(plan, seed)
+    });
+    // A scripted submit-host crash is a one-time event: the rescue
+    // resubmission runs on the recovered host, so it only arms on the
+    // initial submission, never on --resume.
+    if args.get("resume").is_none() {
+        if let Some(script) = &script {
+            engine_cfg.crash_after_events = script.submit_host_crash_after();
+        }
+    }
+
     if let Some(rescue_path) = args.get("resume") {
         let text = std::fs::read_to_string(rescue_path).expect("read rescue");
         let rescue = RescueDag::from_text(&text).unwrap_or_else(|e| {
@@ -355,6 +384,9 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
     }
 
     let mut backend = SimBackend::new(platform_for(site, seed), seed);
+    if let Some(script) = script {
+        backend = backend.with_faults(script);
+    }
     let mut status = StatusMonitor::new(exec.jobs.len());
     let mut timeline = TimelineMonitor::new();
     let run = {

@@ -127,6 +127,23 @@ pub struct ExperimentOutcome {
 /// # Panics
 /// Panics on an unknown site name or if planning fails.
 pub fn simulate_blast2cap3(site: &str, n: usize, seed: u64, retries: u32) -> ExperimentOutcome {
+    simulate_blast2cap3_with(site, n, seed, &EngineConfig::with_retries(retries), None)
+}
+
+/// Like [`simulate_blast2cap3`], but with a caller-supplied engine
+/// configuration and an optional seeded chaos script injected into the
+/// simulated platform — the entry point the fault-injection benches
+/// and determinism tests share.
+///
+/// # Panics
+/// Panics on an unknown site name or if planning fails.
+pub fn simulate_blast2cap3_with(
+    site: &str,
+    n: usize,
+    seed: u64,
+    engine_cfg: &EngineConfig,
+    script: Option<gridsim::FaultScript>,
+) -> ExperimentOutcome {
     let calibration = calibrate_workload(seed);
     let chunk_costs = calibrated_chunk_costs(&calibration, n);
     let n_effective = chunk_costs.len();
@@ -155,7 +172,10 @@ pub fn simulate_blast2cap3(site: &str, n: usize, seed: u64, retries: u32) -> Exp
         other => panic!("unknown simulated site {other:?}"),
     };
     let mut backend = SimBackend::new(platform, seed);
-    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(retries));
+    if let Some(script) = script {
+        backend = backend.with_faults(script);
+    }
+    let run = run_workflow(&exec, &mut backend, engine_cfg);
     let stats = compute(&run);
     ExperimentOutcome { run, stats }
 }

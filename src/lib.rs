@@ -10,16 +10,21 @@
 //! * [`experiment`] — the shared experiment harness: workload
 //!   calibration against the paper's 100-hour serial baseline,
 //!   simulated platform runs (Fig. 4/Fig. 5), and real local workflow
-//!   runs at laptop scale.
+//!   runs at laptop scale;
+//! * [`chaos`] — the adapter that replays gridsim fault scripts on the
+//!   real condor worker pool, so one seeded chaos plan produces the
+//!   same fault decisions on both backends.
 //!
 //! See README.md for the quickstart and EXPERIMENTS.md for the
 //! paper-vs-measured record.
 
+pub mod chaos;
 pub mod experiment;
 pub mod registry;
 
+pub use chaos::fault_injector_for;
 pub use experiment::{
-    calibrated_chunk_costs, real_local_run, simulate_blast2cap3, ExperimentOutcome,
-    WorkloadCalibration,
+    calibrated_chunk_costs, real_local_run, simulate_blast2cap3, simulate_blast2cap3_with,
+    ExperimentOutcome, WorkloadCalibration,
 };
 pub use registry::build_registry;

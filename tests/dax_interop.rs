@@ -10,6 +10,7 @@ use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
 use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::error::WmsError;
 use pegasus_wms::planner::{plan, PlannerConfig};
 
 #[test]
@@ -63,6 +64,71 @@ fn dax_runtime_hints_survive_and_shape_the_simulation() {
         walls[1] > walls[0] + 5_000.0,
         "runtime hints must flow through DAX: {walls:?}"
     );
+}
+
+/// Malformed hand-written DAX files — the kind other tools actually
+/// produce — must surface typed errors, never panics, and never a
+/// silently truncated workflow.
+#[test]
+fn malformed_dax_yields_typed_errors_not_panics() {
+    // Unclosed <job>: the trailing job must not be silently dropped.
+    let unclosed_job = "<adag name=\"w\">\n  <job id=\"a\" name=\"t\">\n";
+    match dax::from_dax(unclosed_job).unwrap_err() {
+        WmsError::DaxParse { line, reason } => {
+            assert!(reason.contains("unclosed <job"), "{reason}");
+            assert!(line >= 2, "error after the open tag, got line {line}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Unclosed <adag>: a truncated file is not a valid workflow.
+    let truncated = "<adag name=\"w\">\n  <job id=\"a\" name=\"t\"/>\n";
+    match dax::from_dax(truncated).unwrap_err() {
+        WmsError::DaxParse { reason, .. } => {
+            assert!(reason.contains("unclosed <adag>"), "{reason}")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Explicit parent/child cycle.
+    let cyclic = "<adag name=\"w\">\
+                  <job id=\"a\" name=\"t\"/><job id=\"b\" name=\"t\"/>\
+                  <child ref=\"b\"><parent ref=\"a\"/></child>\
+                  <child ref=\"a\"><parent ref=\"b\"/></child>\
+                  </adag>";
+    assert!(matches!(
+        dax::from_dax(cyclic).unwrap_err(),
+        WmsError::CycleDetected(_)
+    ));
+
+    // A data-dependency cycle through files is caught just the same.
+    let file_cycle = "<adag name=\"w\">\
+                      <job id=\"a\" name=\"t\">\
+                      <uses file=\"x\" link=\"input\"/><uses file=\"y\" link=\"output\"/>\
+                      </job>\
+                      <job id=\"b\" name=\"t\">\
+                      <uses file=\"y\" link=\"input\"/><uses file=\"x\" link=\"output\"/>\
+                      </job>\
+                      </adag>";
+    assert!(matches!(
+        dax::from_dax(file_cycle).unwrap_err(),
+        WmsError::CycleDetected(_)
+    ));
+
+    // Duplicate job ids.
+    let duplicate = "<adag name=\"w\">\
+                     <job id=\"a\" name=\"t\"/><job id=\"a\" name=\"t\"/>\
+                     </adag>";
+    match dax::from_dax(duplicate).unwrap_err() {
+        WmsError::DaxParse { reason, .. } => assert!(reason.contains('a'), "{reason}"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Every error Display cleanly (no panic formatting either).
+    for text in [unclosed_job, truncated, cyclic, file_cycle, duplicate] {
+        let msg = dax::from_dax(text).unwrap_err().to_string();
+        assert!(!msg.is_empty());
+    }
 }
 
 #[test]

@@ -1,0 +1,227 @@
+//! Seeded-chaos determinism: the same fault plan under the same seed
+//! must replay bit-for-bit on the simulation backend (byte-identical
+//! statistics CSVs) and decision-for-decision on the real local pool
+//! (identical attempt counts, states, and failure reasons — timestamps
+//! are real wall clock and are the only thing allowed to differ).
+
+use blast2cap3_pegasus::chaos::fault_injector_for;
+use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
+use condor::pool::{LocalPool, PoolConfig, TaskRegistry};
+use gridsim::{AttemptTiming, FaultPlan, FaultScript};
+use pegasus_wms::engine::{run_workflow, EngineConfig, JobState, RetryPolicy, WorkflowRun};
+use pegasus_wms::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
+use pegasus_wms::statistics::{render_csv, render_summary_csv};
+
+// Windows sit inside the n = 120 OSG run's chunk-execution phase
+// (roughly [5000 s, 17000 s] simulated) so every scenario actually
+// bites; the install burst covers the whole run since installs recur
+// at each attempt start.
+const CHAOS_PLAN: &str = "\
+plan osg-chaos
+preemption-storm start=5000 duration=6000 kill-probability=0.4
+straggler start=0 duration=1e9 slowdown=5 probability=0.05
+install-failure-burst start=0 duration=1e9 fail-probability=0.15
+slot-blackout start=6000 duration=3000 first-slot=0 count=6
+";
+
+fn chaos_engine_cfg(seed: u64) -> EngineConfig {
+    let mut cfg =
+        EngineConfig::with_policy(RetryPolicy::exponential(12, 30.0).with_timeout(6_000.0));
+    cfg.seed = seed;
+    cfg
+}
+
+fn chaos_sim_run(seed: u64) -> blast2cap3_pegasus::ExperimentOutcome {
+    let plan = FaultPlan::parse(CHAOS_PLAN).expect("valid plan");
+    let script = FaultScript::new(plan, seed);
+    simulate_blast2cap3_with("osg", 120, seed, &chaos_engine_cfg(seed), Some(script))
+}
+
+#[test]
+fn same_seed_chaos_sim_runs_emit_byte_identical_csv() {
+    let a = chaos_sim_run(2014);
+    let b = chaos_sim_run(2014);
+    assert!(a.run.succeeded(), "chaos run must still complete");
+    let f = &a.stats.faults;
+    assert!(
+        f.preemptions > 0 && f.install_failures > 0,
+        "the plan must actually inject faults: {f:?}"
+    );
+    assert_eq!(
+        render_summary_csv(&a.stats),
+        render_summary_csv(&b.stats),
+        "summary CSV must be byte-identical under a fixed seed"
+    );
+    assert_eq!(
+        render_csv(&a.stats),
+        render_csv(&b.stats),
+        "per-type CSV must be byte-identical under a fixed seed"
+    );
+    // The full per-job record agrees too, including every failure time.
+    for (ra, rb) in a.run.records.iter().zip(&b.run.records) {
+        assert_eq!(ra.name, rb.name);
+        assert_eq!(ra.attempts, rb.attempts);
+        assert_eq!(ra.times, rb.times);
+        assert_eq!(ra.failure_reasons, rb.failure_reasons);
+    }
+}
+
+#[test]
+fn different_seeds_draw_different_chaos() {
+    let a = chaos_sim_run(2014);
+    let b = chaos_sim_run(2015);
+    assert_ne!(
+        render_summary_csv(&a.stats),
+        render_summary_csv(&b.stats),
+        "changing the seed must change the run"
+    );
+}
+
+/// The issue's acceptance scenario: a scripted OSG preemption storm
+/// over the n = 300 paper workflow, including a submit-host crash
+/// mid-run. The crashed run leaves a rescue DAG; ONE resubmission
+/// completes the workflow; and the whole two-step procedure replays
+/// byte-for-byte under the same seed.
+#[test]
+fn osg_preemption_storm_needs_at_most_one_rescue_resubmission() {
+    // The storm covers the heart of the n = 300 chunk-execution phase
+    // (chunks run roughly [3000 s, 13000 s] simulated on OSG).
+    const STORM: &str = "\
+plan osg-preemption-storm
+preemption-storm start=3000 duration=5000 kill-probability=0.5
+submit-host-crash after-events=150
+";
+    let seed = 20140519;
+    let invoke = || {
+        let plan = FaultPlan::parse(STORM).expect("valid plan");
+        let script = FaultScript::new(plan, seed);
+        let policy = RetryPolicy::exponential(10, 60.0);
+        let mut cfg = EngineConfig::with_policy(policy.clone());
+        cfg.seed = seed;
+        cfg.crash_after_events = script.submit_host_crash_after();
+        let crashed = simulate_blast2cap3_with("osg", 300, seed, &cfg, Some(script.clone()));
+        let rescue = match &crashed.run.outcome {
+            pegasus_wms::engine::WorkflowOutcome::Failed(rescue) => rescue.clone(),
+            other => panic!("the scripted crash must leave a rescue DAG, got {other:?}"),
+        };
+        // Rescue resubmission #1 — and the last one needed.
+        let mut resume_cfg = EngineConfig::with_policy(policy);
+        resume_cfg.seed = seed;
+        resume_cfg.skip_done = rescue.done.iter().cloned().collect();
+        let resumed = simulate_blast2cap3_with("osg", 300, seed, &resume_cfg, Some(script));
+        assert!(
+            resumed.run.succeeded(),
+            "one resubmission must complete the storm run"
+        );
+        (rescue.to_text(), resumed)
+    };
+
+    let (rescue_a, resumed_a) = invoke();
+    let (rescue_b, resumed_b) = invoke();
+    assert_eq!(rescue_a, rescue_b, "crash point must be reproducible");
+    assert_eq!(
+        render_summary_csv(&resumed_a.stats),
+        render_summary_csv(&resumed_b.stats),
+        "the resumed run must be reproducible too"
+    );
+    assert!(
+        resumed_a.stats.faults.preemptions > 0,
+        "the storm must actually preempt attempts: {:?}",
+        resumed_a.stats.faults
+    );
+}
+
+/// A pool workflow of independent, kernel-less jobs: only the fault
+/// injector decides anything, so two runs must agree on everything but
+/// wall-clock timestamps.
+fn pool_workflow(n: usize) -> ExecutableWorkflow {
+    ExecutableWorkflow {
+        name: "chaos_pool".into(),
+        site: "local".into(),
+        jobs: (0..n)
+            .map(|i| ExecutableJob {
+                id: i,
+                name: format!("chunk_{i}"),
+                transformation: "cap3".into(),
+                kind: JobKind::Compute,
+                args: vec![],
+                runtime_hint: 2.0,
+                install_hint: 5.0,
+                source_jobs: vec![],
+            })
+            .collect(),
+        edges: vec![],
+    }
+}
+
+fn chaos_pool_run(seed: u64) -> WorkflowRun {
+    // Whole-run window + install-only faults: the decision for each
+    // (job, attempt) is a pure coin flip, independent of wall clock.
+    let plan =
+        FaultPlan::parse("install-failure-burst start=0 duration=1e12 fail-probability=0.6\n")
+            .expect("valid plan");
+    let script = FaultScript::new(plan, seed);
+    let scale = 0.001;
+    let mut pool = LocalPool::with_fault_injector(
+        PoolConfig {
+            workers: 4,
+            workdir: std::env::temp_dir().join("chaos_pool_determinism"),
+            synthetic_time_scale: scale,
+            install_time_scale: scale,
+        },
+        TaskRegistry::new(),
+        Some(fault_injector_for(script, scale)),
+    );
+    run_workflow(
+        &pool_workflow(10),
+        &mut pool,
+        &EngineConfig::with_retries(8),
+    )
+}
+
+#[test]
+fn local_pool_replays_the_same_fault_decisions() {
+    let seed = 99;
+    let a = chaos_pool_run(seed);
+    let b = chaos_pool_run(seed);
+    assert_eq!(a.succeeded(), b.succeeded());
+    assert!(
+        a.faults.install_failures > 0,
+        "burst at p=0.6 over 10 jobs should fire: {:?}",
+        a.faults
+    );
+
+    // The script's verdicts are a pure function of (job, attempt), so
+    // both pool runs — and the script consulted directly — agree on
+    // the number of attempts each job needed.
+    let plan =
+        FaultPlan::parse("install-failure-burst start=0 duration=1e12 fail-probability=0.6\n")
+            .unwrap();
+    let script = FaultScript::new(plan, seed);
+    let timing = AttemptTiming {
+        start: 0.0,
+        install_duration: 5.0,
+        exec_duration: 2.0,
+    };
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.name, rb.name);
+        assert_eq!(ra.state, rb.state, "{}", ra.name);
+        assert_eq!(ra.attempts, rb.attempts, "{}", ra.name);
+        assert_eq!(ra.failure_reasons, rb.failure_reasons, "{}", ra.name);
+
+        let first_clean = (0..9u32).find(|&k| script.decide(&ra.name, k, &timing).kill.is_none());
+        match first_clean {
+            Some(k) => {
+                assert_eq!(ra.state, JobState::Done, "{}", ra.name);
+                assert_eq!(ra.attempts, k + 1, "{}", ra.name);
+            }
+            None => {
+                assert_eq!(ra.state, JobState::Failed, "{}", ra.name);
+                assert_eq!(ra.attempts, 9, "{}", ra.name);
+            }
+        }
+        for reason in &ra.failure_reasons {
+            assert_eq!(reason, "install:burst");
+        }
+    }
+}

@@ -97,12 +97,18 @@ fn monitors_joblog_and_statistics_agree() {
         .filter(|e| e.code == EventCode::Submit)
         .count();
     assert_eq!(submits as u32, total_attempts);
-    let aborts = joblog
+    // Preemptions are machine-initiated, so they log as Condor "004"
+    // evicted events, not aborts.
+    let evictions = joblog
         .events
         .iter()
-        .filter(|e| e.code == EventCode::Aborted)
+        .filter(|e| e.code == EventCode::Evicted)
         .count();
-    assert_eq!(aborts, failed_attempts, "every preemption is logged");
+    assert_eq!(evictions, failed_attempts, "every preemption is logged");
+    assert!(
+        joblog.events.iter().all(|e| e.code != EventCode::Aborted),
+        "no user aborts in this run"
+    );
     let intervals = joblog.execution_intervals();
     assert_eq!(intervals.len() as u32, total_attempts);
 

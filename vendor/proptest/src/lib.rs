@@ -1,0 +1,362 @@
+//! Offline vendored subset of the `proptest` crate API.
+//!
+//! The workspace's property tests use a well-defined slice of
+//! proptest: the `proptest!` macro with optional
+//! `#![proptest_config(..)]`, range strategies, string-regex
+//! strategies (character classes + counted repetitions), tuple
+//! strategies, `collection::vec`, `sample::select`, `any::<T>()`,
+//! `prop_map` / `prop_filter`, and the `prop_assert!` /
+//! `prop_assert_eq!` macros. This crate reimplements exactly that
+//! slice on top of the vendored `rand`.
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports its case index and
+//!   derived seed; cases are deterministic per (file, line, case), so
+//!   a failure reproduces by just re-running the test.
+//! * **Deterministic case seeds.** Upstream seeds from the OS and
+//!   persists regressions; here seeds derive from the test location
+//!   so CI runs are reproducible without a persistence file.
+//! * **Regex subset.** String strategies support the syntax the
+//!   workspace actually uses: literal runs, `[...]` classes with
+//!   ranges, `\PC` (printable, non-control), and `{n}` / `{n,m}` /
+//!   `?` / `*` / `+` repetition.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() as i32
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen_range(-1.0e9..1.0e9)
+        }
+    }
+
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `collection::vec(element, len_range)`: vectors whose length is
+    /// drawn uniformly from `len_range` (half-open, like upstream's
+    /// accepted `usize` ranges).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// `sample::select(items)`: one uniformly chosen element. Accepts
+    /// anything viewable as a slice (`Vec<T>`, `&[T]`, arrays).
+    pub fn select<T: Clone, A: AsRef<[T]>>(items: A) -> Select<T> {
+        let items = items.as_ref().to_vec();
+        assert!(!items.is_empty(), "select over empty collection");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+pub mod string;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts within a `proptest!` body; on failure the current case
+/// aborts with a formatted message instead of panicking, mirroring
+/// upstream's control flow.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Binds `proptest!` parameters: `pat in strategy` samples the
+/// strategy, `name: Type` samples `any::<Type>()`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident: $ty:ty) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:pat in $strategy:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strategy), $rng);
+    };
+    ($rng:ident; $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strategy), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run_cases(
+                config,
+                ::core::file!(),
+                ::core::line!(),
+                |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                    #[allow(unreachable_code)]
+                    let body = || -> ::core::result::Result<(), ::std::string::String> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    body()
+                },
+            );
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+/// The `proptest!` block macro. `#[test]` attributes pass through via
+/// the meta repetition, so each generated zero-argument fn is a
+/// normal libtest test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_class_strategy_generates_in_alphabet() {
+        let s = crate::string::string_regex("[acgt]{2,8}").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..=8).contains(&v.len()), "len {}", v.len());
+            assert!(v.chars().all(|c| "acgt".contains(c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn regex_ranges_and_literals() {
+        let s = crate::string::string_regex("[A-C]x[0-2]{1}").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            let b: Vec<char> = v.chars().collect();
+            assert_eq!(b.len(), 3, "{v:?}");
+            assert!(('A'..='C').contains(&b[0]));
+            assert_eq!(b[1], 'x');
+            assert!(('0'..='2').contains(&b[2]));
+        }
+    }
+
+    #[test]
+    fn printable_class_excludes_controls() {
+        let s = crate::string::string_regex("\\PC{0,40}").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() <= 160);
+            assert!(v.chars().all(|c| !c.is_control()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let s = (0u32..100)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_map(|v| v + 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng) % 2, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_ranges_and_types(a in 1usize..10, b: u64, s in "[a-z]{1,4}") {
+            prop_assert!(a >= 1 && a < 10);
+            let _ = b;
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+
+        #[test]
+        fn macro_binds_tuple_patterns((x, y) in (0i64..5, 5i64..10)) {
+            prop_assert!(x < y, "{} !< {}", x, y);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Regex-subset string generation.
+//!
+//! Supports the pattern language the workspace's tests use:
+//!
+//! * literal characters (anything not special);
+//! * character classes `[...]` with literal members and `a-z` ranges
+//!   (a `-` first or last is literal, `]` first is literal);
+//! * `\PC` — any printable (non-control) character, drawn from ASCII
+//!   printables plus a handful of non-ASCII code points so parsers
+//!   still meet multi-byte UTF-8;
+//! * `\d`, `\w`, `\s` shorthand classes and `\\`-escaped literals;
+//! * repetition suffixes `{n}`, `{n,m}`, `?`, `*`, `+` (unbounded
+//!   forms cap at 32, mirroring upstream's default size bounds).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Cap for `*` and `+` repetitions, which regex leaves unbounded.
+const UNBOUNDED_CAP: u32 = 32;
+
+/// A handful of non-ASCII printables mixed into `\PC` so that
+/// "arbitrary text" exercises multi-byte UTF-8 paths.
+const NON_ASCII_PRINTABLES: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '✓', '—', '𝛼'];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, Error> {
+    Err(Error {
+        message: message.into(),
+    })
+}
+
+/// One alternative set of characters to draw from.
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit members plus inclusive ranges.
+    Class {
+        singles: Vec<char>,
+        ranges: Vec<(char, char)>,
+    },
+    /// `\PC`: printable, non-control.
+    Printable,
+}
+
+impl CharSet {
+    fn size(&self) -> usize {
+        match self {
+            CharSet::Class { singles, ranges } => {
+                singles.len()
+                    + ranges
+                        .iter()
+                        .map(|&(lo, hi)| (hi as usize) - (lo as usize) + 1)
+                        .sum::<usize>()
+            }
+            CharSet::Printable => 95 + NON_ASCII_PRINTABLES.len(),
+        }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Class { singles, ranges } => {
+                let mut idx = rng.gen_range(0..self.size());
+                if idx < singles.len() {
+                    return singles[idx];
+                }
+                idx -= singles.len();
+                for &(lo, hi) in ranges {
+                    let span = (hi as usize) - (lo as usize) + 1;
+                    if idx < span {
+                        return char::from_u32(lo as u32 + idx as u32)
+                            .expect("ranges only span valid scalar runs");
+                    }
+                    idx -= span;
+                }
+                unreachable!("index within size()")
+            }
+            CharSet::Printable => {
+                let idx = rng.gen_range(0..self.size());
+                if idx < 95 {
+                    char::from_u32(0x20 + idx as u32).expect("printable ASCII")
+                } else {
+                    NON_ASCII_PRINTABLES[idx - 95]
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern: a sequence of repeated character sets.
+#[derive(Debug, Clone)]
+pub struct CompiledRegex {
+    atoms: Vec<Atom>,
+}
+
+impl CompiledRegex {
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+fn shorthand_class(c: char) -> Option<CharSet> {
+    match c {
+        'd' => Some(CharSet::Class {
+            singles: vec![],
+            ranges: vec![('0', '9')],
+        }),
+        'w' => Some(CharSet::Class {
+            singles: vec!['_'],
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9')],
+        }),
+        's' => Some(CharSet::Class {
+            singles: vec![' ', '\t', '\n', '\r'],
+            ranges: vec![],
+        }),
+        _ => None,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<CharSet, Error> {
+    let mut singles = Vec::new();
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    let mut first = true;
+    loop {
+        let c = match chars.next() {
+            Some(c) => c,
+            None => return err("unterminated character class"),
+        };
+        match c {
+            ']' if !first => {
+                if let Some(p) = pending.take() {
+                    singles.push(p);
+                }
+                return Ok(CharSet::Class { singles, ranges });
+            }
+            '\\' => {
+                let esc = match chars.next() {
+                    Some(e) => e,
+                    None => return err("dangling escape in class"),
+                };
+                if let Some(p) = pending.take() {
+                    singles.push(p);
+                }
+                match esc {
+                    'n' => pending = Some('\n'),
+                    't' => pending = Some('\t'),
+                    'r' => pending = Some('\r'),
+                    _ => pending = Some(esc),
+                }
+            }
+            '-' => {
+                // A range if we have a pending start and a next member.
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        let hi = if hi == '\\' {
+                            match chars.next() {
+                                Some(e) => e,
+                                None => return err("dangling escape in class"),
+                            }
+                        } else {
+                            hi
+                        };
+                        if lo > hi {
+                            return err(format!("reversed class range {lo}-{hi}"));
+                        }
+                        // Reject ranges that cross the surrogate gap.
+                        if (lo as u32) < 0xD800 && (hi as u32) > 0xDFFF {
+                            return err("class range crosses surrogate gap");
+                        }
+                        ranges.push((lo, hi));
+                    }
+                    (p, _) => {
+                        if let Some(p) = p {
+                            singles.push(p);
+                        }
+                        singles.push('-');
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    singles.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+        first = false;
+    }
+}
+
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+) -> Result<Option<(u32, u32)>, Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return err("unterminated repetition {..}"),
+                }
+            }
+            let parts: Vec<&str> = spec.split(',').collect();
+            let parse_n = |s: &str| -> Result<u32, Error> {
+                s.trim().parse::<u32>().map_err(|_| Error {
+                    message: format!("bad repetition count {s:?}"),
+                })
+            };
+            match parts.as_slice() {
+                [n] => {
+                    let n = parse_n(n)?;
+                    Ok(Some((n, n)))
+                }
+                [lo, hi] => {
+                    let (lo, hi) = (parse_n(lo)?, parse_n(hi)?);
+                    if lo > hi {
+                        return err(format!("reversed repetition {{{lo},{hi}}}"));
+                    }
+                    Ok(Some((lo, hi)))
+                }
+                _ => err(format!("unsupported repetition {{{spec}}}")),
+            }
+        }
+        Some('?') => {
+            chars.next();
+            Ok(Some((0, 1)))
+        }
+        Some('*') => {
+            chars.next();
+            Ok(Some((0, UNBOUNDED_CAP)))
+        }
+        Some('+') => {
+            chars.next();
+            Ok(Some((1, UNBOUNDED_CAP)))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Compiles a pattern in the supported subset.
+pub fn compile(pattern: &str) -> Result<CompiledRegex, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => CharSet::Printable,
+                    other => {
+                        return err(format!("unsupported \\P category {other:?}"));
+                    }
+                },
+                Some(e) => {
+                    if let Some(set) = shorthand_class(e) {
+                        set
+                    } else {
+                        let lit = match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        };
+                        CharSet::Class {
+                            singles: vec![lit],
+                            ranges: vec![],
+                        }
+                    }
+                }
+                None => return err("dangling escape"),
+            },
+            '.' => CharSet::Printable,
+            '{' | '}' | '?' | '*' | '+' | '(' | ')' | '|' | '^' | '$' => {
+                return err(format!("unsupported regex syntax {c:?} in {pattern:?}"));
+            }
+            lit => CharSet::Class {
+                singles: vec![lit],
+                ranges: vec![],
+            },
+        };
+        if set.size() == 0 {
+            return err("empty character class");
+        }
+        let (min, max) = parse_repeat(&mut chars)?.unwrap_or((1, 1));
+        atoms.push(Atom { set, min, max });
+    }
+    Ok(CompiledRegex { atoms })
+}
+
+/// A strategy generating strings matching a compiled pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    compiled: CompiledRegex,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        self.compiled.generate(rng)
+    }
+}
+
+/// `string::string_regex(pattern)`: like upstream, fallible at
+/// construction so invalid patterns surface at strategy build time.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Ok(RegexGeneratorStrategy {
+        compiled: compile(pattern)?,
+    })
+}
