@@ -31,8 +31,7 @@ const INSTALL: &str = "install-failure-burst start=0 duration=1e9 fail-probabili
 fn chaos_run(plan_text: &str, policy: RetryPolicy, n: usize, seed: u64) -> ExperimentOutcome {
     let script = (!plan_text.is_empty())
         .then(|| FaultScript::new(FaultPlan::parse(plan_text).expect("valid plan"), seed));
-    let mut cfg = EngineConfig::with_policy(policy);
-    cfg.seed = seed;
+    let cfg = EngineConfig::builder().policy(policy).seed(seed).build();
     simulate_blast2cap3_with("osg", n, seed, &cfg, script)
 }
 

@@ -19,7 +19,7 @@ use blast2cap3_pegasus::experiment::{
 use gridsim::platforms::{osg, osg_churning, osg_prestaged};
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 
 fn simulate_with_clustering(n: usize, cluster_factor: Option<usize>, seed: u64) -> f64 {
@@ -35,7 +35,12 @@ fn simulate_with_clustering(n: usize, cluster_factor: Option<usize>, seed: u64) 
     cfg.cluster_factor = cluster_factor;
     let exec = plan(&wf, &sites, &tc, &rc, &cfg).expect("plan");
     let mut backend = SimBackend::new(osg(seed), seed);
-    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(10));
+    let run = Engine::run(
+        &mut backend,
+        &exec,
+        &EngineConfig::builder().retries(10).build(),
+        &mut NoopMonitor,
+    );
     assert!(run.succeeded());
     run.wall_time
 }
@@ -54,7 +59,12 @@ fn simulate_prestaged(n: usize, prestaged: bool, seed: u64) -> f64 {
     rc.register("alignments.out", "submit");
     let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).expect("plan");
     let mut backend = SimBackend::new(osg_prestaged(seed), seed);
-    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(10));
+    let run = Engine::run(
+        &mut backend,
+        &exec,
+        &EngineConfig::builder().retries(10).build(),
+        &mut NoopMonitor,
+    );
     assert!(run.succeeded());
     run.wall_time
 }
@@ -89,7 +99,12 @@ fn bench_ablations(c: &mut Criterion) {
         rc.register("alignments.out", "submit");
         let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).unwrap();
         let mut be = SimBackend::new(osg_churning(42), 42);
-        let run = run_workflow(&exec, &mut be, &EngineConfig::with_retries(20));
+        let run = Engine::run(
+            &mut be,
+            &exec,
+            &EngineConfig::builder().retries(20).build(),
+            &mut NoopMonitor,
+        );
         println!(
             "ablation eviction   @ OSG n=300: churn-model wall={:.0}s (hazard-model={normal:.0}s), {} evictions",
             run.wall_time,

@@ -12,7 +12,7 @@ use std::time::Duration;
 use gridsim::platforms::{osg, sandhills};
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use pegasus_wms::synthetic::{cybershake, epigenomics, ligo_inspiral, montage};
 use pegasus_wms::workflow::AbstractWorkflow;
@@ -29,7 +29,12 @@ fn simulate(wf: &AbstractWorkflow, site: &str, seed: u64) -> f64 {
         _ => osg(seed),
     };
     let mut backend = SimBackend::new(platform, seed);
-    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(10));
+    let run = Engine::run(
+        &mut backend,
+        &exec,
+        &EngineConfig::builder().retries(10).build(),
+        &mut NoopMonitor,
+    );
     assert!(run.succeeded(), "{site}/{} failed", wf.name);
     run.wall_time
 }

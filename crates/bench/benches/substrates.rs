@@ -15,7 +15,7 @@ use blastx::search::{SearchParams, Searcher};
 use cap3::{Assembler, Cap3Params};
 use gridsim::{PlatformModel, SimBackend};
 use pegasus_wms::dax;
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 
 fn bench_substrates(c: &mut Criterion) {
@@ -110,7 +110,12 @@ fn bench_substrates(c: &mut Criterion) {
             b.iter(|| {
                 let platform = PlatformModel::uniform("u", 32, 1.0);
                 let mut backend = SimBackend::new(platform, 1);
-                let run = run_workflow(exec, &mut backend, &EngineConfig::default());
+                let run = Engine::run(
+                    &mut backend,
+                    exec,
+                    &EngineConfig::default(),
+                    &mut NoopMonitor,
+                );
                 assert!(run.succeeded());
                 run.wall_time
             })

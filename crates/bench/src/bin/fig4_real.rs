@@ -17,7 +17,7 @@ use blast2cap3::workflow::{build_workflow, WorkflowParams};
 use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
 use condor::pool::{LocalPool, PoolConfig, TaskRegistry};
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use wms_bench::{write_experiment_file, DEFAULT_SEED, PAPER_N_VALUES};
 
@@ -57,7 +57,12 @@ fn main() {
             },
             TaskRegistry::new(),
         );
-        let run = run_workflow(&exec, &mut pool, &EngineConfig::with_retries(0));
+        let run = Engine::run(
+            &mut pool,
+            &exec,
+            &EngineConfig::builder().retries(0).build(),
+            &mut NoopMonitor,
+        );
         assert!(run.succeeded());
         let equivalent = run.wall_time / TIME_SCALE;
         println!(

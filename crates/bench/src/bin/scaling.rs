@@ -26,7 +26,7 @@ use cap3::Cap3Params;
 use gridsim::platforms::sandhills;
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use wms_bench::{write_experiment_file, DEFAULT_SEED};
 
@@ -101,7 +101,12 @@ fn main() {
         );
         let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
         let mut backend = SimBackend::new(sandhills(), DEFAULT_SEED);
-        let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(3));
+        let run = Engine::run(
+            &mut backend,
+            &exec,
+            &EngineConfig::builder().retries(3).build(),
+            &mut NoopMonitor,
+        );
         assert!(run.succeeded());
         let serial_s = scaled.serial_total;
         println!(

@@ -12,7 +12,9 @@
 //!
 //! Output: `target/experiments/variance.csv`.
 
-use blast2cap3_pegasus::experiment::{simulate_blast2cap3, simulate_blast2cap3_with};
+use blast2cap3_pegasus::experiment::{
+    simulate_blast2cap3, simulate_blast2cap3_ensemble, simulate_blast2cap3_with,
+};
 use gridsim::{FaultPlan, FaultScript};
 use pegasus_wms::engine::{EngineConfig, RetryPolicy};
 use wms_bench::{human_duration, write_experiment_file, DEFAULT_SEED};
@@ -26,8 +28,10 @@ straggler start=0 duration=1e9 slowdown=4 probability=0.05
 fn simulate(site: &str, seed: u64) -> blast2cap3_pegasus::ExperimentOutcome {
     if site == "osg+chaos" {
         let script = FaultScript::new(FaultPlan::parse(CHAOS).expect("valid plan"), seed);
-        let mut cfg = EngineConfig::with_policy(RetryPolicy::exponential(20, 30.0));
-        cfg.seed = seed;
+        let cfg = EngineConfig::builder()
+            .policy(RetryPolicy::exponential(20, 30.0))
+            .seed(seed)
+            .build();
         simulate_blast2cap3_with("osg", 300, seed, &cfg, Some(script))
     } else {
         simulate_blast2cap3(site, 300, seed, 20)
@@ -67,6 +71,33 @@ fn main() {
             min, median, mean, max, human_duration(median)
         );
     }
+    // Ensemble series: the {100, 300} pair as ONE ensemble per seed.
+    // Its makespan is a max over members sharing the platform, so
+    // opportunistic variability compounds rather than averaging out.
+    for site in ["sandhills", "osg"] {
+        let mut walls = Vec::new();
+        for k in 0..RUNS {
+            let seed = DEFAULT_SEED + k;
+            let cfg = EngineConfig::builder()
+                .policy(RetryPolicy::exponential(20, 30.0))
+                .seed(seed)
+                .build();
+            let out = simulate_blast2cap3_ensemble(site, &[100, 300], seed, &cfg, None);
+            assert!(out.run.succeeded(), "{site} ensemble seed {seed}");
+            csv.push_str(&format!(
+                "{site}+ensemble,{seed},{:.1},{}\n",
+                out.run.makespan, out.stats.retries
+            ));
+            walls.push(out.run.makespan);
+        }
+        let (min, median, mean, max) = summary(&mut walls);
+        println!(
+            "{:<9} over {RUNS} runs: min {min:>8.0}s  median {median:>8.0}s  mean {mean:>8.0}s  max {max:>8.0}s  (max/min = {:.2}x, ensemble of n=100+300)",
+            format!("{site}+ens"),
+            max / min
+        );
+    }
+
     let sandhills_spread = spreads[0].1;
     let osg_spread = spreads[1].1;
     println!();

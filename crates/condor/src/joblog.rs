@@ -353,7 +353,7 @@ mod tests {
 
     #[test]
     fn full_engine_run_produces_a_complete_log() {
-        use pegasus_wms::engine::{run_workflow_monitored, EngineConfig};
+        use pegasus_wms::engine::{Engine, EngineConfig};
         use pegasus_wms::planner::ExecutableWorkflow;
         // Use the local pool for a real end-to-end log.
         let wf = ExecutableWorkflow {
@@ -382,7 +382,7 @@ mod tests {
             crate::pool::TaskRegistry::new(),
         );
         let mut log = JobLogMonitor::new();
-        let run = run_workflow_monitored(&wf, &mut pool, &EngineConfig::default(), &mut log);
+        let run = Engine::run(&mut pool, &wf, &EngineConfig::default(), &mut log);
         assert!(run.succeeded());
         // 3 submits + 3 executes + 3 terminations.
         assert_eq!(log.events.len(), 9);

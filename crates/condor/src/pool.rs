@@ -9,7 +9,7 @@
 //! fabricates OSG-style preemptions to exercise the engine's retry and
 //! rescue paths for real.
 
-use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, JobOutcome, JobTimes};
+use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, FaultReason, JobOutcome, JobTimes};
 use pegasus_wms::planner::ExecutableJob;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -161,6 +161,9 @@ pub struct LocalPool {
     t0: Instant,
     /// Per-attempt wall-clock budget, shared with the workers.
     timeout: Arc<std::sync::Mutex<Option<f64>>>,
+    /// Worker-thread count, reported as slot capacity so an ensemble
+    /// manager sharing this pool can budget admissions.
+    workers: usize,
 }
 
 impl LocalPool {
@@ -258,7 +261,7 @@ impl LocalPool {
                         }
                     }
                     if let Some(limit) = *timeout.lock().expect("timeout lock") {
-                        propose_evict(&mut evict, limit, format!("timeout: exceeded {limit}s"));
+                        propose_evict(&mut evict, limit, FaultReason::timeout_exceeded(limit));
                     }
                     let deadline = evict.as_ref().map(|(after, _)| started + after);
                     let evict_reason = evict.map(|(_, reason)| reason);
@@ -345,6 +348,7 @@ impl LocalPool {
             handles,
             t0,
             timeout,
+            workers: config.workers.max(1),
         }
     }
 }
@@ -374,6 +378,10 @@ impl ExecutionBackend for LocalPool {
     fn set_timeout(&mut self, timeout: Option<f64>) {
         *self.timeout.lock().expect("timeout lock") = timeout;
     }
+
+    fn slot_capacity(&self) -> Option<usize> {
+        Some(self.workers)
+    }
 }
 
 impl Drop for LocalPool {
@@ -388,8 +396,16 @@ impl Drop for LocalPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pegasus_wms::engine::{run_workflow, EngineConfig, WorkflowOutcome};
+    use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, WorkflowOutcome, WorkflowRun};
     use pegasus_wms::planner::{ExecutableWorkflow, JobKind};
+
+    fn run_workflow(
+        wf: &ExecutableWorkflow,
+        pool: &mut LocalPool,
+        cfg: &EngineConfig,
+    ) -> WorkflowRun {
+        Engine::run(pool, wf, cfg, &mut NoopMonitor)
+    }
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn job(id: usize, name: &str, transformation: &str) -> ExecutableJob {
@@ -489,7 +505,7 @@ mod tests {
             edges: vec![],
         };
         let mut pool = LocalPool::new(pool_config(), reg);
-        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(3));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::builder().retries(3).build());
         assert!(run.succeeded());
         assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 3);
         assert_eq!(run.records[0].failed_attempts.len(), 2);
@@ -530,7 +546,7 @@ mod tests {
         };
         let mut pool =
             LocalPool::with_failure_injector(pool_config(), TaskRegistry::new(), Some(injector));
-        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(1));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::builder().retries(1).build());
         assert!(run.succeeded());
         assert_eq!(run.records[0].attempts, 2);
     }
@@ -562,7 +578,7 @@ mod tests {
             edges: vec![],
         };
         let mut pool = LocalPool::with_fault_injector(cfg, TaskRegistry::new(), Some(injector));
-        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(2));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::builder().retries(2).build());
         assert!(run.succeeded());
         let rec = &run.records[0];
         assert_eq!(rec.failure_reasons, vec!["preempted:storm".to_string()]);
@@ -629,7 +645,11 @@ mod tests {
         };
         let mut pool = LocalPool::with_fault_injector(cfg, TaskRegistry::new(), Some(injector));
         let policy = RetryPolicy::flat(2).with_timeout(0.08);
-        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_policy(policy));
+        let run = run_workflow(
+            &wf,
+            &mut pool,
+            &EngineConfig::builder().policy(policy).build(),
+        );
         assert!(run.succeeded());
         let rec = &run.records[0];
         assert_eq!(rec.failure_reasons.len(), 1);
@@ -669,7 +689,7 @@ mod tests {
             edges: vec![],
         };
         let mut pool = LocalPool::with_fault_injector(cfg, reg, Some(injector));
-        let run = run_workflow(&wf, &mut pool, &EngineConfig::with_retries(1));
+        let run = run_workflow(&wf, &mut pool, &EngineConfig::builder().retries(1).build());
         assert!(run.succeeded());
         assert_eq!(
             RAN.load(Ordering::SeqCst),

@@ -108,6 +108,14 @@ pub trait ExecutionBackend {
 
     /// Current backend time in seconds (real or simulated).
     fn now(&self) -> f64;
+
+    /// Number of simultaneously usable execution slots, when the
+    /// backend knows it. The ensemble manager uses this as its default
+    /// shared slot budget; `None` means capacity is unbounded (or
+    /// unknown), which disables budget-based admission.
+    fn slot_capacity(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Retry behaviour for failed attempts: a maximum attempt budget,
@@ -214,7 +222,24 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
+    /// Starts a fluent [`EngineConfigBuilder`]:
+    ///
+    /// ```
+    /// use pegasus_wms::engine::EngineConfig;
+    /// let cfg = EngineConfig::builder()
+    ///     .retries(5)
+    ///     .backoff(30.0)
+    ///     .timeout(600.0)
+    ///     .seed(2014)
+    ///     .build();
+    /// assert_eq!(cfg.retry.max_attempts, 6);
+    /// ```
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
     /// Config with a flat retry budget and nothing pre-completed.
+    #[deprecated(note = "use `EngineConfig::builder().retries(n).build()`")]
     pub fn with_retries(max_retries: u32) -> Self {
         EngineConfig {
             retry: RetryPolicy::flat(max_retries),
@@ -223,6 +248,7 @@ impl EngineConfig {
     }
 
     /// Config with a full retry policy.
+    #[deprecated(note = "use `EngineConfig::builder().policy(p).build()`")]
     pub fn with_policy(retry: RetryPolicy) -> Self {
         EngineConfig {
             retry,
@@ -231,12 +257,161 @@ impl EngineConfig {
     }
 
     /// Config resuming from a rescue DAG.
+    #[deprecated(note = "use `EngineConfig::builder().retries(n).rescue(&dag).build()`")]
     pub fn resuming(max_retries: u32, rescue: &RescueDag) -> Self {
         EngineConfig {
             retry: RetryPolicy::flat(max_retries),
             skip_done: rescue.done.iter().cloned().collect(),
             ..Default::default()
         }
+    }
+}
+
+/// Fluent builder behind [`EngineConfig::builder`], replacing the
+/// historical `with_retries` / `with_policy` / `resuming`
+/// constructors: retry budget, backoff shape, timeout, rescue resume,
+/// crash scripting, and RNG seed compose freely in any order.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Allows up to `max_retries` retries per job (flat unless a
+    /// backoff is also configured).
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.cfg.retry.max_attempts = max_retries + 1;
+        self
+    }
+
+    /// Replaces the whole retry policy in one go.
+    pub fn policy(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Exponential backoff between retries: `base`, `2*base`, ...,
+    /// capped at `64*base` (the same shape as
+    /// [`RetryPolicy::exponential`]).
+    pub fn backoff(mut self, base: f64) -> Self {
+        self.cfg.retry.base_backoff = base;
+        self.cfg.retry.backoff_factor = 2.0;
+        self.cfg.retry.max_backoff = 64.0 * base;
+        self
+    }
+
+    /// Symmetric backoff jitter (`0.2` = ±20 %), drawn from the
+    /// engine RNG.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.cfg.retry.jitter = jitter;
+        self
+    }
+
+    /// Per-attempt wall-clock timeout handed to the backend.
+    pub fn timeout(mut self, timeout: f64) -> Self {
+        self.cfg.retry.timeout = Some(timeout);
+        self
+    }
+
+    /// Resumes from a rescue DAG: its DONE jobs are skipped.
+    pub fn rescue(mut self, rescue: &RescueDag) -> Self {
+        self.cfg.skip_done = rescue.done.iter().cloned().collect();
+        self
+    }
+
+    /// Marks job *names* as already done (a rescue DAG by hand).
+    pub fn skip_done<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.cfg.skip_done = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Simulates a submit-host crash after `events` completion events.
+    pub fn crash_after_events(mut self, events: u64) -> Self {
+        self.cfg.crash_after_events = Some(events);
+        self
+    }
+
+    /// Seeds the engine RNG (backoff jitter).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.cfg
+    }
+}
+
+/// Typed classification of an attempt-failure reason — the categories
+/// [`FaultCounters`] tallies. Backends construct their reason strings
+/// through the helpers here (instead of ad-hoc literals), so a typo'd
+/// prefix can no longer silently land in the wrong counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultReason {
+    /// The attempt was killed by preemption (reason prefix
+    /// `"preempted"`): the platform hazard or a scripted storm.
+    Preemption,
+    /// The attempt was evicted by slot churn or a blackout window
+    /// (prefix `"evicted"`).
+    Eviction,
+    /// The attempt failed during the download/install phase (prefix
+    /// `"install"`).
+    InstallFailure,
+    /// The attempt exceeded the retry policy's per-attempt wall-clock
+    /// timeout (prefix `"timeout"`).
+    Timeout,
+    /// Anything else: task errors, panics, scripted test failures.
+    Other,
+}
+
+impl FaultReason {
+    /// Classifies a wire-format reason string by its normalised
+    /// prefix.
+    pub fn classify(reason: &str) -> Self {
+        if reason.starts_with("preempted") {
+            FaultReason::Preemption
+        } else if reason.starts_with("evicted") {
+            FaultReason::Eviction
+        } else if reason.starts_with("install") {
+            FaultReason::InstallFailure
+        } else if reason.starts_with("timeout") {
+            FaultReason::Timeout
+        } else {
+            FaultReason::Other
+        }
+    }
+
+    /// The canonical wire prefix for this category.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            FaultReason::Preemption => "preempted",
+            FaultReason::Eviction => "evicted",
+            FaultReason::InstallFailure => "install",
+            FaultReason::Timeout => "timeout",
+            FaultReason::Other => "error",
+        }
+    }
+
+    /// The bare reason string (just the prefix), e.g. `"preempted"`.
+    pub fn reason(self) -> String {
+        self.prefix().to_string()
+    }
+
+    /// A tagged reason string, e.g. `"preempted:storm"` — same
+    /// category, extra detail after the colon.
+    pub fn tagged(self, detail: &str) -> String {
+        format!("{}:{detail}", self.prefix())
+    }
+
+    /// The reason emitted when an attempt exceeds the per-attempt
+    /// wall-clock `limit` — shared by every timeout-capable backend.
+    pub fn timeout_exceeded(limit: f64) -> String {
+        format!("timeout: exceeded {limit}s")
     }
 }
 
@@ -262,19 +437,21 @@ pub struct FaultCounters {
 }
 
 impl FaultCounters {
-    /// Classifies one failure reason into the matching counter.
-    pub fn record(&mut self, reason: &str) {
-        if reason.starts_with("preempted") {
-            self.preemptions += 1;
-        } else if reason.starts_with("evicted") {
-            self.evictions += 1;
-        } else if reason.starts_with("install") {
-            self.install_failures += 1;
-        } else if reason.starts_with("timeout") {
-            self.timeouts += 1;
-        } else {
-            self.other_failures += 1;
+    /// Bumps the counter matching a typed failure category.
+    pub fn record_reason(&mut self, reason: FaultReason) {
+        match reason {
+            FaultReason::Preemption => self.preemptions += 1,
+            FaultReason::Eviction => self.evictions += 1,
+            FaultReason::InstallFailure => self.install_failures += 1,
+            FaultReason::Timeout => self.timeouts += 1,
+            FaultReason::Other => self.other_failures += 1,
         }
+    }
+
+    /// Classifies one failure reason into the matching counter.
+    #[deprecated(note = "use `record_reason(FaultReason::classify(reason))`")]
+    pub fn record(&mut self, reason: &str) {
+        self.record_reason(FaultReason::classify(reason));
     }
 
     /// All failed attempts, across categories.
@@ -284,6 +461,18 @@ impl FaultCounters {
             + self.install_failures
             + self.timeouts
             + self.other_failures
+    }
+
+    /// Folds another run's counters into this one — the ensemble
+    /// rollup.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.preemptions += other.preemptions;
+        self.evictions += other.evictions;
+        self.install_failures += other.install_failures;
+        self.timeouts += other.timeouts;
+        self.other_failures += other.other_failures;
+        self.retries += other.retries;
+        self.backoff_wait += other.backoff_wait;
     }
 }
 
@@ -391,181 +580,367 @@ pub trait WorkflowMonitor {
     }
 }
 
-/// The do-nothing monitor used by [`run_workflow`].
+/// The do-nothing monitor used by [`Engine::run`] callers that don't
+/// care about progress.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoopMonitor;
 
 impl WorkflowMonitor for NoopMonitor {}
 
-/// Executes `wf` on `backend` under `config`.
-pub fn run_workflow(
-    wf: &ExecutableWorkflow,
-    backend: &mut dyn ExecutionBackend,
-    config: &EngineConfig,
-) -> WorkflowRun {
-    run_workflow_monitored(wf, backend, config, &mut NoopMonitor)
+/// A request to resubmit a failed job, produced by
+/// [`WorkflowExecution::on_event`]. The driver must hand it to
+/// `backend.submit_after(job, next_attempt, delay)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryRequest {
+    /// Which job to resubmit.
+    pub job: JobId,
+    /// The attempt number of the resubmission (0-based).
+    pub next_attempt: u32,
+    /// Backoff delay before the resubmission, in backend seconds.
+    pub delay: f64,
+    /// The failure reason that triggered the retry.
+    pub reason: String,
 }
 
-/// Executes `wf` on `backend` under `config`, reporting progress to
-/// `monitor`.
-pub fn run_workflow_monitored(
-    wf: &ExecutableWorkflow,
-    backend: &mut dyn ExecutionBackend,
-    config: &EngineConfig,
-    monitor: &mut dyn WorkflowMonitor,
-) -> WorkflowRun {
-    let n = wf.jobs.len();
-    let children = wf.children();
-    let parents = wf.parents();
-    let mut pending_parents: Vec<usize> = parents.iter().map(Vec::len).collect();
+/// What a driver must do after feeding one completion event to a
+/// [`WorkflowExecution`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventResponse {
+    /// Jobs that became ready for their first submission, in release
+    /// order.
+    pub newly_ready: Vec<JobId>,
+    /// A retry to resubmit (with backoff), if the failed job has
+    /// attempts left.
+    pub retry: Option<RetryRequest>,
+    /// The scripted submit-host crash fired: abandon in-flight work
+    /// and stop driving this workflow.
+    pub crashed: bool,
+}
 
-    let mut records: Vec<JobRecord> = wf
-        .jobs
-        .iter()
-        .map(|j| JobRecord {
-            job: j.id,
-            name: j.name.clone(),
-            transformation: j.transformation.clone(),
-            kind: j.kind,
-            state: JobState::Unready,
-            attempts: 0,
-            times: None,
-            failed_attempts: Vec::new(),
-            failure_reasons: Vec::new(),
-        })
-        .collect();
+/// Re-entrant per-workflow scheduling state — the DAGMan loop body
+/// with the backend pulled out.
+///
+/// [`Engine::run`] drives one of these against a dedicated backend;
+/// the [`crate::ensemble`] manager interleaves many of them over one
+/// shared backend. The contract: call [`take_initial_ready`] once,
+/// submit those jobs (marking each with [`note_submitted`]), then feed
+/// every completion event for this workflow to [`on_event`] and act on
+/// the returned [`EventResponse`]. The workflow is finished when
+/// [`is_complete`] (or the response's `crashed` flag) says so; then
+/// [`finish`] yields the [`WorkflowRun`].
+///
+/// All scheduling decisions (readiness, retry budget, backoff RNG,
+/// fault counting, crash scripting) live here, so a workflow run
+/// behaves identically whether it owns the backend or shares it.
+///
+/// [`take_initial_ready`]: WorkflowExecution::take_initial_ready
+/// [`note_submitted`]: WorkflowExecution::note_submitted
+/// [`on_event`]: WorkflowExecution::on_event
+/// [`is_complete`]: WorkflowExecution::is_complete
+/// [`finish`]: WorkflowExecution::finish
+#[derive(Debug)]
+pub struct WorkflowExecution {
+    name: String,
+    site: String,
+    config: EngineConfig,
+    children: Vec<Vec<JobId>>,
+    pending_parents: Vec<usize>,
+    records: Vec<JobRecord>,
+    done: Vec<bool>,
+    rng: StdRng,
+    faults: FaultCounters,
+    /// Jobs released (initial or via `on_event`) but not yet
+    /// terminated — includes jobs a budgeted driver is still holding.
+    outstanding: usize,
+    events_seen: u64,
+    any_failed: bool,
+    crashed: bool,
+    start: f64,
+    initial_ready: Vec<JobId>,
+}
 
-    backend.set_timeout(config.retry.timeout);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut faults = FaultCounters::default();
-    let start = backend.now();
-    let mut in_flight = 0usize;
-    let mut done = vec![false; n];
+impl WorkflowExecution {
+    /// Builds the scheduling state for `wf` under `config`, stamping
+    /// the workflow start at `start` (backend seconds). Rescue-skipped
+    /// jobs are marked done and their readiness cascades immediately.
+    pub fn new(wf: &ExecutableWorkflow, config: &EngineConfig, start: f64) -> Self {
+        let n = wf.jobs.len();
+        let children = wf.children();
+        let parents = wf.parents();
+        let mut pending_parents: Vec<usize> = parents.iter().map(Vec::len).collect();
 
-    // Seed: pre-completed jobs (rescue) propagate readiness; then
-    // everything with no pending parents is submitted.
-    let mut ready: Vec<JobId> = Vec::new();
-    let mark_done = |job: JobId,
-                     done: &mut Vec<bool>,
-                     pending_parents: &mut Vec<usize>,
-                     ready: &mut Vec<JobId>| {
-        done[job] = true;
-        for &c in &children[job] {
-            pending_parents[c] -= 1;
-            if pending_parents[c] == 0 && !done[c] {
-                ready.push(c);
+        let mut records: Vec<JobRecord> = wf
+            .jobs
+            .iter()
+            .map(|j| JobRecord {
+                job: j.id,
+                name: j.name.clone(),
+                transformation: j.transformation.clone(),
+                kind: j.kind,
+                state: JobState::Unready,
+                attempts: 0,
+                times: None,
+                failed_attempts: Vec::new(),
+                failure_reasons: Vec::new(),
+            })
+            .collect();
+
+        let mut done = vec![false; n];
+        let mut ready: Vec<JobId> = Vec::new();
+        let mark_done = |job: JobId,
+                         done: &mut Vec<bool>,
+                         pending_parents: &mut Vec<usize>,
+                         ready: &mut Vec<JobId>| {
+            done[job] = true;
+            for &c in &children[job] {
+                pending_parents[c] -= 1;
+                if pending_parents[c] == 0 && !done[c] {
+                    ready.push(c);
+                }
+            }
+        };
+
+        // Rescue skips: a DONE node is done unconditionally — its work
+        // products exist from the previous run even when this plan's
+        // auxiliary ancestors (create_dir, transfers) differ and re-run.
+        #[allow(clippy::needless_range_loop)] // `job` indexes three parallel arrays
+        for job in 0..n {
+            if config.skip_done.contains(&wf.jobs[job].name) {
+                records[job].state = JobState::SkippedDone;
+                mark_done(job, &mut done, &mut pending_parents, &mut ready);
             }
         }
-    };
+        for job in 0..n {
+            if pending_parents[job] == 0 && !done[job] && records[job].state == JobState::Unready {
+                ready.push(job);
+            }
+        }
+        ready.sort_unstable();
+        ready.dedup();
+        ready.retain(|&j| !done[j]);
 
-    // Rescue skips: a DONE node is done unconditionally — its work
-    // products exist from the previous run even when this plan's
-    // auxiliary ancestors (create_dir, transfers) differ and re-run.
-    #[allow(clippy::needless_range_loop)] // `job` indexes three parallel arrays
-    for job in 0..n {
-        if config.skip_done.contains(&wf.jobs[job].name) {
-            records[job].state = JobState::SkippedDone;
-            mark_done(job, &mut done, &mut pending_parents, &mut ready);
+        WorkflowExecution {
+            name: wf.name.clone(),
+            site: wf.site.clone(),
+            config: config.clone(),
+            children,
+            pending_parents,
+            records,
+            done,
+            rng: StdRng::seed_from_u64(config.seed),
+            faults: FaultCounters::default(),
+            outstanding: 0,
+            events_seen: 0,
+            any_failed: false,
+            crashed: false,
+            start,
+            initial_ready: ready,
         }
     }
-    for job in 0..n {
-        if pending_parents[job] == 0 && !done[job] && records[job].state == JobState::Unready {
-            ready.push(job);
-        }
-    }
-    ready.sort_unstable();
-    ready.dedup();
-    ready.retain(|&j| !done[j]);
 
-    let submit = |job: JobId,
-                  attempt: u32,
-                  backend: &mut dyn ExecutionBackend,
-                  monitor: &mut dyn WorkflowMonitor| {
-        backend.submit(&wf.jobs[job], attempt);
-        let now = backend.now();
-        monitor.job_submitted(&wf.jobs[job], attempt, now);
-    };
-    for &job in &ready {
-        records[job].attempts = 1;
-        submit(job, 0, backend, monitor);
-        in_flight += 1;
+    /// The jobs ready for their first submission, sorted by id. Call
+    /// exactly once; the returned jobs count as outstanding until
+    /// their events arrive.
+    pub fn take_initial_ready(&mut self) -> Vec<JobId> {
+        let ready = std::mem::take(&mut self.initial_ready);
+        self.outstanding += ready.len();
+        ready
     }
-    ready.clear();
 
-    let mut any_failed = false;
-    let mut crashed = false;
-    let mut events_seen = 0u64;
-    while in_flight > 0 {
-        let ev = backend.wait_any();
-        in_flight -= 1;
-        events_seen += 1;
-        monitor.job_terminated(&wf.jobs[ev.job], &ev);
-        let rec = &mut records[ev.job];
-        match ev.outcome {
+    /// Marks a fresh (attempt 0) submission of `job`. The driver calls
+    /// this when it actually hands the job to the backend.
+    pub fn note_submitted(&mut self, job: JobId) {
+        self.records[job].attempts = 1;
+    }
+
+    /// Feeds one completion event (with this workflow's local job id)
+    /// into the scheduler and returns what the driver must do next.
+    pub fn on_event(&mut self, ev: &CompletionEvent) -> EventResponse {
+        debug_assert!(!self.crashed, "event fed to a crashed workflow");
+        self.outstanding -= 1;
+        self.events_seen += 1;
+        let mut resp = EventResponse::default();
+        match &ev.outcome {
             JobOutcome::Success => {
+                let rec = &mut self.records[ev.job];
                 rec.state = JobState::Done;
                 rec.times = Some(ev.times);
-                mark_done(ev.job, &mut done, &mut pending_parents, &mut ready);
-                for &c in ready.iter() {
-                    records[c].attempts = 1;
-                    submit(c, 0, backend, monitor);
-                    in_flight += 1;
+                self.done[ev.job] = true;
+                for i in 0..self.children[ev.job].len() {
+                    let c = self.children[ev.job][i];
+                    self.pending_parents[c] -= 1;
+                    if self.pending_parents[c] == 0 && !self.done[c] {
+                        resp.newly_ready.push(c);
+                    }
                 }
-                ready.clear();
+                self.outstanding += resp.newly_ready.len();
             }
             JobOutcome::Failure(reason) => {
-                faults.record(&reason);
-                rec.failed_attempts.push(ev.times);
-                rec.failure_reasons.push(reason.clone());
-                if rec.attempts < config.retry.max_attempts {
-                    let delay = config.retry.backoff_before(rec.attempts, &mut rng);
-                    faults.retries += 1;
-                    faults.backoff_wait += delay;
-                    rec.attempts += 1;
-                    monitor.job_retry(&wf.jobs[ev.job], ev.attempt + 1, delay, &reason);
-                    backend.submit_after(&wf.jobs[ev.job], ev.attempt + 1, delay);
-                    monitor.job_submitted(&wf.jobs[ev.job], ev.attempt + 1, backend.now());
-                    in_flight += 1;
+                self.faults.record_reason(FaultReason::classify(reason));
+                let max_attempts = self.config.retry.max_attempts;
+                let attempts = {
+                    let rec = &mut self.records[ev.job];
+                    rec.failed_attempts.push(ev.times);
+                    rec.failure_reasons.push(reason.clone());
+                    rec.attempts
+                };
+                if attempts < max_attempts {
+                    let delay = self.config.retry.backoff_before(attempts, &mut self.rng);
+                    self.faults.retries += 1;
+                    self.faults.backoff_wait += delay;
+                    self.records[ev.job].attempts += 1;
+                    self.outstanding += 1;
+                    resp.retry = Some(RetryRequest {
+                        job: ev.job,
+                        next_attempt: ev.attempt + 1,
+                        delay,
+                        reason: reason.clone(),
+                    });
                 } else {
-                    rec.state = JobState::Failed;
-                    any_failed = true;
+                    self.records[ev.job].state = JobState::Failed;
+                    self.any_failed = true;
                 }
             }
         }
         // Scripted submit-host crash: DAGMan dies after this many
         // events; in-flight work is abandoned and only completed jobs
         // make it into the rescue DAG.
-        if config.crash_after_events.is_some_and(|n| events_seen >= n) && in_flight > 0 {
-            crashed = true;
-            break;
+        if self
+            .config
+            .crash_after_events
+            .is_some_and(|n| self.events_seen >= n)
+            && self.outstanding > 0
+        {
+            self.crashed = true;
+            resp.crashed = true;
         }
+        resp
     }
 
-    let wall_time = backend.now() - start;
-    let failed = any_failed || crashed;
-    monitor.workflow_finished(!failed, wall_time);
-    let outcome = if failed {
-        let done_names: Vec<String> = records
-            .iter()
-            .filter(|r| matches!(r.state, JobState::Done | JobState::SkippedDone))
-            .map(|r| r.name.clone())
-            .collect();
-        WorkflowOutcome::Failed(RescueDag {
-            workflow_name: wf.name.clone(),
-            site: wf.site.clone(),
-            done: done_names,
-        })
-    } else {
-        WorkflowOutcome::Success
-    };
-    WorkflowRun {
-        name: wf.name.clone(),
-        site: wf.site.clone(),
-        outcome,
-        wall_time,
-        records,
-        faults,
+    /// `true` when no released job is still outstanding — the workflow
+    /// ran to completion (successfully or not).
+    pub fn is_complete(&self) -> bool {
+        self.outstanding == 0
     }
+
+    /// `true` once the scripted submit-host crash fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// `true` when the run will be reported as failed (a job exhausted
+    /// its retries, or the crash fired).
+    pub fn failed(&self) -> bool {
+        self.any_failed || self.crashed
+    }
+
+    /// Finalises the run, stamping its end at `end` (backend seconds).
+    pub fn finish(self, end: f64) -> WorkflowRun {
+        let wall_time = end - self.start;
+        let outcome = if self.any_failed || self.crashed {
+            let done_names: Vec<String> = self
+                .records
+                .iter()
+                .filter(|r| matches!(r.state, JobState::Done | JobState::SkippedDone))
+                .map(|r| r.name.clone())
+                .collect();
+            WorkflowOutcome::Failed(RescueDag {
+                workflow_name: self.name.clone(),
+                site: self.site.clone(),
+                done: done_names,
+            })
+        } else {
+            WorkflowOutcome::Success
+        };
+        WorkflowRun {
+            name: self.name,
+            site: self.site,
+            outcome,
+            wall_time,
+            records: self.records,
+            faults: self.faults,
+        }
+    }
+}
+
+/// The workflow engine — the single entry point for executing one
+/// workflow on one backend.
+///
+/// `Engine::run` replaces the historical `run_workflow` /
+/// `run_workflow_monitored` free functions; pass [`NoopMonitor`] when
+/// progress reporting isn't needed. Many workflows over one shared
+/// backend go through [`crate::ensemble::run_ensemble`] instead, which
+/// drives the same [`WorkflowExecution`] state machine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine;
+
+impl Engine {
+    /// Executes `wf` on `backend` under `config`, reporting progress
+    /// to `monitor`.
+    pub fn run(
+        backend: &mut dyn ExecutionBackend,
+        wf: &ExecutableWorkflow,
+        config: &EngineConfig,
+        monitor: &mut dyn WorkflowMonitor,
+    ) -> WorkflowRun {
+        backend.set_timeout(config.retry.timeout);
+        let mut exec = WorkflowExecution::new(wf, config, backend.now());
+        let submit = |job: JobId,
+                      attempt: u32,
+                      backend: &mut dyn ExecutionBackend,
+                      monitor: &mut dyn WorkflowMonitor| {
+            backend.submit(&wf.jobs[job], attempt);
+            let now = backend.now();
+            monitor.job_submitted(&wf.jobs[job], attempt, now);
+        };
+        for job in exec.take_initial_ready() {
+            exec.note_submitted(job);
+            submit(job, 0, backend, monitor);
+        }
+        while !exec.is_complete() {
+            let ev = backend.wait_any();
+            monitor.job_terminated(&wf.jobs[ev.job], &ev);
+            let resp = exec.on_event(&ev);
+            if let Some(r) = resp.retry {
+                monitor.job_retry(&wf.jobs[r.job], r.next_attempt, r.delay, &r.reason);
+                backend.submit_after(&wf.jobs[r.job], r.next_attempt, r.delay);
+                monitor.job_submitted(&wf.jobs[r.job], r.next_attempt, backend.now());
+            }
+            for job in resp.newly_ready {
+                exec.note_submitted(job);
+                submit(job, 0, backend, monitor);
+            }
+            if resp.crashed {
+                break;
+            }
+        }
+        let failed = exec.failed();
+        let run = exec.finish(backend.now());
+        monitor.workflow_finished(!failed, run.wall_time);
+        run
+    }
+}
+
+/// Executes `wf` on `backend` under `config`.
+#[deprecated(note = "use `Engine::run(backend, wf, config, &mut NoopMonitor)`")]
+pub fn run_workflow(
+    wf: &ExecutableWorkflow,
+    backend: &mut dyn ExecutionBackend,
+    config: &EngineConfig,
+) -> WorkflowRun {
+    Engine::run(backend, wf, config, &mut NoopMonitor)
+}
+
+/// Executes `wf` on `backend` under `config`, reporting progress to
+/// `monitor`.
+#[deprecated(note = "use `Engine::run(backend, wf, config, monitor)`")]
+pub fn run_workflow_monitored(
+    wf: &ExecutableWorkflow,
+    backend: &mut dyn ExecutionBackend,
+    config: &EngineConfig,
+    monitor: &mut dyn WorkflowMonitor,
+) -> WorkflowRun {
+    Engine::run(backend, wf, config, monitor)
 }
 
 pub mod scripted {
@@ -713,7 +1088,7 @@ mod tests {
     fn chain_executes_in_order_and_sums_wall_time() {
         let wf = chain();
         let mut be = ScriptedBackend::new();
-        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         assert!(run.succeeded());
         assert_eq!(run.wall_time, 35.0);
         let order: Vec<&str> = be.log.iter().map(|(n, _)| n.as_str()).collect();
@@ -725,7 +1100,7 @@ mod tests {
     fn fan_out_runs_in_parallel() {
         let wf = fan();
         let mut be = ScriptedBackend::new();
-        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         assert!(run.succeeded());
         // root(1) + slowest worker(13) + sink(2) on unlimited slots.
         assert_eq!(run.wall_time, 16.0);
@@ -740,7 +1115,7 @@ mod tests {
             edges: vec![],
         };
         let mut be = ScriptedBackend::new();
-        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         let t = run.records[0].times.unwrap();
         assert_eq!(t.install(), 45.0);
         assert_eq!(t.kickstart(), 100.0);
@@ -754,7 +1129,7 @@ mod tests {
         let wf = chain();
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("b".into(), 0));
-        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         assert!(!run.succeeded());
         match &run.outcome {
             WorkflowOutcome::Failed(rescue) => {
@@ -774,7 +1149,12 @@ mod tests {
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("b".into(), 0));
         be.fail_plan.insert(("b".into(), 1));
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(3));
+        let run = Engine::run(
+            &mut be,
+            &wf,
+            &EngineConfig::builder().retries(3).build(),
+            &mut NoopMonitor,
+        );
         assert!(run.succeeded());
         assert_eq!(run.records[1].attempts, 3);
         assert_eq!(run.total_retries(), 2);
@@ -789,7 +1169,12 @@ mod tests {
         for attempt in 0..5 {
             be.fail_plan.insert(("b".into(), attempt));
         }
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(2));
+        let run = Engine::run(
+            &mut be,
+            &wf,
+            &EngineConfig::builder().retries(2).build(),
+            &mut NoopMonitor,
+        );
         assert!(!run.succeeded());
         assert_eq!(run.records[1].attempts, 3); // initial + 2 retries
     }
@@ -809,7 +1194,7 @@ mod tests {
         };
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("bad".into(), 0));
-        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         assert!(!run.succeeded());
         assert_eq!(run.records[1].state, JobState::Done);
         match &run.outcome {
@@ -827,14 +1212,19 @@ mod tests {
         // First run: b fails.
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("b".into(), 0));
-        let first = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let first = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         let rescue = match first.outcome {
             WorkflowOutcome::Failed(r) => r,
             other => panic!("unexpected {other:?}"),
         };
         // Second run resumes: a is skipped, b and c run.
         let mut be2 = ScriptedBackend::new();
-        let run = run_workflow(&wf, &mut be2, &EngineConfig::resuming(0, &rescue));
+        let run = Engine::run(
+            &mut be2,
+            &wf,
+            &EngineConfig::builder().rescue(&rescue).build(),
+            &mut NoopMonitor,
+        );
         assert!(run.succeeded());
         assert_eq!(run.records[0].state, JobState::SkippedDone);
         let order: Vec<&str> = be2.log.iter().map(|(n, _)| n.as_str()).collect();
@@ -851,7 +1241,7 @@ mod tests {
             edges: vec![],
         };
         let mut be = ScriptedBackend::new();
-        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         assert!(run.succeeded());
         assert_eq!(run.wall_time, 0.0);
     }
@@ -868,7 +1258,7 @@ mod tests {
             edges: vec![(0, 1), (0, 1)],
         };
         let mut be = ScriptedBackend::new();
-        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
         assert!(run.succeeded());
         assert_eq!(run.wall_time, 2.0);
     }
@@ -890,7 +1280,7 @@ mod tests {
         let wf = chain();
         let mut be = ScriptedBackend::new();
         let mut mon = OrderMonitor(Vec::new());
-        let run = run_workflow_monitored(&wf, &mut be, &EngineConfig::default(), &mut mon);
+        let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut mon);
         assert!(run.succeeded());
         assert_eq!(
             mon.0,
@@ -914,8 +1304,10 @@ mod tests {
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("b".into(), 0));
         be.fail_plan.insert(("b".into(), 1));
-        let cfg = EngineConfig::with_policy(RetryPolicy::exponential(3, 7.0));
-        let run = run_workflow(&wf, &mut be, &cfg);
+        let cfg = EngineConfig::builder()
+            .policy(RetryPolicy::exponential(3, 7.0))
+            .build();
+        let run = Engine::run(&mut be, &wf, &cfg, &mut NoopMonitor);
         assert!(run.succeeded());
         // a(10) + b fails at 30, +7 backoff, fails at 57, +14 backoff,
         // succeeds at 91, + c(5) = 96.
@@ -931,7 +1323,12 @@ mod tests {
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("b".into(), 0));
         be.fail_plan.insert(("b".into(), 1));
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(3));
+        let run = Engine::run(
+            &mut be,
+            &wf,
+            &EngineConfig::builder().retries(3).build(),
+            &mut NoopMonitor,
+        );
         assert!(run.succeeded());
         assert_eq!(run.wall_time, 10.0 + 20.0 * 3.0 + 5.0);
         assert_eq!(run.faults.backoff_wait, 0.0);
@@ -973,7 +1370,7 @@ mod tests {
             crash_after_events: Some(1),
             ..Default::default()
         };
-        let run = run_workflow(&wf, &mut be, &cfg);
+        let run = Engine::run(&mut be, &wf, &cfg, &mut NoopMonitor);
         assert!(!run.succeeded());
         match &run.outcome {
             WorkflowOutcome::Failed(rescue) => assert_eq!(rescue.done, vec!["a"]),
@@ -992,7 +1389,7 @@ mod tests {
             crash_after_events: Some(3),
             ..Default::default()
         };
-        let run = run_workflow(&wf, &mut be, &cfg);
+        let run = Engine::run(&mut be, &wf, &cfg, &mut NoopMonitor);
         assert!(run.succeeded(), "nothing was in flight at the crash point");
     }
 
@@ -1003,18 +1400,24 @@ mod tests {
             crash_after_events: Some(2),
             ..Default::default()
         };
-        let first = run_workflow(&wf, &mut ScriptedBackend::new(), &cfg);
+        let first = Engine::run(&mut ScriptedBackend::new(), &wf, &cfg, &mut NoopMonitor);
         let rescue = match first.outcome {
             WorkflowOutcome::Failed(r) => r,
             other => panic!("unexpected {other:?}"),
         };
-        let resumed = run_workflow(
-            &wf,
+        let resumed = Engine::run(
             &mut ScriptedBackend::new(),
-            &EngineConfig::resuming(0, &rescue),
+            &wf,
+            &EngineConfig::builder().rescue(&rescue).build(),
+            &mut NoopMonitor,
         );
         assert!(resumed.succeeded());
-        let baseline = run_workflow(&wf, &mut ScriptedBackend::new(), &EngineConfig::default());
+        let baseline = Engine::run(
+            &mut ScriptedBackend::new(),
+            &wf,
+            &EngineConfig::default(),
+            &mut NoopMonitor,
+        );
         for (r, b) in resumed.records.iter().zip(&baseline.records) {
             let r_done = matches!(r.state, JobState::Done | JobState::SkippedDone);
             let b_done = matches!(b.state, JobState::Done | JobState::SkippedDone);
@@ -1033,7 +1436,7 @@ mod tests {
             "timeout: exceeded 600s",
             "task panicked",
         ] {
-            c.record(reason);
+            c.record_reason(FaultReason::classify(reason));
         }
         assert_eq!(c.preemptions, 2);
         assert_eq!(c.evictions, 1);
@@ -1041,6 +1444,88 @@ mod tests {
         assert_eq!(c.timeouts, 1);
         assert_eq!(c.other_failures, 1);
         assert_eq!(c.total_failures(), 6);
+    }
+
+    #[test]
+    fn fault_reason_round_trips_through_strings() {
+        for (reason, s) in [
+            (FaultReason::Preemption, "preempted"),
+            (FaultReason::Eviction, "evicted"),
+            (FaultReason::InstallFailure, "install"),
+            (FaultReason::Timeout, "timeout"),
+            (FaultReason::Other, "error"),
+        ] {
+            assert_eq!(reason.prefix(), s);
+            assert_eq!(FaultReason::classify(&reason.reason()), reason);
+        }
+        assert_eq!(
+            FaultReason::classify(&FaultReason::Eviction.tagged("blackout")),
+            FaultReason::Eviction
+        );
+        assert_eq!(FaultReason::Eviction.tagged("blackout"), "evicted:blackout");
+        assert_eq!(
+            FaultReason::timeout_exceeded(600.0),
+            "timeout: exceeded 600s"
+        );
+        assert_eq!(
+            FaultReason::classify(&FaultReason::timeout_exceeded(1.5)),
+            FaultReason::Timeout
+        );
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructors() {
+        #[allow(deprecated)]
+        let legacy = (
+            EngineConfig::with_retries(4),
+            EngineConfig::with_policy(RetryPolicy::exponential(2, 5.0)),
+        );
+        assert_eq!(
+            EngineConfig::builder().retries(4).build().retry,
+            legacy.0.retry
+        );
+        assert_eq!(
+            EngineConfig::builder()
+                .policy(RetryPolicy::exponential(2, 5.0))
+                .build()
+                .retry,
+            legacy.1.retry
+        );
+        let cfg = EngineConfig::builder()
+            .retries(3)
+            .backoff(30.0)
+            .timeout(600.0)
+            .jitter(0.2)
+            .seed(2014)
+            .crash_after_events(7)
+            .build();
+        assert_eq!(cfg.retry.max_attempts, 4);
+        assert_eq!(cfg.retry.base_backoff, 30.0);
+        assert_eq!(cfg.retry.max_backoff, 64.0 * 30.0);
+        assert_eq!(cfg.retry.timeout, Some(600.0));
+        assert_eq!(cfg.retry.jitter, 0.2);
+        assert_eq!(cfg.seed, 2014);
+        assert_eq!(cfg.crash_after_events, Some(7));
+    }
+
+    /// The deprecated entry points must keep working verbatim for
+    /// out-of-tree callers until they migrate.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_engine_run() {
+        let wf = chain();
+        let via_shim = run_workflow(&wf, &mut ScriptedBackend::new(), &EngineConfig::default());
+        let via_engine = Engine::run(
+            &mut ScriptedBackend::new(),
+            &wf,
+            &EngineConfig::default(),
+            &mut NoopMonitor,
+        );
+        assert_eq!(via_shim.wall_time, via_engine.wall_time);
+        assert_eq!(via_shim.records.len(), via_engine.records.len());
+        let mut c = FaultCounters::default();
+        c.record("preempted:legacy");
+        assert_eq!(c.preemptions, 1);
     }
 
     #[test]
@@ -1056,8 +1541,10 @@ mod tests {
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("b".into(), 0));
         let mut mon = RetryMonitor(Vec::new());
-        let cfg = EngineConfig::with_policy(RetryPolicy::exponential(2, 5.0));
-        let run = run_workflow_monitored(&wf, &mut be, &cfg, &mut mon);
+        let cfg = EngineConfig::builder()
+            .policy(RetryPolicy::exponential(2, 5.0))
+            .build();
+        let run = Engine::run(&mut be, &wf, &cfg, &mut mon);
         assert!(run.succeeded());
         assert_eq!(mon.0.len(), 1);
         assert_eq!(mon.0[0].0, "b");
@@ -1073,7 +1560,7 @@ mod tests {
         cfg.skip_done.insert("a".into());
         cfg.skip_done.insert("b".into());
         let mut be = ScriptedBackend::new();
-        let run = run_workflow(&wf, &mut be, &cfg);
+        let run = Engine::run(&mut be, &wf, &cfg, &mut NoopMonitor);
         assert!(run.succeeded());
         let order: Vec<&str> = be.log.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(order, vec!["c"]);

@@ -1,0 +1,617 @@
+//! Ensemble manager: many workflows over one shared backend.
+//!
+//! The paper's experiment is an *ensemble* — the same blast2cap3 DAG
+//! planned at n ∈ {10, 100, 300, 500} and raced across platforms. This
+//! module schedules M workflows (mixed DAXes, per-workflow
+//! [`EngineConfig`]s, priorities) against a single
+//! [`ExecutionBackend`], so queue-wait variance emerges from genuine
+//! contention for shared capacity instead of being replayed one
+//! workflow at a time.
+//!
+//! Scheduling model:
+//!
+//! * every workflow's ready jobs enter one **pending queue**;
+//! * admission is gated by a global **slot budget**
+//!   ([`EnsembleConfig::slot_budget`], defaulting to the backend's
+//!   [`ExecutionBackend::slot_capacity`]);
+//! * among pending jobs, higher [`WorkflowSpec::priority`] wins, ties
+//!   broken **fair-share** (fewest jobs currently in flight), then by
+//!   submission order — so within one workflow the engine's ready
+//!   order is preserved exactly;
+//! * retries bypass the queue: the failed attempt freed its slot, and
+//!   the backend applies the backoff delay, so the budget stays
+//!   bounded;
+//! * a scripted submit-host crash kills only its own workflow — its
+//!   queued jobs are withdrawn, its in-flight events drained, and the
+//!   rescue DAG reports exactly what completed, while the rest of the
+//!   ensemble keeps running.
+//!
+//! An ensemble of one workflow with an unbounded budget issues the
+//! byte-identical backend call sequence as [`Engine::run`], which is
+//! what makes per-workflow results comparable across the two paths
+//! (and is pinned by tests).
+//!
+//! [`Engine::run`]: crate::engine::Engine::run
+
+use crate::engine::{
+    CompletionEvent, EngineConfig, ExecutionBackend, WorkflowExecution, WorkflowRun,
+};
+use crate::planner::{ExecutableJob, ExecutableWorkflow};
+use crate::workflow::JobId;
+use std::cmp::Reverse;
+
+/// One member of an ensemble: a planned workflow plus how to run it.
+#[derive(Debug, Clone)]
+pub struct WorkflowSpec {
+    /// The planned, executable workflow.
+    pub workflow: ExecutableWorkflow,
+    /// Engine configuration (retry policy, seed, rescue skips, crash
+    /// script) applied to this workflow only.
+    pub config: EngineConfig,
+    /// Admission priority; higher runs first when slots are scarce.
+    /// Workflows of equal priority share slots fairly.
+    pub priority: i32,
+}
+
+impl WorkflowSpec {
+    /// A spec at the default priority (0).
+    pub fn new(workflow: ExecutableWorkflow, config: EngineConfig) -> Self {
+        WorkflowSpec {
+            workflow,
+            config,
+            priority: 0,
+        }
+    }
+
+    /// Sets the admission priority (higher wins).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Ensemble-level knobs.
+#[derive(Debug, Clone, Default)]
+pub struct EnsembleConfig {
+    /// Global cap on simultaneously submitted jobs across all member
+    /// workflows. `None` falls back to the backend's
+    /// [`ExecutionBackend::slot_capacity`]; if that is also unknown,
+    /// admission is unbounded and the backend's own queueing governs.
+    pub slot_budget: Option<usize>,
+}
+
+impl EnsembleConfig {
+    /// An unbounded-admission config (ignores backend capacity). This
+    /// is what makes a size-1 ensemble bit-identical to
+    /// [`Engine::run`](crate::engine::Engine::run).
+    pub fn unbounded() -> Self {
+        EnsembleConfig {
+            slot_budget: Some(usize::MAX),
+        }
+    }
+
+    /// A config with an explicit slot budget.
+    pub fn with_slot_budget(slots: usize) -> Self {
+        EnsembleConfig {
+            slot_budget: Some(slots),
+        }
+    }
+}
+
+/// The result of an ensemble run.
+#[derive(Debug, Clone)]
+pub struct EnsembleRun {
+    /// Per-workflow results, in [`WorkflowSpec`] submission order.
+    pub runs: Vec<WorkflowRun>,
+    /// Time from ensemble start to the last workflow's completion, in
+    /// backend seconds.
+    pub makespan: f64,
+}
+
+impl EnsembleRun {
+    /// `true` when every member workflow succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.runs.iter().all(WorkflowRun::succeeded)
+    }
+}
+
+/// Progress callbacks for an ensemble run. All methods default to
+/// no-ops; implement only what you need.
+pub trait EnsembleMonitor {
+    /// A workflow submitted its first job.
+    fn workflow_started(&mut self, _index: usize, _name: &str, _now: f64) {}
+    /// A workflow finished (successfully, exhausted, or crashed).
+    fn workflow_finished(&mut self, _index: usize, _run: &WorkflowRun, _now: f64) {}
+    /// The whole ensemble drained.
+    fn ensemble_finished(&mut self, _makespan: f64) {}
+}
+
+/// The do-nothing ensemble monitor.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopEnsembleMonitor;
+
+impl EnsembleMonitor for NoopEnsembleMonitor {}
+
+/// A first-attempt job waiting for a slot.
+#[derive(Debug)]
+struct Pending {
+    wf: usize,
+    job: JobId,
+    /// Global enqueue counter: preserves each workflow's ready order
+    /// and makes admission deterministic.
+    seq: u64,
+}
+
+/// Per-workflow bookkeeping inside the manager.
+struct Member {
+    exec: Option<WorkflowExecution>,
+    /// Jobs pre-cloned with ensemble-global ids, indexed by local id.
+    submit_jobs: Vec<ExecutableJob>,
+    priority: i32,
+    in_flight: usize,
+    /// First-attempt submissions so far — the historical-usage
+    /// tiebreaker that keeps equal-priority workflows interleaving
+    /// even when the budget is one slot (in-flight counts all tie at
+    /// zero there).
+    admitted: usize,
+    started: bool,
+}
+
+/// Runs `specs` against the shared `backend` without progress
+/// reporting. See [`run_ensemble_monitored`].
+pub fn run_ensemble(
+    backend: &mut dyn ExecutionBackend,
+    specs: &[WorkflowSpec],
+    config: &EnsembleConfig,
+) -> EnsembleRun {
+    run_ensemble_monitored(backend, specs, config, &mut NoopEnsembleMonitor)
+}
+
+/// Runs every workflow in `specs` against the shared `backend`,
+/// interleaving their ready queues under the slot budget, and reports
+/// progress to `monitor`.
+///
+/// Results come back in spec order; each [`WorkflowRun`]'s wall time
+/// spans ensemble start to that workflow's own completion, so the
+/// rollup can distinguish per-member latency from ensemble makespan.
+pub fn run_ensemble_monitored(
+    backend: &mut dyn ExecutionBackend,
+    specs: &[WorkflowSpec],
+    config: &EnsembleConfig,
+    monitor: &mut dyn EnsembleMonitor,
+) -> EnsembleRun {
+    // One timeout for the shared backend: unanimous value if the specs
+    // agree, otherwise the tightest configured limit (conservative —
+    // a shared submit host enforces one policy).
+    let timeouts: Vec<Option<f64>> = specs.iter().map(|s| s.config.retry.timeout).collect();
+    let timeout = if timeouts.windows(2).all(|w| w[0] == w[1]) {
+        timeouts.first().copied().flatten()
+    } else {
+        timeouts
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    };
+    backend.set_timeout(timeout);
+
+    let budget = config
+        .slot_budget
+        .or_else(|| backend.slot_capacity())
+        .unwrap_or(usize::MAX)
+        .max(1);
+
+    // Global job-id space: workflow k's local job j becomes
+    // offsets[k] + j on the wire, and `owner` maps it back.
+    let mut members: Vec<Member> = Vec::with_capacity(specs.len());
+    let mut owner: Vec<(usize, JobId)> = Vec::new();
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut next_seq = 0u64;
+    let start = backend.now();
+
+    for (wf_idx, spec) in specs.iter().enumerate() {
+        let offset = owner.len();
+        let submit_jobs: Vec<ExecutableJob> = spec
+            .workflow
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(local, j)| {
+                debug_assert_eq!(j.id, local, "executable job ids must be dense");
+                owner.push((wf_idx, local));
+                let mut g = j.clone();
+                g.id = offset + local;
+                g
+            })
+            .collect();
+        let mut exec = WorkflowExecution::new(&spec.workflow, &spec.config, start);
+        for job in exec.take_initial_ready() {
+            pending.push(Pending {
+                wf: wf_idx,
+                job,
+                seq: next_seq,
+            });
+            next_seq += 1;
+        }
+        members.push(Member {
+            exec: Some(exec),
+            submit_jobs,
+            priority: spec.priority,
+            in_flight: 0,
+            admitted: 0,
+            started: false,
+        });
+    }
+
+    let mut runs: Vec<Option<WorkflowRun>> = (0..specs.len()).map(|_| None).collect();
+    let mut in_flight_total = 0usize;
+
+    let finalize = |wf_idx: usize,
+                    members: &mut Vec<Member>,
+                    runs: &mut Vec<Option<WorkflowRun>>,
+                    monitor: &mut dyn EnsembleMonitor,
+                    now: f64| {
+        if let Some(exec) = members[wf_idx].exec.take() {
+            let run = exec.finish(now);
+            monitor.workflow_finished(wf_idx, &run, now);
+            runs[wf_idx] = Some(run);
+        }
+    };
+
+    // Workflows with nothing to run (empty, or fully rescue-skipped)
+    // finish at t0 without touching the backend.
+    for wf_idx in 0..members.len() {
+        if members[wf_idx]
+            .exec
+            .as_ref()
+            .is_some_and(WorkflowExecution::is_complete)
+        {
+            finalize(wf_idx, &mut members, &mut runs, monitor, start);
+        }
+    }
+
+    loop {
+        // Admission: fill the budget from the pending queue. Higher
+        // priority first; ties go to the workflow with the fewest jobs
+        // in flight (fair share), then to the earlier-enqueued job, so
+        // a lone workflow drains in exact ready order.
+        while in_flight_total < budget && !pending.is_empty() {
+            let best = pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| {
+                    (
+                        Reverse(members[p.wf].priority),
+                        members[p.wf].in_flight,
+                        members[p.wf].admitted,
+                        p.wf,
+                        p.seq,
+                    )
+                })
+                .map(|(i, _)| i)
+                .expect("pending is non-empty");
+            let Pending { wf, job, .. } = pending.remove(best);
+            let member = &mut members[wf];
+            if !member.started {
+                member.started = true;
+                monitor.workflow_started(wf, &member.submit_jobs[job].name, backend.now());
+            }
+            member
+                .exec
+                .as_mut()
+                .expect("pending jobs only exist for live workflows")
+                .note_submitted(job);
+            backend.submit(&member.submit_jobs[job], 0);
+            member.in_flight += 1;
+            member.admitted += 1;
+            in_flight_total += 1;
+        }
+
+        if in_flight_total == 0 {
+            break;
+        }
+
+        let ev = backend.wait_any();
+        in_flight_total -= 1;
+        let (wf_idx, local) = owner[ev.job];
+        members[wf_idx].in_flight -= 1;
+        let Some(exec) = members[wf_idx].exec.as_mut() else {
+            // Stale completion from a workflow that already crashed:
+            // the slot is reclaimed, the result discarded.
+            continue;
+        };
+        let local_ev = CompletionEvent {
+            job: local,
+            attempt: ev.attempt,
+            outcome: ev.outcome,
+            times: ev.times,
+        };
+        let resp = exec.on_event(&local_ev);
+        if let Some(r) = resp.retry {
+            // The failed attempt just released its slot; the retry
+            // reclaims it, so the budget stays respected without
+            // re-queueing (backoff is enforced by the backend).
+            backend.submit_after(&members[wf_idx].submit_jobs[r.job], r.next_attempt, r.delay);
+            members[wf_idx].in_flight += 1;
+            in_flight_total += 1;
+        }
+        for job in resp.newly_ready {
+            pending.push(Pending {
+                wf: wf_idx,
+                job,
+                seq: next_seq,
+            });
+            next_seq += 1;
+        }
+        if resp.crashed {
+            // The submit host for this workflow died: withdraw its
+            // queued work; in-flight attempts drain as stale events.
+            pending.retain(|p| p.wf != wf_idx);
+            finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
+        } else if members[wf_idx]
+            .exec
+            .as_ref()
+            .is_some_and(WorkflowExecution::is_complete)
+        {
+            finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
+        }
+    }
+
+    // Anything still live at drain (defensive; normal paths finalize
+    // at the terminating event) finishes now.
+    for wf_idx in 0..members.len() {
+        finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
+    }
+
+    let runs: Vec<WorkflowRun> = runs
+        .into_iter()
+        .map(|r| r.expect("every workflow finalized"))
+        .collect();
+    let makespan = runs.iter().map(|r| r.wall_time).fold(0.0, f64::max);
+    monitor.ensemble_finished(makespan);
+    EnsembleRun { runs, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::scripted::ScriptedBackend;
+    use crate::engine::{Engine, JobState, NoopMonitor, RetryPolicy};
+    use crate::planner::{ExecutableJob, JobKind};
+
+    fn job(id: usize, name: &str, runtime: f64) -> ExecutableJob {
+        ExecutableJob {
+            id,
+            name: name.into(),
+            transformation: "t".into(),
+            kind: JobKind::Compute,
+            args: vec![],
+            runtime_hint: runtime,
+            install_hint: 0.0,
+            source_jobs: vec![],
+        }
+    }
+
+    /// A diamond: a → {b, c} → d.
+    fn diamond(name: &str) -> ExecutableWorkflow {
+        ExecutableWorkflow {
+            name: name.into(),
+            site: "test".into(),
+            jobs: vec![
+                job(0, &format!("{name}_a"), 1.0),
+                job(1, &format!("{name}_b"), 2.0),
+                job(2, &format!("{name}_c"), 3.0),
+                job(3, &format!("{name}_d"), 1.0),
+            ],
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        }
+    }
+
+    fn cfg(seed: u64) -> EngineConfig {
+        let mut c = EngineConfig::builder().retries(2).build();
+        c.seed = seed;
+        c
+    }
+
+    #[test]
+    fn ensemble_of_one_matches_engine_run() {
+        let wf = diamond("solo");
+        let config = cfg(7);
+
+        let mut single_backend = ScriptedBackend::new();
+        let single = Engine::run(&mut single_backend, &wf, &config, &mut NoopMonitor);
+
+        let mut ens_backend = ScriptedBackend::new();
+        let ens = run_ensemble(
+            &mut ens_backend,
+            &[WorkflowSpec::new(wf, config)],
+            &EnsembleConfig::default(),
+        );
+
+        assert_eq!(ens.runs.len(), 1);
+        let e = &ens.runs[0];
+        assert_eq!(e.wall_time, single.wall_time);
+        assert_eq!(e.records.len(), single.records.len());
+        for (a, b) in e.records.iter().zip(&single.records) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.state, b.state);
+            assert_eq!(a.attempts, b.attempts);
+            assert_eq!(a.times, b.times);
+        }
+        assert_eq!(single_backend.log, ens_backend.log, "same submission tape");
+        assert_eq!(ens.makespan, single.wall_time);
+    }
+
+    #[test]
+    fn two_workflows_share_the_backend_and_both_finish() {
+        let specs = vec![
+            WorkflowSpec::new(diamond("w0"), cfg(1)),
+            WorkflowSpec::new(diamond("w1"), cfg(2)),
+        ];
+        let mut backend = ScriptedBackend::new();
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        assert!(ens.succeeded());
+        assert_eq!(ens.runs[0].name, "w0");
+        assert_eq!(ens.runs[1].name, "w1");
+        for run in &ens.runs {
+            assert!(run.records.iter().all(|r| r.state == JobState::Done));
+        }
+    }
+
+    #[test]
+    fn slot_budget_of_one_serialises_submissions_fairly() {
+        let specs = vec![
+            WorkflowSpec::new(diamond("w0"), cfg(1)),
+            WorkflowSpec::new(diamond("w1"), cfg(2)),
+        ];
+        let mut backend = ScriptedBackend::new();
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1));
+        assert!(ens.succeeded());
+        // With one slot, roots alternate across workflows (fair share
+        // by historical usage): w0_a first (lower index), then w1_a.
+        assert_eq!(backend.log[0].0, "w0_a");
+        assert_eq!(backend.log[1].0, "w1_a");
+    }
+
+    #[test]
+    fn priority_preempts_fair_share_in_admission_order() {
+        let specs = vec![
+            WorkflowSpec::new(diamond("lo"), cfg(1)),
+            WorkflowSpec::new(diamond("hi"), cfg(2)).with_priority(10),
+        ];
+        let mut backend = ScriptedBackend::new();
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1));
+        assert!(ens.succeeded());
+        assert_eq!(
+            backend.log[0].0, "hi_a",
+            "higher priority admits first even though it was enqueued later"
+        );
+    }
+
+    #[test]
+    fn per_workflow_retries_are_isolated() {
+        let mut flaky_cfg = EngineConfig::builder().retries(3).build();
+        flaky_cfg.seed = 5;
+        let specs = vec![
+            WorkflowSpec::new(diamond("ok"), cfg(1)),
+            WorkflowSpec::new(diamond("flaky"), flaky_cfg),
+        ];
+        let mut backend = ScriptedBackend::new();
+        backend.fail_plan.insert(("flaky_b".into(), 0));
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        assert!(ens.succeeded());
+        assert_eq!(ens.runs[0].faults.total_failures(), 0);
+        assert_eq!(ens.runs[1].faults.retries, 1);
+        assert_eq!(ens.runs[1].records[1].attempts, 2);
+    }
+
+    #[test]
+    fn exhausted_workflow_fails_alone_with_rescue_dag() {
+        let mut doomed_cfg = EngineConfig::builder().policy(RetryPolicy::flat(1)).build();
+        doomed_cfg.seed = 5;
+        let specs = vec![
+            WorkflowSpec::new(diamond("ok"), cfg(1)),
+            WorkflowSpec::new(diamond("doomed"), doomed_cfg),
+        ];
+        let mut backend = ScriptedBackend::new();
+        backend.fail_plan.insert(("doomed_b".into(), 0));
+        backend.fail_plan.insert(("doomed_b".into(), 1));
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        assert!(ens.runs[0].succeeded(), "healthy member unaffected");
+        assert!(!ens.runs[1].succeeded());
+        match &ens.runs[1].outcome {
+            crate::engine::WorkflowOutcome::Failed(rescue) => {
+                assert!(rescue.done.contains(&"doomed_a".to_string()));
+                assert!(rescue.done.contains(&"doomed_c".to_string()));
+            }
+            other => panic!("expected rescue DAG, got {other:?}"),
+        }
+        assert!(!ens.succeeded());
+    }
+
+    #[test]
+    fn crash_kills_one_member_and_spares_the_rest() {
+        let mut crash_cfg = cfg(3);
+        crash_cfg.crash_after_events = Some(1);
+        let specs = vec![
+            WorkflowSpec::new(diamond("live"), cfg(1)),
+            WorkflowSpec::new(diamond("dying"), crash_cfg),
+        ];
+        let mut backend = ScriptedBackend::new();
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        assert!(ens.runs[0].succeeded(), "uncrashed member completes");
+        assert!(!ens.runs[1].succeeded(), "crashed member reports failure");
+    }
+
+    #[test]
+    fn ensemble_rescue_resume_completes_the_crashed_member() {
+        let mut crash_cfg = cfg(3);
+        crash_cfg.crash_after_events = Some(1);
+        let specs = vec![
+            WorkflowSpec::new(diamond("live"), cfg(1)),
+            WorkflowSpec::new(diamond("dying"), crash_cfg),
+        ];
+        let mut backend = ScriptedBackend::new();
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        let rescue = match &ens.runs[1].outcome {
+            crate::engine::WorkflowOutcome::Failed(r) => r.clone(),
+            other => panic!("expected rescue DAG, got {other:?}"),
+        };
+        // Resume just the crashed member, skipping its completed jobs.
+        let mut resume_cfg = EngineConfig::builder().retries(2).rescue(&rescue).build();
+        resume_cfg.seed = 3;
+        let mut backend2 = ScriptedBackend::new();
+        let resumed = run_ensemble(
+            &mut backend2,
+            &[WorkflowSpec::new(diamond("dying"), resume_cfg)],
+            &EnsembleConfig::default(),
+        );
+        assert!(resumed.succeeded(), "resume completes the remainder");
+        let skipped = resumed.runs[0]
+            .records
+            .iter()
+            .filter(|r| r.state == JobState::SkippedDone)
+            .count();
+        assert_eq!(skipped, rescue.done.len());
+    }
+
+    #[test]
+    fn empty_workflow_finishes_immediately() {
+        let empty = ExecutableWorkflow {
+            name: "empty".into(),
+            site: "test".into(),
+            jobs: vec![],
+            edges: vec![],
+        };
+        let specs = vec![
+            WorkflowSpec::new(empty, cfg(1)),
+            WorkflowSpec::new(diamond("w"), cfg(2)),
+        ];
+        let mut backend = ScriptedBackend::new();
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        assert!(ens.succeeded());
+        assert_eq!(ens.runs[0].wall_time, 0.0);
+        assert!(ens.runs[1].wall_time > 0.0);
+    }
+
+    #[test]
+    fn same_seed_ensembles_replay_identically() {
+        let build = || {
+            vec![
+                WorkflowSpec::new(diamond("w0"), cfg(1)),
+                WorkflowSpec::new(diamond("w1"), cfg(2)).with_priority(1),
+            ]
+        };
+        let mut b1 = ScriptedBackend::new();
+        let mut b2 = ScriptedBackend::new();
+        let e1 = run_ensemble(&mut b1, &build(), &EnsembleConfig::with_slot_budget(2));
+        let e2 = run_ensemble(&mut b2, &build(), &EnsembleConfig::with_slot_budget(2));
+        assert_eq!(b1.log, b2.log, "submission tapes identical");
+        assert_eq!(e1.makespan, e2.makespan);
+        for (a, b) in e1.runs.iter().zip(&e2.runs) {
+            assert_eq!(a.wall_time, b.wall_time);
+        }
+    }
+}

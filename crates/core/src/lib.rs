@@ -36,19 +36,24 @@ pub mod catalog;
 pub mod catalog_io;
 pub mod dax;
 pub mod engine;
+pub mod ensemble;
 pub mod error;
 pub mod monitor;
 pub mod planner;
+pub mod prelude;
 pub mod rescue;
 pub mod statistics;
 pub mod synthetic;
 pub mod workflow;
 
 pub use catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
+#[allow(deprecated)]
+pub use engine::run_workflow;
 pub use engine::{
-    run_workflow, CompletionEvent, EngineConfig, ExecutionBackend, FaultCounters, RetryPolicy,
-    WorkflowRun,
+    CompletionEvent, Engine, EngineConfig, ExecutionBackend, FaultCounters, FaultReason,
+    RetryPolicy, WorkflowRun,
 };
+pub use ensemble::{run_ensemble, EnsembleConfig, EnsembleRun, WorkflowSpec};
 pub use error::WmsError;
 pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
 pub use workflow::{AbstractWorkflow, Job, JobId, LogicalFile};

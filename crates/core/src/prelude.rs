@@ -1,0 +1,29 @@
+//! One-stop imports for the common case.
+//!
+//! Every example used to import a half-dozen paths by hand; instead:
+//!
+//! ```
+//! use pegasus_wms::prelude::*;
+//!
+//! let config = EngineConfig::builder().retries(3).backoff(30.0).build();
+//! assert_eq!(config.retry.max_attempts, 4);
+//! ```
+
+pub use crate::catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
+pub use crate::engine::{
+    CompletionEvent, Engine, EngineConfig, EngineConfigBuilder, ExecutionBackend, FaultCounters,
+    FaultReason, JobOutcome, JobState, NoopMonitor, RetryPolicy, WorkflowMonitor, WorkflowOutcome,
+    WorkflowRun,
+};
+pub use crate::ensemble::{
+    run_ensemble, run_ensemble_monitored, EnsembleConfig, EnsembleMonitor, EnsembleRun,
+    WorkflowSpec,
+};
+pub use crate::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
+pub use crate::planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
+pub use crate::rescue::RescueDag;
+pub use crate::statistics::{
+    compute, compute_ensemble, render_csv, render_ensemble_csv, render_summary_csv,
+    EnsembleStatistics, WorkflowStatistics,
+};
+pub use crate::workflow::{AbstractWorkflow, Job, JobId, LogicalFile};

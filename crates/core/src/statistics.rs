@@ -11,7 +11,15 @@
 //!   (OSG only; zero wherever software is preinstalled).
 
 use crate::engine::{FaultCounters, JobState, WorkflowRun};
+use crate::ensemble::EnsembleRun;
 use std::collections::BTreeMap;
+
+/// Column header shared by [`render_summary_csv`] and
+/// [`render_ensemble_csv`]: one row describes one workflow (or the
+/// whole ensemble, in the rollup row named `ensemble`).
+pub const SUMMARY_CSV_HEADER: &str = "name,site,wall_time,cumulative_walltime,badput,succeeded,\
+                                      failed,unready,retries,preemptions,evictions,\
+                                      install_failures,timeouts,backoff_wait";
 
 /// Aggregated timing for one transformation (task type).
 #[derive(Debug, Clone, PartialEq)]
@@ -253,11 +261,14 @@ pub fn render_csv(stats: &WorkflowStatistics) -> String {
 /// byte-for-byte: two runs with the same seed and fault plan must
 /// produce identical summaries.
 pub fn render_summary_csv(stats: &WorkflowStatistics) -> String {
+    format!("{SUMMARY_CSV_HEADER}\n{}\n", summary_row(stats))
+}
+
+/// One data row in the summary-CSV schema (no trailing newline).
+fn summary_row(stats: &WorkflowStatistics) -> String {
     let f = &stats.faults;
     format!(
-        "name,site,wall_time,cumulative_walltime,badput,succeeded,failed,unready,\
-         retries,preemptions,evictions,install_failures,timeouts,backoff_wait\n\
-         {},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{:.3}\n",
+        "{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{:.3}",
         stats.name,
         stats.site,
         stats.workflow_wall_time,
@@ -273,6 +284,158 @@ pub fn render_summary_csv(stats: &WorkflowStatistics) -> String {
         f.timeouts,
         f.backoff_wait
     )
+}
+
+/// Ensemble-level statistics: the per-workflow breakdowns plus the
+/// cross-workflow rollup the paper's throughput comparison needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleStatistics {
+    /// Ensemble start to last workflow completion, in backend seconds.
+    pub makespan: f64,
+    /// Per-member statistics, in submission order.
+    pub per_workflow: Vec<WorkflowStatistics>,
+    /// Members that completed successfully.
+    pub workflows_succeeded: usize,
+    /// Members that failed or crashed.
+    pub workflows_failed: usize,
+    /// Sum of kickstart time over every member's successful jobs.
+    pub cumulative_job_walltime: f64,
+    /// Sum of badput over every member.
+    pub cumulative_badput: f64,
+    /// Job totals across members (succeeded, failed, unready).
+    pub jobs_succeeded: usize,
+    /// Jobs that exhausted retries, across members.
+    pub jobs_failed: usize,
+    /// Jobs never released, across members.
+    pub jobs_unready: usize,
+    /// Retries consumed across members.
+    pub retries: u32,
+    /// Merged fault counters across members.
+    pub faults: FaultCounters,
+}
+
+impl EnsembleStatistics {
+    /// Aggregate throughput proxy: total useful work over makespan —
+    /// the average concurrency the shared platform sustained.
+    pub fn aggregate_concurrency(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.cumulative_job_walltime / self.makespan
+    }
+
+    /// The rollup as a pseudo-workflow row (named `ensemble`, wall
+    /// time = makespan), for tools that consume the summary schema.
+    fn rollup_row_stats(&self) -> WorkflowStatistics {
+        let site = match self.per_workflow.as_slice() {
+            [] => "none".to_string(),
+            [first, rest @ ..] if rest.iter().all(|w| w.site == first.site) => first.site.clone(),
+            _ => "mixed".to_string(),
+        };
+        WorkflowStatistics {
+            name: "ensemble".into(),
+            site,
+            workflow_wall_time: self.makespan,
+            cumulative_job_walltime: self.cumulative_job_walltime,
+            cumulative_badput: self.cumulative_badput,
+            jobs_succeeded: self.jobs_succeeded,
+            jobs_failed: self.jobs_failed,
+            jobs_unready: self.jobs_unready,
+            retries: self.retries,
+            faults: self.faults,
+            per_type: vec![],
+        }
+    }
+}
+
+/// Computes per-workflow and rollup statistics for an ensemble run.
+pub fn compute_ensemble(ens: &EnsembleRun) -> EnsembleStatistics {
+    let per_workflow: Vec<WorkflowStatistics> = ens.runs.iter().map(compute).collect();
+    let mut faults = FaultCounters::default();
+    for run in &ens.runs {
+        faults.merge(&run.faults);
+    }
+    EnsembleStatistics {
+        makespan: ens.makespan,
+        workflows_succeeded: ens.runs.iter().filter(|r| r.succeeded()).count(),
+        workflows_failed: ens.runs.iter().filter(|r| !r.succeeded()).count(),
+        cumulative_job_walltime: per_workflow.iter().map(|w| w.cumulative_job_walltime).sum(),
+        cumulative_badput: per_workflow.iter().map(|w| w.cumulative_badput).sum(),
+        jobs_succeeded: per_workflow.iter().map(|w| w.jobs_succeeded).sum(),
+        jobs_failed: per_workflow.iter().map(|w| w.jobs_failed).sum(),
+        jobs_unready: per_workflow.iter().map(|w| w.jobs_unready).sum(),
+        retries: per_workflow.iter().map(|w| w.retries).sum(),
+        faults,
+        per_workflow,
+    }
+}
+
+/// Renders the ensemble as summary-schema CSV: the shared header, one
+/// row per member workflow, then the rollup row named `ensemble`
+/// whose wall time is the makespan.
+///
+/// This is the artifact the ensemble determinism test compares
+/// byte-for-byte across same-seed runs.
+pub fn render_ensemble_csv(stats: &EnsembleStatistics) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{SUMMARY_CSV_HEADER}\n");
+    for w in &stats.per_workflow {
+        let _ = writeln!(out, "{}", summary_row(w));
+    }
+    let _ = writeln!(out, "{}", summary_row(&stats.rollup_row_stats()));
+    out
+}
+
+/// Renders a human-readable ensemble report: the rollup block followed
+/// by a one-line-per-member table.
+pub fn render_ensemble_text(stats: &EnsembleStatistics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# pegasus-statistics: ensemble of {} workflows",
+        stats.per_workflow.len()
+    );
+    let _ = writeln!(
+        out,
+        "Ensemble Makespan         : {:>12.1} s",
+        stats.makespan
+    );
+    let _ = writeln!(
+        out,
+        "Cumulative Job Wall Time  : {:>12.1} s",
+        stats.cumulative_job_walltime
+    );
+    let _ = writeln!(
+        out,
+        "Cumulative Badput         : {:>12.1} s",
+        stats.cumulative_badput
+    );
+    let _ = writeln!(
+        out,
+        "Workflows (succeeded/failed): {}/{}",
+        stats.workflows_succeeded, stats.workflows_failed
+    );
+    let _ = writeln!(out, "Retries                   : {:>12}", stats.retries);
+    let _ = writeln!(
+        out,
+        "Aggregate concurrency     : {:>12.2}",
+        stats.aggregate_concurrency()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<28} {:<12} {:>12} {:>10} {:>8} {:>8}",
+        "WORKFLOW", "SITE", "WALL TIME", "SUCCEEDED", "FAILED", "RETRIES"
+    );
+    for w in &stats.per_workflow {
+        let _ = writeln!(
+            out,
+            "{:<28} {:<12} {:>12.1} {:>10} {:>8} {:>8}",
+            w.name, w.site, w.workflow_wall_time, w.jobs_succeeded, w.jobs_failed, w.retries
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -420,6 +583,74 @@ mod tests {
         // Clean runs stay clean: no fault lines when nothing failed.
         let clean = render_text(&compute(&sample_run()));
         assert!(!clean.contains("Failures by cause"));
+    }
+
+    fn sample_ensemble() -> EnsembleRun {
+        let mut second = sample_run();
+        second.name = "w2".into();
+        second.site = "osg".into();
+        second.wall_time = 150.0;
+        // Retries show up both in the engine counters and as extra
+        // attempts on the record.
+        second.records[1].attempts = 3;
+        second.faults.retries = 2;
+        second.faults.install_failures = 2;
+        EnsembleRun {
+            runs: vec![sample_run(), second],
+            makespan: 150.0,
+        }
+    }
+
+    #[test]
+    fn ensemble_rollup_sums_members() {
+        let stats = compute_ensemble(&sample_ensemble());
+        assert_eq!(stats.per_workflow.len(), 2);
+        assert_eq!(stats.makespan, 150.0);
+        assert_eq!(stats.workflows_succeeded, 2);
+        assert_eq!(stats.workflows_failed, 0);
+        assert_eq!(stats.jobs_succeeded, 6);
+        assert_eq!(stats.cumulative_job_walltime, 260.0);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.faults.install_failures, 2);
+        assert!((stats.aggregate_concurrency() - 260.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_csv_has_member_rows_plus_rollup() {
+        let csv = render_ensemble_csv(&compute_ensemble(&sample_ensemble()));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 members + rollup");
+        assert_eq!(lines[0], SUMMARY_CSV_HEADER);
+        assert!(lines[1].starts_with("w,sandhills,100.000"));
+        assert!(lines[2].starts_with("w2,osg,150.000"));
+        assert!(
+            lines[3].starts_with("ensemble,mixed,150.000"),
+            "rollup row carries the makespan: {}",
+            lines[3]
+        );
+    }
+
+    #[test]
+    fn ensemble_rollup_site_collapses_when_unanimous() {
+        let ens = EnsembleRun {
+            runs: vec![sample_run(), sample_run()],
+            makespan: 100.0,
+        };
+        let csv = render_ensemble_csv(&compute_ensemble(&ens));
+        assert!(csv
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("ensemble,sandhills,"));
+    }
+
+    #[test]
+    fn ensemble_text_report_lists_members_and_rollup() {
+        let text = render_ensemble_text(&compute_ensemble(&sample_ensemble()));
+        assert!(text.contains("Ensemble Makespan"));
+        assert!(text.contains("ensemble of 2 workflows"));
+        assert!(text.contains("w2"));
+        assert!(text.contains("WORKFLOW"));
     }
 
     #[test]

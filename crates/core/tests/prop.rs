@@ -5,9 +5,11 @@
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
 use pegasus_wms::engine::scripted::ScriptedBackend;
-use pegasus_wms::engine::{run_workflow, EngineConfig, JobState, WorkflowOutcome};
+use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
+use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, WorkflowSpec};
 use pegasus_wms::planner::{cluster_workflow, plan, JobKind, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
+use pegasus_wms::statistics::{compute, render_summary_csv};
 use pegasus_wms::workflow::{AbstractWorkflow, Job, LogicalFile};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -161,7 +163,12 @@ proptest! {
                 be.fail_plan.insert((j.name.clone(), attempt));
             }
         }
-        let run = run_workflow(&exec, &mut be, &EngineConfig::with_retries(max_retries));
+        let run = Engine::run(
+            &mut be,
+            &exec,
+            &EngineConfig::builder().retries(max_retries).build(),
+            &mut NoopMonitor,
+        );
 
         let parents = exec.parents();
         for rec in &run.records {
@@ -199,10 +206,11 @@ proptest! {
             WorkflowOutcome::Failed(rescue) => {
                 // Resume on a healthy backend completes everything.
                 let mut healthy = ScriptedBackend::new();
-                let resumed = run_workflow(
-                    &exec,
+                let resumed = Engine::run(
                     &mut healthy,
-                    &EngineConfig::resuming(0, rescue),
+                    &exec,
+                    &EngineConfig::builder().rescue(rescue).build(),
+                    &mut NoopMonitor,
                 );
                 prop_assert!(resumed.succeeded());
                 let skipped: std::collections::HashSet<&str> = resumed
@@ -255,16 +263,19 @@ proptest! {
             be
         };
 
-        let baseline = run_workflow(
-            &exec,
+        let baseline = Engine::run(
             &mut scripted(&exec),
-            &EngineConfig::with_retries(3),
+            &exec,
+            &EngineConfig::builder().retries(3).build(),
+            &mut NoopMonitor,
         );
         prop_assert!(baseline.succeeded());
 
-        let mut crash_cfg = EngineConfig::with_retries(3);
-        crash_cfg.crash_after_events = Some(crash_at);
-        let crashed = run_workflow(&exec, &mut scripted(&exec), &crash_cfg);
+        let crash_cfg = EngineConfig::builder()
+            .retries(3)
+            .crash_after_events(crash_at)
+            .build();
+        let crashed = Engine::run(&mut scripted(&exec), &exec, &crash_cfg, &mut NoopMonitor);
 
         match &crashed.outcome {
             WorkflowOutcome::Success => {
@@ -274,10 +285,11 @@ proptest! {
             }
             WorkflowOutcome::Failed(rescue) => {
                 let mut resume_be = scripted(&exec);
-                let resumed = run_workflow(
-                    &exec,
+                let resumed = Engine::run(
                     &mut resume_be,
-                    &EngineConfig::resuming(3, rescue),
+                    &exec,
+                    &EngineConfig::builder().retries(3).rescue(rescue).build(),
+                    &mut NoopMonitor,
                 );
                 prop_assert!(resumed.succeeded(), "resume must complete");
                 for (r, b) in resumed.records.iter().zip(&baseline.records) {
@@ -298,6 +310,69 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// An ensemble of exactly one workflow must be indistinguishable
+    /// from `Engine::run` — same submission tape on the backend, same
+    /// per-job records, byte-identical summary CSV — for any workflow
+    /// shape, fail plan, and retry budget.
+    #[test]
+    fn ensemble_of_one_equals_engine_run(
+        layers in 1usize..4,
+        width in 1usize..4,
+        bits: u64,
+        fail_mask in 0u64..u64::MAX,
+        max_retries in 0u32..3,
+        seed: u64,
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (sites, tc) = paper_catalogs();
+        let rc = ReplicaCatalog::new();
+        let mut pcfg = PlannerConfig::for_site("sandhills");
+        pcfg.add_create_dir = false;
+        pcfg.stage_data = false;
+        let exec = plan(&wf, &sites, &tc, &rc, &pcfg).unwrap();
+
+        let scripted = || {
+            let mut be = ScriptedBackend::new();
+            for (i, j) in exec.jobs.iter().enumerate() {
+                let k = ((fail_mask >> ((i % 16) * 4)) & 0xF) as u32;
+                for attempt in 0..k.min(5) {
+                    be.fail_plan.insert((j.name.clone(), attempt));
+                }
+            }
+            be
+        };
+        let cfg = EngineConfig::builder()
+            .policy(pegasus_wms::engine::RetryPolicy::exponential(max_retries, 13.0))
+            .seed(seed)
+            .build();
+
+        let mut single_be = scripted();
+        let single = Engine::run(&mut single_be, &exec, &cfg, &mut NoopMonitor);
+
+        let mut ens_be = scripted();
+        let ens = run_ensemble(
+            &mut ens_be,
+            &[WorkflowSpec::new(exec.clone(), cfg)],
+            &EnsembleConfig::default(),
+        );
+
+        prop_assert_eq!(&single_be.log, &ens_be.log, "submission tapes diverge");
+        let e = &ens.runs[0];
+        prop_assert_eq!(single.wall_time, e.wall_time);
+        prop_assert_eq!(single.succeeded(), e.succeeded());
+        for (a, b) in single.records.iter().zip(&e.records) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.state, b.state);
+            prop_assert_eq!(a.attempts, b.attempts);
+            prop_assert_eq!(a.times, b.times);
+            prop_assert_eq!(&a.failure_reasons, &b.failure_reasons);
+        }
+        prop_assert_eq!(
+            render_summary_csv(&compute(&single)),
+            render_summary_csv(&compute(e))
+        );
     }
 
     /// Catalog files round-trip arbitrary site/transformation shapes.

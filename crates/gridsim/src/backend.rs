@@ -13,7 +13,7 @@ use crate::dist::{sample_exponential, sample_standard_normal};
 use crate::event::EventQueue;
 use crate::faults::{AttemptTiming, FaultScript};
 use crate::platform::PlatformModel;
-use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, JobOutcome, JobTimes};
+use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, FaultReason, JobOutcome, JobTimes};
 use pegasus_wms::planner::ExecutableJob;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -248,7 +248,7 @@ impl SimBackend {
         let mut fail_reason: Option<String> = None;
         if preempt_at < busy {
             finished = started + preempt_at;
-            fail_reason = Some("preempted".into());
+            fail_reason = Some(FaultReason::Preemption.reason());
         }
         if let Some((at, reason)) = script_kill {
             if at < finished {
@@ -259,7 +259,7 @@ impl SimBackend {
         if let Some(limit) = self.timeout {
             if started + limit < finished {
                 finished = started + limit;
-                fail_reason = Some(format!("timeout: exceeded {limit}s"));
+                fail_reason = Some(FaultReason::timeout_exceeded(limit));
             }
         }
         p.preempted = fail_reason.is_some();
@@ -318,7 +318,7 @@ impl SimBackend {
         self.churn_events.0 += 1;
         // Opportunistic reclaim is exactly the paper's OSG preemption,
         // so churn evictions keep the plain "preempted" reason.
-        self.take_slot_down(slot, "preempted");
+        self.take_slot_down(slot, &FaultReason::Preemption.reason());
         let down_for = sample_exponential(&mut self.rng, 1.0 / churn.mean_down);
         self.events
             .schedule(self.clock + down_for, SimEvent::SlotUp(slot));
@@ -403,7 +403,10 @@ impl SimBackend {
             job: p.job_id,
             attempt: p.attempt,
             outcome: if p.preempted {
-                JobOutcome::Failure(p.fail_reason.unwrap_or_else(|| "preempted".into()))
+                JobOutcome::Failure(
+                    p.fail_reason
+                        .unwrap_or_else(|| FaultReason::Preemption.reason()),
+                )
             } else {
                 JobOutcome::Success
             },
@@ -465,7 +468,9 @@ impl ExecutionBackend for SimBackend {
                 }
                 SimEvent::SlotDown(slot) => self.on_slot_down(slot),
                 SimEvent::SlotUp(slot) => self.on_slot_up(slot),
-                SimEvent::BlackoutDown(slot) => self.take_slot_down(slot, "evicted:blackout"),
+                SimEvent::BlackoutDown(slot) => {
+                    self.take_slot_down(slot, &FaultReason::Eviction.tagged("blackout"))
+                }
                 SimEvent::BlackoutUp(slot) => self.bring_slot_up(slot),
             }
         }
@@ -474,14 +479,26 @@ impl ExecutionBackend for SimBackend {
     fn now(&self) -> f64 {
         self.clock
     }
+
+    fn slot_capacity(&self) -> Option<usize> {
+        Some(self.platform.slot_count())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dist::Dist;
-    use pegasus_wms::engine::{run_workflow, EngineConfig};
+    use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
     use pegasus_wms::planner::{ExecutableWorkflow, JobKind};
+
+    fn run_workflow(
+        wf: &ExecutableWorkflow,
+        be: &mut SimBackend,
+        cfg: &EngineConfig,
+    ) -> pegasus_wms::engine::WorkflowRun {
+        Engine::run(be, wf, cfg, &mut NoopMonitor)
+    }
 
     fn job(id: usize, runtime: f64, install: f64) -> ExecutableJob {
         ExecutableJob {
@@ -613,7 +630,7 @@ mod tests {
         p.preemption_rate = 1.0 / 150.0; // mean preemption at 150s
         let mut be = SimBackend::new(p, 7);
         let wf = independent(vec![job(0, 100.0, 0.0)]);
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(50));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::builder().retries(50).build());
         assert!(run.succeeded());
         let rec = &run.records[0];
         // With mean 150 vs duration 100 some attempts fail for seed 7
@@ -629,7 +646,7 @@ mod tests {
         p.preemption_rate = 1.0; // mean preemption after 1s
         let mut be = SimBackend::new(p, 3);
         let wf = independent(vec![job(0, 1000.0, 0.0)]);
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(3));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::builder().retries(3).build());
         assert!(!run.succeeded());
         assert!(be.preemptions() >= 4);
     }
@@ -697,7 +714,7 @@ mod tests {
         });
         let mut be = SimBackend::new(p, 11);
         let wf = independent(vec![job(0, 200.0, 0.0)]);
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(200));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::builder().retries(200).build());
         assert!(run.succeeded());
         assert!(
             be.preemptions() >= 1,
@@ -737,7 +754,7 @@ mod tests {
         });
         let mut be = SimBackend::new(p, 5);
         let wf = independent((0..8).map(|i| job(i, 10.0, 0.0)).collect());
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(50));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::builder().retries(50).build());
         assert!(run.succeeded());
         for rec in &run.records {
             let t = rec.times.unwrap();
@@ -759,7 +776,9 @@ mod tests {
         let run = run_workflow(
             &wf,
             &mut be,
-            &EngineConfig::with_policy(pegasus_wms::engine::RetryPolicy::exponential(20, 30.0)),
+            &EngineConfig::builder()
+                .policy(pegasus_wms::engine::RetryPolicy::exponential(20, 30.0))
+                .build(),
         );
         assert!(run.succeeded());
         assert!(
@@ -788,7 +807,11 @@ mod tests {
         for _ in 0..2 {
             let be = SimBackend::new(p.clone(), 21);
             let mut be = be.with_faults(FaultScript::new(plan.clone(), 21));
-            runs.push(run_workflow(&wf, &mut be, &EngineConfig::with_retries(30)));
+            runs.push(run_workflow(
+                &wf,
+                &mut be,
+                &EngineConfig::builder().retries(30).build(),
+            ));
         }
         assert_eq!(runs[0].wall_time, runs[1].wall_time);
         for (a, b) in runs[0].records.iter().zip(&runs[1].records) {
@@ -808,7 +831,7 @@ mod tests {
         let p = PlatformModel::uniform("t", 2, 1.0);
         let mut be = SimBackend::new(p, 1).with_faults(FaultScript::new(plan, 1));
         let wf = independent(vec![job(0, 50.0, 0.0), job(1, 50.0, 0.0)]);
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_retries(5));
+        let run = run_workflow(&wf, &mut be, &EngineConfig::builder().retries(5).build());
         assert!(run.succeeded());
         assert_eq!(run.faults.evictions, 2);
         for rec in &run.records {
@@ -829,7 +852,9 @@ mod tests {
         let p = PlatformModel::uniform("t", 1, 1.0);
         let mut be = SimBackend::new(p, 1).with_faults(FaultScript::new(plan, 2));
         let wf = independent(vec![job(0, 50.0, 0.0)]);
-        let cfg = EngineConfig::with_policy(retry_with_timeout(3, 80.0));
+        let cfg = EngineConfig::builder()
+            .policy(retry_with_timeout(3, 80.0))
+            .build();
         let run = run_workflow(&wf, &mut be, &cfg);
         assert!(run.succeeded());
         let rec = &run.records[0];
@@ -865,7 +890,11 @@ mod tests {
             jitter: 0.0,
             timeout: None,
         };
-        let run = run_workflow(&wf, &mut be, &EngineConfig::with_policy(policy));
+        let run = run_workflow(
+            &wf,
+            &mut be,
+            &EngineConfig::builder().policy(policy).build(),
+        );
         assert!(run.succeeded());
         let rec = &run.records[0];
         assert_eq!(run.faults.install_failures, 1);

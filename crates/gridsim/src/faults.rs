@@ -24,6 +24,7 @@
 //!   (via [`FaultScript::submit_host_crash_after`]) and leaves a
 //!   rescue DAG behind, exactly like a submit host dying mid-run.
 
+use pegasus_wms::engine::FaultReason;
 use pegasus_wms::error::WmsError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -444,7 +445,7 @@ impl FaultScript {
                         if rng.gen_bool(*fail_probability) {
                             propose(
                                 lo + rng.gen_range(0.0..1.0) * (hi - lo),
-                                "install:burst".into(),
+                                FaultReason::InstallFailure.tagged("burst"),
                             );
                         }
                     }
@@ -461,7 +462,7 @@ impl FaultScript {
                         if rng.gen_bool(*kill_probability) {
                             propose(
                                 lo + rng.gen_range(0.0..1.0) * (hi - lo),
-                                "preempted:storm".into(),
+                                FaultReason::Preemption.tagged("storm"),
                             );
                         }
                     }

@@ -4,9 +4,17 @@ use gridsim::dist::Dist;
 use gridsim::event::EventQueue;
 use gridsim::platform::PlatformModel;
 use gridsim::SimBackend;
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, WorkflowRun};
 use pegasus_wms::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 use proptest::prelude::*;
+
+fn run_workflow(
+    wf: &ExecutableWorkflow,
+    backend: &mut SimBackend,
+    cfg: &EngineConfig,
+) -> WorkflowRun {
+    Engine::run(backend, wf, cfg, &mut NoopMonitor)
+}
 
 fn job(id: usize, runtime: f64, install: f64) -> ExecutableJob {
     ExecutableJob {

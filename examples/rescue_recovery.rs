@@ -14,7 +14,7 @@ use blast2cap3::workflow::{build_workflow, WorkflowParams};
 use gridsim::platforms::{osg, sandhills};
 use gridsim::{PlatformModel, SimBackend};
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig, JobState, WorkflowOutcome};
+use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
 use pegasus_wms::planner::{plan, PlannerConfig};
 
 fn main() {
@@ -32,7 +32,12 @@ fn main() {
         ..osg(1)
     };
     let mut backend = SimBackend::new(hostile, 1);
-    let first = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(0));
+    let first = Engine::run(
+        &mut backend,
+        &exec,
+        &EngineConfig::builder().retries(0).build(),
+        &mut NoopMonitor,
+    );
     let rescue = match first.outcome {
         WorkflowOutcome::Failed(r) => r,
         WorkflowOutcome::Success => {
@@ -65,7 +70,12 @@ fn main() {
     // Resubmit with the rescue file on the campus cluster.
     let exec2 = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
     let mut backend2 = SimBackend::new(sandhills(), 2);
-    let second = run_workflow(&exec2, &mut backend2, &EngineConfig::resuming(3, &rescue));
+    let second = Engine::run(
+        &mut backend2,
+        &exec2,
+        &EngineConfig::builder().retries(3).rescue(&rescue).build(),
+        &mut NoopMonitor,
+    );
     let skipped = second
         .records
         .iter()

@@ -26,11 +26,13 @@ use gridsim::{FaultPlan, FaultScript, SimBackend};
 use pegasus_wms::analyzer::analyze;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
-use pegasus_wms::engine::{run_workflow_monitored, EngineConfig, RetryPolicy, WorkflowOutcome};
+use pegasus_wms::engine::{Engine, EngineConfig, RetryPolicy, WorkflowOutcome};
 use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
-use pegasus_wms::statistics::{compute, render_csv, render_text};
+use pegasus_wms::statistics::{
+    compute, render_csv, render_ensemble_csv, render_ensemble_text, render_text,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -42,7 +44,8 @@ fn usage() -> ! {
          pegasus catalogs [--out <file>]          (dump the built-in site/transformation/replica catalogs)\n  \
          pegasus plan --dax <file> --site <name> [--cluster <k>] [--data-reuse] [--cleanup] [--dot <file>] [--ascii]\n  \
          pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--fault-plan <file>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--quiet]\n  \
-         pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>] [--fault-plan <file>]"
+         pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>] [--fault-plan <file>]\n  \
+         pegasus ensemble [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--slots <n>] [--out <csv>] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -316,6 +319,85 @@ fn platform_for(site: &str, seed: u64) -> gridsim::PlatformModel {
     }
 }
 
+/// Builds the retry policy `run`, `statistics`, and `ensemble` share:
+/// flat retries by default, exponential backoff when `--backoff` is
+/// given, plus an optional per-attempt `--timeout`.
+fn retry_policy_from(args: &Args, retries: u32) -> RetryPolicy {
+    let mut policy = match args.get("backoff") {
+        Some(_) => RetryPolicy::exponential(retries, args.parsed("backoff", 30.0f64)),
+        None => RetryPolicy::flat(retries),
+    };
+    if args.get("timeout").is_some() {
+        policy = policy.with_timeout(args.parsed("timeout", 0.0f64));
+    }
+    policy
+}
+
+/// `pegasus ensemble` — the paper's decomposition sweep as one
+/// ensemble: every `--sizes` entry becomes its own blast2cap3 workflow
+/// and all of them run concurrently over the shared simulated
+/// platform, under one seed and one slot budget.
+fn cmd_ensemble(args: &Args) -> ExitCode {
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble;
+
+    let site = args.get("site").unwrap_or("sandhills");
+    let seed: u64 = args.parsed("seed", 20140519u64);
+    let retries: u32 = args.parsed("retries", 3u32);
+    let sizes: Vec<usize> = match args.get("sizes") {
+        Some(list) => list
+            .split(',')
+            .map(|tok| {
+                tok.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad --sizes entry {tok:?}");
+                    usage()
+                })
+            })
+            .collect(),
+        // The paper's Fig. 4 sweep.
+        None => vec![10, 100, 300, 500],
+    };
+    if sizes.is_empty() {
+        eprintln!("--sizes must name at least one decomposition");
+        usage();
+    }
+
+    let engine_cfg = EngineConfig::builder()
+        .policy(retry_policy_from(args, retries))
+        .seed(seed)
+        .build();
+    let slot_budget = args.get("slots").map(|_| args.parsed("slots", 1usize));
+
+    let out = simulate_blast2cap3_ensemble(site, &sizes, seed, &engine_cfg, slot_budget);
+
+    if !args.flag("quiet") {
+        println!("{}", render_ensemble_text(&out.stats));
+    }
+    let csv = render_ensemble_csv(&out.stats);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).expect("write ensemble CSV");
+            if !args.flag("quiet") {
+                println!("ensemble rollup CSV written to {path}");
+            }
+        }
+        None => print!("{csv}"),
+    }
+
+    if out.run.succeeded() {
+        ExitCode::SUCCESS
+    } else {
+        let failed: Vec<&str> = out
+            .run
+            .runs
+            .iter()
+            .filter(|r| !r.succeeded())
+            .map(|r| r.name.as_str())
+            .collect();
+        eprintln!("ensemble members failed: {}", failed.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
     let wf = load_dax(args.require("dax"));
     let site = args.require("site");
@@ -338,15 +420,10 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         }
     };
 
-    let mut policy = match args.get("backoff") {
-        Some(_) => RetryPolicy::exponential(retries, args.parsed("backoff", 30.0f64)),
-        None => RetryPolicy::flat(retries),
-    };
-    if args.get("timeout").is_some() {
-        policy = policy.with_timeout(args.parsed("timeout", 0.0f64));
-    }
-    let mut engine_cfg = EngineConfig::with_policy(policy);
-    engine_cfg.seed = seed;
+    let mut engine_cfg = EngineConfig::builder()
+        .policy(retry_policy_from(args, retries))
+        .seed(seed)
+        .build();
 
     let script = args.get("fault-plan").map(|path| {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -393,7 +470,7 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         let mut multi = MultiMonitor::new();
         multi.push(&mut status);
         multi.push(&mut timeline);
-        run_workflow_monitored(&exec, &mut backend, &engine_cfg, &mut multi)
+        Engine::run(&mut backend, &exec, &engine_cfg, &mut multi)
     };
 
     if !csv_only && !args.flag("quiet") {
@@ -451,6 +528,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&args),
         "run" => cmd_run(&args, false),
         "statistics" => cmd_run(&args, true),
+        "ensemble" => cmd_ensemble(&args),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown subcommand {other:?}");

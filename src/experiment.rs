@@ -26,9 +26,10 @@ use condor::pool::{LocalPool, PoolConfig};
 use gridsim::platforms::{osg, osg_prestaged, sandhills, SERIAL_REFERENCE_SECONDS};
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig, WorkflowRun};
-use pegasus_wms::planner::{plan, PlannerConfig};
-use pegasus_wms::statistics::{compute, WorkflowStatistics};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, WorkflowRun};
+use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, EnsembleRun, WorkflowSpec};
+use pegasus_wms::planner::{plan, ExecutableWorkflow, PlannerConfig};
+use pegasus_wms::statistics::{compute, compute_ensemble, EnsembleStatistics, WorkflowStatistics};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
@@ -127,7 +128,13 @@ pub struct ExperimentOutcome {
 /// # Panics
 /// Panics on an unknown site name or if planning fails.
 pub fn simulate_blast2cap3(site: &str, n: usize, seed: u64, retries: u32) -> ExperimentOutcome {
-    simulate_blast2cap3_with(site, n, seed, &EngineConfig::with_retries(retries), None)
+    simulate_blast2cap3_with(
+        site,
+        n,
+        seed,
+        &EngineConfig::builder().retries(retries).build(),
+        None,
+    )
 }
 
 /// Like [`simulate_blast2cap3`], but with a caller-supplied engine
@@ -144,6 +151,23 @@ pub fn simulate_blast2cap3_with(
     engine_cfg: &EngineConfig,
     script: Option<gridsim::FaultScript>,
 ) -> ExperimentOutcome {
+    let exec = plan_blast2cap3(site, n, seed);
+    let mut backend = sim_backend_for(site, seed);
+    if let Some(script) = script {
+        backend = backend.with_faults(script);
+    }
+    let run = Engine::run(&mut backend, &exec, engine_cfg, &mut NoopMonitor);
+    let stats = compute(&run);
+    ExperimentOutcome { run, stats }
+}
+
+/// Plans the Fig. 2 workflow with `n` chunks for `site`, returning the
+/// executable DAG named `blast2cap3_n{n}` so ensemble members remain
+/// distinguishable in rollup reports.
+///
+/// # Panics
+/// Panics if planning fails.
+pub fn plan_blast2cap3(site: &str, n: usize, seed: u64) -> ExecutableWorkflow {
     let calibration = calibrate_workload(seed);
     let chunk_costs = calibrated_chunk_costs(&calibration, n);
     let n_effective = chunk_costs.len();
@@ -156,7 +180,7 @@ pub fn simulate_blast2cap3_with(
     rc.register("alignments.out", "submit");
     // The prestaged variant is the same site catalog entry as OSG.
     let catalog_site = if site == "osg_prestaged" { "osg" } else { site };
-    let exec = plan(
+    let mut exec = plan(
         &wf,
         &sites,
         &tc,
@@ -164,20 +188,61 @@ pub fn simulate_blast2cap3_with(
         &PlannerConfig::for_site(catalog_site),
     )
     .expect("planning the paper workflow");
+    exec.name = format!("blast2cap3_n{n}");
+    exec
+}
 
+/// Builds the simulated platform backend for `site`.
+///
+/// # Panics
+/// Panics on an unknown site name.
+pub fn sim_backend_for(site: &str, seed: u64) -> SimBackend {
     let platform = match site {
         "sandhills" => sandhills(),
         "osg" => osg(seed),
         "osg_prestaged" => osg_prestaged(seed),
         other => panic!("unknown simulated site {other:?}"),
     };
-    let mut backend = SimBackend::new(platform, seed);
-    if let Some(script) = script {
-        backend = backend.with_faults(script);
-    }
-    let run = run_workflow(&exec, &mut backend, engine_cfg);
-    let stats = compute(&run);
-    ExperimentOutcome { run, stats }
+    SimBackend::new(platform, seed)
+}
+
+/// One simulated ensemble result.
+#[derive(Debug, Clone)]
+pub struct EnsembleOutcome {
+    /// Per-member runs plus the ensemble makespan.
+    pub run: EnsembleRun,
+    /// Per-workflow statistics and the rollup.
+    pub stats: EnsembleStatistics,
+}
+
+/// Simulates the paper's decomposition sweep as one *ensemble*: every
+/// `n` in `sizes` is planned as its own Fig. 2 workflow and all of
+/// them contend for the same simulated platform under the shared slot
+/// budget (`None` defers to the backend's capacity). One seed
+/// determines the whole run, so the rollup CSV is reproducible
+/// byte-for-byte.
+///
+/// # Panics
+/// Panics on an unknown site name or if planning fails.
+pub fn simulate_blast2cap3_ensemble(
+    site: &str,
+    sizes: &[usize],
+    seed: u64,
+    engine_cfg: &EngineConfig,
+    slot_budget: Option<usize>,
+) -> EnsembleOutcome {
+    let specs: Vec<WorkflowSpec> = sizes
+        .iter()
+        .map(|&n| WorkflowSpec::new(plan_blast2cap3(site, n, seed), engine_cfg.clone()))
+        .collect();
+    let mut backend = sim_backend_for(site, seed);
+    let ens_cfg = match slot_budget {
+        Some(b) => EnsembleConfig::with_slot_budget(b),
+        None => EnsembleConfig::default(),
+    };
+    let run = run_ensemble(&mut backend, &specs, &ens_cfg);
+    let stats = compute_ensemble(&run);
+    EnsembleOutcome { run, stats }
 }
 
 /// Result of a real local workflow run.
@@ -258,7 +323,12 @@ pub fn real_local_run(
         },
         crate::registry::build_registry(Cap3Params::default()),
     );
-    let run = run_workflow(&exec, &mut pool, &EngineConfig::with_retries(0));
+    let run = Engine::run(
+        &mut pool,
+        &exec,
+        &EngineConfig::builder().retries(0).build(),
+        &mut NoopMonitor,
+    );
     let stats = compute(&run);
     let final_records = if run.succeeded() {
         fasta::read_file(workdir.join(names::FINAL)).expect("final.fasta written")
@@ -341,6 +411,24 @@ mod tests {
             "workflow must cut >95% of serial time; wall={} reduction={reduction}",
             out.run.wall_time
         );
+    }
+
+    #[test]
+    fn ensemble_sweep_shares_one_platform_and_all_members_finish() {
+        let cfg = EngineConfig::builder().retries(3).build();
+        let out = simulate_blast2cap3_ensemble("sandhills", &[10, 50], 7, &cfg, None);
+        assert_eq!(out.run.runs.len(), 2);
+        assert!(out.run.succeeded());
+        assert_eq!(out.stats.workflows_failed, 0);
+        assert_eq!(out.run.runs[0].name, "blast2cap3_n10");
+        assert_eq!(out.run.runs[1].name, "blast2cap3_n50");
+        let max_wall = out
+            .run
+            .runs
+            .iter()
+            .map(|r| r.wall_time)
+            .fold(0.0f64, f64::max);
+        assert!((out.run.makespan - max_wall).abs() < 1e-9);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use gridsim::platforms::sandhills;
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::error::WmsError;
 use pegasus_wms::planner::{plan, PlannerConfig};
 
@@ -36,7 +36,12 @@ fn dax_file_drives_a_full_simulated_run() {
     .unwrap();
 
     let mut backend = SimBackend::new(sandhills(), 5);
-    let run = run_workflow(&exec, &mut backend, &EngineConfig::default());
+    let run = Engine::run(
+        &mut backend,
+        &exec,
+        &EngineConfig::default(),
+        &mut NoopMonitor,
+    );
     assert!(run.succeeded());
     assert!(run.wall_time > 0.0);
 }
@@ -56,7 +61,12 @@ fn dax_runtime_hints_survive_and_shape_the_simulation() {
         rc.register("alignments.out", "submit");
         let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
         let mut backend = SimBackend::new(sandhills(), 5);
-        let run = run_workflow(&exec, &mut backend, &EngineConfig::default());
+        let run = Engine::run(
+            &mut backend,
+            &exec,
+            &EngineConfig::default(),
+            &mut NoopMonitor,
+        );
         assert!(run.succeeded());
         walls.push(run.wall_time);
     }

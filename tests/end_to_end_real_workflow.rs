@@ -13,7 +13,7 @@ use blast2cap3_pegasus::registry::build_registry;
 use cap3::Cap3Params;
 use condor::pool::{FailureInjector, LocalPool, PoolConfig};
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig, JobState, WorkflowOutcome};
+use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -114,7 +114,12 @@ fn injected_failures_are_absorbed_by_retries() {
         build_registry(Cap3Params::default()),
         Some(injector),
     );
-    let run = run_workflow(&exec, &mut pool, &EngineConfig::with_retries(2));
+    let run = Engine::run(
+        &mut pool,
+        &exec,
+        &EngineConfig::builder().retries(2).build(),
+        &mut NoopMonitor,
+    );
     assert!(run.succeeded(), "retries must absorb injected preemptions");
     assert_eq!(run.total_retries() as usize, exec.jobs.len());
 
@@ -165,7 +170,12 @@ fn rescue_resume_over_shared_workdir() {
         build_registry(Cap3Params::default()),
         Some(injector),
     );
-    let run1 = run_workflow(&exec, &mut pool1, &EngineConfig::with_retries(1));
+    let run1 = Engine::run(
+        &mut pool1,
+        &exec,
+        &EngineConfig::builder().retries(1).build(),
+        &mut NoopMonitor,
+    );
     let rescue = match run1.outcome {
         WorkflowOutcome::Failed(r) => r,
         WorkflowOutcome::Success => panic!("run 1 should fail"),
@@ -182,7 +192,12 @@ fn rescue_resume_over_shared_workdir() {
         },
         build_registry(Cap3Params::default()),
     );
-    let run2 = run_workflow(&exec, &mut pool2, &EngineConfig::resuming(0, &rescue));
+    let run2 = Engine::run(
+        &mut pool2,
+        &exec,
+        &EngineConfig::builder().retries(0).rescue(&rescue).build(),
+        &mut NoopMonitor,
+    );
     assert!(run2.succeeded(), "resume must complete: {:?}", run2.records);
     let skipped = run2
         .records

@@ -1,0 +1,153 @@
+//! Ensemble integration: the paper's decomposition sweep run as ONE
+//! ensemble over the shared simulated platform.
+//!
+//! * same seed → byte-identical rollup CSV (determinism across the
+//!   whole multi-workflow schedule, not just one engine loop);
+//! * a size-1 ensemble with an unbounded slot budget is bit-identical
+//!   to a plain `Engine::run` of the same workflow;
+//! * a crashed member leaves a rescue DAG and ONE resubmission of that
+//!   member completes it, without disturbing the others;
+//! * the paper's platform contrast survives ensemble scheduling:
+//!   the Sandhills rollup beats the OSG rollup, and n = 300 stays the
+//!   optimal decomposition among the members.
+
+use blast2cap3_pegasus::experiment::{
+    plan_blast2cap3, sim_backend_for, simulate_blast2cap3_ensemble,
+};
+use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
+use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, WorkflowSpec};
+use pegasus_wms::statistics::{compute, render_ensemble_csv, render_summary_csv};
+
+const SEED: u64 = 20140519;
+
+#[test]
+fn same_seed_ensemble_sweep_replays_byte_identical_rollup_csv() {
+    let cfg = EngineConfig::builder().retries(10).seed(SEED).build();
+    let a = simulate_blast2cap3_ensemble("osg", &[10, 40], SEED, &cfg, None);
+    let b = simulate_blast2cap3_ensemble("osg", &[10, 40], SEED, &cfg, None);
+    assert!(a.run.succeeded());
+    assert_eq!(
+        render_ensemble_csv(&a.stats),
+        render_ensemble_csv(&b.stats),
+        "rollup CSV must be byte-identical under a fixed seed"
+    );
+    // Different seed ⇒ different schedule on the opportunistic model.
+    let cfg_c = EngineConfig::builder().retries(10).seed(SEED + 1).build();
+    let c = simulate_blast2cap3_ensemble("osg", &[10, 40], SEED + 1, &cfg_c, None);
+    assert_ne!(render_ensemble_csv(&a.stats), render_ensemble_csv(&c.stats));
+}
+
+#[test]
+fn singleton_unbounded_ensemble_is_bit_identical_to_engine_run() {
+    let cfg = EngineConfig::builder().retries(10).seed(SEED).build();
+
+    let exec = plan_blast2cap3("osg", 40, SEED);
+    let mut be_single = sim_backend_for("osg", SEED);
+    let single = Engine::run(&mut be_single, &exec, &cfg, &mut NoopMonitor);
+
+    let specs = vec![WorkflowSpec::new(plan_blast2cap3("osg", 40, SEED), cfg)];
+    let mut be_ens = sim_backend_for("osg", SEED);
+    let ens = run_ensemble(&mut be_ens, &specs, &EnsembleConfig::unbounded());
+
+    assert_eq!(ens.runs.len(), 1);
+    let member = &ens.runs[0];
+    assert_eq!(member.wall_time, single.wall_time);
+    assert_eq!(member.records.len(), single.records.len());
+    for (a, b) in member.records.iter().zip(&single.records) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.failure_reasons, b.failure_reasons);
+    }
+    assert_eq!(
+        render_summary_csv(&compute(member)),
+        render_summary_csv(&compute(&single)),
+        "summary CSV of the singleton member must match the plain run byte-for-byte"
+    );
+}
+
+#[test]
+fn crashed_member_rescues_and_one_resubmission_completes_it() {
+    // Member 1 suffers a scripted submit-host crash mid-run; member 0
+    // must be unaffected.
+    let healthy_cfg = EngineConfig::builder().retries(10).seed(SEED).build();
+    let mut crashing_cfg = EngineConfig::builder().retries(10).seed(SEED).build();
+    crashing_cfg.crash_after_events = Some(30);
+
+    let specs = vec![
+        WorkflowSpec::new(plan_blast2cap3("sandhills", 10, SEED), healthy_cfg.clone()),
+        WorkflowSpec::new(plan_blast2cap3("sandhills", 40, SEED), crashing_cfg),
+    ];
+    let mut backend = sim_backend_for("sandhills", SEED);
+    let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+
+    assert!(ens.runs[0].succeeded(), "healthy member must finish");
+    let rescue = match &ens.runs[1].outcome {
+        WorkflowOutcome::Failed(rescue) => rescue.clone(),
+        other => panic!("crashed member must leave a rescue DAG, got {other:?}"),
+    };
+    assert!(!rescue.done.is_empty(), "crash happened mid-run");
+
+    // Resubmit ONLY the crashed member, resuming from its rescue DAG.
+    let resume_cfg = EngineConfig::builder()
+        .retries(10)
+        .seed(SEED)
+        .rescue(&rescue)
+        .build();
+    let exec = plan_blast2cap3("sandhills", 40, SEED);
+    let mut backend2 = sim_backend_for("sandhills", SEED);
+    let resumed = Engine::run(&mut backend2, &exec, &resume_cfg, &mut NoopMonitor);
+    assert!(
+        resumed.succeeded(),
+        "one resubmission must complete the member"
+    );
+    let skipped = resumed
+        .records
+        .iter()
+        .filter(|r| r.state == JobState::SkippedDone)
+        .count();
+    assert_eq!(skipped, rescue.done.len());
+}
+
+#[test]
+fn sandhills_rollup_beats_osg_with_n300_optimal() {
+    let sizes = [10usize, 100, 300, 500];
+    // The OSG members need a deeper retry budget than a standalone run:
+    // shared-capacity contention stretches attempts into the preemption
+    // hazard. The seed picks one concrete deterministic schedule.
+    let seed = 11u64;
+    let cfg = EngineConfig::builder().retries(20).seed(seed).build();
+    let sandhills = simulate_blast2cap3_ensemble("sandhills", &sizes, seed, &cfg, None);
+    let osg = simulate_blast2cap3_ensemble("osg", &sizes, seed, &cfg, None);
+    assert!(sandhills.run.succeeded() && osg.run.succeeded());
+
+    // §VI-A: the dedicated campus allocation finishes the whole sweep
+    // sooner than the opportunistic grid.
+    assert!(
+        sandhills.run.makespan < osg.run.makespan,
+        "sandhills rollup {:.0}s must beat osg rollup {:.0}s",
+        sandhills.run.makespan,
+        osg.run.makespan
+    );
+
+    // Within the Sandhills rollup, n = 300 remains the optimal
+    // decomposition: no other member finishes faster.
+    let wall_of = |name: &str| {
+        sandhills
+            .run
+            .runs
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.wall_time)
+            .expect("member present")
+    };
+    let w300 = wall_of("blast2cap3_n300");
+    for other in ["blast2cap3_n10", "blast2cap3_n100", "blast2cap3_n500"] {
+        assert!(
+            w300 <= wall_of(other),
+            "n=300 must be optimal in the rollup: {w300:.0}s vs {other} {:.0}s",
+            wall_of(other)
+        );
+    }
+}

@@ -8,7 +8,7 @@ use blast2cap3_pegasus::chaos::fault_injector_for;
 use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
 use condor::pool::{LocalPool, PoolConfig, TaskRegistry};
 use gridsim::{AttemptTiming, FaultPlan, FaultScript};
-use pegasus_wms::engine::{run_workflow, EngineConfig, JobState, RetryPolicy, WorkflowRun};
+use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, RetryPolicy, WorkflowRun};
 use pegasus_wms::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 use pegasus_wms::statistics::{render_csv, render_summary_csv};
 
@@ -25,10 +25,10 @@ slot-blackout start=6000 duration=3000 first-slot=0 count=6
 ";
 
 fn chaos_engine_cfg(seed: u64) -> EngineConfig {
-    let mut cfg =
-        EngineConfig::with_policy(RetryPolicy::exponential(12, 30.0).with_timeout(6_000.0));
-    cfg.seed = seed;
-    cfg
+    EngineConfig::builder()
+        .policy(RetryPolicy::exponential(12, 30.0).with_timeout(6_000.0))
+        .seed(seed)
+        .build()
 }
 
 fn chaos_sim_run(seed: u64) -> blast2cap3_pegasus::ExperimentOutcome {
@@ -96,8 +96,10 @@ submit-host-crash after-events=150
         let plan = FaultPlan::parse(STORM).expect("valid plan");
         let script = FaultScript::new(plan, seed);
         let policy = RetryPolicy::exponential(10, 60.0);
-        let mut cfg = EngineConfig::with_policy(policy.clone());
-        cfg.seed = seed;
+        let mut cfg = EngineConfig::builder()
+            .policy(policy.clone())
+            .seed(seed)
+            .build();
         cfg.crash_after_events = script.submit_host_crash_after();
         let crashed = simulate_blast2cap3_with("osg", 300, seed, &cfg, Some(script.clone()));
         let rescue = match &crashed.run.outcome {
@@ -105,8 +107,7 @@ submit-host-crash after-events=150
             other => panic!("the scripted crash must leave a rescue DAG, got {other:?}"),
         };
         // Rescue resubmission #1 — and the last one needed.
-        let mut resume_cfg = EngineConfig::with_policy(policy);
-        resume_cfg.seed = seed;
+        let mut resume_cfg = EngineConfig::builder().policy(policy).seed(seed).build();
         resume_cfg.skip_done = rescue.done.iter().cloned().collect();
         let resumed = simulate_blast2cap3_with("osg", 300, seed, &resume_cfg, Some(script));
         assert!(
@@ -172,10 +173,11 @@ fn chaos_pool_run(seed: u64) -> WorkflowRun {
         TaskRegistry::new(),
         Some(fault_injector_for(script, scale)),
     );
-    run_workflow(
-        &pool_workflow(10),
+    Engine::run(
         &mut pool,
-        &EngineConfig::with_retries(8),
+        &pool_workflow(10),
+        &EngineConfig::builder().retries(8).build(),
+        &mut NoopMonitor,
     )
 }
 

@@ -5,7 +5,7 @@
 use gridsim::platforms::{osg, osg_churning, sandhills};
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow, EngineConfig};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use pegasus_wms::synthetic::{cybershake, epigenomics, ligo_inspiral, montage};
 use pegasus_wms::workflow::AbstractWorkflow;
@@ -22,7 +22,12 @@ fn run_on(wf: &AbstractWorkflow, site: &str, seed: u64) -> f64 {
         _ => osg(seed),
     };
     let mut backend = SimBackend::new(platform, seed);
-    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(15));
+    let run = Engine::run(
+        &mut backend,
+        &exec,
+        &EngineConfig::builder().retries(15).build(),
+        &mut NoopMonitor,
+    );
     assert!(run.succeeded(), "{} on {site} failed", wf.name);
     run.wall_time
 }
@@ -61,7 +66,12 @@ fn gallery_shapes_survive_churning_pools() {
     }
     let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("osg")).unwrap();
     let mut backend = SimBackend::new(osg_churning(3), 3);
-    let run = run_workflow(&exec, &mut backend, &EngineConfig::with_retries(30));
+    let run = Engine::run(
+        &mut backend,
+        &exec,
+        &EngineConfig::builder().retries(30).build(),
+        &mut NoopMonitor,
+    );
     assert!(run.succeeded());
 }
 

@@ -11,7 +11,7 @@ use condor::joblog::{EventCode, JobLogMonitor};
 use gridsim::platforms::osg;
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{run_workflow_monitored, EngineConfig, JobState};
+use pegasus_wms::engine::{Engine, EngineConfig, JobState};
 use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 use pegasus_wms::statistics::compute;
 
@@ -44,10 +44,10 @@ fn monitors_joblog_and_statistics_agree() {
         multi.push(&mut status);
         multi.push(&mut timeline);
         multi.push(&mut joblog);
-        run_workflow_monitored(
-            &exec,
+        Engine::run(
             &mut backend,
-            &EngineConfig::with_retries(20),
+            &exec,
+            &EngineConfig::builder().retries(20).build(),
             &mut multi,
         )
     };

@@ -330,7 +330,11 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).count()
+            let joined = handles.len();
+            for h in handles {
+                h.join().unwrap();
+            }
+            joined
         })
         .unwrap();
         assert_eq!(out, 4);

@@ -348,7 +348,7 @@ mod tests {
 
         #[test]
         fn macro_binds_ranges_and_types(a in 1usize..10, b: u64, s in "[a-z]{1,4}") {
-            prop_assert!(a >= 1 && a < 10);
+            prop_assert!((1..10).contains(&a));
             let _ = b;
             prop_assert!(!s.is_empty() && s.len() <= 4);
             prop_assert_eq!(s.len(), s.chars().count());
