@@ -8,7 +8,8 @@
 //! classic text format, and a parser that reconstructs per-job timing
 //! — closing the provenance loop the same way the real stack does.
 
-use pegasus_wms::engine::{CompletionEvent, JobOutcome, WorkflowMonitor};
+use pegasus_wms::engine::{CompletionEvent, FaultReason, JobOutcome, WorkflowMonitor};
+use pegasus_wms::events::{EventSink, MonitorSink, WorkflowEvent};
 use pegasus_wms::planner::ExecutableJob;
 use std::fmt;
 
@@ -128,6 +129,20 @@ impl JobLogMonitor {
         Self::default()
     }
 
+    /// Rebuilds the user log offline from a provenance event stream —
+    /// the same sequence the live [`WorkflowMonitor`] hooks would have
+    /// produced, derived entirely from `events`.
+    pub fn from_events(jobs: &[ExecutableJob], events: &[WorkflowEvent]) -> JobLogMonitor {
+        let mut log = JobLogMonitor::new();
+        {
+            let mut sink = MonitorSink::new(jobs, &mut log);
+            for ev in events {
+                sink.event(ev);
+            }
+        }
+        log
+    }
+
     /// Renders the whole log.
     pub fn to_text(&self) -> String {
         self.events.iter().map(LogEvent::to_text).collect()
@@ -201,7 +216,10 @@ impl WorkflowMonitor for JobLogMonitor {
             JobOutcome::Failure(reason) => {
                 // Machine-initiated kills get the real Condor evicted
                 // code; everything else stays an abort.
-                let evicted = reason.starts_with("preempted") || reason.starts_with("evicted");
+                let evicted = matches!(
+                    FaultReason::classify(reason),
+                    FaultReason::Preemption | FaultReason::Eviction
+                );
                 self.events.push(LogEvent {
                     code: if evicted {
                         EventCode::Evicted
@@ -351,11 +369,13 @@ mod tests {
         assert_eq!(iv[1], ("a".to_string(), 1, 6.0, 11.0));
     }
 
-    #[test]
-    fn full_engine_run_produces_a_complete_log() {
-        use pegasus_wms::engine::{Engine, EngineConfig};
+    fn chain_workflow(
+        workdir: &str,
+    ) -> (
+        pegasus_wms::planner::ExecutableWorkflow,
+        crate::pool::LocalPool,
+    ) {
         use pegasus_wms::planner::ExecutableWorkflow;
-        // Use the local pool for a real end-to-end log.
         let wf = ExecutableWorkflow {
             name: "w".into(),
             site: "local".into(),
@@ -373,14 +393,22 @@ mod tests {
                 .collect(),
             edges: vec![(0, 1), (1, 2)],
         };
-        let mut pool = crate::pool::LocalPool::new(
+        let pool = crate::pool::LocalPool::new(
             crate::pool::PoolConfig {
                 workers: 2,
-                workdir: std::env::temp_dir().join("joblog_test"),
+                workdir: std::env::temp_dir().join(workdir),
                 ..Default::default()
             },
             crate::pool::TaskRegistry::new(),
         );
+        (wf, pool)
+    }
+
+    #[test]
+    fn full_engine_run_produces_a_complete_log() {
+        use pegasus_wms::engine::{Engine, EngineConfig};
+        // Use the local pool for a real end-to-end log.
+        let (wf, mut pool) = chain_workflow("joblog_test");
         let mut log = JobLogMonitor::new();
         let run = Engine::run(&mut pool, &wf, &EngineConfig::default(), &mut log);
         assert!(run.succeeded());
@@ -389,5 +417,17 @@ mod tests {
         assert_eq!(log.execution_intervals().len(), 3);
         let reparsed = JobLogMonitor::parse(&log.to_text()).unwrap();
         assert_eq!(reparsed.len(), 9);
+    }
+
+    #[test]
+    fn offline_replay_rebuilds_the_same_log() {
+        use pegasus_wms::engine::{Engine, EngineConfig};
+        let (wf, mut pool) = chain_workflow("joblog_replay_test");
+        let mut log = JobLogMonitor::new();
+        let run = Engine::run(&mut pool, &wf, &EngineConfig::default(), &mut log);
+        assert!(run.succeeded());
+        let offline = JobLogMonitor::from_events(&wf.jobs, &run.events);
+        assert_eq!(offline.events, log.events);
+        assert_eq!(offline.to_text(), log.to_text());
     }
 }

@@ -8,7 +8,7 @@
 //! OSG failures and retries is exactly the situation this tool exists
 //! for.
 
-use crate::engine::{JobState, WorkflowOutcome, WorkflowRun};
+use crate::engine::{FaultReason, JobState, WorkflowOutcome, WorkflowRun};
 use std::collections::BTreeMap;
 
 /// Analysis of one failed job.
@@ -23,6 +23,8 @@ pub struct FailedJobReport {
     /// Distinct failure reasons with occurrence counts, sorted by
     /// reason.
     pub reasons: Vec<(String, usize)>,
+    /// Distinct typed failure categories, sorted.
+    pub kinds: Vec<FaultReason>,
     /// Seconds burnt across the failed attempts.
     pub badput: f64,
 }
@@ -66,15 +68,33 @@ impl Analysis {
             "resubmit with the rescue DAG: {:.0}% of the workflow is already complete",
             100.0 * self.completion_fraction
         ));
-        let preempted = self
-            .failed
-            .iter()
-            .any(|f| f.reasons.iter().any(|(r, _)| r.contains("preempt")));
+        let preempted = self.failed.iter().any(|f| {
+            f.kinds
+                .iter()
+                .any(|k| matches!(k, FaultReason::Preemption | FaultReason::Eviction))
+        });
         if preempted {
             out.push(
                 "failures are preemptions: raise the retry budget or move to a dedicated site"
                     .to_string(),
             );
+        }
+        if self
+            .failed
+            .iter()
+            .any(|f| f.kinds.contains(&FaultReason::InstallFailure))
+        {
+            out.push(
+                "install phases failed: pre-stage the software so compute jobs skip the download-and-install step"
+                    .to_string(),
+            );
+        }
+        if self
+            .failed
+            .iter()
+            .any(|f| f.kinds.contains(&FaultReason::Timeout))
+        {
+            out.push("jobs hit the walltime cap: raise the timeout or split the task".to_string());
         }
         if self.failed.iter().any(|f| f.attempts == 1) {
             out.push("some jobs were never retried: set max_retries > 0".to_string());
@@ -139,11 +159,15 @@ pub fn analyze(run: &WorkflowRun) -> Analysis {
                 for r in &rec.failure_reasons {
                     *reasons.entry(r.clone()).or_insert(0) += 1;
                 }
+                let mut kinds = rec.failure_kinds.clone();
+                kinds.sort();
+                kinds.dedup();
                 failed.push(FailedJobReport {
                     name: rec.name.clone(),
                     transformation: rec.transformation.clone(),
                     attempts: rec.attempts,
                     reasons: reasons.into_iter().collect(),
+                    kinds,
                     badput: rec.failed_attempts.iter().map(|t| t.total()).sum(),
                 });
             }
@@ -190,6 +214,7 @@ mod tests {
             times: (state == JobState::Done).then(|| times(5.0)),
             failed_attempts: vec![],
             failure_reasons: vec![],
+            failure_kinds: vec![],
         }
     }
 
@@ -200,6 +225,11 @@ mod tests {
             "preempted".into(),
             "preempted".into(),
             "node vanished".into(),
+        ];
+        bad.failure_kinds = vec![
+            FaultReason::Preemption,
+            FaultReason::Preemption,
+            FaultReason::Other,
         ];
         WorkflowRun {
             name: "wf".into(),
@@ -213,6 +243,7 @@ mod tests {
                 record("flaky_but_fine", JobState::Done, 2),
             ],
             faults: Default::default(),
+            events: vec![],
         }
     }
 
@@ -240,6 +271,27 @@ mod tests {
             ]
         );
         assert_eq!(f.badput, 35.0);
+        assert_eq!(f.kinds, vec![FaultReason::Preemption, FaultReason::Other]);
+    }
+
+    #[test]
+    fn typed_kinds_drive_suggestions_even_with_opaque_wire_text() {
+        // The wire string need not mention "preempt" — the enum does.
+        let mut bad = record("bad", JobState::Failed, 2);
+        bad.failed_attempts = vec![times(10.0), times(5.0)];
+        bad.failure_reasons = vec!["slot reclaimed by owner".into(); 2];
+        bad.failure_kinds = vec![FaultReason::Preemption; 2];
+        let run = WorkflowRun {
+            name: "wf".into(),
+            site: "osg".into(),
+            outcome: WorkflowOutcome::Failed(RescueDag::default()),
+            wall_time: 50.0,
+            records: vec![record("ok", JobState::Done, 1), bad],
+            faults: Default::default(),
+            events: vec![],
+        };
+        let text = analyze(&run).suggestions().join("\n");
+        assert!(text.contains("preemptions"), "{text}");
     }
 
     #[test]
@@ -259,6 +311,7 @@ mod tests {
             wall_time: 10.0,
             records: vec![record("flaky", JobState::Done, 4)],
             faults: Default::default(),
+            events: vec![],
         };
         let a = analyze(&run);
         assert!(a.succeeded);
@@ -286,6 +339,7 @@ mod tests {
             wall_time: 10.0,
             records: vec![record("a", JobState::Done, 1)],
             faults: Default::default(),
+            events: vec![],
         };
         let a = analyze(&run);
         assert!(a.suggestions().is_empty());

@@ -13,6 +13,7 @@
 //! (`condor` crate) and the discrete-event platform simulator
 //! (`gridsim` crate).
 
+use crate::events::{EventSink, MonitorSink, WorkflowEvent};
 use crate::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 use crate::rescue::RescueDag;
 use crate::workflow::JobId;
@@ -351,7 +352,7 @@ impl EngineConfigBuilder {
 /// [`FaultCounters`] tallies. Backends construct their reason strings
 /// through the helpers here (instead of ad-hoc literals), so a typo'd
 /// prefix can no longer silently land in the wrong counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultReason {
     /// The attempt was killed by preemption (reason prefix
     /// `"preempted"`): the platform hazard or a scripted storm.
@@ -448,12 +449,6 @@ impl FaultCounters {
         }
     }
 
-    /// Classifies one failure reason into the matching counter.
-    #[deprecated(note = "use `record_reason(FaultReason::classify(reason))`")]
-    pub fn record(&mut self, reason: &str) {
-        self.record_reason(FaultReason::classify(reason));
-    }
-
     /// All failed attempts, across categories.
     pub fn total_failures(&self) -> u64 {
         self.preemptions
@@ -508,8 +503,11 @@ pub struct JobRecord {
     pub times: Option<JobTimes>,
     /// Timestamps of failed attempts, in order.
     pub failed_attempts: Vec<JobTimes>,
-    /// Failure reasons, parallel to `failed_attempts`.
+    /// Failure reasons (full wire strings), parallel to
+    /// `failed_attempts`.
     pub failure_reasons: Vec<String>,
+    /// Typed failure categories, parallel to `failed_attempts`.
+    pub failure_kinds: Vec<FaultReason>,
 }
 
 /// Overall outcome of a run.
@@ -538,6 +536,11 @@ pub struct WorkflowRun {
     pub records: Vec<JobRecord>,
     /// Fault and retry counters accumulated during the run.
     pub faults: FaultCounters,
+    /// The append-only provenance stream the engine emitted — the
+    /// single source every other field (and the statistics, analyzer,
+    /// and rescue layers) can be re-derived from via
+    /// [`crate::events::replay`].
+    pub events: Vec<WorkflowEvent>,
 }
 
 impl WorkflowRun {
@@ -657,6 +660,11 @@ pub struct WorkflowExecution {
     crashed: bool,
     start: f64,
     initial_ready: Vec<JobId>,
+    /// The append-only provenance stream, emitted at every state
+    /// transition.
+    events: Vec<WorkflowEvent>,
+    /// How many events the driver has already drained.
+    emitted: usize,
 }
 
 impl WorkflowExecution {
@@ -682,8 +690,27 @@ impl WorkflowExecution {
                 times: None,
                 failed_attempts: Vec::new(),
                 failure_reasons: Vec::new(),
+                failure_kinds: Vec::new(),
             })
             .collect();
+
+        // Stream header + manifest: the replayed run must know every
+        // job, including ones that never become ready.
+        let mut events = Vec::with_capacity(n + 2);
+        events.push(WorkflowEvent::WorkflowStarted {
+            name: wf.name.clone(),
+            site: wf.site.clone(),
+            jobs: n,
+            time: start,
+        });
+        for j in &wf.jobs {
+            events.push(WorkflowEvent::JobDeclared {
+                job: j.id,
+                name: j.name.clone(),
+                transformation: j.transformation.clone(),
+                kind: j.kind,
+            });
+        }
 
         let mut done = vec![false; n];
         let mut ready: Vec<JobId> = Vec::new();
@@ -707,6 +734,7 @@ impl WorkflowExecution {
         for job in 0..n {
             if config.skip_done.contains(&wf.jobs[job].name) {
                 records[job].state = JobState::SkippedDone;
+                events.push(WorkflowEvent::Skipped { job, time: start });
                 mark_done(job, &mut done, &mut pending_parents, &mut ready);
             }
         }
@@ -735,6 +763,8 @@ impl WorkflowExecution {
             crashed: false,
             start,
             initial_ready: ready,
+            events,
+            emitted: 0,
         }
     }
 
@@ -747,10 +777,26 @@ impl WorkflowExecution {
         ready
     }
 
-    /// Marks a fresh (attempt 0) submission of `job`. The driver calls
-    /// this when it actually hands the job to the backend.
-    pub fn note_submitted(&mut self, job: JobId) {
+    /// Marks a fresh (attempt 0) submission of `job` at backend time
+    /// `now`. The driver calls this when it actually hands the job to
+    /// the backend.
+    pub fn note_submitted(&mut self, job: JobId, now: f64) {
         self.records[job].attempts = 1;
+        self.events.push(WorkflowEvent::Submitted {
+            job,
+            attempt: 0,
+            time: now,
+        });
+    }
+
+    /// The events emitted since the last drain — the driver forwards
+    /// these to its sinks (e.g. a [`MonitorSink`] bridging onto a
+    /// [`WorkflowMonitor`]) after each submission batch or completion
+    /// event.
+    pub fn drain_new_events(&mut self) -> &[WorkflowEvent] {
+        let new = &self.events[self.emitted..];
+        self.emitted = self.events.len();
+        new
     }
 
     /// Feeds one completion event (with this workflow's local job id)
@@ -759,9 +805,29 @@ impl WorkflowExecution {
         debug_assert!(!self.crashed, "event fed to a crashed workflow");
         self.outstanding -= 1;
         self.events_seen += 1;
+        // The attempt's phase transitions, recovered from its
+        // timestamps: slot acquisition / install start (when there was
+        // an install phase), then execution start.
+        if ev.times.install_done > ev.times.started {
+            self.events.push(WorkflowEvent::InstallStarted {
+                job: ev.job,
+                attempt: ev.attempt,
+                time: ev.times.started,
+            });
+        }
+        self.events.push(WorkflowEvent::Started {
+            job: ev.job,
+            attempt: ev.attempt,
+            time: ev.times.install_done,
+        });
         let mut resp = EventResponse::default();
         match &ev.outcome {
             JobOutcome::Success => {
+                self.events.push(WorkflowEvent::Completed {
+                    job: ev.job,
+                    attempt: ev.attempt,
+                    times: ev.times,
+                });
                 let rec = &mut self.records[ev.job];
                 rec.state = JobState::Done;
                 rec.times = Some(ev.times);
@@ -776,12 +842,30 @@ impl WorkflowExecution {
                 self.outstanding += resp.newly_ready.len();
             }
             JobOutcome::Failure(reason) => {
-                self.faults.record_reason(FaultReason::classify(reason));
+                let kind = FaultReason::classify(reason);
+                self.faults.record_reason(kind);
+                self.events.push(if kind == FaultReason::Timeout {
+                    WorkflowEvent::TimedOut {
+                        job: ev.job,
+                        attempt: ev.attempt,
+                        detail: reason.clone(),
+                        times: ev.times,
+                    }
+                } else {
+                    WorkflowEvent::Failed {
+                        job: ev.job,
+                        attempt: ev.attempt,
+                        reason: kind,
+                        detail: reason.clone(),
+                        times: ev.times,
+                    }
+                });
                 let max_attempts = self.config.retry.max_attempts;
                 let attempts = {
                     let rec = &mut self.records[ev.job];
                     rec.failed_attempts.push(ev.times);
                     rec.failure_reasons.push(reason.clone());
+                    rec.failure_kinds.push(kind);
                     rec.attempts
                 };
                 if attempts < max_attempts {
@@ -790,6 +874,19 @@ impl WorkflowExecution {
                     self.faults.backoff_wait += delay;
                     self.records[ev.job].attempts += 1;
                     self.outstanding += 1;
+                    self.events.push(WorkflowEvent::RetryScheduled {
+                        job: ev.job,
+                        next_attempt: ev.attempt + 1,
+                        backoff: delay,
+                        reason: kind,
+                        detail: reason.clone(),
+                        time: ev.times.finished,
+                    });
+                    self.events.push(WorkflowEvent::Submitted {
+                        job: ev.job,
+                        attempt: ev.attempt + 1,
+                        time: ev.times.finished,
+                    });
                     resp.retry = Some(RetryRequest {
                         job: ev.job,
                         next_attempt: ev.attempt + 1,
@@ -834,10 +931,17 @@ impl WorkflowExecution {
         self.any_failed || self.crashed
     }
 
-    /// Finalises the run, stamping its end at `end` (backend seconds).
-    pub fn finish(self, end: f64) -> WorkflowRun {
+    /// Finalises the run, stamping its end at `end` (backend seconds)
+    /// and appending the stream's `WorkflowFinished` trailer.
+    pub fn finish(mut self, end: f64) -> WorkflowRun {
         let wall_time = end - self.start;
-        let outcome = if self.any_failed || self.crashed {
+        let failed = self.any_failed || self.crashed;
+        self.events.push(WorkflowEvent::WorkflowFinished {
+            succeeded: !failed,
+            wall_time,
+            time: end,
+        });
+        let outcome = if failed {
             let done_names: Vec<String> = self
                 .records
                 .iter()
@@ -859,6 +963,7 @@ impl WorkflowExecution {
             wall_time,
             records: self.records,
             faults: self.faults,
+            events: self.events,
         }
     }
 }
@@ -877,6 +982,12 @@ pub struct Engine;
 impl Engine {
     /// Executes `wf` on `backend` under `config`, reporting progress
     /// to `monitor`.
+    ///
+    /// The monitor is driven through the provenance stream: after each
+    /// submission batch or completion event, the newly emitted
+    /// [`WorkflowEvent`]s are forwarded through a [`MonitorSink`], so
+    /// a monitor fed the finished run's recorded stream observes the
+    /// exact same callback sequence it saw live.
     pub fn run(
         backend: &mut dyn ExecutionBackend,
         wf: &ExecutableWorkflow,
@@ -885,31 +996,22 @@ impl Engine {
     ) -> WorkflowRun {
         backend.set_timeout(config.retry.timeout);
         let mut exec = WorkflowExecution::new(wf, config, backend.now());
-        let submit = |job: JobId,
-                      attempt: u32,
-                      backend: &mut dyn ExecutionBackend,
-                      monitor: &mut dyn WorkflowMonitor| {
-            backend.submit(&wf.jobs[job], attempt);
-            let now = backend.now();
-            monitor.job_submitted(&wf.jobs[job], attempt, now);
-        };
         for job in exec.take_initial_ready() {
-            exec.note_submitted(job);
-            submit(job, 0, backend, monitor);
+            backend.submit(&wf.jobs[job], 0);
+            exec.note_submitted(job, backend.now());
         }
+        Self::forward(&mut exec, wf, monitor);
         while !exec.is_complete() {
             let ev = backend.wait_any();
-            monitor.job_terminated(&wf.jobs[ev.job], &ev);
             let resp = exec.on_event(&ev);
-            if let Some(r) = resp.retry {
-                monitor.job_retry(&wf.jobs[r.job], r.next_attempt, r.delay, &r.reason);
+            if let Some(r) = &resp.retry {
                 backend.submit_after(&wf.jobs[r.job], r.next_attempt, r.delay);
-                monitor.job_submitted(&wf.jobs[r.job], r.next_attempt, backend.now());
             }
-            for job in resp.newly_ready {
-                exec.note_submitted(job);
-                submit(job, 0, backend, monitor);
+            for &job in &resp.newly_ready {
+                backend.submit(&wf.jobs[job], 0);
+                exec.note_submitted(job, backend.now());
             }
+            Self::forward(&mut exec, wf, monitor);
             if resp.crashed {
                 break;
             }
@@ -918,6 +1020,18 @@ impl Engine {
         let run = exec.finish(backend.now());
         monitor.workflow_finished(!failed, run.wall_time);
         run
+    }
+
+    /// Bridges freshly emitted events onto the monitor callbacks.
+    fn forward(
+        exec: &mut WorkflowExecution,
+        wf: &ExecutableWorkflow,
+        monitor: &mut dyn WorkflowMonitor,
+    ) {
+        let mut sink = MonitorSink::new(&wf.jobs, monitor);
+        for ev in exec.drain_new_events() {
+            sink.event(ev);
+        }
     }
 }
 
@@ -1523,9 +1637,6 @@ mod tests {
         );
         assert_eq!(via_shim.wall_time, via_engine.wall_time);
         assert_eq!(via_shim.records.len(), via_engine.records.len());
-        let mut c = FaultCounters::default();
-        c.record("preempted:legacy");
-        assert_eq!(c.preemptions, 1);
     }
 
     #[test]

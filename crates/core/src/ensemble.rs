@@ -99,6 +99,11 @@ impl EnsembleConfig {
 }
 
 /// The result of an ensemble run.
+///
+/// Each member [`WorkflowRun`] carries its own provenance stream
+/// (`runs[i].events`), scoped to that workflow's jobs — so every
+/// member can be independently replayed, logged, and analysed offline,
+/// and [`crate::statistics::compute_ensemble`] is a fold over streams.
 #[derive(Debug, Clone)]
 pub struct EnsembleRun {
     /// Per-workflow results, in [`WorkflowSpec`] submission order.
@@ -298,12 +303,12 @@ pub fn run_ensemble_monitored(
                 member.started = true;
                 monitor.workflow_started(wf, &member.submit_jobs[job].name, backend.now());
             }
+            backend.submit(&member.submit_jobs[job], 0);
             member
                 .exec
                 .as_mut()
                 .expect("pending jobs only exist for live workflows")
-                .note_submitted(job);
-            backend.submit(&member.submit_jobs[job], 0);
+                .note_submitted(job, backend.now());
             member.in_flight += 1;
             member.admitted += 1;
             in_flight_total += 1;
@@ -594,6 +599,22 @@ mod tests {
         assert!(ens.succeeded());
         assert_eq!(ens.runs[0].wall_time, 0.0);
         assert!(ens.runs[1].wall_time > 0.0);
+    }
+
+    #[test]
+    fn members_carry_independent_replayable_event_streams() {
+        let specs = vec![
+            WorkflowSpec::new(diamond("w0"), cfg(1)),
+            WorkflowSpec::new(diamond("w1"), cfg(2)),
+        ];
+        let mut backend = ScriptedBackend::new();
+        backend.fail_plan.insert(("w1_b".into(), 0));
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(2));
+        assert!(ens.succeeded());
+        for run in &ens.runs {
+            let replayed = crate::events::replay(&run.events).expect("member streams replay");
+            assert_eq!(&replayed, run, "{}", run.name);
+        }
     }
 
     #[test]

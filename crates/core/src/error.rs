@@ -46,6 +46,13 @@ pub enum WmsError {
         /// Description of the problem.
         reason: String,
     },
+    /// An event-log file was malformed.
+    EventLogParse {
+        /// One-based line number (0 when unknown).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WmsError {
@@ -78,6 +85,9 @@ impl fmt::Display for WmsError {
             WmsError::RescueParse(reason) => write!(f, "rescue DAG parse error: {reason}"),
             WmsError::FaultPlanParse { line, reason } => {
                 write!(f, "fault plan parse error at line {line}: {reason}")
+            }
+            WmsError::EventLogParse { line, reason } => {
+                write!(f, "event log parse error at line {line}: {reason}")
             }
         }
     }

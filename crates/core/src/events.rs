@@ -1,0 +1,1155 @@
+//! The event-sourced provenance core.
+//!
+//! Pegasus derives every number it reports from one provenance chain:
+//! kickstart records are parsed by `pegasus-monitord` into a
+//! statistics database that `pegasus-statistics` and
+//! `pegasus-analyzer` later query offline. This module is that chain's
+//! equivalent: the engine emits one typed, append-only
+//! [`WorkflowEvent`] stream at every job state transition, and the
+//! downstream layers — [`crate::monitor`], [`crate::statistics`],
+//! [`crate::rescue`], [`crate::analyzer`], and the Condor job log —
+//! are pure consumers of it:
+//!
+//! * the stream rides along on every [`WorkflowRun`] (its `events`
+//!   field);
+//! * [`replay`] folds a stream back into a full [`WorkflowRun`], so
+//!   statistics, analysis, and rescue DAGs can be recomputed offline
+//!   from a log alone;
+//! * [`MonitorSink`] bridges events onto the historical
+//!   [`WorkflowMonitor`] callbacks, so existing monitors keep working
+//!   unchanged — live or replayed;
+//! * [`log`] is a line-oriented, hand-rolled text format (the same
+//!   idiom as the fault-plan format: one `keyword key=value...` line
+//!   per event, no serde) written by `pegasus run --events` and read
+//!   back by `pegasus statistics --from-events` / `pegasus analyze
+//!   --from-events`.
+//!
+//! Timestamps are backend seconds (simulated or real), exactly as the
+//! engine observed them; free-text fields (workflow and job names,
+//! failure details) must not contain newlines, and all other field
+//! values must be whitespace-free for the text format to round-trip.
+
+use crate::engine::{
+    CompletionEvent, FaultCounters, FaultReason, JobOutcome, JobRecord, JobState, JobTimes,
+    WorkflowMonitor, WorkflowOutcome, WorkflowRun,
+};
+use crate::error::WmsError;
+use crate::planner::{ExecutableJob, JobKind};
+use crate::rescue::RescueDag;
+use crate::workflow::JobId;
+
+/// One entry of the append-only provenance stream.
+///
+/// The engine emits these in strict causal order: a
+/// [`WorkflowStarted`] header, one [`JobDeclared`] per job (the
+/// manifest replay needs to reconstruct jobs that never ran), then the
+/// per-attempt lifecycle events, and finally one [`WorkflowFinished`]
+/// trailer.
+///
+/// [`WorkflowStarted`]: WorkflowEvent::WorkflowStarted
+/// [`JobDeclared`]: WorkflowEvent::JobDeclared
+/// [`WorkflowFinished`]: WorkflowEvent::WorkflowFinished
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowEvent {
+    /// The run began: the stream header carrying the workflow identity
+    /// and its execution site (events after this one omit the site).
+    WorkflowStarted {
+        /// Workflow name.
+        name: String,
+        /// Execution site handle.
+        site: String,
+        /// Number of jobs in the executable workflow.
+        jobs: usize,
+        /// Backend time at workflow start.
+        time: f64,
+    },
+    /// The static description of one job — emitted for *every* job up
+    /// front, so a replayed run has records even for jobs that never
+    /// became ready.
+    JobDeclared {
+        /// Job index in the executable workflow.
+        job: JobId,
+        /// Display name.
+        name: String,
+        /// Transformation name.
+        transformation: String,
+        /// Job role.
+        kind: JobKind,
+    },
+    /// The job was skipped because a rescue DAG marked it done.
+    Skipped {
+        /// Which job.
+        job: JobId,
+        /// Backend time of the skip (the workflow start).
+        time: f64,
+    },
+    /// An attempt was handed to the backend.
+    Submitted {
+        /// Which job.
+        job: JobId,
+        /// Which attempt (0-based).
+        attempt: u32,
+        /// Backend time of the submission.
+        time: f64,
+    },
+    /// The attempt acquired a slot and began its download/install
+    /// phase. Only emitted when the attempt had a non-empty install
+    /// phase.
+    InstallStarted {
+        /// Which job.
+        job: JobId,
+        /// Which attempt (0-based).
+        attempt: u32,
+        /// Backend time the slot was acquired.
+        time: f64,
+    },
+    /// The attempt began actual execution (its kickstart phase).
+    Started {
+        /// Which job.
+        job: JobId,
+        /// Which attempt (0-based).
+        attempt: u32,
+        /// Backend time execution began (== slot acquisition when
+        /// there was no install phase).
+        time: f64,
+    },
+    /// The attempt succeeded; the job is done.
+    Completed {
+        /// Which job.
+        job: JobId,
+        /// Which attempt (0-based).
+        attempt: u32,
+        /// Full timestamps of the successful attempt.
+        times: JobTimes,
+    },
+    /// The attempt failed for a non-timeout reason.
+    Failed {
+        /// Which job.
+        job: JobId,
+        /// Which attempt (0-based).
+        attempt: u32,
+        /// Typed failure category.
+        reason: FaultReason,
+        /// The backend's full wire-format reason string (e.g.
+        /// `"preempted:storm"`).
+        detail: String,
+        /// Timestamps of the failed attempt.
+        times: JobTimes,
+    },
+    /// The attempt exceeded the retry policy's per-attempt wall-clock
+    /// timeout (the typed category is always [`FaultReason::Timeout`]).
+    TimedOut {
+        /// Which job.
+        job: JobId,
+        /// Which attempt (0-based).
+        attempt: u32,
+        /// The backend's full wire-format reason string (e.g.
+        /// `"timeout: exceeded 600s"`).
+        detail: String,
+        /// Timestamps of the killed attempt.
+        times: JobTimes,
+    },
+    /// A failed attempt will be resubmitted after a backoff delay.
+    RetryScheduled {
+        /// Which job.
+        job: JobId,
+        /// The attempt number of the resubmission (0-based).
+        next_attempt: u32,
+        /// Backoff delay before the resubmission, in backend seconds.
+        backoff: f64,
+        /// Typed category of the failure being retried.
+        reason: FaultReason,
+        /// The failure's full wire-format reason string.
+        detail: String,
+        /// Backend time the retry was scheduled.
+        time: f64,
+    },
+    /// The run ended: the stream trailer.
+    WorkflowFinished {
+        /// `true` if every job completed.
+        succeeded: bool,
+        /// Workflow Wall Time, in backend seconds.
+        wall_time: f64,
+        /// Backend time at workflow end.
+        time: f64,
+    },
+}
+
+impl WorkflowEvent {
+    /// The backend timestamp this event carries: the terminal events'
+    /// `times.finished`, the explicit `time` elsewhere, and `None` for
+    /// the timeless [`WorkflowEvent::JobDeclared`] manifest entries.
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            WorkflowEvent::WorkflowStarted { time, .. }
+            | WorkflowEvent::Skipped { time, .. }
+            | WorkflowEvent::Submitted { time, .. }
+            | WorkflowEvent::InstallStarted { time, .. }
+            | WorkflowEvent::Started { time, .. }
+            | WorkflowEvent::RetryScheduled { time, .. }
+            | WorkflowEvent::WorkflowFinished { time, .. } => Some(*time),
+            WorkflowEvent::Completed { times, .. }
+            | WorkflowEvent::Failed { times, .. }
+            | WorkflowEvent::TimedOut { times, .. } => Some(times.finished),
+            WorkflowEvent::JobDeclared { .. } => None,
+        }
+    }
+}
+
+/// A consumer of the live event stream.
+///
+/// The engine's downstream layers implement this (directly or via
+/// [`MonitorSink`]); feeding a recorded stream back through a sink
+/// reproduces exactly what the live consumer saw.
+pub trait EventSink {
+    /// Consumes one event.
+    fn event(&mut self, ev: &WorkflowEvent);
+}
+
+/// The bridge from events to the historical [`WorkflowMonitor`]
+/// callbacks: `Submitted` → `job_submitted`, terminal events →
+/// `job_terminated`, `RetryScheduled` → `job_retry`, and
+/// `WorkflowFinished` → `workflow_finished`. Manifest and phase events
+/// (`WorkflowStarted`, `JobDeclared`, `Skipped`, `InstallStarted`,
+/// `Started`) have no callback equivalent and are ignored.
+///
+/// [`Engine::run`] drives its monitor through one of these, so a
+/// monitor fed a replayed stream observes the identical callback
+/// sequence — timestamps included — as it did live.
+///
+/// [`Engine::run`]: crate::engine::Engine::run
+pub struct MonitorSink<'a> {
+    jobs: &'a [ExecutableJob],
+    monitor: &'a mut dyn WorkflowMonitor,
+}
+
+impl<'a> MonitorSink<'a> {
+    /// Wraps `monitor`, resolving job ids against `jobs` (the
+    /// executable workflow's job list).
+    pub fn new(jobs: &'a [ExecutableJob], monitor: &'a mut dyn WorkflowMonitor) -> Self {
+        MonitorSink { jobs, monitor }
+    }
+}
+
+impl EventSink for MonitorSink<'_> {
+    fn event(&mut self, ev: &WorkflowEvent) {
+        match ev {
+            WorkflowEvent::Submitted { job, attempt, time } => {
+                self.monitor
+                    .job_submitted(&self.jobs[*job], *attempt, *time);
+            }
+            WorkflowEvent::Completed {
+                job,
+                attempt,
+                times,
+            } => {
+                let event = CompletionEvent {
+                    job: *job,
+                    attempt: *attempt,
+                    outcome: JobOutcome::Success,
+                    times: *times,
+                };
+                self.monitor.job_terminated(&self.jobs[*job], &event);
+            }
+            WorkflowEvent::Failed {
+                job,
+                attempt,
+                detail,
+                times,
+                ..
+            }
+            | WorkflowEvent::TimedOut {
+                job,
+                attempt,
+                detail,
+                times,
+            } => {
+                let event = CompletionEvent {
+                    job: *job,
+                    attempt: *attempt,
+                    outcome: JobOutcome::Failure(detail.clone()),
+                    times: *times,
+                };
+                self.monitor.job_terminated(&self.jobs[*job], &event);
+            }
+            WorkflowEvent::RetryScheduled {
+                job,
+                next_attempt,
+                backoff,
+                detail,
+                ..
+            } => {
+                self.monitor
+                    .job_retry(&self.jobs[*job], *next_attempt, *backoff, detail);
+            }
+            WorkflowEvent::WorkflowFinished {
+                succeeded,
+                wall_time,
+                ..
+            } => {
+                self.monitor.workflow_finished(*succeeded, *wall_time);
+            }
+            WorkflowEvent::WorkflowStarted { .. }
+            | WorkflowEvent::JobDeclared { .. }
+            | WorkflowEvent::Skipped { .. }
+            | WorkflowEvent::InstallStarted { .. }
+            | WorkflowEvent::Started { .. } => {}
+        }
+    }
+}
+
+fn replay_err(reason: String) -> WmsError {
+    WmsError::EventLogParse { line: 0, reason }
+}
+
+fn record_for(records: &mut [JobRecord], job: JobId) -> Result<&mut JobRecord, WmsError> {
+    let declared = records.len();
+    records.get_mut(job).ok_or_else(|| {
+        replay_err(format!(
+            "event references undeclared job {job} ({declared} declared)"
+        ))
+    })
+}
+
+/// Folds an event stream back into the [`WorkflowRun`] the engine
+/// produced live — job records, fault counters, wall time, and (on
+/// failure) the rescue DAG are all reconstructed, so
+/// [`crate::statistics::compute`], [`crate::analyzer::analyze`], and
+/// rescue resubmission work from a log alone.
+///
+/// A stream truncated before its `WorkflowFinished` trailer (a genuine
+/// submit-host crash, as opposed to the engine's *scripted* crash
+/// which still writes the trailer) replays as a failed run whose wall
+/// time ends at the last recorded event.
+///
+/// # Errors
+/// Returns [`WmsError::EventLogParse`] when the stream is not a valid
+/// engine emission: no `WorkflowStarted` header, out-of-order job
+/// declarations, or lifecycle events referencing undeclared jobs.
+pub fn replay(events: &[WorkflowEvent]) -> Result<WorkflowRun, WmsError> {
+    let mut header: Option<(String, String)> = None;
+    let mut start = 0.0f64;
+    let mut last_time = 0.0f64;
+    let mut finished: Option<(bool, f64)> = None;
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut faults = FaultCounters::default();
+
+    for ev in events {
+        if let Some(t) = ev.time() {
+            last_time = last_time.max(t);
+        }
+        match ev {
+            WorkflowEvent::WorkflowStarted {
+                name, site, time, ..
+            } => {
+                header = Some((name.clone(), site.clone()));
+                start = *time;
+            }
+            WorkflowEvent::JobDeclared {
+                job,
+                name,
+                transformation,
+                kind,
+            } => {
+                if *job != records.len() {
+                    return Err(replay_err(format!(
+                        "job {job} declared out of order (expected {})",
+                        records.len()
+                    )));
+                }
+                records.push(JobRecord {
+                    job: *job,
+                    name: name.clone(),
+                    transformation: transformation.clone(),
+                    kind: *kind,
+                    state: JobState::Unready,
+                    attempts: 0,
+                    times: None,
+                    failed_attempts: Vec::new(),
+                    failure_reasons: Vec::new(),
+                    failure_kinds: Vec::new(),
+                });
+            }
+            WorkflowEvent::Skipped { job, .. } => {
+                record_for(&mut records, *job)?.state = JobState::SkippedDone;
+            }
+            WorkflowEvent::Submitted { job, attempt, .. } => {
+                record_for(&mut records, *job)?.attempts = attempt + 1;
+            }
+            WorkflowEvent::InstallStarted { job, .. } | WorkflowEvent::Started { job, .. } => {
+                record_for(&mut records, *job)?;
+            }
+            WorkflowEvent::Completed { job, times, .. } => {
+                let rec = record_for(&mut records, *job)?;
+                rec.state = JobState::Done;
+                rec.times = Some(*times);
+            }
+            WorkflowEvent::Failed {
+                job,
+                reason,
+                detail,
+                times,
+                ..
+            } => {
+                faults.record_reason(*reason);
+                let rec = record_for(&mut records, *job)?;
+                rec.failed_attempts.push(*times);
+                rec.failure_reasons.push(detail.clone());
+                rec.failure_kinds.push(*reason);
+                rec.state = JobState::Failed;
+            }
+            WorkflowEvent::TimedOut {
+                job, detail, times, ..
+            } => {
+                faults.record_reason(FaultReason::Timeout);
+                let rec = record_for(&mut records, *job)?;
+                rec.failed_attempts.push(*times);
+                rec.failure_reasons.push(detail.clone());
+                rec.failure_kinds.push(FaultReason::Timeout);
+                rec.state = JobState::Failed;
+            }
+            WorkflowEvent::RetryScheduled { job, backoff, .. } => {
+                faults.retries += 1;
+                faults.backoff_wait += backoff;
+                // The failure above was not terminal after all: until
+                // the resubmission terminates, the job counts as not
+                // yet resolved — exactly the state a crashed live run
+                // records for in-flight retries.
+                record_for(&mut records, *job)?.state = JobState::Unready;
+            }
+            WorkflowEvent::WorkflowFinished {
+                succeeded,
+                wall_time,
+                ..
+            } => {
+                finished = Some((*succeeded, *wall_time));
+            }
+        }
+    }
+
+    let (name, site) =
+        header.ok_or_else(|| replay_err("stream has no workflow-started header".into()))?;
+    let (succeeded, wall_time) = finished.unwrap_or((false, last_time - start));
+    let outcome = if succeeded {
+        WorkflowOutcome::Success
+    } else {
+        let done: Vec<String> = records
+            .iter()
+            .filter(|r| matches!(r.state, JobState::Done | JobState::SkippedDone))
+            .map(|r| r.name.clone())
+            .collect();
+        WorkflowOutcome::Failed(RescueDag {
+            workflow_name: name.clone(),
+            site: site.clone(),
+            done,
+        })
+    };
+    Ok(WorkflowRun {
+        name,
+        site,
+        outcome,
+        wall_time,
+        records,
+        faults,
+        events: events.to_vec(),
+    })
+}
+
+/// Rebuilds the rescue DAG of a failed (or crashed/truncated) run from
+/// its event stream alone; `None` when the stream records a success.
+///
+/// # Errors
+/// Returns [`WmsError::EventLogParse`] when [`replay`] rejects the
+/// stream.
+pub fn rescue_from_events(events: &[WorkflowEvent]) -> Result<Option<RescueDag>, WmsError> {
+    Ok(match replay(events)?.outcome {
+        WorkflowOutcome::Failed(rescue) => Some(rescue),
+        WorkflowOutcome::Success => None,
+    })
+}
+
+pub mod log {
+    //! The line-oriented event-log text format.
+    //!
+    //! One event per line, `keyword key=value ...` in the same
+    //! hand-rolled idiom as the fault-plan format: whitespace-separated
+    //! `key=value` fields, `#` comments and blank lines skipped, parse
+    //! errors carry one-based line numbers. Free-text fields (`name=`,
+    //! `detail=`) are always the last field of their line and consume
+    //! the rest of it verbatim, so job names with spaces survive.
+    //! Timestamps are written with Rust's shortest round-tripping
+    //! float representation, so `parse(&write(events))` reproduces the
+    //! stream exactly.
+
+    use super::WorkflowEvent;
+    use crate::engine::{FaultReason, JobTimes};
+    use crate::error::WmsError;
+    use crate::planner::JobKind;
+    use std::fmt::Write as _;
+
+    /// The version-stamped comment heading every written log.
+    pub const HEADER: &str = "# pegasus event log v1";
+
+    /// Serializes an event stream to the text format, one line per
+    /// event under a version-comment header.
+    pub fn write(events: &[WorkflowEvent]) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        for ev in events {
+            write_event(&mut out, ev);
+        }
+        out
+    }
+
+    fn clean(text: &str) -> String {
+        // Newlines are the one thing the line format cannot carry.
+        text.replace(['\n', '\r'], " ")
+    }
+
+    fn write_event(out: &mut String, ev: &WorkflowEvent) {
+        match ev {
+            WorkflowEvent::WorkflowStarted {
+                name,
+                site,
+                jobs,
+                time,
+            } => {
+                writeln!(
+                    out,
+                    "workflow-started time={time} jobs={jobs} site={site} name={}",
+                    clean(name)
+                )
+            }
+            WorkflowEvent::JobDeclared {
+                job,
+                name,
+                transformation,
+                kind,
+            } => writeln!(
+                out,
+                "job id={job} kind={kind} transformation={transformation} name={}",
+                clean(name)
+            ),
+            WorkflowEvent::Skipped { job, time } => {
+                writeln!(out, "skipped time={time} job={job}")
+            }
+            WorkflowEvent::Submitted { job, attempt, time } => {
+                writeln!(out, "submitted time={time} job={job} attempt={attempt}")
+            }
+            WorkflowEvent::InstallStarted { job, attempt, time } => {
+                writeln!(
+                    out,
+                    "install-started time={time} job={job} attempt={attempt}"
+                )
+            }
+            WorkflowEvent::Started { job, attempt, time } => {
+                writeln!(out, "started time={time} job={job} attempt={attempt}")
+            }
+            WorkflowEvent::Completed {
+                job,
+                attempt,
+                times,
+            } => writeln!(
+                out,
+                "completed job={job} attempt={attempt} {}",
+                times_fields(times)
+            ),
+            WorkflowEvent::Failed {
+                job,
+                attempt,
+                reason,
+                detail,
+                times,
+            } => writeln!(
+                out,
+                "failed job={job} attempt={attempt} reason={} {} detail={}",
+                reason.prefix(),
+                times_fields(times),
+                clean(detail)
+            ),
+            WorkflowEvent::TimedOut {
+                job,
+                attempt,
+                detail,
+                times,
+            } => writeln!(
+                out,
+                "timed-out job={job} attempt={attempt} {} detail={}",
+                times_fields(times),
+                clean(detail)
+            ),
+            WorkflowEvent::RetryScheduled {
+                job,
+                next_attempt,
+                backoff,
+                reason,
+                detail,
+                time,
+            } => writeln!(
+                out,
+                "retry-scheduled time={time} job={job} next-attempt={next_attempt} \
+                 backoff={backoff} reason={} detail={}",
+                reason.prefix(),
+                clean(detail)
+            ),
+            WorkflowEvent::WorkflowFinished {
+                succeeded,
+                wall_time,
+                time,
+            } => writeln!(
+                out,
+                "workflow-finished time={time} wall-time={wall_time} succeeded={succeeded}"
+            ),
+        }
+        .expect("writing to a String cannot fail");
+    }
+
+    fn times_fields(t: &JobTimes) -> String {
+        format!(
+            "submitted={} started={} install-done={} finished={}",
+            t.submitted, t.started, t.install_done, t.finished
+        )
+    }
+
+    fn parse_err(line: usize, reason: impl Into<String>) -> WmsError {
+        WmsError::EventLogParse {
+            line,
+            reason: reason.into(),
+        }
+    }
+
+    fn fields(rest: &str, line: usize) -> Result<Vec<(&str, &str)>, WmsError> {
+        rest.split_whitespace()
+            .map(|tok| {
+                tok.split_once('=')
+                    .ok_or_else(|| parse_err(line, format!("expected key=value, got {tok:?}")))
+            })
+            .collect()
+    }
+
+    fn take<'a>(
+        fields: &[(&'a str, &'a str)],
+        key: &str,
+        line: usize,
+    ) -> Result<&'a str, WmsError> {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| parse_err(line, format!("missing field {key}")))
+    }
+
+    fn take_f64(fields: &[(&str, &str)], key: &str, line: usize) -> Result<f64, WmsError> {
+        let v = take(fields, key, line)?;
+        v.parse()
+            .map_err(|_| parse_err(line, format!("bad number {v:?} for {key}")))
+    }
+
+    fn take_u32(fields: &[(&str, &str)], key: &str, line: usize) -> Result<u32, WmsError> {
+        let v = take(fields, key, line)?;
+        v.parse()
+            .map_err(|_| parse_err(line, format!("bad integer {v:?} for {key}")))
+    }
+
+    fn take_usize(fields: &[(&str, &str)], key: &str, line: usize) -> Result<usize, WmsError> {
+        let v = take(fields, key, line)?;
+        v.parse()
+            .map_err(|_| parse_err(line, format!("bad integer {v:?} for {key}")))
+    }
+
+    fn take_bool(fields: &[(&str, &str)], key: &str, line: usize) -> Result<bool, WmsError> {
+        match take(fields, key, line)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(parse_err(line, format!("bad boolean {other:?} for {key}"))),
+        }
+    }
+
+    fn take_reason(fields: &[(&str, &str)], line: usize) -> Result<FaultReason, WmsError> {
+        match take(fields, "reason", line)? {
+            "preempted" => Ok(FaultReason::Preemption),
+            "evicted" => Ok(FaultReason::Eviction),
+            "install" => Ok(FaultReason::InstallFailure),
+            "timeout" => Ok(FaultReason::Timeout),
+            "error" => Ok(FaultReason::Other),
+            other => Err(parse_err(line, format!("unknown fault reason {other:?}"))),
+        }
+    }
+
+    fn take_kind(fields: &[(&str, &str)], line: usize) -> Result<JobKind, WmsError> {
+        match take(fields, "kind", line)? {
+            "create_dir" => Ok(JobKind::CreateDir),
+            "stage_in" => Ok(JobKind::StageIn),
+            "compute" => Ok(JobKind::Compute),
+            "stage_out" => Ok(JobKind::StageOut),
+            "cleanup" => Ok(JobKind::Cleanup),
+            other => Err(parse_err(line, format!("unknown job kind {other:?}"))),
+        }
+    }
+
+    fn take_times(fields: &[(&str, &str)], line: usize) -> Result<JobTimes, WmsError> {
+        Ok(JobTimes {
+            submitted: take_f64(fields, "submitted", line)?,
+            started: take_f64(fields, "started", line)?,
+            install_done: take_f64(fields, "install-done", line)?,
+            finished: take_f64(fields, "finished", line)?,
+        })
+    }
+
+    /// Splits off a free-text tail field (`marker` is e.g. `"name="`):
+    /// the head keeps the structured `key=value` fields, the tail is
+    /// the verbatim text after the first ` marker` occurrence.
+    fn split_tail<'a>(
+        rest: &'a str,
+        marker: &str,
+        line: usize,
+    ) -> Result<(&'a str, &'a str), WmsError> {
+        let pattern = format!(" {marker}");
+        if let Some(i) = rest.find(&pattern) {
+            Ok((&rest[..i], &rest[i + pattern.len()..]))
+        } else if let Some(tail) = rest.strip_prefix(marker) {
+            Ok(("", tail))
+        } else {
+            Err(parse_err(
+                line,
+                format!("missing field {}", marker.trim_end_matches('=')),
+            ))
+        }
+    }
+
+    /// Parses the text format back into an event stream.
+    ///
+    /// # Errors
+    /// Returns [`WmsError::EventLogParse`] with a one-based line
+    /// number on unknown keywords, missing or malformed fields.
+    pub fn parse(text: &str) -> Result<Vec<WorkflowEvent>, WmsError> {
+        let mut events = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (keyword, rest) = trimmed
+                .split_once(char::is_whitespace)
+                .unwrap_or((trimmed, ""));
+            events.push(parse_event(keyword, rest.trim_start(), line)?);
+        }
+        Ok(events)
+    }
+
+    fn parse_event(keyword: &str, rest: &str, line: usize) -> Result<WorkflowEvent, WmsError> {
+        match keyword {
+            "workflow-started" => {
+                let (head, name) = split_tail(rest, "name=", line)?;
+                let f = fields(head, line)?;
+                Ok(WorkflowEvent::WorkflowStarted {
+                    name: name.to_string(),
+                    site: take(&f, "site", line)?.to_string(),
+                    jobs: take_usize(&f, "jobs", line)?,
+                    time: take_f64(&f, "time", line)?,
+                })
+            }
+            "job" => {
+                let (head, name) = split_tail(rest, "name=", line)?;
+                let f = fields(head, line)?;
+                Ok(WorkflowEvent::JobDeclared {
+                    job: take_usize(&f, "id", line)?,
+                    name: name.to_string(),
+                    transformation: take(&f, "transformation", line)?.to_string(),
+                    kind: take_kind(&f, line)?,
+                })
+            }
+            "skipped" => {
+                let f = fields(rest, line)?;
+                Ok(WorkflowEvent::Skipped {
+                    job: take_usize(&f, "job", line)?,
+                    time: take_f64(&f, "time", line)?,
+                })
+            }
+            "submitted" => {
+                let f = fields(rest, line)?;
+                Ok(WorkflowEvent::Submitted {
+                    job: take_usize(&f, "job", line)?,
+                    attempt: take_u32(&f, "attempt", line)?,
+                    time: take_f64(&f, "time", line)?,
+                })
+            }
+            "install-started" => {
+                let f = fields(rest, line)?;
+                Ok(WorkflowEvent::InstallStarted {
+                    job: take_usize(&f, "job", line)?,
+                    attempt: take_u32(&f, "attempt", line)?,
+                    time: take_f64(&f, "time", line)?,
+                })
+            }
+            "started" => {
+                let f = fields(rest, line)?;
+                Ok(WorkflowEvent::Started {
+                    job: take_usize(&f, "job", line)?,
+                    attempt: take_u32(&f, "attempt", line)?,
+                    time: take_f64(&f, "time", line)?,
+                })
+            }
+            "completed" => {
+                let f = fields(rest, line)?;
+                Ok(WorkflowEvent::Completed {
+                    job: take_usize(&f, "job", line)?,
+                    attempt: take_u32(&f, "attempt", line)?,
+                    times: take_times(&f, line)?,
+                })
+            }
+            "failed" => {
+                let (head, detail) = split_tail(rest, "detail=", line)?;
+                let f = fields(head, line)?;
+                Ok(WorkflowEvent::Failed {
+                    job: take_usize(&f, "job", line)?,
+                    attempt: take_u32(&f, "attempt", line)?,
+                    reason: take_reason(&f, line)?,
+                    detail: detail.to_string(),
+                    times: take_times(&f, line)?,
+                })
+            }
+            "timed-out" => {
+                let (head, detail) = split_tail(rest, "detail=", line)?;
+                let f = fields(head, line)?;
+                Ok(WorkflowEvent::TimedOut {
+                    job: take_usize(&f, "job", line)?,
+                    attempt: take_u32(&f, "attempt", line)?,
+                    detail: detail.to_string(),
+                    times: take_times(&f, line)?,
+                })
+            }
+            "retry-scheduled" => {
+                let (head, detail) = split_tail(rest, "detail=", line)?;
+                let f = fields(head, line)?;
+                Ok(WorkflowEvent::RetryScheduled {
+                    job: take_usize(&f, "job", line)?,
+                    next_attempt: take_u32(&f, "next-attempt", line)?,
+                    backoff: take_f64(&f, "backoff", line)?,
+                    reason: take_reason(&f, line)?,
+                    detail: detail.to_string(),
+                    time: take_f64(&f, "time", line)?,
+                })
+            }
+            "workflow-finished" => {
+                let f = fields(rest, line)?;
+                Ok(WorkflowEvent::WorkflowFinished {
+                    succeeded: take_bool(&f, "succeeded", line)?,
+                    wall_time: take_f64(&f, "wall-time", line)?,
+                    time: take_f64(&f, "time", line)?,
+                })
+            }
+            other => Err(parse_err(line, format!("unknown event keyword {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::scripted::ScriptedBackend;
+    use crate::engine::{Engine, EngineConfig, RetryPolicy};
+    use crate::planner::{ExecutableJob, ExecutableWorkflow};
+
+    fn job(id: JobId, name: &str, runtime: f64, install: f64) -> ExecutableJob {
+        ExecutableJob {
+            id,
+            name: name.into(),
+            transformation: name.split('_').next().unwrap_or(name).to_string(),
+            kind: JobKind::Compute,
+            args: vec![],
+            runtime_hint: runtime,
+            install_hint: install,
+            source_jobs: vec![],
+        }
+    }
+
+    fn chain() -> ExecutableWorkflow {
+        ExecutableWorkflow {
+            name: "chain".into(),
+            site: "test".into(),
+            jobs: vec![
+                job(0, "a", 10.0, 0.0),
+                job(1, "b", 20.0, 3.0),
+                job(2, "c", 5.0, 0.0),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+        }
+    }
+
+    fn every_variant() -> Vec<WorkflowEvent> {
+        let times = JobTimes {
+            submitted: 1.25,
+            started: 2.5,
+            install_done: 4.75,
+            finished: 10.125,
+        };
+        vec![
+            WorkflowEvent::WorkflowStarted {
+                name: "blast2cap3 n300".into(),
+                site: "osg".into(),
+                jobs: 3,
+                time: 0.0,
+            },
+            WorkflowEvent::JobDeclared {
+                job: 0,
+                name: "stage_in_my file.txt".into(),
+                transformation: "transfer".into(),
+                kind: JobKind::StageIn,
+            },
+            WorkflowEvent::JobDeclared {
+                job: 1,
+                name: "run_cap3_0".into(),
+                transformation: "cap3".into(),
+                kind: JobKind::Compute,
+            },
+            WorkflowEvent::JobDeclared {
+                job: 2,
+                name: "cleanup".into(),
+                transformation: "rm".into(),
+                kind: JobKind::Cleanup,
+            },
+            WorkflowEvent::Skipped { job: 0, time: 0.0 },
+            WorkflowEvent::Submitted {
+                job: 1,
+                attempt: 0,
+                time: 1.25,
+            },
+            WorkflowEvent::InstallStarted {
+                job: 1,
+                attempt: 0,
+                time: 2.5,
+            },
+            WorkflowEvent::Started {
+                job: 1,
+                attempt: 0,
+                time: 4.75,
+            },
+            WorkflowEvent::Failed {
+                job: 1,
+                attempt: 0,
+                reason: FaultReason::Preemption,
+                detail: "preempted:storm".into(),
+                times,
+            },
+            WorkflowEvent::RetryScheduled {
+                job: 1,
+                next_attempt: 1,
+                backoff: 30.5,
+                reason: FaultReason::Preemption,
+                detail: "preempted:storm".into(),
+                time: 10.125,
+            },
+            WorkflowEvent::Submitted {
+                job: 1,
+                attempt: 1,
+                time: 10.125,
+            },
+            WorkflowEvent::TimedOut {
+                job: 1,
+                attempt: 1,
+                detail: "timeout: exceeded 600s".into(),
+                times,
+            },
+            WorkflowEvent::Completed {
+                job: 1,
+                attempt: 2,
+                times,
+            },
+            WorkflowEvent::WorkflowFinished {
+                succeeded: false,
+                wall_time: 100.5,
+                time: 100.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn log_round_trips_every_variant() {
+        let events = every_variant();
+        let text = log::write(&events);
+        assert!(text.starts_with(log::HEADER));
+        let back = log::parse(&text).expect("written logs parse");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn log_round_trips_awkward_floats() {
+        let events = vec![WorkflowEvent::WorkflowFinished {
+            succeeded: true,
+            wall_time: 0.1 + 0.2, // not representable exactly
+            time: 1e308,
+        }];
+        let back = log::parse(&log::write(&events)).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("frobnicate x=1\n", "unknown event keyword"),
+            ("submitted time=1 job=0\n", "missing field attempt"),
+            ("submitted time=x job=0 attempt=0\n", "bad number"),
+            ("submitted time=1 job=0 attempt\n", "key=value"),
+            (
+                "failed job=0 attempt=0 reason=gremlins submitted=0 started=0 \
+                 install-done=0 finished=0 detail=x\n",
+                "unknown fault reason",
+            ),
+            (
+                "job id=0 kind=wizard transformation=t name=n\n",
+                "unknown job kind",
+            ),
+            (
+                "workflow-finished time=1 wall-time=1 succeeded=maybe\n",
+                "bad boolean",
+            ),
+        ];
+        for (text, want) in cases {
+            let err = log::parse(&format!("# comment\n\n{text}")).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("line 3") && msg.contains(want),
+                "{text:?} -> {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reconstructs_a_live_run_exactly() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        be.fail_plan.insert(("b".into(), 1));
+        let cfg = EngineConfig::builder()
+            .policy(RetryPolicy::exponential(3, 7.0))
+            .build();
+        let run = Engine::run(&mut be, &wf, &cfg, &mut crate::engine::NoopMonitor);
+        assert!(run.succeeded());
+        let replayed = replay(&run.events).expect("engine streams replay");
+        assert_eq!(replayed, run);
+    }
+
+    #[test]
+    fn replay_reconstructs_failure_and_rescue() {
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        let run = Engine::run(
+            &mut be,
+            &wf,
+            &EngineConfig::default(),
+            &mut crate::engine::NoopMonitor,
+        );
+        assert!(!run.succeeded());
+        let replayed = replay(&run.events).unwrap();
+        assert_eq!(replayed, run);
+        let rescue = rescue_from_events(&run.events)
+            .unwrap()
+            .expect("failed run");
+        match &run.outcome {
+            WorkflowOutcome::Failed(live) => assert_eq!(&rescue, live),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_handles_rescue_skips() {
+        let wf = chain();
+        let cfg = EngineConfig::builder().skip_done(["a"]).build();
+        let run = Engine::run(
+            &mut ScriptedBackend::new(),
+            &wf,
+            &cfg,
+            &mut crate::engine::NoopMonitor,
+        );
+        let replayed = replay(&run.events).unwrap();
+        assert_eq!(replayed, run);
+        assert_eq!(replayed.records[0].state, JobState::SkippedDone);
+    }
+
+    #[test]
+    fn truncated_stream_replays_as_a_crashed_run() {
+        let wf = chain();
+        let run = Engine::run(
+            &mut ScriptedBackend::new(),
+            &wf,
+            &EngineConfig::default(),
+            &mut crate::engine::NoopMonitor,
+        );
+        assert!(run.succeeded());
+        // Chop the trailer off, as a real submit-host crash would.
+        let truncated = &run.events[..run.events.len() - 1];
+        let replayed = replay(truncated).unwrap();
+        assert!(!replayed.succeeded());
+        assert_eq!(replayed.wall_time, run.wall_time);
+        match replayed.outcome {
+            WorkflowOutcome::Failed(rescue) => {
+                assert_eq!(rescue.done, vec!["a", "b", "c"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_malformed_streams() {
+        assert!(replay(&[]).is_err());
+        let undeclared = [
+            WorkflowEvent::WorkflowStarted {
+                name: "w".into(),
+                site: "s".into(),
+                jobs: 0,
+                time: 0.0,
+            },
+            WorkflowEvent::Submitted {
+                job: 5,
+                attempt: 0,
+                time: 0.0,
+            },
+        ];
+        let err = replay(&undeclared).unwrap_err();
+        assert!(err.to_string().contains("undeclared job 5"), "{err}");
+    }
+
+    #[test]
+    fn monitor_bridge_reproduces_live_callbacks() {
+        #[derive(Default, PartialEq, Debug)]
+        struct Tape(Vec<String>);
+        impl WorkflowMonitor for Tape {
+            fn job_submitted(&mut self, job: &ExecutableJob, attempt: u32, now: f64) {
+                self.0.push(format!("submit:{}:{attempt}@{now}", job.name));
+            }
+            fn job_terminated(&mut self, job: &ExecutableJob, ev: &CompletionEvent) {
+                self.0.push(format!("done:{}:{:?}", job.name, ev.outcome));
+            }
+            fn job_retry(&mut self, job: &ExecutableJob, next: u32, delay: f64, reason: &str) {
+                self.0
+                    .push(format!("retry:{}:{next}:{delay}:{reason}", job.name));
+            }
+            fn workflow_finished(&mut self, succeeded: bool, wall: f64) {
+                self.0.push(format!("finished:{succeeded}@{wall}"));
+            }
+        }
+
+        let wf = chain();
+        let mut be = ScriptedBackend::new();
+        be.fail_plan.insert(("b".into(), 0));
+        let cfg = EngineConfig::builder()
+            .policy(RetryPolicy::exponential(2, 5.0))
+            .build();
+        let mut live = Tape::default();
+        let run = Engine::run(&mut be, &wf, &cfg, &mut live);
+        assert!(run.succeeded());
+
+        let mut offline = Tape::default();
+        {
+            let mut sink = MonitorSink::new(&wf.jobs, &mut offline);
+            for ev in &run.events {
+                sink.event(ev);
+            }
+        }
+        assert_eq!(offline, live);
+    }
+}

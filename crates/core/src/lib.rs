@@ -22,6 +22,11 @@
 //! * [`engine`] — a DAGMan-style scheduler generic over an
 //!   [`engine::ExecutionBackend`]: ready-set submission, per-job retry
 //!   policy, rescue-DAG generation on unrecoverable failure;
+//! * [`events`] — the provenance core: the typed, append-only
+//!   [`events::WorkflowEvent`] stream the engine emits at every state
+//!   transition, its line-oriented log format, and [`events::replay`]
+//!   which folds a log back into a [`WorkflowRun`] for offline
+//!   statistics, analysis, and rescue;
 //! * [`statistics`] — pegasus-statistics equivalents: Workflow Wall
 //!   Time, per-task Kickstart / Waiting / Download-Install breakdowns;
 //! * [`rescue`] — rescue DAGs: the re-submittable remainder of a
@@ -34,10 +39,12 @@
 pub mod analyzer;
 pub mod catalog;
 pub mod catalog_io;
+pub mod csv;
 pub mod dax;
 pub mod engine;
 pub mod ensemble;
 pub mod error;
+pub mod events;
 pub mod monitor;
 pub mod planner;
 pub mod prelude;
@@ -55,5 +62,6 @@ pub use engine::{
 };
 pub use ensemble::{run_ensemble, EnsembleConfig, EnsembleRun, WorkflowSpec};
 pub use error::WmsError;
+pub use events::{EventSink, MonitorSink, WorkflowEvent};
 pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
 pub use workflow::{AbstractWorkflow, Job, JobId, LogicalFile};

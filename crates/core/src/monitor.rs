@@ -141,10 +141,14 @@ impl TimelineMonitor {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("name,transformation,attempt,start_s,end_s,succeeded\n");
         for e in &self.entries {
-            out.push_str(&format!(
-                "{},{},{},{:.3},{:.3},{}\n",
-                e.name, e.transformation, e.attempt, e.start, e.end, e.succeeded
-            ));
+            out.push_str(&crate::csv::csv_row(&[
+                e.name.clone(),
+                e.transformation.clone(),
+                e.attempt.to_string(),
+                format!("{:.3}", e.start),
+                format!("{:.3}", e.end),
+                e.succeeded.to_string(),
+            ]));
         }
         out
     }

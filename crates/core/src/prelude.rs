@@ -19,6 +19,7 @@ pub use crate::ensemble::{
     run_ensemble, run_ensemble_monitored, EnsembleConfig, EnsembleMonitor, EnsembleRun,
     WorkflowSpec,
 };
+pub use crate::events::{replay, rescue_from_events, EventSink, MonitorSink, WorkflowEvent};
 pub use crate::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 pub use crate::planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
 pub use crate::rescue::RescueDag;

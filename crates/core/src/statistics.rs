@@ -10,6 +10,7 @@
 //! * **Download/Install Time** — software provisioning per task
 //!   (OSG only; zero wherever software is preinstalled).
 
+use crate::csv::csv_row;
 use crate::engine::{FaultCounters, JobState, WorkflowRun};
 use crate::ensemble::EnsembleRun;
 use std::collections::BTreeMap;
@@ -232,24 +233,21 @@ pub fn render_text(stats: &WorkflowStatistics) -> String {
 /// the machine-readable side of the report used by the figure
 /// harness.
 pub fn render_csv(stats: &WorkflowStatistics) -> String {
-    use std::fmt::Write as _;
     let mut out = String::from(
         "task_type,count,kickstart_total,kickstart_mean,kickstart_max,waiting_mean,waiting_max,install_total,install_mean\n",
     );
     for t in &stats.per_type {
-        let _ = writeln!(
-            out,
-            "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
-            t.transformation,
-            t.count,
-            t.kickstart_total,
-            t.kickstart_mean,
-            t.kickstart_max,
-            t.waiting_mean,
-            t.waiting_max,
-            t.install_total,
-            t.install_mean
-        );
+        out.push_str(&csv_row(&[
+            t.transformation.clone(),
+            t.count.to_string(),
+            format!("{:.3}", t.kickstart_total),
+            format!("{:.3}", t.kickstart_mean),
+            format!("{:.3}", t.kickstart_max),
+            format!("{:.3}", t.waiting_mean),
+            format!("{:.3}", t.waiting_max),
+            format!("{:.3}", t.install_total),
+            format!("{:.3}", t.install_mean),
+        ]));
     }
     out
 }
@@ -261,29 +259,28 @@ pub fn render_csv(stats: &WorkflowStatistics) -> String {
 /// byte-for-byte: two runs with the same seed and fault plan must
 /// produce identical summaries.
 pub fn render_summary_csv(stats: &WorkflowStatistics) -> String {
-    format!("{SUMMARY_CSV_HEADER}\n{}\n", summary_row(stats))
+    format!("{SUMMARY_CSV_HEADER}\n{}", summary_row(stats))
 }
 
-/// One data row in the summary-CSV schema (no trailing newline).
+/// One data row in the summary-CSV schema (with trailing newline).
 fn summary_row(stats: &WorkflowStatistics) -> String {
     let f = &stats.faults;
-    format!(
-        "{},{},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{:.3}",
-        stats.name,
-        stats.site,
-        stats.workflow_wall_time,
-        stats.cumulative_job_walltime,
-        stats.cumulative_badput,
-        stats.jobs_succeeded,
-        stats.jobs_failed,
-        stats.jobs_unready,
-        stats.retries,
-        f.preemptions,
-        f.evictions,
-        f.install_failures,
-        f.timeouts,
-        f.backoff_wait
-    )
+    csv_row(&[
+        stats.name.clone(),
+        stats.site.clone(),
+        format!("{:.3}", stats.workflow_wall_time),
+        format!("{:.3}", stats.cumulative_job_walltime),
+        format!("{:.3}", stats.cumulative_badput),
+        stats.jobs_succeeded.to_string(),
+        stats.jobs_failed.to_string(),
+        stats.jobs_unready.to_string(),
+        stats.retries.to_string(),
+        f.preemptions.to_string(),
+        f.evictions.to_string(),
+        f.install_failures.to_string(),
+        f.timeouts.to_string(),
+        format!("{:.3}", f.backoff_wait),
+    ])
 }
 
 /// Ensemble-level statistics: the per-workflow breakdowns plus the
@@ -377,12 +374,11 @@ pub fn compute_ensemble(ens: &EnsembleRun) -> EnsembleStatistics {
 /// This is the artifact the ensemble determinism test compares
 /// byte-for-byte across same-seed runs.
 pub fn render_ensemble_csv(stats: &EnsembleStatistics) -> String {
-    use std::fmt::Write as _;
     let mut out = format!("{SUMMARY_CSV_HEADER}\n");
     for w in &stats.per_workflow {
-        let _ = writeln!(out, "{}", summary_row(w));
+        out.push_str(&summary_row(w));
     }
-    let _ = writeln!(out, "{}", summary_row(&stats.rollup_row_stats()));
+    out.push_str(&summary_row(&stats.rollup_row_stats()));
     out
 }
 
@@ -464,6 +460,7 @@ mod tests {
             times: t,
             failed_attempts: vec![],
             failure_reasons: vec![],
+            failure_kinds: vec![],
         }
     }
 
@@ -489,6 +486,7 @@ mod tests {
                 ),
             ],
             faults: FaultCounters::default(),
+            events: vec![],
         }
     }
 
@@ -569,6 +567,15 @@ mod tests {
         assert!(csv.starts_with("name,site,wall_time"));
         assert!(csv.contains("w,sandhills,100.000"));
         assert!(csv.ends_with(",2,0,0,0,12.500\n"));
+    }
+
+    #[test]
+    fn summary_csv_quotes_awkward_names_via_shared_helper() {
+        let mut run = sample_run();
+        run.name = "w,v2".into();
+        let csv = render_summary_csv(&compute(&run));
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("\"w,v2\",sandhills,"), "{row}");
     }
 
     #[test]
@@ -662,6 +669,7 @@ mod tests {
             wall_time: 0.0,
             records: vec![],
             faults: FaultCounters::default(),
+            events: vec![],
         };
         let stats = compute(&run);
         assert_eq!(stats.cumulative_job_walltime, 0.0);

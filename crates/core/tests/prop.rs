@@ -7,6 +7,7 @@ use pegasus_wms::dax;
 use pegasus_wms::engine::scripted::ScriptedBackend;
 use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
 use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, WorkflowSpec};
+use pegasus_wms::events;
 use pegasus_wms::planner::{cluster_workflow, plan, JobKind, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
 use pegasus_wms::statistics::{compute, render_summary_csv};
@@ -228,6 +229,58 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Offline provenance equals live provenance: for any workflow
+    /// shape, fail plan, and retry budget, writing the event stream to
+    /// its text log, parsing it back, and replaying it reconstructs
+    /// the run exactly — same statistics CSVs, and (on failure) the
+    /// same rescue DAG text.
+    #[test]
+    fn event_log_round_trip_preserves_statistics_and_rescue(
+        layers in 1usize..4,
+        width in 1usize..4,
+        bits: u64,
+        fail_mask in 0u64..u64::MAX,
+        max_retries in 0u32..3,
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (sites, tc) = paper_catalogs();
+        let rc = ReplicaCatalog::new();
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.add_create_dir = false;
+        cfg.stage_data = false;
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
+
+        let mut be = ScriptedBackend::new();
+        for (i, j) in exec.jobs.iter().enumerate() {
+            let k = ((fail_mask >> ((i % 16) * 4)) & 0xF) as u32;
+            for attempt in 0..k.min(5) {
+                be.fail_plan.insert((j.name.clone(), attempt));
+            }
+        }
+        let run = Engine::run(
+            &mut be,
+            &exec,
+            &EngineConfig::builder().retries(max_retries).build(),
+            &mut NoopMonitor,
+        );
+
+        let text = events::log::write(&run.events);
+        let parsed = events::log::parse(&text).unwrap();
+        prop_assert_eq!(&parsed, &run.events);
+        let replayed = events::replay(&parsed).unwrap();
+        prop_assert_eq!(
+            render_summary_csv(&compute(&replayed)),
+            render_summary_csv(&compute(&run))
+        );
+        if let WorkflowOutcome::Failed(rescue) = &run.outcome {
+            let offline = events::rescue_from_events(&parsed)
+                .unwrap()
+                .expect("failed run must yield a rescue DAG");
+            prop_assert_eq!(offline.to_text(), rescue.to_text());
+        }
+        prop_assert_eq!(replayed, run);
     }
 
     /// Submit-host crash at an arbitrary event index, then resume from

@@ -819,6 +819,15 @@ mod tests {
             assert_eq!(a.failure_reasons, b.failure_reasons);
         }
         assert_eq!(runs[0].faults, runs[1].faults);
+        // The typed provenance stream is part of the deterministic
+        // surface: same seed + same plan write byte-identical event
+        // logs, and the log replays back to the run exactly.
+        assert_eq!(
+            pegasus_wms::events::log::write(&runs[0].events),
+            pegasus_wms::events::log::write(&runs[1].events)
+        );
+        let replayed = pegasus_wms::events::replay(&runs[0].events).unwrap();
+        assert_eq!(&replayed, &runs[0]);
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //!   platform (pegasus-run), with live status (pegasus-status),
 //!   statistics on success (pegasus-statistics), an analyzer report on
 //!   failure (pegasus-analyzer), and a rescue file for resubmission;
-//! * `pegasus statistics` — statistics of a run in CSV.
+//! * `pegasus statistics` — statistics of a run in CSV, either by
+//!   re-running the simulation or offline from a provenance event log
+//!   (`--from-events`);
+//! * `pegasus analyze` — pegasus-analyzer report recomputed offline
+//!   from an event log.
 //!
 //! Example session (mirrors §V of the paper):
 //!
@@ -27,6 +31,7 @@ use pegasus_wms::analyzer::analyze;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
 use pegasus_wms::engine::{Engine, EngineConfig, RetryPolicy, WorkflowOutcome};
+use pegasus_wms::events;
 use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
@@ -43,8 +48,10 @@ fn usage() -> ! {
          pegasus generate-workload --shape <montage|cybershake|epigenomics|ligo> --size <n> [--out <file>]\n  \
          pegasus catalogs [--out <file>]          (dump the built-in site/transformation/replica catalogs)\n  \
          pegasus plan --dax <file> --site <name> [--cluster <k>] [--data-reuse] [--cleanup] [--dot <file>] [--ascii]\n  \
-         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--fault-plan <file>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--quiet]\n  \
+         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--fault-plan <file>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--events <file>] [--quiet]\n  \
          pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>] [--fault-plan <file>]\n  \
+         pegasus statistics --from-events <file>  (recompute statistics offline from an event log)\n  \
+         pegasus analyze --from-events <file>     (pegasus-analyzer report offline from an event log)\n  \
          pegasus ensemble [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--slots <n>] [--out <csv>] [--quiet]"
     );
     std::process::exit(2);
@@ -307,6 +314,43 @@ fn ascii_dag(exec: &pegasus_wms::planner::ExecutableWorkflow) -> String {
     out
 }
 
+/// Reads and parses a provenance event log, then folds it back into a
+/// [`pegasus_wms::engine::WorkflowRun`] — the offline half of the
+/// `--events` / `--from-events` round trip.
+fn replay_run(path: &str) -> pegasus_wms::engine::WorkflowRun {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read event log {path}: {e}");
+        std::process::exit(1);
+    });
+    let evs = events::log::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bad event log {path}: {e}");
+        std::process::exit(1);
+    });
+    events::replay(&evs).unwrap_or_else(|e| {
+        eprintln!("cannot replay event log {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_statistics(args: &Args) -> ExitCode {
+    if let Some(path) = args.get("from-events") {
+        let run = replay_run(path);
+        print!("{}", render_csv(&compute(&run)));
+        return ExitCode::SUCCESS;
+    }
+    cmd_run(args, true)
+}
+
+fn cmd_analyze(args: &Args) -> ExitCode {
+    let run = replay_run(args.require("from-events"));
+    print!("{}", analyze(&run).render_text());
+    if run.succeeded() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn platform_for(site: &str, seed: u64) -> gridsim::PlatformModel {
     match site {
         "sandhills" => sandhills(),
@@ -497,6 +541,12 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
             println!("timeline written to {path}");
         }
     }
+    if let Some(path) = args.get("events") {
+        std::fs::write(path, events::log::write(&run.events)).expect("write event log");
+        if !csv_only {
+            println!("event log written to {path}");
+        }
+    }
 
     match &run.outcome {
         WorkflowOutcome::Success => ExitCode::SUCCESS,
@@ -527,7 +577,8 @@ fn main() -> ExitCode {
         "catalogs" => cmd_catalogs(&args),
         "plan" => cmd_plan(&args),
         "run" => cmd_run(&args, false),
-        "statistics" => cmd_run(&args, true),
+        "statistics" => cmd_statistics(&args),
+        "analyze" => cmd_analyze(&args),
         "ensemble" => cmd_ensemble(&args),
         "help" | "--help" | "-h" => usage(),
         other => {

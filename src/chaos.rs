@@ -9,7 +9,11 @@
 //! `time_scale` used for the pool's synthetic sleeps. Because every
 //! per-attempt decision is a pure function of `(seed, job, attempt)`,
 //! the kill/slowdown verdicts — and therefore the retry counts and
-//! failure reasons — replay identically on either backend.
+//! failure reasons — replay identically on either backend. On the
+//! simulator, where timestamps are deterministic too, this extends to
+//! the engine's typed provenance stream: the same seed and plan write
+//! a byte-identical `pegasus_wms::events` log (see
+//! `tests/events_replay.rs`).
 
 use condor::pool::{FaultInjector, FaultProbe, InjectedFault};
 use gridsim::{AttemptTiming, FaultScript};

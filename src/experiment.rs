@@ -121,6 +121,18 @@ pub struct ExperimentOutcome {
     pub stats: WorkflowStatistics,
 }
 
+impl ExperimentOutcome {
+    /// The run's provenance event log in the `--events` text format.
+    ///
+    /// Writing this to a file makes the whole experiment
+    /// re-analysable offline: `pegasus statistics --from-events` and
+    /// `pegasus analyze --from-events` recompute everything in
+    /// [`Self::stats`] from it without re-running the simulation.
+    pub fn event_log(&self) -> String {
+        pegasus_wms::events::log::write(&self.run.events)
+    }
+}
+
 /// Simulates the paper's experiment: the Fig. 2 workflow with `n`
 /// clusters, planned for `site` (`"sandhills"`, `"osg"`, or
 /// `"osg_prestaged"`), executed on the matching platform model.

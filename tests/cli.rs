@@ -133,6 +133,98 @@ fn pegasus_statistics_emits_csv() {
 }
 
 #[test]
+fn pegasus_offline_statistics_from_event_log() {
+    let dir = tmpdir("events");
+    let dax = dir.join("wf.dax");
+    let events = dir.join("run.events");
+    pegasus()
+        .args(["generate-dax", "--n", "8"])
+        .args(["--out", dax.to_str().unwrap()])
+        .status()
+        .unwrap();
+
+    // Live run on hostile OSG, recording the provenance event log.
+    let common = [
+        "--dax",
+        dax.to_str().unwrap(),
+        "--site",
+        "osg",
+        "--seed",
+        "11",
+        "--retries",
+        "10",
+    ];
+    let out = pegasus()
+        .arg("run")
+        .args(common)
+        .args(["--quiet", "--events", events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(events.exists());
+
+    // Live statistics (same deterministic sim) vs offline statistics
+    // recomputed from the log, with no simulation at all.
+    let live = pegasus().arg("statistics").args(common).output().unwrap();
+    assert!(live.status.success());
+    let offline = pegasus()
+        .args(["statistics", "--from-events", events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        offline.status.success(),
+        "{}",
+        String::from_utf8_lossy(&offline.stderr)
+    );
+    let live_csv = String::from_utf8_lossy(&live.stdout);
+    let offline_csv = String::from_utf8_lossy(&offline.stdout);
+    assert!(offline_csv.starts_with("task_type,"), "{offline_csv}");
+    assert_eq!(offline_csv, live_csv, "offline CSV must match the live run");
+
+    // The analyzer works offline too.
+    let out = pegasus()
+        .args(["analyze", "--from-events", events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pegasus-analyzer"), "{text}");
+    assert!(text.contains("SUCCESS"), "{text}");
+
+    // A failed run's log still replays: the analyzer reports FAILED
+    // and exits nonzero. (Calibrated n = 10 on hostile OSG with no
+    // retries reliably fails, as in the rescue-resume session test.)
+    let failing_dax = dir.join("failing.dax");
+    pegasus()
+        .args(["generate-dax", "--n", "10", "--calibrated"])
+        .args(["--out", failing_dax.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let failed_events = dir.join("failed.events");
+    let out = pegasus()
+        .args(["run", "--dax", failing_dax.to_str().unwrap()])
+        .args(["--site", "osg", "--retries", "0", "--seed", "7", "--quiet"])
+        .args(["--rescue-out", dir.join("wf.rescue").to_str().unwrap()])
+        .args(["--events", failed_events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "hostile run must fail");
+    let out = pegasus()
+        .args(["analyze", "--from-events", failed_events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "analyze mirrors the run's failure");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("hint:"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pegasus_workload_gallery_and_catalogs() {
     let dir = tmpdir("gallery");
     for shape in ["montage", "cybershake", "epigenomics", "ligo"] {

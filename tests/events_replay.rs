@@ -1,0 +1,97 @@
+//! Offline provenance at paper scale: the n = 300 blast2cap3 workflow
+//! under a scripted OSG preemption storm, with the event log written
+//! to text, parsed back, and replayed. The replayed run must
+//! reproduce the live per-task-type statistics CSV byte for byte —
+//! fault counters included — on both platforms, and a crashed run's
+//! rescue DAG must be recoverable from the log alone.
+
+use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
+use gridsim::{FaultPlan, FaultScript};
+use pegasus_wms::engine::{EngineConfig, RetryPolicy, WorkflowOutcome};
+use pegasus_wms::events;
+use pegasus_wms::statistics::{compute, render_csv, render_summary_csv};
+
+// The storm covers the heart of the n = 300 chunk-execution phase.
+const STORM: &str = "\
+plan osg-preemption-storm
+preemption-storm start=3000 duration=5000 kill-probability=0.5
+";
+
+const SEED: u64 = 20140519;
+
+fn storm_cfg() -> EngineConfig {
+    EngineConfig::builder()
+        .policy(RetryPolicy::exponential(10, 60.0))
+        .seed(SEED)
+        .build()
+}
+
+fn storm_run(site: &str) -> blast2cap3_pegasus::ExperimentOutcome {
+    let plan = FaultPlan::parse(STORM).expect("valid plan");
+    let script = FaultScript::new(plan, SEED);
+    simulate_blast2cap3_with(site, 300, SEED, &storm_cfg(), Some(script))
+}
+
+#[test]
+fn storm_statistics_survive_the_event_log_round_trip_on_both_platforms() {
+    for site in ["sandhills", "osg"] {
+        let live = storm_run(site);
+        assert!(live.run.succeeded(), "{site}: storm run must complete");
+        assert!(
+            live.stats.faults.preemptions > 0,
+            "{site}: the storm must actually preempt attempts: {:?}",
+            live.stats.faults
+        );
+
+        let text = events::log::write(&live.run.events);
+        let parsed = events::log::parse(&text).expect("parse event log");
+        assert_eq!(parsed, live.run.events, "{site}: log must round-trip");
+        let replayed = events::replay(&parsed).expect("replay");
+        let offline = compute(&replayed);
+        assert_eq!(
+            render_csv(&offline),
+            render_csv(&live.stats),
+            "{site}: per-task-type CSV from the log must match the live run"
+        );
+        assert_eq!(
+            render_summary_csv(&offline),
+            render_summary_csv(&live.stats),
+            "{site}: summary CSV (fault counters included) must match"
+        );
+    }
+}
+
+#[test]
+fn same_seed_and_plan_write_byte_identical_event_logs() {
+    let a = storm_run("osg");
+    let b = storm_run("osg");
+    assert_eq!(
+        events::log::write(&a.run.events),
+        events::log::write(&b.run.events),
+        "the event log is part of the deterministic replay surface"
+    );
+}
+
+#[test]
+fn crashed_run_rescue_is_recoverable_from_the_log_alone() {
+    const CRASHING_STORM: &str = "\
+plan osg-preemption-storm
+preemption-storm start=3000 duration=5000 kill-probability=0.5
+submit-host-crash after-events=150
+";
+    let plan = FaultPlan::parse(CRASHING_STORM).expect("valid plan");
+    let script = FaultScript::new(plan, SEED);
+    let mut cfg = storm_cfg();
+    cfg.crash_after_events = script.submit_host_crash_after();
+    let crashed = simulate_blast2cap3_with("osg", 300, SEED, &cfg, Some(script));
+    let live_rescue = match &crashed.run.outcome {
+        WorkflowOutcome::Failed(rescue) => rescue.clone(),
+        other => panic!("the scripted crash must leave a rescue DAG, got {other:?}"),
+    };
+
+    let parsed = events::log::parse(&events::log::write(&crashed.run.events)).expect("parse");
+    let offline_rescue = events::rescue_from_events(&parsed)
+        .expect("replay")
+        .expect("crashed run must yield a rescue DAG");
+    assert_eq!(offline_rescue.to_text(), live_rescue.to_text());
+}

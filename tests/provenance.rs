@@ -1,9 +1,10 @@
-//! Provenance chain integration: one simulated paper-scale run
-//! observed simultaneously by the status monitor, the timeline
-//! monitor, and the Condor user-log monitor — then cross-checked
-//! against the engine's own records and pegasus-statistics, the same
-//! consistency the real Pegasus stack relies on between monitord, the
-//! Condor log, and the statistics database.
+//! Provenance chain integration: one simulated paper-scale run emits
+//! a single typed event stream, and every downstream consumer —
+//! status monitor, timeline monitor, Condor user log, statistics,
+//! analyzer, even the engine's own records — is re-derivable from a
+//! replay of that stream. Where the old version of this test
+//! cross-checked five independently maintained reconstructions, it
+//! now reduces to assertions over one source of truth: the events.
 
 use blast2cap3::workflow::{build_workflow, WorkflowParams};
 use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
@@ -11,12 +12,13 @@ use condor::joblog::{EventCode, JobLogMonitor};
 use gridsim::platforms::osg;
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
-use pegasus_wms::engine::{Engine, EngineConfig, JobState};
+use pegasus_wms::engine::{Engine, EngineConfig};
+use pegasus_wms::events::{self, EventSink, MonitorSink, WorkflowEvent};
 use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
-use pegasus_wms::statistics::compute;
+use pegasus_wms::statistics::{compute, render_csv, render_summary_csv};
 
 #[test]
-fn monitors_joblog_and_statistics_agree() {
+fn every_consumer_is_a_fold_of_one_event_stream() {
     // A smallish calibrated workflow on the failure-prone OSG model,
     // so retries appear in the provenance.
     let cal = calibrate_workload(99);
@@ -53,84 +55,91 @@ fn monitors_joblog_and_statistics_agree() {
     };
     assert!(run.succeeded());
 
-    // --- status monitor vs engine records -------------------------
-    assert_eq!(status.done, exec.jobs.len());
-    assert_eq!(status.in_flight, 0);
-    assert_eq!(status.percent_done(), 100.0);
-    let total_attempts: u32 = run.records.iter().map(|r| r.attempts).sum();
-    assert_eq!(status.submissions as u32, total_attempts);
+    // --- the stream itself vs the engine's records -----------------
+    let submissions: u32 = run.records.iter().map(|r| r.attempts).sum();
+    let count = |pred: fn(&WorkflowEvent) -> bool| run.events.iter().filter(|e| pred(e)).count();
+    assert_eq!(
+        count(|e| matches!(e, WorkflowEvent::Submitted { .. })) as u32,
+        submissions
+    );
     let failed_attempts: usize = run.records.iter().map(|r| r.failed_attempts.len()).sum();
-    assert_eq!(status.failed_attempts, failed_attempts);
+    assert_eq!(
+        count(|e| matches!(
+            e,
+            WorkflowEvent::Failed { .. } | WorkflowEvent::TimedOut { .. }
+        )),
+        failed_attempts
+    );
+    assert_eq!(
+        count(|e| matches!(e, WorkflowEvent::Completed { .. })),
+        exec.jobs.len()
+    );
+    assert_eq!(
+        count(|e| matches!(e, WorkflowEvent::WorkflowFinished { .. })),
+        1
+    );
 
-    // --- timeline vs records ---------------------------------------
-    assert_eq!(timeline.entries.len() as u32, total_attempts);
-    let peak = timeline.peak_concurrency();
-    assert!((1..=gridsim::platforms::OSG_SLOTS).contains(&peak));
-    // Every successful record's interval appears in the timeline.
-    for rec in &run.records {
-        let t = rec.times.expect("all succeeded");
-        assert!(
-            timeline
-                .entries
-                .iter()
-                .any(|e| e.name == rec.name && e.succeeded && (e.end - t.finished).abs() < 1e-9),
-            "missing timeline entry for {}",
-            rec.name
-        );
-    }
+    // --- replay reconstructs the run exactly -----------------------
+    let replayed = events::replay(&run.events).expect("replay");
+    assert_eq!(replayed, run);
 
-    // --- job log round trip and interval reconciliation ------------
-    let text = joblog.to_text();
-    let parsed = JobLogMonitor::parse(&text).unwrap();
-    assert_eq!(parsed.len(), joblog.events.len());
-    for (a, b) in parsed.iter().zip(&joblog.events) {
-        assert_eq!(a.code, b.code);
-        assert_eq!(a.job, b.job);
-        assert_eq!(a.attempt, b.attempt);
-        // The text format carries millisecond precision.
-        assert!((a.time - b.time).abs() < 1e-3, "{} vs {}", a.time, b.time);
-        assert_eq!(a.note, b.note);
+    // --- the text log round-trips the stream exactly ----------------
+    let text = events::log::write(&run.events);
+    let parsed = events::log::parse(&text).expect("parse event log");
+    assert_eq!(parsed, run.events);
+
+    // --- live monitors are folds of the stream ----------------------
+    let mut status2 = StatusMonitor::new(exec.jobs.len());
+    let mut timeline2 = TimelineMonitor::new();
+    {
+        let mut multi = MultiMonitor::new();
+        multi.push(&mut status2);
+        multi.push(&mut timeline2);
+        let mut sink = MonitorSink::new(&exec.jobs, &mut multi);
+        for ev in &parsed {
+            sink.event(ev);
+        }
     }
-    let submits = joblog
-        .events
-        .iter()
-        .filter(|e| e.code == EventCode::Submit)
-        .count();
-    assert_eq!(submits as u32, total_attempts);
+    assert_eq!(status2.history, status.history);
+    assert_eq!(status2.done, status.done);
+    assert_eq!(status2.submissions, status.submissions);
+    assert_eq!(status2.failed_attempts, status.failed_attempts);
+    assert_eq!(status2.retries, status.retries);
+    assert_eq!(status2.backoff_wait, status.backoff_wait);
+    assert_eq!(timeline2.entries, timeline.entries);
+    assert_eq!(timeline2.peak_concurrency(), timeline.peak_concurrency());
+
+    // --- the Condor user log is a fold of the stream ----------------
+    let offline_log = JobLogMonitor::from_events(&exec.jobs, &parsed);
+    assert_eq!(offline_log.events, joblog.events);
+    assert_eq!(offline_log.to_text(), joblog.to_text());
     // Preemptions are machine-initiated, so they log as Condor "004"
     // evicted events, not aborts.
-    let evictions = joblog
+    let evictions = offline_log
         .events
         .iter()
         .filter(|e| e.code == EventCode::Evicted)
         .count();
     assert_eq!(evictions, failed_attempts, "every preemption is logged");
     assert!(
-        joblog.events.iter().all(|e| e.code != EventCode::Aborted),
+        offline_log
+            .events
+            .iter()
+            .all(|e| e.code != EventCode::Aborted),
         "no user aborts in this run"
     );
-    let intervals = joblog.execution_intervals();
-    assert_eq!(intervals.len() as u32, total_attempts);
 
-    // --- statistics consistency -------------------------------------
-    let stats = compute(&run);
-    assert_eq!(stats.retries as usize, failed_attempts);
-    // Cumulative kickstart equals the successful intervals minus the
-    // install phases.
-    let success_exec: f64 = run
-        .records
-        .iter()
-        .filter_map(|r| r.times)
-        .map(|t| t.kickstart())
-        .sum();
-    assert!((stats.cumulative_job_walltime - success_exec).abs() < 1e-6);
-    assert!(stats.cumulative_badput > 0.0, "preemptions imply badput");
-    // Everything the stats claim succeeded really is Done.
+    // --- statistics from the replay match the live run --------------
+    let live = compute(&run);
+    let offline = compute(&replayed);
+    assert_eq!(render_csv(&offline), render_csv(&live));
+    assert_eq!(render_summary_csv(&offline), render_summary_csv(&live));
+    assert_eq!(live.retries as usize, failed_attempts);
+    assert!(live.cumulative_badput > 0.0, "preemptions imply badput");
+
+    // --- the analyzer agrees too ------------------------------------
     assert_eq!(
-        stats.jobs_succeeded,
-        run.records
-            .iter()
-            .filter(|r| r.state == JobState::Done)
-            .count()
+        pegasus_wms::analyzer::analyze(&replayed),
+        pegasus_wms::analyzer::analyze(&run)
     );
 }
