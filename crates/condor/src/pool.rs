@@ -512,6 +512,43 @@ mod tests {
     }
 
     #[test]
+    fn kernel_failures_land_as_labelled_fault_counters() {
+        use pegasus_wms::metrics::{names, MetricsMonitor, MetricsRegistry};
+        let mut reg = TaskRegistry::new();
+        reg.register("flaky", |ctx| {
+            if ctx.attempt < 2 {
+                Err("transient".into())
+            } else {
+                Ok(())
+            }
+        });
+        let wf = ExecutableWorkflow {
+            name: "w".into(),
+            site: "local".into(),
+            jobs: vec![job(0, "f", "flaky")],
+            edges: vec![],
+        };
+        let mut pool = LocalPool::new(pool_config(), reg);
+        let mut registry = MetricsRegistry::new();
+        let run = {
+            let mut mon = MetricsMonitor::new(&mut registry, "local", "1");
+            Engine::run(
+                &mut pool,
+                &wf,
+                &EngineConfig::builder().retries(3).build(),
+                &mut mon,
+            )
+        };
+        assert!(run.succeeded());
+        let labels = [("site", "local"), ("n", "1"), ("reason", "error")];
+        assert_eq!(registry.value(names::FAILURES, &labels), Some(2.0));
+        assert_eq!(registry.value(names::RETRIES, &labels), Some(2.0));
+        assert!(registry
+            .render()
+            .contains("pegasus_job_failures_total{n=\"1\",reason=\"error\",site=\"local\"} 2"));
+    }
+
+    #[test]
     fn panics_are_contained_as_failures() {
         let mut reg = TaskRegistry::new();
         reg.register("boom", |_ctx| panic!("kaboom"));

@@ -238,34 +238,6 @@ impl EngineConfig {
     pub fn builder() -> EngineConfigBuilder {
         EngineConfigBuilder::default()
     }
-
-    /// Config with a flat retry budget and nothing pre-completed.
-    #[deprecated(note = "use `EngineConfig::builder().retries(n).build()`")]
-    pub fn with_retries(max_retries: u32) -> Self {
-        EngineConfig {
-            retry: RetryPolicy::flat(max_retries),
-            ..Default::default()
-        }
-    }
-
-    /// Config with a full retry policy.
-    #[deprecated(note = "use `EngineConfig::builder().policy(p).build()`")]
-    pub fn with_policy(retry: RetryPolicy) -> Self {
-        EngineConfig {
-            retry,
-            ..Default::default()
-        }
-    }
-
-    /// Config resuming from a rescue DAG.
-    #[deprecated(note = "use `EngineConfig::builder().retries(n).rescue(&dag).build()`")]
-    pub fn resuming(max_retries: u32, rescue: &RescueDag) -> Self {
-        EngineConfig {
-            retry: RetryPolicy::flat(max_retries),
-            skip_done: rescue.done.iter().cloned().collect(),
-            ..Default::default()
-        }
-    }
 }
 
 /// Fluent builder behind [`EngineConfig::builder`], replacing the
@@ -1035,28 +1007,6 @@ impl Engine {
     }
 }
 
-/// Executes `wf` on `backend` under `config`.
-#[deprecated(note = "use `Engine::run(backend, wf, config, &mut NoopMonitor)`")]
-pub fn run_workflow(
-    wf: &ExecutableWorkflow,
-    backend: &mut dyn ExecutionBackend,
-    config: &EngineConfig,
-) -> WorkflowRun {
-    Engine::run(backend, wf, config, &mut NoopMonitor)
-}
-
-/// Executes `wf` on `backend` under `config`, reporting progress to
-/// `monitor`.
-#[deprecated(note = "use `Engine::run(backend, wf, config, monitor)`")]
-pub fn run_workflow_monitored(
-    wf: &ExecutableWorkflow,
-    backend: &mut dyn ExecutionBackend,
-    config: &EngineConfig,
-    monitor: &mut dyn WorkflowMonitor,
-) -> WorkflowRun {
-    Engine::run(backend, wf, config, monitor)
-}
-
 pub mod scripted {
     //! A deterministic in-memory backend for tests and examples:
     //! jobs take `runtime_hint` simulated seconds on unlimited slots,
@@ -1588,22 +1538,17 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_constructors() {
-        #[allow(deprecated)]
-        let legacy = (
-            EngineConfig::with_retries(4),
-            EngineConfig::with_policy(RetryPolicy::exponential(2, 5.0)),
-        );
+    fn builder_composes_every_field() {
         assert_eq!(
             EngineConfig::builder().retries(4).build().retry,
-            legacy.0.retry
+            RetryPolicy::flat(4)
         );
         assert_eq!(
             EngineConfig::builder()
                 .policy(RetryPolicy::exponential(2, 5.0))
                 .build()
                 .retry,
-            legacy.1.retry
+            RetryPolicy::exponential(2, 5.0)
         );
         let cfg = EngineConfig::builder()
             .retries(3)
@@ -1620,23 +1565,6 @@ mod tests {
         assert_eq!(cfg.retry.jitter, 0.2);
         assert_eq!(cfg.seed, 2014);
         assert_eq!(cfg.crash_after_events, Some(7));
-    }
-
-    /// The deprecated entry points must keep working verbatim for
-    /// out-of-tree callers until they migrate.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_engine_run() {
-        let wf = chain();
-        let via_shim = run_workflow(&wf, &mut ScriptedBackend::new(), &EngineConfig::default());
-        let via_engine = Engine::run(
-            &mut ScriptedBackend::new(),
-            &wf,
-            &EngineConfig::default(),
-            &mut NoopMonitor,
-        );
-        assert_eq!(via_shim.wall_time, via_engine.wall_time);
-        assert_eq!(via_shim.records.len(), via_engine.records.len());
     }
 
     #[test]

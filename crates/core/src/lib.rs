@@ -27,6 +27,14 @@
 //!   transition, its line-oriented log format, and [`events::replay`]
 //!   which folds a log back into a [`WorkflowRun`] for offline
 //!   statistics, analysis, and rescue;
+//! * [`metrics`] — a dependency-free registry of labelled counters,
+//!   gauges, and fixed-bucket histograms rendered in the Prometheus
+//!   text exposition format, populated live by a
+//!   [`metrics::MetricsMonitor`] or offline from an event stream;
+//! * [`breakdown`] — the per-task phase profiler: folds any event
+//!   stream into `queue-wait → install → kickstart → post-overhead →
+//!   retry-badput` spans and per-site/per-n breakdown tables (the
+//!   paper's Fig. 7–8 decomposition);
 //! * [`statistics`] — pegasus-statistics equivalents: Workflow Wall
 //!   Time, per-task Kickstart / Waiting / Download-Install breakdowns;
 //! * [`rescue`] — rescue DAGs: the re-submittable remainder of a
@@ -37,6 +45,7 @@
 //! opportunistic-grid platforms.
 
 pub mod analyzer;
+pub mod breakdown;
 pub mod catalog;
 pub mod catalog_io;
 pub mod csv;
@@ -45,6 +54,7 @@ pub mod engine;
 pub mod ensemble;
 pub mod error;
 pub mod events;
+pub mod metrics;
 pub mod monitor;
 pub mod planner;
 pub mod prelude;
@@ -54,8 +64,6 @@ pub mod synthetic;
 pub mod workflow;
 
 pub use catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
-#[allow(deprecated)]
-pub use engine::run_workflow;
 pub use engine::{
     CompletionEvent, Engine, EngineConfig, ExecutionBackend, FaultCounters, FaultReason,
     RetryPolicy, WorkflowRun,

@@ -308,6 +308,114 @@ mod tests {
     }
 
     #[test]
+    fn zero_job_workflow_finishes_at_100_percent() {
+        use crate::engine::scripted::ScriptedBackend;
+        use crate::engine::{Engine, EngineConfig};
+        use crate::planner::ExecutableWorkflow;
+
+        let wf = ExecutableWorkflow {
+            name: "empty".into(),
+            site: "test".into(),
+            jobs: vec![],
+            edges: vec![],
+        };
+        let mut m = StatusMonitor::new(wf.jobs.len());
+        let run = Engine::run(
+            &mut ScriptedBackend::new(),
+            &wf,
+            &EngineConfig::default(),
+            &mut m,
+        );
+        assert!(run.succeeded());
+        assert_eq!(m.percent_done(), 100.0);
+        assert_eq!(m.submissions, 0);
+        assert_eq!(m.in_flight, 0);
+        // No state changes → no history entries, but the status line
+        // still renders sensibly.
+        assert!(m.history.is_empty());
+        assert!(
+            m.status_line().contains("100.0% done"),
+            "{}",
+            m.status_line()
+        );
+        assert!(m.status_line().contains("0/0 jobs"), "{}", m.status_line());
+    }
+
+    #[test]
+    fn peak_concurrency_breaks_simultaneous_ties() {
+        // Three intervals share t = 5 as both an end and two starts:
+        // the ending attempt must not be counted alongside them.
+        let mut t = TimelineMonitor::new();
+        t.job_terminated(&job(0, "a"), &event(0, 0.0, 5.0, true));
+        t.job_terminated(&job(1, "b"), &event(1, 5.0, 10.0, true));
+        t.job_terminated(&job(2, "c"), &event(2, 5.0, 10.0, true));
+        assert_eq!(t.peak_concurrency(), 2);
+
+        // Identical intervals all count simultaneously...
+        let mut t = TimelineMonitor::new();
+        for id in 0..3 {
+            t.job_terminated(&job(id, "x"), &event(id, 0.0, 5.0, true));
+        }
+        assert_eq!(t.peak_concurrency(), 3);
+
+        // ...including zero-width ones, where the start still sorts
+        // after the end at the same instant (net zero, peak from the
+        // longer-lived neighbour only).
+        let mut t = TimelineMonitor::new();
+        t.job_terminated(&job(0, "a"), &event(0, 5.0, 5.0, true));
+        t.job_terminated(&job(1, "b"), &event(1, 0.0, 10.0, true));
+        assert_eq!(t.peak_concurrency(), 1);
+    }
+
+    #[test]
+    fn multi_monitor_preserves_push_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Tagged(&'static str, Rc<RefCell<Vec<String>>>);
+        impl WorkflowMonitor for Tagged {
+            fn job_submitted(&mut self, _job: &ExecutableJob, _attempt: u32, _now: f64) {
+                self.1.borrow_mut().push(format!("{}:submit", self.0));
+            }
+            fn job_terminated(&mut self, _job: &ExecutableJob, _event: &CompletionEvent) {
+                self.1.borrow_mut().push(format!("{}:done", self.0));
+            }
+            fn job_retry(&mut self, _job: &ExecutableJob, _next: u32, _delay: f64, _r: &str) {
+                self.1.borrow_mut().push(format!("{}:retry", self.0));
+            }
+            fn workflow_finished(&mut self, _succeeded: bool, _wall: f64) {
+                self.1.borrow_mut().push(format!("{}:finished", self.0));
+            }
+        }
+
+        let tape = Rc::new(RefCell::new(Vec::new()));
+        let mut first = Tagged("first", Rc::clone(&tape));
+        let mut second = Tagged("second", Rc::clone(&tape));
+        {
+            let mut multi = MultiMonitor::new();
+            multi.push(&mut first);
+            multi.push(&mut second);
+            multi.job_submitted(&job(0, "a"), 0, 0.0);
+            multi.job_retry(&job(0, "a"), 1, 1.0, "error");
+            multi.job_terminated(&job(0, "a"), &event(0, 0.0, 3.0, true));
+            multi.workflow_finished(true, 3.0);
+        }
+        assert_eq!(
+            *tape.borrow(),
+            vec![
+                "first:submit",
+                "second:submit",
+                "first:retry",
+                "second:retry",
+                "first:done",
+                "second:done",
+                "first:finished",
+                "second:finished",
+            ]
+        );
+    }
+
+    #[test]
     fn multi_monitor_fans_out() {
         let mut status = StatusMonitor::new(1);
         let mut timeline = TimelineMonitor::new();

@@ -9,6 +9,7 @@
 //! assert_eq!(config.retry.max_attempts, 4);
 //! ```
 
+pub use crate::breakdown::{BreakdownRow, JobSpan};
 pub use crate::catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
 pub use crate::engine::{
     CompletionEvent, Engine, EngineConfig, EngineConfigBuilder, ExecutionBackend, FaultCounters,
@@ -20,6 +21,7 @@ pub use crate::ensemble::{
     WorkflowSpec,
 };
 pub use crate::events::{replay, rescue_from_events, EventSink, MonitorSink, WorkflowEvent};
+pub use crate::metrics::{MetricsMonitor, MetricsRegistry};
 pub use crate::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 pub use crate::planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
 pub use crate::rescue::RescueDag;

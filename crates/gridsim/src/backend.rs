@@ -641,6 +641,43 @@ mod tests {
     }
 
     #[test]
+    fn preemptions_land_as_labelled_fault_counters() {
+        use pegasus_wms::metrics::{names, MetricsMonitor, MetricsRegistry};
+        // Same hostile platform as above: every attempt is preempted,
+        // the run fails, and each preemption must land in the registry
+        // under its typed `reason` label.
+        let mut p = PlatformModel::uniform("hostile", 1, 1.0);
+        p.preemption_rate = 1.0;
+        let mut be = SimBackend::new(p, 3);
+        let wf = independent(vec![job(0, 1000.0, 0.0)]);
+        let mut registry = MetricsRegistry::new();
+        let run = {
+            let mut mon = MetricsMonitor::new(&mut registry, "sim", "1");
+            Engine::run(
+                &mut be,
+                &wf,
+                &EngineConfig::builder().retries(3).build(),
+                &mut mon,
+            )
+        };
+        assert!(!run.succeeded());
+        let labels = [("site", "sim"), ("n", "1"), ("reason", "preempted")];
+        assert_eq!(
+            registry.value(names::FAILURES, &labels),
+            Some(4.0),
+            "initial attempt + 3 retries, all preempted"
+        );
+        assert_eq!(
+            registry.value(names::RETRIES, &labels),
+            Some(3.0),
+            "each failure but the last schedules a retry"
+        );
+        assert!(registry
+            .render()
+            .contains("pegasus_job_failures_total{n=\"1\",reason=\"preempted\",site=\"sim\"} 4"));
+    }
+
+    #[test]
     fn heavy_preemption_exhausts_retries() {
         let mut p = PlatformModel::uniform("hostile", 1, 1.0);
         p.preemption_rate = 1.0; // mean preemption after 1s

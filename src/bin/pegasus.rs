@@ -13,7 +13,11 @@
 //!   re-running the simulation or offline from a provenance event log
 //!   (`--from-events`);
 //! * `pegasus analyze` — pegasus-analyzer report recomputed offline
-//!   from an event log.
+//!   from an event log;
+//! * `pegasus breakdown` — the paper's Fig. 7–8 per-task phase
+//!   decomposition per site/per n, live or `--from-events`;
+//! * `pegasus metrics` — the metrics registry in Prometheus text
+//!   exposition format, live or `--from-events`.
 //!
 //! Example session (mirrors §V of the paper):
 //!
@@ -28,10 +32,12 @@ use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs}
 use gridsim::platforms::{osg, osg_prestaged, sandhills};
 use gridsim::{FaultPlan, FaultScript, SimBackend};
 use pegasus_wms::analyzer::analyze;
+use pegasus_wms::breakdown;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
 use pegasus_wms::engine::{Engine, EngineConfig, RetryPolicy, WorkflowOutcome};
 use pegasus_wms::events;
+use pegasus_wms::metrics::{self, MetricsMonitor, MetricsRegistry};
 use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
@@ -48,11 +54,15 @@ fn usage() -> ! {
          pegasus generate-workload --shape <montage|cybershake|epigenomics|ligo> --size <n> [--out <file>]\n  \
          pegasus catalogs [--out <file>]          (dump the built-in site/transformation/replica catalogs)\n  \
          pegasus plan --dax <file> --site <name> [--cluster <k>] [--data-reuse] [--cleanup] [--dot <file>] [--ascii]\n  \
-         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--fault-plan <file>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--events <file>] [--quiet]\n  \
+         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--fault-plan <file>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--events <file>] [--metrics <prom>] [--quiet]\n  \
          pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>] [--fault-plan <file>]\n  \
          pegasus statistics --from-events <file>  (recompute statistics offline from an event log)\n  \
          pegasus analyze --from-events <file>     (pegasus-analyzer report offline from an event log)\n  \
-         pegasus ensemble [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--slots <n>] [--out <csv>] [--quiet]"
+         pegasus ensemble [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--slots <n>] [--out <csv>] [--metrics <prom>] [--quiet]\n  \
+         pegasus breakdown [--site <both|sandhills|osg|osg_prestaged>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--out <csv>] [--events-dir <dir>] [--quiet]\n  \
+         pegasus breakdown --from-events <file,file,...> [--out <csv>] [--quiet]\n  \
+         pegasus metrics [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--out <prom>]\n  \
+         pegasus metrics --from-events <file,file,...> [--out <prom>]"
     );
     std::process::exit(2);
 }
@@ -377,16 +387,8 @@ fn retry_policy_from(args: &Args, retries: u32) -> RetryPolicy {
     policy
 }
 
-/// `pegasus ensemble` — the paper's decomposition sweep as one
-/// ensemble: every `--sizes` entry becomes its own blast2cap3 workflow
-/// and all of them run concurrently over the shared simulated
-/// platform, under one seed and one slot budget.
-fn cmd_ensemble(args: &Args) -> ExitCode {
-    use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble;
-
-    let site = args.get("site").unwrap_or("sandhills");
-    let seed: u64 = args.parsed("seed", 20140519u64);
-    let retries: u32 = args.parsed("retries", 3u32);
+/// Parses `--sizes 10,100,...` (default: the paper's Fig. 4 sweep).
+fn sizes_from(args: &Args) -> Vec<usize> {
     let sizes: Vec<usize> = match args.get("sizes") {
         Some(list) => list
             .split(',')
@@ -397,13 +399,157 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
                 })
             })
             .collect(),
-        // The paper's Fig. 4 sweep.
         None => vec![10, 100, 300, 500],
     };
     if sizes.is_empty() {
         eprintln!("--sizes must name at least one decomposition");
         usage();
     }
+    sizes
+}
+
+/// Reads and parses one or more comma-separated event logs.
+fn parse_event_logs(list: &str) -> Vec<Vec<pegasus_wms::events::WorkflowEvent>> {
+    list.split(',')
+        .map(|path| {
+            let path = path.trim();
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read event log {path}: {e}");
+                std::process::exit(1);
+            });
+            events::log::parse(&text).unwrap_or_else(|e| {
+                eprintln!("bad event log {path}: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect()
+}
+
+/// The sweep sites behind `--site both` (the default for `breakdown`
+/// and `metrics`).
+fn sweep_sites(args: &Args) -> Vec<String> {
+    match args.get("site").unwrap_or("both") {
+        "both" => vec!["sandhills".to_string(), "osg".to_string()],
+        site => vec![site.to_string()],
+    }
+}
+
+/// `pegasus breakdown` — the paper's Fig. 7–8 per-task phase
+/// decomposition (queue-wait / install / kickstart / post-overhead /
+/// retry-badput) per site and per n, computed from the provenance
+/// event stream alone: either a fresh deterministic sweep or, with
+/// `--from-events`, recorded logs with no simulation at all.
+fn cmd_breakdown(args: &Args) -> ExitCode {
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    if let Some(list) = args.get("from-events") {
+        for stream in parse_event_logs(list) {
+            let row = breakdown::from_events(&stream).unwrap_or_else(|e| {
+                eprintln!("cannot compute breakdown: {e}");
+                std::process::exit(1);
+            });
+            all_ok &= row.completed == row.compute_jobs;
+            rows.push(row);
+        }
+    } else {
+        let seed: u64 = args.parsed("seed", 20140519u64);
+        // OSG's preemption hazard needs a deep retry budget at small n
+        // (few jobs, so one unlucky task sinks the run); the paper's
+        // OSG profile likewise leans on workflow-level retries.
+        let retries: u32 = args.parsed("retries", 20u32);
+        let cfg = EngineConfig::builder()
+            .policy(retry_policy_from(args, retries))
+            .seed(seed)
+            .build();
+        for site in sweep_sites(args) {
+            for &n in &sizes_from(args) {
+                let out = simulate_blast2cap3_with(&site, n, seed, &cfg, None);
+                all_ok &= out.run.succeeded();
+                if let Some(dir) = args.get("events-dir") {
+                    std::fs::create_dir_all(dir).expect("create events dir");
+                    let path = std::path::Path::new(dir).join(format!("{site}_n{n}.events"));
+                    std::fs::write(&path, out.event_log()).expect("write event log");
+                }
+                rows.push(out.breakdown());
+            }
+        }
+    }
+
+    if !args.flag("quiet") {
+        println!("{}", breakdown::render_table(&rows));
+    }
+    let csv = breakdown::render_csv(&rows);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv).expect("write breakdown CSV");
+            if !args.flag("quiet") {
+                println!("breakdown CSV written to {path}");
+            }
+        }
+        None => print!("{csv}"),
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some workflows did not complete; breakdown covers what ran");
+        ExitCode::FAILURE
+    }
+}
+
+/// `pegasus metrics` — dump the metrics registry in the Prometheus
+/// text exposition format, populated either by a fresh deterministic
+/// sweep or offline from `--from-events` logs (byte-identical to the
+/// live run under the same seed).
+fn cmd_metrics(args: &Args) -> ExitCode {
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
+
+    let mut registry = MetricsRegistry::new();
+    if let Some(list) = args.get("from-events") {
+        for stream in parse_event_logs(list) {
+            metrics::record_events(&mut registry, &stream).unwrap_or_else(|e| {
+                eprintln!("cannot record metrics: {e}");
+                std::process::exit(1);
+            });
+        }
+    } else {
+        let seed: u64 = args.parsed("seed", 20140519u64);
+        let retries: u32 = args.parsed("retries", 20u32);
+        let cfg = EngineConfig::builder()
+            .policy(retry_policy_from(args, retries))
+            .seed(seed)
+            .build();
+        for site in sweep_sites(args) {
+            for &n in &sizes_from(args) {
+                let out = simulate_blast2cap3_with(&site, n, seed, &cfg, None);
+                metrics::record_events(&mut registry, &out.run.events)
+                    .expect("engine streams replay");
+            }
+        }
+    }
+    let text = registry.render();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write metrics");
+            println!("metrics exposition written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `pegasus ensemble` — the paper's decomposition sweep as one
+/// ensemble: every `--sizes` entry becomes its own blast2cap3 workflow
+/// and all of them run concurrently over the shared simulated
+/// platform, under one seed and one slot budget.
+fn cmd_ensemble(args: &Args) -> ExitCode {
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble;
+
+    let site = args.get("site").unwrap_or("sandhills");
+    let seed: u64 = args.parsed("seed", 20140519u64);
+    let retries: u32 = args.parsed("retries", 3u32);
+    let sizes = sizes_from(args);
 
     let engine_cfg = EngineConfig::builder()
         .policy(retry_policy_from(args, retries))
@@ -413,8 +559,35 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
 
     let out = simulate_blast2cap3_ensemble(site, &sizes, seed, &engine_cfg, slot_budget);
 
+    // Every member's provenance stream lands in one shared registry,
+    // so the ensemble exposes the same metric surface as single runs.
+    let mut registry = MetricsRegistry::new();
+    for run in &out.run.runs {
+        metrics::record_events(&mut registry, &run.events).expect("engine streams replay");
+    }
+
     if !args.flag("quiet") {
         println!("{}", render_ensemble_text(&out.stats));
+        for run in &out.run.runs {
+            let n = metrics::n_label(&run.name, run.records.len());
+            let labels = [
+                ("site", run.site.as_str()),
+                ("n", n.as_str()),
+                ("phase", "kickstart"),
+            ];
+            if let (Some(p50), Some(p95)) = (
+                registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.5),
+                registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.95),
+            ) {
+                println!("{}: kickstart p50 {p50:.0}s p95 {p95:.0}s", run.name);
+            }
+        }
+    }
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, registry.render()).expect("write metrics");
+        if !args.flag("quiet") {
+            println!("metrics exposition written to {path}");
+        }
     }
     let csv = render_ensemble_csv(&out.stats);
     match args.get("out") {
@@ -510,10 +683,14 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
     }
     let mut status = StatusMonitor::new(exec.jobs.len());
     let mut timeline = TimelineMonitor::new();
+    let mut registry = MetricsRegistry::new();
+    let n = metrics::n_label(&exec.name, exec.jobs.len());
     let run = {
+        let mut metrics_monitor = MetricsMonitor::new(&mut registry, site, &n);
         let mut multi = MultiMonitor::new();
         multi.push(&mut status);
         multi.push(&mut timeline);
+        multi.push(&mut metrics_monitor);
         Engine::run(&mut backend, &exec, &engine_cfg, &mut multi)
     };
 
@@ -522,7 +699,19 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         for line in status.history.iter().step_by(status.history.len() / 10 + 1) {
             println!("status: {line}");
         }
-        println!("status: {}", status.status_line());
+        // The final one-liner carries the kickstart quantiles from the
+        // live metrics registry.
+        let labels = [("site", site), ("n", n.as_str()), ("phase", "kickstart")];
+        match (
+            registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.5),
+            registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.95),
+        ) {
+            (Some(p50), Some(p95)) => println!(
+                "status: {} | kickstart p50 {p50:.0}s p95 {p95:.0}s",
+                status.status_line()
+            ),
+            _ => println!("status: {}", status.status_line()),
+        }
     }
 
     let stats = compute(&run);
@@ -545,6 +734,12 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         std::fs::write(path, events::log::write(&run.events)).expect("write event log");
         if !csv_only {
             println!("event log written to {path}");
+        }
+    }
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, registry.render()).expect("write metrics");
+        if !csv_only {
+            println!("metrics exposition written to {path}");
         }
     }
 
@@ -580,6 +775,8 @@ fn main() -> ExitCode {
         "statistics" => cmd_statistics(&args),
         "analyze" => cmd_analyze(&args),
         "ensemble" => cmd_ensemble(&args),
+        "breakdown" => cmd_breakdown(&args),
+        "metrics" => cmd_metrics(&args),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown subcommand {other:?}");

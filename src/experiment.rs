@@ -131,6 +131,16 @@ impl ExperimentOutcome {
     pub fn event_log(&self) -> String {
         pegasus_wms::events::log::write(&self.run.events)
     }
+
+    /// The run's per-task phase breakdown row (Fig. 7–8 decomposition),
+    /// computed from the provenance stream alone.
+    ///
+    /// # Panics
+    /// Panics if the run carries no valid event stream (engine runs
+    /// always do).
+    pub fn breakdown(&self) -> pegasus_wms::breakdown::BreakdownRow {
+        pegasus_wms::breakdown::from_events(&self.run.events).expect("engine streams replay")
+    }
 }
 
 /// Simulates the paper's experiment: the Fig. 2 workflow with `n`

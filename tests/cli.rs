@@ -225,6 +225,83 @@ fn pegasus_offline_statistics_from_event_log() {
 }
 
 #[test]
+fn pegasus_breakdown_and_metrics_sessions() {
+    let dir = tmpdir("breakdown");
+
+    // Live sweep: one hostile-OSG point, recording the event log and
+    // the CSV.
+    let live_csv = dir.join("live.csv");
+    let out = pegasus()
+        .args(["breakdown", "--site", "osg", "--sizes", "8", "--seed", "11"])
+        .args(["--events-dir", dir.to_str().unwrap()])
+        .args(["--out", live_csv.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let events = dir.join("osg_n8.events");
+    assert!(events.exists());
+    let live = std::fs::read_to_string(&live_csv).unwrap();
+    assert!(live.starts_with("site,n,compute_jobs,"), "{live}");
+
+    // Offline breakdown from the log alone must be byte-identical.
+    let offline_csv = dir.join("offline.csv");
+    let out = pegasus()
+        .args(["breakdown", "--from-events", events.to_str().unwrap()])
+        .args(["--out", offline_csv.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(std::fs::read_to_string(&offline_csv).unwrap(), live);
+
+    // Same for the metrics exposition: the live sweep and the offline
+    // replay of its event log render the same bytes.
+    let live_prom = pegasus()
+        .args(["metrics", "--site", "osg", "--sizes", "8", "--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(live_prom.status.success());
+    let offline_prom = pegasus()
+        .args(["metrics", "--from-events", events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(offline_prom.status.success());
+    let text = String::from_utf8_lossy(&offline_prom.stdout);
+    assert!(text.starts_with("# HELP"), "{text}");
+    assert!(text.contains("pegasus_phase_seconds_bucket"), "{text}");
+    assert!(text.contains("reason=\"preempted\""), "{text}");
+    assert_eq!(offline_prom.stdout, live_prom.stdout);
+
+    // `pegasus run` wires the monitor too: the one-liner gains the
+    // kickstart quantiles and --metrics dumps the exposition.
+    let dax = dir.join("wf.dax");
+    pegasus()
+        .args(["generate-dax", "--n", "8"])
+        .args(["--out", dax.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let prom = dir.join("run.prom");
+    let out = pegasus()
+        .args(["run", "--dax", dax.to_str().unwrap(), "--site", "sandhills"])
+        .args(["--metrics", prom.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kickstart p50"), "{text}");
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_text.contains("pegasus_workflows_total"), "{prom_text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pegasus_workload_gallery_and_catalogs() {
     let dir = tmpdir("gallery");
     for shape in ["montage", "cybershake", "epigenomics", "ligo"] {
