@@ -37,7 +37,7 @@ pub struct CatalogBundle {
 
 fn parse_err(line: usize, reason: impl Into<String>) -> WmsError {
     WmsError::DaxParse {
-        line,
+        span: crate::error::Span::line(line),
         reason: format!("catalog: {}", reason.into()),
     }
 }
@@ -271,8 +271,8 @@ sites = submit, sandhills
     fn errors_carry_line_numbers() {
         let bad = "[site x]\nnot_a_key = 1\n";
         match parse(bad).unwrap_err() {
-            WmsError::DaxParse { line, reason } => {
-                assert_eq!(line, 2);
+            WmsError::DaxParse { span, reason } => {
+                assert_eq!(span.line, 2);
                 assert!(reason.contains("not_a_key"));
             }
             other => panic!("unexpected {other:?}"),

@@ -12,7 +12,7 @@
 //! survive a round trip — the same limitation the real DAX text layout
 //! has.
 
-use crate::error::WmsError;
+use crate::error::{Span, WmsError};
 use crate::workflow::{AbstractWorkflow, Job, LogicalFile};
 use std::fmt::Write as _;
 
@@ -117,6 +117,10 @@ struct XmlScanner<'a> {
     bytes: &'a [u8],
     pos: usize,
     line: usize,
+    col: usize,
+    /// Span of the `<` that opened the most recent tag; semantic
+    /// errors about a tag point here rather than at the scan cursor.
+    tag: Span,
 }
 
 impl<'a> XmlScanner<'a> {
@@ -125,12 +129,25 @@ impl<'a> XmlScanner<'a> {
             bytes: s.as_bytes(),
             pos: 0,
             line: 1,
+            col: 1,
+            tag: Span::none(),
         }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
     }
 
     fn err(&self, reason: impl Into<String>) -> WmsError {
         WmsError::DaxParse {
-            line: self.line,
+            span: self.span(),
+            reason: reason.into(),
+        }
+    }
+
+    fn tag_err(&self, reason: impl Into<String>) -> WmsError {
+        WmsError::DaxParse {
+            span: self.tag,
             reason: reason.into(),
         }
     }
@@ -140,6 +157,9 @@ impl<'a> XmlScanner<'a> {
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(b)
     }
@@ -255,6 +275,7 @@ impl<'a> XmlScanner<'a> {
             if self.peek().is_none() {
                 return Ok(None);
             }
+            self.tag = self.span();
             self.bump(); // consume '<'
             match self.peek() {
                 Some(b'?') => {
@@ -305,6 +326,21 @@ fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
 
 /// Parses a DAX document back into an [`AbstractWorkflow`].
 pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
+    let wf = from_dax_unvalidated(text)?;
+    // A syntactically well-formed DAX can still describe a cyclic graph
+    // or give one file two producers; surface those as their own typed
+    // errors rather than letting downstream planning panic.
+    wf.validate()?;
+    Ok(wf)
+}
+
+/// Parses a DAX document without running [`AbstractWorkflow::validate`].
+///
+/// `pegasus lint` uses this so it can report cycles with the full path
+/// and *every* conflicting producer, instead of stopping at the first
+/// typed error the way [`from_dax`] does.  Anything that plans or runs
+/// a workflow must go through [`from_dax`] instead.
+pub fn from_dax_unvalidated(text: &str) -> Result<AbstractWorkflow, WmsError> {
     let mut scan = XmlScanner::new(text);
     let mut wf: Option<AbstractWorkflow> = None;
     let mut adag_closed = false;
@@ -326,85 +362,81 @@ pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
                 }
                 "job" => {
                     if wf.is_none() {
-                        return Err(scan.err("<job> outside <adag>"));
+                        return Err(scan.tag_err("<job> outside <adag>"));
                     }
-                    let id =
-                        attr(&attrs, "id").ok_or_else(|| scan.err("<job> missing id attribute"))?;
+                    let id = attr(&attrs, "id")
+                        .ok_or_else(|| scan.tag_err("<job> missing id attribute"))?;
                     let tname = attr(&attrs, "name").unwrap_or(id);
                     let mut job = Job::new(id, tname);
                     if let Some(rt) = attr(&attrs, "runtime") {
                         job.runtime_hint = rt
                             .parse()
-                            .map_err(|_| scan.err(format!("bad runtime {rt:?}")))?;
+                            .map_err(|_| scan.tag_err(format!("bad runtime {rt:?}")))?;
                     }
                     if self_closing {
                         let w = wf.as_mut().expect("checked above");
-                        w.add_job(job).map_err(|e| WmsError::DaxParse {
-                            line: scan.line,
-                            reason: e.to_string(),
-                        })?;
+                        w.add_job(job).map_err(|e| scan.tag_err(e.to_string()))?;
                     } else {
                         cur_job = Some(job);
                     }
                 }
                 "argument" => {
                     if cur_job.is_none() {
-                        return Err(scan.err("<argument> outside <job>"));
+                        return Err(scan.tag_err("<argument> outside <job>"));
                     }
                     in_argument = !self_closing;
                 }
                 "uses" => {
                     let job = cur_job
                         .as_mut()
-                        .ok_or_else(|| scan.err("<uses> outside <job>"))?;
+                        .ok_or_else(|| scan.tag_err("<uses> outside <job>"))?;
                     let file = attr(&attrs, "file")
-                        .ok_or_else(|| scan.err("<uses> missing file attribute"))?;
+                        .ok_or_else(|| scan.tag_err("<uses> missing file attribute"))?;
                     let size: u64 = attr(&attrs, "size")
                         .unwrap_or("0")
                         .parse()
-                        .map_err(|_| scan.err("bad size attribute"))?;
+                        .map_err(|_| scan.tag_err("bad size attribute"))?;
                     let lf = LogicalFile::sized(file, size);
                     match attr(&attrs, "link") {
                         Some("input") => job.inputs.push(lf),
                         Some("output") => job.outputs.push(lf),
                         other => {
-                            return Err(scan.err(format!(
+                            return Err(scan.tag_err(format!(
                                 "<uses> link must be input or output, got {other:?}"
                             )))
                         }
                     }
                 }
                 "child" => {
-                    let r = attr(&attrs, "ref").ok_or_else(|| scan.err("<child> missing ref"))?;
+                    let r =
+                        attr(&attrs, "ref").ok_or_else(|| scan.tag_err("<child> missing ref"))?;
                     cur_child = Some(r.to_string());
                 }
                 "parent" => {
                     let child = cur_child
                         .clone()
-                        .ok_or_else(|| scan.err("<parent> outside <child>"))?;
-                    let r = attr(&attrs, "ref").ok_or_else(|| scan.err("<parent> missing ref"))?;
+                        .ok_or_else(|| scan.tag_err("<parent> outside <child>"))?;
+                    let r =
+                        attr(&attrs, "ref").ok_or_else(|| scan.tag_err("<parent> missing ref"))?;
                     pending_edges.push((r.to_string(), child));
                 }
                 other => {
-                    return Err(scan.err(format!("unexpected element <{other}>")));
+                    return Err(scan.tag_err(format!("unexpected element <{other}>")));
                 }
             },
             XmlEvent::Close(name) => match name.as_str() {
                 "job" => {
-                    let job = cur_job.take().ok_or_else(|| scan.err("stray </job>"))?;
+                    let job = cur_job.take().ok_or_else(|| scan.tag_err("stray </job>"))?;
                     wf.as_mut()
-                        .ok_or_else(|| scan.err("</job> outside <adag>"))?
+                        .ok_or_else(|| scan.tag_err("</job> outside <adag>"))?
                         .add_job(job)
-                        .map_err(|e| WmsError::DaxParse {
-                            line: scan.line,
-                            reason: e.to_string(),
-                        })?;
+                        .map_err(|e| scan.tag_err(e.to_string()))?;
                 }
                 "argument" => in_argument = false,
                 "child" => cur_child = None,
                 "adag" => adag_closed = true,
                 "parent" | "uses" => {}
-                other => return Err(scan.err(format!("unexpected closing </{other}>"))),
+                other => return Err(scan.tag_err(format!("unexpected closing </{other}>"))),
             },
             XmlEvent::Text(text) => {
                 if in_argument {
@@ -422,7 +454,7 @@ pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
         return Err(scan.err("unclosed <child> at end of input"));
     }
     let mut wf = wf.ok_or_else(|| WmsError::DaxParse {
-        line: 0,
+        span: Span::none(),
         reason: "no <adag> element found".into(),
     })?;
     if !adag_closed {
@@ -430,22 +462,18 @@ pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
     }
     for (p, c) in pending_edges {
         let pid = wf.job_by_name(&p).ok_or_else(|| WmsError::DaxParse {
-            line: 0,
+            span: Span::none(),
             reason: format!("edge references unknown parent {p:?}"),
         })?;
         let cid = wf.job_by_name(&c).ok_or_else(|| WmsError::DaxParse {
-            line: 0,
+            span: Span::none(),
             reason: format!("edge references unknown child {c:?}"),
         })?;
         wf.add_edge(pid, cid).map_err(|e| WmsError::DaxParse {
-            line: 0,
+            span: Span::none(),
             reason: e.to_string(),
         })?;
     }
-    // A syntactically well-formed DAX can still describe a cyclic graph
-    // or give one file two producers; surface those as their own typed
-    // errors rather than letting downstream planning panic.
-    wf.validate()?;
     Ok(wf)
 }
 
@@ -568,9 +596,40 @@ mod tests {
     fn line_numbers_in_errors() {
         let text = "<adag name=\"w\">\n\n<job name=\"missing-id\"/>\n</adag>";
         match from_dax(text).unwrap_err() {
-            WmsError::DaxParse { line, .. } => assert_eq!(line, 3),
+            WmsError::DaxParse { span, .. } => assert_eq!(span, Span::new(3, 1)),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_tag() {
+        let text = "<adag name=\"w\">\n  <job name=\"missing-id\"/>\n</adag>";
+        match from_dax(text).unwrap_err() {
+            WmsError::DaxParse { span, .. } => assert_eq!(span, Span::new(2, 3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Duplicate ids point at the second declaration.
+        let text =
+            "<adag name=\"w\">\n<job id=\"a\" name=\"t\"/>\n<job id=\"a\" name=\"t\"/>\n</adag>";
+        match from_dax(text).unwrap_err() {
+            WmsError::DaxParse { span, reason } => {
+                assert_eq!(span, Span::new(3, 1));
+                assert!(reason.contains("duplicate"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unvalidated_parse_accepts_cycles() {
+        let text = "<adag name=\"w\">\
+                    <job id=\"a\" name=\"t\"/><job id=\"b\" name=\"t\"/>\
+                    <child ref=\"b\"><parent ref=\"a\"/></child>\
+                    <child ref=\"a\"><parent ref=\"b\"/></child>\
+                    </adag>";
+        let wf = from_dax_unvalidated(text).unwrap();
+        assert_eq!(wf.jobs.len(), 2);
+        assert!(wf.validate().is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! (`condor` crate) and the discrete-event platform simulator
 //! (`gridsim` crate).
 
+use crate::error::WmsError;
 use crate::events::{EventSink, MonitorSink, WorkflowEvent};
 use crate::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 use crate::rescue::RescueDag;
@@ -773,8 +774,24 @@ impl WorkflowExecution {
 
     /// Feeds one completion event (with this workflow's local job id)
     /// into the scheduler and returns what the driver must do next.
-    pub fn on_event(&mut self, ev: &CompletionEvent) -> EventResponse {
-        debug_assert!(!self.crashed, "event fed to a crashed workflow");
+    ///
+    /// # Errors
+    /// Returns [`WmsError::InvariantViolation`] when the workflow has
+    /// already crashed: a crashed execution accepts no further events,
+    /// and feeding one means the driver's bookkeeping is corrupt.
+    /// (Previously a `debug_assert!` that release builds ignored,
+    /// corrupting the retry accounting instead.  The event-log
+    /// sanitizer checks the same invariant offline as rule `E0702`.)
+    pub fn on_event(&mut self, ev: &CompletionEvent) -> Result<EventResponse, WmsError> {
+        if self.crashed {
+            return Err(WmsError::InvariantViolation {
+                invariant: "no events after a crash".into(),
+                detail: format!(
+                    "completion for job {} attempt {} fed to a crashed workflow",
+                    ev.job, ev.attempt
+                ),
+            });
+        }
         self.outstanding -= 1;
         self.events_seen += 1;
         // The attempt's phase transitions, recovered from its
@@ -883,7 +900,7 @@ impl WorkflowExecution {
             self.crashed = true;
             resp.crashed = true;
         }
-        resp
+        Ok(resp)
     }
 
     /// `true` when no released job is still outstanding — the workflow
@@ -975,7 +992,9 @@ impl Engine {
         Self::forward(&mut exec, wf, monitor);
         while !exec.is_complete() {
             let ev = backend.wait_any();
-            let resp = exec.on_event(&ev);
+            let resp = exec
+                .on_event(&ev)
+                .expect("the driver stops feeding events once the crash fires");
             if let Some(r) = &resp.retry {
                 backend.submit_after(&wf.jobs[r.job], r.next_attempt, r.delay);
             }
@@ -1424,6 +1443,40 @@ mod tests {
         let policy = RetryPolicy::exponential(40, 1.0);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(policy.backoff_before(30, &mut rng), 64.0);
+    }
+
+    #[test]
+    fn events_after_crash_are_a_typed_error() {
+        // Formerly a debug_assert!: feeding a completion to a crashed
+        // execution must surface as WmsError::InvariantViolation, not
+        // silently corrupt the retry accounting in release builds.
+        let wf = fan();
+        let cfg = EngineConfig {
+            crash_after_events: Some(1),
+            ..Default::default()
+        };
+        let mut exec = WorkflowExecution::new(&wf, &cfg, 0.0);
+        assert_eq!(exec.take_initial_ready(), vec![0]);
+        let times = JobTimes {
+            submitted: 0.0,
+            started: 0.0,
+            install_done: 0.0,
+            finished: 1.0,
+        };
+        let done = |job| CompletionEvent {
+            job,
+            attempt: 0,
+            outcome: JobOutcome::Success,
+            times,
+        };
+        let resp = exec.on_event(&done(0)).unwrap();
+        assert!(resp.crashed, "the scripted crash fires on event 1");
+        let err = exec.on_event(&done(1)).unwrap_err();
+        assert!(
+            matches!(err, WmsError::InvariantViolation { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("crashed"), "{err}");
     }
 
     #[test]

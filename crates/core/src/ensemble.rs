@@ -36,6 +36,7 @@
 use crate::engine::{
     CompletionEvent, EngineConfig, ExecutionBackend, WorkflowExecution, WorkflowRun,
 };
+use crate::error::WmsError;
 use crate::planner::{ExecutableJob, ExecutableWorkflow};
 use crate::workflow::JobId;
 use std::cmp::Reverse;
@@ -164,11 +165,15 @@ struct Member {
 
 /// Runs `specs` against the shared `backend` without progress
 /// reporting. See [`run_ensemble_monitored`].
+///
+/// # Errors
+/// Returns [`WmsError::InvariantViolation`] when a spec's job ids are
+/// not dense (see [`run_ensemble_monitored`]).
 pub fn run_ensemble(
     backend: &mut dyn ExecutionBackend,
     specs: &[WorkflowSpec],
     config: &EnsembleConfig,
-) -> EnsembleRun {
+) -> Result<EnsembleRun, WmsError> {
     run_ensemble_monitored(backend, specs, config, &mut NoopEnsembleMonitor)
 }
 
@@ -179,12 +184,19 @@ pub fn run_ensemble(
 /// Results come back in spec order; each [`WorkflowRun`]'s wall time
 /// spans ensemble start to that workflow's own completion, so the
 /// rollup can distinguish per-member latency from ensemble makespan.
+///
+/// # Errors
+/// Returns [`WmsError::InvariantViolation`] when a spec's executable
+/// job ids are not dense (`jobs[i].id != i`): the global id mapping
+/// would silently mis-route completions.  Planner output always
+/// satisfies this; hand-built workflows may not.  (Previously a
+/// `debug_assert!` that release builds skipped.)
 pub fn run_ensemble_monitored(
     backend: &mut dyn ExecutionBackend,
     specs: &[WorkflowSpec],
     config: &EnsembleConfig,
     monitor: &mut dyn EnsembleMonitor,
-) -> EnsembleRun {
+) -> Result<EnsembleRun, WmsError> {
     // One timeout for the shared backend: unanimous value if the specs
     // agree, otherwise the tightest configured limit (conservative —
     // a shared submit host enforces one policy).
@@ -218,13 +230,23 @@ pub fn run_ensemble_monitored(
 
     for (wf_idx, spec) in specs.iter().enumerate() {
         let offset = owner.len();
+        for (local, j) in spec.workflow.jobs.iter().enumerate() {
+            if j.id != local {
+                return Err(WmsError::InvariantViolation {
+                    invariant: "executable job ids are dense".into(),
+                    detail: format!(
+                        "workflow {wf_idx} ({:?}) job at index {local} has id {}",
+                        spec.workflow.name, j.id
+                    ),
+                });
+            }
+        }
         let submit_jobs: Vec<ExecutableJob> = spec
             .workflow
             .jobs
             .iter()
             .enumerate()
             .map(|(local, j)| {
-                debug_assert_eq!(j.id, local, "executable job ids must be dense");
                 owner.push((wf_idx, local));
                 let mut g = j.clone();
                 g.id = offset + local;
@@ -333,7 +355,9 @@ pub fn run_ensemble_monitored(
             outcome: ev.outcome,
             times: ev.times,
         };
-        let resp = exec.on_event(&local_ev);
+        let resp = exec
+            .on_event(&local_ev)
+            .expect("crashed members are retired from the live set");
         if let Some(r) = resp.retry {
             // The failed attempt just released its slot; the retry
             // reclaims it, so the budget stays respected without
@@ -376,7 +400,7 @@ pub fn run_ensemble_monitored(
         .collect();
     let makespan = runs.iter().map(|r| r.wall_time).fold(0.0, f64::max);
     monitor.ensemble_finished(makespan);
-    EnsembleRun { runs, makespan }
+    Ok(EnsembleRun { runs, makespan })
 }
 
 #[cfg(test)]
@@ -433,7 +457,8 @@ mod tests {
             &mut ens_backend,
             &[WorkflowSpec::new(wf, config)],
             &EnsembleConfig::default(),
-        );
+        )
+        .unwrap();
 
         assert_eq!(ens.runs.len(), 1);
         let e = &ens.runs[0];
@@ -450,13 +475,33 @@ mod tests {
     }
 
     #[test]
+    fn non_dense_job_ids_are_a_typed_error() {
+        // Formerly a debug_assert!: sparse ids would silently mis-route
+        // completions through the global id mapping in release builds.
+        let sparse = ExecutableWorkflow {
+            name: "sparse".into(),
+            site: "test".into(),
+            jobs: vec![job(3, "a", 1.0)],
+            edges: vec![],
+        };
+        let specs = vec![WorkflowSpec::new(sparse, cfg(1))];
+        let mut backend = ScriptedBackend::new();
+        let err = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, crate::error::WmsError::InvariantViolation { .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("sparse"), "{err}");
+    }
+
+    #[test]
     fn two_workflows_share_the_backend_and_both_finish() {
         let specs = vec![
             WorkflowSpec::new(diamond("w0"), cfg(1)),
             WorkflowSpec::new(diamond("w1"), cfg(2)),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
         assert!(ens.succeeded());
         assert_eq!(ens.runs[0].name, "w0");
         assert_eq!(ens.runs[1].name, "w1");
@@ -472,7 +517,7 @@ mod tests {
             WorkflowSpec::new(diamond("w1"), cfg(2)),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1));
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1)).unwrap();
         assert!(ens.succeeded());
         // With one slot, roots alternate across workflows (fair share
         // by historical usage): w0_a first (lower index), then w1_a.
@@ -487,7 +532,7 @@ mod tests {
             WorkflowSpec::new(diamond("hi"), cfg(2)).with_priority(10),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1));
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1)).unwrap();
         assert!(ens.succeeded());
         assert_eq!(
             backend.log[0].0, "hi_a",
@@ -505,7 +550,7 @@ mod tests {
         ];
         let mut backend = ScriptedBackend::new();
         backend.fail_plan.insert(("flaky_b".into(), 0));
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
         assert!(ens.succeeded());
         assert_eq!(ens.runs[0].faults.total_failures(), 0);
         assert_eq!(ens.runs[1].faults.retries, 1);
@@ -523,7 +568,7 @@ mod tests {
         let mut backend = ScriptedBackend::new();
         backend.fail_plan.insert(("doomed_b".into(), 0));
         backend.fail_plan.insert(("doomed_b".into(), 1));
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
         assert!(ens.runs[0].succeeded(), "healthy member unaffected");
         assert!(!ens.runs[1].succeeded());
         match &ens.runs[1].outcome {
@@ -545,7 +590,7 @@ mod tests {
             WorkflowSpec::new(diamond("dying"), crash_cfg),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
         assert!(ens.runs[0].succeeded(), "uncrashed member completes");
         assert!(!ens.runs[1].succeeded(), "crashed member reports failure");
     }
@@ -559,7 +604,7 @@ mod tests {
             WorkflowSpec::new(diamond("dying"), crash_cfg),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
         let rescue = match &ens.runs[1].outcome {
             crate::engine::WorkflowOutcome::Failed(r) => r.clone(),
             other => panic!("expected rescue DAG, got {other:?}"),
@@ -572,7 +617,8 @@ mod tests {
             &mut backend2,
             &[WorkflowSpec::new(diamond("dying"), resume_cfg)],
             &EnsembleConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(resumed.succeeded(), "resume completes the remainder");
         let skipped = resumed.runs[0]
             .records
@@ -595,7 +641,7 @@ mod tests {
             WorkflowSpec::new(diamond("w"), cfg(2)),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
         assert!(ens.succeeded());
         assert_eq!(ens.runs[0].wall_time, 0.0);
         assert!(ens.runs[1].wall_time > 0.0);
@@ -609,7 +655,7 @@ mod tests {
         ];
         let mut backend = ScriptedBackend::new();
         backend.fail_plan.insert(("w1_b".into(), 0));
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(2));
+        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(2)).unwrap();
         assert!(ens.succeeded());
         for run in &ens.runs {
             let replayed = crate::events::replay(&run.events).expect("member streams replay");
@@ -627,8 +673,8 @@ mod tests {
         };
         let mut b1 = ScriptedBackend::new();
         let mut b2 = ScriptedBackend::new();
-        let e1 = run_ensemble(&mut b1, &build(), &EnsembleConfig::with_slot_budget(2));
-        let e2 = run_ensemble(&mut b2, &build(), &EnsembleConfig::with_slot_budget(2));
+        let e1 = run_ensemble(&mut b1, &build(), &EnsembleConfig::with_slot_budget(2)).unwrap();
+        let e2 = run_ensemble(&mut b2, &build(), &EnsembleConfig::with_slot_budget(2)).unwrap();
         assert_eq!(b1.log, b2.log, "submission tapes identical");
         assert_eq!(e1.makespan, e2.makespan);
         for (a, b) in e1.runs.iter().zip(&e2.runs) {

@@ -2,6 +2,52 @@
 
 use std::fmt;
 
+/// A source position inside a parsed input file.
+///
+/// Lines and columns are one-based; `0` means "unknown".  The DAX
+/// parser produces full line/col spans, line-oriented formats (fault
+/// plans, event logs) produce line-only spans, and programmatically
+/// built values carry [`Span::none`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// One-based line number (0 when unknown).
+    pub line: usize,
+    /// One-based column number (0 when unknown).
+    pub col: usize,
+}
+
+impl Span {
+    /// A span with both line and column.
+    pub fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+
+    /// A line-only span (column unknown).
+    pub fn line(line: usize) -> Self {
+        Span { line, col: 0 }
+    }
+
+    /// The unknown span, used for values not read from a file.
+    pub fn none() -> Self {
+        Span { line: 0, col: 0 }
+    }
+
+    /// True when the span carries no position at all.
+    pub fn is_none(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.col > 0 {
+            write!(f, "line {}, col {}", self.line, self.col)
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
+
 /// Errors raised across the WMS stack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WmsError {
@@ -32,8 +78,8 @@ pub enum WmsError {
     },
     /// DAX parsing failed.
     DaxParse {
-        /// One-based line number (0 when unknown).
-        line: usize,
+        /// Position of the offending construct.
+        span: Span,
         /// Description of the problem.
         reason: String,
     },
@@ -52,6 +98,17 @@ pub enum WmsError {
         line: usize,
         /// Description of the problem.
         reason: String,
+    },
+    /// An internal runtime invariant was violated.  These were
+    /// previously `debug_assert!`s that vanished in release builds;
+    /// they now surface as typed errors so callers (and the event-log
+    /// sanitizer) can detect corrupted state instead of continuing on
+    /// garbage.
+    InvariantViolation {
+        /// The invariant that was expected to hold.
+        invariant: String,
+        /// What was observed instead.
+        detail: String,
     },
 }
 
@@ -79,8 +136,12 @@ impl fmt::Display for WmsError {
                 f,
                 "transformation {transformation:?} unavailable at site {site:?} and not installable"
             ),
-            WmsError::DaxParse { line, reason } => {
-                write!(f, "DAX parse error at line {line}: {reason}")
+            WmsError::DaxParse { span, reason } => {
+                if span.is_none() {
+                    write!(f, "DAX parse error: {reason}")
+                } else {
+                    write!(f, "DAX parse error at {span}: {reason}")
+                }
             }
             WmsError::RescueParse(reason) => write!(f, "rescue DAG parse error: {reason}"),
             WmsError::FaultPlanParse { line, reason } => {
@@ -88,6 +149,9 @@ impl fmt::Display for WmsError {
             }
             WmsError::EventLogParse { line, reason } => {
                 write!(f, "event log parse error at line {line}: {reason}")
+            }
+            WmsError::InvariantViolation { invariant, detail } => {
+                write!(f, "internal invariant violated ({invariant}): {detail}")
             }
         }
     }
@@ -115,10 +179,28 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("out.txt") && s.contains('a') && s.contains('b'));
         assert!(WmsError::DaxParse {
-            line: 12,
+            span: Span::new(12, 7),
             reason: "bad tag".into()
         }
         .to_string()
-        .contains("12"));
+        .contains("line 12, col 7"));
+    }
+
+    #[test]
+    fn spans_render_by_precision() {
+        assert_eq!(Span::new(3, 9).to_string(), "line 3, col 9");
+        assert_eq!(Span::line(3).to_string(), "line 3");
+        assert!(Span::none().is_none());
+        assert!(!Span::line(1).is_none());
+    }
+
+    #[test]
+    fn invariant_violations_name_both_sides() {
+        let e = WmsError::InvariantViolation {
+            invariant: "executable job ids are dense".into(),
+            detail: "job 4 has id 9".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("dense") && s.contains("id 9"));
     }
 }

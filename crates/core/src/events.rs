@@ -724,6 +724,16 @@ pub mod log {
     /// Returns [`WmsError::EventLogParse`] with a one-based line
     /// number on unknown keywords, missing or malformed fields.
     pub fn parse(text: &str) -> Result<Vec<WorkflowEvent>, WmsError> {
+        Ok(parse_lines(text)?.into_iter().map(|(_, ev)| ev).collect())
+    }
+
+    /// Like [`parse`], but pairs every event with the one-based line
+    /// number it was read from, so the lint sanitizer can point its
+    /// diagnostics at the offending line of the log file.
+    ///
+    /// # Errors
+    /// Returns [`WmsError::EventLogParse`] exactly as [`parse`] does.
+    pub fn parse_lines(text: &str) -> Result<Vec<(usize, WorkflowEvent)>, WmsError> {
         let mut events = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
@@ -734,7 +744,7 @@ pub mod log {
             let (keyword, rest) = trimmed
                 .split_once(char::is_whitespace)
                 .unwrap_or((trimmed, ""));
-            events.push(parse_event(keyword, rest.trim_start(), line)?);
+            events.push((line, parse_event(keyword, rest.trim_start(), line)?));
         }
         Ok(events)
     }

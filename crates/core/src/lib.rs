@@ -35,6 +35,10 @@
 //!   stream into `queue-wait → install → kickstart → post-overhead →
 //!   retry-badput` spans and per-site/per-n breakdown tables (the
 //!   paper's Fig. 7–8 decomposition);
+//! * [`lint`] — a compiler-style static analyzer: typed diagnostics
+//!   with codes, severities, and file/line/col spans over workflows,
+//!   fault plans, run configurations, and provenance event streams
+//!   (the `pegasus lint` front-end);
 //! * [`statistics`] — pegasus-statistics equivalents: Workflow Wall
 //!   Time, per-task Kickstart / Waiting / Download-Install breakdowns;
 //! * [`rescue`] — rescue DAGs: the re-submittable remainder of a
@@ -54,6 +58,7 @@ pub mod engine;
 pub mod ensemble;
 pub mod error;
 pub mod events;
+pub mod lint;
 pub mod metrics;
 pub mod monitor;
 pub mod planner;
@@ -69,7 +74,8 @@ pub use engine::{
     RetryPolicy, WorkflowRun,
 };
 pub use ensemble::{run_ensemble, EnsembleConfig, EnsembleRun, WorkflowSpec};
-pub use error::WmsError;
+pub use error::{Span, WmsError};
 pub use events::{EventSink, MonitorSink, WorkflowEvent};
+pub use lint::{Diagnostic, Severity};
 pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
 pub use workflow::{AbstractWorkflow, Job, JobId, LogicalFile};

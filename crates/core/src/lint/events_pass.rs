@@ -1,0 +1,452 @@
+//! Pass 4: the event-stream sanitizer.
+//!
+//! A happens-before checker over [`crate::events::log`] streams, run
+//! before provenance is replayed: `pegasus statistics --from-events`
+//! and friends fold whatever the log says into CSVs, so a corrupted
+//! log must be *rejected*, not trusted.  The checks are exactly the
+//! runtime invariants the engine upholds while emitting (including the
+//! promoted `debug_assert!`s): one `workflow-started` first, nothing
+//! after `workflow-finished`, per-job lifecycle order, per-job
+//! monotone timestamps, retry accounting via `retry-scheduled`, and
+//! only declared job ids.
+//!
+//! Truncated streams (no `workflow-finished`) are a warning, not an
+//! error: a crashed submit host legitimately leaves one behind, and
+//! rescue-from-log must keep working on it.
+
+use super::Diagnostic;
+use crate::engine::JobTimes;
+use crate::error::Span;
+use crate::events::WorkflowEvent;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Default)]
+struct JobState {
+    submitted: BTreeSet<u32>,
+    started: BTreeSet<u32>,
+    terminal: BTreeSet<u32>,
+    retries_scheduled: BTreeSet<u32>,
+    last_time: f64,
+}
+
+fn times_ordered(t: &JobTimes) -> bool {
+    t.submitted <= t.started && t.started <= t.install_done && t.install_done <= t.finished
+}
+
+/// Pass 4: sanitizes one event stream.
+///
+/// `events` pairs each event with its one-based line number in `file`
+/// (from [`crate::events::log::parse_lines`]); streams built in memory
+/// can pass line 0.  Emits `E0701`/`E0702` (stream framing),
+/// `E0703`/`E0704`/`E0705`/`E0706` (per-job invariants), and `W0707`
+/// (truncated stream).
+pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let at = |line: usize| {
+        if line == 0 {
+            Span::none()
+        } else {
+            Span::line(line)
+        }
+    };
+
+    if events.is_empty() {
+        return vec![Diagnostic::new(
+            "E0701",
+            file,
+            Span::none(),
+            "stream contains no events (expected exactly one workflow-started)",
+        )];
+    }
+
+    let mut started_lines = Vec::new();
+    let mut declared: BTreeMap<usize, ()> = BTreeMap::new();
+    let mut declared_count: Option<usize> = None;
+    let mut finished_at: Option<usize> = None;
+    let mut after_finish_reported = false;
+    let mut undeclared_reported: BTreeSet<usize> = BTreeSet::new();
+    let mut jobs: BTreeMap<usize, JobState> = BTreeMap::new();
+
+    for (idx, (line, ev)) in events.iter().enumerate() {
+        let line = *line;
+        if let Some(fin) = finished_at {
+            if !after_finish_reported {
+                after_finish_reported = true;
+                diags.push(
+                    Diagnostic::new(
+                        "E0702",
+                        file,
+                        at(line),
+                        format!("event after workflow-finished (line {fin}): the run was closed"),
+                    )
+                    .with_help("the engine refuses events on a crashed or finished workflow"),
+                );
+            }
+        }
+
+        // Framing events first.
+        match ev {
+            WorkflowEvent::WorkflowStarted { .. } => {
+                started_lines.push(line);
+                if idx != 0 {
+                    diags.push(Diagnostic::new(
+                        "E0701",
+                        file,
+                        at(line),
+                        if started_lines.len() > 1 {
+                            "second workflow-started in one stream".to_string()
+                        } else {
+                            format!(
+                                "workflow-started is event {} of the stream, not the first",
+                                idx + 1
+                            )
+                        },
+                    ));
+                }
+                if let WorkflowEvent::WorkflowStarted { jobs: n, .. } = ev {
+                    declared_count = Some(*n);
+                }
+                continue;
+            }
+            WorkflowEvent::WorkflowFinished { .. } => {
+                if finished_at.is_none() {
+                    finished_at = Some(line);
+                } else {
+                    diags.push(Diagnostic::new(
+                        "E0702",
+                        file,
+                        at(line),
+                        "second workflow-finished in one stream",
+                    ));
+                }
+                continue;
+            }
+            WorkflowEvent::JobDeclared { job, .. } => {
+                declared.insert(*job, ());
+                if let Some(n) = declared_count {
+                    if *job >= n {
+                        diags.push(Diagnostic::new(
+                            "E0706",
+                            file,
+                            at(line),
+                            format!(
+                                "job id {job} is out of range: workflow-started declared {n} jobs"
+                            ),
+                        ));
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        // Everything below is a per-job event.
+        let (job, time) = match ev {
+            WorkflowEvent::Skipped { job, time } => (*job, *time),
+            WorkflowEvent::Submitted { job, time, .. } => (*job, *time),
+            WorkflowEvent::InstallStarted { job, time, .. } => (*job, *time),
+            WorkflowEvent::Started { job, time, .. } => (*job, *time),
+            WorkflowEvent::RetryScheduled { job, time, .. } => (*job, *time),
+            WorkflowEvent::Completed { job, times, .. }
+            | WorkflowEvent::Failed { job, times, .. }
+            | WorkflowEvent::TimedOut { job, times, .. } => (*job, times.finished),
+            _ => unreachable!("framing events handled above"),
+        };
+
+        let in_range = declared_count.is_none_or(|n| job < n);
+        if (!declared.contains_key(&job) || !in_range) && undeclared_reported.insert(job) {
+            diags.push(
+                Diagnostic::new(
+                    "E0706",
+                    file,
+                    at(line),
+                    format!("event references job id {job}, which the stream never declared"),
+                )
+                .with_help("every job must appear as a `job id=...` declaration first"),
+            );
+        }
+
+        let state = jobs.entry(job).or_default();
+        if time < state.last_time {
+            diags.push(Diagnostic::new(
+                "E0704",
+                file,
+                at(line),
+                format!(
+                    "job {job} goes backwards in time: {time} after {}",
+                    state.last_time
+                ),
+            ));
+        }
+        state.last_time = state.last_time.max(time);
+
+        match ev {
+            WorkflowEvent::Submitted { attempt, .. } => {
+                if *attempt > 0 && !state.retries_scheduled.contains(attempt) {
+                    diags.push(
+                        Diagnostic::new(
+                            "E0705",
+                            file,
+                            at(line),
+                            format!(
+                                "job {job} submitted at attempt {attempt} with no \
+                                 retry-scheduled next-attempt={attempt}"
+                            ),
+                        )
+                        .with_help("every resubmission must be accounted for by a retry-scheduled"),
+                    );
+                }
+                if !state.submitted.insert(*attempt) {
+                    diags.push(Diagnostic::new(
+                        "E0703",
+                        file,
+                        at(line),
+                        format!("job {job} submitted twice at attempt {attempt}"),
+                    ));
+                }
+            }
+            WorkflowEvent::InstallStarted { attempt, .. }
+                if !state.submitted.contains(attempt) =>
+            {
+                diags.push(Diagnostic::new(
+                    "E0703",
+                    file,
+                    at(line),
+                    format!(
+                        "job {job} starts installing at attempt {attempt} before being submitted"
+                    ),
+                ));
+            }
+            WorkflowEvent::Started { attempt, .. } => {
+                if !state.submitted.contains(attempt) {
+                    diags.push(Diagnostic::new(
+                        "E0703",
+                        file,
+                        at(line),
+                        format!("job {job} started at attempt {attempt} before being submitted"),
+                    ));
+                }
+                state.started.insert(*attempt);
+            }
+            WorkflowEvent::Completed { attempt, times, .. } => {
+                if !state.started.contains(attempt) {
+                    diags.push(Diagnostic::new(
+                        "E0703",
+                        file,
+                        at(line),
+                        format!("job {job} completed at attempt {attempt} before being started"),
+                    ));
+                }
+                if !state.terminal.insert(*attempt) {
+                    diags.push(Diagnostic::new(
+                        "E0703",
+                        file,
+                        at(line),
+                        format!("job {job} has two terminal events for attempt {attempt}"),
+                    ));
+                }
+                if !times_ordered(times) {
+                    diags.push(Diagnostic::new(
+                        "E0704",
+                        file,
+                        at(line),
+                        format!("job {job} has unordered times (want submitted <= started <= install-done <= finished)"),
+                    ));
+                }
+            }
+            WorkflowEvent::Failed { attempt, times, .. }
+            | WorkflowEvent::TimedOut { attempt, times, .. } => {
+                if !state.submitted.contains(attempt) {
+                    diags.push(Diagnostic::new(
+                        "E0703",
+                        file,
+                        at(line),
+                        format!("job {job} failed at attempt {attempt} before being submitted"),
+                    ));
+                }
+                if !state.terminal.insert(*attempt) {
+                    diags.push(Diagnostic::new(
+                        "E0703",
+                        file,
+                        at(line),
+                        format!("job {job} has two terminal events for attempt {attempt}"),
+                    ));
+                }
+                if !times_ordered(times) {
+                    diags.push(Diagnostic::new(
+                        "E0704",
+                        file,
+                        at(line),
+                        format!("job {job} has unordered times (want submitted <= started <= install-done <= finished)"),
+                    ));
+                }
+            }
+            WorkflowEvent::RetryScheduled { next_attempt, .. } => {
+                state.retries_scheduled.insert(*next_attempt);
+            }
+            _ => {}
+        }
+    }
+
+    if started_lines.is_empty() {
+        diags.push(Diagnostic::new(
+            "E0701",
+            file,
+            at(events[0].0),
+            "stream has no workflow-started event",
+        ));
+    }
+    if finished_at.is_none() {
+        let last = events.last().expect("nonempty").0;
+        diags.push(
+            Diagnostic::new(
+                "W0707",
+                file,
+                at(last),
+                "stream has no workflow-finished: truncated (crashed or still-running) run",
+            )
+            .with_help("rescue-from-log accepts this; statistics over it describe a partial run"),
+        );
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::log;
+
+    fn lint_text(text: &str) -> Vec<Diagnostic> {
+        check_events(&log::parse_lines(text).unwrap(), "run.events")
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    const CLEAN: &str = "\
+workflow-started time=0 jobs=1 site=osg name=w
+job id=0 kind=compute transformation=split name=split
+submitted time=0 job=0 attempt=0
+started time=5 job=0 attempt=0
+completed job=0 attempt=0 submitted=0 started=5 install-done=5 finished=9
+workflow-finished time=9 wall-time=9 succeeded=true
+";
+
+    #[test]
+    fn clean_stream_is_clean() {
+        assert!(lint_text(CLEAN).is_empty());
+    }
+
+    #[test]
+    fn golden_fixture_is_clean() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/fixtures/osg_n8.events"
+        ))
+        .unwrap();
+        let diags = lint_text(&text);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn completed_before_started_is_flagged() {
+        let text = "\
+workflow-started time=0 jobs=1 site=osg name=w
+job id=0 kind=compute transformation=split name=split
+submitted time=0 job=0 attempt=0
+completed job=0 attempt=0 submitted=0 started=5 install-done=5 finished=9
+workflow-finished time=9 wall-time=9 succeeded=true
+";
+        let diags = lint_text(text);
+        assert_eq!(codes(&diags), ["E0703"]);
+        assert_eq!(diags[0].span.line, 4);
+    }
+
+    #[test]
+    fn backwards_time_and_unordered_times_are_flagged() {
+        let text = "\
+workflow-started time=0 jobs=1 site=osg name=w
+job id=0 kind=compute transformation=split name=split
+submitted time=10 job=0 attempt=0
+started time=5 job=0 attempt=0
+completed job=0 attempt=0 submitted=10 started=5 install-done=5 finished=3
+workflow-finished time=9 wall-time=9 succeeded=true
+";
+        let diags = lint_text(text);
+        assert_eq!(codes(&diags), ["E0704", "E0704", "E0704"]);
+    }
+
+    #[test]
+    fn unaccounted_retry_is_flagged() {
+        let text = "\
+workflow-started time=0 jobs=1 site=osg name=w
+job id=0 kind=compute transformation=split name=split
+submitted time=0 job=0 attempt=0
+started time=1 job=0 attempt=0
+failed job=0 attempt=0 reason=preempted submitted=0 started=1 install-done=1 finished=2 detail=storm
+submitted time=2 job=0 attempt=1
+workflow-finished time=9 wall-time=9 succeeded=false
+";
+        let diags = lint_text(text);
+        assert_eq!(codes(&diags), ["E0705"]);
+    }
+
+    #[test]
+    fn accounted_retry_is_clean() {
+        let text = "\
+workflow-started time=0 jobs=1 site=osg name=w
+job id=0 kind=compute transformation=split name=split
+submitted time=0 job=0 attempt=0
+started time=1 job=0 attempt=0
+failed job=0 attempt=0 reason=preempted submitted=0 started=1 install-done=1 finished=2 detail=storm
+retry-scheduled time=2 job=0 next-attempt=1 backoff=0 reason=preempted detail=storm
+submitted time=2 job=0 attempt=1
+started time=3 job=0 attempt=1
+completed job=0 attempt=1 submitted=2 started=3 install-done=3 finished=4
+workflow-finished time=4 wall-time=4 succeeded=true
+";
+        assert!(lint_text(text).is_empty());
+    }
+
+    #[test]
+    fn undeclared_and_out_of_range_jobs_are_flagged() {
+        let text = "\
+workflow-started time=0 jobs=1 site=osg name=w
+job id=0 kind=compute transformation=split name=split
+submitted time=0 job=7 attempt=0
+workflow-finished time=9 wall-time=9 succeeded=false
+";
+        let diags = lint_text(text);
+        assert_eq!(codes(&diags), ["E0706"]);
+    }
+
+    #[test]
+    fn framing_violations_are_flagged() {
+        let text = "\
+job id=0 kind=compute transformation=split name=split
+workflow-started time=0 jobs=1 site=osg name=w
+workflow-finished time=9 wall-time=9 succeeded=true
+submitted time=9 job=0 attempt=0
+";
+        let diags = lint_text(text);
+        assert_eq!(codes(&diags), ["E0701", "E0702"]);
+    }
+
+    #[test]
+    fn truncated_stream_is_a_warning_only() {
+        let text = "\
+workflow-started time=0 jobs=1 site=osg name=w
+job id=0 kind=compute transformation=split name=split
+submitted time=0 job=0 attempt=0
+";
+        let diags = lint_text(text);
+        assert_eq!(codes(&diags), ["W0707"]);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert_eq!(codes(&check_events(&[], "run.events")), ["E0701"]);
+    }
+}

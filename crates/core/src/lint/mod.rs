@@ -1,0 +1,569 @@
+//! `pegasus lint`: a compiler-style diagnostics engine for workflows,
+//! fault plans, engine configurations, and provenance event streams.
+//!
+//! The paper's OSG runs fail for reasons that are knowable *before*
+//! submission — missing preinstalled software, infeasible resource
+//! requests, misconfigured retries (Pavlovikj et al., §IV–V).  This
+//! module catches those at plan time the way a compiler front-end
+//! catches type errors: every finding is a typed [`Diagnostic`] with a
+//! stable code (`E01xx` DAX structure, `E02xx`/`W02xx` fault plans,
+//! `E03xx`/`W03xx` configuration feasibility, `E07xx`/`W07xx` event
+//! streams), a [`Severity`], a file/line/col [`Span`], a message, and
+//! an optional `help` note.
+//!
+//! Rules live in a static registry ([`RULES`]) with per-rule default
+//! levels that a [`LintConfig`] can override (`allow`/`warn`/`deny`),
+//! mirroring `rustc`'s `-A`/`-W`/`-D` lint flags.  The passes are
+//! deterministic: diagnostics are sorted by (file, span, code,
+//! message) before rendering, so both the text and JSON renderers are
+//! byte-stable for golden-file comparison in CI.
+//!
+//! Passes:
+//! - [`check_workflow`]: DAX structural analysis (cycles with the full
+//!   path, duplicate ids, disconnected jobs, never-consumed files,
+//!   suspicious fan-in/out, unknown transformations).
+//! - [`check_config`]: engine/ensemble feasibility against a site
+//!   (unknown site, uninstallable software, timeout below the minimum
+//!   kickstart, retries disabled under faults, slot budget below the
+//!   workflow width).
+//! - [`check_events`]: the event-stream sanitizer — a happens-before
+//!   checker over [`crate::events::log`] streams so replayed
+//!   provenance is validated, not trusted.
+//!
+//! Fault-plan cross-checking ([`E0201`](RULES) etc.) lives in
+//! `gridsim::faults_lint` because `gridsim` owns the `Scenario`
+//! type; it returns the same [`Diagnostic`] values.
+
+mod config_pass;
+mod dax_pass;
+mod events_pass;
+
+pub use config_pass::{check_config, RunContext};
+pub use dax_pass::{check_workflow, classify_parse_error, DaxLintOptions};
+pub use events_pass::check_events;
+
+use crate::error::Span;
+use std::fmt;
+
+/// How serious a diagnostic is after level resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not fatal; does not fail the lint by default.
+    Warning,
+    /// The input is wrong; `pegasus lint` exits nonzero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Per-rule reporting level, mirroring rustc's `-A`/`-W`/`-D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Suppress the rule entirely.
+    Allow,
+    /// Report as a [`Severity::Warning`].
+    Warn,
+    /// Report as a [`Severity::Error`].
+    Deny,
+}
+
+/// One entry in the static rule registry.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable diagnostic code, e.g. `"E0103"` or `"W0402"`.
+    pub code: &'static str,
+    /// Kebab-case rule name, accepted anywhere a code is.
+    pub name: &'static str,
+    /// Default reporting level.
+    pub default: Level,
+    /// One-line description for `--help` style listings and docs.
+    pub summary: &'static str,
+}
+
+/// Every rule `pegasus lint` knows, sorted by code.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "E0101",
+        name: "dax-syntax",
+        default: Level::Deny,
+        summary: "the DAX document is not well-formed XML",
+    },
+    Rule {
+        code: "E0102",
+        name: "duplicate-job",
+        default: Level::Deny,
+        summary: "a job id is declared more than once",
+    },
+    Rule {
+        code: "E0103",
+        name: "workflow-cycle",
+        default: Level::Deny,
+        summary: "the dependency graph contains a cycle (reported with its full path)",
+    },
+    Rule {
+        code: "E0104",
+        name: "conflicting-producers",
+        default: Level::Deny,
+        summary: "two jobs declare the same output file",
+    },
+    Rule {
+        code: "E0105",
+        name: "unknown-edge-reference",
+        default: Level::Deny,
+        summary: "a <child>/<parent> edge references a job id that does not exist",
+    },
+    Rule {
+        code: "E0201",
+        name: "fault-target-unknown-job",
+        default: Level::Deny,
+        summary: "a fault-plan scenario targets a job name the workflow cannot produce",
+    },
+    Rule {
+        code: "W0202",
+        name: "overlapping-blackouts",
+        default: Level::Warn,
+        summary: "two slot-blackout windows overlap in both time and slot range",
+    },
+    Rule {
+        code: "E0203",
+        name: "probability-out-of-range",
+        default: Level::Deny,
+        summary: "a fault probability lies outside [0, 1]",
+    },
+    Rule {
+        code: "W0204",
+        name: "inert-scenario",
+        default: Level::Warn,
+        summary: "a scenario has a zero-length window or zero probability and can never fire",
+    },
+    Rule {
+        code: "W0205",
+        name: "unreachable-scenario",
+        default: Level::Warn,
+        summary: "a scenario starts after any feasible finish given the retry limits",
+    },
+    Rule {
+        code: "E0206",
+        name: "fault-plan-syntax",
+        default: Level::Deny,
+        summary: "the fault plan is not syntactically valid",
+    },
+    Rule {
+        code: "E0301",
+        name: "unknown-site",
+        default: Level::Deny,
+        summary: "the requested site is not in the site catalog",
+    },
+    Rule {
+        code: "E0302",
+        name: "unresolvable-transformation",
+        default: Level::Deny,
+        summary: "a transformation is unavailable at the site and not installable",
+    },
+    Rule {
+        code: "W0303",
+        name: "timeout-below-kickstart",
+        default: Level::Warn,
+        summary: "the per-attempt timeout is below the fastest possible kickstart",
+    },
+    Rule {
+        code: "W0304",
+        name: "retries-disabled-under-faults",
+        default: Level::Warn,
+        summary: "retries are disabled although the platform or fault plan injects faults",
+    },
+    Rule {
+        code: "W0305",
+        name: "slot-budget-below-width",
+        default: Level::Warn,
+        summary: "the slot budget is smaller than the workflow's maximum width",
+    },
+    Rule {
+        code: "W0401",
+        name: "disconnected-job",
+        default: Level::Warn,
+        summary: "a job shares no files or edges with the rest of the workflow",
+    },
+    Rule {
+        code: "W0402",
+        name: "unconsumed-file",
+        default: Level::Warn,
+        summary: "an intermediate output is consumed by no job",
+    },
+    Rule {
+        code: "W0403",
+        name: "excessive-fan-out",
+        default: Level::Warn,
+        summary: "a job has more children than the fan limit",
+    },
+    Rule {
+        code: "W0404",
+        name: "excessive-fan-in",
+        default: Level::Warn,
+        summary: "a job has more parents than the fan limit",
+    },
+    Rule {
+        code: "W0405",
+        name: "unknown-transformation",
+        default: Level::Warn,
+        summary: "a job's transformation has no transformation-catalog entry",
+    },
+    Rule {
+        code: "E0701",
+        name: "workflow-started-misplaced",
+        default: Level::Deny,
+        summary: "the stream does not begin with exactly one workflow-started event",
+    },
+    Rule {
+        code: "E0702",
+        name: "event-after-finish",
+        default: Level::Deny,
+        summary: "events appear after workflow-finished (the stream kept running on a closed run)",
+    },
+    Rule {
+        code: "E0703",
+        name: "lifecycle-order",
+        default: Level::Deny,
+        summary: "a job event violates the submitted -> started -> terminal order",
+    },
+    Rule {
+        code: "E0704",
+        name: "nonmonotone-timestamps",
+        default: Level::Deny,
+        summary: "a job's timestamps go backwards",
+    },
+    Rule {
+        code: "E0705",
+        name: "retry-accounting",
+        default: Level::Deny,
+        summary: "a resubmission is not accounted for by a retry-scheduled event",
+    },
+    Rule {
+        code: "E0706",
+        name: "undeclared-job",
+        default: Level::Deny,
+        summary: "an event references a job id the stream never declared",
+    },
+    Rule {
+        code: "W0707",
+        name: "truncated-stream",
+        default: Level::Warn,
+        summary: "the stream has no workflow-finished (crashed or still-running run)",
+    },
+    Rule {
+        code: "E0708",
+        name: "event-log-syntax",
+        default: Level::Deny,
+        summary: "the event log is not syntactically valid",
+    },
+];
+
+/// Looks a rule up by code (`"E0103"`) or kebab-case name
+/// (`"workflow-cycle"`).
+pub fn rule(code_or_name: &str) -> Option<&'static Rule> {
+    RULES
+        .iter()
+        .find(|r| r.code == code_or_name || r.name == code_or_name)
+}
+
+/// One finding, modeled on a compiler diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Registry code, e.g. `"W0402"`.
+    pub code: &'static str,
+    /// Severity after the rule's default level (before overrides).
+    pub severity: Severity,
+    /// The file the finding is about, as given on the command line.
+    pub file: String,
+    /// Position inside `file`; [`Span::none`] when the finding is
+    /// about the input as a whole.
+    pub span: Span,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// Optional suggestion for fixing it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for a registered rule; the severity follows
+    /// the rule's default level.
+    ///
+    /// # Panics
+    /// Panics if `code` is not in [`RULES`] — lint passes only emit
+    /// registered codes.
+    pub fn new(
+        code: &'static str,
+        file: impl Into<String>,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Self {
+        let r = rule(code).unwrap_or_else(|| panic!("unregistered lint code {code}"));
+        Diagnostic {
+            code,
+            severity: match r.default {
+                Level::Deny => Severity::Error,
+                _ => Severity::Warning,
+            },
+            file: file.into(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a `help:` note.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+/// Per-run level overrides, the `--deny`/`--allow` surface.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Treat every warning as an error (`--deny warnings`).
+    pub deny_warnings: bool,
+    /// Per-rule overrides by code or name, applied after defaults.
+    pub overrides: Vec<(String, Level)>,
+}
+
+impl LintConfig {
+    /// Parses one `--deny`-style argument: `warnings`, a code, or a
+    /// rule name; comma-separated lists are accepted.
+    ///
+    /// # Errors
+    /// Returns the offending token when it names no known rule.
+    pub fn deny(&mut self, spec: &str) -> Result<(), String> {
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if tok == "warnings" {
+                self.deny_warnings = true;
+            } else if let Some(r) = rule(tok) {
+                self.overrides.push((r.code.to_string(), Level::Deny));
+            } else {
+                return Err(tok.to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses one `--allow`-style argument (codes or names, commas).
+    ///
+    /// # Errors
+    /// Returns the offending token when it names no known rule.
+    pub fn allow(&mut self, spec: &str) -> Result<(), String> {
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(r) = rule(tok) {
+                self.overrides.push((r.code.to_string(), Level::Allow));
+            } else {
+                return Err(tok.to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies level overrides and imposes the deterministic report order:
+/// allowed rules are dropped, denied rules (and, under
+/// `deny_warnings`, every warning) are promoted to errors, and the
+/// result is sorted by (file, span, code, message).
+pub fn resolve(mut diags: Vec<Diagnostic>, config: &LintConfig) -> Vec<Diagnostic> {
+    diags.retain_mut(|d| {
+        let mut level = None;
+        for (code, l) in &config.overrides {
+            if *code == d.code {
+                level = Some(*l);
+            }
+        }
+        match level {
+            Some(Level::Allow) => return false,
+            Some(Level::Deny) => d.severity = Severity::Error,
+            Some(Level::Warn) => d.severity = Severity::Warning,
+            None => {
+                if config.deny_warnings && d.severity == Severity::Warning {
+                    d.severity = Severity::Error;
+                }
+            }
+        }
+        true
+    });
+    diags.sort_by(|a, b| {
+        (&a.file, a.span, a.code, &a.message).cmp(&(&b.file, b.span, b.code, &b.message))
+    });
+    diags
+}
+
+/// True when any diagnostic is an error (the nonzero-exit condition).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Renders rustc-style text output:
+///
+/// ```text
+/// error[E0103]: workflow is not a DAG: cycle a -> b -> a
+///   --> bad.dax:3:1
+///   = help: remove one of the explicit <child> edges in the cycle
+/// ```
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        if d.span.is_none() {
+            let _ = writeln!(out, "  --> {}", d.file);
+        } else if d.span.col > 0 {
+            let _ = writeln!(out, "  --> {}:{}:{}", d.file, d.span.line, d.span.col);
+        } else {
+            let _ = writeln!(out, "  --> {}:{}", d.file, d.span.line);
+        }
+        if let Some(h) = &d.help {
+            let _ = writeln!(out, "  = help: {h}");
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let _ = writeln!(
+        out,
+        "lint: {errors} error{}, {warnings} warning{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the diagnostics as a deterministic JSON array (fixed key
+/// order, sorted input from [`resolve`]), suitable for golden-file
+/// diffing in CI.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        let name = rule(d.code).map(|r| r.name).unwrap_or("");
+        let _ = write!(
+            out,
+            "  {{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\
+             \"line\":{},\"col\":{},\"message\":\"{}\",\"help\":{}}}",
+            d.code,
+            name,
+            d.severity,
+            json_escape(&d.file),
+            d.span.line,
+            d.span.col,
+            json_escape(&d.message),
+            match &d.help {
+                Some(h) => format!("\"{}\"", json_escape(h)),
+                None => "null".to_string(),
+            },
+        );
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_unique_and_consistent() {
+        for w in RULES.windows(2) {
+            // Sorted by rule number; the E/W prefix is redundant with
+            // the default level, checked below.
+            assert!(
+                w[0].code[1..] < w[1].code[1..],
+                "{} !< {}",
+                w[0].code,
+                w[1].code
+            );
+        }
+        for r in RULES {
+            match r.default {
+                Level::Deny => assert!(r.code.starts_with('E'), "{}", r.code),
+                Level::Warn => assert!(r.code.starts_with('W'), "{}", r.code),
+                Level::Allow => panic!("no rule defaults to allow"),
+            }
+            assert!(rule(r.code).is_some() && rule(r.name).is_some());
+        }
+    }
+
+    #[test]
+    fn resolve_applies_overrides_and_sorts() {
+        let d1 = Diagnostic::new("W0402", "b.dax", Span::new(2, 1), "orphan");
+        let d2 = Diagnostic::new("E0103", "a.dax", Span::new(9, 9), "cycle");
+        let mut cfg = LintConfig::default();
+        cfg.deny("unconsumed-file").unwrap();
+        let out = resolve(vec![d1, d2], &cfg);
+        assert_eq!(out[0].code, "E0103");
+        assert_eq!(out[1].code, "W0402");
+        assert_eq!(out[1].severity, Severity::Error);
+
+        let mut cfg = LintConfig::default();
+        cfg.allow("W0402").unwrap();
+        let out = resolve(
+            vec![Diagnostic::new("W0402", "b.dax", Span::none(), "orphan")],
+            &cfg,
+        );
+        assert!(out.is_empty());
+
+        assert!(LintConfig::default().deny("no-such-rule").is_err());
+    }
+
+    #[test]
+    fn deny_warnings_promotes_everything() {
+        let cfg = LintConfig {
+            deny_warnings: true,
+            overrides: Vec::new(),
+        };
+        let out = resolve(
+            vec![Diagnostic::new("W0401", "x.dax", Span::none(), "floats")],
+            &cfg,
+        );
+        assert!(has_errors(&out));
+    }
+
+    #[test]
+    fn renderers_are_deterministic() {
+        let diags = vec![
+            Diagnostic::new("E0103", "w.dax", Span::new(3, 1), "cycle a -> b -> a")
+                .with_help("remove one edge"),
+            Diagnostic::new("W0402", "w.dax", Span::none(), "file \"x\" never consumed"),
+        ];
+        let text = render_text(&diags);
+        assert!(text.contains("error[E0103]: cycle a -> b -> a"));
+        assert!(text.contains("--> w.dax:3:1"));
+        assert!(text.contains("= help: remove one edge"));
+        assert!(text.contains("lint: 1 error, 1 warning"));
+        let json = render_json(&diags);
+        assert_eq!(json, render_json(&diags));
+        assert!(json.contains("\"code\":\"E0103\""));
+        assert!(json.contains("\"help\":null"));
+        assert!(json.contains("\\\"x\\\""));
+    }
+}

@@ -117,9 +117,16 @@ impl ExecutableWorkflow {
         self.jobs.iter().map(|j| j.install_hint).sum()
     }
 
-    /// Kahn topological order (the workflow is a DAG by construction;
-    /// this is exposed for engines and tests).
-    pub fn topological_order(&self) -> Vec<JobId> {
+    /// Kahn topological order.
+    ///
+    /// The planner only produces DAGs, but this is exposed to engines
+    /// and tests that may assemble executable workflows by hand.
+    ///
+    /// # Errors
+    /// Returns [`WmsError::InvariantViolation`] when the edge set is
+    /// cyclic — previously a `debug_assert!` that release builds
+    /// silently ignored, returning a truncated order.
+    pub fn topological_order(&self) -> Result<Vec<JobId>, WmsError> {
         let n = self.jobs.len();
         let mut indeg = vec![0usize; n];
         let mut adj: Vec<Vec<JobId>> = vec![Vec::new(); n];
@@ -139,8 +146,17 @@ impl ExecutableWorkflow {
                 }
             }
         }
-        debug_assert_eq!(order.len(), n, "executable workflow must be a DAG");
-        order
+        if order.len() != n {
+            let stuck: Vec<&str> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.jobs[i].name.as_str())
+                .collect();
+            return Err(WmsError::InvariantViolation {
+                invariant: "executable workflow is a DAG".into(),
+                detail: format!("cycle through {}", stuck.join(", ")),
+            });
+        }
+        Ok(order)
     }
 
     /// Graphviz dot rendering (compute ovals, install-annotated jobs
@@ -667,6 +683,46 @@ mod tests {
     }
 
     #[test]
+    fn cyclic_executable_workflow_is_a_typed_error() {
+        // Formerly a debug_assert!: release builds used to return a
+        // silently truncated order for a cyclic edge set.
+        let cyclic = ExecutableWorkflow {
+            name: "w".into(),
+            site: "test".into(),
+            jobs: vec![
+                ExecutableJob {
+                    id: 0,
+                    name: "a".into(),
+                    transformation: "t".into(),
+                    kind: JobKind::Compute,
+                    args: vec![],
+                    runtime_hint: 1.0,
+                    install_hint: 0.0,
+                    source_jobs: vec![],
+                },
+                ExecutableJob {
+                    id: 1,
+                    name: "b".into(),
+                    transformation: "t".into(),
+                    kind: JobKind::Compute,
+                    args: vec![],
+                    runtime_hint: 1.0,
+                    install_hint: 0.0,
+                    source_jobs: vec![],
+                },
+            ],
+            edges: vec![(0, 1), (1, 0)],
+        };
+        let err = cyclic.topological_order().unwrap_err();
+        assert!(
+            matches!(err, WmsError::InvariantViolation { .. }),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains('a') && msg.contains('b'), "{msg}");
+    }
+
+    #[test]
     fn edges_respect_dataflow_and_staging() {
         let (sites, tc, rc) = catalogs_with_submit_replicas();
         let wf = mini_blast2cap3(2);
@@ -685,7 +741,7 @@ mod tests {
         assert!(has_edge("merge", "extract_unjoined"));
         assert!(has_edge("extract_unjoined", "stage_out_final.fasta"));
         // The planned graph is a DAG covering every job.
-        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+        assert_eq!(exec.topological_order().unwrap().len(), exec.jobs.len());
     }
 
     #[test]
@@ -811,7 +867,7 @@ mod tests {
         assert_eq!(computes, 3); // list_transcripts, merge, extract_unjoined
                                  // joined_i come from replicas at the site: no stage-in needed
                                  // for them, but the original external inputs still stage.
-        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+        assert_eq!(exec.topological_order().unwrap().len(), exec.jobs.len());
     }
 
     #[test]
@@ -854,7 +910,7 @@ mod tests {
             .collect();
         assert_eq!(sinks.len(), 1);
         assert_eq!(exec.jobs[sinks[0]].kind, JobKind::Cleanup);
-        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+        assert_eq!(exec.topological_order().unwrap().len(), exec.jobs.len());
     }
 
     #[test]
@@ -872,7 +928,7 @@ mod tests {
         cfg.data_reuse = true;
         cfg.add_cleanup = true;
         let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
-        assert_eq!(exec.topological_order().len(), exec.jobs.len());
+        assert_eq!(exec.topological_order().unwrap().len(), exec.jobs.len());
         let counts = exec.counts_by_kind();
         assert_eq!(counts[&JobKind::Cleanup], 1);
         assert_eq!(counts[&JobKind::CreateDir], 1);

@@ -8,6 +8,7 @@ use pegasus_wms::engine::scripted::ScriptedBackend;
 use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
 use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, WorkflowSpec};
 use pegasus_wms::events;
+use pegasus_wms::lint;
 use pegasus_wms::planner::{cluster_workflow, plan, JobKind, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
 use pegasus_wms::statistics::{compute, render_summary_csv};
@@ -115,7 +116,7 @@ proptest! {
                 .sum();
             prop_assert!((total_abstract - total_planned).abs() < 1e-9);
             // The planned graph stays a DAG.
-            prop_assert_eq!(exec.topological_order().len(), exec.jobs.len());
+            prop_assert_eq!(exec.topological_order().unwrap().len(), exec.jobs.len());
         }
     }
 
@@ -409,7 +410,8 @@ proptest! {
             &mut ens_be,
             &[WorkflowSpec::new(exec.clone(), cfg)],
             &EnsembleConfig::default(),
-        );
+        )
+        .unwrap();
 
         prop_assert_eq!(&single_be.log, &ens_be.log, "submission tapes diverge");
         let e = &ens.runs[0];
@@ -484,6 +486,95 @@ proptest! {
             prop_assert_eq!(a_sorted, b_sorted);
             prop_assert!((a.install_cost_per_pkg - b.install_cost_per_pkg).abs() < 1e-9);
         }
+    }
+
+    /// The linter is total: any generated workflow shape, any fan
+    /// limit, with or without a catalog, lints and renders without
+    /// panicking, and the diagnostics it emits all carry registered
+    /// codes.
+    #[test]
+    fn lint_never_panics_on_generated_workflows(
+        layers in 1usize..5, width in 1usize..5, bits: u64, fan in 1usize..8
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (_sites, tc) = paper_catalogs();
+        let text = dax::to_dax(&wf);
+        for catalog in [None, Some(&tc)] {
+            let opts = lint::DaxLintOptions { fan_limit: fan, source: Some(&text) };
+            let diags = lint::resolve(
+                lint::check_workflow(&wf, "gen.dax", catalog, &opts),
+                &lint::LintConfig::default(),
+            );
+            for d in &diags {
+                prop_assert!(lint::rule(d.code).is_some(), "unregistered {}", d.code);
+            }
+            let _ = lint::render_text(&diags);
+            let _ = lint::render_json(&diags);
+        }
+    }
+
+    /// Mangled DAX text — a valid document truncated anywhere with
+    /// arbitrary junk appended — either parses (and then lints) or
+    /// classifies into a parse diagnostic. No input may panic.
+    #[test]
+    fn lint_never_panics_on_mangled_dax_text(
+        layers in 1usize..4, width in 1usize..4, bits: u64,
+        cut in 0usize..4096, junk in "\\PC{0,80}",
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let mut text = dax::to_dax(&wf);
+        // to_dax emits ASCII, so any cut lands on a char boundary.
+        text.truncate(cut.min(text.len()));
+        text.push_str(&junk);
+        match dax::from_dax_unvalidated(&text) {
+            Ok(parsed) => {
+                let opts = lint::DaxLintOptions { fan_limit: 500, source: Some(&text) };
+                let _ = lint::check_workflow(&parsed, "cut.dax", None, &opts);
+            }
+            Err(e) => {
+                let d = lint::classify_parse_error(&e, "cut.dax");
+                prop_assert!(d.code == "E0101" || d.code == "E0102", "{}", d.code);
+            }
+        }
+    }
+
+    /// The sanitizer accepts what the engine emits: for any workflow
+    /// shape, fail plan, and retry budget — success or failure — the
+    /// written log parses back and sanitizes with zero diagnostics.
+    #[test]
+    fn sanitizer_accepts_every_engine_event_stream(
+        layers in 1usize..4,
+        width in 1usize..4,
+        bits: u64,
+        fail_mask in 0u64..u64::MAX,
+        max_retries in 0u32..3,
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (sites, tc) = paper_catalogs();
+        let rc = ReplicaCatalog::new();
+        let mut cfg = PlannerConfig::for_site("sandhills");
+        cfg.add_create_dir = false;
+        cfg.stage_data = false;
+        let exec = plan(&wf, &sites, &tc, &rc, &cfg).unwrap();
+
+        let mut be = ScriptedBackend::new();
+        for (i, j) in exec.jobs.iter().enumerate() {
+            let k = ((fail_mask >> ((i % 16) * 4)) & 0xF) as u32;
+            for attempt in 0..k.min(5) {
+                be.fail_plan.insert((j.name.clone(), attempt));
+            }
+        }
+        let run = Engine::run(
+            &mut be,
+            &exec,
+            &EngineConfig::builder().retries(max_retries).build(),
+            &mut NoopMonitor,
+        );
+
+        let text = events::log::write(&run.events);
+        let parsed = events::log::parse_lines(&text).unwrap();
+        let diags = lint::check_events(&parsed, "run.events");
+        prop_assert!(diags.is_empty(), "{}", lint::render_text(&diags));
     }
 
     #[test]

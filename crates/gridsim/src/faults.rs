@@ -45,6 +45,9 @@ pub enum Scenario {
         duration: f64,
         /// Per-attempt kill probability.
         kill_probability: f64,
+        /// Restrict the storm to jobs whose name starts with this
+        /// prefix (`None` = every job).
+        target: Option<String>,
     },
     /// Slots `[first_slot, first_slot+slot_count)` leave the pool at
     /// `start` and return at `start+duration`; their occupants are
@@ -71,6 +74,9 @@ pub enum Scenario {
         slowdown: f64,
         /// Probability an attempt is placed on a straggler node.
         probability: f64,
+        /// Restrict the slowdown to jobs whose name starts with this
+        /// prefix (`None` = every job).
+        target: Option<String>,
     },
     /// Attempts whose install phase overlaps `[start, start+duration)`
     /// fail during provisioning with probability `fail_probability`.
@@ -82,6 +88,9 @@ pub enum Scenario {
         duration: f64,
         /// Per-attempt install-failure probability.
         fail_probability: f64,
+        /// Restrict the burst to jobs whose name starts with this
+        /// prefix (`None` = every job).
+        target: Option<String>,
     },
     /// The submit host crashes after `after_events` completion events
     /// have been processed by the engine; the run stops with a rescue
@@ -116,6 +125,10 @@ fn fields(rest: &str, line: usize) -> Result<Vec<(&str, &str)>, WmsError> {
                 .ok_or_else(|| parse_err(line, format!("expected key=value, got {tok:?}")))
         })
         .collect()
+}
+
+fn take_opt<'a>(fields: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
 }
 
 fn take<'a>(fields: &[(&str, &'a str)], key: &str, line: usize) -> Result<&'a str, WmsError> {
@@ -187,6 +200,7 @@ impl FaultPlan {
                             "kill-probability",
                             line,
                         )?,
+                        target: take_opt(&f, "target").map(str::to_string),
                     });
                 }
                 "slot-blackout" => {
@@ -216,6 +230,7 @@ impl FaultPlan {
                             "probability",
                             line,
                         )?,
+                        target: take_opt(&f, "target").map(str::to_string),
                     });
                 }
                 "install-failure-burst" => {
@@ -228,6 +243,7 @@ impl FaultPlan {
                             "fail-probability",
                             line,
                         )?,
+                        target: take_opt(&f, "target").map(str::to_string),
                     });
                 }
                 "submit-host-crash" => {
@@ -251,6 +267,12 @@ impl FaultPlan {
     /// [`FaultPlan::parse`] up to whitespace and comments).
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
+        fn suffix(target: &Option<String>) -> String {
+            target
+                .as_ref()
+                .map(|t| format!(" target={t}"))
+                .unwrap_or_default()
+        }
         let mut out = String::new();
         if !self.name.is_empty() {
             let _ = writeln!(out, "plan {}", self.name);
@@ -261,10 +283,12 @@ impl FaultPlan {
                     start,
                     duration,
                     kill_probability,
+                    target,
                 } => {
                     let _ = writeln!(
                         out,
-                        "preemption-storm start={start} duration={duration} kill-probability={kill_probability}"
+                        "preemption-storm start={start} duration={duration} kill-probability={kill_probability}{}",
+                        suffix(target)
                     );
                 }
                 Scenario::SlotBlackout {
@@ -283,20 +307,24 @@ impl FaultPlan {
                     duration,
                     slowdown,
                     probability,
+                    target,
                 } => {
                     let _ = writeln!(
                         out,
-                        "straggler start={start} duration={duration} slowdown={slowdown} probability={probability}"
+                        "straggler start={start} duration={duration} slowdown={slowdown} probability={probability}{}",
+                        suffix(target)
                     );
                 }
                 Scenario::InstallFailureBurst {
                     start,
                     duration,
                     fail_probability,
+                    target,
                 } => {
                     let _ = writeln!(
                         out,
-                        "install-failure-burst start={start} duration={duration} fail-probability={fail_probability}"
+                        "install-failure-burst start={start} duration={duration} fail-probability={fail_probability}{}",
+                        suffix(target)
                     );
                 }
                 Scenario::SubmitHostCrash { after_events } => {
@@ -405,6 +433,9 @@ impl FaultScript {
     /// preemption storms against the stretched window; the earliest
     /// kill wins.
     pub fn decide(&self, job: &str, attempt: u32, timing: &AttemptTiming) -> FaultDecision {
+        fn targeted(target: &Option<String>, job: &str) -> bool {
+            target.as_ref().is_none_or(|t| job.starts_with(t.as_str()))
+        }
         let mut slowdown = 1.0_f64;
         for (k, s) in self.plan.scenarios.iter().enumerate() {
             if let Scenario::Straggler {
@@ -412,9 +443,13 @@ impl FaultScript {
                 duration,
                 slowdown: factor,
                 probability,
+                target,
             } = s
             {
-                if timing.start >= *start && timing.start < start + duration {
+                if targeted(target, job)
+                    && timing.start >= *start
+                    && timing.start < start + duration
+                {
                     let mut rng = self.rng_for(job, attempt, k);
                     if rng.gen_bool(*probability) {
                         slowdown *= factor;
@@ -437,10 +472,11 @@ impl FaultScript {
                     start,
                     duration,
                     fail_probability,
+                    target,
                 } => {
                     let lo = timing.start.max(*start);
                     let hi = install_end.min(start + duration);
-                    if lo < hi {
+                    if targeted(target, job) && lo < hi {
                         let mut rng = self.rng_for(job, attempt, k);
                         if rng.gen_bool(*fail_probability) {
                             propose(
@@ -454,10 +490,11 @@ impl FaultScript {
                     start,
                     duration,
                     kill_probability,
+                    target,
                 } => {
                     let lo = timing.start.max(*start);
                     let hi = busy_end.min(start + duration);
-                    if lo < hi {
+                    if targeted(target, job) && lo < hi {
                         let mut rng = self.rng_for(job, attempt, k);
                         if rng.gen_bool(*kill_probability) {
                             propose(
@@ -674,6 +711,27 @@ submit-host-crash after-events=150
         assert_eq!(d.slowdown, 10.0);
         let (at, _) = d.kill.expect("slowed attempt runs into the storm");
         assert!((50.0..80.0).contains(&at));
+    }
+
+    #[test]
+    fn targeted_scenarios_only_bite_matching_jobs() {
+        let text = "preemption-storm start=0 duration=100 kill-probability=1.0 target=run_cap3\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert!(matches!(
+            &plan.scenarios[0],
+            Scenario::PreemptionStorm { target: Some(t), .. } if t == "run_cap3"
+        ));
+        // target= round-trips through the text format.
+        assert_eq!(FaultPlan::parse(&plan.to_text()).unwrap(), plan);
+
+        let s = FaultScript::new(plan, 5);
+        let t = AttemptTiming {
+            start: 10.0,
+            install_duration: 0.0,
+            exec_duration: 50.0,
+        };
+        assert!(s.decide("run_cap3_7", 0, &t).kill.is_some());
+        assert_eq!(s.decide("merge", 0, &t), FaultDecision::clean());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`faults`] — seeded, scriptable fault plans (preemption storms,
 //!   blackouts, stragglers, install bursts, submit-host crashes) that
 //!   replay identically on this simulator and on the real `condor`
-//!   pool.
+//!   pool;
+//! * [`faults_lint`] — the fault-plan rules of `pegasus lint`
+//!   (`E0201`–`W0205`), cross-checking plans against the workflow and
+//!   retry policy they will run under.
 //!
 //! The key property: nothing about the paper's *findings* is
 //! hard-coded. Sandhills beating OSG, the >95 % serial-vs-workflow
@@ -33,10 +36,12 @@ pub mod backend;
 pub mod dist;
 pub mod event;
 pub mod faults;
+pub mod faults_lint;
 pub mod platform;
 pub mod platforms;
 
 pub use backend::SimBackend;
 pub use faults::{AttemptTiming, FaultDecision, FaultPlan, FaultScript, Scenario};
+pub use faults_lint::{lint_plan, PlanLintContext};
 pub use platform::PlatformModel;
 pub use platforms::{osg, sandhills};

@@ -2,10 +2,13 @@
 
 use gridsim::dist::Dist;
 use gridsim::event::EventQueue;
+use gridsim::faults::{FaultPlan, Scenario};
 use gridsim::platform::PlatformModel;
+use gridsim::PlanLintContext;
 use gridsim::SimBackend;
-use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, WorkflowRun};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, RetryPolicy, WorkflowRun};
 use pegasus_wms::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
+use pegasus_wms::workflow::{AbstractWorkflow, Job};
 use proptest::prelude::*;
 
 fn run_workflow(
@@ -124,6 +127,78 @@ proptest! {
         prop_assert_eq!(run1.wall_time, run2.wall_time);
         for (a, b) in run1.records.iter().zip(&run2.records) {
             prop_assert_eq!(a.times, b.times);
+        }
+    }
+
+    /// The fault-plan lint pass is total: scenarios built
+    /// programmatically from raw bit patterns (NaN, infinities,
+    /// subnormals, negative zero) never panic it, with or without a
+    /// workflow/retry context, and every diagnostic it emits carries
+    /// a registered rule code.
+    #[test]
+    fn lint_plan_never_panics_on_arbitrary_scenarios(
+        specs in proptest::collection::vec(
+            (0u8..5, any::<u64>(), any::<u64>(), any::<u64>(), 0u8..4),
+            0..8
+        ),
+    ) {
+        let scenario = |kind: u8, a: u64, b: u64, c: u64, tsel: u8| {
+            let f = f64::from_bits;
+            let target = match tsel {
+                0 => None,
+                1 => Some("run_cap3".to_string()),
+                2 => Some("stage_in".to_string()),
+                _ => Some("zzz_nonexistent".to_string()),
+            };
+            match kind {
+                0 => Scenario::PreemptionStorm {
+                    start: f(a), duration: f(b), kill_probability: f(c), target,
+                },
+                1 => Scenario::SlotBlackout {
+                    start: f(a), duration: f(b),
+                    first_slot: (a % 64) as usize, slot_count: (c % 64) as usize,
+                },
+                2 => Scenario::Straggler {
+                    start: f(a), duration: f(b), slowdown: f(c),
+                    probability: f(a ^ b), target,
+                },
+                3 => Scenario::InstallFailureBurst {
+                    start: f(a), duration: f(b), fail_probability: f(c), target,
+                },
+                _ => Scenario::SubmitHostCrash { after_events: a },
+            }
+        };
+        let plan = FaultPlan {
+            name: "prop".into(),
+            scenarios: specs
+                .iter()
+                .map(|&(k, a, b, c, t)| scenario(k, a, b, c, t))
+                .collect(),
+        };
+
+        let mut wf = AbstractWorkflow::new("w");
+        wf.add_job(Job::new("run_cap3_1", "run_cap3").runtime(5.0)).unwrap();
+        wf.add_job(Job::new("merge", "merge").runtime(2.0)).unwrap();
+        let retry = RetryPolicy::exponential(2, 13.0);
+
+        for ctx in [
+            PlanLintContext::default(),
+            // A source whose line count disagrees with the scenario
+            // count, to exercise the span-recovery fallback.
+            PlanLintContext {
+                source: Some("plan prop\n# comment\n"),
+                workflow: Some(&wf),
+                retry: Some(&retry),
+            },
+        ] {
+            let diags = gridsim::lint_plan(&plan, "prop.fp", &ctx);
+            for d in &diags {
+                prop_assert!(
+                    pegasus_wms::lint::rule(d.code).is_some(),
+                    "unregistered {}",
+                    d.code
+                );
+            }
         }
     }
 

@@ -17,7 +17,12 @@
 //! * `pegasus breakdown` — the paper's Fig. 7–8 per-task phase
 //!   decomposition per site/per n, live or `--from-events`;
 //! * `pegasus metrics` — the metrics registry in Prometheus text
-//!   exposition format, live or `--from-events`.
+//!   exposition format, live or `--from-events`;
+//! * `pegasus lint` — compiler-style static analysis of a DAX (plus
+//!   optional fault plans, run configuration, and event logs) with
+//!   rustc-style diagnostics, `--deny`/`--allow` level control, and a
+//!   JSON output mode for CI. A warn-only pass of the same rules runs
+//!   automatically at the top of `run` and `ensemble`.
 //!
 //! Example session (mirrors §V of the paper):
 //!
@@ -62,7 +67,10 @@ fn usage() -> ! {
          pegasus breakdown [--site <both|sandhills|osg|osg_prestaged>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--out <csv>] [--events-dir <dir>] [--quiet]\n  \
          pegasus breakdown --from-events <file,file,...> [--out <csv>] [--quiet]\n  \
          pegasus metrics [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--out <prom>]\n  \
-         pegasus metrics --from-events <file,file,...> [--out <prom>]"
+         pegasus metrics --from-events <file,file,...> [--out <prom>]\n  \
+         pegasus lint <dax> [--format <text|json>] [--deny <warnings|code|name,...>] [--allow <code|name,...>]\n  \
+              [--site <name>] [--catalog <file>] [--fault-plan <file,...>] [--events <file,...>]\n  \
+              [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--slots <n>] [--fan-limit <n>]"
     );
     std::process::exit(2);
 }
@@ -281,7 +289,9 @@ fn cmd_plan(args: &Args) -> ExitCode {
 /// elided.
 fn ascii_dag(exec: &pegasus_wms::planner::ExecutableWorkflow) -> String {
     use std::fmt::Write as _;
-    let order = exec.topological_order();
+    let order = exec
+        .topological_order()
+        .expect("planner output is always a DAG");
     let parents = exec.parents();
     let mut level = vec![0usize; exec.jobs.len()];
     for &j in &order {
@@ -543,6 +553,191 @@ fn cmd_metrics(args: &Args) -> ExitCode {
 /// ensemble: every `--sizes` entry becomes its own blast2cap3 workflow
 /// and all of them run concurrently over the shared simulated
 /// platform, under one seed and one slot budget.
+/// Gathers every lint diagnostic the given flags make checkable: the
+/// DAX passes always, the config pass when `--site`/`--slots` is
+/// given, the fault-plan pass per `--fault-plan`, and (only when
+/// `include_event_logs`) the sanitizer per `--events`. The event-log
+/// pass is opt-in because `run` uses `--events` as an *output* path.
+fn collect_lint(
+    args: &Args,
+    dax_path: &str,
+    include_event_logs: bool,
+) -> Vec<pegasus_wms::lint::Diagnostic> {
+    use pegasus_wms::error::{Span, WmsError};
+    use pegasus_wms::lint::{self, Diagnostic};
+
+    let mut diags = Vec::new();
+    let (sites, tc, _rc) = load_catalogs(args);
+
+    let text = std::fs::read_to_string(dax_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {dax_path}: {e}");
+        std::process::exit(1);
+    });
+    // The unvalidated parse keeps cyclic or conflicted workflows
+    // alive so the structural pass can report the full story instead
+    // of stopping at the first validation error.
+    let wf = match dax::from_dax_unvalidated(&text) {
+        Ok(wf) => Some(wf),
+        Err(e) => {
+            diags.push(lint::classify_parse_error(&e, dax_path));
+            None
+        }
+    };
+    if let Some(wf) = &wf {
+        let opts = pegasus_wms::lint::DaxLintOptions {
+            fan_limit: args.parsed("fan-limit", 500usize),
+            source: Some(&text),
+        };
+        diags.extend(lint::check_workflow(wf, dax_path, Some(&tc), &opts));
+    }
+
+    let policy = retry_policy_from(args, args.parsed("retries", 3u32));
+    let site = args.get("site");
+    let faults_active =
+        args.get("fault-plan").is_some() || matches!(site, Some("osg" | "osg_prestaged"));
+    if let Some(wf) = &wf {
+        if site.is_some() || args.get("slots").is_some() {
+            let ctx = lint::RunContext {
+                site: site.map(|s| if s == "osg_prestaged" { "osg" } else { s }),
+                sites: Some(&sites),
+                transformations: Some(&tc),
+                retry: Some(&policy),
+                slot_budget: args.get("slots").map(|_| args.parsed("slots", 1usize)),
+                faults_active,
+            };
+            diags.extend(lint::check_config(wf, dax_path, &ctx));
+        }
+    }
+
+    if let Some(list) = args.get("fault-plan") {
+        for path in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let ptext = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read fault plan {path}: {e}");
+                std::process::exit(1);
+            });
+            match FaultPlan::parse(&ptext) {
+                Ok(plan) => {
+                    let ctx = gridsim::PlanLintContext {
+                        source: Some(&ptext),
+                        workflow: wf.as_ref(),
+                        retry: Some(&policy),
+                    };
+                    diags.extend(gridsim::lint_plan(&plan, path, &ctx));
+                }
+                Err(WmsError::FaultPlanParse { line, reason })
+                    if reason.contains("must be in [0, 1]") =>
+                {
+                    diags.push(Diagnostic::new("E0203", path, Span::line(line), reason));
+                }
+                Err(WmsError::FaultPlanParse { line, reason }) => {
+                    diags.push(Diagnostic::new("E0206", path, Span::line(line), reason));
+                }
+                Err(e) => {
+                    diags.push(Diagnostic::new("E0206", path, Span::none(), e.to_string()));
+                }
+            }
+        }
+    }
+
+    if include_event_logs {
+        if let Some(list) = args.get("events") {
+            for path in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                let etext = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read event log {path}: {e}");
+                    std::process::exit(1);
+                });
+                match events::log::parse_lines(&etext) {
+                    Ok(pairs) => diags.extend(lint::check_events(&pairs, path)),
+                    Err(WmsError::EventLogParse { line, reason }) => {
+                        diags.push(Diagnostic::new("E0708", path, Span::line(line), reason));
+                    }
+                    Err(e) => {
+                        diags.push(Diagnostic::new("E0708", path, Span::none(), e.to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+/// `pegasus lint`: the static analyzer. The one subcommand with a
+/// positional argument (`<dax>`), so it splits positionals off before
+/// the shared flag parser runs. Exits 1 when any diagnostic resolves
+/// to an error under `--deny`/`--allow`, 2 on bad invocation.
+fn cmd_lint(raw: &[String]) -> ExitCode {
+    use pegasus_wms::lint;
+
+    let mut positional = Vec::new();
+    let mut flagged = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i].starts_with("--") {
+            flagged.push(raw[i].clone());
+            if i + 1 < raw.len() {
+                flagged.push(raw[i + 1].clone());
+            }
+            i += 2;
+        } else {
+            positional.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    let args = Args::parse(&flagged, &[]);
+    let dax_path = match (positional.as_slice(), args.get("dax")) {
+        ([p], None) => p.clone(),
+        ([], Some(p)) => p.to_string(),
+        _ => {
+            eprintln!("lint needs exactly one <dax> (positional or --dax)");
+            usage();
+        }
+    };
+
+    let mut config = lint::LintConfig::default();
+    if let Some(spec) = args.get("deny") {
+        if let Err(tok) = config.deny(spec) {
+            eprintln!("--deny: {tok:?} names no known lint (try a code like E0103, a rule name, or `warnings`)");
+            std::process::exit(2);
+        }
+    }
+    if let Some(spec) = args.get("allow") {
+        if let Err(tok) = config.allow(spec) {
+            eprintln!("--allow: {tok:?} names no known lint");
+            std::process::exit(2);
+        }
+    }
+
+    let diags = lint::resolve(collect_lint(&args, &dax_path, true), &config);
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", lint::render_text(&diags)),
+        "json" => print!("{}", lint::render_json(&diags)),
+        other => {
+            eprintln!("unknown --format {other:?} (use text or json)");
+            usage();
+        }
+    }
+    if lint::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Warn-only lint pass at the top of `run`: diagnostics go to stderr
+/// at their default levels, never change the exit code, and stdout
+/// stays byte-identical.
+fn preflight_lint(args: &Args, dax_path: &str) {
+    use pegasus_wms::lint;
+    let diags = lint::resolve(
+        collect_lint(args, dax_path, false),
+        &lint::LintConfig::default(),
+    );
+    if !diags.is_empty() {
+        eprint!("{}", lint::render_text(&diags));
+    }
+}
+
 fn cmd_ensemble(args: &Args) -> ExitCode {
     use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble;
 
@@ -556,6 +751,32 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
         .seed(seed)
         .build();
     let slot_budget = args.get("slots").map(|_| args.parsed("slots", 1usize));
+
+    // Warn-only feasibility lint on the widest member before any
+    // simulation runs: slot budgets below the width, missing software
+    // on the target site, retries disabled under preemption.
+    if !args.flag("quiet") {
+        use pegasus_wms::lint;
+        let widest = *sizes.iter().max().expect("sizes is non-empty");
+        let wf = build_workflow(&WorkflowParams::with_n(widest));
+        let (sites_cat, tc, _rc) = load_catalogs(args);
+        let ctx = lint::RunContext {
+            site: Some(if site == "osg_prestaged" { "osg" } else { site }),
+            sites: Some(&sites_cat),
+            transformations: Some(&tc),
+            retry: Some(&retry_policy_from(args, retries)),
+            slot_budget,
+            faults_active: matches!(site, "osg" | "osg_prestaged"),
+        };
+        let label = format!("<blast2cap3 n={widest}>");
+        let diags = lint::resolve(
+            lint::check_config(&wf, &label, &ctx),
+            &lint::LintConfig::default(),
+        );
+        if !diags.is_empty() {
+            eprint!("{}", lint::render_text(&diags));
+        }
+    }
 
     let out = simulate_blast2cap3_ensemble(site, &sizes, seed, &engine_cfg, slot_budget);
 
@@ -616,7 +837,11 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
 }
 
 fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
-    let wf = load_dax(args.require("dax"));
+    let dax_path = args.require("dax");
+    if !csv_only && !args.flag("quiet") {
+        preflight_lint(args, dax_path);
+    }
+    let wf = load_dax(dax_path);
     let site = args.require("site");
     let seed: u64 = args.parsed("seed", 20140519u64);
     let retries: u32 = args.parsed("retries", 3u32);
@@ -764,6 +989,11 @@ fn main() -> ExitCode {
         usage();
     };
     let rest = &raw[1..];
+    if cmd == "lint" {
+        // lint takes a positional <dax>, which the shared parser
+        // rejects; it does its own argument handling.
+        return cmd_lint(rest);
+    }
     let bool_flags = ["calibrated", "data-reuse", "cleanup", "quiet", "ascii"];
     let args = Args::parse(rest, &bool_flags);
     match cmd {

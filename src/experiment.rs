@@ -262,7 +262,8 @@ pub fn simulate_blast2cap3_ensemble(
         Some(b) => EnsembleConfig::with_slot_budget(b),
         None => EnsembleConfig::default(),
     };
-    let run = run_ensemble(&mut backend, &specs, &ens_cfg);
+    let run = run_ensemble(&mut backend, &specs, &ens_cfg)
+        .expect("planner output always has dense job ids");
     let stats = compute_ensemble(&run);
     EnsembleOutcome { run, stats }
 }

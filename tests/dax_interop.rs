@@ -84,9 +84,13 @@ fn malformed_dax_yields_typed_errors_not_panics() {
     // Unclosed <job>: the trailing job must not be silently dropped.
     let unclosed_job = "<adag name=\"w\">\n  <job id=\"a\" name=\"t\">\n";
     match dax::from_dax(unclosed_job).unwrap_err() {
-        WmsError::DaxParse { line, reason } => {
+        WmsError::DaxParse { span, reason } => {
             assert!(reason.contains("unclosed <job"), "{reason}");
-            assert!(line >= 2, "error after the open tag, got line {line}");
+            assert!(
+                span.line >= 2,
+                "error after the open tag, got line {}",
+                span.line
+            );
         }
         other => panic!("unexpected {other:?}"),
     }

@@ -47,7 +47,7 @@ fn singleton_unbounded_ensemble_is_bit_identical_to_engine_run() {
 
     let specs = vec![WorkflowSpec::new(plan_blast2cap3("osg", 40, SEED), cfg)];
     let mut be_ens = sim_backend_for("osg", SEED);
-    let ens = run_ensemble(&mut be_ens, &specs, &EnsembleConfig::unbounded());
+    let ens = run_ensemble(&mut be_ens, &specs, &EnsembleConfig::unbounded()).unwrap();
 
     assert_eq!(ens.runs.len(), 1);
     let member = &ens.runs[0];
@@ -80,7 +80,7 @@ fn crashed_member_rescues_and_one_resubmission_completes_it() {
         WorkflowSpec::new(plan_blast2cap3("sandhills", 40, SEED), crashing_cfg),
     ];
     let mut backend = sim_backend_for("sandhills", SEED);
-    let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default());
+    let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
 
     assert!(ens.runs[0].succeeded(), "healthy member must finish");
     let rescue = match &ens.runs[1].outcome {

@@ -1,0 +1,3 @@
+# Storm aimed at a job family this workflow does not have.
+plan bad-target
+preemption-storm start=0 duration=100 kill-probability=0.5 target=blastn

@@ -1,0 +1,2 @@
+plan impossible
+preemption-storm start=0 duration=100 kill-probability=1.5

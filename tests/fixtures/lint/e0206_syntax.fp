@@ -1,0 +1,2 @@
+plan broken
+wibble start=1

@@ -1,0 +1,4 @@
+# Two blackout windows that double-count slots 4..8 at t=50..100.
+plan overlap
+slot-blackout start=0 duration=100 first-slot=0 count=8
+slot-blackout start=50 duration=100 first-slot=4 count=8

@@ -1,0 +1,2 @@
+plan noop
+straggler start=0 duration=0 slowdown=2 probability=0.5

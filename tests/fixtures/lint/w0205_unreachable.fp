@@ -1,0 +1,3 @@
+# A storm scheduled long after any feasible finish of a small DAX.
+plan too-late
+preemption-storm start=99999999 duration=10 kill-probability=0.5

@@ -1,0 +1,295 @@
+//! End-to-end tests for `pegasus lint`, run as a real process over
+//! the committed defect fixtures in `tests/fixtures/lint/`.
+//!
+//! The contract under test is the PR's acceptance bar: every rule has
+//! a fixture that triggers exactly its code, shipped examples lint
+//! clean, `--deny` flips the exit code, the sanitizer flags each
+//! hand-corrupted event log while accepting engine-generated ones
+//! byte-for-byte, and the JSON output matches the committed golden.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pegasus() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pegasus"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("b2c3_lint_tests")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fixture(name: &str) -> String {
+    format!("tests/fixtures/lint/{name}")
+}
+
+/// Runs `pegasus lint` with the given args; returns (exit ok, codes
+/// emitted, stdout).
+fn lint(args: &[&str]) -> (bool, Vec<String>, String) {
+    let out = pegasus()
+        .arg("lint")
+        .args(args)
+        .args(["--format", "json"])
+        .output()
+        .expect("spawn pegasus lint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let mut codes = Vec::new();
+    for part in stdout.split("\"code\":\"").skip(1) {
+        codes.push(part[..part.find('"').unwrap()].to_string());
+    }
+    (out.status.success(), codes, stdout)
+}
+
+#[test]
+fn every_dax_rule_has_a_fixture_that_triggers_exactly_it() {
+    for code in ["E0101", "E0102", "E0103", "E0104", "E0105"] {
+        let name = match code {
+            "E0101" => "e0101_syntax.dax",
+            "E0102" => "e0102_duplicate_job.dax",
+            "E0103" => "e0103_cycle.dax",
+            "E0104" => "e0104_conflicting_producers.dax",
+            _ => "e0105_unknown_edge.dax",
+        };
+        let (ok, codes, out) = lint(&[&fixture(name)]);
+        assert!(!ok, "{name} must exit nonzero (errors by default)");
+        assert!(!codes.is_empty(), "{name} emitted nothing");
+        assert!(codes.iter().all(|c| c == code), "{name}: {out}");
+    }
+    for (name, code) in [
+        ("w0401_disconnected.dax", "W0401"),
+        ("w0402_unconsumed.dax", "W0402"),
+        ("w0405_unknown_transformation.dax", "W0405"),
+    ] {
+        let (ok, codes, out) = lint(&[&fixture(name)]);
+        assert!(ok, "{name}: warnings alone must exit zero");
+        assert_eq!(codes, vec![code], "{name}: {out}");
+    }
+    // The fan rules need a lowered limit: the default of 500 clears
+    // the paper's n=300 decomposition.
+    for (name, code) in [("w0403_fanout.dax", "W0403"), ("w0404_fanin.dax", "W0404")] {
+        let (ok, codes, out) = lint(&[&fixture(name), "--fan-limit", "4"]);
+        assert!(ok, "{name}");
+        assert_eq!(codes, vec![code], "{name}: {out}");
+        // And at the default limit the same fixture is clean.
+        let (_, codes, _) = lint(&[&fixture(name)]);
+        assert!(codes.is_empty(), "{name} must be clean at fan-limit 500");
+    }
+}
+
+#[test]
+fn every_fault_plan_rule_has_a_fixture_that_triggers_exactly_it() {
+    let dax = fixture("clean_small.dax");
+    for (name, code, errs) in [
+        ("e0201_unknown_target.fp", "E0201", true),
+        ("w0202_overlap.fp", "W0202", false),
+        ("e0203_probability.fp", "E0203", true),
+        ("w0204_inert.fp", "W0204", false),
+        ("w0205_unreachable.fp", "W0205", false),
+        ("e0206_syntax.fp", "E0206", true),
+    ] {
+        let (ok, codes, out) = lint(&[&dax, "--fault-plan", &fixture(name)]);
+        assert_eq!(ok, !errs, "{name}: wrong exit");
+        assert_eq!(codes, vec![code], "{name}: {out}");
+    }
+}
+
+#[test]
+fn config_rules_catch_the_paper_osg_misconfiguration() {
+    // cap3 exists natively on the campus cluster only, and the
+    // transformation refuses to self-install: an error on OSG, clean
+    // on Sandhills (the paper's platform asymmetry, SS IV).
+    let dax = fixture("e0302_native.dax");
+    let cat = fixture("e0302_catalog.txt");
+    let (ok, codes, out) = lint(&[&dax, "--catalog", &cat, "--site", "osg"]);
+    assert!(!ok);
+    assert_eq!(codes, vec!["E0302"], "{out}");
+    let (ok, codes, _) = lint(&[&dax, "--catalog", &cat, "--site", "sandhills"]);
+    assert!(ok && codes.is_empty(), "clean on the campus cluster");
+
+    let clean = fixture("clean_small.dax");
+    let (ok, codes, _) = lint(&[&clean, "--site", "nowhere"]);
+    assert!(!ok);
+    assert_eq!(codes, vec!["E0301"]);
+    let (_, codes, _) = lint(&[&clean, "--site", "osg", "--timeout", "1"]);
+    assert_eq!(codes, vec!["W0303"]);
+    let (_, codes, _) = lint(&[&clean, "--site", "osg", "--retries", "0"]);
+    assert_eq!(codes, vec!["W0304"]);
+    // clean_small is a chain (width 1), so the budget check needs the
+    // wide fixture: six parallel cap3 jobs against one slot.
+    let wide = fixture("w0403_fanout.dax");
+    let (_, codes, _) = lint(&[&wide, "--site", "osg", "--slots", "1"]);
+    assert_eq!(codes, vec!["W0305"]);
+}
+
+#[test]
+fn every_sanitizer_rule_has_a_corrupted_log_that_triggers_exactly_it() {
+    let dax = fixture("clean_small.dax");
+    for (name, code, errs) in [
+        ("e0701_no_start.events", "E0701", true),
+        ("e0702_after_finish.events", "E0702", true),
+        ("e0703_completed_before_started.events", "E0703", true),
+        ("e0704_backwards_time.events", "E0704", true),
+        ("e0705_retry_accounting.events", "E0705", true),
+        ("e0706_undeclared_job.events", "E0706", true),
+        ("w0707_truncated.events", "W0707", false),
+        ("e0708_syntax.events", "E0708", true),
+    ] {
+        let (ok, codes, out) = lint(&[&dax, "--events", &fixture(name)]);
+        assert_eq!(ok, !errs, "{name}: wrong exit");
+        assert_eq!(codes, vec![code], "{name}: {out}");
+    }
+}
+
+#[test]
+fn deny_warnings_turns_a_clean_exit_dirty() {
+    let dax = fixture("w0402_unconsumed.dax");
+    let (ok, _, _) = lint(&[&dax]);
+    assert!(ok, "a lone warning exits zero by default");
+    let (ok, _, out) = lint(&[&dax, "--deny", "warnings"]);
+    assert!(!ok, "--deny warnings must flip the exit: {out}");
+    assert!(out.contains("\"severity\":\"error\""), "{out}");
+    // Denying by name works too, and --allow silences entirely.
+    let (ok, _, _) = lint(&[&dax, "--deny", "unconsumed-file"]);
+    assert!(!ok);
+    let (ok, codes, _) = lint(&[&dax, "--allow", "W0402"]);
+    assert!(ok && codes.is_empty());
+}
+
+#[test]
+fn shipped_examples_lint_clean_under_deny_warnings() {
+    // The generator's own DAXes across sizes, plus the committed
+    // clean fixture, must survive the strictest gate.
+    let dir = tmpdir("clean");
+    for n in [4usize, 50] {
+        let dax = dir.join(format!("b2c3_{n}.dax"));
+        let out = pegasus()
+            .args(["generate-dax", "--n", &n.to_string()])
+            .args(["--out", dax.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        for site in ["sandhills", "osg"] {
+            let (ok, codes, out) =
+                lint(&[dax.to_str().unwrap(), "--site", site, "--deny", "warnings"]);
+            assert!(ok && codes.is_empty(), "n={n} site={site}: {out}");
+        }
+    }
+    let (ok, codes, out) = lint(&[&fixture("clean_small.dax"), "--deny", "warnings"]);
+    assert!(ok && codes.is_empty(), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generated_event_logs_sanitize_clean_and_unchanged() {
+    // A retry-heavy chaos run: the sanitizer must accept what the
+    // engine actually emits (it is a happens-before checker, not a
+    // style guide), and linting must not rewrite the log.
+    let dir = tmpdir("events");
+    let dax = dir.join("wf.dax");
+    let events = dir.join("run.events");
+    let plan = dir.join("storm.fp");
+    std::fs::write(
+        &plan,
+        "plan storm\npreemption-storm start=0 duration=200000 kill-probability=0.3\n",
+    )
+    .unwrap();
+    assert!(pegasus()
+        .args(["generate-dax", "--n", "6", "--out", dax.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(pegasus()
+        .args(["run", "--dax", dax.to_str().unwrap(), "--site", "osg"])
+        .args(["--seed", "7", "--retries", "8", "--quiet"])
+        .args(["--fault-plan", plan.to_str().unwrap()])
+        .args(["--events", events.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let before = std::fs::read(&events).unwrap();
+    let (ok, codes, out) = lint(&[
+        dax.to_str().unwrap(),
+        "--events",
+        events.to_str().unwrap(),
+        "--fault-plan",
+        plan.to_str().unwrap(),
+        "--site",
+        "osg",
+        "--retries",
+        "8",
+        "--deny",
+        "warnings",
+    ]);
+    assert!(ok && codes.is_empty(), "{out}");
+    assert_eq!(
+        before,
+        std::fs::read(&events).unwrap(),
+        "lint must leave the log byte-for-byte unchanged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn golden_json_matches_the_committed_file() {
+    let (ok, _, stdout) = lint(&[
+        &fixture("w0402_unconsumed.dax"),
+        "--fault-plan",
+        &fixture("w0202_overlap.fp"),
+        "--events",
+        &fixture("w0707_truncated.events"),
+    ]);
+    assert!(ok, "golden inputs are warnings only");
+    let golden = std::fs::read_to_string(fixture("golden.json")).unwrap();
+    assert_eq!(stdout, golden, "regenerate with the command in ci.yml");
+}
+
+#[test]
+fn run_preflight_warns_on_stderr_without_breaking_the_run() {
+    let out = pegasus()
+        .args(["run", "--dax", &fixture("w0402_unconsumed.dax")])
+        .args(["--site", "sandhills", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "preflight lint is warn-only: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("W0402"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("W0402"),
+        "diagnostics must not pollute stdout"
+    );
+    // --quiet suppresses the preflight entirely.
+    let out = pegasus()
+        .args(["run", "--dax", &fixture("w0402_unconsumed.dax")])
+        .args(["--site", "sandhills", "--seed", "3", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("W0402"));
+}
+
+#[test]
+fn bad_invocations_exit_with_usage() {
+    let out = pegasus().arg("lint").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no dax given");
+    let out = pegasus()
+        .args(["lint", &fixture("clean_small.dax"), "--deny", "E9999"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown lint name");
+    let out = pegasus()
+        .args(["lint", &fixture("clean_small.dax"), "--format", "yaml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown format");
+}
