@@ -93,7 +93,7 @@ fn bench_substrates(c: &mut Criterion) {
             site: "sim".into(),
             jobs: (0..n_jobs)
                 .map(|i| ExecutableJob {
-                    id: i,
+                    id: pegasus_wms::workflow::JobId::new(i),
                     name: format!("j{i}"),
                     transformation: "noop".into(),
                     kind: JobKind::Compute,

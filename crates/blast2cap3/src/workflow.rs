@@ -89,8 +89,12 @@ pub fn fig2_job_count(n: usize) -> usize {
 pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
     let n = params.n_clusters.max(1);
     let mut wf = AbstractWorkflow::new(format!("blast2cap3_n{n}"));
+    // Jobs are collected and added as one batch: `add_jobs` checks the
+    // whole batch against a single hash set, so building at n = 10^6
+    // stays linear where per-job `add_job` scans would be quadratic.
+    let mut batch = Vec::with_capacity(fig2_job_count(n));
 
-    wf.add_job(
+    batch.push(
         Job::new("list_transcripts", "list_transcripts")
             .arg("transcripts.fasta")
             .input(LogicalFile::sized(
@@ -102,10 +106,9 @@ pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
                 params.transcripts_bytes,
             ))
             .runtime(120.0),
-    )
-    .expect("fresh workflow");
+    );
 
-    wf.add_job(
+    batch.push(
         Job::new("list_alignments", "list_alignments")
             .arg("alignments.out")
             .input(LogicalFile::sized(
@@ -117,8 +120,7 @@ pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
                 params.alignments_bytes,
             ))
             .runtime(90.0),
-    )
-    .expect("fresh workflow");
+    );
 
     let mut split = Job::new("split", "split")
         .arg("-n")
@@ -131,7 +133,7 @@ pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
     for i in 0..n {
         split = split.output(LogicalFile::named(format!("protein_{i}.txt")));
     }
-    wf.add_job(split).expect("fresh workflow");
+    batch.push(split);
 
     for i in 0..n {
         let cost = params
@@ -139,7 +141,7 @@ pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
             .get(i)
             .copied()
             .unwrap_or(params.default_chunk_seconds);
-        wf.add_job(
+        batch.push(
             Job::new(format!("run_cap3_{i}"), "run_cap3")
                 .arg(i.to_string())
                 .input(LogicalFile::sized(
@@ -150,8 +152,7 @@ pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
                 .output(LogicalFile::named(format!("joined_{i}.fasta")))
                 .output(LogicalFile::named(format!("joined_ids_{i}.txt")))
                 .runtime(cost),
-        )
-        .expect("fresh workflow");
+        );
     }
 
     let mut merge = Job::new("merge", "merge")
@@ -165,9 +166,9 @@ pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
             .input(LogicalFile::named(format!("joined_{i}.fasta")))
             .input(LogicalFile::named(format!("joined_ids_{i}.txt")));
     }
-    wf.add_job(merge).expect("fresh workflow");
+    batch.push(merge);
 
-    wf.add_job(
+    batch.push(
         Job::new("extract_unjoined", "extract_unjoined")
             .input(LogicalFile::sized(
                 "transcripts_dict.txt",
@@ -177,8 +178,9 @@ pub fn build_workflow(params: &WorkflowParams) -> AbstractWorkflow {
             .input(LogicalFile::named("joined_ids_all.txt"))
             .output(LogicalFile::named("final.fasta"))
             .runtime(45.0),
-    )
-    .expect("fresh workflow");
+    );
+
+    wf.add_jobs(batch).expect("fresh workflow");
 
     debug_assert!(wf.validate().is_ok());
     wf
@@ -202,7 +204,7 @@ mod tests {
     fn dag_shape_matches_fig2() {
         let wf = build_workflow(&WorkflowParams::with_n(4));
         let levels = wf.levels().unwrap();
-        let by_name = |name: &str| levels[wf.job_by_name(name).unwrap()];
+        let by_name = |name: &str| levels[wf.job_by_name(name).unwrap().idx()];
         // list tasks are roots.
         assert_eq!(by_name("list_transcripts"), 0);
         assert_eq!(by_name("list_alignments"), 0);
@@ -233,7 +235,7 @@ mod tests {
         let wf = build_workflow(&params);
         for (i, expect) in [(0usize, 10.0), (1, 20.0), (2, 30.0)] {
             let j = wf.job_by_name(&format!("run_cap3_{i}")).unwrap();
-            assert_eq!(wf.jobs[j].runtime_hint, expect);
+            assert_eq!(wf.jobs[j.idx()].runtime_hint, expect);
         }
     }
 

@@ -245,10 +245,11 @@ mod tests {
     use super::*;
     use pegasus_wms::engine::JobTimes;
     use pegasus_wms::planner::JobKind;
+    use pegasus_wms::workflow::JobId;
 
     fn job(name: &str) -> ExecutableJob {
         ExecutableJob {
-            id: 0,
+            id: JobId::new(0),
             name: name.into(),
             transformation: "t".into(),
             kind: JobKind::Compute,
@@ -261,7 +262,7 @@ mod tests {
 
     fn completion(attempt: u32, started: f64, finished: f64, ok: bool) -> CompletionEvent {
         CompletionEvent {
-            job: 0,
+            job: JobId::new(0),
             attempt,
             outcome: if ok {
                 JobOutcome::Success
@@ -381,7 +382,7 @@ mod tests {
             site: "local".into(),
             jobs: (0..3)
                 .map(|i| ExecutableJob {
-                    id: i,
+                    id: JobId::new(i),
                     name: format!("j{i}"),
                     transformation: "noop".into(),
                     kind: JobKind::Compute,
@@ -391,7 +392,10 @@ mod tests {
                     source_jobs: vec![],
                 })
                 .collect(),
-            edges: vec![(0, 1), (1, 2)],
+            edges: vec![
+                (JobId::new(0), JobId::new(1)),
+                (JobId::new(1), JobId::new(2)),
+            ],
         };
         let pool = crate::pool::LocalPool::new(
             crate::pool::PoolConfig {

@@ -410,7 +410,7 @@ mod tests {
 
     fn job(id: usize, name: &str, transformation: &str) -> ExecutableJob {
         ExecutableJob {
-            id,
+            id: pegasus_wms::workflow::JobId::new(id),
             name: name.into(),
             transformation: transformation.into(),
             kind: JobKind::Compute,
@@ -753,7 +753,16 @@ mod tests {
             name: "w".into(),
             site: "local".into(),
             jobs: vec![job(0, "a", "log"), job(1, "b", "log"), job(2, "c", "log")],
-            edges: vec![(0, 1), (1, 2)],
+            edges: vec![
+                (
+                    pegasus_wms::workflow::JobId::new(0),
+                    pegasus_wms::workflow::JobId::new(1),
+                ),
+                (
+                    pegasus_wms::workflow::JobId::new(1),
+                    pegasus_wms::workflow::JobId::new(2),
+                ),
+            ],
         };
         let mut pool = LocalPool::new(pool_config(), reg);
         let run = run_workflow(&wf, &mut pool, &EngineConfig::default());

@@ -205,7 +205,7 @@ mod tests {
 
     fn record(name: &str, state: JobState, attempts: u32) -> JobRecord {
         JobRecord {
-            job: 0,
+            job: crate::workflow::JobId::new(0),
             name: name.into(),
             transformation: "t".into(),
             kind: JobKind::Compute,

@@ -106,10 +106,10 @@ pub fn job_spans(stream: &[WorkflowEvent]) -> Result<Vec<JobSpan>, WmsError> {
     for ev in stream {
         match ev {
             WorkflowEvent::Submitted { job, .. } => {
-                spans[*job].attempts += 1;
+                spans[job.idx()].attempts += 1;
             }
             WorkflowEvent::Completed { job, times, .. } => {
-                let span = &mut spans[*job];
+                let span = &mut spans[job.idx()];
                 span.completed = true;
                 span.queue_wait = times.waiting();
                 span.install = times.install();
@@ -118,15 +118,15 @@ pub fn job_spans(stream: &[WorkflowEvent]) -> Result<Vec<JobSpan>, WmsError> {
                 // and the successful attempt's release, minus the
                 // time the failed attempts consumed, is inter-attempt
                 // overhead (backoff waits, resubmission gaps).
-                let origin = first_release[*job].unwrap_or(times.submitted);
+                let origin = first_release[job.idx()].unwrap_or(times.submitted);
                 span.post_overhead = (times.submitted - origin - span.retry_badput).max(0.0);
             }
             WorkflowEvent::Failed { job, times, .. }
             | WorkflowEvent::TimedOut { job, times, .. } => {
-                if first_release[*job].is_none() {
-                    first_release[*job] = Some(times.submitted);
+                if first_release[job.idx()].is_none() {
+                    first_release[job.idx()] = Some(times.submitted);
                 }
-                spans[*job].retry_badput += times.finished - times.submitted;
+                spans[job.idx()].retry_badput += times.finished - times.submitted;
             }
             _ => {}
         }
@@ -269,7 +269,7 @@ mod tests {
     fn wf() -> ExecutableWorkflow {
         let job =
             |id: usize, name: &str, kind: JobKind, runtime: f64, install: f64| ExecutableJob {
-                id,
+                id: crate::workflow::JobId::new(id),
                 name: name.into(),
                 transformation: name.into(),
                 kind,
@@ -286,7 +286,16 @@ mod tests {
                 job(1, "run_cap3_0", JobKind::Compute, 10.0, 2.0),
                 job(2, "run_cap3_1", JobKind::Compute, 20.0, 0.0),
             ],
-            edges: vec![(0, 1), (0, 2)],
+            edges: vec![
+                (
+                    crate::workflow::JobId::new(0),
+                    crate::workflow::JobId::new(1),
+                ),
+                (
+                    crate::workflow::JobId::new(0),
+                    crate::workflow::JobId::new(2),
+                ),
+            ],
         }
     }
 

@@ -30,6 +30,28 @@ pub fn csv_row<S: AsRef<str>>(cells: &[S]) -> String {
     out
 }
 
+/// Renders one Graphviz node line:
+/// `  j<id> [label="<label>", shape=<shape>[, color=<color>]];`
+///
+/// Shared by the DOT emitters so the node syntax is written (and
+/// escaped) in exactly one place, like [`csv_row`] is for CSV rows.
+pub fn dot_node(
+    id: impl std::fmt::Display,
+    label: &str,
+    shape: &str,
+    color: Option<&str>,
+) -> String {
+    match color {
+        Some(c) => format!("  j{id} [label=\"{label}\", shape={shape}, color={c}];\n"),
+        None => format!("  j{id} [label=\"{label}\", shape={shape}];\n"),
+    }
+}
+
+/// Renders one Graphviz edge line: `  j<parent> -> j<child>;`
+pub fn dot_edge(parent: impl std::fmt::Display, child: impl std::fmt::Display) -> String {
+    format!("  j{parent} -> j{child};\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

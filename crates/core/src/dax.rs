@@ -13,6 +13,7 @@
 //! has.
 
 use crate::error::{Span, WmsError};
+use crate::symbols::{JobId, SymbolTable};
 use crate::workflow::{AbstractWorkflow, Job, LogicalFile};
 use std::fmt::Write as _;
 
@@ -90,8 +91,8 @@ pub fn to_dax(wf: &AbstractWorkflow) -> String {
         let _ = writeln!(
             out,
             "  <child ref=\"{}\"><parent ref=\"{}\"/></child>",
-            escape_xml(&wf.jobs[c].id),
-            escape_xml(&wf.jobs[p].id)
+            escape_xml(&wf.jobs[c.idx()].id),
+            escape_xml(&wf.jobs[p.idx()].id)
         );
     }
     out.push_str("</adag>\n");
@@ -343,11 +344,33 @@ pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
 pub fn from_dax_unvalidated(text: &str) -> Result<AbstractWorkflow, WmsError> {
     let mut scan = XmlScanner::new(text);
     let mut wf: Option<AbstractWorkflow> = None;
+    // Job ids are interned as they are declared, so duplicate
+    // detection and the `<child>`/`<parent>` ref resolution below are
+    // hash lookups rather than linear scans over the job list —
+    // without this a million-job DAX costs O(n²) to parse.
+    let mut ids: SymbolTable<JobId> = SymbolTable::new();
     let mut adag_closed = false;
     let mut cur_job: Option<Job> = None;
     let mut in_argument = false;
     let mut cur_child: Option<String> = None;
     let mut pending_edges: Vec<(String, String)> = Vec::new(); // (parent, child)
+
+    // Intern-then-push, erroring on redeclaration; replaces
+    // `AbstractWorkflow::add_job`'s O(n) duplicate scan on this bulk
+    // path.
+    fn push_job(
+        wf: &mut AbstractWorkflow,
+        ids: &mut SymbolTable<JobId>,
+        job: Job,
+    ) -> Result<JobId, WmsError> {
+        if ids.get(&job.id).is_some() {
+            return Err(WmsError::DuplicateJob(job.id));
+        }
+        let id = ids.intern(&job.id);
+        debug_assert_eq!(id.idx(), wf.jobs.len());
+        wf.jobs.push(job);
+        Ok(id)
+    }
 
     while let Some(ev) = scan.next_event()? {
         match ev {
@@ -375,7 +398,7 @@ pub fn from_dax_unvalidated(text: &str) -> Result<AbstractWorkflow, WmsError> {
                     }
                     if self_closing {
                         let w = wf.as_mut().expect("checked above");
-                        w.add_job(job).map_err(|e| scan.tag_err(e.to_string()))?;
+                        push_job(w, &mut ids, job).map_err(|e| scan.tag_err(e.to_string()))?;
                     } else {
                         cur_job = Some(job);
                     }
@@ -427,10 +450,10 @@ pub fn from_dax_unvalidated(text: &str) -> Result<AbstractWorkflow, WmsError> {
             XmlEvent::Close(name) => match name.as_str() {
                 "job" => {
                     let job = cur_job.take().ok_or_else(|| scan.tag_err("stray </job>"))?;
-                    wf.as_mut()
-                        .ok_or_else(|| scan.tag_err("</job> outside <adag>"))?
-                        .add_job(job)
-                        .map_err(|e| scan.tag_err(e.to_string()))?;
+                    let w = wf
+                        .as_mut()
+                        .ok_or_else(|| scan.tag_err("</job> outside <adag>"))?;
+                    push_job(w, &mut ids, job).map_err(|e| scan.tag_err(e.to_string()))?;
                 }
                 "argument" => in_argument = false,
                 "child" => cur_child = None,
@@ -461,11 +484,11 @@ pub fn from_dax_unvalidated(text: &str) -> Result<AbstractWorkflow, WmsError> {
         return Err(scan.err("unclosed <adag> at end of input"));
     }
     for (p, c) in pending_edges {
-        let pid = wf.job_by_name(&p).ok_or_else(|| WmsError::DaxParse {
+        let pid = ids.get(&p).ok_or_else(|| WmsError::DaxParse {
             span: Span::none(),
             reason: format!("edge references unknown parent {p:?}"),
         })?;
-        let cid = wf.job_by_name(&c).ok_or_else(|| WmsError::DaxParse {
+        let cid = ids.get(&c).ok_or_else(|| WmsError::DaxParse {
             span: Span::none(),
             reason: format!("edge references unknown child {c:?}"),
         })?;

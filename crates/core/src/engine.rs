@@ -15,6 +15,7 @@
 
 use crate::error::WmsError;
 use crate::events::{EventSink, MonitorSink, WorkflowEvent};
+use crate::graph::Csr;
 use crate::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 use crate::rescue::RescueDag;
 use crate::workflow::JobId;
@@ -619,7 +620,7 @@ pub struct WorkflowExecution {
     name: String,
     site: String,
     config: EngineConfig,
-    children: Vec<Vec<JobId>>,
+    children: Csr,
     pending_parents: Vec<usize>,
     records: Vec<JobRecord>,
     done: Vec<bool>,
@@ -648,7 +649,8 @@ impl WorkflowExecution {
         let n = wf.jobs.len();
         let children = wf.children();
         let parents = wf.parents();
-        let mut pending_parents: Vec<usize> = parents.iter().map(Vec::len).collect();
+        let mut pending_parents: Vec<usize> =
+            parents.degrees().into_iter().map(|d| d as usize).collect();
 
         let mut records: Vec<JobRecord> = wf
             .jobs
@@ -691,10 +693,10 @@ impl WorkflowExecution {
                          done: &mut Vec<bool>,
                          pending_parents: &mut Vec<usize>,
                          ready: &mut Vec<JobId>| {
-            done[job] = true;
-            for &c in &children[job] {
-                pending_parents[c] -= 1;
-                if pending_parents[c] == 0 && !done[c] {
+            done[job.idx()] = true;
+            for &c in children.neighbors(job) {
+                pending_parents[c.idx()] -= 1;
+                if pending_parents[c.idx()] == 0 && !done[c.idx()] {
                     ready.push(c);
                 }
             }
@@ -707,18 +709,19 @@ impl WorkflowExecution {
         for job in 0..n {
             if config.skip_done.contains(&wf.jobs[job].name) {
                 records[job].state = JobState::SkippedDone;
+                let job = JobId::new(job);
                 events.push(WorkflowEvent::Skipped { job, time: start });
                 mark_done(job, &mut done, &mut pending_parents, &mut ready);
             }
         }
         for job in 0..n {
             if pending_parents[job] == 0 && !done[job] && records[job].state == JobState::Unready {
-                ready.push(job);
+                ready.push(JobId::new(job));
             }
         }
         ready.sort_unstable();
         ready.dedup();
-        ready.retain(|&j| !done[j]);
+        ready.retain(|&j| !done[j.idx()]);
 
         WorkflowExecution {
             name: wf.name.clone(),
@@ -754,7 +757,7 @@ impl WorkflowExecution {
     /// `now`. The driver calls this when it actually hands the job to
     /// the backend.
     pub fn note_submitted(&mut self, job: JobId, now: f64) {
-        self.records[job].attempts = 1;
+        self.records[job.idx()].attempts = 1;
         self.events.push(WorkflowEvent::Submitted {
             job,
             attempt: 0,
@@ -817,14 +820,14 @@ impl WorkflowExecution {
                     attempt: ev.attempt,
                     times: ev.times,
                 });
-                let rec = &mut self.records[ev.job];
+                let rec = &mut self.records[ev.job.idx()];
                 rec.state = JobState::Done;
                 rec.times = Some(ev.times);
-                self.done[ev.job] = true;
-                for i in 0..self.children[ev.job].len() {
+                self.done[ev.job.idx()] = true;
+                for i in 0..self.children.degree(ev.job) {
                     let c = self.children[ev.job][i];
-                    self.pending_parents[c] -= 1;
-                    if self.pending_parents[c] == 0 && !self.done[c] {
+                    self.pending_parents[c.idx()] -= 1;
+                    if self.pending_parents[c.idx()] == 0 && !self.done[c.idx()] {
                         resp.newly_ready.push(c);
                     }
                 }
@@ -851,7 +854,7 @@ impl WorkflowExecution {
                 });
                 let max_attempts = self.config.retry.max_attempts;
                 let attempts = {
-                    let rec = &mut self.records[ev.job];
+                    let rec = &mut self.records[ev.job.idx()];
                     rec.failed_attempts.push(ev.times);
                     rec.failure_reasons.push(reason.clone());
                     rec.failure_kinds.push(kind);
@@ -861,7 +864,7 @@ impl WorkflowExecution {
                     let delay = self.config.retry.backoff_before(attempts, &mut self.rng);
                     self.faults.retries += 1;
                     self.faults.backoff_wait += delay;
-                    self.records[ev.job].attempts += 1;
+                    self.records[ev.job.idx()].attempts += 1;
                     self.outstanding += 1;
                     self.events.push(WorkflowEvent::RetryScheduled {
                         job: ev.job,
@@ -883,7 +886,7 @@ impl WorkflowExecution {
                         reason: reason.clone(),
                     });
                 } else {
-                    self.records[ev.job].state = JobState::Failed;
+                    self.records[ev.job.idx()].state = JobState::Failed;
                     self.any_failed = true;
                 }
             }
@@ -986,7 +989,7 @@ impl Engine {
         backend.set_timeout(config.retry.timeout);
         let mut exec = WorkflowExecution::new(wf, config, backend.now());
         for job in exec.take_initial_ready() {
-            backend.submit(&wf.jobs[job], 0);
+            backend.submit(&wf.jobs[job.idx()], 0);
             exec.note_submitted(job, backend.now());
         }
         Self::forward(&mut exec, wf, monitor);
@@ -996,10 +999,10 @@ impl Engine {
                 .on_event(&ev)
                 .expect("the driver stops feeding events once the crash fires");
             if let Some(r) = &resp.retry {
-                backend.submit_after(&wf.jobs[r.job], r.next_attempt, r.delay);
+                backend.submit_after(&wf.jobs[r.job.idx()], r.next_attempt, r.delay);
             }
             for &job in &resp.newly_ready {
-                backend.submit(&wf.jobs[job], 0);
+                backend.submit(&wf.jobs[job.idx()], 0);
                 exec.note_submitted(job, backend.now());
             }
             Self::forward(&mut exec, wf, monitor);
@@ -1120,9 +1123,9 @@ mod tests {
     use super::*;
     use crate::planner::{ExecutableJob, ExecutableWorkflow, JobKind};
 
-    fn job(id: JobId, name: &str, runtime: f64, install: f64) -> ExecutableJob {
+    fn job(id: usize, name: &str, runtime: f64, install: f64) -> ExecutableJob {
         ExecutableJob {
-            id,
+            id: JobId::new(id),
             name: name.into(),
             transformation: name.split('_').next().unwrap_or(name).to_string(),
             kind: JobKind::Compute,
@@ -1131,6 +1134,12 @@ mod tests {
             install_hint: install,
             source_jobs: vec![],
         }
+    }
+
+    fn e(raw: &[(usize, usize)]) -> Vec<(JobId, JobId)> {
+        raw.iter()
+            .map(|&(a, b)| (JobId::new(a), JobId::new(b)))
+            .collect()
     }
 
     /// chain: a -> b -> c
@@ -1143,7 +1152,7 @@ mod tests {
                 job(1, "b", 20.0, 0.0),
                 job(2, "c", 5.0, 0.0),
             ],
-            edges: vec![(0, 1), (1, 2)],
+            edges: e(&[(0, 1), (1, 2)]),
         }
     }
 
@@ -1163,7 +1172,7 @@ mod tests {
             name: "fan".into(),
             site: "test".into(),
             jobs,
-            edges,
+            edges: e(&edges),
         }
     }
 
@@ -1273,7 +1282,7 @@ mod tests {
                 job(1, "ok", 5.0, 0.0),
                 job(2, "bad", 5.0, 0.0),
             ],
-            edges: vec![(0, 1), (0, 2)],
+            edges: e(&[(0, 1), (0, 2)]),
         };
         let mut be = ScriptedBackend::new();
         be.fail_plan.insert(("bad".into(), 0));
@@ -1338,7 +1347,7 @@ mod tests {
             name: "dup".into(),
             site: "t".into(),
             jobs: vec![job(0, "a", 1.0, 0.0), job(1, "b", 1.0, 0.0)],
-            edges: vec![(0, 1), (0, 1)],
+            edges: e(&[(0, 1), (0, 1)]),
         };
         let mut be = ScriptedBackend::new();
         let run = Engine::run(&mut be, &wf, &EngineConfig::default(), &mut NoopMonitor);
@@ -1456,15 +1465,15 @@ mod tests {
             ..Default::default()
         };
         let mut exec = WorkflowExecution::new(&wf, &cfg, 0.0);
-        assert_eq!(exec.take_initial_ready(), vec![0]);
+        assert_eq!(exec.take_initial_ready(), vec![JobId::new(0)]);
         let times = JobTimes {
             submitted: 0.0,
             started: 0.0,
             install_done: 0.0,
             finished: 1.0,
         };
-        let done = |job| CompletionEvent {
-            job,
+        let done = |job: usize| CompletionEvent {
+            job: JobId::new(job),
             attempt: 0,
             outcome: JobOutcome::Success,
             times,

@@ -231,7 +231,7 @@ pub fn run_ensemble_monitored(
     for (wf_idx, spec) in specs.iter().enumerate() {
         let offset = owner.len();
         for (local, j) in spec.workflow.jobs.iter().enumerate() {
-            if j.id != local {
+            if j.id.idx() != local {
                 return Err(WmsError::InvariantViolation {
                     invariant: "executable job ids are dense".into(),
                     detail: format!(
@@ -247,9 +247,9 @@ pub fn run_ensemble_monitored(
             .iter()
             .enumerate()
             .map(|(local, j)| {
-                owner.push((wf_idx, local));
+                owner.push((wf_idx, JobId::new(local)));
                 let mut g = j.clone();
-                g.id = offset + local;
+                g.id = JobId::new(offset + local);
                 g
             })
             .collect();
@@ -323,9 +323,9 @@ pub fn run_ensemble_monitored(
             let member = &mut members[wf];
             if !member.started {
                 member.started = true;
-                monitor.workflow_started(wf, &member.submit_jobs[job].name, backend.now());
+                monitor.workflow_started(wf, &member.submit_jobs[job.idx()].name, backend.now());
             }
-            backend.submit(&member.submit_jobs[job], 0);
+            backend.submit(&member.submit_jobs[job.idx()], 0);
             member
                 .exec
                 .as_mut()
@@ -342,7 +342,7 @@ pub fn run_ensemble_monitored(
 
         let ev = backend.wait_any();
         in_flight_total -= 1;
-        let (wf_idx, local) = owner[ev.job];
+        let (wf_idx, local) = owner[ev.job.idx()];
         members[wf_idx].in_flight -= 1;
         let Some(exec) = members[wf_idx].exec.as_mut() else {
             // Stale completion from a workflow that already crashed:
@@ -362,7 +362,11 @@ pub fn run_ensemble_monitored(
             // The failed attempt just released its slot; the retry
             // reclaims it, so the budget stays respected without
             // re-queueing (backoff is enforced by the backend).
-            backend.submit_after(&members[wf_idx].submit_jobs[r.job], r.next_attempt, r.delay);
+            backend.submit_after(
+                &members[wf_idx].submit_jobs[r.job.idx()],
+                r.next_attempt,
+                r.delay,
+            );
             members[wf_idx].in_flight += 1;
             in_flight_total += 1;
         }
@@ -412,7 +416,7 @@ mod tests {
 
     fn job(id: usize, name: &str, runtime: f64) -> ExecutableJob {
         ExecutableJob {
-            id,
+            id: JobId::new(id),
             name: name.into(),
             transformation: "t".into(),
             kind: JobKind::Compute,
@@ -434,7 +438,10 @@ mod tests {
                 job(2, &format!("{name}_c"), 3.0),
                 job(3, &format!("{name}_d"), 1.0),
             ],
-            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            edges: [(0, 1), (0, 2), (1, 3), (2, 3)]
+                .iter()
+                .map(|&(p, c)| (JobId::new(p), JobId::new(c)))
+                .collect(),
         }
     }
 

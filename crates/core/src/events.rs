@@ -236,7 +236,7 @@ impl EventSink for MonitorSink<'_> {
         match ev {
             WorkflowEvent::Submitted { job, attempt, time } => {
                 self.monitor
-                    .job_submitted(&self.jobs[*job], *attempt, *time);
+                    .job_submitted(&self.jobs[job.idx()], *attempt, *time);
             }
             WorkflowEvent::Completed {
                 job,
@@ -249,7 +249,7 @@ impl EventSink for MonitorSink<'_> {
                     outcome: JobOutcome::Success,
                     times: *times,
                 };
-                self.monitor.job_terminated(&self.jobs[*job], &event);
+                self.monitor.job_terminated(&self.jobs[job.idx()], &event);
             }
             WorkflowEvent::Failed {
                 job,
@@ -270,7 +270,7 @@ impl EventSink for MonitorSink<'_> {
                     outcome: JobOutcome::Failure(detail.clone()),
                     times: *times,
                 };
-                self.monitor.job_terminated(&self.jobs[*job], &event);
+                self.monitor.job_terminated(&self.jobs[job.idx()], &event);
             }
             WorkflowEvent::RetryScheduled {
                 job,
@@ -280,7 +280,7 @@ impl EventSink for MonitorSink<'_> {
                 ..
             } => {
                 self.monitor
-                    .job_retry(&self.jobs[*job], *next_attempt, *backoff, detail);
+                    .job_retry(&self.jobs[job.idx()], *next_attempt, *backoff, detail);
             }
             WorkflowEvent::WorkflowFinished {
                 succeeded,
@@ -304,7 +304,7 @@ fn replay_err(reason: String) -> WmsError {
 
 fn record_for(records: &mut [JobRecord], job: JobId) -> Result<&mut JobRecord, WmsError> {
     let declared = records.len();
-    records.get_mut(job).ok_or_else(|| {
+    records.get_mut(job.idx()).ok_or_else(|| {
         replay_err(format!(
             "event references undeclared job {job} ({declared} declared)"
         ))
@@ -351,7 +351,7 @@ pub fn replay(events: &[WorkflowEvent]) -> Result<WorkflowRun, WmsError> {
                 transformation,
                 kind,
             } => {
-                if *job != records.len() {
+                if job.idx() != records.len() {
                     return Err(replay_err(format!(
                         "job {job} declared out of order (expected {})",
                         records.len()
@@ -485,6 +485,7 @@ pub mod log {
     use crate::engine::{FaultReason, JobTimes};
     use crate::error::WmsError;
     use crate::planner::JobKind;
+    use crate::workflow::JobId;
     use std::fmt::Write as _;
 
     /// The version-stamped comment heading every written log.
@@ -765,7 +766,7 @@ pub mod log {
                 let (head, name) = split_tail(rest, "name=", line)?;
                 let f = fields(head, line)?;
                 Ok(WorkflowEvent::JobDeclared {
-                    job: take_usize(&f, "id", line)?,
+                    job: JobId::new(take_usize(&f, "id", line)?),
                     name: name.to_string(),
                     transformation: take(&f, "transformation", line)?.to_string(),
                     kind: take_kind(&f, line)?,
@@ -774,14 +775,14 @@ pub mod log {
             "skipped" => {
                 let f = fields(rest, line)?;
                 Ok(WorkflowEvent::Skipped {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     time: take_f64(&f, "time", line)?,
                 })
             }
             "submitted" => {
                 let f = fields(rest, line)?;
                 Ok(WorkflowEvent::Submitted {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     attempt: take_u32(&f, "attempt", line)?,
                     time: take_f64(&f, "time", line)?,
                 })
@@ -789,7 +790,7 @@ pub mod log {
             "install-started" => {
                 let f = fields(rest, line)?;
                 Ok(WorkflowEvent::InstallStarted {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     attempt: take_u32(&f, "attempt", line)?,
                     time: take_f64(&f, "time", line)?,
                 })
@@ -797,7 +798,7 @@ pub mod log {
             "started" => {
                 let f = fields(rest, line)?;
                 Ok(WorkflowEvent::Started {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     attempt: take_u32(&f, "attempt", line)?,
                     time: take_f64(&f, "time", line)?,
                 })
@@ -805,7 +806,7 @@ pub mod log {
             "completed" => {
                 let f = fields(rest, line)?;
                 Ok(WorkflowEvent::Completed {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     attempt: take_u32(&f, "attempt", line)?,
                     times: take_times(&f, line)?,
                 })
@@ -814,7 +815,7 @@ pub mod log {
                 let (head, detail) = split_tail(rest, "detail=", line)?;
                 let f = fields(head, line)?;
                 Ok(WorkflowEvent::Failed {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     attempt: take_u32(&f, "attempt", line)?,
                     reason: take_reason(&f, line)?,
                     detail: detail.to_string(),
@@ -825,7 +826,7 @@ pub mod log {
                 let (head, detail) = split_tail(rest, "detail=", line)?;
                 let f = fields(head, line)?;
                 Ok(WorkflowEvent::TimedOut {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     attempt: take_u32(&f, "attempt", line)?,
                     detail: detail.to_string(),
                     times: take_times(&f, line)?,
@@ -835,7 +836,7 @@ pub mod log {
                 let (head, detail) = split_tail(rest, "detail=", line)?;
                 let f = fields(head, line)?;
                 Ok(WorkflowEvent::RetryScheduled {
-                    job: take_usize(&f, "job", line)?,
+                    job: JobId::new(take_usize(&f, "job", line)?),
                     next_attempt: take_u32(&f, "next-attempt", line)?,
                     backoff: take_f64(&f, "backoff", line)?,
                     reason: take_reason(&f, line)?,
@@ -863,9 +864,13 @@ mod tests {
     use crate::engine::{Engine, EngineConfig, RetryPolicy};
     use crate::planner::{ExecutableJob, ExecutableWorkflow};
 
-    fn job(id: JobId, name: &str, runtime: f64, install: f64) -> ExecutableJob {
+    fn j(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    fn job(id: usize, name: &str, runtime: f64, install: f64) -> ExecutableJob {
         ExecutableJob {
-            id,
+            id: JobId::new(id),
             name: name.into(),
             transformation: name.split('_').next().unwrap_or(name).to_string(),
             kind: JobKind::Compute,
@@ -885,7 +890,7 @@ mod tests {
                 job(1, "b", 20.0, 3.0),
                 job(2, "c", 5.0, 0.0),
             ],
-            edges: vec![(0, 1), (1, 2)],
+            edges: vec![(j(0), j(1)), (j(1), j(2))],
         }
     }
 
@@ -904,48 +909,51 @@ mod tests {
                 time: 0.0,
             },
             WorkflowEvent::JobDeclared {
-                job: 0,
+                job: j(0),
                 name: "stage_in_my file.txt".into(),
                 transformation: "transfer".into(),
                 kind: JobKind::StageIn,
             },
             WorkflowEvent::JobDeclared {
-                job: 1,
+                job: j(1),
                 name: "run_cap3_0".into(),
                 transformation: "cap3".into(),
                 kind: JobKind::Compute,
             },
             WorkflowEvent::JobDeclared {
-                job: 2,
+                job: j(2),
                 name: "cleanup".into(),
                 transformation: "rm".into(),
                 kind: JobKind::Cleanup,
             },
-            WorkflowEvent::Skipped { job: 0, time: 0.0 },
+            WorkflowEvent::Skipped {
+                job: j(0),
+                time: 0.0,
+            },
             WorkflowEvent::Submitted {
-                job: 1,
+                job: j(1),
                 attempt: 0,
                 time: 1.25,
             },
             WorkflowEvent::InstallStarted {
-                job: 1,
+                job: j(1),
                 attempt: 0,
                 time: 2.5,
             },
             WorkflowEvent::Started {
-                job: 1,
+                job: j(1),
                 attempt: 0,
                 time: 4.75,
             },
             WorkflowEvent::Failed {
-                job: 1,
+                job: j(1),
                 attempt: 0,
                 reason: FaultReason::Preemption,
                 detail: "preempted:storm".into(),
                 times,
             },
             WorkflowEvent::RetryScheduled {
-                job: 1,
+                job: j(1),
                 next_attempt: 1,
                 backoff: 30.5,
                 reason: FaultReason::Preemption,
@@ -953,18 +961,18 @@ mod tests {
                 time: 10.125,
             },
             WorkflowEvent::Submitted {
-                job: 1,
+                job: j(1),
                 attempt: 1,
                 time: 10.125,
             },
             WorkflowEvent::TimedOut {
-                job: 1,
+                job: j(1),
                 attempt: 1,
                 detail: "timeout: exceeded 600s".into(),
                 times,
             },
             WorkflowEvent::Completed {
-                job: 1,
+                job: j(1),
                 attempt: 2,
                 times,
             },
@@ -1114,7 +1122,7 @@ mod tests {
                 time: 0.0,
             },
             WorkflowEvent::Submitted {
-                job: 5,
+                job: j(5),
                 attempt: 0,
                 time: 0.0,
             },

@@ -1,0 +1,216 @@
+//! Compressed sparse row (CSR) adjacency for workflow DAGs.
+//!
+//! The workflow and planner layers used to rebuild
+//! `Vec<Vec<JobId>>` adjacency lists — one heap allocation per node —
+//! every time a traversal ran. [`Csr`] packs the same adjacency into
+//! two flat arrays: `offsets[v]..offsets[v+1]` brackets node `v`'s
+//! neighbor slice in `targets`. Construction is a stable counting
+//! sort over the edge list (two passes, no per-node allocation), and
+//! degree queries are O(1) pointer arithmetic.
+//!
+//! Neighbor order is the *edge input order* — exactly the order the
+//! old push-based builders produced — so traversals that tie-break by
+//! adjacency-list position (Kahn's queue, level assignment) are
+//! bit-for-bit reproducible against the pre-CSR implementation.
+
+use crate::symbols::JobId;
+use std::ops::Index;
+
+/// A directed graph's adjacency in compressed sparse row form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` brackets `v`'s neighbors; length
+    /// `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists, in edge input order per node.
+    targets: Vec<JobId>,
+}
+
+impl Csr {
+    /// Builds the *forward* adjacency (children): `targets` of edge
+    /// `(a, b)` lists `b` under `a`.
+    pub fn forward(n: usize, edges: &[(JobId, JobId)]) -> Csr {
+        Csr::build(n, edges, |&(a, b)| (a, b))
+    }
+
+    /// Builds the *reverse* adjacency (parents): edge `(a, b)` lists
+    /// `a` under `b`.
+    pub fn reverse(n: usize, edges: &[(JobId, JobId)]) -> Csr {
+        Csr::build(n, edges, |&(a, b)| (b, a))
+    }
+
+    fn build(
+        n: usize,
+        edges: &[(JobId, JobId)],
+        orient: impl Fn(&(JobId, JobId)) -> (JobId, JobId),
+    ) -> Csr {
+        let mut offsets = vec![0u32; n + 1];
+        for e in edges {
+            let (from, _) = orient(e);
+            offsets[from.idx() + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        // Stable fill: a per-node write cursor walks forward through
+        // the node's slice as its edges appear in input order.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![JobId::default(); edges.len()];
+        for e in edges {
+            let (from, to) = orient(e);
+            let slot = cursor[from.idx()];
+            targets[slot as usize] = to;
+            cursor[from.idx()] = slot + 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Node `v`'s neighbor slice.
+    #[inline]
+    pub fn neighbors(&self, v: JobId) -> &[JobId] {
+        let lo = self.offsets[v.idx()] as usize;
+        let hi = self.offsets[v.idx() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Node `v`'s degree in this orientation — O(1).
+    #[inline]
+    pub fn degree(&self, v: JobId) -> usize {
+        (self.offsets[v.idx() + 1] - self.offsets[v.idx()]) as usize
+    }
+
+    /// All degrees as a dense vector (`degrees()[v.idx()]`).
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.node_count())
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .collect()
+    }
+
+    /// Degrees in the *opposite* orientation — for a forward (children)
+    /// CSR this is each node's indegree — counted in one pass over the
+    /// packed targets.
+    pub fn reverse_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.node_count()];
+        for &t in &self.targets {
+            deg[t.idx()] += 1;
+        }
+        deg
+    }
+
+    /// Iterates nodes as [`JobId`]s in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = JobId> {
+        (0..self.node_count()).map(JobId::new)
+    }
+
+    /// Kahn's topological sort over this (forward) adjacency, seeded
+    /// in index order and tie-broken by queue arrival — identical
+    /// output to the historical `Vec<Vec<JobId>>` implementation.
+    /// Returns `None` if a cycle prevents completion.
+    pub fn topological_order(&self) -> Option<Vec<JobId>> {
+        let n = self.node_count();
+        let mut indegree = vec![0u32; n];
+        for &t in &self.targets {
+            indegree[t.idx()] += 1;
+        }
+        let mut queue: std::collections::VecDeque<JobId> =
+            self.nodes().filter(|&v| indegree[v.idx()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in self.neighbors(v) {
+                indegree[c.idx()] -= 1;
+                if indegree[c.idx()] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+impl Index<JobId> for Csr {
+    type Output = [JobId];
+
+    /// `csr[v]` is `v`'s neighbor slice, mirroring the historical
+    /// `adj[v]` indexing on `Vec<Vec<JobId>>`.
+    fn index(&self, v: JobId) -> &[JobId] {
+        self.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    fn diamond() -> Vec<(JobId, JobId)> {
+        vec![(j(0), j(1)), (j(0), j(2)), (j(1), j(3)), (j(2), j(3))]
+    }
+
+    #[test]
+    fn forward_and_reverse_views() {
+        let g = Csr::forward(4, &diamond());
+        assert_eq!(g.neighbors(j(0)), &[j(1), j(2)]);
+        assert_eq!(g.neighbors(j(3)), &[] as &[JobId]);
+        assert_eq!(g.degree(j(0)), 2);
+        let r = Csr::reverse(4, &diamond());
+        assert_eq!(r.neighbors(j(3)), &[j(1), j(2)]);
+        assert_eq!(r.degree(j(0)), 0);
+        assert_eq!(r.degree(j(3)), 2);
+    }
+
+    #[test]
+    fn neighbor_order_follows_edge_input_order() {
+        // Deliberately interleaved input: node 0's edges arrive
+        // 0→3, 0→1, 0→2 around another node's edge.
+        let edges = vec![(j(0), j(3)), (j(1), j(2)), (j(0), j(1)), (j(0), j(2))];
+        let g = Csr::forward(4, &edges);
+        assert_eq!(g.neighbors(j(0)), &[j(3), j(1), j(2)]);
+        assert_eq!(g.neighbors(j(1)), &[j(2)]);
+    }
+
+    #[test]
+    fn index_sugar_matches_neighbors() {
+        let g = Csr::forward(4, &diamond());
+        assert_eq!(&g[j(0)], g.neighbors(j(0)));
+    }
+
+    #[test]
+    fn topological_order_matches_kahn_on_vecvec() {
+        let g = Csr::forward(4, &diamond());
+        assert_eq!(g.topological_order(), Some(vec![j(0), j(1), j(2), j(3)]));
+    }
+
+    #[test]
+    fn topological_order_detects_cycles() {
+        let g = Csr::forward(2, &[(j(0), j(1)), (j(1), j(0))]);
+        assert_eq!(g.topological_order(), None);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Csr::forward(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.topological_order(), Some(vec![]));
+        let g = Csr::forward(3, &[]);
+        assert_eq!(g.degrees(), vec![0, 0, 0]);
+        assert_eq!(g.topological_order(), Some(vec![j(0), j(1), j(2)]));
+    }
+}

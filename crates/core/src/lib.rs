@@ -11,6 +11,11 @@
 //! * [`workflow`] — the abstract workflow model: jobs, logical files,
 //!   dataflow- and explicitly-declared dependencies, DAG validation
 //!   and topological analysis;
+//! * [`symbols`] — interned [`JobId`]/[`FileId`] identifiers and the
+//!   [`SymbolTable`] that resolves them back to names at render/log
+//!   boundaries;
+//! * [`graph`] — compressed sparse row (CSR) adjacency shared by the
+//!   workflow, planner, and engine traversals;
 //! * [`dax`] — the DAX (directed acyclic graph in XML) writer and
 //!   parser, the interchange format of the paper's Fig. 2/3 DAGs;
 //! * [`catalog`] — site, transformation, and replica catalogs, the
@@ -58,6 +63,7 @@ pub mod engine;
 pub mod ensemble;
 pub mod error;
 pub mod events;
+pub mod graph;
 pub mod lint;
 pub mod metrics;
 pub mod monitor;
@@ -65,6 +71,7 @@ pub mod planner;
 pub mod prelude;
 pub mod rescue;
 pub mod statistics;
+pub mod symbols;
 pub mod synthetic;
 pub mod workflow;
 
@@ -76,6 +83,8 @@ pub use engine::{
 pub use ensemble::{run_ensemble, EnsembleConfig, EnsembleRun, WorkflowSpec};
 pub use error::{Span, WmsError};
 pub use events::{EventSink, MonitorSink, WorkflowEvent};
+pub use graph::Csr;
 pub use lint::{Diagnostic, Severity};
 pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
-pub use workflow::{AbstractWorkflow, Job, JobId, LogicalFile};
+pub use symbols::{FileId, JobId, SymbolTable};
+pub use workflow::{AbstractWorkflow, Job, LogicalFile};

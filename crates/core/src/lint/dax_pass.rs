@@ -175,8 +175,8 @@ pub fn check_workflow(
     for &(p, c) in &wf.explicit_edges {
         if p == c {
             self_loop = Some(p);
-        } else if p < n && c < n {
-            adj[p].insert(c);
+        } else if p.idx() < n && c.idx() < n {
+            adj[p.idx()].insert(c.idx());
         }
     }
 
@@ -184,10 +184,11 @@ pub fn check_workflow(
         diags.push(Diagnostic::new(
             "E0103",
             file,
-            span(&wf.jobs[j].id),
+            span(&wf.jobs[j.idx()].id),
             format!(
                 "workflow is not a DAG: cycle {} -> {}",
-                wf.jobs[j].id, wf.jobs[j].id
+                wf.jobs[j.idx()].id,
+                wf.jobs[j.idx()].id
             ),
         ));
     } else if let Some(path) = find_cycle(n, &adj) {

@@ -18,6 +18,7 @@ use super::Diagnostic;
 use crate::engine::JobTimes;
 use crate::error::Span;
 use crate::events::WorkflowEvent;
+use crate::workflow::JobId;
 use std::collections::{BTreeMap, BTreeSet};
 
 #[derive(Default)]
@@ -60,12 +61,12 @@ pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagno
     }
 
     let mut started_lines = Vec::new();
-    let mut declared: BTreeMap<usize, ()> = BTreeMap::new();
+    let mut declared: BTreeMap<JobId, ()> = BTreeMap::new();
     let mut declared_count: Option<usize> = None;
     let mut finished_at: Option<usize> = None;
     let mut after_finish_reported = false;
-    let mut undeclared_reported: BTreeSet<usize> = BTreeSet::new();
-    let mut jobs: BTreeMap<usize, JobState> = BTreeMap::new();
+    let mut undeclared_reported: BTreeSet<JobId> = BTreeSet::new();
+    let mut jobs: BTreeMap<JobId, JobState> = BTreeMap::new();
 
     for (idx, (line, ev)) in events.iter().enumerate() {
         let line = *line;
@@ -124,7 +125,7 @@ pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagno
             WorkflowEvent::JobDeclared { job, .. } => {
                 declared.insert(*job, ());
                 if let Some(n) = declared_count {
-                    if *job >= n {
+                    if job.idx() >= n {
                         diags.push(Diagnostic::new(
                             "E0706",
                             file,
@@ -153,7 +154,7 @@ pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagno
             _ => unreachable!("framing events handled above"),
         };
 
-        let in_range = declared_count.is_none_or(|n| job < n);
+        let in_range = declared_count.is_none_or(|n| job.idx() < n);
         if (!declared.contains_key(&job) || !in_range) && undeclared_reported.insert(job) {
             diags.push(
                 Diagnostic::new(
@@ -205,9 +206,7 @@ pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagno
                     ));
                 }
             }
-            WorkflowEvent::InstallStarted { attempt, .. }
-                if !state.submitted.contains(attempt) =>
-            {
+            WorkflowEvent::InstallStarted { attempt, .. } if !state.submitted.contains(attempt) => {
                 diags.push(Diagnostic::new(
                     "E0703",
                     file,

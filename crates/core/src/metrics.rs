@@ -624,7 +624,7 @@ mod tests {
 
     fn chain() -> ExecutableWorkflow {
         let job = |id: usize, name: &str, runtime: f64, install: f64| ExecutableJob {
-            id,
+            id: crate::workflow::JobId::new(id),
             name: name.into(),
             transformation: name.into(),
             kind: JobKind::Compute,
@@ -641,7 +641,16 @@ mod tests {
                 job(1, "b", 20.0, 3.0),
                 job(2, "c", 5.0, 0.0),
             ],
-            edges: vec![(0, 1), (1, 2)],
+            edges: vec![
+                (
+                    crate::workflow::JobId::new(0),
+                    crate::workflow::JobId::new(1),
+                ),
+                (
+                    crate::workflow::JobId::new(1),
+                    crate::workflow::JobId::new(2),
+                ),
+            ],
         }
     }
 
@@ -703,7 +712,7 @@ mod tests {
         let mut mon = MetricsMonitor::new(&mut r, "s", "1");
         let wf = chain();
         let ev = CompletionEvent {
-            job: 1,
+            job: crate::workflow::JobId::new(1),
             attempt: 0,
             outcome: JobOutcome::Success,
             times: JobTimes {

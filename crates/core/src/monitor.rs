@@ -219,7 +219,7 @@ mod tests {
 
     fn job(id: usize, name: &str) -> ExecutableJob {
         ExecutableJob {
-            id,
+            id: crate::workflow::JobId::new(id),
             name: name.into(),
             transformation: "t".into(),
             kind: JobKind::Compute,
@@ -232,7 +232,7 @@ mod tests {
 
     fn event(id: usize, start: f64, end: f64, ok: bool) -> CompletionEvent {
         CompletionEvent {
-            job: id,
+            job: crate::workflow::JobId::new(id),
             attempt: 0,
             outcome: if ok {
                 JobOutcome::Success

@@ -15,6 +15,8 @@
 
 use crate::catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
 use crate::error::WmsError;
+use crate::graph::Csr;
+use crate::symbols::{FileId, SymbolTable};
 use crate::workflow::{AbstractWorkflow, Job, JobId, LogicalFile};
 use std::collections::HashMap;
 
@@ -84,22 +86,16 @@ pub struct ExecutableWorkflow {
 }
 
 impl ExecutableWorkflow {
-    /// Parent lists per job.
-    pub fn parents(&self) -> Vec<Vec<JobId>> {
-        let mut p = vec![Vec::new(); self.jobs.len()];
-        for &(a, b) in &self.edges {
-            p[b].push(a);
-        }
-        p
+    /// Parent adjacency in CSR form: `parents()[j]` is `j`'s parent
+    /// slice, `parents().degree(j)` its indegree in O(1).
+    pub fn parents(&self) -> Csr {
+        Csr::reverse(self.jobs.len(), &self.edges)
     }
 
-    /// Child lists per job.
-    pub fn children(&self) -> Vec<Vec<JobId>> {
-        let mut c = vec![Vec::new(); self.jobs.len()];
-        for &(a, b) in &self.edges {
-            c[a].push(b);
-        }
-        c
+    /// Child adjacency in CSR form: `children()[j]` is `j`'s child
+    /// slice, `children().degree(j)` its outdegree in O(1).
+    pub fn children(&self) -> Csr {
+        Csr::forward(self.jobs.len(), &self.edges)
     }
 
     /// Number of jobs of each kind.
@@ -127,42 +123,35 @@ impl ExecutableWorkflow {
     /// cyclic — previously a `debug_assert!` that release builds
     /// silently ignored, returning a truncated order.
     pub fn topological_order(&self) -> Result<Vec<JobId>, WmsError> {
-        let n = self.jobs.len();
-        let mut indeg = vec![0usize; n];
-        let mut adj: Vec<Vec<JobId>> = vec![Vec::new(); n];
-        for &(p, c) in &self.edges {
-            indeg[c] += 1;
-            adj[p].push(c);
-        }
-        let mut queue: std::collections::VecDeque<JobId> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(u) = queue.pop_front() {
-            order.push(u);
-            for &v in &adj[u] {
-                indeg[v] -= 1;
-                if indeg[v] == 0 {
-                    queue.push_back(v);
+        let children = self.children();
+        children.topological_order().ok_or_else(|| {
+            // Re-run Kahn tracking which nodes stay stuck, to name
+            // the cycle members in the error.
+            let mut indeg = children.reverse_degrees();
+            let mut queue: std::collections::VecDeque<JobId> =
+                children.nodes().filter(|&v| indeg[v.idx()] == 0).collect();
+            while let Some(u) = queue.pop_front() {
+                for &v in children.neighbors(u) {
+                    indeg[v.idx()] -= 1;
+                    if indeg[v.idx()] == 0 {
+                        queue.push_back(v);
+                    }
                 }
             }
-        }
-        if order.len() != n {
-            let stuck: Vec<&str> = (0..n)
+            let stuck: Vec<&str> = (0..self.jobs.len())
                 .filter(|&i| indeg[i] > 0)
                 .map(|i| self.jobs[i].name.as_str())
                 .collect();
-            return Err(WmsError::InvariantViolation {
+            WmsError::InvariantViolation {
                 invariant: "executable workflow is a DAG".into(),
                 detail: format!("cycle through {}", stuck.join(", ")),
-            });
-        }
-        Ok(order)
+            }
+        })
     }
 
     /// Graphviz dot rendering (compute ovals, install-annotated jobs
     /// as Fig. 3-style boxes, transfers as diamonds).
     pub fn to_dot(&self) -> String {
-        use std::fmt::Write as _;
         let mut out = String::from("digraph workflow {\n  rankdir=TB;\n");
         for j in &self.jobs {
             let shape = match j.kind {
@@ -171,19 +160,11 @@ impl ExecutableWorkflow {
                 JobKind::StageIn | JobKind::StageOut => "diamond",
                 JobKind::CreateDir | JobKind::Cleanup => "folder",
             };
-            let color = if j.install_hint > 0.0 {
-                ", color=red"
-            } else {
-                ""
-            };
-            let _ = writeln!(
-                out,
-                "  j{} [label=\"{}\", shape={}{}];",
-                j.id, j.name, shape, color
-            );
+            let color = (j.install_hint > 0.0).then_some("red");
+            out.push_str(&crate::csv::dot_node(j.id, &j.name, shape, color));
         }
         for &(p, c) in &self.edges {
-            let _ = writeln!(out, "  j{p} -> j{c};");
+            out.push_str(&crate::csv::dot_edge(p, c));
         }
         out.push_str("}\n");
         out
@@ -253,39 +234,46 @@ pub fn reduce_workflow(
     // Pass 2: cascade upward over the reverse topological order.
     let order = wf.topological_order()?;
     let edges = wf.edges()?;
-    let mut consumers: Vec<Vec<JobId>> = vec![Vec::new(); n];
-    for &(p, c) in &edges {
-        consumers[p].push(c);
-    }
-    let final_names: std::collections::HashSet<String> =
-        wf.final_outputs().into_iter().map(|f| f.name).collect();
+    let consumers = Csr::forward(n, &edges);
+    // Borrow final-output names out of one owned Vec instead of
+    // cloning every String into the set.
+    let finals = wf.final_outputs();
+    let final_names: std::collections::HashSet<&str> =
+        finals.iter().map(|f| f.name.as_str()).collect();
     for &i in order.iter().rev() {
-        if removed[i] {
+        if removed[i.idx()] {
             continue;
         }
-        let job = &wf.jobs[i];
-        let produces_final = job.outputs.iter().any(|f| final_names.contains(&f.name));
-        let has_consumers = !consumers[i].is_empty();
-        let all_consumers_removed = consumers[i].iter().all(|&c| removed[c]);
+        let job = &wf.jobs[i.idx()];
+        let produces_final = job
+            .outputs
+            .iter()
+            .any(|f| final_names.contains(f.name.as_str()));
+        let has_consumers = consumers.degree(i) > 0;
+        let all_consumers_removed = consumers[i].iter().all(|&c| removed[c.idx()]);
         if !produces_final && has_consumers && all_consumers_removed
             || (!job.outputs.is_empty() && job.outputs.iter().all(&available))
         {
-            removed[i] = true;
+            removed[i.idx()] = true;
         }
     }
     let mut out = AbstractWorkflow::new(wf.name.clone());
-    let mut kept_name: std::collections::HashSet<&str> = Default::default();
+    // Old index -> new id, so explicit edges remap in O(1) instead of
+    // the old name-set + job_by_name linear rescans. The surviving
+    // jobs land in one batch (per-job add_job scans are quadratic).
+    let mut new_id: Vec<Option<JobId>> = vec![None; n];
+    let mut kept = Vec::with_capacity(n);
+    let mut next = 0usize;
     for (i, job) in wf.jobs.iter().enumerate() {
         if !removed[i] {
-            kept_name.insert(job.id.as_str());
-            out.add_job(job.clone())?;
+            new_id[i] = Some(JobId::new(next));
+            next += 1;
+            kept.push(job.clone());
         }
     }
+    out.add_jobs(kept)?;
     for &(p, c) in &wf.explicit_edges {
-        let (pn, cn) = (wf.jobs[p].id.as_str(), wf.jobs[c].id.as_str());
-        if kept_name.contains(pn) && kept_name.contains(cn) {
-            let np = out.job_by_name(pn).expect("kept");
-            let nc = out.job_by_name(cn).expect("kept");
+        if let (Some(np), Some(nc)) = (new_id[p.idx()], new_id[c.idx()]) {
             out.add_edge(np, nc)?;
         }
     }
@@ -311,20 +299,23 @@ pub fn cluster_workflow(
         groups
             .entry((levels[i], job.transformation.as_str()))
             .or_default()
-            .push(i);
+            .push(JobId::new(i));
     }
-    // old job -> new merged job name.
+    // Old job index -> new (possibly merged) job id, assigned as jobs
+    // are pushed — explicit edges then remap by direct lookup instead
+    // of the old name-string round-trip through job_by_name.
     let mut out = AbstractWorkflow::new(wf.name.clone());
-    let mut new_id_of: HashMap<JobId, String> = HashMap::new();
+    let mut new_id_of: Vec<JobId> = vec![JobId::default(); wf.jobs.len()];
+    let mut clustered: Vec<Job> = Vec::new();
     let mut keys: Vec<(usize, &str)> = groups.keys().copied().collect();
     keys.sort();
     for key in keys {
         let members = &groups[&key];
         for (ci, batch) in members.chunks(factor).enumerate() {
             if batch.len() == 1 {
-                let j = &wf.jobs[batch[0]];
-                new_id_of.insert(batch[0], j.id.clone());
-                out.add_job(j.clone())?;
+                let j = &wf.jobs[batch[0].idx()];
+                new_id_of[batch[0].idx()] = JobId::new(clustered.len());
+                clustered.push(j.clone());
                 continue;
             }
             let mut merged = Job::new(
@@ -333,7 +324,7 @@ pub fn cluster_workflow(
             );
             let mut runtime = 0.0;
             for &m in batch {
-                let j = &wf.jobs[m];
+                let j = &wf.jobs[m.idx()];
                 runtime += j.runtime_hint;
                 merged.args.extend(j.args.iter().cloned());
                 for f in &j.inputs {
@@ -344,7 +335,6 @@ pub fn cluster_workflow(
                 for f in &j.outputs {
                     merged.outputs.push(f.clone());
                 }
-                new_id_of.insert(m, merged.id.clone());
             }
             merged.runtime_hint = runtime;
             // Inputs produced inside the cluster are internal.
@@ -353,13 +343,20 @@ pub fn cluster_workflow(
             merged
                 .inputs
                 .retain(|f| !produced.contains(f.name.as_str()));
-            out.add_job(merged)?;
+            let merged_id = JobId::new(clustered.len());
+            clustered.push(merged);
+            for &m in batch {
+                new_id_of[m.idx()] = merged_id;
+            }
         }
     }
+    // One batched insert: keeps the DuplicateJob check (a synthetic
+    // cluster name can collide with an unclustered job's) at hash-set
+    // cost instead of per-add scans.
+    out.add_jobs(clustered)?;
     // Remap explicit edges.
     for &(p, c) in &wf.explicit_edges {
-        let np = out.job_by_name(&new_id_of[&p]).expect("mapped job exists");
-        let nc = out.job_by_name(&new_id_of[&c]).expect("mapped job exists");
+        let (np, nc) = (new_id_of[p.idx()], new_id_of[c.idx()]);
         if np != nc {
             out.add_edge(np, nc)?;
         }
@@ -379,7 +376,12 @@ pub fn plan(
     let site = sites
         .get(&config.target_site)
         .ok_or_else(|| WmsError::UnknownSite(config.target_site.clone()))?;
-    abstract_wf.validate()?;
+    // Validation happens exactly once per workflow that matters:
+    // reduce/cluster validate internally, and the planned workflow is
+    // checked by `validated_edges` below — no upfront `validate()`
+    // (which would recompute the full edge list) and no `clone()` of
+    // the abstract workflow when no transform rewrites it. Both are
+    // per-job costs that dominate planning at millions of jobs.
     let reduced;
     let pre_cluster = if config.data_reuse {
         reduced = reduce_workflow(abstract_wf, replicas, &config.target_site)?;
@@ -387,17 +389,25 @@ pub fn plan(
     } else {
         abstract_wf
     };
+    let clustered;
     let wf = match config.cluster_factor {
-        Some(k) => cluster_workflow(pre_cluster, k)?,
-        None => pre_cluster.clone(),
+        Some(k) => {
+            clustered = cluster_workflow(pre_cluster, k)?;
+            &clustered
+        }
+        None => pre_cluster,
     };
 
     let mut jobs: Vec<ExecutableJob> = Vec::new();
     let mut edges: Vec<(JobId, JobId)> = Vec::new();
+    // Logical file names are interned once; staging and producer
+    // lookups below key on the dense FileId, not the String.
+    let mut files: SymbolTable<FileId> = SymbolTable::new();
     let push_job = |jobs: &mut Vec<ExecutableJob>, mut j: ExecutableJob| -> JobId {
-        j.id = jobs.len();
+        let id = JobId::new(jobs.len());
+        j.id = id;
         jobs.push(j);
-        jobs.len() - 1
+        id
     };
 
     // 1. create_dir.
@@ -405,7 +415,7 @@ pub fn plan(
         Some(push_job(
             &mut jobs,
             ExecutableJob {
-                id: 0,
+                id: JobId::default(),
                 name: format!("create_dir_{}", site.name),
                 transformation: "pegasus::dirmanager".into(),
                 kind: JobKind::CreateDir,
@@ -420,17 +430,18 @@ pub fn plan(
     };
 
     // 2. stage-in jobs for external inputs absent from the site.
-    let mut stage_in_of: HashMap<String, JobId> = HashMap::new();
+    let mut stage_in_of: HashMap<FileId, JobId> = HashMap::new();
     if config.stage_data {
         for f in wf.external_inputs() {
             if replicas.has_replica(&f.name, &site.name) {
                 continue;
             }
             let runtime = transfer_seconds(&f, site.bandwidth_bps);
+            let fid = files.intern(&f.name);
             let id = push_job(
                 &mut jobs,
                 ExecutableJob {
-                    id: 0,
+                    id: JobId::default(),
                     name: format!("stage_in_{}", f.name),
                     transformation: "pegasus::transfer".into(),
                     kind: JobKind::StageIn,
@@ -443,13 +454,15 @@ pub fn plan(
             if let Some(cd) = create_dir {
                 edges.push((cd, id));
             }
-            stage_in_of.insert(f.name.clone(), id);
+            stage_in_of.insert(fid, id);
         }
     }
 
     // 3. compute jobs with install phases.
-    let mut compute_id_of: HashMap<JobId, JobId> = HashMap::new();
-    for (ai, aj) in wf.jobs.iter().enumerate() {
+    // Dense abstract-index -> executable-id map (every abstract job
+    // plans to exactly one compute job, in order).
+    let mut compute_id_of: Vec<JobId> = Vec::with_capacity(wf.jobs.len());
+    for aj in wf.jobs.iter() {
         let missing = transformations.missing_packages(&aj.transformation, site);
         let install_hint = if missing.is_empty() {
             0.0
@@ -469,7 +482,7 @@ pub fn plan(
         let id = push_job(
             &mut jobs,
             ExecutableJob {
-                id: 0,
+                id: JobId::default(),
                 name: aj.id.clone(),
                 transformation: aj.transformation.clone(),
                 kind: JobKind::Compute,
@@ -479,10 +492,10 @@ pub fn plan(
                 source_jobs,
             },
         );
-        compute_id_of.insert(ai, id);
+        compute_id_of.push(id);
         // Stage-in edges.
         for f in &aj.inputs {
-            if let Some(&sid) = stage_in_of.get(&f.name) {
+            if let Some(&sid) = files.get(&f.name).and_then(|fid| stage_in_of.get(&fid)) {
                 edges.push((sid, id));
             }
         }
@@ -492,26 +505,35 @@ pub fn plan(
         }
     }
 
-    // 4. abstract dependency edges.
-    for (p, c) in wf.edges()? {
-        edges.push((compute_id_of[&p], compute_id_of[&c]));
+    // 4. abstract dependency edges (and the acyclicity/producer
+    // checks, which ride on the same edge computation).
+    for (p, c) in wf.validated_edges()? {
+        edges.push((compute_id_of[p.idx()], compute_id_of[c.idx()]));
     }
 
     // 5. stage-out jobs for final outputs.
     if config.stage_data {
-        // Producer lookup for final outputs.
-        let mut producer: HashMap<&str, JobId> = HashMap::new();
+        // Producer lookup restricted to the finals: a workflow has
+        // millions of intermediate outputs but a handful of final
+        // ones, so interning every output name here would dwarf the
+        // stage-out work itself.
+        let finals = wf.final_outputs();
+        let final_names: std::collections::HashSet<&str> =
+            finals.iter().map(|f| f.name.as_str()).collect();
+        let mut producer: HashMap<&str, JobId> = HashMap::with_capacity(finals.len());
         for (ai, aj) in wf.jobs.iter().enumerate() {
             for f in &aj.outputs {
-                producer.insert(f.name.as_str(), compute_id_of[&ai]);
+                if final_names.contains(f.name.as_str()) {
+                    producer.insert(f.name.as_str(), compute_id_of[ai]);
+                }
             }
         }
-        for f in wf.final_outputs() {
-            let runtime = transfer_seconds(&f, site.bandwidth_bps);
+        for f in &finals {
+            let runtime = transfer_seconds(f, site.bandwidth_bps);
             let id = push_job(
                 &mut jobs,
                 ExecutableJob {
-                    id: 0,
+                    id: JobId::default(),
                     name: format!("stage_out_{}", f.name),
                     transformation: "pegasus::transfer".into(),
                     kind: JobKind::StageOut,
@@ -531,13 +553,16 @@ pub fn plan(
     if config.add_cleanup && !jobs.is_empty() {
         let mut has_children = vec![false; jobs.len()];
         for &(p, _) in &edges {
-            has_children[p] = true;
+            has_children[p.idx()] = true;
         }
-        let leaves: Vec<JobId> = (0..jobs.len()).filter(|&i| !has_children[i]).collect();
+        let leaves: Vec<JobId> = (0..jobs.len())
+            .filter(|&i| !has_children[i])
+            .map(JobId::new)
+            .collect();
         let id = push_job(
             &mut jobs,
             ExecutableJob {
-                id: 0,
+                id: JobId::default(),
                 name: format!("cleanup_{}", site.name),
                 transformation: "pegasus::cleanup".into(),
                 kind: JobKind::Cleanup,
@@ -691,7 +716,7 @@ mod tests {
             site: "test".into(),
             jobs: vec![
                 ExecutableJob {
-                    id: 0,
+                    id: JobId::new(0),
                     name: "a".into(),
                     transformation: "t".into(),
                     kind: JobKind::Compute,
@@ -701,7 +726,7 @@ mod tests {
                     source_jobs: vec![],
                 },
                 ExecutableJob {
-                    id: 1,
+                    id: JobId::new(1),
                     name: "b".into(),
                     transformation: "t".into(),
                     kind: JobKind::Compute,
@@ -711,7 +736,10 @@ mod tests {
                     source_jobs: vec![],
                 },
             ],
-            edges: vec![(0, 1), (1, 0)],
+            edges: vec![
+                (JobId::new(0), JobId::new(1)),
+                (JobId::new(1), JobId::new(0)),
+            ],
         };
         let err = cyclic.topological_order().unwrap_err();
         assert!(
@@ -727,7 +755,7 @@ mod tests {
         let (sites, tc, rc) = catalogs_with_submit_replicas();
         let wf = mini_blast2cap3(2);
         let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
-        let name_of = |id: JobId| exec.jobs[id].name.as_str();
+        let name_of = |id: JobId| exec.jobs[id.idx()].name.as_str();
         let has_edge = |p: &str, c: &str| {
             exec.edges
                 .iter()
@@ -905,11 +933,12 @@ mod tests {
         assert_eq!(counts[&JobKind::Cleanup], 1);
         // The cleanup job is the unique sink.
         let children = exec.children();
-        let sinks: Vec<_> = (0..exec.jobs.len())
-            .filter(|&i| children[i].is_empty())
+        let sinks: Vec<JobId> = children
+            .nodes()
+            .filter(|&i| children.degree(i) == 0)
             .collect();
         assert_eq!(sinks.len(), 1);
-        assert_eq!(exec.jobs[sinks[0]].kind, JobKind::Cleanup);
+        assert_eq!(exec.jobs[sinks[0].idx()].kind, JobKind::Cleanup);
         assert_eq!(exec.topological_order().unwrap().len(), exec.jobs.len());
     }
 

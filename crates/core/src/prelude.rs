@@ -21,6 +21,7 @@ pub use crate::ensemble::{
     WorkflowSpec,
 };
 pub use crate::events::{replay, rescue_from_events, EventSink, MonitorSink, WorkflowEvent};
+pub use crate::graph::Csr;
 pub use crate::metrics::{MetricsMonitor, MetricsRegistry};
 pub use crate::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 pub use crate::planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
@@ -29,4 +30,5 @@ pub use crate::statistics::{
     compute, compute_ensemble, render_csv, render_ensemble_csv, render_summary_csv,
     EnsembleStatistics, WorkflowStatistics,
 };
-pub use crate::workflow::{AbstractWorkflow, Job, JobId, LogicalFile};
+pub use crate::symbols::{FileId, JobId, SymbolTable};
+pub use crate::workflow::{AbstractWorkflow, Job, LogicalFile};

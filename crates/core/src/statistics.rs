@@ -451,7 +451,7 @@ mod tests {
 
     fn record(job: usize, transformation: &str, state: JobState, t: Option<JobTimes>) -> JobRecord {
         JobRecord {
-            job,
+            job: crate::workflow::JobId::new(job),
             name: format!("{transformation}_{job}"),
             transformation: transformation.into(),
             kind: JobKind::Compute,

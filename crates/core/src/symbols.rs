@@ -1,0 +1,258 @@
+//! Interned identifiers: typed `u32` newtypes plus the side table
+//! that maps them back to names.
+//!
+//! The hot path of a workflow run — planning, scheduling, retrying,
+//! event emission — touches every job and file many times. Carrying
+//! owned `String` keys through those layers means a clone and a hash
+//! of the full name per touch; at the million-task scale the ROADMAP
+//! targets, that is the dominant cost. Instead, names are interned
+//! once at a boundary (DAX parse, plan start) into a [`SymbolTable`],
+//! and everything downstream moves 4-byte [`JobId`]/[`FileId`] values
+//! that index dense `Vec`s. Names are resolved back out only at the
+//! opposite boundary: rendering a report, writing a log line, or
+//! matching a user-supplied pattern.
+//!
+//! The ids are deliberately *dense* (0..n in declaration order), so
+//! they double as vector indices — `records[job.idx()]` — and the
+//! symbol table is append-only, so a resolved `&str` stays valid for
+//! the table's lifetime.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Identifier of one job: a dense index into the owning workflow's
+/// job vector.
+///
+/// `JobId` is `Display`ed as its bare decimal index, so text formats
+/// (the event log, rescue DAGs) are byte-identical to the era when
+/// job ids were plain `usize`s.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct JobId(u32);
+
+/// Identifier of one logical file, interned per plan or parse.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FileId(u32);
+
+macro_rules! impl_symbol_id {
+    ($name:ident) => {
+        impl $name {
+            /// Wraps a dense index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32` — 4 billion
+            /// jobs is beyond any workflow this system plans.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize, "symbol index overflows u32");
+                $name(index as u32)
+            }
+
+            /// The dense index, for direct `Vec` indexing.
+            #[inline]
+            pub const fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                $name::new(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.idx()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+
+        impl std::str::FromStr for $name {
+            type Err = std::num::ParseIntError;
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                s.parse::<u32>().map($name)
+            }
+        }
+
+        impl Symbol for $name {
+            #[inline]
+            fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+            #[inline]
+            fn into_raw(self) -> u32 {
+                self.0
+            }
+        }
+    };
+}
+
+impl_symbol_id!(JobId);
+impl_symbol_id!(FileId);
+
+/// A typed interned id: conversion to and from the raw `u32` the
+/// [`SymbolTable`] hands out.
+pub trait Symbol: Copy {
+    /// Wraps a raw table slot.
+    fn from_raw(raw: u32) -> Self;
+    /// Unwraps to the raw table slot.
+    fn into_raw(self) -> u32;
+}
+
+/// An append-only name ↔ id table.
+///
+/// `intern` is idempotent — the same name always returns the same id,
+/// and ids are handed out densely in first-appearance order, so a
+/// table built by scanning a workflow in declaration order assigns
+/// id `k` to the `k`-th distinct name. Each distinct name is stored
+/// once (an `Arc<str>` shared between the forward vector and the
+/// reverse map), so memory is one allocation per *unique* name, not
+/// per occurrence.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable<S: Symbol = JobId> {
+    names: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+    _typed: PhantomData<S>,
+}
+
+impl<S: Symbol> SymbolTable<S> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable {
+            names: Vec::new(),
+            index: HashMap::new(),
+            _typed: PhantomData,
+        }
+    }
+
+    /// Creates an empty table with room for `n` names.
+    pub fn with_capacity(n: usize) -> Self {
+        SymbolTable {
+            names: Vec::with_capacity(n),
+            index: HashMap::with_capacity(n),
+            _typed: PhantomData,
+        }
+    }
+
+    /// Interns `name`, returning its stable id. Repeated calls with
+    /// the same name return the same id without allocating.
+    pub fn intern(&mut self, name: &str) -> S {
+        if let Some(&raw) = self.index.get(name) {
+            return S::from_raw(raw);
+        }
+        let raw = u32::try_from(self.names.len()).expect("symbol table overflows u32");
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.index.insert(shared, raw);
+        S::from_raw(raw)
+    }
+
+    /// Looks up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<S> {
+        self.index.get(name).map(|&raw| S::from_raw(raw))
+    }
+
+    /// Resolves an id back to its name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: S) -> &str {
+        &self.names[id.into_raw() as usize]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (S, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (S::from_raw(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t: SymbolTable<JobId> = SymbolTable::new();
+        let a = t.intern("split");
+        let b = t.intern("run_cap3_0");
+        let a2 = t.intern("split");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.idx(), 0);
+        assert_eq!(b.idx(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t: SymbolTable<FileId> = SymbolTable::new();
+        for name in ["transcripts.fasta", "chunk_0.fasta", "транскрипты.fa"] {
+            let id = t.intern(name);
+            assert_eq!(t.resolve(id), name);
+        }
+    }
+
+    #[test]
+    fn duplicate_prefixes_stay_distinct() {
+        let mut t: SymbolTable<JobId> = SymbolTable::new();
+        let a = t.intern("run_cap3_1");
+        let b = t.intern("run_cap3_10");
+        let c = t.intern("run_cap3_100");
+        assert!(a != b && b != c && a != c);
+        assert_eq!(t.resolve(b), "run_cap3_10");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t: SymbolTable<JobId> = SymbolTable::new();
+        assert_eq!(t.get("merge"), None);
+        let id = t.intern("merge");
+        assert_eq!(t.get("merge"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_display_as_bare_indices() {
+        assert_eq!(JobId::new(17).to_string(), "17");
+        assert_eq!(FileId::new(0).to_string(), "0");
+        assert_eq!("17".parse::<JobId>().unwrap(), JobId::new(17));
+    }
+
+    #[test]
+    fn iter_yields_interning_order() {
+        let mut t: SymbolTable<JobId> = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let pairs: Vec<(usize, String)> =
+            t.iter().map(|(id, n)| (id.idx(), n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+}

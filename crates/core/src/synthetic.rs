@@ -40,28 +40,27 @@ fn f(name: impl Into<String>) -> LogicalFile {
 pub fn montage(n: usize) -> AbstractWorkflow {
     let n = n.max(2);
     let mut wf = AbstractWorkflow::new(format!("montage_{n}"));
+    let mut batch = Vec::with_capacity(montage_job_count(n));
     for i in 0..n {
-        wf.add_job(
+        batch.push(
             Job::new(format!("mProjectPP_{i}"), "mProjectPP")
                 .input(f(format!("input_{i}.fits")))
                 .output(f(format!("proj_{i}.fits")))
                 .runtime(15.0),
-        )
-        .expect("fresh ids");
+        );
     }
     // Pairwise overlap fits between adjacent projections (ring).
     let mut diff_outputs = Vec::new();
     for i in 0..n {
         let j = (i + 1) % n;
         let out = format!("diff_{i}_{j}.fits");
-        wf.add_job(
+        batch.push(
             Job::new(format!("mDiffFit_{i}_{j}"), "mDiffFit")
                 .input(f(format!("proj_{i}.fits")))
                 .input(f(format!("proj_{j}.fits")))
                 .output(f(&out))
                 .runtime(10.0),
-        )
-        .expect("fresh ids");
+        );
         diff_outputs.push(out);
     }
     let mut concat = Job::new("mConcatFit", "mConcatFit")
@@ -70,23 +69,21 @@ pub fn montage(n: usize) -> AbstractWorkflow {
     for d in &diff_outputs {
         concat = concat.input(f(d));
     }
-    wf.add_job(concat).expect("fresh ids");
-    wf.add_job(
+    batch.push(concat);
+    batch.push(
         Job::new("mBgModel", "mBgModel")
             .input(f("fits.tbl"))
             .output(f("corrections.tbl"))
             .runtime(60.0),
-    )
-    .expect("fresh ids");
+    );
     for i in 0..n {
-        wf.add_job(
+        batch.push(
             Job::new(format!("mBackground_{i}"), "mBackground")
                 .input(f(format!("proj_{i}.fits")))
                 .input(f("corrections.tbl"))
                 .output(f(format!("corrected_{i}.fits")))
                 .runtime(12.0),
-        )
-        .expect("fresh ids");
+        );
     }
     let mut imgtbl = Job::new("mImgtbl", "mImgtbl")
         .output(f("images.tbl"))
@@ -94,28 +91,26 @@ pub fn montage(n: usize) -> AbstractWorkflow {
     for i in 0..n {
         imgtbl = imgtbl.input(f(format!("corrected_{i}.fits")));
     }
-    wf.add_job(imgtbl).expect("fresh ids");
-    wf.add_job(
+    batch.push(imgtbl);
+    batch.push(
         Job::new("mAdd", "mAdd")
             .input(f("images.tbl"))
             .output(f("mosaic.fits"))
             .runtime(120.0),
-    )
-    .expect("fresh ids");
-    wf.add_job(
+    );
+    batch.push(
         Job::new("mShrink", "mShrink")
             .input(f("mosaic.fits"))
             .output(f("shrunken.fits"))
             .runtime(30.0),
-    )
-    .expect("fresh ids");
-    wf.add_job(
+    );
+    batch.push(
         Job::new("mJPEG", "mJPEG")
             .input(f("shrunken.fits"))
             .output(f("mosaic.jpg"))
             .runtime(5.0),
-    )
-    .expect("fresh ids");
+    );
+    wf.add_jobs(batch).expect("fresh ids");
     wf
 }
 
@@ -130,14 +125,14 @@ pub fn montage_job_count(n: usize) -> usize {
 pub fn cybershake(n: usize) -> AbstractWorkflow {
     let n = n.max(1);
     let mut wf = AbstractWorkflow::new(format!("cybershake_{n}"));
+    let mut batch = Vec::with_capacity(cybershake_job_count(n));
     for s in 0..2 {
-        wf.add_job(
+        batch.push(
             Job::new(format!("ExtractSGT_{s}"), "ExtractSGT")
                 .input(f(format!("sgt_{s}.bin")))
                 .output(f(format!("sub_sgt_{s}.bin")))
                 .runtime(110.0),
-        )
-        .expect("fresh ids");
+        );
     }
     let mut zip_seis = Job::new("ZipSeis", "ZipSeis")
         .output(f("seismograms.zip"))
@@ -147,25 +142,24 @@ pub fn cybershake(n: usize) -> AbstractWorkflow {
         .runtime(25.0);
     for i in 0..n {
         let src = i % 2;
-        wf.add_job(
+        batch.push(
             Job::new(format!("SeismogramSynthesis_{i}"), "SeismogramSynthesis")
                 .input(f(format!("sub_sgt_{src}.bin")))
                 .output(f(format!("seis_{i}.grm")))
                 .runtime(48.0),
-        )
-        .expect("fresh ids");
-        wf.add_job(
+        );
+        batch.push(
             Job::new(format!("PeakValCalc_{i}"), "PeakValCalc")
                 .input(f(format!("seis_{i}.grm")))
                 .output(f(format!("peak_{i}.bsa")))
                 .runtime(1.0),
-        )
-        .expect("fresh ids");
+        );
         zip_seis = zip_seis.input(f(format!("seis_{i}.grm")));
         zip_psa = zip_psa.input(f(format!("peak_{i}.bsa")));
     }
-    wf.add_job(zip_seis).expect("fresh ids");
-    wf.add_job(zip_psa).expect("fresh ids");
+    batch.push(zip_seis);
+    batch.push(zip_psa);
+    wf.add_jobs(batch).expect("fresh ids");
     wf
 }
 
@@ -179,6 +173,7 @@ pub fn cybershake_job_count(n: usize) -> usize {
 pub fn epigenomics(lanes: usize, chains: usize) -> AbstractWorkflow {
     let (lanes, chains) = (lanes.max(1), chains.max(1));
     let mut wf = AbstractWorkflow::new(format!("epigenomics_{lanes}x{chains}"));
+    let mut batch = Vec::with_capacity(epigenomics_job_count(lanes, chains));
     let mut global_merge = Job::new("mapMergeGlobal", "mapMerge")
         .output(f("all.map"))
         .runtime(120.0);
@@ -189,7 +184,7 @@ pub fn epigenomics(lanes: usize, chains: usize) -> AbstractWorkflow {
         for c in 0..chains {
             split = split.output(f(format!("chunk_{l}_{c}.fastq")));
         }
-        wf.add_job(split).expect("fresh ids");
+        batch.push(split);
         let mut lane_merge = Job::new(format!("mapMerge_{l}"), "mapMerge")
             .output(f(format!("lane_{l}.map")))
             .runtime(60.0);
@@ -203,35 +198,33 @@ pub fn epigenomics(lanes: usize, chains: usize) -> AbstractWorkflow {
             let mut prev = format!("chunk_{l}_{c}.fastq");
             for (stage, cost) in stages {
                 let out = format!("{stage}_{l}_{c}.out");
-                wf.add_job(
+                batch.push(
                     Job::new(format!("{stage}_{l}_{c}"), stage)
                         .input(f(&prev))
                         .output(f(&out))
                         .runtime(cost),
-                )
-                .expect("fresh ids");
+                );
                 prev = out;
             }
             lane_merge = lane_merge.input(f(&prev));
         }
-        wf.add_job(lane_merge).expect("fresh ids");
+        batch.push(lane_merge);
         global_merge = global_merge.input(f(format!("lane_{l}.map")));
     }
-    wf.add_job(global_merge).expect("fresh ids");
-    wf.add_job(
+    batch.push(global_merge);
+    batch.push(
         Job::new("maqIndex", "maqIndex")
             .input(f("all.map"))
             .output(f("all.index"))
             .runtime(45.0),
-    )
-    .expect("fresh ids");
-    wf.add_job(
+    );
+    batch.push(
         Job::new("pileup", "pileup")
             .input(f("all.index"))
             .output(f("methylation.txt"))
             .runtime(55.0),
-    )
-    .expect("fresh ids");
+    );
+    wf.add_jobs(batch).expect("fresh ids");
     wf
 }
 
@@ -247,6 +240,7 @@ pub fn epigenomics_job_count(lanes: usize, chains: usize) -> usize {
 pub fn ligo_inspiral(groups: usize, per_group: usize) -> AbstractWorkflow {
     let (groups, per_group) = (groups.max(1), per_group.max(1));
     let mut wf = AbstractWorkflow::new(format!("inspiral_{groups}x{per_group}"));
+    let mut batch = Vec::with_capacity(ligo_job_count(groups, per_group));
     let mut final_thinca = Job::new("Thinca_final", "Thinca")
         .output(f("triggers.xml"))
         .runtime(10.0);
@@ -255,40 +249,37 @@ pub fn ligo_inspiral(groups: usize, per_group: usize) -> AbstractWorkflow {
             .output(f(format!("thinca_{g}.xml")))
             .runtime(6.0);
         for i in 0..per_group {
-            wf.add_job(
+            batch.push(
                 Job::new(format!("TmpltBank_{g}_{i}"), "TmpltBank")
                     .input(f(format!("gwdata_{g}_{i}.gwf")))
                     .output(f(format!("bank_{g}_{i}.xml")))
                     .runtime(18.0),
-            )
-            .expect("fresh ids");
-            wf.add_job(
+            );
+            batch.push(
                 Job::new(format!("Inspiral_{g}_{i}"), "Inspiral")
                     .input(f(format!("bank_{g}_{i}.xml")))
                     .output(f(format!("insp_{g}_{i}.xml")))
                     .runtime(460.0),
-            )
-            .expect("fresh ids");
+            );
             thinca = thinca.input(f(format!("insp_{g}_{i}.xml")));
         }
-        wf.add_job(thinca).expect("fresh ids");
-        wf.add_job(
+        batch.push(thinca);
+        batch.push(
             Job::new(format!("TrigBank_{g}"), "TrigBank")
                 .input(f(format!("thinca_{g}.xml")))
                 .output(f(format!("trigbank_{g}.xml")))
                 .runtime(5.0),
-        )
-        .expect("fresh ids");
-        wf.add_job(
+        );
+        batch.push(
             Job::new(format!("Inspiral2_{g}"), "Inspiral")
                 .input(f(format!("trigbank_{g}.xml")))
                 .output(f(format!("insp2_{g}.xml")))
                 .runtime(450.0),
-        )
-        .expect("fresh ids");
+        );
         final_thinca = final_thinca.input(f(format!("insp2_{g}.xml")));
     }
-    wf.add_job(final_thinca).expect("fresh ids");
+    batch.push(final_thinca);
+    wf.add_jobs(batch).expect("fresh ids");
     wf
 }
 

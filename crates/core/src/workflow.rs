@@ -5,12 +5,16 @@
 //! files they consume and produce. Dependencies come from two places:
 //! dataflow (job B reads a file job A writes) and explicit
 //! parent/child declarations, exactly like a Pegasus DAX.
+//!
+//! Jobs are identified by dense interned [`JobId`]s (see
+//! [`crate::symbols`]); traversals run over [`Csr`] adjacency built
+//! once per call instead of per-node `Vec<Vec<_>>` allocations.
 
 use crate::error::WmsError;
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::graph::Csr;
+use std::collections::{HashMap, HashSet};
 
-/// Index of a job within its workflow.
-pub type JobId = usize;
+pub use crate::symbols::{FileId, JobId};
 
 /// A logical file: a name in the workflow's namespace, with an
 /// estimated size used by staging cost models.
@@ -120,20 +124,48 @@ impl AbstractWorkflow {
     }
 
     /// Adds a job, returning its id; fails on duplicate string ids.
+    ///
+    /// The duplicate check scans existing jobs, so adding one job is
+    /// O(jobs). Generators that add many jobs should batch them
+    /// through [`AbstractWorkflow::add_jobs`], which checks the whole
+    /// batch against one hash set.
     pub fn add_job(&mut self, job: Job) -> Result<JobId, WmsError> {
         if self.jobs.iter().any(|j| j.id == job.id) {
             return Err(WmsError::DuplicateJob(job.id));
         }
         self.jobs.push(job);
-        Ok(self.jobs.len() - 1)
+        Ok(JobId::new(self.jobs.len() - 1))
+    }
+
+    /// Adds a batch of jobs, returning their ids in order; fails on the
+    /// first duplicate string id (against existing jobs or within the
+    /// batch) without adding anything.
+    ///
+    /// One hash set covers the whole duplicate check, so the batch
+    /// costs O(existing + added) — the bulk path for large generated
+    /// workflows, where per-call [`AbstractWorkflow::add_job`] scans
+    /// would be quadratic.
+    pub fn add_jobs(&mut self, batch: Vec<Job>) -> Result<Vec<JobId>, WmsError> {
+        {
+            let mut seen: HashSet<&str> = self.jobs.iter().map(|j| j.id.as_str()).collect();
+            for job in &batch {
+                if !seen.insert(job.id.as_str()) {
+                    return Err(WmsError::DuplicateJob(job.id.clone()));
+                }
+            }
+        }
+        let first = self.jobs.len();
+        let ids = (first..first + batch.len()).map(JobId::new).collect();
+        self.jobs.extend(batch);
+        Ok(ids)
     }
 
     /// Declares an explicit dependency `parent -> child`.
     pub fn add_edge(&mut self, parent: JobId, child: JobId) -> Result<(), WmsError> {
-        if parent >= self.jobs.len() {
+        if parent.idx() >= self.jobs.len() {
             return Err(WmsError::UnknownJob(format!("#{parent}")));
         }
-        if child >= self.jobs.len() {
+        if child.idx() >= self.jobs.len() {
             return Err(WmsError::UnknownJob(format!("#{child}")));
         }
         self.explicit_edges.push((parent, child));
@@ -141,8 +173,17 @@ impl AbstractWorkflow {
     }
 
     /// Looks a job up by string id.
+    ///
+    /// Linear scan — fine for one-off lookups; bulk resolution (the
+    /// DAX parser, the engine's skip-set) builds a name → id map once
+    /// instead.
     pub fn job_by_name(&self, id: &str) -> Option<JobId> {
-        self.jobs.iter().position(|j| j.id == id)
+        self.jobs.iter().position(|j| j.id == id).map(JobId::new)
+    }
+
+    /// The job referenced by `id`.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.idx()]
     }
 
     /// All dependency edges: dataflow-derived plus explicit, deduped
@@ -150,11 +191,12 @@ impl AbstractWorkflow {
     pub fn edges(&self) -> Result<Vec<(JobId, JobId)>, WmsError> {
         let mut producer: HashMap<&str, JobId> = HashMap::new();
         for (i, job) in self.jobs.iter().enumerate() {
+            let i = JobId::new(i);
             for out in &job.outputs {
                 if let Some(&first) = producer.get(out.name.as_str()) {
                     return Err(WmsError::ConflictingProducer {
                         file: out.name.clone(),
-                        first: self.jobs[first].id.clone(),
+                        first: self.jobs[first.idx()].id.clone(),
                         second: job.id.clone(),
                     });
                 }
@@ -163,6 +205,7 @@ impl AbstractWorkflow {
         }
         let mut set: HashSet<(JobId, JobId)> = HashSet::new();
         for (i, job) in self.jobs.iter().enumerate() {
+            let i = JobId::new(i);
             for inp in &job.inputs {
                 if let Some(&p) = producer.get(inp.name.as_str()) {
                     if p != i {
@@ -220,34 +263,60 @@ impl AbstractWorkflow {
         out
     }
 
+    /// CSR adjacency over all (dataflow + explicit) edges: the
+    /// `(children, parents)` pair of views.
+    pub fn adjacency(&self) -> Result<(Csr, Csr), WmsError> {
+        let edges = self.edges()?;
+        let n = self.jobs.len();
+        Ok((Csr::forward(n, &edges), Csr::reverse(n, &edges)))
+    }
+
     /// Kahn topological order over all edges; detects cycles.
     pub fn topological_order(&self) -> Result<Vec<JobId>, WmsError> {
         let edges = self.edges()?;
-        let n = self.jobs.len();
-        let mut indeg = vec![0usize; n];
-        let mut adj: Vec<Vec<JobId>> = vec![Vec::new(); n];
-        for &(p, c) in &edges {
-            indeg[c] += 1;
-            adj[p].push(c);
-        }
-        let mut queue: VecDeque<JobId> = (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(u) = queue.pop_front() {
-            order.push(u);
-            for &v in &adj[u] {
-                indeg[v] -= 1;
-                if indeg[v] == 0 {
-                    queue.push_back(v);
+        self.kahn(&edges)
+    }
+
+    /// The edge list of [`AbstractWorkflow::edges`], checked acyclic.
+    ///
+    /// One computation serves both needs: callers that want the edges
+    /// *and* the validity guarantee (the planner) would otherwise pay
+    /// for `edges()` twice — once inside `validate()` and once for the
+    /// list itself, which matters at millions of edges.
+    pub fn validated_edges(&self) -> Result<Vec<(JobId, JobId)>, WmsError> {
+        let edges = self.edges()?;
+        self.kahn(&edges)?;
+        Ok(edges)
+    }
+
+    /// Kahn's algorithm over a precomputed edge list.
+    fn kahn(&self, edges: &[(JobId, JobId)]) -> Result<Vec<JobId>, WmsError> {
+        let children = Csr::forward(self.jobs.len(), edges);
+        children.topological_order().ok_or_else(|| {
+            // Recompute indegrees to name a node stuck on the cycle.
+            let mut indeg = vec![0usize; self.jobs.len()];
+            for &(_, c) in edges {
+                indeg[c.idx()] += 1;
+            }
+            let mut order_len = 0;
+            let mut queue: std::collections::VecDeque<usize> =
+                (0..self.jobs.len()).filter(|&i| indeg[i] == 0).collect();
+            let mut indeg_left = indeg.clone();
+            while let Some(u) = queue.pop_front() {
+                order_len += 1;
+                for &v in children.neighbors(JobId::new(u)) {
+                    indeg_left[v.idx()] -= 1;
+                    if indeg_left[v.idx()] == 0 {
+                        queue.push_back(v.idx());
+                    }
                 }
             }
-        }
-        if order.len() != n {
-            let stuck = (0..n)
-                .find(|&i| indeg[i] > 0)
+            debug_assert!(order_len < self.jobs.len());
+            let stuck = (0..self.jobs.len())
+                .find(|&i| indeg_left[i] > 0)
                 .expect("cycle implies a stuck node");
-            return Err(WmsError::CycleDetected(self.jobs[stuck].id.clone()));
-        }
-        Ok(order)
+            WmsError::CycleDetected(self.jobs[stuck].id.clone())
+        })
     }
 
     /// Validates the workflow: id uniqueness is enforced at insert;
@@ -260,14 +329,11 @@ impl AbstractWorkflow {
     pub fn levels(&self) -> Result<Vec<usize>, WmsError> {
         let order = self.topological_order()?;
         let edges = self.edges()?;
-        let mut adj: Vec<Vec<JobId>> = vec![Vec::new(); self.jobs.len()];
-        for &(p, c) in &edges {
-            adj[p].push(c);
-        }
+        let children = Csr::forward(self.jobs.len(), &edges);
         let mut level = vec![0usize; self.jobs.len()];
         for &u in &order {
-            for &v in &adj[u] {
-                level[v] = level[v].max(level[u] + 1);
+            for &v in children.neighbors(u) {
+                level[v.idx()] = level[v.idx()].max(level[u.idx()] + 1);
             }
         }
         Ok(level)
@@ -292,24 +358,21 @@ impl AbstractWorkflow {
         let order = self.topological_order()?;
         let edges = self.edges()?;
         let n = self.jobs.len();
-        let mut parents: Vec<Vec<JobId>> = vec![Vec::new(); n];
-        for &(p, c) in &edges {
-            parents[c].push(p);
-        }
+        let parents = Csr::reverse(n, &edges);
         // dist[i] = cost of the heaviest path ending at i (inclusive).
         let mut dist = vec![0.0f64; n];
         let mut prev: Vec<Option<JobId>> = vec![None; n];
         for &i in &order {
             let mut best = 0.0f64;
             let mut best_p = None;
-            for &p in &parents[i] {
-                if dist[p] > best {
-                    best = dist[p];
+            for &p in parents.neighbors(i) {
+                if dist[p.idx()] > best {
+                    best = dist[p.idx()];
                     best_p = Some(p);
                 }
             }
-            dist[i] = best + self.jobs[i].runtime_hint;
-            prev[i] = best_p;
+            dist[i.idx()] = best + self.jobs[i.idx()].runtime_hint;
+            prev[i.idx()] = best_p;
         }
         let Some((end, &total)) = dist
             .iter()
@@ -318,8 +381,8 @@ impl AbstractWorkflow {
         else {
             return Ok((0.0, Vec::new()));
         };
-        let mut path = vec![end];
-        while let Some(p) = prev[*path.last().expect("non-empty")] {
+        let mut path = vec![JobId::new(end)];
+        while let Some(p) = prev[path.last().expect("non-empty").idx()] {
             path.push(p);
         }
         path.reverse();
@@ -344,11 +407,11 @@ impl AbstractWorkflow {
         placeholder: JobId,
         sub: &AbstractWorkflow,
     ) -> Result<AbstractWorkflow, WmsError> {
-        if placeholder >= self.jobs.len() {
+        if placeholder.idx() >= self.jobs.len() {
             return Err(WmsError::UnknownJob(format!("#{placeholder}")));
         }
         sub.validate()?;
-        let ns = self.jobs[placeholder].id.clone();
+        let ns = self.jobs[placeholder.idx()].id.clone();
         let mut interface: HashSet<String> =
             sub.external_inputs().into_iter().map(|f| f.name).collect();
         interface.extend(sub.final_outputs().into_iter().map(|f| f.name));
@@ -367,6 +430,7 @@ impl AbstractWorkflow {
         // Parent jobs (minus the placeholder), preserving order.
         let mut new_index: HashMap<JobId, JobId> = HashMap::new();
         for (i, job) in self.jobs.iter().enumerate() {
+            let i = JobId::new(i);
             if i == placeholder {
                 continue;
             }
@@ -379,7 +443,7 @@ impl AbstractWorkflow {
             j.id = format!("{ns}/{}", job.id);
             j.inputs = job.inputs.iter().map(&rename_file).collect();
             j.outputs = job.outputs.iter().map(&rename_file).collect();
-            sub_index.insert(i, out.add_job(j)?);
+            sub_index.insert(JobId::new(i), out.add_job(j)?);
         }
         // Sub explicit edges.
         for &(p, c) in &sub.explicit_edges {
@@ -387,14 +451,16 @@ impl AbstractWorkflow {
         }
         // Parent explicit edges, with placeholder redirection.
         let sub_edges = sub.edges()?;
-        let mut indeg = vec![0usize; sub.jobs.len()];
-        let mut outdeg = vec![0usize; sub.jobs.len()];
-        for &(p, c) in &sub_edges {
-            outdeg[p] += 1;
-            indeg[c] += 1;
-        }
-        let roots: Vec<JobId> = (0..sub.jobs.len()).filter(|&i| indeg[i] == 0).collect();
-        let sinks: Vec<JobId> = (0..sub.jobs.len()).filter(|&i| outdeg[i] == 0).collect();
+        let sub_children = Csr::forward(sub.jobs.len(), &sub_edges);
+        let sub_parents = Csr::reverse(sub.jobs.len(), &sub_edges);
+        let roots: Vec<JobId> = sub_parents
+            .nodes()
+            .filter(|&i| sub_parents.degree(i) == 0)
+            .collect();
+        let sinks: Vec<JobId> = sub_children
+            .nodes()
+            .filter(|&i| sub_children.degree(i) == 0)
+            .collect();
         for &(p, c) in &self.explicit_edges {
             match (p == placeholder, c == placeholder) {
                 (false, false) => out.add_edge(new_index[&p], new_index[&c])?,
@@ -419,6 +485,14 @@ impl AbstractWorkflow {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn j(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    fn pairs(raw: &[(usize, usize)]) -> Vec<(JobId, JobId)> {
+        raw.iter().map(|&(a, b)| (j(a), j(b))).collect()
+    }
 
     /// Diamond: a -> {b, c} -> d via dataflow.
     fn diamond() -> AbstractWorkflow {
@@ -451,7 +525,7 @@ mod tests {
     fn dataflow_edges_are_derived() {
         let wf = diamond();
         let edges = wf.edges().unwrap();
-        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(edges, pairs(&[(0, 1), (0, 2), (1, 3), (2, 3)]));
     }
 
     #[test]
@@ -484,22 +558,23 @@ mod tests {
         let c = wf.job_by_name("c").unwrap();
         wf.add_edge(b, c).unwrap();
         let edges = wf.edges().unwrap();
-        assert!(edges.contains(&(1, 2)));
+        assert!(edges.contains(&(j(1), j(2))));
         assert_eq!(edges.len(), 5);
     }
 
     #[test]
     fn edge_bounds_checked() {
         let mut wf = diamond();
-        assert!(wf.add_edge(0, 99).is_err());
-        assert!(wf.add_edge(99, 0).is_err());
+        assert!(wf.add_edge(j(0), j(99)).is_err());
+        assert!(wf.add_edge(j(99), j(0)).is_err());
     }
 
     #[test]
     fn topological_order_respects_edges() {
         let wf = diamond();
         let order = wf.topological_order().unwrap();
-        let pos: HashMap<JobId, usize> = order.iter().enumerate().map(|(i, &j)| (j, i)).collect();
+        let pos: HashMap<JobId, usize> =
+            order.iter().enumerate().map(|(i, &jid)| (jid, i)).collect();
         for (p, c) in wf.edges().unwrap() {
             assert!(pos[&p] < pos[&c], "{p} must precede {c}");
         }
@@ -510,8 +585,8 @@ mod tests {
         let mut wf = AbstractWorkflow::new("cyclic");
         wf.add_job(Job::new("a", "t")).unwrap();
         wf.add_job(Job::new("b", "t")).unwrap();
-        wf.add_edge(0, 1).unwrap();
-        wf.add_edge(1, 0).unwrap();
+        wf.add_edge(j(0), j(1)).unwrap();
+        wf.add_edge(j(1), j(0)).unwrap();
         assert!(matches!(
             wf.validate().unwrap_err(),
             WmsError::CycleDetected(_)
@@ -522,7 +597,7 @@ mod tests {
     fn self_loop_edges_are_ignored() {
         let mut wf = AbstractWorkflow::new("w");
         wf.add_job(Job::new("a", "t")).unwrap();
-        wf.add_edge(0, 0).unwrap();
+        wf.add_edge(j(0), j(0)).unwrap();
         assert!(wf.validate().is_ok());
     }
 
@@ -557,6 +632,16 @@ mod tests {
     }
 
     #[test]
+    fn adjacency_views_agree_with_edges() {
+        let wf = diamond();
+        let (children, parents) = wf.adjacency().unwrap();
+        assert_eq!(children.neighbors(j(0)), &[j(1), j(2)]);
+        assert_eq!(parents.neighbors(j(3)), &[j(1), j(2)]);
+        assert_eq!(children.degree(j(0)), 2);
+        assert_eq!(parents.degree(j(0)), 0);
+    }
+
+    #[test]
     fn empty_workflow_is_valid() {
         let wf = AbstractWorkflow::new("empty");
         assert!(wf.validate().is_ok());
@@ -574,7 +659,7 @@ mod tests {
         wf.jobs[3].runtime_hint = 2.0;
         let (total, path) = wf.critical_path().unwrap();
         assert_eq!(total, 103.0);
-        assert_eq!(path, vec![0, 1, 3]);
+        assert_eq!(path, vec![j(0), j(1), j(3)]);
         // Empty workflow.
         let empty = AbstractWorkflow::new("e");
         assert_eq!(empty.critical_path().unwrap(), (0.0, vec![]));
@@ -630,9 +715,9 @@ mod tests {
         let s1 = flat.job_by_name("SUB/s1").unwrap();
         let s2 = flat.job_by_name("SUB/s2").unwrap();
         // Internal file namespaced; interface files untouched.
-        assert_eq!(flat.jobs[s1].outputs[0].name, "SUB/mid");
-        assert_eq!(flat.jobs[s1].inputs[0].name, "x");
-        assert_eq!(flat.jobs[s2].outputs[0].name, "sub_out");
+        assert_eq!(flat.jobs[s1.idx()].outputs[0].name, "SUB/mid");
+        assert_eq!(flat.jobs[s1.idx()].inputs[0].name, "x");
+        assert_eq!(flat.jobs[s2.idx()].outputs[0].name, "sub_out");
         // Dataflow connects a -> s1 -> s2 -> d.
         let edges = flat.edges().unwrap();
         let a = flat.job_by_name("a").unwrap();
@@ -641,7 +726,7 @@ mod tests {
         assert!(edges.contains(&(s1, s2)));
         assert!(edges.contains(&(s2, d)));
         // Levels: a=0, s1=1, s2=2, d=3.
-        assert_eq!(flat.levels().unwrap()[d], 3);
+        assert_eq!(flat.levels().unwrap()[d.idx()], 3);
     }
 
     #[test]
@@ -671,7 +756,9 @@ mod tests {
     #[test]
     fn inline_rejects_bad_placeholder() {
         let parent = AbstractWorkflow::new("p");
-        assert!(parent.with_inlined_subworkflow(0, &sub_workflow()).is_err());
+        assert!(parent
+            .with_inlined_subworkflow(j(0), &sub_workflow())
+            .is_err());
     }
 
     #[test]
@@ -688,21 +775,21 @@ mod tests {
         let flat = top.with_inlined_subworkflow(ph, &mid).unwrap();
         assert!(flat.job_by_name("OUTER/INNER/s1").is_some());
         let s1 = flat.job_by_name("OUTER/INNER/s1").unwrap();
-        assert_eq!(flat.jobs[s1].outputs[0].name, "OUTER/INNER/mid");
+        assert_eq!(flat.jobs[s1.idx()].outputs[0].name, "OUTER/INNER/mid");
         flat.validate().unwrap();
     }
 
     #[test]
     fn builder_accumulates_fields() {
-        let j = Job::new("j", "t")
+        let jb = Job::new("j", "t")
             .arg("-n")
             .arg("300")
             .input(LogicalFile::named("in"))
             .output(LogicalFile::named("out"))
             .runtime(12.5);
-        assert_eq!(j.args, vec!["-n", "300"]);
-        assert_eq!(j.runtime_hint, 12.5);
-        assert_eq!(j.inputs.len(), 1);
-        assert_eq!(j.outputs.len(), 1);
+        assert_eq!(jb.args, vec!["-n", "300"]);
+        assert_eq!(jb.runtime_hint, 12.5);
+        assert_eq!(jb.inputs.len(), 1);
+        assert_eq!(jb.outputs.len(), 1);
     }
 }

@@ -8,10 +8,13 @@ use pegasus_wms::engine::scripted::ScriptedBackend;
 use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
 use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, WorkflowSpec};
 use pegasus_wms::events;
+use pegasus_wms::graph::Csr;
 use pegasus_wms::lint;
 use pegasus_wms::planner::{cluster_workflow, plan, JobKind, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
 use pegasus_wms::statistics::{compute, render_summary_csv};
+use pegasus_wms::symbols::{FileId, SymbolTable};
+use pegasus_wms::workflow::JobId;
 use pegasus_wms::workflow::{AbstractWorkflow, Job, LogicalFile};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -66,7 +69,7 @@ proptest! {
         let wf = layered_workflow(layers, width, bits);
         let order = wf.topological_order().unwrap();
         prop_assert_eq!(order.len(), wf.jobs.len());
-        let pos: HashMap<usize, usize> =
+        let pos: HashMap<JobId, usize> =
             order.iter().enumerate().map(|(i, &j)| (j, i)).collect();
         for (p, c) in wf.edges().unwrap() {
             prop_assert!(pos[&p] < pos[&c]);
@@ -188,7 +191,7 @@ proptest! {
                     // Some ancestor failed or was itself unready.
                     let blocked = parents[rec.job].iter().any(|&p| {
                         matches!(
-                            run.records[p].state,
+                            run.records[p.idx()].state,
                             JobState::Failed | JobState::Unready
                         )
                     });
@@ -586,5 +589,149 @@ proptest! {
         };
         let back = RescueDag::from_text(&rescue.to_text()).unwrap();
         prop_assert_eq!(back, rescue);
+    }
+
+    /// Symbol tables intern and resolve any mix of names — including
+    /// non-ASCII ones and names that are strict prefixes of each other
+    /// (`run_cap3_1` / `run_cap3_10`) — idempotently, with dense ids
+    /// handed out in first-appearance order.
+    #[test]
+    fn symbol_table_intern_resolve_round_trips(
+        names in proptest::collection::vec("[a-zа-яё0-9_.]{1,10}", 1..24),
+    ) {
+        // Salt the pool with prefix-extensions of every generated name
+        // so the table always faces duplicate-prefix lookups.
+        let mut pool = names.clone();
+        for n in &names {
+            pool.push(format!("{n}0"));
+            pool.push(format!("{n}00"));
+        }
+        let mut table: SymbolTable<FileId> = SymbolTable::new();
+        let mut first_seen: Vec<String> = Vec::new();
+        for name in &pool {
+            let fresh = table.get(name).is_none();
+            let id = table.intern(name);
+            prop_assert_eq!(table.intern(name), id, "intern must be idempotent");
+            prop_assert_eq!(table.resolve(id), name.as_str());
+            prop_assert_eq!(table.get(name), Some(id));
+            if fresh {
+                prop_assert_eq!(id.idx(), first_seen.len(), "ids are dense");
+                first_seen.push(name.clone());
+            }
+        }
+        prop_assert_eq!(table.len(), first_seen.len());
+        for (k, name) in first_seen.iter().enumerate() {
+            prop_assert_eq!(table.resolve(FileId::new(k)), name.as_str());
+        }
+        let collected: Vec<String> = table.iter().map(|(_, n)| n.to_string()).collect();
+        prop_assert_eq!(collected, first_seen);
+    }
+
+    /// CSR adjacency is observationally equal to the `HashMap`-of-Vecs
+    /// representation it replaced: same neighbor lists, same degrees
+    /// and indegrees, same Kahn topological order, and the same
+    /// reachable set from every root.
+    #[test]
+    fn csr_adjacency_equals_hashmap_reference(
+        layers in 1usize..5, width in 1usize..5, bits: u64
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let n = wf.jobs.len();
+        let edges = wf.edges().unwrap();
+        let fwd = Csr::forward(n, &edges);
+        let rev = Csr::reverse(n, &edges);
+
+        // Reference: push-based adjacency, exactly as pre-CSR code
+        // built it.
+        let mut children: HashMap<JobId, Vec<JobId>> = HashMap::new();
+        let mut parents: HashMap<JobId, Vec<JobId>> = HashMap::new();
+        for &(p, c) in &edges {
+            children.entry(p).or_default().push(c);
+            parents.entry(c).or_default().push(p);
+        }
+        let empty: Vec<JobId> = Vec::new();
+        for v in (0..n).map(JobId::new) {
+            let want_children = children.get(&v).unwrap_or(&empty);
+            prop_assert_eq!(fwd.neighbors(v), want_children.as_slice());
+            prop_assert_eq!(fwd.degree(v), want_children.len());
+            let want_parents = parents.get(&v).unwrap_or(&empty);
+            prop_assert_eq!(rev.neighbors(v), want_parents.as_slice());
+            prop_assert_eq!(rev.degree(v), want_parents.len());
+        }
+        let want_indeg: Vec<u32> = (0..n)
+            .map(|v| parents.get(&JobId::new(v)).map_or(0, |p| p.len() as u32))
+            .collect();
+        prop_assert_eq!(fwd.reverse_degrees(), want_indeg.clone());
+
+        // Kahn over the HashMap reference, index-seeded and FIFO
+        // tie-broken like the CSR implementation claims to be.
+        let mut indeg = want_indeg;
+        let mut queue: std::collections::VecDeque<JobId> =
+            (0..n).map(JobId::new).filter(|v| indeg[v.idx()] == 0).collect();
+        let mut reference_order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            reference_order.push(v);
+            for &c in children.get(&v).unwrap_or(&empty) {
+                indeg[c.idx()] -= 1;
+                if indeg[c.idx()] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        prop_assert_eq!(fwd.topological_order().unwrap(), reference_order);
+
+        // Reachability from every root agrees between representations.
+        for root in (0..n).map(JobId::new) {
+            let mut seen_csr = vec![false; n];
+            let mut stack = vec![root];
+            while let Some(v) = stack.pop() {
+                if std::mem::replace(&mut seen_csr[v.idx()], true) {
+                    continue;
+                }
+                stack.extend(fwd.neighbors(v).iter().copied());
+            }
+            let mut seen_map = vec![false; n];
+            let mut stack = vec![root];
+            while let Some(v) = stack.pop() {
+                if std::mem::replace(&mut seen_map[v.idx()], true) {
+                    continue;
+                }
+                stack.extend(children.get(&v).unwrap_or(&empty).iter().copied());
+            }
+            prop_assert_eq!(&seen_csr, &seen_map);
+        }
+    }
+
+    /// The event-log text format round-trips in *both* directions:
+    /// events → text → events (structural), and text → events → text
+    /// (byte-identical). Interned `JobId`s in memory never leak into
+    /// or corrupt the name-keyed text format.
+    #[test]
+    fn event_log_text_round_trips_byte_identically(
+        layers in 1usize..4,
+        width in 1usize..4,
+        bits: u64,
+        fail_mask in 0u64..u64::MAX,
+    ) {
+        let wf = layered_workflow(layers, width, bits);
+        let (sites, tc) = paper_catalogs();
+        let rc = ReplicaCatalog::new();
+        let exec = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("sandhills")).unwrap();
+        let mut be = ScriptedBackend::new();
+        for (i, j) in exec.jobs.iter().enumerate() {
+            if (fail_mask >> (i % 64)) & 1 == 1 {
+                be.fail_plan.insert((j.name.clone(), 0));
+            }
+        }
+        let run = Engine::run(
+            &mut be,
+            &exec,
+            &EngineConfig::builder().retries(1).build(),
+            &mut NoopMonitor,
+        );
+        let text = events::log::write(&run.events);
+        let parsed = events::log::parse(&text).unwrap();
+        prop_assert_eq!(&parsed, &run.events);
+        prop_assert_eq!(events::log::write(&parsed), text);
     }
 }

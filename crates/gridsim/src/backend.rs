@@ -15,9 +15,11 @@ use crate::faults::{AttemptTiming, FaultScript};
 use crate::platform::PlatformModel;
 use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, FaultReason, JobOutcome, JobTimes};
 use pegasus_wms::planner::ExecutableJob;
+use pegasus_wms::workflow::JobId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Internal per-submission key (one per attempt).
 type Key = u64;
@@ -42,8 +44,7 @@ enum SimEvent {
 
 #[derive(Debug, Clone)]
 struct PendingJob {
-    job_id: usize,
-    name: String,
+    job_id: JobId,
     attempt: u32,
     runtime_hint: f64,
     install_hint: f64,
@@ -66,8 +67,7 @@ struct PendingJob {
 /// queue by the DAGMan-style submission throttle.
 #[derive(Debug, Clone)]
 struct HeldJob {
-    job_id: usize,
-    name: String,
+    job_id: JobId,
     attempt: u32,
     runtime_hint: f64,
     install_hint: f64,
@@ -111,6 +111,11 @@ pub struct SimBackend {
     churn_events: (u64, u64),
     /// Compiled chaos script, if any.
     script: Option<FaultScript>,
+    /// Job names by dense id, recorded at submission only while a
+    /// fault script is attached: the script matches attempts by name,
+    /// and nothing else in the simulation resolves one — the hot path
+    /// stays on integer ids.
+    names: Vec<Option<Arc<str>>>,
     /// Per-attempt wall-clock budget from the engine's retry policy.
     timeout: Option<f64>,
 }
@@ -140,6 +145,7 @@ impl SimBackend {
             down_votes: vec![0; n_slots],
             churn_events: (0, 0),
             script: None,
+            names: Vec::new(),
             timeout: None,
         };
         if let Some(churn) = backend.platform.churn {
@@ -234,7 +240,10 @@ impl SimBackend {
                 install_duration: install_dur,
                 exec_duration: exec_dur,
             };
-            let decision = script.decide(&p.name, p.attempt, &timing);
+            let name = self.names[p.job_id.idx()]
+                .as_deref()
+                .expect("names are recorded at submission while scripted");
+            let decision = script.decide(name, p.attempt, &timing);
             exec_dur *= decision.slowdown;
             script_kill = decision.kill;
         }
@@ -355,7 +364,6 @@ impl SimBackend {
             key,
             PendingJob {
                 job_id: h.job_id,
-                name: h.name,
                 attempt: h.attempt,
                 runtime_hint: h.runtime_hint,
                 install_hint: h.install_hint,
@@ -431,9 +439,17 @@ impl ExecutionBackend for SimBackend {
             "platform {} has no slots",
             self.platform.name
         );
+        if self.script.is_some() {
+            let idx = job.id.idx();
+            if idx >= self.names.len() {
+                self.names.resize(idx + 1, None);
+            }
+            if self.names[idx].is_none() {
+                self.names[idx] = Some(Arc::from(job.name.as_str()));
+            }
+        }
         let h = HeldJob {
             job_id: job.id,
-            name: job.name.clone(),
             attempt,
             runtime_hint: job.runtime_hint,
             install_hint: job.install_hint,
@@ -502,7 +518,7 @@ mod tests {
 
     fn job(id: usize, runtime: f64, install: f64) -> ExecutableJob {
         ExecutableJob {
-            id,
+            id: JobId::new(id),
             name: format!("job{id}"),
             transformation: "work".into(),
             kind: JobKind::Compute,
@@ -729,7 +745,7 @@ mod tests {
             name: "chain".into(),
             site: "sim".into(),
             jobs: vec![job(0, 10.0, 0.0), job(1, 5.0, 0.0)],
-            edges: vec![(0, 1)],
+            edges: vec![(JobId::new(0), JobId::new(1))],
         };
         let run = run_workflow(&wf, &mut be, &EngineConfig::default());
         let ta = run.records[0].times.unwrap();

@@ -21,7 +21,7 @@ fn run_workflow(
 
 fn job(id: usize, runtime: f64, install: f64) -> ExecutableJob {
     ExecutableJob {
-        id,
+        id: pegasus_wms::workflow::JobId::new(id),
         name: format!("job{id}"),
         transformation: "work".into(),
         kind: JobKind::Compute,
@@ -102,8 +102,8 @@ proptest! {
             prop_assert!(t.submitted <= t.started);
             prop_assert!(t.started <= t.install_done);
             prop_assert!(t.install_done <= t.finished);
-            prop_assert!((t.install() - installs[rec.job]).abs() < 1e-9);
-            prop_assert!((t.kickstart() - runtimes[rec.job]).abs() < 1e-9);
+            prop_assert!((t.install() - installs[rec.job.idx()]).abs() < 1e-9);
+            prop_assert!((t.kickstart() - runtimes[rec.job.idx()]).abs() < 1e-9);
             prop_assert!(t.finished <= run.wall_time + 1e-9);
         }
     }

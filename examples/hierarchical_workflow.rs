@@ -65,7 +65,7 @@ fn main() {
         flat.levels().unwrap().iter().max().unwrap() + 1
     );
     let (cp_len, cp) = flat.critical_path().unwrap();
-    let names: Vec<&str> = cp.iter().map(|&i| flat.jobs[i].id.as_str()).collect();
+    let names: Vec<&str> = cp.iter().map(|&i| flat.jobs[i.idx()].id.as_str()).collect();
     println!("critical path ({:.0}s): {}", cp_len, names.join(" -> "));
 
     // The flattened workflow plans like any other.

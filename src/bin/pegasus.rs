@@ -296,7 +296,7 @@ fn ascii_dag(exec: &pegasus_wms::planner::ExecutableWorkflow) -> String {
     let mut level = vec![0usize; exec.jobs.len()];
     for &j in &order {
         for &p in &parents[j] {
-            level[j] = level[j].max(level[p] + 1);
+            level[j.idx()] = level[j.idx()].max(level[p.idx()] + 1);
         }
     }
     let max_level = level.iter().copied().max().unwrap_or(0);
@@ -305,7 +305,7 @@ fn ascii_dag(exec: &pegasus_wms::planner::ExecutableWorkflow) -> String {
         let mut names: Vec<String> = exec
             .jobs
             .iter()
-            .filter(|j| level[j.id] == l)
+            .filter(|j| level[j.id.idx()] == l)
             .map(|j| {
                 if j.install_hint > 0.0 {
                     format!("{}*", j.name)

@@ -141,7 +141,7 @@ fn pool_workflow(n: usize) -> ExecutableWorkflow {
         site: "local".into(),
         jobs: (0..n)
             .map(|i| ExecutableJob {
-                id: i,
+                id: pegasus_wms::workflow::JobId::new(i),
                 name: format!("chunk_{i}"),
                 transformation: "cap3".into(),
                 kind: JobKind::Compute,

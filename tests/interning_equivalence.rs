@@ -63,7 +63,8 @@ fn artifacts_for(site: &str, n: usize, seed: u64) -> Artifacts {
 /// Runs each (site, n, seed) combination exactly once per test
 /// process, whichever artifact test asks first.
 fn cached(site: &str, n: usize, seed: u64) -> Artifacts {
-    static CACHE: OnceLock<Mutex<HashMap<(String, usize, u64), Artifacts>>> = OnceLock::new();
+    type Cache = Mutex<HashMap<(String, usize, u64), Artifacts>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().unwrap().get(&(site.to_string(), n, seed)) {
         return hit.clone();
