@@ -966,7 +966,7 @@ impl WorkflowExecution {
 /// `Engine::run` replaces the historical `run_workflow` /
 /// `run_workflow_monitored` free functions; pass [`NoopMonitor`] when
 /// progress reporting isn't needed. Many workflows over one shared
-/// backend go through [`crate::ensemble::run_ensemble`] instead, which
+/// backend go through [`crate::ensemble::Ensemble`] instead, which
 /// drives the same [`WorkflowExecution`] state machine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Engine;

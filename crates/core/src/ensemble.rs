@@ -3,10 +3,17 @@
 //! The paper's experiment is an *ensemble* — the same blast2cap3 DAG
 //! planned at n ∈ {10, 100, 300, 500} and raced across platforms. This
 //! module schedules M workflows (mixed DAXes, per-workflow
-//! [`EngineConfig`]s, priorities) against a single
+//! [`EngineConfig`]s, priorities, tenants) against a single
 //! [`ExecutionBackend`], so queue-wait variance emerges from genuine
 //! contention for shared capacity instead of being replayed one
 //! workflow at a time.
+//!
+//! The entry point is the [`Ensemble`] handle: build one from an
+//! [`EnsembleConfig`], [`submit`] each [`Submission`], then [`join`]
+//! to drain everything queued. [`poll`] and [`cancel`] cover the
+//! daemon lifecycle (`pegasus serve`), and the one-shot
+//! [`Ensemble::run_to_completion`] covers the historical
+//! `run_ensemble` call shape.
 //!
 //! Scheduling model:
 //!
@@ -14,10 +21,14 @@
 //! * admission is gated by a global **slot budget**
 //!   ([`EnsembleConfig::slot_budget`], defaulting to the backend's
 //!   [`ExecutionBackend::slot_capacity`]);
-//! * among pending jobs, higher [`WorkflowSpec::priority`] wins, ties
-//!   broken **fair-share** (fewest jobs currently in flight), then by
-//!   submission order — so within one workflow the engine's ready
-//!   order is preserved exactly;
+//! * among pending jobs, higher [`Submission::priority`] wins, ties
+//!   broken **fair-share** first across tenants, then across
+//!   workflows (fewest jobs currently in flight, then least
+//!   historical usage), then by submission order — so within one
+//!   workflow the engine's ready order is preserved exactly;
+//! * a per-tenant slot quota ([`EnsembleConfig::tenant_slots`]) caps
+//!   how much of the budget any one tenant can hold; jobs of a tenant
+//!   at quota stay queued while other tenants' jobs overtake them;
 //! * retries bypass the queue: the failed attempt freed its slot, and
 //!   the backend applies the backoff delay, so the budget stays
 //!   bounded;
@@ -26,24 +37,37 @@
 //!   rescue DAG reports exactly what completed, while the rest of the
 //!   ensemble keeps running.
 //!
-//! An ensemble of one workflow with an unbounded budget issues the
-//! byte-identical backend call sequence as [`Engine::run`], which is
-//! what makes per-workflow results comparable across the two paths
-//! (and is pinned by tests).
+//! Single-tenant ensembles order admissions exactly as before the
+//! tenant layer existed: with one tenant every candidate carries the
+//! same tenant-level key, so the comparison falls through to the
+//! per-workflow fair-share unchanged. An ensemble of one workflow
+//! with an unbounded budget issues the byte-identical backend call
+//! sequence as [`Engine::run`], which is what makes per-workflow
+//! results comparable across the two paths (and is pinned by tests).
 //!
 //! [`Engine::run`]: crate::engine::Engine::run
+//! [`submit`]: Ensemble::submit
+//! [`join`]: Ensemble::join
+//! [`poll`]: Ensemble::poll
+//! [`cancel`]: Ensemble::cancel
 
 use crate::engine::{
     CompletionEvent, EngineConfig, ExecutionBackend, WorkflowExecution, WorkflowRun,
 };
 use crate::error::WmsError;
+use crate::events::WorkflowEvent;
 use crate::planner::{ExecutableJob, ExecutableWorkflow};
 use crate::workflow::JobId;
 use std::cmp::Reverse;
+use std::fmt;
 
-/// One member of an ensemble: a planned workflow plus how to run it.
+/// The tenant a [`Submission`] belongs to when none is named.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// One member of an ensemble: a planned workflow plus how — and for
+/// whom — to run it.
 #[derive(Debug, Clone)]
-pub struct WorkflowSpec {
+pub struct Submission {
     /// The planned, executable workflow.
     pub workflow: ExecutableWorkflow,
     /// Engine configuration (retry policy, seed, rescue skips, crash
@@ -52,21 +76,31 @@ pub struct WorkflowSpec {
     /// Admission priority; higher runs first when slots are scarce.
     /// Workflows of equal priority share slots fairly.
     pub priority: i32,
+    /// The tenant charged for this workflow's slot usage. Fair-share
+    /// and quota apply per tenant before per workflow.
+    pub tenant: String,
 }
 
-impl WorkflowSpec {
-    /// A spec at the default priority (0).
+impl Submission {
+    /// A submission for the [`DEFAULT_TENANT`] at priority 0.
     pub fn new(workflow: ExecutableWorkflow, config: EngineConfig) -> Self {
-        WorkflowSpec {
+        Submission {
             workflow,
             config,
             priority: 0,
+            tenant: DEFAULT_TENANT.to_string(),
         }
     }
 
     /// Sets the admission priority (higher wins).
     pub fn with_priority(mut self, priority: i32) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Names the owning tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
         self
     }
 }
@@ -79,6 +113,13 @@ pub struct EnsembleConfig {
     /// [`ExecutionBackend::slot_capacity`]; if that is also unknown,
     /// admission is unbounded and the backend's own queueing governs.
     pub slot_budget: Option<usize>,
+    /// Per-tenant cap on jobs in flight (the quota). `None` leaves
+    /// tenants bounded only by the global budget; values are clamped
+    /// to at least 1 so a tenant can always make progress.
+    pub tenant_slots: Option<usize>,
+    /// Per-tenant cap on *queued* submissions, enforced by
+    /// [`Ensemble::submit`]. `None` accepts without limit.
+    pub tenant_active: Option<usize>,
 }
 
 impl EnsembleConfig {
@@ -88,6 +129,7 @@ impl EnsembleConfig {
     pub fn unbounded() -> Self {
         EnsembleConfig {
             slot_budget: Some(usize::MAX),
+            ..EnsembleConfig::default()
         }
     }
 
@@ -95,11 +137,24 @@ impl EnsembleConfig {
     pub fn with_slot_budget(slots: usize) -> Self {
         EnsembleConfig {
             slot_budget: Some(slots),
+            ..EnsembleConfig::default()
         }
+    }
+
+    /// Sets the per-tenant in-flight job quota.
+    pub fn with_tenant_slots(mut self, slots: usize) -> Self {
+        self.tenant_slots = Some(slots);
+        self
+    }
+
+    /// Sets the per-tenant queued-submission quota.
+    pub fn with_tenant_active(mut self, active: usize) -> Self {
+        self.tenant_active = Some(active);
+        self
     }
 }
 
-/// The result of an ensemble run.
+/// The result of an ensemble round.
 ///
 /// Each member [`WorkflowRun`] carries its own provenance stream
 /// (`runs[i].events`), scoped to that workflow's jobs — so every
@@ -107,7 +162,7 @@ impl EnsembleConfig {
 /// and [`crate::statistics::compute_ensemble`] is a fold over streams.
 #[derive(Debug, Clone)]
 pub struct EnsembleRun {
-    /// Per-workflow results, in [`WorkflowSpec`] submission order.
+    /// Per-workflow results, in [`Submission`] order.
     pub runs: Vec<WorkflowRun>,
     /// Time from ensemble start to the last workflow's completion, in
     /// backend seconds.
@@ -121,14 +176,23 @@ impl EnsembleRun {
     }
 }
 
-/// Progress callbacks for an ensemble run. All methods default to
-/// no-ops; implement only what you need.
+/// Progress callbacks for an ensemble round. All methods default to
+/// no-ops; implement only what you need. Indices are positions in the
+/// round being joined (the order of the returned
+/// [`EnsembleRun::runs`]).
 pub trait EnsembleMonitor {
     /// A workflow submitted its first job.
     fn workflow_started(&mut self, _index: usize, _name: &str, _now: f64) {}
+    /// Freshly emitted provenance events for one member, in causal
+    /// order. Delivered incrementally as the round progresses — the
+    /// daemon's crash-safe event logs hang off this. The
+    /// `WorkflowFinished` trailer is *not* delivered here; it arrives
+    /// on the completed run passed to
+    /// [`workflow_finished`](Self::workflow_finished).
+    fn member_events(&mut self, _index: usize, _events: &[WorkflowEvent]) {}
     /// A workflow finished (successfully, exhausted, or crashed).
     fn workflow_finished(&mut self, _index: usize, _run: &WorkflowRun, _now: f64) {}
-    /// The whole ensemble drained.
+    /// The whole round drained.
     fn ensemble_finished(&mut self, _makespan: f64) {}
 }
 
@@ -137,6 +201,48 @@ pub trait EnsembleMonitor {
 pub struct NoopEnsembleMonitor;
 
 impl EnsembleMonitor for NoopEnsembleMonitor {}
+
+/// Identifies one submission within an [`Ensemble`] handle, in
+/// submission order starting from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubmissionId(usize);
+
+impl SubmissionId {
+    /// The position of this submission in the handle's accept order.
+    pub fn idx(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SubmissionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Lifecycle state of one submission, as reported by
+/// [`Ensemble::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Accepted, waiting for the next [`Ensemble::join`].
+    Queued,
+    /// Withdrawn by [`Ensemble::cancel`] before it ran.
+    Cancelled,
+    /// Ran to completion with every job done.
+    Succeeded,
+    /// Ran but failed (retries exhausted or submit host crashed).
+    Failed,
+}
+
+/// One accepted submission inside the handle.
+struct Entry {
+    /// Present while queued; taken when a round runs it.
+    submission: Option<Submission>,
+    tenant: String,
+    cancelled: bool,
+    /// Set once a round completed this member.
+    succeeded: Option<bool>,
+}
 
 /// A first-attempt job waiting for a slot.
 #[derive(Debug)]
@@ -148,12 +254,13 @@ struct Pending {
     seq: u64,
 }
 
-/// Per-workflow bookkeeping inside the manager.
+/// Per-workflow bookkeeping inside a running round.
 struct Member {
     exec: Option<WorkflowExecution>,
     /// Jobs pre-cloned with ensemble-global ids, indexed by local id.
     submit_jobs: Vec<ExecutableJob>,
     priority: i32,
+    tenant: usize,
     in_flight: usize,
     /// First-attempt submissions so far — the historical-usage
     /// tiebreaker that keeps equal-priority workflows interleaving
@@ -163,248 +270,433 @@ struct Member {
     started: bool,
 }
 
-/// Runs `specs` against the shared `backend` without progress
-/// reporting. See [`run_ensemble_monitored`].
-///
-/// # Errors
-/// Returns [`WmsError::InvariantViolation`] when a spec's job ids are
-/// not dense (see [`run_ensemble_monitored`]).
-pub fn run_ensemble(
-    backend: &mut dyn ExecutionBackend,
-    specs: &[WorkflowSpec],
-    config: &EnsembleConfig,
-) -> Result<EnsembleRun, WmsError> {
-    run_ensemble_monitored(backend, specs, config, &mut NoopEnsembleMonitor)
+/// Per-tenant bookkeeping inside a running round, mirroring the
+/// per-workflow counters one level up.
+struct TenantShare {
+    in_flight: usize,
+    admitted: usize,
 }
 
-/// Runs every workflow in `specs` against the shared `backend`,
-/// interleaving their ready queues under the slot budget, and reports
-/// progress to `monitor`.
-///
-/// Results come back in spec order; each [`WorkflowRun`]'s wall time
-/// spans ensemble start to that workflow's own completion, so the
-/// rollup can distinguish per-member latency from ensemble makespan.
-///
-/// # Errors
-/// Returns [`WmsError::InvariantViolation`] when a spec's executable
-/// job ids are not dense (`jobs[i].id != i`): the global id mapping
-/// would silently mis-route completions.  Planner output always
-/// satisfies this; hand-built workflows may not.  (Previously a
-/// `debug_assert!` that release builds skipped.)
-pub fn run_ensemble_monitored(
-    backend: &mut dyn ExecutionBackend,
-    specs: &[WorkflowSpec],
-    config: &EnsembleConfig,
-    monitor: &mut dyn EnsembleMonitor,
-) -> Result<EnsembleRun, WmsError> {
-    // One timeout for the shared backend: unanimous value if the specs
-    // agree, otherwise the tightest configured limit (conservative —
-    // a shared submit host enforces one policy).
-    let timeouts: Vec<Option<f64>> = specs.iter().map(|s| s.config.retry.timeout).collect();
-    let timeout = if timeouts.windows(2).all(|w| w[0] == w[1]) {
-        timeouts.first().copied().flatten()
-    } else {
-        timeouts
-            .iter()
-            .flatten()
-            .copied()
-            .fold(None, |acc: Option<f64>, t| {
-                Some(acc.map_or(t, |a| a.min(t)))
-            })
-    };
-    backend.set_timeout(timeout);
+/// The submission handle: accepts workflows, runs rounds, reports
+/// member lifecycle. Shared by the CLI `ensemble` path and the
+/// `pegasus serve` daemon.
+pub struct Ensemble {
+    config: EnsembleConfig,
+    entries: Vec<Entry>,
+}
 
-    let budget = config
-        .slot_budget
-        .or_else(|| backend.slot_capacity())
-        .unwrap_or(usize::MAX)
-        .max(1);
+impl Ensemble {
+    /// An empty handle under `config`.
+    pub fn new(config: EnsembleConfig) -> Self {
+        Ensemble {
+            config,
+            entries: Vec::new(),
+        }
+    }
 
-    // Global job-id space: workflow k's local job j becomes
-    // offsets[k] + j on the wire, and `owner` maps it back.
-    let mut members: Vec<Member> = Vec::with_capacity(specs.len());
-    let mut owner: Vec<(usize, JobId)> = Vec::new();
-    let mut pending: Vec<Pending> = Vec::new();
-    let mut next_seq = 0u64;
-    let start = backend.now();
+    /// The config this handle schedules under.
+    pub fn config(&self) -> &EnsembleConfig {
+        &self.config
+    }
 
-    for (wf_idx, spec) in specs.iter().enumerate() {
-        let offset = owner.len();
-        for (local, j) in spec.workflow.jobs.iter().enumerate() {
+    /// Accepts a submission into the queue, validating it up front so
+    /// bad workflows are rejected at the API boundary instead of
+    /// mid-round.
+    ///
+    /// # Errors
+    /// [`WmsError::QuotaExceeded`] when the tenant already has
+    /// [`EnsembleConfig::tenant_active`] submissions queued;
+    /// [`WmsError::InvariantViolation`] when the executable job ids
+    /// are not dense (`jobs[i].id != i`): the global id mapping would
+    /// silently mis-route completions. Planner output always satisfies
+    /// this; hand-built workflows may not.
+    pub fn submit(&mut self, submission: Submission) -> Result<SubmissionId, WmsError> {
+        for (local, j) in submission.workflow.jobs.iter().enumerate() {
             if j.id.idx() != local {
                 return Err(WmsError::InvariantViolation {
                     invariant: "executable job ids are dense".into(),
                     detail: format!(
-                        "workflow {wf_idx} ({:?}) job at index {local} has id {}",
-                        spec.workflow.name, j.id
+                        "workflow {:?} job at index {local} has id {}",
+                        submission.workflow.name, j.id
                     ),
                 });
             }
         }
-        let submit_jobs: Vec<ExecutableJob> = spec
-            .workflow
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(local, j)| {
-                owner.push((wf_idx, JobId::new(local)));
-                let mut g = j.clone();
-                g.id = JobId::new(offset + local);
-                g
-            })
-            .collect();
-        let mut exec = WorkflowExecution::new(&spec.workflow, &spec.config, start);
-        for job in exec.take_initial_ready() {
-            pending.push(Pending {
-                wf: wf_idx,
-                job,
-                seq: next_seq,
-            });
-            next_seq += 1;
+        if let Some(limit) = self.config.tenant_active {
+            let active = self
+                .entries
+                .iter()
+                .filter(|e| e.submission.is_some() && !e.cancelled && e.tenant == submission.tenant)
+                .count();
+            if active >= limit {
+                return Err(WmsError::QuotaExceeded {
+                    tenant: submission.tenant,
+                    limit,
+                });
+            }
         }
-        members.push(Member {
-            exec: Some(exec),
-            submit_jobs,
-            priority: spec.priority,
-            in_flight: 0,
-            admitted: 0,
-            started: false,
+        let id = SubmissionId(self.entries.len());
+        self.entries.push(Entry {
+            tenant: submission.tenant.clone(),
+            submission: Some(submission),
+            cancelled: false,
+            succeeded: None,
         });
+        Ok(id)
     }
 
-    let mut runs: Vec<Option<WorkflowRun>> = (0..specs.len()).map(|_| None).collect();
-    let mut in_flight_total = 0usize;
+    /// The lifecycle state of a submission, or `None` for an id this
+    /// handle never issued.
+    pub fn poll(&self, id: SubmissionId) -> Option<MemberState> {
+        self.entries.get(id.idx()).map(|e| {
+            if e.cancelled {
+                MemberState::Cancelled
+            } else {
+                match e.succeeded {
+                    Some(true) => MemberState::Succeeded,
+                    Some(false) => MemberState::Failed,
+                    None => MemberState::Queued,
+                }
+            }
+        })
+    }
 
-    let finalize = |wf_idx: usize,
-                    members: &mut Vec<Member>,
-                    runs: &mut Vec<Option<WorkflowRun>>,
-                    monitor: &mut dyn EnsembleMonitor,
-                    now: f64| {
-        if let Some(exec) = members[wf_idx].exec.take() {
-            let run = exec.finish(now);
-            monitor.workflow_finished(wf_idx, &run, now);
-            runs[wf_idx] = Some(run);
-        }
-    };
-
-    // Workflows with nothing to run (empty, or fully rescue-skipped)
-    // finish at t0 without touching the backend.
-    for wf_idx in 0..members.len() {
-        if members[wf_idx]
-            .exec
-            .as_ref()
-            .is_some_and(WorkflowExecution::is_complete)
-        {
-            finalize(wf_idx, &mut members, &mut runs, monitor, start);
+    /// Withdraws a queued submission. Returns `true` when the member
+    /// was still queued and is now cancelled; `false` when it already
+    /// ran, was already cancelled, or the id is unknown.
+    pub fn cancel(&mut self, id: SubmissionId) -> bool {
+        match self.entries.get_mut(id.idx()) {
+            Some(e) if e.submission.is_some() && !e.cancelled => {
+                e.submission = None;
+                e.cancelled = true;
+                true
+            }
+            _ => false,
         }
     }
 
-    loop {
-        // Admission: fill the budget from the pending queue. Higher
-        // priority first; ties go to the workflow with the fewest jobs
-        // in flight (fair share), then to the earlier-enqueued job, so
-        // a lone workflow drains in exact ready order.
-        while in_flight_total < budget && !pending.is_empty() {
-            let best = pending
+    /// Number of submissions currently queued (accepted, not
+    /// cancelled, not yet run).
+    pub fn queued(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.submission.is_some() && !e.cancelled)
+            .count()
+    }
+
+    /// Runs every queued submission against the shared `backend` as
+    /// one round, interleaving their ready queues under the slot
+    /// budget and the per-tenant quota, and reports progress to
+    /// `monitor`.
+    ///
+    /// Results come back in submission order; each [`WorkflowRun`]'s
+    /// wall time spans round start to that workflow's own completion,
+    /// so the rollup can distinguish per-member latency from ensemble
+    /// makespan. The backend timeout is the members' unanimous value
+    /// if they agree, otherwise the tightest configured limit
+    /// (conservative — a shared submit host enforces one policy).
+    ///
+    /// # Errors
+    /// Currently infallible (validation happens in
+    /// [`submit`](Self::submit)); the `Result` keeps room for
+    /// backend-surfaced failures.
+    pub fn join(
+        &mut self,
+        backend: &mut dyn ExecutionBackend,
+        monitor: &mut dyn EnsembleMonitor,
+    ) -> Result<EnsembleRun, WmsError> {
+        let round: Vec<(usize, Submission)> = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, e)| e.submission.take().map(|s| (i, s)))
+            .collect();
+        if round.is_empty() {
+            monitor.ensemble_finished(0.0);
+            return Ok(EnsembleRun {
+                runs: Vec::new(),
+                makespan: 0.0,
+            });
+        }
+
+        let timeouts: Vec<Option<f64>> =
+            round.iter().map(|(_, s)| s.config.retry.timeout).collect();
+        let timeout = if timeouts.windows(2).all(|w| w[0] == w[1]) {
+            timeouts.first().copied().flatten()
+        } else {
+            timeouts
+                .iter()
+                .flatten()
+                .copied()
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                })
+        };
+        backend.set_timeout(timeout);
+
+        let budget = self
+            .config
+            .slot_budget
+            .or_else(|| backend.slot_capacity())
+            .unwrap_or(usize::MAX)
+            .max(1);
+        let quota = self.config.tenant_slots.map(|q| q.max(1));
+
+        // Global job-id space: workflow k's local job j becomes
+        // offsets[k] + j on the wire, and `owner` maps it back.
+        let mut members: Vec<Member> = Vec::with_capacity(round.len());
+        let mut tenants: Vec<String> = Vec::new();
+        let mut shares: Vec<TenantShare> = Vec::new();
+        let mut owner: Vec<(usize, JobId)> = Vec::new();
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut next_seq = 0u64;
+        let start = backend.now();
+
+        for (wf_idx, (_, sub)) in round.iter().enumerate() {
+            let offset = owner.len();
+            let submit_jobs: Vec<ExecutableJob> = sub
+                .workflow
+                .jobs
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, p)| {
-                    (
-                        Reverse(members[p.wf].priority),
-                        members[p.wf].in_flight,
-                        members[p.wf].admitted,
-                        p.wf,
-                        p.seq,
-                    )
+                .map(|(local, j)| {
+                    owner.push((wf_idx, JobId::new(local)));
+                    let mut g = j.clone();
+                    g.id = JobId::new(offset + local);
+                    g
                 })
-                .map(|(i, _)| i)
-                .expect("pending is non-empty");
-            let Pending { wf, job, .. } = pending.remove(best);
-            let member = &mut members[wf];
-            if !member.started {
-                member.started = true;
-                monitor.workflow_started(wf, &member.submit_jobs[job.idx()].name, backend.now());
+                .collect();
+            let tenant = match tenants.iter().position(|t| *t == sub.tenant) {
+                Some(i) => i,
+                None => {
+                    tenants.push(sub.tenant.clone());
+                    shares.push(TenantShare {
+                        in_flight: 0,
+                        admitted: 0,
+                    });
+                    tenants.len() - 1
+                }
+            };
+            let mut exec = WorkflowExecution::new(&sub.workflow, &sub.config, start);
+            for job in exec.take_initial_ready() {
+                pending.push(Pending {
+                    wf: wf_idx,
+                    job,
+                    seq: next_seq,
+                });
+                next_seq += 1;
             }
-            backend.submit(&member.submit_jobs[job.idx()], 0);
-            member
-                .exec
-                .as_mut()
-                .expect("pending jobs only exist for live workflows")
-                .note_submitted(job, backend.now());
-            member.in_flight += 1;
-            member.admitted += 1;
-            in_flight_total += 1;
-        }
-
-        if in_flight_total == 0 {
-            break;
-        }
-
-        let ev = backend.wait_any();
-        in_flight_total -= 1;
-        let (wf_idx, local) = owner[ev.job.idx()];
-        members[wf_idx].in_flight -= 1;
-        let Some(exec) = members[wf_idx].exec.as_mut() else {
-            // Stale completion from a workflow that already crashed:
-            // the slot is reclaimed, the result discarded.
-            continue;
-        };
-        let local_ev = CompletionEvent {
-            job: local,
-            attempt: ev.attempt,
-            outcome: ev.outcome,
-            times: ev.times,
-        };
-        let resp = exec
-            .on_event(&local_ev)
-            .expect("crashed members are retired from the live set");
-        if let Some(r) = resp.retry {
-            // The failed attempt just released its slot; the retry
-            // reclaims it, so the budget stays respected without
-            // re-queueing (backoff is enforced by the backend).
-            backend.submit_after(
-                &members[wf_idx].submit_jobs[r.job.idx()],
-                r.next_attempt,
-                r.delay,
-            );
-            members[wf_idx].in_flight += 1;
-            in_flight_total += 1;
-        }
-        for job in resp.newly_ready {
-            pending.push(Pending {
-                wf: wf_idx,
-                job,
-                seq: next_seq,
+            // The header + manifest (and rescue skips) exist as soon
+            // as the execution does; forward them before any
+            // admission so incremental logs always start well-formed.
+            monitor.member_events(wf_idx, exec.drain_new_events());
+            members.push(Member {
+                exec: Some(exec),
+                submit_jobs,
+                priority: sub.priority,
+                tenant,
+                in_flight: 0,
+                admitted: 0,
+                started: false,
             });
-            next_seq += 1;
         }
-        if resp.crashed {
-            // The submit host for this workflow died: withdraw its
-            // queued work; in-flight attempts drain as stale events.
-            pending.retain(|p| p.wf != wf_idx);
-            finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
-        } else if members[wf_idx]
-            .exec
-            .as_ref()
-            .is_some_and(WorkflowExecution::is_complete)
-        {
+
+        let mut runs: Vec<Option<WorkflowRun>> = (0..round.len()).map(|_| None).collect();
+        let mut in_flight_total = 0usize;
+
+        let finalize = |wf_idx: usize,
+                        members: &mut Vec<Member>,
+                        runs: &mut Vec<Option<WorkflowRun>>,
+                        monitor: &mut dyn EnsembleMonitor,
+                        now: f64| {
+            if let Some(mut exec) = members[wf_idx].exec.take() {
+                monitor.member_events(wf_idx, exec.drain_new_events());
+                let run = exec.finish(now);
+                monitor.workflow_finished(wf_idx, &run, now);
+                runs[wf_idx] = Some(run);
+            }
+        };
+
+        // Workflows with nothing to run (empty, or fully
+        // rescue-skipped) finish at t0 without touching the backend.
+        for wf_idx in 0..members.len() {
+            if members[wf_idx]
+                .exec
+                .as_ref()
+                .is_some_and(WorkflowExecution::is_complete)
+            {
+                finalize(wf_idx, &mut members, &mut runs, monitor, start);
+            }
+        }
+
+        loop {
+            // Admission: fill the budget from the pending queue.
+            // Higher priority first; ties go first to the tenant with
+            // the fewest jobs in flight, then to the workflow with the
+            // fewest (fair share), then to the earlier-enqueued job,
+            // so a lone workflow drains in exact ready order. Tenants
+            // at their slot quota are passed over entirely.
+            while in_flight_total < budget {
+                let best = pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        quota.is_none_or(|q| shares[members[p.wf].tenant].in_flight < q)
+                    })
+                    .min_by_key(|(_, p)| {
+                        let m = &members[p.wf];
+                        let t = &shares[m.tenant];
+                        (
+                            Reverse(m.priority),
+                            t.in_flight,
+                            t.admitted,
+                            m.in_flight,
+                            m.admitted,
+                            p.wf,
+                            p.seq,
+                        )
+                    })
+                    .map(|(i, _)| i);
+                let Some(best) = best else { break };
+                let Pending { wf, job, .. } = pending.remove(best);
+                let member = &mut members[wf];
+                if !member.started {
+                    member.started = true;
+                    monitor.workflow_started(
+                        wf,
+                        &member.submit_jobs[job.idx()].name,
+                        backend.now(),
+                    );
+                }
+                backend.submit(&member.submit_jobs[job.idx()], 0);
+                member
+                    .exec
+                    .as_mut()
+                    .expect("pending jobs only exist for live workflows")
+                    .note_submitted(job, backend.now());
+                member.in_flight += 1;
+                member.admitted += 1;
+                shares[member.tenant].in_flight += 1;
+                shares[member.tenant].admitted += 1;
+                in_flight_total += 1;
+                let member = &mut members[wf];
+                if let Some(exec) = member.exec.as_mut() {
+                    monitor.member_events(wf, exec.drain_new_events());
+                }
+            }
+
+            if in_flight_total == 0 {
+                break;
+            }
+
+            let ev = backend.wait_any();
+            in_flight_total -= 1;
+            let (wf_idx, local) = owner[ev.job.idx()];
+            members[wf_idx].in_flight -= 1;
+            shares[members[wf_idx].tenant].in_flight -= 1;
+            let Some(exec) = members[wf_idx].exec.as_mut() else {
+                // Stale completion from a workflow that already
+                // crashed: the slot is reclaimed, the result
+                // discarded.
+                continue;
+            };
+            let local_ev = CompletionEvent {
+                job: local,
+                attempt: ev.attempt,
+                outcome: ev.outcome,
+                times: ev.times,
+            };
+            let resp = exec
+                .on_event(&local_ev)
+                .expect("crashed members are retired from the live set");
+            monitor.member_events(wf_idx, exec.drain_new_events());
+            if let Some(r) = resp.retry {
+                // The failed attempt just released its slot; the retry
+                // reclaims it, so the budget stays respected without
+                // re-queueing (backoff is enforced by the backend).
+                backend.submit_after(
+                    &members[wf_idx].submit_jobs[r.job.idx()],
+                    r.next_attempt,
+                    r.delay,
+                );
+                members[wf_idx].in_flight += 1;
+                shares[members[wf_idx].tenant].in_flight += 1;
+                in_flight_total += 1;
+            }
+            for job in resp.newly_ready {
+                pending.push(Pending {
+                    wf: wf_idx,
+                    job,
+                    seq: next_seq,
+                });
+                next_seq += 1;
+            }
+            if resp.crashed {
+                // The submit host for this workflow died: withdraw its
+                // queued work; in-flight attempts drain as stale
+                // events.
+                pending.retain(|p| p.wf != wf_idx);
+                finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
+            } else if members[wf_idx]
+                .exec
+                .as_ref()
+                .is_some_and(WorkflowExecution::is_complete)
+            {
+                finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
+            }
+        }
+
+        // Anything still live at drain (defensive; normal paths
+        // finalize at the terminating event) finishes now.
+        for wf_idx in 0..members.len() {
             finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
         }
+
+        let runs: Vec<WorkflowRun> = runs
+            .into_iter()
+            .map(|r| r.expect("every workflow finalized"))
+            .collect();
+        for ((entry_idx, _), run) in round.iter().zip(&runs) {
+            self.entries[*entry_idx].succeeded = Some(run.succeeded());
+        }
+        let makespan = runs.iter().map(|r| r.wall_time).fold(0.0, f64::max);
+        monitor.ensemble_finished(makespan);
+        Ok(EnsembleRun { runs, makespan })
     }
 
-    // Anything still live at drain (defensive; normal paths finalize
-    // at the terminating event) finishes now.
-    for wf_idx in 0..members.len() {
-        finalize(wf_idx, &mut members, &mut runs, monitor, backend.now());
+    /// One-shot convenience: submit every workflow, run a single
+    /// round, return its result — the historical `run_ensemble` call
+    /// shape.
+    ///
+    /// # Errors
+    /// Whatever [`submit`](Self::submit) or [`join`](Self::join)
+    /// surface.
+    pub fn run_to_completion(
+        backend: &mut dyn ExecutionBackend,
+        submissions: Vec<Submission>,
+        config: &EnsembleConfig,
+    ) -> Result<EnsembleRun, WmsError> {
+        Self::run_to_completion_monitored(backend, submissions, config, &mut NoopEnsembleMonitor)
     }
 
-    let runs: Vec<WorkflowRun> = runs
-        .into_iter()
-        .map(|r| r.expect("every workflow finalized"))
-        .collect();
-    let makespan = runs.iter().map(|r| r.wall_time).fold(0.0, f64::max);
-    monitor.ensemble_finished(makespan);
-    Ok(EnsembleRun { runs, makespan })
+    /// [`run_to_completion`](Self::run_to_completion) with progress
+    /// callbacks.
+    ///
+    /// # Errors
+    /// Whatever [`submit`](Self::submit) or [`join`](Self::join)
+    /// surface.
+    pub fn run_to_completion_monitored(
+        backend: &mut dyn ExecutionBackend,
+        submissions: Vec<Submission>,
+        config: &EnsembleConfig,
+        monitor: &mut dyn EnsembleMonitor,
+    ) -> Result<EnsembleRun, WmsError> {
+        let mut ensemble = Ensemble::new(config.clone());
+        for sub in submissions {
+            ensemble.submit(sub)?;
+        }
+        ensemble.join(backend, monitor)
+    }
 }
 
 #[cfg(test)]
@@ -460,9 +752,9 @@ mod tests {
         let single = Engine::run(&mut single_backend, &wf, &config, &mut NoopMonitor);
 
         let mut ens_backend = ScriptedBackend::new();
-        let ens = run_ensemble(
+        let ens = Ensemble::run_to_completion(
             &mut ens_backend,
-            &[WorkflowSpec::new(wf, config)],
+            vec![Submission::new(wf, config)],
             &EnsembleConfig::default(),
         )
         .unwrap();
@@ -482,18 +774,20 @@ mod tests {
     }
 
     #[test]
-    fn non_dense_job_ids_are_a_typed_error() {
-        // Formerly a debug_assert!: sparse ids would silently mis-route
-        // completions through the global id mapping in release builds.
+    fn non_dense_job_ids_are_a_typed_error_at_submit() {
+        // Sparse ids would silently mis-route completions through the
+        // global id mapping; the handle rejects them at the API
+        // boundary, before any round runs.
         let sparse = ExecutableWorkflow {
             name: "sparse".into(),
             site: "test".into(),
             jobs: vec![job(3, "a", 1.0)],
             edges: vec![],
         };
-        let specs = vec![WorkflowSpec::new(sparse, cfg(1))];
-        let mut backend = ScriptedBackend::new();
-        let err = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap_err();
+        let mut ensemble = Ensemble::new(EnsembleConfig::default());
+        let err = ensemble
+            .submit(Submission::new(sparse, cfg(1)))
+            .unwrap_err();
         assert!(
             matches!(err, crate::error::WmsError::InvariantViolation { .. }),
             "{err:?}"
@@ -503,12 +797,13 @@ mod tests {
 
     #[test]
     fn two_workflows_share_the_backend_and_both_finish() {
-        let specs = vec![
-            WorkflowSpec::new(diamond("w0"), cfg(1)),
-            WorkflowSpec::new(diamond("w1"), cfg(2)),
+        let subs = vec![
+            Submission::new(diamond("w0"), cfg(1)),
+            Submission::new(diamond("w1"), cfg(2)),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
         assert!(ens.succeeded());
         assert_eq!(ens.runs[0].name, "w0");
         assert_eq!(ens.runs[1].name, "w1");
@@ -519,12 +814,14 @@ mod tests {
 
     #[test]
     fn slot_budget_of_one_serialises_submissions_fairly() {
-        let specs = vec![
-            WorkflowSpec::new(diamond("w0"), cfg(1)),
-            WorkflowSpec::new(diamond("w1"), cfg(2)),
+        let subs = vec![
+            Submission::new(diamond("w0"), cfg(1)),
+            Submission::new(diamond("w1"), cfg(2)),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1)).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::with_slot_budget(1))
+                .unwrap();
         assert!(ens.succeeded());
         // With one slot, roots alternate across workflows (fair share
         // by historical usage): w0_a first (lower index), then w1_a.
@@ -534,12 +831,14 @@ mod tests {
 
     #[test]
     fn priority_preempts_fair_share_in_admission_order() {
-        let specs = vec![
-            WorkflowSpec::new(diamond("lo"), cfg(1)),
-            WorkflowSpec::new(diamond("hi"), cfg(2)).with_priority(10),
+        let subs = vec![
+            Submission::new(diamond("lo"), cfg(1)),
+            Submission::new(diamond("hi"), cfg(2)).with_priority(10),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(1)).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::with_slot_budget(1))
+                .unwrap();
         assert!(ens.succeeded());
         assert_eq!(
             backend.log[0].0, "hi_a",
@@ -548,16 +847,155 @@ mod tests {
     }
 
     #[test]
+    fn tenants_share_slots_fairly_before_workflows() {
+        // alice owns two workflows, bob one. Under workflow-level fair
+        // share alone the roots would admit a0, a1, b0 (round-robin by
+        // workflow); tenant-level fair share admits a0, then bob
+        // (tenant with least usage), then a1.
+        let subs = vec![
+            Submission::new(diamond("a0"), cfg(1)).with_tenant("alice"),
+            Submission::new(diamond("a1"), cfg(2)).with_tenant("alice"),
+            Submission::new(diamond("b0"), cfg(3)).with_tenant("bob"),
+        ];
+        let mut backend = ScriptedBackend::new();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::with_slot_budget(1))
+                .unwrap();
+        assert!(ens.succeeded());
+        assert_eq!(backend.log[0].0, "a0_a");
+        assert_eq!(
+            backend.log[1].0, "b0_a",
+            "bob overtakes alice's second root"
+        );
+        assert_eq!(backend.log[2].0, "a1_a");
+    }
+
+    #[test]
+    fn tenant_slot_quota_caps_in_flight_jobs() {
+        // Budget 4 with a per-tenant quota of 1: each tenant's
+        // diamond fans out into a parallel middle layer (b, c), but
+        // the quota forces every tenant to run it serialized even
+        // though global slots sit free. The identical ensemble
+        // without the quota admits each pair at the same instant.
+        let build = || {
+            vec![
+                Submission::new(diamond("al"), cfg(1)).with_tenant("alice"),
+                Submission::new(diamond("bo"), cfg(2)).with_tenant("bob"),
+            ]
+        };
+        let t = |run: &WorkflowRun, i: usize| run.records[i].times.unwrap().submitted;
+
+        let mut quotaed = ScriptedBackend::new();
+        let config = EnsembleConfig::with_slot_budget(4).with_tenant_slots(1);
+        let q = Ensemble::run_to_completion(&mut quotaed, build(), &config).unwrap();
+        assert!(q.succeeded());
+        for run in &q.runs {
+            assert_ne!(t(run, 1), t(run, 2), "quota serializes {}", run.name);
+        }
+
+        let mut free = ScriptedBackend::new();
+        let f =
+            Ensemble::run_to_completion(&mut free, build(), &EnsembleConfig::with_slot_budget(4))
+                .unwrap();
+        assert!(f.succeeded());
+        for run in &f.runs {
+            assert_eq!(t(run, 1), t(run, 2), "without quota {} fans out", run.name);
+        }
+    }
+
+    #[test]
+    fn tenant_active_quota_rejects_excess_submissions() {
+        let mut ensemble = Ensemble::new(EnsembleConfig::default().with_tenant_active(2));
+        ensemble
+            .submit(Submission::new(diamond("w0"), cfg(1)).with_tenant("alice"))
+            .unwrap();
+        ensemble
+            .submit(Submission::new(diamond("w1"), cfg(2)).with_tenant("alice"))
+            .unwrap();
+        let err = ensemble
+            .submit(Submission::new(diamond("w2"), cfg(3)).with_tenant("alice"))
+            .unwrap_err();
+        match err {
+            WmsError::QuotaExceeded { tenant, limit } => {
+                assert_eq!(tenant, "alice");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected quota error, got {other:?}"),
+        }
+        // Another tenant is unaffected.
+        ensemble
+            .submit(Submission::new(diamond("w3"), cfg(4)).with_tenant("bob"))
+            .unwrap();
+    }
+
+    #[test]
+    fn poll_and_cancel_follow_the_lifecycle() {
+        let mut ensemble = Ensemble::new(EnsembleConfig::default());
+        let ok = ensemble
+            .submit(Submission::new(diamond("ok"), cfg(1)))
+            .unwrap();
+        let dropped = ensemble
+            .submit(Submission::new(diamond("dropped"), cfg(2)))
+            .unwrap();
+        assert_eq!(ensemble.poll(ok), Some(MemberState::Queued));
+        assert!(ensemble.cancel(dropped));
+        assert!(!ensemble.cancel(dropped), "second cancel is a no-op");
+        assert_eq!(ensemble.poll(dropped), Some(MemberState::Cancelled));
+        assert_eq!(ensemble.queued(), 1);
+
+        let mut backend = ScriptedBackend::new();
+        let ens = ensemble
+            .join(&mut backend, &mut NoopEnsembleMonitor)
+            .unwrap();
+        assert_eq!(ens.runs.len(), 1, "cancelled member never ran");
+        assert_eq!(ens.runs[0].name, "ok");
+        assert_eq!(ensemble.poll(ok), Some(MemberState::Succeeded));
+        assert!(
+            !ensemble.cancel(ok),
+            "completed members cannot be cancelled"
+        );
+        assert!(
+            !backend.log.iter().any(|(n, _)| n.starts_with("dropped")),
+            "no dropped_* submissions on the tape"
+        );
+    }
+
+    #[test]
+    fn join_twice_runs_rounds_incrementally() {
+        let mut ensemble = Ensemble::new(EnsembleConfig::default());
+        let first = ensemble
+            .submit(Submission::new(diamond("r1"), cfg(1)))
+            .unwrap();
+        let mut backend = ScriptedBackend::new();
+        let round1 = ensemble
+            .join(&mut backend, &mut NoopEnsembleMonitor)
+            .unwrap();
+        assert_eq!(round1.runs.len(), 1);
+
+        let second = ensemble
+            .submit(Submission::new(diamond("r2"), cfg(2)))
+            .unwrap();
+        let round2 = ensemble
+            .join(&mut backend, &mut NoopEnsembleMonitor)
+            .unwrap();
+        assert_eq!(round2.runs.len(), 1, "first-round member does not rerun");
+        assert_eq!(round2.runs[0].name, "r2");
+        assert_eq!(ensemble.poll(first), Some(MemberState::Succeeded));
+        assert_eq!(ensemble.poll(second), Some(MemberState::Succeeded));
+    }
+
+    #[test]
     fn per_workflow_retries_are_isolated() {
         let mut flaky_cfg = EngineConfig::builder().retries(3).build();
         flaky_cfg.seed = 5;
-        let specs = vec![
-            WorkflowSpec::new(diamond("ok"), cfg(1)),
-            WorkflowSpec::new(diamond("flaky"), flaky_cfg),
+        let subs = vec![
+            Submission::new(diamond("ok"), cfg(1)),
+            Submission::new(diamond("flaky"), flaky_cfg),
         ];
         let mut backend = ScriptedBackend::new();
         backend.fail_plan.insert(("flaky_b".into(), 0));
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
         assert!(ens.succeeded());
         assert_eq!(ens.runs[0].faults.total_failures(), 0);
         assert_eq!(ens.runs[1].faults.retries, 1);
@@ -568,14 +1006,15 @@ mod tests {
     fn exhausted_workflow_fails_alone_with_rescue_dag() {
         let mut doomed_cfg = EngineConfig::builder().policy(RetryPolicy::flat(1)).build();
         doomed_cfg.seed = 5;
-        let specs = vec![
-            WorkflowSpec::new(diamond("ok"), cfg(1)),
-            WorkflowSpec::new(diamond("doomed"), doomed_cfg),
+        let subs = vec![
+            Submission::new(diamond("ok"), cfg(1)),
+            Submission::new(diamond("doomed"), doomed_cfg),
         ];
         let mut backend = ScriptedBackend::new();
         backend.fail_plan.insert(("doomed_b".into(), 0));
         backend.fail_plan.insert(("doomed_b".into(), 1));
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
         assert!(ens.runs[0].succeeded(), "healthy member unaffected");
         assert!(!ens.runs[1].succeeded());
         match &ens.runs[1].outcome {
@@ -592,12 +1031,13 @@ mod tests {
     fn crash_kills_one_member_and_spares_the_rest() {
         let mut crash_cfg = cfg(3);
         crash_cfg.crash_after_events = Some(1);
-        let specs = vec![
-            WorkflowSpec::new(diamond("live"), cfg(1)),
-            WorkflowSpec::new(diamond("dying"), crash_cfg),
+        let subs = vec![
+            Submission::new(diamond("live"), cfg(1)),
+            Submission::new(diamond("dying"), crash_cfg),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
         assert!(ens.runs[0].succeeded(), "uncrashed member completes");
         assert!(!ens.runs[1].succeeded(), "crashed member reports failure");
     }
@@ -606,12 +1046,13 @@ mod tests {
     fn ensemble_rescue_resume_completes_the_crashed_member() {
         let mut crash_cfg = cfg(3);
         crash_cfg.crash_after_events = Some(1);
-        let specs = vec![
-            WorkflowSpec::new(diamond("live"), cfg(1)),
-            WorkflowSpec::new(diamond("dying"), crash_cfg),
+        let subs = vec![
+            Submission::new(diamond("live"), cfg(1)),
+            Submission::new(diamond("dying"), crash_cfg),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
         let rescue = match &ens.runs[1].outcome {
             crate::engine::WorkflowOutcome::Failed(r) => r.clone(),
             other => panic!("expected rescue DAG, got {other:?}"),
@@ -620,9 +1061,9 @@ mod tests {
         let mut resume_cfg = EngineConfig::builder().retries(2).rescue(&rescue).build();
         resume_cfg.seed = 3;
         let mut backend2 = ScriptedBackend::new();
-        let resumed = run_ensemble(
+        let resumed = Ensemble::run_to_completion(
             &mut backend2,
-            &[WorkflowSpec::new(diamond("dying"), resume_cfg)],
+            vec![Submission::new(diamond("dying"), resume_cfg)],
             &EnsembleConfig::default(),
         )
         .unwrap();
@@ -643,12 +1084,13 @@ mod tests {
             jobs: vec![],
             edges: vec![],
         };
-        let specs = vec![
-            WorkflowSpec::new(empty, cfg(1)),
-            WorkflowSpec::new(diamond("w"), cfg(2)),
+        let subs = vec![
+            Submission::new(empty, cfg(1)),
+            Submission::new(diamond("w"), cfg(2)),
         ];
         let mut backend = ScriptedBackend::new();
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
         assert!(ens.succeeded());
         assert_eq!(ens.runs[0].wall_time, 0.0);
         assert!(ens.runs[1].wall_time > 0.0);
@@ -656,13 +1098,15 @@ mod tests {
 
     #[test]
     fn members_carry_independent_replayable_event_streams() {
-        let specs = vec![
-            WorkflowSpec::new(diamond("w0"), cfg(1)),
-            WorkflowSpec::new(diamond("w1"), cfg(2)),
+        let subs = vec![
+            Submission::new(diamond("w0"), cfg(1)),
+            Submission::new(diamond("w1"), cfg(2)),
         ];
         let mut backend = ScriptedBackend::new();
         backend.fail_plan.insert(("w1_b".into(), 0));
-        let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::with_slot_budget(2)).unwrap();
+        let ens =
+            Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::with_slot_budget(2))
+                .unwrap();
         assert!(ens.succeeded());
         for run in &ens.runs {
             let replayed = crate::events::replay(&run.events).expect("member streams replay");
@@ -671,17 +1115,61 @@ mod tests {
     }
 
     #[test]
+    fn monitor_member_events_stream_matches_the_final_run() {
+        // The incremental member_events feed plus the finish trailer
+        // must reproduce run.events exactly — this is what makes the
+        // daemon's crash-safe logs byte-identical to a post-hoc dump.
+        struct Collect {
+            streams: Vec<Vec<WorkflowEvent>>,
+        }
+        impl EnsembleMonitor for Collect {
+            fn member_events(&mut self, index: usize, events: &[WorkflowEvent]) {
+                self.streams[index].extend_from_slice(events);
+            }
+            fn workflow_finished(&mut self, index: usize, run: &WorkflowRun, _now: f64) {
+                let seen = self.streams[index].len();
+                self.streams[index].extend_from_slice(&run.events[seen..]);
+            }
+        }
+        let mut monitor = Collect {
+            streams: vec![Vec::new(), Vec::new()],
+        };
+        let subs = vec![
+            Submission::new(diamond("w0"), cfg(1)),
+            Submission::new(diamond("w1"), cfg(2)),
+        ];
+        let mut backend = ScriptedBackend::new();
+        backend.fail_plan.insert(("w0_c".into(), 0));
+        let ens = Ensemble::run_to_completion_monitored(
+            &mut backend,
+            subs,
+            &EnsembleConfig::with_slot_budget(2),
+            &mut monitor,
+        )
+        .unwrap();
+        for (stream, run) in monitor.streams.iter().zip(&ens.runs) {
+            assert_eq!(stream, &run.events, "{}", run.name);
+        }
+    }
+
+    #[test]
     fn same_seed_ensembles_replay_identically() {
         let build = || {
             vec![
-                WorkflowSpec::new(diamond("w0"), cfg(1)),
-                WorkflowSpec::new(diamond("w1"), cfg(2)).with_priority(1),
+                Submission::new(diamond("w0"), cfg(1)).with_tenant("alice"),
+                Submission::new(diamond("w1"), cfg(2))
+                    .with_tenant("bob")
+                    .with_priority(1),
             ]
         };
         let mut b1 = ScriptedBackend::new();
         let mut b2 = ScriptedBackend::new();
-        let e1 = run_ensemble(&mut b1, &build(), &EnsembleConfig::with_slot_budget(2)).unwrap();
-        let e2 = run_ensemble(&mut b2, &build(), &EnsembleConfig::with_slot_budget(2)).unwrap();
+        let e1 =
+            Ensemble::run_to_completion(&mut b1, build(), &EnsembleConfig::with_slot_budget(2))
+                .unwrap();
+        let e2 =
+            Ensemble::run_to_completion(&mut b2, build(), &EnsembleConfig::with_slot_budget(2))
+                .unwrap();
         assert_eq!(b1.log, b2.log, "submission tapes identical");
         assert_eq!(e1.makespan, e2.makespan);
         for (a, b) in e1.runs.iter().zip(&e2.runs) {

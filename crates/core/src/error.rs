@@ -99,6 +99,21 @@ pub enum WmsError {
         /// Description of the problem.
         reason: String,
     },
+    /// A `pegasus serve` protocol or journal line was malformed.
+    ProtocolParse {
+        /// One-based line number (0 when unknown, e.g. single-line
+        /// socket requests).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A tenant hit its admission quota.
+    QuotaExceeded {
+        /// The tenant that was refused.
+        tenant: String,
+        /// The quota that was hit.
+        limit: usize,
+    },
     /// An internal runtime invariant was violated.  These were
     /// previously `debug_assert!`s that vanished in release builds;
     /// they now surface as typed errors so callers (and the event-log
@@ -150,6 +165,16 @@ impl fmt::Display for WmsError {
             WmsError::EventLogParse { line, reason } => {
                 write!(f, "event log parse error at line {line}: {reason}")
             }
+            WmsError::ProtocolParse { line, reason } => {
+                if *line == 0 {
+                    write!(f, "protocol parse error: {reason}")
+                } else {
+                    write!(f, "protocol parse error at line {line}: {reason}")
+                }
+            }
+            WmsError::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant {tenant:?} exceeded its quota of {limit}")
+            }
             WmsError::InvariantViolation { invariant, detail } => {
                 write!(f, "internal invariant violated ({invariant}): {detail}")
             }
@@ -192,6 +217,29 @@ mod tests {
         assert_eq!(Span::line(3).to_string(), "line 3");
         assert!(Span::none().is_none());
         assert!(!Span::line(1).is_none());
+    }
+
+    #[test]
+    fn quota_and_protocol_errors_render_their_context() {
+        let q = WmsError::QuotaExceeded {
+            tenant: "alice".into(),
+            limit: 4,
+        };
+        let s = q.to_string();
+        assert!(s.contains("alice") && s.contains('4'), "{s}");
+        let p = WmsError::ProtocolParse {
+            line: 0,
+            reason: "unknown verb \"submti\"".into(),
+        };
+        assert_eq!(
+            p.to_string(),
+            "protocol parse error: unknown verb \"submti\""
+        );
+        let p = WmsError::ProtocolParse {
+            line: 3,
+            reason: "bad n".into(),
+        };
+        assert!(p.to_string().contains("line 3"), "{p}");
     }
 
     #[test]

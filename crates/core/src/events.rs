@@ -497,6 +497,17 @@ pub mod log {
         let mut out = String::new();
         out.push_str(HEADER);
         out.push('\n');
+        out.push_str(&append(events));
+        out
+    }
+
+    /// Renders events as log lines *without* the header — the
+    /// incremental form the `pegasus serve` daemon appends to a
+    /// member's log file as chunks arrive. A header written once
+    /// followed by `append` chunks concatenates to exactly
+    /// [`write()`] of the full stream.
+    pub fn append(events: &[WorkflowEvent]) -> String {
+        let mut out = String::new();
         for ev in events {
             write_event(&mut out, ev);
         }

@@ -47,7 +47,11 @@
 //! * [`statistics`] — pegasus-statistics equivalents: Workflow Wall
 //!   Time, per-task Kickstart / Waiting / Download-Install breakdowns;
 //! * [`rescue`] — rescue DAGs: the re-submittable remainder of a
-//!   partially failed run.
+//!   partially failed run;
+//! * [`serve`] — the `pegasus serve` wire protocol, journal, and
+//!   status rendering: the transport-agnostic half of the
+//!   multi-tenant ensemble daemon (the daemon itself lives in the
+//!   umbrella crate).
 //!
 //! Execution backends live in separate crates: `condor` runs jobs for
 //! real on a local worker pool; `gridsim` simulates campus-cluster and
@@ -70,6 +74,7 @@ pub mod monitor;
 pub mod planner;
 pub mod prelude;
 pub mod rescue;
+pub mod serve;
 pub mod statistics;
 pub mod symbols;
 pub mod synthetic;
@@ -80,7 +85,7 @@ pub use engine::{
     CompletionEvent, Engine, EngineConfig, ExecutionBackend, FaultCounters, FaultReason,
     RetryPolicy, WorkflowRun,
 };
-pub use ensemble::{run_ensemble, EnsembleConfig, EnsembleRun, WorkflowSpec};
+pub use ensemble::{Ensemble, EnsembleConfig, EnsembleRun, Submission, SubmissionId};
 pub use error::{Span, WmsError};
 pub use events::{EventSink, MonitorSink, WorkflowEvent};
 pub use graph::Csr;

@@ -17,8 +17,7 @@ pub use crate::engine::{
     WorkflowRun,
 };
 pub use crate::ensemble::{
-    run_ensemble, run_ensemble_monitored, EnsembleConfig, EnsembleMonitor, EnsembleRun,
-    WorkflowSpec,
+    Ensemble, EnsembleConfig, EnsembleMonitor, EnsembleRun, MemberState, Submission, SubmissionId,
 };
 pub use crate::events::{replay, rescue_from_events, EventSink, MonitorSink, WorkflowEvent};
 pub use crate::graph::Csr;

@@ -1,0 +1,1052 @@
+//! The `pegasus serve` wire protocol, journal, and status rendering.
+//!
+//! This module is the transport-agnostic half of the multi-tenant
+//! ensemble daemon: line grammars and their parsers, in the same
+//! hand-rolled-text idiom as [`crate::events::log`] and the fault
+//! plan. The daemon itself (sockets, threads, filesystem) lives in
+//! the umbrella crate; everything here is pure string ↔ struct and
+//! therefore proptest-able in isolation.
+//!
+//! # Protocol
+//!
+//! A connection opens with the server greeting line [`GREETING`].
+//! Each client request is one line; each response is one `ok`/`error`
+//! line, optionally followed by a counted block of raw payload lines:
+//!
+//! ```text
+//! submit tenant=alice site=sandhills seed=7 retries=3 priority=2 n=100
+//! submit tenant=bob site=osg dax=runs/blast2cap3_n300.dax
+//! cancel id=3
+//! run
+//! status
+//! rollup
+//! metrics
+//! ping
+//! shutdown
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! ok id=4
+//! ok lines=12
+//! <12 raw payload lines>
+//! error tenant "alice" exceeded its quota of 2
+//! ```
+//!
+//! `tenant` and `site` are single tokens (no whitespace); `dax=` is a
+//! tail field consuming the rest of the line, so paths may contain
+//! spaces. Optional fields (`seed`, `retries`, `priority`) are
+//! omitted when at their defaults, which keeps rendering canonical:
+//! parse ∘ render is the identity (pinned by proptest).
+//!
+//! # Journal
+//!
+//! The daemon appends its decisions to a journal file so a restart
+//! can rebuild the exact schedule:
+//!
+//! ```text
+//! # pegasus serve journal v1
+//! submission id=0 tenant=alice site=sandhills seed=7 n=100
+//! submission id=1 tenant=bob site=osg priority=1 n=100
+//! cancel id=1
+//! round id=0 seed=12345 members=0,2,5
+//! round-done id=0
+//! ```
+//!
+//! A `round` entry records the batch *before* it runs — membership
+//! and the derived round seed — so a crash mid-round leaves an open
+//! `round` with no matching `round-done`. Recovery replays the
+//! journal into a [`Ledger`], re-executes the interrupted round with
+//! the recorded seed (deterministic engines make the re-run
+//! byte-identical to the run the crash destroyed), and resumes.
+//!
+//! # Status lines
+//!
+//! `status` responses render one [`StatusLine`] per submission. All
+//! durations are derived from event timestamps (backend seconds) —
+//! never from wall-clock reads — so a live daemon and an offline
+//! replay of the same logs render byte-identical views.
+
+use crate::engine::WorkflowRun;
+use crate::ensemble::MemberState;
+use crate::error::WmsError;
+use std::fmt::Write as _;
+
+/// First line a server sends on every accepted connection.
+pub const GREETING: &str = "# pegasus serve v1";
+
+/// First line of a daemon journal file.
+pub const JOURNAL_HEADER: &str = "# pegasus serve journal v1";
+
+/// Where a submitted workflow comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitSource {
+    /// Plan the paper's blast2cap3 pipeline at this many chunks.
+    Generated {
+        /// Number of input chunks (`n` in the paper's sweeps).
+        n: usize,
+    },
+    /// Load and plan a DAX file from this path (tail field: may
+    /// contain spaces).
+    Dax {
+        /// Path to the DAX file, resolved daemon-side.
+        path: String,
+    },
+}
+
+/// A parsed `submit` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Owning tenant (single token).
+    pub tenant: String,
+    /// Target site handle, e.g. `sandhills` or `osg` (single token).
+    pub site: String,
+    /// Engine seed; `None` lets the daemon apply its default.
+    pub seed: Option<u64>,
+    /// Retry budget; `None` lets the daemon apply its default.
+    pub retries: Option<u32>,
+    /// Admission priority (higher wins); defaults to 0.
+    pub priority: i32,
+    /// The workflow itself.
+    pub source: SubmitSource,
+}
+
+/// One client request line, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Queue a workflow.
+    Submit(SubmitRequest),
+    /// Withdraw a queued submission by id.
+    Cancel {
+        /// The submission to withdraw.
+        id: usize,
+    },
+    /// Run everything currently queued as one deterministic round.
+    Run,
+    /// Render a [`StatusLine`] per submission.
+    Status,
+    /// Render the ensemble rollup CSV over all completed members.
+    Rollup,
+    /// Render the Prometheus exposition over all completed members.
+    Metrics,
+    /// Liveness check; answered with `ok`.
+    Ping,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// An ordered `key=value` token cursor over one line — the same
+/// parsing discipline as [`crate::events::log`]: fields arrive in
+/// canonical order, optional fields may be absent, tail fields
+/// swallow the rest of the line.
+struct Cursor<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(rest: &'a str, line: usize) -> Self {
+        Cursor { rest, line }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> WmsError {
+        WmsError::ProtocolParse {
+            line: self.line,
+            reason: reason.into(),
+        }
+    }
+
+    /// The key of the next `key=value` token, without consuming it.
+    fn peek_key(&self) -> Option<&'a str> {
+        let tok = self.rest.split_whitespace().next()?;
+        let eq = tok.find('=')?;
+        Some(&tok[..eq])
+    }
+
+    /// Consumes the next token, which must be `key=<value>`.
+    fn take(&mut self, key: &str) -> Result<&'a str, WmsError> {
+        let trimmed = self.rest.trim_start();
+        let (tok, rest) = match trimmed.find(char::is_whitespace) {
+            Some(i) => (&trimmed[..i], &trimmed[i..]),
+            None => (trimmed, ""),
+        };
+        if tok.is_empty() {
+            return Err(self.err(format!("missing field {key}=")));
+        }
+        let Some(eq) = tok.find('=') else {
+            return Err(self.err(format!("expected {key}=, found {tok:?}")));
+        };
+        if &tok[..eq] != key {
+            return Err(self.err(format!("expected {key}=, found {}=", &tok[..eq])));
+        }
+        self.rest = rest;
+        Ok(&tok[eq + 1..])
+    }
+
+    /// Consumes `key=<value>` if it is next; `None` otherwise.
+    fn take_opt(&mut self, key: &str) -> Option<&'a str> {
+        if self.peek_key() == Some(key) {
+            self.take(key).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Consumes a tail field: the remainder of the line after
+    /// `key=`, spaces and all.
+    fn tail(&mut self, key: &str) -> Result<&'a str, WmsError> {
+        let trimmed = self.rest.trim_start();
+        let prefix = format!("{key}=");
+        let Some(value) = trimmed.strip_prefix(&prefix) else {
+            return Err(self.err(format!("expected tail field {key}=, found {trimmed:?}")));
+        };
+        self.rest = "";
+        Ok(value)
+    }
+
+    /// Errors if any tokens remain.
+    fn finish(&self) -> Result<(), WmsError> {
+        let residue = self.rest.trim();
+        if residue.is_empty() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input {residue:?}")))
+        }
+    }
+
+    fn parse_u64(&self, key: &str, v: &str) -> Result<u64, WmsError> {
+        v.parse().map_err(|_| self.err(format!("bad {key}: {v:?}")))
+    }
+
+    fn parse_usize(&self, key: &str, v: &str) -> Result<usize, WmsError> {
+        v.parse().map_err(|_| self.err(format!("bad {key}: {v:?}")))
+    }
+
+    fn parse_u32(&self, key: &str, v: &str) -> Result<u32, WmsError> {
+        v.parse().map_err(|_| self.err(format!("bad {key}: {v:?}")))
+    }
+
+    fn parse_i32(&self, key: &str, v: &str) -> Result<i32, WmsError> {
+        v.parse().map_err(|_| self.err(format!("bad {key}: {v:?}")))
+    }
+
+    fn parse_f64(&self, key: &str, v: &str) -> Result<f64, WmsError> {
+        v.parse().map_err(|_| self.err(format!("bad {key}: {v:?}")))
+    }
+}
+
+/// `true` when `s` can travel as a single protocol token (non-empty,
+/// no whitespace, no `=`). Tenants and site handles must satisfy
+/// this; the daemon rejects submissions that don't.
+pub fn valid_token(s: &str) -> bool {
+    !s.is_empty() && !s.contains(char::is_whitespace) && !s.contains('=')
+}
+
+/// Parses the shared submission body (everything after the keyword
+/// and, for journal entries, the id).
+fn parse_submit_body(cur: &mut Cursor<'_>) -> Result<SubmitRequest, WmsError> {
+    let tenant = cur.take("tenant")?;
+    if !valid_token(tenant) {
+        return Err(cur.err(format!("bad tenant: {tenant:?}")));
+    }
+    let site = cur.take("site")?;
+    if !valid_token(site) {
+        return Err(cur.err(format!("bad site: {site:?}")));
+    }
+    let seed = match cur.take_opt("seed") {
+        Some(v) => Some(cur.parse_u64("seed", v)?),
+        None => None,
+    };
+    let retries = match cur.take_opt("retries") {
+        Some(v) => Some(cur.parse_u32("retries", v)?),
+        None => None,
+    };
+    let priority = match cur.take_opt("priority") {
+        Some(v) => cur.parse_i32("priority", v)?,
+        None => 0,
+    };
+    let source = if cur.peek_key() == Some("n") {
+        let n = cur.take("n")?;
+        let n = cur.parse_usize("n", n)?;
+        cur.finish()?;
+        if n == 0 {
+            return Err(cur.err("n must be at least 1"));
+        }
+        SubmitSource::Generated { n }
+    } else {
+        let path = cur.tail("dax")?;
+        if path.is_empty() {
+            return Err(cur.err("empty dax path"));
+        }
+        SubmitSource::Dax { path: path.into() }
+    };
+    Ok(SubmitRequest {
+        tenant: tenant.into(),
+        site: site.into(),
+        seed,
+        retries,
+        priority,
+        source,
+    })
+}
+
+/// Renders the shared submission body in canonical field order.
+fn render_submit_body(out: &mut String, sub: &SubmitRequest) {
+    write!(out, "tenant={} site={}", sub.tenant, sub.site).unwrap();
+    if let Some(seed) = sub.seed {
+        write!(out, " seed={seed}").unwrap();
+    }
+    if let Some(retries) = sub.retries {
+        write!(out, " retries={retries}").unwrap();
+    }
+    if sub.priority != 0 {
+        write!(out, " priority={}", sub.priority).unwrap();
+    }
+    match &sub.source {
+        SubmitSource::Generated { n } => write!(out, " n={n}").unwrap(),
+        SubmitSource::Dax { path } => write!(out, " dax={path}").unwrap(),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// [`WmsError::ProtocolParse`] (line 0 — requests are single lines)
+/// naming the offending field or verb.
+pub fn parse_request(line: &str) -> Result<Request, WmsError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (verb, rest) = match line.find(' ') {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => (line, ""),
+    };
+    let mut cur = Cursor::new(rest, 0);
+    match verb {
+        "submit" => Ok(Request::Submit(parse_submit_body(&mut cur)?)),
+        "cancel" => {
+            let id = cur.take("id")?;
+            let id = cur.parse_usize("id", id)?;
+            cur.finish()?;
+            Ok(Request::Cancel { id })
+        }
+        "run" | "status" | "rollup" | "metrics" | "ping" | "shutdown" => {
+            cur.finish()?;
+            Ok(match verb {
+                "run" => Request::Run,
+                "status" => Request::Status,
+                "rollup" => Request::Rollup,
+                "metrics" => Request::Metrics,
+                "ping" => Request::Ping,
+                _ => Request::Shutdown,
+            })
+        }
+        other => Err(cur.err(format!("unknown verb {other:?}"))),
+    }
+}
+
+/// Renders a request in canonical form (no trailing newline).
+/// `parse_request(&render_request(r)) == Ok(r)` for every
+/// well-formed request — pinned by proptest.
+pub fn render_request(req: &Request) -> String {
+    match req {
+        Request::Submit(sub) => {
+            let mut out = String::from("submit ");
+            render_submit_body(&mut out, sub);
+            out
+        }
+        Request::Cancel { id } => format!("cancel id={id}"),
+        Request::Run => "run".into(),
+        Request::Status => "status".into(),
+        Request::Rollup => "rollup".into(),
+        Request::Metrics => "metrics".into(),
+        Request::Ping => "ping".into(),
+        Request::Shutdown => "shutdown".into(),
+    }
+}
+
+/// The first line of a server response. `Lines` announces a counted
+/// payload block so clients know exactly how many raw lines follow —
+/// no sentinels, no ambiguity with payload content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseHead {
+    /// Success with inline `key=value` results (possibly none).
+    Ok(Vec<(String, String)>),
+    /// Success; `n` raw payload lines follow.
+    Lines(usize),
+    /// Failure; the tail is the human-readable message.
+    Error(String),
+}
+
+/// Renders a response head (no trailing newline).
+pub fn render_response_head(head: &ResponseHead) -> String {
+    match head {
+        ResponseHead::Ok(pairs) => {
+            let mut out = String::from("ok");
+            for (k, v) in pairs {
+                write!(out, " {k}={v}").unwrap();
+            }
+            out
+        }
+        ResponseHead::Lines(n) => format!("ok lines={n}"),
+        ResponseHead::Error(msg) => format!("error {msg}"),
+    }
+}
+
+/// Parses a response head line.
+///
+/// # Errors
+/// [`WmsError::ProtocolParse`] when the line is neither `ok …` nor
+/// `error …`, or a result token is not `key=value`.
+pub fn parse_response_head(line: &str) -> Result<ResponseHead, WmsError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(msg) = line.strip_prefix("error ") {
+        return Ok(ResponseHead::Error(msg.into()));
+    }
+    if line == "error" {
+        return Ok(ResponseHead::Error(String::new()));
+    }
+    let Some(rest) = line.strip_prefix("ok") else {
+        return Err(WmsError::ProtocolParse {
+            line: 0,
+            reason: format!("expected ok/error response, found {line:?}"),
+        });
+    };
+    let cur = Cursor::new(rest, 0);
+    if rest.trim_start().starts_with("lines=") {
+        let mut cur = cur;
+        let n = cur.take("lines")?;
+        let n = cur.parse_usize("lines", n)?;
+        cur.finish()?;
+        return Ok(ResponseHead::Lines(n));
+    }
+    let mut pairs = Vec::new();
+    let mut cur = cur;
+    while let Some(key) = cur.peek_key() {
+        let key = key.to_string();
+        let value = cur.take(&key)?;
+        pairs.push((key, value.to_string()));
+    }
+    cur.finish()?;
+    Ok(ResponseHead::Ok(pairs))
+}
+
+/// One entry in the daemon journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEntry {
+    /// A submission was accepted under this id.
+    Submission {
+        /// The id the daemon assigned.
+        id: usize,
+        /// The accepted request (daemon defaults already resolved or
+        /// not — the journal records exactly what admission saw).
+        sub: SubmitRequest,
+    },
+    /// A queued submission was withdrawn.
+    Cancel {
+        /// The withdrawn submission.
+        id: usize,
+    },
+    /// A round is about to run: its batch and derived seed, recorded
+    /// *before* execution so an interruption leaves evidence.
+    RoundStarted {
+        /// Round counter, starting at 0.
+        round: usize,
+        /// The seed this round's engines derive from.
+        seed: u64,
+        /// Member submission ids, in admission (id) order.
+        members: Vec<usize>,
+    },
+    /// The round drained completely.
+    RoundFinished {
+        /// The completed round.
+        round: usize,
+    },
+}
+
+/// Renders one journal entry (no trailing newline).
+pub fn render_journal_entry(entry: &JournalEntry) -> String {
+    match entry {
+        JournalEntry::Submission { id, sub } => {
+            let mut out = format!("submission id={id} ");
+            render_submit_body(&mut out, sub);
+            out
+        }
+        JournalEntry::Cancel { id } => format!("cancel id={id}"),
+        JournalEntry::RoundStarted {
+            round,
+            seed,
+            members,
+        } => {
+            let ids: Vec<String> = members.iter().map(usize::to_string).collect();
+            format!("round id={round} seed={seed} members={}", ids.join(","))
+        }
+        JournalEntry::RoundFinished { round } => format!("round-done id={round}"),
+    }
+}
+
+/// Parses one journal entry line (`line` is the one-based position
+/// for error reporting).
+///
+/// # Errors
+/// [`WmsError::ProtocolParse`] naming the line and offending field.
+pub fn parse_journal_entry(text: &str, line: usize) -> Result<JournalEntry, WmsError> {
+    let text = text.trim_end_matches(['\r', '\n']);
+    let (verb, rest) = match text.find(' ') {
+        Some(i) => (&text[..i], &text[i + 1..]),
+        None => (text, ""),
+    };
+    let mut cur = Cursor::new(rest, line);
+    match verb {
+        "submission" => {
+            let id = cur.take("id")?;
+            let id = cur.parse_usize("id", id)?;
+            let sub = parse_submit_body(&mut cur)?;
+            Ok(JournalEntry::Submission { id, sub })
+        }
+        "cancel" => {
+            let id = cur.take("id")?;
+            let id = cur.parse_usize("id", id)?;
+            cur.finish()?;
+            Ok(JournalEntry::Cancel { id })
+        }
+        "round" => {
+            let round = cur.take("id")?;
+            let round = cur.parse_usize("id", round)?;
+            let seed = cur.take("seed")?;
+            let seed = cur.parse_u64("seed", seed)?;
+            let members_raw = cur.take("members")?;
+            cur.finish()?;
+            let mut members = Vec::new();
+            for part in members_raw.split(',') {
+                if part.is_empty() {
+                    continue;
+                }
+                members.push(cur.parse_usize("members", part)?);
+            }
+            if members.is_empty() {
+                return Err(cur.err("round with no members"));
+            }
+            Ok(JournalEntry::RoundStarted {
+                round,
+                seed,
+                members,
+            })
+        }
+        "round-done" => {
+            let round = cur.take("id")?;
+            let round = cur.parse_usize("id", round)?;
+            cur.finish()?;
+            Ok(JournalEntry::RoundFinished { round })
+        }
+        other => Err(cur.err(format!("unknown journal entry {other:?}"))),
+    }
+}
+
+/// One round as reconstructed from the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round counter.
+    pub round: usize,
+    /// The recorded round seed.
+    pub seed: u64,
+    /// Member submission ids.
+    pub members: Vec<usize>,
+    /// Whether a matching `round-done` was journaled.
+    pub finished: bool,
+}
+
+/// The daemon's durable state, rebuilt by replaying a journal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    /// Every accepted submission, in id order (ids are dense).
+    pub submissions: Vec<SubmitRequest>,
+    /// Ids withdrawn before they ran.
+    pub cancelled: Vec<usize>,
+    /// Rounds in start order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl Ledger {
+    /// Replays journal text into a ledger.
+    ///
+    /// # Errors
+    /// [`WmsError::ProtocolParse`] on a bad header or malformed
+    /// entry, and on id-sequencing violations (non-dense submission
+    /// ids, round referencing an unknown member, `round-done` without
+    /// its `round`) — a corrupt journal must not silently reschedule
+    /// the wrong work.
+    pub fn replay(text: &str) -> Result<Ledger, WmsError> {
+        let mut lines = text.lines().enumerate();
+        let header = lines.next().map(|(_, l)| l.trim_end());
+        if header != Some(JOURNAL_HEADER) {
+            return Err(WmsError::ProtocolParse {
+                line: 1,
+                reason: format!("expected journal header {JOURNAL_HEADER:?}"),
+            });
+        }
+        let mut ledger = Ledger::default();
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let bad = |reason: String| WmsError::ProtocolParse {
+                line: line_no,
+                reason,
+            };
+            match parse_journal_entry(trimmed, line_no)? {
+                JournalEntry::Submission { id, sub } => {
+                    if id != ledger.submissions.len() {
+                        return Err(bad(format!(
+                            "submission id {id} out of sequence (expected {})",
+                            ledger.submissions.len()
+                        )));
+                    }
+                    ledger.submissions.push(sub);
+                }
+                JournalEntry::Cancel { id } => {
+                    if id >= ledger.submissions.len() {
+                        return Err(bad(format!("cancel of unknown submission {id}")));
+                    }
+                    ledger.cancelled.push(id);
+                }
+                JournalEntry::RoundStarted {
+                    round,
+                    seed,
+                    members,
+                } => {
+                    if round != ledger.rounds.len() {
+                        return Err(bad(format!(
+                            "round id {round} out of sequence (expected {})",
+                            ledger.rounds.len()
+                        )));
+                    }
+                    if let Some(open) = ledger.rounds.last() {
+                        if !open.finished {
+                            return Err(bad(format!(
+                                "round {round} started while round {} still open",
+                                open.round
+                            )));
+                        }
+                    }
+                    for &m in &members {
+                        if m >= ledger.submissions.len() {
+                            return Err(bad(format!("round references unknown submission {m}")));
+                        }
+                    }
+                    ledger.rounds.push(RoundRecord {
+                        round,
+                        seed,
+                        members,
+                        finished: false,
+                    });
+                }
+                JournalEntry::RoundFinished { round } => match ledger.rounds.last_mut() {
+                    Some(r) if r.round == round && !r.finished => r.finished = true,
+                    _ => return Err(bad(format!("round-done for round {round} never started"))),
+                },
+            }
+        }
+        Ok(ledger)
+    }
+
+    /// The round that was started but never finished — the one a
+    /// recovering daemon must re-execute with its recorded seed. At
+    /// most the last round can be open (enforced by replay).
+    pub fn interrupted(&self) -> Option<&RoundRecord> {
+        self.rounds.last().filter(|r| !r.finished)
+    }
+
+    /// Submission ids still waiting for a round: accepted, not
+    /// cancelled, and not claimed by any journaled round (including
+    /// an interrupted one — those re-run as their own round).
+    pub fn queued(&self) -> Vec<usize> {
+        (0..self.submissions.len())
+            .filter(|id| {
+                !self.cancelled.contains(id) && !self.rounds.iter().any(|r| r.members.contains(id))
+            })
+            .collect()
+    }
+}
+
+/// One line of `status` output: the full lifecycle view of a
+/// submission, rendered purely from journal facts and event-derived
+/// times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusLine {
+    /// Submission id.
+    pub id: usize,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Target site.
+    pub site: String,
+    /// Lifecycle state.
+    pub state: MemberState,
+    /// Job count, once planned (`-` before).
+    pub jobs: Option<usize>,
+    /// Workflow wall time in backend seconds, once run (`-` before).
+    pub wall_time: Option<f64>,
+    /// Mean per-job queue wait in backend seconds, once run.
+    pub queue_wait: Option<f64>,
+    /// Workflow name (tail field).
+    pub name: String,
+}
+
+/// The canonical token for a lifecycle state.
+pub fn state_token(state: MemberState) -> &'static str {
+    match state {
+        MemberState::Queued => "queued",
+        MemberState::Cancelled => "cancelled",
+        MemberState::Succeeded => "succeeded",
+        MemberState::Failed => "failed",
+    }
+}
+
+/// Parses a lifecycle state token.
+///
+/// # Errors
+/// [`WmsError::ProtocolParse`] on an unknown token.
+pub fn parse_state(token: &str) -> Result<MemberState, WmsError> {
+    match token {
+        "queued" => Ok(MemberState::Queued),
+        "cancelled" => Ok(MemberState::Cancelled),
+        "succeeded" => Ok(MemberState::Succeeded),
+        "failed" => Ok(MemberState::Failed),
+        other => Err(WmsError::ProtocolParse {
+            line: 0,
+            reason: format!("unknown member state {other:?}"),
+        }),
+    }
+}
+
+fn opt_num<T: ToString>(v: &Option<T>) -> String {
+    v.as_ref().map_or_else(|| "-".into(), T::to_string)
+}
+
+/// Renders one status line (no trailing newline).
+pub fn render_status_line(s: &StatusLine) -> String {
+    format!(
+        "member id={} tenant={} site={} state={} jobs={} wall-time={} queue-wait={} name={}",
+        s.id,
+        s.tenant,
+        s.site,
+        state_token(s.state),
+        opt_num(&s.jobs),
+        opt_num(&s.wall_time),
+        opt_num(&s.queue_wait),
+        s.name
+    )
+}
+
+/// Parses one status line.
+///
+/// # Errors
+/// [`WmsError::ProtocolParse`] naming the offending field.
+pub fn parse_status_line(text: &str) -> Result<StatusLine, WmsError> {
+    let text = text.trim_end_matches(['\r', '\n']);
+    let Some(rest) = text.strip_prefix("member ") else {
+        return Err(WmsError::ProtocolParse {
+            line: 0,
+            reason: format!("expected member line, found {text:?}"),
+        });
+    };
+    let mut cur = Cursor::new(rest, 0);
+    let id = cur.take("id")?;
+    let id = cur.parse_usize("id", id)?;
+    let tenant = cur.take("tenant")?.to_string();
+    let site = cur.take("site")?.to_string();
+    let state = parse_state(cur.take("state")?)?;
+    let jobs = match cur.take("jobs")? {
+        "-" => None,
+        v => Some(cur.parse_usize("jobs", v)?),
+    };
+    let wall_time = match cur.take("wall-time")? {
+        "-" => None,
+        v => Some(cur.parse_f64("wall-time", v)?),
+    };
+    let queue_wait = match cur.take("queue-wait")? {
+        "-" => None,
+        v => Some(cur.parse_f64("queue-wait", v)?),
+    };
+    let name = cur.tail("name")?.to_string();
+    Ok(StatusLine {
+        id,
+        tenant,
+        site,
+        state,
+        jobs,
+        wall_time,
+        queue_wait,
+        name,
+    })
+}
+
+/// Mean per-job queue wait (started − submitted) across every job
+/// that recorded times — derived purely from event timestamps, so
+/// live and replayed views agree byte-for-byte.
+pub fn queue_wait(run: &WorkflowRun) -> Option<f64> {
+    let waits: Vec<f64> = run
+        .records
+        .iter()
+        .filter_map(|r| r.times.map(|t| t.waiting()))
+        .collect();
+    if waits.is_empty() {
+        None
+    } else {
+        Some(waits.iter().sum::<f64>() / waits.len() as f64)
+    }
+}
+
+/// Builds the status line for a completed member from its replayed
+/// (or live) [`WorkflowRun`]. Both paths fold the same event stream,
+/// which is what keeps `pegasus status` against a live daemon
+/// byte-identical to an offline replay of its logs.
+pub fn status_from_run(
+    id: usize,
+    tenant: &str,
+    site: &str,
+    state: MemberState,
+    run: &WorkflowRun,
+) -> StatusLine {
+    StatusLine {
+        id,
+        tenant: tenant.into(),
+        site: site.into(),
+        state,
+        jobs: Some(run.records.len()),
+        wall_time: Some(run.wall_time),
+        queue_wait: queue_wait(run),
+        name: run.name.clone(),
+    }
+}
+
+/// Derives the engine seed for one round from the daemon base seed
+/// and the round counter — splitmix-style odd-constant mixing so
+/// consecutive rounds land far apart, while staying a pure function
+/// of journaled facts (recovery recomputes the identical value).
+pub fn round_seed(base: u64, round: usize) -> u64 {
+    base ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(tenant: &str, n: usize) -> SubmitRequest {
+        SubmitRequest {
+            tenant: tenant.into(),
+            site: "sandhills".into(),
+            seed: None,
+            retries: None,
+            priority: 0,
+            source: SubmitSource::Generated { n },
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_canonical_text() {
+        let reqs = vec![
+            Request::Submit(SubmitRequest {
+                tenant: "alice".into(),
+                site: "osg".into(),
+                seed: Some(7),
+                retries: Some(3),
+                priority: -2,
+                source: SubmitSource::Generated { n: 100 },
+            }),
+            Request::Submit(SubmitRequest {
+                tenant: "bob".into(),
+                site: "sandhills".into(),
+                seed: None,
+                retries: None,
+                priority: 0,
+                source: SubmitSource::Dax {
+                    path: "runs/with space.dax".into(),
+                },
+            }),
+            Request::Cancel { id: 12 },
+            Request::Run,
+            Request::Status,
+            Request::Rollup,
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let text = render_request(&req);
+            assert_eq!(parse_request(&text).unwrap(), req, "{text}");
+        }
+    }
+
+    #[test]
+    fn submit_defaults_are_omitted_from_canonical_text() {
+        let text = render_request(&Request::Submit(sub("alice", 10)));
+        assert_eq!(text, "submit tenant=alice site=sandhills n=10");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            "submti tenant=a site=s n=1",
+            "submit site=s tenant=a n=1", // wrong field order
+            "submit tenant=a site=s n=zero",
+            "submit tenant=a site=s n=0",
+            "submit tenant=a site=s",
+            "submit tenant= site=s n=1",
+            "cancel id=",
+            "cancel",
+            "run id=1", // trailing input
+            "",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(
+                matches!(err, WmsError::ProtocolParse { .. }),
+                "{bad:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_heads_round_trip() {
+        let heads = vec![
+            ResponseHead::Ok(vec![]),
+            ResponseHead::Ok(vec![
+                ("id".into(), "4".into()),
+                ("queued".into(), "2".into()),
+            ]),
+            ResponseHead::Lines(12),
+            ResponseHead::Error("tenant \"alice\" exceeded its quota of 2".into()),
+        ];
+        for head in heads {
+            let text = render_response_head(&head);
+            assert_eq!(parse_response_head(&text).unwrap(), head, "{text}");
+        }
+        assert!(parse_response_head("nope").is_err());
+    }
+
+    #[test]
+    fn journal_replays_into_a_ledger() {
+        let mut text = String::new();
+        text.push_str(JOURNAL_HEADER);
+        text.push('\n');
+        for entry in [
+            JournalEntry::Submission {
+                id: 0,
+                sub: sub("alice", 10),
+            },
+            JournalEntry::Submission {
+                id: 1,
+                sub: sub("bob", 20),
+            },
+            JournalEntry::Submission {
+                id: 2,
+                sub: sub("alice", 30),
+            },
+            JournalEntry::Cancel { id: 1 },
+            JournalEntry::RoundStarted {
+                round: 0,
+                seed: 99,
+                members: vec![0, 2],
+            },
+            JournalEntry::RoundFinished { round: 0 },
+            JournalEntry::Submission {
+                id: 3,
+                sub: sub("bob", 40),
+            },
+        ] {
+            text.push_str(&render_journal_entry(&entry));
+            text.push('\n');
+        }
+        let ledger = Ledger::replay(&text).unwrap();
+        assert_eq!(ledger.submissions.len(), 4);
+        assert_eq!(ledger.cancelled, vec![1]);
+        assert_eq!(ledger.rounds.len(), 1);
+        assert!(ledger.rounds[0].finished);
+        assert_eq!(ledger.interrupted(), None);
+        assert_eq!(ledger.queued(), vec![3]);
+    }
+
+    #[test]
+    fn interrupted_round_is_detected() {
+        let text = format!(
+            "{JOURNAL_HEADER}\n{}\n{}\n{}\n",
+            render_journal_entry(&JournalEntry::Submission {
+                id: 0,
+                sub: sub("alice", 10),
+            }),
+            render_journal_entry(&JournalEntry::Submission {
+                id: 1,
+                sub: sub("bob", 20),
+            }),
+            render_journal_entry(&JournalEntry::RoundStarted {
+                round: 0,
+                seed: 7,
+                members: vec![0, 1],
+            }),
+        );
+        let ledger = Ledger::replay(&text).unwrap();
+        let open = ledger.interrupted().expect("open round");
+        assert_eq!(open.seed, 7);
+        assert_eq!(open.members, vec![0, 1]);
+        assert!(ledger.queued().is_empty(), "open-round members are claimed");
+    }
+
+    #[test]
+    fn corrupt_journals_are_rejected() {
+        let hdr = JOURNAL_HEADER;
+        for bad in [
+            "# wrong header\n".to_string(),
+            format!("{hdr}\nsubmission id=1 tenant=a site=s n=1\n"), // non-dense
+            format!("{hdr}\ncancel id=0\n"),                         // unknown id
+            format!("{hdr}\nround id=0 seed=1 members=0\n"),         // unknown member
+            format!("{hdr}\nround-done id=0\n"),                     // never started
+            format!("{hdr}\nsubmission id=0 tenant=a site=s n=1\nround id=1 seed=1 members=0\n"), // out-of-sequence round
+        ] {
+            let err = Ledger::replay(&bad).unwrap_err();
+            assert!(
+                matches!(err, WmsError::ProtocolParse { .. }),
+                "{bad:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn status_lines_round_trip_and_tolerate_unknowns() {
+        let lines = vec![
+            StatusLine {
+                id: 0,
+                tenant: "alice".into(),
+                site: "sandhills".into(),
+                state: MemberState::Queued,
+                jobs: None,
+                wall_time: None,
+                queue_wait: None,
+                name: "blast2cap3 n=100".into(),
+            },
+            StatusLine {
+                id: 3,
+                tenant: "bob".into(),
+                site: "osg".into(),
+                state: MemberState::Succeeded,
+                jobs: Some(33),
+                wall_time: Some(1234.5),
+                queue_wait: Some(17.25),
+                name: "blast2cap3_n100".into(),
+            },
+        ];
+        for line in lines {
+            let text = render_status_line(&line);
+            assert_eq!(parse_status_line(&text).unwrap(), line, "{text}");
+        }
+        assert!(parse_status_line("member id=0 state=meh").is_err());
+    }
+
+    #[test]
+    fn round_seed_is_stable_and_spreads() {
+        assert_eq!(round_seed(42, 0), 42, "round 0 keeps the base seed");
+        assert_eq!(round_seed(42, 3), round_seed(42, 3));
+        assert_ne!(round_seed(42, 1), round_seed(42, 2));
+        assert_ne!(round_seed(7, 1), round_seed(42, 1));
+    }
+}

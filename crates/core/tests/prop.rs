@@ -6,12 +6,13 @@ use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
 use pegasus_wms::engine::scripted::ScriptedBackend;
 use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
-use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, WorkflowSpec};
+use pegasus_wms::ensemble::{Ensemble, EnsembleConfig, Submission};
 use pegasus_wms::events;
 use pegasus_wms::graph::Csr;
 use pegasus_wms::lint;
 use pegasus_wms::planner::{cluster_workflow, plan, JobKind, PlannerConfig};
 use pegasus_wms::rescue::RescueDag;
+use pegasus_wms::serve;
 use pegasus_wms::statistics::{compute, render_summary_csv};
 use pegasus_wms::symbols::{FileId, SymbolTable};
 use pegasus_wms::workflow::JobId;
@@ -409,9 +410,9 @@ proptest! {
         let single = Engine::run(&mut single_be, &exec, &cfg, &mut NoopMonitor);
 
         let mut ens_be = scripted();
-        let ens = run_ensemble(
+        let ens = Ensemble::run_to_completion(
             &mut ens_be,
-            &[WorkflowSpec::new(exec.clone(), cfg)],
+            vec![Submission::new(exec.clone(), cfg)],
             &EnsembleConfig::default(),
         )
         .unwrap();
@@ -733,5 +734,162 @@ proptest! {
         let parsed = events::log::parse(&text).unwrap();
         prop_assert_eq!(&parsed, &run.events);
         prop_assert_eq!(events::log::write(&parsed), text);
+    }
+}
+
+/// Strategy for a well-formed submit request: tokens for tenant/site,
+/// optional knobs encoded as (present, value) pairs, and either a
+/// generated size or a DAX path that may contain interior spaces
+/// (tail field).
+fn submit_request_strategy() -> impl Strategy<Value = serve::SubmitRequest> {
+    (
+        "[a-z][a-z0-9_-]{0,11}",
+        "[a-z][a-z0-9_-]{0,11}",
+        (any::<bool>(), any::<u64>()),
+        (any::<bool>(), 0u32..50),
+        -100i32..100,
+        (any::<bool>(), 1usize..100_000, "[a-zA-Z0-9_./ -]{1,40}"),
+    )
+        .prop_map(
+            |(tenant, site, (has_seed, seed), (has_retries, retries), priority, src)| {
+                let (generated, n, path) = src;
+                let source = if generated {
+                    serve::SubmitSource::Generated { n }
+                } else {
+                    // Tail fields survive interior spaces but the
+                    // cursor trims the line edges; keep the path
+                    // trimmed and non-empty so render∘parse is exact.
+                    let trimmed = path.trim();
+                    let path = if trimmed.is_empty() {
+                        "wf.dax"
+                    } else {
+                        trimmed
+                    };
+                    serve::SubmitSource::Dax { path: path.into() }
+                };
+                serve::SubmitRequest {
+                    tenant,
+                    site,
+                    seed: if has_seed { Some(seed) } else { None },
+                    retries: if has_retries { Some(retries) } else { None },
+                    priority,
+                    source,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `pegasus serve` protocol: parse ∘ render is the identity over
+    /// every well-formed request — the submission line format cannot
+    /// drop or mangle a field.
+    #[test]
+    fn serve_requests_round_trip(sub in submit_request_strategy(), id: usize) {
+        let reqs = vec![
+            serve::Request::Submit(sub),
+            serve::Request::Cancel { id },
+            serve::Request::Run,
+            serve::Request::Status,
+            serve::Request::Rollup,
+            serve::Request::Metrics,
+            serve::Request::Ping,
+            serve::Request::Shutdown,
+        ];
+        for req in reqs {
+            let text = serve::render_request(&req);
+            prop_assert_eq!(serve::parse_request(&text).unwrap(), req);
+        }
+    }
+
+    /// Journal entries round-trip, and a journal assembled from valid
+    /// entries replays into a ledger that accounts for every
+    /// submission exactly once.
+    #[test]
+    fn serve_journal_round_trips_and_replays(
+        subs in proptest::collection::vec(submit_request_strategy(), 1..8),
+        seed: u64,
+        cancel_mask: u64,
+    ) {
+        let mut text = String::new();
+        text.push_str(serve::JOURNAL_HEADER);
+        text.push('\n');
+        let mut cancelled = Vec::new();
+        for (id, sub) in subs.iter().enumerate() {
+            let entry = serve::JournalEntry::Submission { id, sub: sub.clone() };
+            let line = serve::render_journal_entry(&entry);
+            prop_assert_eq!(serve::parse_journal_entry(&line, 1).unwrap(), entry);
+            text.push_str(&line);
+            text.push('\n');
+            if (cancel_mask >> (id % 64)) & 1 == 1 {
+                cancelled.push(id);
+                text.push_str(&serve::render_journal_entry(&serve::JournalEntry::Cancel { id }));
+                text.push('\n');
+            }
+        }
+        let members: Vec<usize> =
+            (0..subs.len()).filter(|id| !cancelled.contains(id)).collect();
+        if !members.is_empty() {
+            let entry = serve::JournalEntry::RoundStarted {
+                round: 0,
+                seed,
+                members: members.clone(),
+            };
+            let line = serve::render_journal_entry(&entry);
+            prop_assert_eq!(serve::parse_journal_entry(&line, 1).unwrap(), entry);
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let ledger = serve::Ledger::replay(&text).unwrap();
+        prop_assert_eq!(ledger.submissions.len(), subs.len());
+        prop_assert_eq!(&ledger.cancelled, &cancelled);
+        if members.is_empty() {
+            prop_assert!(ledger.interrupted().is_none());
+            prop_assert!(ledger.queued().is_empty());
+        } else {
+            let open = ledger.interrupted().expect("round never finished");
+            prop_assert_eq!(open.seed, seed);
+            prop_assert_eq!(&open.members, &members);
+            prop_assert!(ledger.queued().is_empty(), "every live id is claimed");
+        }
+    }
+
+    /// Status lines round-trip, including the `-` placeholders and
+    /// names with spaces (tail field).
+    #[test]
+    fn serve_status_lines_round_trip(
+        id: usize,
+        tenant in "[a-z][a-z0-9_-]{0,11}",
+        site in "[a-z][a-z0-9_-]{0,11}",
+        state_pick in 0usize..4,
+        jobs in (any::<bool>(), any::<usize>()),
+        wall_raw in (any::<bool>(), 0u64..1_000_000_000),
+        wait_raw in (any::<bool>(), 0u64..1_000_000_000),
+        name in "[a-zA-Z0-9_. =-]{1,40}",
+    ) {
+        use pegasus_wms::ensemble::MemberState;
+        let state = [
+            MemberState::Queued,
+            MemberState::Cancelled,
+            MemberState::Succeeded,
+            MemberState::Failed,
+        ][state_pick];
+        let trimmed = name.trim();
+        let name = if trimmed.is_empty() { "wf" } else { trimmed };
+        // f64 Display round-trips exactly, so arbitrary finite values
+        // are safe; derive them from integers to dodge NaN/inf.
+        let line = serve::StatusLine {
+            id,
+            tenant,
+            site,
+            state,
+            jobs: jobs.0.then_some(jobs.1),
+            wall_time: wall_raw.0.then(|| wall_raw.1 as f64 / 64.0),
+            queue_wait: wait_raw.0.then(|| wait_raw.1 as f64 / 64.0),
+            name: name.into(),
+        };
+        let text = serve::render_status_line(&line);
+        prop_assert_eq!(serve::parse_status_line(&text).unwrap(), line);
     }
 }

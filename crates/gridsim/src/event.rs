@@ -245,12 +245,11 @@ mod tests {
         let mut q = EventQueue::new();
         let mut reference: Vec<(f64, u64)> = Vec::new();
         let mut seq = 0u64;
-        let sched =
-            |q: &mut EventQueue<u64>, t: f64, r: &mut Vec<(f64, u64)>, seq: &mut u64| {
-                q.schedule(t, *seq);
-                r.push((t, *seq));
-                *seq += 1;
-            };
+        let sched = |q: &mut EventQueue<u64>, t: f64, r: &mut Vec<(f64, u64)>, seq: &mut u64| {
+            q.schedule(t, *seq);
+            r.push((t, *seq));
+            *seq += 1;
+        };
         for i in 0..50 {
             sched(&mut q, i as f64 * 7.3, &mut reference, &mut seq);
         }

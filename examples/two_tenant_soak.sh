@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Two-tenant soak against the `pegasus serve` daemon (EXPERIMENTS.md E16).
+#
+# Starts a daemon with a fixed seed, has two tenants (alice on the campus
+# cluster, bob on OSG) submit interleaved batches of blast2cap3 workflows
+# over the line protocol, runs them round by round, and at the end proves
+# the three observability invariants:
+#
+#   1. live `status` over the socket == offline `status --dir` replay
+#   2. `/metrics` HTTP scrape        == `metrics` over the line protocol
+#   3. both                          == offline `metrics --from-events` fold
+#
+# Everything is derived from the per-member event logs under
+# <dir>/members/, so every diff below must be empty. Deterministic: the
+# daemon seed fixes each round's engine seed, so re-running this script
+# reproduces the same logs byte for byte.
+#
+# Usage: sh examples/two_tenant_soak.sh [state-dir]
+set -eu
+
+DIR=${1:-/tmp/pegasus-soak}
+SEED=20140519
+PEG="cargo run --release --quiet --bin pegasus --"
+
+rm -rf "$DIR"
+cargo build --release --quiet --bin pegasus
+
+$PEG serve --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 \
+    --dir "$DIR" --seed "$SEED" --retries 10 --slots 8 --tenant-slots 6 \
+    > "$DIR.log" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+i=0
+while ! grep -q '^listening ' "$DIR.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "daemon failed to start:"; cat "$DIR.log"; exit 1; }
+    sleep 0.2
+done
+ADDR=$(grep '^listening' "$DIR.log" | sed 's/.*addr=\([^ ]*\).*/\1/')
+MADDR=$(grep '^listening' "$DIR.log" | sed 's/.*metrics=\([^ ]*\).*/\1/')
+echo "daemon up: protocol=$ADDR metrics=$MADDR state=$DIR"
+
+# Batch 1: one small and one medium workflow per tenant, interleaved so
+# the admission layer sees both tenants contending in the same round.
+$PEG submit --addr "$ADDR" --tenant alice --site sandhills --n 10
+$PEG submit --addr "$ADDR" --tenant bob   --site osg       --n 10
+$PEG submit --addr "$ADDR" --tenant alice --site sandhills --n 100
+$PEG submit --addr "$ADDR" --tenant bob   --site osg       --n 100
+$PEG submit --addr "$ADDR" --run
+
+# Batch 2: a high-priority latecomer per tenant plus one cancellation.
+$PEG submit --addr "$ADDR" --tenant alice --site sandhills --n 300 --priority 5
+$PEG submit --addr "$ADDR" --tenant bob   --site osg       --n 300 --priority 5
+$PEG submit --addr "$ADDR" --tenant bob   --site osg       --n 10
+$PEG submit --addr "$ADDR" --cancel 6
+$PEG submit --addr "$ADDR" --run
+
+echo
+echo "== status (live) =="
+$PEG status --addr "$ADDR" | tee "$DIR.live.status"
+echo
+echo "== rollup =="
+$PEG status --addr "$ADDR" --rollup
+
+$PEG status --dir "$DIR" > "$DIR.offline.status"
+diff "$DIR.live.status" "$DIR.offline.status"
+echo "OK: live status == offline --dir replay"
+
+$PEG status  --addr "$ADDR" --metrics > "$DIR.proto.prom"
+$PEG metrics --scrape "$MADDR"        > "$DIR.scrape.prom"
+diff "$DIR.proto.prom" "$DIR.scrape.prom"
+EVENTS=$(ls "$DIR"/members/*.events | sort | paste -sd,)
+$PEG metrics --from-events "$EVENTS" > "$DIR.fold.prom"
+diff "$DIR.scrape.prom" "$DIR.fold.prom"
+echo "OK: protocol metrics == /metrics scrape == offline --from-events fold"
+
+$PEG submit --addr "$ADDR" --shutdown
+wait "$DAEMON"
+trap - EXIT
+echo "daemon shut down cleanly; state preserved under $DIR"

@@ -17,12 +17,20 @@
 //! * `pegasus breakdown` — the paper's Fig. 7–8 per-task phase
 //!   decomposition per site/per n, live or `--from-events`;
 //! * `pegasus metrics` — the metrics registry in Prometheus text
-//!   exposition format, live or `--from-events`;
+//!   exposition format: live sweep, `--from-events`, or `--scrape`
+//!   against a running daemon;
 //! * `pegasus lint` — compiler-style static analysis of a DAX (plus
 //!   optional fault plans, run configuration, and event logs) with
 //!   rustc-style diagnostics, `--deny`/`--allow` level control, and a
 //!   JSON output mode for CI. A warn-only pass of the same rules runs
-//!   automatically at the top of `run` and `ensemble`.
+//!   automatically at the top of `run` and `ensemble`;
+//! * `pegasus serve` — the multi-tenant ensemble daemon (pegasus-em
+//!   server): submissions over a socket, journaled rounds, crash
+//!   recovery, and an HTTP `/metrics` scrape endpoint;
+//! * `pegasus submit` / `pegasus status` — the daemon's client side.
+//!
+//! Every verb is declared in [`blast2cap3_pegasus::cli::args::VERBS`];
+//! parsing, `--help`, and the usage screen all derive from that table.
 //!
 //! Example session (mirrors §V of the paper):
 //!
@@ -33,7 +41,10 @@
 //! ```
 
 use blast2cap3::workflow::{build_workflow, WorkflowParams};
+use blast2cap3_pegasus::cli::args as cli_args;
+use blast2cap3_pegasus::cli::args::{Parsed, Verb};
 use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
+use blast2cap3_pegasus::serve;
 use gridsim::platforms::{osg, osg_prestaged, sandhills};
 use gridsim::{FaultPlan, FaultScript, SimBackend};
 use pegasus_wms::analyzer::analyze;
@@ -49,87 +60,43 @@ use pegasus_wms::rescue::RescueDag;
 use pegasus_wms::statistics::{
     compute, render_csv, render_ensemble_csv, render_ensemble_text, render_text,
 };
-use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  \
-         pegasus generate-dax --n <clusters> [--out <file>] [--calibrated]\n  \
-         pegasus generate-workload --shape <montage|cybershake|epigenomics|ligo> --size <n> [--out <file>]\n  \
-         pegasus catalogs [--out <file>]          (dump the built-in site/transformation/replica catalogs)\n  \
-         pegasus plan --dax <file> --site <name> [--cluster <k>] [--data-reuse] [--cleanup] [--dot <file>] [--ascii]\n  \
-         pegasus run --dax <file> --site <sandhills|osg|osg_prestaged> [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--fault-plan <file>] [--resume <rescue>] [--rescue-out <file>] [--timeline <csv>] [--events <file>] [--metrics <prom>] [--quiet]\n  \
-         pegasus statistics --dax <file> --site <name> [--seed <u64>] [--retries <n>] [--fault-plan <file>]\n  \
-         pegasus statistics --from-events <file>  (recompute statistics offline from an event log)\n  \
-         pegasus analyze --from-events <file>     (pegasus-analyzer report offline from an event log)\n  \
-         pegasus ensemble [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--slots <n>] [--out <csv>] [--metrics <prom>] [--quiet]\n  \
-         pegasus breakdown [--site <both|sandhills|osg|osg_prestaged>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--out <csv>] [--events-dir <dir>] [--quiet]\n  \
-         pegasus breakdown --from-events <file,file,...> [--out <csv>] [--quiet]\n  \
-         pegasus metrics [--site <name>] [--sizes <n,n,...>] [--seed <u64>] [--retries <n>] [--out <prom>]\n  \
-         pegasus metrics --from-events <file,file,...> [--out <prom>]\n  \
-         pegasus lint <dax> [--format <text|json>] [--deny <warnings|code|name,...>] [--allow <code|name,...>]\n  \
-              [--site <name>] [--catalog <file>] [--fault-plan <file,...>] [--events <file,...>]\n  \
-              [--retries <n>] [--backoff <secs>] [--timeout <secs>] [--slots <n>] [--fan-limit <n>]"
-    );
-    std::process::exit(2);
-}
-
-/// Minimal flag parser: `--key value` pairs plus boolean `--flag`s.
+/// A verb's parsed arguments plus exit-on-error getters: the library
+/// parser returns `Result`s, the binary turns them into exit code 2
+/// with a pointer at the verb's `--help`.
 struct Args {
-    values: HashMap<String, String>,
-    flags: Vec<String>,
+    verb: &'static Verb,
+    p: Parsed,
 }
 
 impl Args {
-    fn parse(raw: &[String], bool_flags: &[&str]) -> Args {
-        let mut values = HashMap::new();
-        let mut flags = Vec::new();
-        let mut i = 0;
-        while i < raw.len() {
-            let a = &raw[i];
-            if let Some(key) = a.strip_prefix("--") {
-                if bool_flags.contains(&key) {
-                    flags.push(key.to_string());
-                    i += 1;
-                } else if i + 1 < raw.len() {
-                    values.insert(key.to_string(), raw[i + 1].clone());
-                    i += 2;
-                } else {
-                    eprintln!("missing value for --{key}");
-                    usage();
-                }
-            } else {
-                eprintln!("unexpected argument {a:?}");
-                usage();
-            }
-        }
-        Args { values, flags }
+    fn bail(&self, msg: &str) -> ! {
+        eprintln!("pegasus {}: {msg}", self.verb.name);
+        eprintln!("(see `pegasus {} --help`)", self.verb.name);
+        std::process::exit(2);
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.values.get(key).map(String::as_str)
+        self.p.get(key)
     }
 
     fn require(&self, key: &str) -> &str {
-        self.get(key).unwrap_or_else(|| {
-            eprintln!("missing required --{key}");
-            usage()
-        })
+        self.p.require(key).unwrap_or_else(|e| self.bail(&e))
     }
 
     fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        match self.get(key) {
-            None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("bad value for --{key}: {v:?}");
-                usage()
-            }),
-        }
+        self.p
+            .parsed(key, default)
+            .unwrap_or_else(|e| self.bail(&e))
+    }
+
+    fn parsed_opt<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.p.parsed_opt(key).unwrap_or_else(|e| self.bail(&e))
     }
 
     fn flag(&self, key: &str) -> bool {
-        self.flags.iter().any(|f| f == key)
+        self.p.flag(key)
     }
 }
 
@@ -227,10 +194,7 @@ fn cmd_generate_workload(args: &Args) -> ExitCode {
         "cybershake" => synthetic::cybershake(size),
         "epigenomics" => synthetic::epigenomics(2, size.div_ceil(2).max(1)),
         "ligo" => synthetic::ligo_inspiral(size.div_ceil(5).max(1), 5),
-        other => {
-            eprintln!("unknown shape {other:?}");
-            usage();
-        }
+        other => args.bail(&format!("unknown shape {other:?}")),
     };
     let text = dax::to_dax(&wf);
     match args.get("out") {
@@ -247,8 +211,8 @@ fn cmd_plan(args: &Args) -> ExitCode {
     let wf = load_dax(args.require("dax"));
     let (sites, tc, rc) = load_catalogs(args);
     let mut cfg = PlannerConfig::for_site(args.require("site"));
-    if let Some(k) = args.get("cluster") {
-        cfg.cluster_factor = Some(k.parse().unwrap_or_else(|_| usage()));
+    if let Some(k) = args.parsed_opt::<usize>("cluster") {
+        cfg.cluster_factor = Some(k);
     }
     cfg.data_reuse = args.flag("data-reuse");
     cfg.add_cleanup = args.flag("cleanup");
@@ -403,17 +367,15 @@ fn sizes_from(args: &Args) -> Vec<usize> {
         Some(list) => list
             .split(',')
             .map(|tok| {
-                tok.trim().parse().unwrap_or_else(|_| {
-                    eprintln!("bad --sizes entry {tok:?}");
-                    usage()
-                })
+                tok.trim()
+                    .parse()
+                    .unwrap_or_else(|_| args.bail(&format!("bad --sizes entry {tok:?}")))
             })
             .collect(),
         None => vec![10, 100, 300, 500],
     };
     if sizes.is_empty() {
-        eprintln!("--sizes must name at least one decomposition");
-        usage();
+        args.bail("--sizes must name at least one decomposition");
     }
     sizes
 }
@@ -509,11 +471,25 @@ fn cmd_breakdown(args: &Args) -> ExitCode {
 }
 
 /// `pegasus metrics` — dump the metrics registry in the Prometheus
-/// text exposition format, populated either by a fresh deterministic
-/// sweep or offline from `--from-events` logs (byte-identical to the
-/// live run under the same seed).
+/// text exposition format, populated by a fresh deterministic sweep,
+/// offline from `--from-events` logs (byte-identical to the live run
+/// under the same seed), or scraped over HTTP from a running
+/// `pegasus serve` daemon with `--scrape`.
 fn cmd_metrics(args: &Args) -> ExitCode {
     use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
+
+    if let Some(addr) = args.get("scrape") {
+        return match serve::client::scrape(addr) {
+            Ok(body) => {
+                print!("{body}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("metrics: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let mut registry = MetricsRegistry::new();
     if let Some(list) = args.get("from-events") {
@@ -549,10 +525,6 @@ fn cmd_metrics(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `pegasus ensemble` — the paper's decomposition sweep as one
-/// ensemble: every `--sizes` entry becomes its own blast2cap3 workflow
-/// and all of them run concurrently over the shared simulated
-/// platform, under one seed and one slot budget.
 /// Gathers every lint diagnostic the given flags make checkable: the
 /// DAX passes always, the config pass when `--site`/`--slots` is
 /// given, the fault-plan pass per `--fault-plan`, and (only when
@@ -602,7 +574,7 @@ fn collect_lint(
                 sites: Some(&sites),
                 transformations: Some(&tc),
                 retry: Some(&policy),
-                slot_budget: args.get("slots").map(|_| args.parsed("slots", 1usize)),
+                slot_budget: args.parsed_opt::<usize>("slots"),
                 faults_active,
             };
             diags.extend(lint::check_config(wf, dax_path, &ctx));
@@ -663,59 +635,36 @@ fn collect_lint(
 }
 
 /// `pegasus lint`: the static analyzer. The one subcommand with a
-/// positional argument (`<dax>`), so it splits positionals off before
-/// the shared flag parser runs. Exits 1 when any diagnostic resolves
+/// positional argument (`<dax>`). Exits 1 when any diagnostic resolves
 /// to an error under `--deny`/`--allow`, 2 on bad invocation.
-fn cmd_lint(raw: &[String]) -> ExitCode {
+fn cmd_lint(args: &Args) -> ExitCode {
     use pegasus_wms::lint;
 
-    let mut positional = Vec::new();
-    let mut flagged = Vec::new();
-    let mut i = 0;
-    while i < raw.len() {
-        if raw[i].starts_with("--") {
-            flagged.push(raw[i].clone());
-            if i + 1 < raw.len() {
-                flagged.push(raw[i + 1].clone());
-            }
-            i += 2;
-        } else {
-            positional.push(raw[i].clone());
-            i += 1;
-        }
-    }
-    let args = Args::parse(&flagged, &[]);
-    let dax_path = match (positional.as_slice(), args.get("dax")) {
+    let dax_path = match (args.p.positionals.as_slice(), args.get("dax")) {
         ([p], None) => p.clone(),
         ([], Some(p)) => p.to_string(),
-        _ => {
-            eprintln!("lint needs exactly one <dax> (positional or --dax)");
-            usage();
-        }
+        _ => args.bail("lint needs exactly one <dax> (positional or --dax)"),
     };
 
     let mut config = lint::LintConfig::default();
     if let Some(spec) = args.get("deny") {
         if let Err(tok) = config.deny(spec) {
-            eprintln!("--deny: {tok:?} names no known lint (try a code like E0103, a rule name, or `warnings`)");
-            std::process::exit(2);
+            args.bail(&format!(
+                "--deny: {tok:?} names no known lint (try a code like E0103, a rule name, or `warnings`)"
+            ));
         }
     }
     if let Some(spec) = args.get("allow") {
         if let Err(tok) = config.allow(spec) {
-            eprintln!("--allow: {tok:?} names no known lint");
-            std::process::exit(2);
+            args.bail(&format!("--allow: {tok:?} names no known lint"));
         }
     }
 
-    let diags = lint::resolve(collect_lint(&args, &dax_path, true), &config);
+    let diags = lint::resolve(collect_lint(args, &dax_path, true), &config);
     match args.get("format").unwrap_or("text") {
         "text" => print!("{}", lint::render_text(&diags)),
         "json" => print!("{}", lint::render_json(&diags)),
-        other => {
-            eprintln!("unknown --format {other:?} (use text or json)");
-            usage();
-        }
+        other => args.bail(&format!("unknown --format {other:?} (use text or json)")),
     }
     if lint::has_errors(&diags) {
         ExitCode::FAILURE
@@ -738,6 +687,10 @@ fn preflight_lint(args: &Args, dax_path: &str) {
     }
 }
 
+/// `pegasus ensemble` — the paper's decomposition sweep as one
+/// ensemble: every `--sizes` entry becomes its own blast2cap3 workflow
+/// and all of them run concurrently over the shared simulated
+/// platform, under one seed and one slot budget.
 fn cmd_ensemble(args: &Args) -> ExitCode {
     use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble;
 
@@ -750,7 +703,7 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
         .policy(retry_policy_from(args, retries))
         .seed(seed)
         .build();
-    let slot_budget = args.get("slots").map(|_| args.parsed("slots", 1usize));
+    let slot_budget = args.parsed_opt::<usize>("slots");
 
     // Warn-only feasibility lint on the widest member before any
     // simulation runs: slot budgets below the width, missing software
@@ -983,20 +936,191 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
     }
 }
 
+/// `pegasus serve` — run the multi-tenant ensemble daemon until a
+/// `shutdown` request arrives over the protocol socket.
+fn cmd_serve(args: &Args) -> ExitCode {
+    let opts = serve::ServeOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
+        metrics_addr: args
+            .get("metrics-addr")
+            .unwrap_or("127.0.0.1:7071")
+            .to_string(),
+        dir: std::path::PathBuf::from(args.get("dir").unwrap_or("serve-state")),
+        seed: args.parsed("seed", 20140519u64),
+        retries: args.parsed("retries", 3u32),
+        slot_budget: args.parsed_opt("slots"),
+        tenant_slots: args.parsed_opt("tenant-slots"),
+        tenant_active: args.parsed_opt("tenant-active"),
+        crash_after_members: args.parsed_opt("crash-after-members"),
+    };
+    match serve::serve(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `pegasus submit` — the daemon's write-side client: submit a
+/// generated workload or a DAX, cancel a queued member, trigger a
+/// batch of rounds, or shut the daemon down. Requests are sent in
+/// cancel → submit → run → shutdown order; each response head is
+/// printed on its own line.
+fn cmd_submit(args: &Args) -> ExitCode {
+    use pegasus_wms::serve::{
+        render_response_head, Request, ResponseHead, SubmitRequest, SubmitSource,
+    };
+
+    let mut requests: Vec<Request> = Vec::new();
+    if let Some(id) = args.parsed_opt::<usize>("cancel") {
+        requests.push(Request::Cancel { id });
+    }
+    let source = match (args.parsed_opt::<usize>("n"), args.get("dax")) {
+        (Some(n), None) => Some(SubmitSource::Generated { n }),
+        (None, Some(path)) => Some(SubmitSource::Dax {
+            path: path.to_string(),
+        }),
+        (None, None) => None,
+        (Some(_), Some(_)) => args.bail("give either --n or --dax, not both"),
+    };
+    if let Some(source) = source {
+        requests.push(Request::Submit(SubmitRequest {
+            tenant: args
+                .get("tenant")
+                .unwrap_or(pegasus_wms::ensemble::DEFAULT_TENANT)
+                .to_string(),
+            site: args.require("site").to_string(),
+            seed: args.parsed_opt("seed"),
+            retries: args.parsed_opt("retries"),
+            priority: args.parsed("priority", 0),
+            source,
+        }));
+    }
+    if args.flag("run") {
+        requests.push(Request::Run);
+    }
+    if args.flag("shutdown") {
+        requests.push(Request::Shutdown);
+    }
+    if requests.is_empty() {
+        args.bail("nothing to do: give --n/--dax, --cancel, --run, or --shutdown");
+    }
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
+    let mut conn = match serve::client::Connection::open(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    for req in &requests {
+        match conn.request(req) {
+            Ok((head, payload)) => {
+                println!("{}", render_response_head(&head));
+                for line in payload {
+                    println!("{line}");
+                }
+                ok &= !matches!(head, ResponseHead::Error(_));
+            }
+            Err(e) => {
+                eprintln!("submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `pegasus status` — the member table, either live from a daemon
+/// (`--addr`) or replayed offline from its state directory (`--dir`);
+/// the two render byte-identical lines. `--rollup`/`--metrics` switch
+/// the live query to the ensemble rollup CSV or the Prometheus
+/// exposition.
+fn cmd_status(args: &Args) -> ExitCode {
+    use pegasus_wms::serve::{Request, ResponseHead};
+
+    if let Some(dir) = args.get("dir") {
+        return match serve::status_lines_offline(std::path::Path::new(dir)) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("status: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
+    let req = if args.flag("rollup") {
+        Request::Rollup
+    } else if args.flag("metrics") {
+        Request::Metrics
+    } else {
+        Request::Status
+    };
+    let mut conn = match serve::client::Connection::open(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("status: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match conn.request(&req) {
+        Ok((ResponseHead::Error(e), _)) => {
+            eprintln!("status: {e}");
+            ExitCode::FAILURE
+        }
+        Ok((_, payload)) => {
+            for line in payload {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("status: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().map(String::as_str) else {
-        usage();
+        eprint!("{}", cli_args::usage());
+        return ExitCode::from(2);
     };
-    let rest = &raw[1..];
-    if cmd == "lint" {
-        // lint takes a positional <dax>, which the shared parser
-        // rejects; it does its own argument handling.
-        return cmd_lint(rest);
+    if matches!(cmd, "help" | "--help" | "-h") {
+        print!("{}", cli_args::usage());
+        return ExitCode::SUCCESS;
     }
-    let bool_flags = ["calibrated", "data-reuse", "cleanup", "quiet", "ascii"];
-    let args = Args::parse(rest, &bool_flags);
-    match cmd {
+    let Some(verb) = cli_args::find(cmd) else {
+        eprintln!("unknown subcommand {cmd:?}\n");
+        eprint!("{}", cli_args::usage());
+        return ExitCode::from(2);
+    };
+    let parsed = match verb.parse(&raw[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pegasus {}: {e}", verb.name);
+            return ExitCode::from(2);
+        }
+    };
+    if parsed.help {
+        print!("{}", verb.help());
+        return ExitCode::SUCCESS;
+    }
+    let args = Args { verb, p: parsed };
+    match verb.name {
         "generate-dax" => cmd_generate_dax(&args),
         "generate-workload" => cmd_generate_workload(&args),
         "catalogs" => cmd_catalogs(&args),
@@ -1007,10 +1131,13 @@ fn main() -> ExitCode {
         "ensemble" => cmd_ensemble(&args),
         "breakdown" => cmd_breakdown(&args),
         "metrics" => cmd_metrics(&args),
-        "help" | "--help" | "-h" => usage(),
+        "lint" => cmd_lint(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "status" => cmd_status(&args),
         other => {
-            eprintln!("unknown subcommand {other:?}");
-            usage();
+            eprintln!("unhandled verb {other:?}");
+            ExitCode::from(2)
         }
     }
 }

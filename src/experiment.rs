@@ -27,7 +27,7 @@ use gridsim::platforms::{osg, osg_prestaged, sandhills, SERIAL_REFERENCE_SECONDS
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, WorkflowRun};
-use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, EnsembleRun, WorkflowSpec};
+use pegasus_wms::ensemble::{Ensemble, EnsembleConfig, EnsembleRun, Submission};
 use pegasus_wms::planner::{plan, ExecutableWorkflow, PlannerConfig};
 use pegasus_wms::statistics::{compute, compute_ensemble, EnsembleStatistics, WorkflowStatistics};
 use rand::rngs::StdRng;
@@ -253,16 +253,16 @@ pub fn simulate_blast2cap3_ensemble(
     engine_cfg: &EngineConfig,
     slot_budget: Option<usize>,
 ) -> EnsembleOutcome {
-    let specs: Vec<WorkflowSpec> = sizes
+    let submissions: Vec<Submission> = sizes
         .iter()
-        .map(|&n| WorkflowSpec::new(plan_blast2cap3(site, n, seed), engine_cfg.clone()))
+        .map(|&n| Submission::new(plan_blast2cap3(site, n, seed), engine_cfg.clone()))
         .collect();
     let mut backend = sim_backend_for(site, seed);
     let ens_cfg = match slot_budget {
         Some(b) => EnsembleConfig::with_slot_budget(b),
         None => EnsembleConfig::default(),
     };
-    let run = run_ensemble(&mut backend, &specs, &ens_cfg)
+    let run = Ensemble::run_to_completion(&mut backend, submissions, &ens_cfg)
         .expect("planner output always has dense job ids");
     let stats = compute_ensemble(&run);
     EnsembleOutcome { run, stats }

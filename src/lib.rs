@@ -13,14 +13,21 @@
 //!   runs at laptop scale;
 //! * [`chaos`] — the adapter that replays gridsim fault scripts on the
 //!   real condor worker pool, so one seeded chaos plan produces the
-//!   same fault decisions on both backends.
+//!   same fault decisions on both backends;
+//! * [`serve`] — the `pegasus serve` daemon runtime: a multi-tenant
+//!   submission socket, journal + event-log persistence, crash
+//!   recovery, and the Prometheus scrape endpoint;
+//! * [`cli`] — the shared flag-table argument parser behind every
+//!   `pegasus` verb.
 //!
 //! See README.md for the quickstart and EXPERIMENTS.md for the
 //! paper-vs-measured record.
 
 pub mod chaos;
+pub mod cli;
 pub mod experiment;
 pub mod registry;
+pub mod serve;
 
 pub use chaos::fault_injector_for;
 pub use experiment::{

@@ -1,0 +1,888 @@
+//! The `pegasus serve` daemon: a long-running multi-tenant ensemble
+//! scheduler over the simulated platforms.
+//!
+//! The transport-agnostic half — protocol grammar, journal format,
+//! status rendering — lives in [`pegasus_wms::serve`]; this module
+//! supplies the runtime: TCP listeners, per-connection handler
+//! threads, the single scheduler thread that owns all state, the
+//! journal + per-member event logs on disk, and crash recovery.
+//!
+//! Design:
+//!
+//! * **One scheduler thread owns everything.** Connection handlers
+//!   parse requests and forward them over an mpsc channel; the
+//!   scheduler processes them strictly in arrival order. No state is
+//!   shared, no locks exist, and scheduling decisions are independent
+//!   of socket interleaving.
+//! * **`run` is a deterministic round barrier.** A round's batch is
+//!   the set of queued submissions at the moment the `run` request is
+//!   processed, grouped per site and run in submission-id order, with
+//!   a seed derived from the daemon base seed and the round counter
+//!   ([`pegasus_wms::serve::round_seed`]). Batch composition is
+//!   journaled *before* execution.
+//! * **Everything observable is event-derived.** Member event logs
+//!   are appended incrementally as the ensemble runs; status, rollup,
+//!   and the Prometheus scrape are folds over those streams, so a
+//!   live daemon and an offline replay of its directory render
+//!   byte-identical views.
+//! * **Recovery re-executes the interrupted round.** The journal's
+//!   open `round` entry names the batch and seed; partial member logs
+//!   are reported (how far each in-flight member got), deleted, and
+//!   the whole round re-runs deterministically — producing logs,
+//!   rollup, and metrics byte-identical to the run the crash
+//!   destroyed.
+
+use crate::experiment::{plan_blast2cap3, sim_backend_for};
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::dax;
+use pegasus_wms::engine::{EngineConfig, WorkflowRun};
+use pegasus_wms::ensemble::{Ensemble, EnsembleConfig, EnsembleMonitor, MemberState, Submission};
+use pegasus_wms::events::{self, WorkflowEvent};
+use pegasus_wms::lint;
+use pegasus_wms::metrics::{self, MetricsRegistry};
+use pegasus_wms::planner::{plan, ExecutableWorkflow, PlannerConfig};
+use pegasus_wms::serve as proto;
+use pegasus_wms::serve::{
+    JournalEntry, Ledger, Request, ResponseHead, SubmitRequest, SubmitSource,
+};
+use pegasus_wms::statistics::{compute_ensemble, render_ensemble_csv};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+
+/// Configuration for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Protocol listen address, e.g. `127.0.0.1:7070` (port 0 picks a
+    /// free port; the daemon prints the resolved address).
+    pub addr: String,
+    /// HTTP `/metrics` scrape listen address.
+    pub metrics_addr: String,
+    /// State directory: journal plus `members/m<id>.events` logs.
+    pub dir: PathBuf,
+    /// Base seed; round seeds derive from it.
+    pub seed: u64,
+    /// Default retry budget for submissions that don't name one.
+    pub retries: u32,
+    /// Global slot budget per round (`None`: backend capacity).
+    pub slot_budget: Option<usize>,
+    /// Per-tenant in-flight job quota.
+    pub tenant_slots: Option<usize>,
+    /// Per-tenant queued-submission quota.
+    pub tenant_active: Option<usize>,
+    /// Test hook: abort the process (as if killed) after this many
+    /// member completions, mid-round, exercising crash recovery.
+    pub crash_after_members: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: "127.0.0.1:0".into(),
+            dir: PathBuf::from("serve-state"),
+            seed: 20140519,
+            retries: 3,
+            slot_budget: None,
+            tenant_slots: None,
+            tenant_active: None,
+            crash_after_members: None,
+        }
+    }
+}
+
+/// One accepted submission inside the daemon.
+struct DaemonMember {
+    sub: SubmitRequest,
+    cancelled: bool,
+    run: Option<WorkflowRun>,
+}
+
+impl DaemonMember {
+    fn queued(&self) -> bool {
+        !self.cancelled && self.run.is_none()
+    }
+
+    fn state(&self) -> MemberState {
+        if self.cancelled {
+            MemberState::Cancelled
+        } else {
+            match &self.run {
+                Some(run) if run.succeeded() => MemberState::Succeeded,
+                Some(_) => MemberState::Failed,
+                None => MemberState::Queued,
+            }
+        }
+    }
+}
+
+/// The display name of a member before it has run. After a round the
+/// planned workflow's own name takes over; both derivations are pure
+/// functions of journaled facts, so restarts render the same text.
+fn default_name(sub: &SubmitRequest) -> String {
+    match &sub.source {
+        SubmitSource::Generated { n } => format!("blast2cap3_n{n}"),
+        SubmitSource::Dax { path } => path.clone(),
+    }
+}
+
+fn member_status_line(id: usize, m: &DaemonMember) -> String {
+    let line = match &m.run {
+        Some(run) => proto::status_from_run(id, &m.sub.tenant, &m.sub.site, m.state(), run),
+        None => proto::StatusLine {
+            id,
+            tenant: m.sub.tenant.clone(),
+            site: m.sub.site.clone(),
+            state: m.state(),
+            jobs: None,
+            wall_time: None,
+            queue_wait: None,
+            name: default_name(&m.sub),
+        },
+    };
+    proto::render_status_line(&line)
+}
+
+/// Messages into the scheduler thread.
+enum SchedMsg {
+    /// A protocol request; the reply is the full response text
+    /// (head line plus any payload lines, newline-terminated). For
+    /// `shutdown` the handler also sends a `written` channel: the
+    /// scheduler waits on it so the process does not exit before the
+    /// final `ok` reaches the socket.
+    Proto(Request, mpsc::Sender<String>, Option<mpsc::Receiver<()>>),
+    /// An HTTP scrape; the reply is the raw exposition body.
+    Scrape(mpsc::Sender<String>),
+}
+
+/// Incremental event-log writer for one round: one file per member,
+/// header first, then chunks exactly as the ensemble emits them, so
+/// a crash at any instant leaves well-formed replayable prefixes.
+struct LogMonitor {
+    files: Vec<File>,
+    written: Vec<usize>,
+    completed: usize,
+    crash_after: Option<usize>,
+}
+
+impl LogMonitor {
+    fn new(dir: &Path, ids: &[usize], crash_after: Option<usize>) -> std::io::Result<Self> {
+        let mut files = Vec::with_capacity(ids.len());
+        for id in ids {
+            let mut f = File::create(member_log_path(dir, *id))?;
+            f.write_all(format!("{}\n", events::log::HEADER).as_bytes())?;
+            files.push(f);
+        }
+        Ok(LogMonitor {
+            files,
+            written: vec![0; ids.len()],
+            completed: 0,
+            crash_after,
+        })
+    }
+
+    fn append(&mut self, index: usize, chunk: &[WorkflowEvent]) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.files[index]
+            .write_all(events::log::append(chunk).as_bytes())
+            .expect("append member event log");
+        self.written[index] += chunk.len();
+    }
+}
+
+impl EnsembleMonitor for LogMonitor {
+    fn member_events(&mut self, index: usize, events: &[WorkflowEvent]) {
+        self.append(index, events);
+    }
+
+    fn workflow_finished(&mut self, index: usize, run: &WorkflowRun, _now: f64) {
+        // The finish trailer is only on the completed run.
+        let tail: Vec<WorkflowEvent> = run.events[self.written[index]..].to_vec();
+        self.append(index, &tail);
+        self.completed += 1;
+        if let Some(k) = self.crash_after {
+            if self.completed >= k {
+                // Simulate a submit-host kill: no unwinding, no
+                // cleanup, journal round left open.
+                std::process::abort();
+            }
+        }
+    }
+}
+
+fn member_log_path(dir: &Path, id: usize) -> PathBuf {
+    dir.join("members").join(format!("m{id}.events"))
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("journal")
+}
+
+/// Loads and replays one member's event log into a [`WorkflowRun`].
+fn load_member_run(dir: &Path, id: usize) -> Result<WorkflowRun, String> {
+    let path = member_log_path(dir, id);
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let stream =
+        events::log::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    events::replay(&stream).map_err(|e| format!("cannot replay {}: {e}", path.display()))
+}
+
+/// Plans one submission into an executable workflow plus its engine
+/// config. `engine_seed` is the resolved seed (the submission's own,
+/// or the round seed) — also used for workload calibration, so
+/// recovery re-plans identically.
+fn plan_member(
+    sub: &SubmitRequest,
+    engine_seed: u64,
+    default_retries: u32,
+) -> Result<(ExecutableWorkflow, EngineConfig), String> {
+    let exec = match &sub.source {
+        SubmitSource::Generated { n } => plan_blast2cap3(&sub.site, *n, engine_seed),
+        SubmitSource::Dax { path } => {
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let wf = dax::from_dax(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let (sites, tc) = paper_catalogs();
+            let mut rc = ReplicaCatalog::new();
+            rc.register("transcripts.fasta", "submit");
+            rc.register("alignments.out", "submit");
+            let catalog_site = if sub.site == "osg_prestaged" {
+                "osg"
+            } else {
+                &sub.site
+            };
+            plan(
+                &wf,
+                &sites,
+                &tc,
+                &rc,
+                &PlannerConfig::for_site(catalog_site),
+            )
+            .map_err(|e| format!("cannot plan {path}: {e}"))?
+        }
+    };
+    let cfg = EngineConfig::builder()
+        .retries(sub.retries.unwrap_or(default_retries))
+        .seed(engine_seed)
+        .build();
+    Ok((exec, cfg))
+}
+
+/// Admission-time preflight on a submitted DAX: parse and run the
+/// structural lint pass, rejecting error-severity findings before the
+/// submission is journaled. Generated workloads skip this — planner
+/// output is validated by construction.
+fn preflight_dax(path: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let wf = match dax::from_dax_unvalidated(&text) {
+        Ok(wf) => wf,
+        Err(e) => {
+            let d = lint::classify_parse_error(&e, path);
+            return Err(format!("lint {}: {}", d.code, d.message));
+        }
+    };
+    let (_sites, tc) = paper_catalogs();
+    let opts = lint::DaxLintOptions {
+        source: Some(&text),
+        ..lint::DaxLintOptions::default()
+    };
+    let diags = lint::check_workflow(&wf, path, Some(&tc), &opts);
+    if let Some(d) = diags.iter().find(|d| d.severity == lint::Severity::Error) {
+        return Err(format!("lint {}: {}", d.code, d.message));
+    }
+    Ok(())
+}
+
+/// The daemon state, owned by the scheduler thread.
+struct Daemon {
+    opts: ServeOptions,
+    members: Vec<DaemonMember>,
+    rounds_done: usize,
+    journal: File,
+}
+
+impl Daemon {
+    fn journal_entry(&mut self, entry: &JournalEntry) -> Result<(), String> {
+        let line = proto::render_journal_entry(entry);
+        self.journal
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.journal.flush())
+            .map_err(|e| format!("cannot append journal: {e}"))
+    }
+
+    fn tenant_queued(&self, tenant: &str) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.queued() && m.sub.tenant == tenant)
+            .count()
+    }
+
+    fn handle_submit(&mut self, sub: SubmitRequest) -> Result<ResponseHead, String> {
+        if let Some(limit) = self.opts.tenant_active {
+            if self.tenant_queued(&sub.tenant) >= limit {
+                return Err(pegasus_wms::error::WmsError::QuotaExceeded {
+                    tenant: sub.tenant,
+                    limit,
+                }
+                .to_string());
+            }
+        }
+        if let SubmitSource::Dax { path } = &sub.source {
+            preflight_dax(path)?;
+        }
+        let id = self.members.len();
+        self.journal_entry(&JournalEntry::Submission {
+            id,
+            sub: sub.clone(),
+        })?;
+        self.members.push(DaemonMember {
+            sub,
+            cancelled: false,
+            run: None,
+        });
+        Ok(ResponseHead::Ok(vec![("id".into(), id.to_string())]))
+    }
+
+    fn handle_cancel(&mut self, id: usize) -> Result<ResponseHead, String> {
+        match self.members.get_mut(id) {
+            Some(m) if m.queued() => {
+                m.cancelled = true;
+                self.journal_entry(&JournalEntry::Cancel { id })?;
+                Ok(ResponseHead::Ok(vec![("id".into(), id.to_string())]))
+            }
+            Some(_) => Err(format!("submission {id} is not queued")),
+            None => Err(format!("unknown submission {id}")),
+        }
+    }
+
+    /// Executes one journaled round: plan every member, run them as
+    /// one ensemble on a fresh backend seeded by the round seed, and
+    /// store the per-member runs.
+    fn run_round(&mut self, site: &str, round_seed: u64, ids: &[usize]) -> Result<(), String> {
+        let mut submissions = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let sub = &self.members[id].sub;
+            let engine_seed = sub.seed.unwrap_or(round_seed);
+            let (exec, cfg) = plan_member(sub, engine_seed, self.opts.retries)?;
+            submissions.push(
+                Submission::new(exec, cfg)
+                    .with_priority(sub.priority)
+                    .with_tenant(sub.tenant.clone()),
+            );
+        }
+        let mut backend = sim_backend_for(site, round_seed);
+        let config = EnsembleConfig {
+            slot_budget: self.opts.slot_budget,
+            tenant_slots: self.opts.tenant_slots,
+            // Queue-depth quota is enforced at submit time.
+            tenant_active: None,
+        };
+        let mut monitor = LogMonitor::new(&self.opts.dir, ids, self.opts.crash_after_members)
+            .map_err(|e| format!("cannot open member logs: {e}"))?;
+        let ens =
+            Ensemble::run_to_completion_monitored(&mut backend, submissions, &config, &mut monitor)
+                .map_err(|e| format!("round failed: {e}"))?;
+        for (&id, run) in ids.iter().zip(ens.runs) {
+            self.members[id].run = Some(run);
+        }
+        Ok(())
+    }
+
+    /// `run`: journal and execute one round per site over everything
+    /// queued, sites in lexicographic order, members in id order.
+    fn handle_run(&mut self) -> Result<ResponseHead, String> {
+        let mut by_site: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, m) in self.members.iter().enumerate() {
+            if m.queued() {
+                by_site.entry(m.sub.site.clone()).or_default().push(id);
+            }
+        }
+        let mut rounds = 0usize;
+        let mut count = 0usize;
+        for (site, ids) in by_site {
+            let round = self.rounds_done;
+            let seed = proto::round_seed(self.opts.seed, round);
+            // Plan before journaling so a bad member (e.g. a DAX file
+            // deleted since submit) rejects the whole run cleanly
+            // instead of leaving an open round.
+            for &id in &ids {
+                let sub = &self.members[id].sub;
+                plan_member(sub, sub.seed.unwrap_or(seed), self.opts.retries)?;
+            }
+            self.journal_entry(&JournalEntry::RoundStarted {
+                round,
+                seed,
+                members: ids.clone(),
+            })?;
+            self.run_round(&site, seed, &ids)?;
+            self.journal_entry(&JournalEntry::RoundFinished { round })?;
+            self.rounds_done += 1;
+            rounds += 1;
+            count += ids.len();
+        }
+        Ok(ResponseHead::Ok(vec![
+            ("rounds".into(), rounds.to_string()),
+            ("members".into(), count.to_string()),
+        ]))
+    }
+
+    fn status_lines(&self) -> Vec<String> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(id, m)| member_status_line(id, m))
+            .collect()
+    }
+
+    fn completed_runs(&self) -> Vec<&WorkflowRun> {
+        self.members.iter().filter_map(|m| m.run.as_ref()).collect()
+    }
+
+    fn rollup_csv(&self) -> Result<String, String> {
+        let runs: Vec<WorkflowRun> = self.completed_runs().into_iter().cloned().collect();
+        if runs.is_empty() {
+            return Err("no completed members".into());
+        }
+        let makespan = runs.iter().map(|r| r.wall_time).fold(0.0, f64::max);
+        let ens = pegasus_wms::ensemble::EnsembleRun { runs, makespan };
+        Ok(render_ensemble_csv(&compute_ensemble(&ens)))
+    }
+
+    /// The Prometheus exposition over every completed member, folded
+    /// into a *fresh* registry in member-id order — exactly the fold
+    /// `pegasus metrics --from-events m0.events,m1.events,…` performs
+    /// offline, so the scrape matches it byte-for-byte.
+    fn exposition(&self) -> Result<String, String> {
+        let mut registry = MetricsRegistry::new();
+        for run in self.completed_runs() {
+            metrics::record_events(&mut registry, &run.events)
+                .map_err(|e| format!("cannot record metrics: {e}"))?;
+        }
+        Ok(registry.render())
+    }
+
+    fn respond(&mut self, req: Request) -> String {
+        let result: Result<String, String> = match req {
+            Request::Submit(sub) => self
+                .handle_submit(sub)
+                .map(|h| format!("{}\n", proto::render_response_head(&h))),
+            Request::Cancel { id } => self
+                .handle_cancel(id)
+                .map(|h| format!("{}\n", proto::render_response_head(&h))),
+            Request::Run => self
+                .handle_run()
+                .map(|h| format!("{}\n", proto::render_response_head(&h))),
+            Request::Status => Ok(lines_response(&self.status_lines().join("\n"))),
+            Request::Rollup => self.rollup_csv().map(|csv| lines_response(&csv)),
+            Request::Metrics => self.exposition().map(|text| lines_response(&text)),
+            Request::Ping | Request::Shutdown => Ok(format!(
+                "{}\n",
+                proto::render_response_head(&ResponseHead::Ok(vec![]))
+            )),
+        };
+        result.unwrap_or_else(|msg| {
+            format!(
+                "{}\n",
+                proto::render_response_head(&ResponseHead::Error(msg))
+            )
+        })
+    }
+}
+
+/// Frames payload text as an `ok lines=<n>` response.
+fn lines_response(payload: &str) -> String {
+    let lines: Vec<&str> = if payload.is_empty() {
+        Vec::new()
+    } else {
+        payload.lines().collect()
+    };
+    let mut out = format!(
+        "{}\n",
+        proto::render_response_head(&ResponseHead::Lines(lines.len()))
+    );
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Rebuilds daemon state from the journal and member logs, re-running
+/// the interrupted round if the previous process died mid-ensemble.
+fn recover(opts: &ServeOptions) -> Result<Daemon, String> {
+    let jpath = journal_path(&opts.dir);
+    let ledger = if jpath.exists() {
+        let text = fs::read_to_string(&jpath)
+            .map_err(|e| format!("cannot read {}: {e}", jpath.display()))?;
+        Ledger::replay(&text).map_err(|e| format!("corrupt journal: {e}"))?
+    } else {
+        let mut f =
+            File::create(&jpath).map_err(|e| format!("cannot create {}: {e}", jpath.display()))?;
+        f.write_all(format!("{}\n", proto::JOURNAL_HEADER).as_bytes())
+            .map_err(|e| format!("cannot write journal header: {e}"))?;
+        Ledger::default()
+    };
+
+    let mut members: Vec<DaemonMember> = ledger
+        .submissions
+        .iter()
+        .enumerate()
+        .map(|(id, sub)| DaemonMember {
+            sub: sub.clone(),
+            cancelled: ledger.cancelled.contains(&id),
+            run: None,
+        })
+        .collect();
+
+    // Completed rounds: restore member runs by replaying their logs.
+    for round in ledger.rounds.iter().filter(|r| r.finished) {
+        for &id in &round.members {
+            members[id].run = Some(load_member_run(&opts.dir, id)?);
+        }
+    }
+
+    let journal = OpenOptions::new()
+        .append(true)
+        .open(&jpath)
+        .map_err(|e| format!("cannot open {} for append: {e}", jpath.display()))?;
+    let mut daemon = Daemon {
+        opts: opts.clone(),
+        members,
+        rounds_done: ledger.rounds.len(),
+        journal,
+    };
+
+    if let Some(open) = ledger.interrupted().cloned() {
+        // Report how far each in-flight member got, then re-execute
+        // the whole round with its journaled seed: deterministic
+        // engines make the re-run byte-identical to the one the
+        // crash destroyed.
+        for &id in &open.members {
+            let path = member_log_path(&opts.dir, id);
+            match fs::read_to_string(&path) {
+                Ok(text) => {
+                    let n = events::log::parse(&text).map(|ev| ev.len()).unwrap_or(0);
+                    println!("recovering member id={id} events={n}");
+                }
+                Err(_) => println!("recovering member id={id} events=0"),
+            }
+            let _ = fs::remove_file(&path);
+        }
+        let site = daemon.members[open.members[0]].sub.site.clone();
+        println!(
+            "re-executing interrupted round id={} seed={} members={}",
+            open.round,
+            open.seed,
+            open.members.len()
+        );
+        daemon.run_round(&site, open.seed, &open.members)?;
+        daemon.journal_entry(&JournalEntry::RoundFinished { round: open.round })?;
+    }
+    Ok(daemon)
+}
+
+/// Handles one protocol connection: greeting, then request/response
+/// lines until the peer hangs up or asks for shutdown.
+fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    if writer
+        .write_all(format!("{}\n", proto::GREETING).as_bytes())
+        .is_err()
+    {
+        return;
+    }
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match proto::parse_request(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                let head = ResponseHead::Error(e.to_string());
+                if writer
+                    .write_all(format!("{}\n", proto::render_response_head(&head)).as_bytes())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let (written_tx, written_rx) = mpsc::channel();
+        let written = is_shutdown.then_some(written_rx);
+        if tx.send(SchedMsg::Proto(req, reply_tx, written)).is_err() {
+            break;
+        }
+        let Ok(response) = reply_rx.recv() else { break };
+        let wrote = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.flush());
+        if is_shutdown {
+            let _ = written_tx.send(());
+            break;
+        }
+        if wrote.is_err() {
+            break;
+        }
+    }
+}
+
+/// Handles one HTTP scrape connection: `GET /metrics` returns the
+/// exposition, anything else 404.
+fn handle_scrape(mut stream: TcpStream, tx: mpsc::Sender<SchedMsg>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers; scrape requests carry no body.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if request_line.starts_with("GET ") && path == "/metrics" {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx.send(SchedMsg::Scrape(reply_tx)).is_err() {
+            return;
+        }
+        match reply_rx.recv() {
+            Ok(body) => ("200 OK", body),
+            Err(_) => return,
+        }
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let _ = stream.write_all(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; \
+             charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+}
+
+/// Runs the daemon until a `shutdown` request: recovery, listeners,
+/// scheduler loop. Prints `listening addr=<proto> metrics=<http>`
+/// once ready (with resolved ports when 0 was requested).
+///
+/// # Errors
+/// Startup failures: unusable state directory, corrupt journal,
+/// unbindable listen address, or a failed recovery round.
+pub fn serve(opts: &ServeOptions) -> Result<(), String> {
+    fs::create_dir_all(opts.dir.join("members"))
+        .map_err(|e| format!("cannot create {}: {e}", opts.dir.display()))?;
+    let mut daemon = recover(opts)?;
+
+    let listener =
+        TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    let scrape_listener = TcpListener::bind(&opts.metrics_addr)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.metrics_addr))?;
+    let proto_addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    let scrape_addr = scrape_listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve scrape address: {e}"))?;
+
+    let (tx, rx) = mpsc::channel::<SchedMsg>();
+    let proto_tx = tx.clone();
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let tx = proto_tx.clone();
+            thread::spawn(move || handle_connection(stream, tx));
+        }
+    });
+    let scrape_tx = tx;
+    thread::spawn(move || {
+        for stream in scrape_listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let tx = scrape_tx.clone();
+            thread::spawn(move || handle_scrape(stream, tx));
+        }
+    });
+
+    println!("listening addr={proto_addr} metrics={scrape_addr}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot flush stdout: {e}"))?;
+
+    for msg in rx {
+        match msg {
+            SchedMsg::Proto(req, reply, written) => {
+                let shutdown = matches!(req, Request::Shutdown);
+                let response = daemon.respond(req);
+                let _ = reply.send(response);
+                if shutdown {
+                    // Wait (bounded) for the handler to flush the
+                    // final `ok` before letting the process exit.
+                    if let Some(written) = written {
+                        let _ = written.recv_timeout(std::time::Duration::from_secs(5));
+                    }
+                    break;
+                }
+            }
+            SchedMsg::Scrape(reply) => {
+                let body = daemon
+                    .exposition()
+                    .unwrap_or_else(|e| format!("# scrape failed: {e}\n"));
+                let _ = reply.send(body);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the same status lines a live daemon would, from its state
+/// directory alone — journal plus member event logs, no daemon
+/// process required. This is the replayed view `pegasus status
+/// --dir` serves; byte-identity with the live view is pinned by the
+/// serve integration tests.
+///
+/// # Errors
+/// Unreadable/corrupt journal or member logs.
+pub fn status_lines_offline(dir: &Path) -> Result<Vec<String>, String> {
+    let jpath = journal_path(dir);
+    let text =
+        fs::read_to_string(&jpath).map_err(|e| format!("cannot read {}: {e}", jpath.display()))?;
+    let ledger = Ledger::replay(&text).map_err(|e| format!("corrupt journal: {e}"))?;
+    let mut members: Vec<DaemonMember> = ledger
+        .submissions
+        .iter()
+        .enumerate()
+        .map(|(id, sub)| DaemonMember {
+            sub: sub.clone(),
+            cancelled: ledger.cancelled.contains(&id),
+            run: None,
+        })
+        .collect();
+    for round in ledger.rounds.iter().filter(|r| r.finished) {
+        for &id in &round.members {
+            members[id].run = Some(load_member_run(dir, id)?);
+        }
+    }
+    Ok(members
+        .iter()
+        .enumerate()
+        .map(|(id, m)| member_status_line(id, m))
+        .collect())
+}
+
+/// A minimal blocking protocol client, shared by the `pegasus
+/// submit`/`status` CLI verbs and the integration tests.
+pub mod client {
+    use super::*;
+
+    /// One open protocol connection.
+    pub struct Connection {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Connection {
+        /// Connects and consumes the server greeting.
+        ///
+        /// # Errors
+        /// Connection failure, or a peer that is not a pegasus serve
+        /// daemon (wrong greeting).
+        pub fn open(addr: &str) -> Result<Self, String> {
+            let stream =
+                TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+            let writer = stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?;
+            let mut reader = BufReader::new(stream);
+            let mut greeting = String::new();
+            reader
+                .read_line(&mut greeting)
+                .map_err(|e| format!("cannot read greeting: {e}"))?;
+            if greeting.trim_end() != proto::GREETING {
+                return Err(format!("unexpected greeting {greeting:?}"));
+            }
+            Ok(Connection { reader, writer })
+        }
+
+        /// Sends one request and reads the full response (head plus
+        /// any counted payload lines).
+        ///
+        /// # Errors
+        /// Transport failures or a malformed response head.
+        pub fn request(&mut self, req: &Request) -> Result<(ResponseHead, Vec<String>), String> {
+            let line = proto::render_request(req);
+            self.writer
+                .write_all(format!("{line}\n").as_bytes())
+                .map_err(|e| format!("cannot send request: {e}"))?;
+            let mut head_line = String::new();
+            self.reader
+                .read_line(&mut head_line)
+                .map_err(|e| format!("cannot read response: {e}"))?;
+            if head_line.is_empty() {
+                return Err("connection closed by daemon".into());
+            }
+            let head =
+                proto::parse_response_head(&head_line).map_err(|e| format!("bad response: {e}"))?;
+            let mut payload = Vec::new();
+            if let ResponseHead::Lines(n) = head {
+                for _ in 0..n {
+                    let mut l = String::new();
+                    self.reader
+                        .read_line(&mut l)
+                        .map_err(|e| format!("cannot read payload: {e}"))?;
+                    payload.push(l.trim_end_matches(['\r', '\n']).to_string());
+                }
+            }
+            Ok((head, payload))
+        }
+    }
+
+    /// Performs a plain HTTP `GET /metrics` against the daemon's
+    /// scrape address and returns the exposition body.
+    ///
+    /// # Errors
+    /// Transport failures or a non-200 response.
+    pub fn scrape(addr: &str) -> Result<String, String> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+        stream
+            .write_all(
+                format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                    .as_bytes(),
+            )
+            .map_err(|e| format!("cannot send scrape: {e}"))?;
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| format!("cannot read scrape: {e}"))?;
+        let Some((head, body)) = raw.split_once("\r\n\r\n") else {
+            return Err("malformed HTTP response".into());
+        };
+        let status = head.lines().next().unwrap_or("");
+        if !status.contains("200") {
+            return Err(format!("scrape failed: {status}"));
+        }
+        Ok(body.to_string())
+    }
+}

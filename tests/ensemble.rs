@@ -15,7 +15,7 @@ use blast2cap3_pegasus::experiment::{
     plan_blast2cap3, sim_backend_for, simulate_blast2cap3_ensemble,
 };
 use pegasus_wms::engine::{Engine, EngineConfig, JobState, NoopMonitor, WorkflowOutcome};
-use pegasus_wms::ensemble::{run_ensemble, EnsembleConfig, WorkflowSpec};
+use pegasus_wms::ensemble::{Ensemble, EnsembleConfig, Submission};
 use pegasus_wms::statistics::{compute, render_ensemble_csv, render_summary_csv};
 
 const SEED: u64 = 20140519;
@@ -45,9 +45,9 @@ fn singleton_unbounded_ensemble_is_bit_identical_to_engine_run() {
     let mut be_single = sim_backend_for("osg", SEED);
     let single = Engine::run(&mut be_single, &exec, &cfg, &mut NoopMonitor);
 
-    let specs = vec![WorkflowSpec::new(plan_blast2cap3("osg", 40, SEED), cfg)];
+    let subs = vec![Submission::new(plan_blast2cap3("osg", 40, SEED), cfg)];
     let mut be_ens = sim_backend_for("osg", SEED);
-    let ens = run_ensemble(&mut be_ens, &specs, &EnsembleConfig::unbounded()).unwrap();
+    let ens = Ensemble::run_to_completion(&mut be_ens, subs, &EnsembleConfig::unbounded()).unwrap();
 
     assert_eq!(ens.runs.len(), 1);
     let member = &ens.runs[0];
@@ -75,12 +75,12 @@ fn crashed_member_rescues_and_one_resubmission_completes_it() {
     let mut crashing_cfg = EngineConfig::builder().retries(10).seed(SEED).build();
     crashing_cfg.crash_after_events = Some(30);
 
-    let specs = vec![
-        WorkflowSpec::new(plan_blast2cap3("sandhills", 10, SEED), healthy_cfg.clone()),
-        WorkflowSpec::new(plan_blast2cap3("sandhills", 40, SEED), crashing_cfg),
+    let subs = vec![
+        Submission::new(plan_blast2cap3("sandhills", 10, SEED), healthy_cfg.clone()),
+        Submission::new(plan_blast2cap3("sandhills", 40, SEED), crashing_cfg),
     ];
     let mut backend = sim_backend_for("sandhills", SEED);
-    let ens = run_ensemble(&mut backend, &specs, &EnsembleConfig::default()).unwrap();
+    let ens = Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
 
     assert!(ens.runs[0].succeeded(), "healthy member must finish");
     let rescue = match &ens.runs[1].outcome {
@@ -108,6 +108,49 @@ fn crashed_member_rescues_and_one_resubmission_completes_it() {
         .filter(|r| r.state == JobState::SkippedDone)
         .count();
     assert_eq!(skipped, rescue.done.len());
+}
+
+#[test]
+fn two_tenant_fair_share_is_deterministic_under_one_seed() {
+    // Two tenants contend for a tight slot budget on the simulated
+    // platform. The admission order (and hence the whole schedule and
+    // the rollup CSV) must be a pure function of the seed — the
+    // property the `pegasus serve` daemon's byte-identical recovery
+    // rests on.
+    let run_once = || {
+        let cfg = EngineConfig::builder().retries(10).seed(SEED).build();
+        let subs = vec![
+            Submission::new(plan_blast2cap3("sandhills", 10, SEED), cfg.clone())
+                .with_tenant("alice"),
+            Submission::new(plan_blast2cap3("sandhills", 40, SEED), cfg.clone())
+                .with_tenant("alice"),
+            Submission::new(plan_blast2cap3("sandhills", 10, SEED), cfg).with_tenant("bob"),
+        ];
+        let mut backend = sim_backend_for("sandhills", SEED);
+        let ens = Ensemble::run_to_completion(
+            &mut backend,
+            subs,
+            &EnsembleConfig::with_slot_budget(8).with_tenant_slots(6),
+        )
+        .unwrap();
+        assert!(ens.succeeded());
+        // The per-member event streams capture every admission (each
+        // `submitted` line carries its timestamp), so comparing the
+        // logged streams compares the admission order exactly.
+        let logs: Vec<String> = ens
+            .runs
+            .iter()
+            .map(|r| pegasus_wms::events::log::write(&r.events))
+            .collect();
+        (
+            logs,
+            render_ensemble_csv(&pegasus_wms::statistics::compute_ensemble(&ens)),
+        )
+    };
+    let (logs_a, csv_a) = run_once();
+    let (logs_b, csv_b) = run_once();
+    assert_eq!(logs_a, logs_b, "admission order must be seed-determined");
+    assert_eq!(csv_a, csv_b, "rollup CSV must be byte-identical");
 }
 
 #[test]

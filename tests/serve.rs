@@ -1,0 +1,413 @@
+//! End-to-end tests of the `pegasus serve` daemon: a real daemon
+//! process per test (via `CARGO_BIN_EXE_pegasus`), driven over its
+//! protocol socket with the library client.
+//!
+//! The invariants under test are the acceptance criteria of the
+//! daemon design:
+//!
+//! * two tenants submit over concurrent connections, and the same
+//!   submissions under the same seed produce a byte-identical rollup
+//!   CSV from a second daemon;
+//! * the live `status` view, the offline `--dir` replay, the protocol
+//!   `metrics` payload, the HTTP `/metrics` scrape, and the offline
+//!   `metrics --from-events` fold are all byte-identical;
+//! * per-tenant queue quota rejects excess submissions at the socket;
+//! * a daemon killed mid-round (`--crash-after-members`) recovers on
+//!   restart by re-executing the interrupted round, leaving rollup,
+//!   status, and member event logs byte-identical to an uninterrupted
+//!   daemon — across several seeds;
+//! * malformed request lines get `error` responses without killing
+//!   the connection, and DAX submissions are lint-checked at
+//!   admission time.
+
+use blast2cap3_pegasus::serve::client::{self, Connection};
+use blast2cap3_pegasus::serve::status_lines_offline;
+use pegasus_wms::events;
+use pegasus_wms::metrics::{self, MetricsRegistry};
+use pegasus_wms::serve::{Request, ResponseHead, SubmitRequest, SubmitSource};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// A daemon child process plus its resolved listen addresses.
+struct Daemon {
+    child: Child,
+    addr: String,
+    metrics_addr: String,
+}
+
+impl Daemon {
+    /// Spawns `pegasus serve` on ephemeral ports and waits for its
+    /// `listening` line (which arrives only after recovery finishes).
+    fn start(dir: &Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pegasus"))
+            .arg("serve")
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--dir",
+            ])
+            .arg(dir)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn pegasus serve");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut reader = BufReader::new(stdout);
+        let (addr, metrics_addr) = loop {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("read daemon stdout");
+            assert!(n > 0, "daemon exited before printing its listening line");
+            if let Some(rest) = line.trim_end().strip_prefix("listening addr=") {
+                let (a, m) = rest.split_once(" metrics=").expect("listening line shape");
+                break (a.to_string(), m.to_string());
+            }
+        };
+        // Keep draining stdout so the pipe can never block the daemon.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            loop {
+                sink.clear();
+                if reader.read_line(&mut sink).unwrap_or(0) == 0 {
+                    break;
+                }
+            }
+        });
+        Daemon {
+            child,
+            addr,
+            metrics_addr,
+        }
+    }
+
+    fn connect(&self) -> Connection {
+        Connection::open(&self.addr).expect("connect to daemon")
+    }
+
+    /// Clean stop: `shutdown` must answer `ok` before the process exits.
+    fn shutdown(mut self) {
+        let (head, _) = self
+            .connect()
+            .request(&Request::Shutdown)
+            .expect("shutdown round-trip");
+        assert_eq!(head, ResponseHead::Ok(vec![]), "shutdown must answer ok");
+        let status = self.child.wait().expect("wait for daemon");
+        assert!(status.success(), "daemon must exit cleanly after shutdown");
+    }
+
+    /// Waits for the process to die on its own (crash tests).
+    fn wait_for_death(mut self) {
+        let status = self.child.wait().expect("wait for daemon");
+        assert!(!status.success(), "the crash hook must abort the process");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A per-test scratch directory under the target tmpdir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pegasus-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn generated(tenant: &str, site: &str, n: usize) -> Request {
+    Request::Submit(SubmitRequest {
+        tenant: tenant.into(),
+        site: site.into(),
+        seed: None,
+        retries: None,
+        priority: 0,
+        source: SubmitSource::Generated { n },
+    })
+}
+
+/// Sends a request that must succeed with `ok`, returning its
+/// key=value pairs.
+fn expect_ok(conn: &mut Connection, req: &Request) -> Vec<(String, String)> {
+    match conn.request(req).expect("request round-trip") {
+        (ResponseHead::Ok(pairs), _) => pairs,
+        (other, _) => panic!("expected ok for {req:?}, got {other:?}"),
+    }
+}
+
+/// Sends a request that must succeed with a counted payload.
+fn expect_lines(conn: &mut Connection, req: &Request) -> Vec<String> {
+    match conn.request(req).expect("request round-trip") {
+        (ResponseHead::Lines(n), payload) => {
+            assert_eq!(payload.len(), n);
+            payload
+        }
+        (other, _) => panic!("expected lines for {req:?}, got {other:?}"),
+    }
+}
+
+/// The offline `pegasus metrics --from-events` fold over a daemon
+/// directory: parse each member log in id order into a fresh registry.
+fn offline_exposition(dir: &Path, member_ids: &[usize]) -> String {
+    let mut registry = MetricsRegistry::new();
+    for id in member_ids {
+        let path = dir.join("members").join(format!("m{id}.events"));
+        let text = std::fs::read_to_string(&path).expect("read member log");
+        let stream = events::log::parse(&text).expect("parse member log");
+        metrics::record_events(&mut registry, &stream).expect("record member stream");
+    }
+    registry.render()
+}
+
+/// One full two-tenant session: interleaved submissions over two live
+/// connections, one `run`, then every rendered view. Returns
+/// `(status, rollup, metrics)` payloads.
+fn two_tenant_session(dir: &Path) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let daemon = Daemon::start(
+        dir,
+        &["--seed", "20140519", "--slots", "8", "--tenant-slots", "6"],
+    );
+    // Two tenants hold live connections at the same time; their
+    // submissions interleave on one socket each.
+    let mut alice = daemon.connect();
+    let mut bob = daemon.connect();
+    assert_eq!(
+        expect_ok(&mut alice, &generated("alice", "sandhills", 10)),
+        vec![("id".to_string(), "0".to_string())]
+    );
+    assert_eq!(
+        expect_ok(&mut bob, &generated("bob", "sandhills", 10)),
+        vec![("id".to_string(), "1".to_string())]
+    );
+    assert_eq!(
+        expect_ok(&mut alice, &generated("alice", "sandhills", 40)),
+        vec![("id".to_string(), "2".to_string())]
+    );
+    expect_ok(&mut bob, &Request::Ping);
+
+    let run = expect_ok(&mut alice, &Request::Run);
+    assert!(
+        run.contains(&("members".to_string(), "3".to_string())),
+        "all three members must run: {run:?}"
+    );
+
+    let status = expect_lines(&mut bob, &Request::Status);
+    assert_eq!(status.len(), 3);
+    for line in &status {
+        assert!(line.contains("state=succeeded"), "member failed: {line}");
+    }
+    let rollup = expect_lines(&mut alice, &Request::Rollup);
+    let metrics_payload = expect_lines(&mut bob, &Request::Metrics);
+
+    // Live status ≡ offline replay of the state directory.
+    let offline = status_lines_offline(dir).expect("offline status");
+    assert_eq!(
+        status, offline,
+        "live and offline status must be byte-identical"
+    );
+
+    // Protocol metrics ≡ HTTP scrape ≡ offline --from-events fold.
+    let proto_text = metrics_payload.join("\n") + "\n";
+    let scraped = client::scrape(&daemon.metrics_addr).expect("HTTP scrape");
+    assert_eq!(proto_text, scraped, "protocol and HTTP metrics must match");
+    assert_eq!(
+        proto_text,
+        offline_exposition(dir, &[0, 1, 2]),
+        "live metrics must match the offline event-log fold"
+    );
+
+    daemon.shutdown();
+    (status, rollup, metrics_payload)
+}
+
+#[test]
+fn two_concurrent_tenants_replay_byte_identical_under_one_seed() {
+    let a = two_tenant_session(&scratch("tenants-a"));
+    let b = two_tenant_session(&scratch("tenants-b"));
+    assert_eq!(a.0, b.0, "status must be byte-identical across daemons");
+    assert_eq!(a.1, b.1, "rollup CSV must be byte-identical across daemons");
+    assert_eq!(a.2, b.2, "metrics must be byte-identical across daemons");
+}
+
+#[test]
+fn tenant_queue_quota_rejects_excess_submissions_at_the_socket() {
+    let dir = scratch("quota");
+    let daemon = Daemon::start(&dir, &["--tenant-active", "2"]);
+    let mut conn = daemon.connect();
+    expect_ok(&mut conn, &generated("alice", "sandhills", 10));
+    expect_ok(&mut conn, &generated("alice", "sandhills", 10));
+    let (head, _) = conn
+        .request(&generated("alice", "sandhills", 10))
+        .expect("request round-trip");
+    match head {
+        ResponseHead::Error(msg) => {
+            assert!(msg.contains("alice") && msg.contains("quota"), "{msg}");
+        }
+        other => panic!("third alice submission must be rejected, got {other:?}"),
+    }
+    // The quota is per tenant: bob is unaffected.
+    expect_ok(&mut conn, &generated("bob", "sandhills", 10));
+    // Cancelling frees alice's queue depth.
+    expect_ok(&mut conn, &Request::Cancel { id: 0 });
+    expect_ok(&mut conn, &generated("alice", "sandhills", 10));
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_lines_and_bad_dax_submissions_are_rejected_inline() {
+    let dir = scratch("reject");
+    let daemon = Daemon::start(&dir, &[]);
+
+    // Raw socket: a garbage line gets `error` and the connection lives.
+    let mut stream = std::net::TcpStream::connect(&daemon.addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("greeting");
+    assert!(line.starts_with("# pegasus serve"), "greeting: {line:?}");
+    stream.write_all(b"frobnicate the queue\n").expect("send");
+    line.clear();
+    reader.read_line(&mut line).expect("error response");
+    assert!(line.starts_with("error "), "got {line:?}");
+    stream.write_all(b"ping\n").expect("send after error");
+    line.clear();
+    reader.read_line(&mut line).expect("ping response");
+    assert_eq!(line.trim_end(), "ok", "connection must survive a bad line");
+
+    // A DAX that fails the admission lint is rejected before journaling.
+    let bad = dir.join("bad.dax");
+    std::fs::write(&bad, "job id=a name=\n").expect("write bad dax");
+    let mut conn = daemon.connect();
+    let (head, _) = conn
+        .request(&Request::Submit(SubmitRequest {
+            tenant: "alice".into(),
+            site: "sandhills".into(),
+            seed: None,
+            retries: None,
+            priority: 0,
+            source: SubmitSource::Dax {
+                path: bad.display().to_string(),
+            },
+        }))
+        .expect("request round-trip");
+    assert!(
+        matches!(head, ResponseHead::Error(_)),
+        "bad DAX must be rejected, got {head:?}"
+    );
+    // Nothing was admitted: status is empty.
+    assert_eq!(
+        expect_lines(&mut conn, &Request::Status),
+        Vec::<String>::new()
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn dax_submissions_pass_admission_lint_and_run() {
+    let dir = scratch("dax");
+    let dax = dir.join("b2c3.dax");
+    let out = Command::new(env!("CARGO_BIN_EXE_pegasus"))
+        .args(["generate-dax", "--n", "5", "--out"])
+        .arg(&dax)
+        .output()
+        .expect("generate-dax");
+    assert!(out.status.success());
+
+    let daemon = Daemon::start(&dir, &[]);
+    let mut conn = daemon.connect();
+    expect_ok(
+        &mut conn,
+        &Request::Submit(SubmitRequest {
+            tenant: "carol".into(),
+            site: "sandhills".into(),
+            seed: None,
+            retries: None,
+            priority: 0,
+            source: SubmitSource::Dax {
+                path: dax.display().to_string(),
+            },
+        }),
+    );
+    expect_ok(&mut conn, &Request::Run);
+    let status = expect_lines(&mut conn, &Request::Status);
+    assert_eq!(status.len(), 1);
+    assert!(
+        status[0].contains("tenant=carol") && status[0].contains("state=succeeded"),
+        "{}",
+        status[0]
+    );
+    daemon.shutdown();
+}
+
+/// Runs the reference (uninterrupted) and the crash/restart session
+/// for one seed, asserting every view and every member log matches
+/// byte-for-byte.
+fn crash_recovery_round_trip(seed: u64) {
+    let seed_s = seed.to_string();
+    let submit_all = |daemon: &Daemon| {
+        let mut conn = daemon.connect();
+        expect_ok(&mut conn, &generated("alice", "sandhills", 10));
+        expect_ok(&mut conn, &generated("bob", "sandhills", 40));
+    };
+
+    // Reference: the run the crash is never allowed to perturb.
+    let ref_dir = scratch(&format!("ref-{seed}"));
+    let reference = Daemon::start(&ref_dir, &["--seed", &seed_s]);
+    submit_all(&reference);
+    let mut conn = reference.connect();
+    expect_ok(&mut conn, &Request::Run);
+    let ref_status = expect_lines(&mut conn, &Request::Status);
+    let ref_rollup = expect_lines(&mut conn, &Request::Rollup);
+    drop(conn);
+    reference.shutdown();
+
+    // Crash: same submissions, but the daemon aborts after the first
+    // member completion — mid-round, journal round left open.
+    let crash_dir = scratch(&format!("crash-{seed}"));
+    let crashing = Daemon::start(
+        &crash_dir,
+        &["--seed", &seed_s, "--crash-after-members", "1"],
+    );
+    submit_all(&crashing);
+    let mut conn = crashing.connect();
+    assert!(
+        conn.request(&Request::Run).is_err(),
+        "the run request must die with the daemon"
+    );
+    drop(conn);
+    crashing.wait_for_death();
+    let journal = std::fs::read_to_string(crash_dir.join("journal")).expect("journal");
+    assert!(
+        journal.contains("round id=0") && !journal.contains("round-done id=0"),
+        "the crash must leave round 0 open:\n{journal}"
+    );
+
+    // Restart: recovery re-executes the interrupted round before
+    // listening; every view must match the uninterrupted reference.
+    let recovered = Daemon::start(&crash_dir, &["--seed", &seed_s]);
+    let mut conn = recovered.connect();
+    let status = expect_lines(&mut conn, &Request::Status);
+    let rollup = expect_lines(&mut conn, &Request::Rollup);
+    assert_eq!(status, ref_status, "seed {seed}: status must match");
+    assert_eq!(rollup, ref_rollup, "seed {seed}: rollup CSV must match");
+    drop(conn);
+    recovered.shutdown();
+
+    for id in 0..2 {
+        let name = format!("m{id}.events");
+        let a = std::fs::read(ref_dir.join("members").join(&name)).expect("reference log");
+        let b = std::fs::read(crash_dir.join("members").join(&name)).expect("recovered log");
+        assert_eq!(a, b, "seed {seed}: {name} must be byte-identical");
+    }
+}
+
+#[test]
+fn crash_mid_round_then_restart_recovers_byte_identical_state() {
+    for seed in [7, 11, 42] {
+        crash_recovery_round_trip(seed);
+    }
+}
