@@ -9,8 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use gridsim::platforms::{osg, sandhills};
-use gridsim::SimBackend;
+use gridsim::sites::SiteRegistry;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
@@ -18,17 +17,17 @@ use pegasus_wms::synthetic::{cybershake, epigenomics, ligo_inspiral, montage};
 use pegasus_wms::workflow::AbstractWorkflow;
 
 fn simulate(wf: &AbstractWorkflow, site: &str, seed: u64) -> f64 {
-    let (sites, tc) = paper_catalogs();
+    let registry = SiteRegistry::builtin();
+    let id = registry.resolve(site).expect("built-in site");
+    let sites = registry.site_catalog();
+    let (_, tc) = paper_catalogs();
     let mut rc = ReplicaCatalog::new();
     for input in wf.external_inputs() {
         rc.register(input.name, "submit");
     }
-    let exec = plan(wf, &sites, &tc, &rc, &PlannerConfig::for_site(site)).expect("plan");
-    let platform = match site {
-        "sandhills" => sandhills(),
-        _ => osg(seed),
-    };
-    let mut backend = SimBackend::new(platform, seed);
+    let cfg = PlannerConfig::for_site(registry.catalog_name(id));
+    let exec = plan(wf, &sites, &tc, &rc, &cfg).expect("plan");
+    let mut backend = registry.backend(id, seed);
     let run = Engine::run(
         &mut backend,
         &exec,

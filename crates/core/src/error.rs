@@ -66,8 +66,15 @@ pub enum WmsError {
         /// The conflicting second producer.
         second: String,
     },
-    /// The planner could not find a site in the site catalog.
-    UnknownSite(String),
+    /// A site name (or alias) did not resolve against the site
+    /// catalog or registry.
+    UnknownSite {
+        /// The name that failed to resolve.
+        site: String,
+        /// Primary names of the sites that *are* registered, sorted;
+        /// empty when the resolver had no listing to offer.
+        known: Vec<String>,
+    },
     /// The planner could not resolve a transformation at the target
     /// site or as a stageable/installable executable.
     UnresolvableTransformation {
@@ -85,6 +92,13 @@ pub enum WmsError {
     },
     /// A rescue file was malformed.
     RescueParse(String),
+    /// A site-definition file was malformed.
+    SiteDefParse {
+        /// One-based line number (0 when unknown).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
     /// A fault-plan file was malformed.
     FaultPlanParse {
         /// One-based line number (0 when unknown).
@@ -143,7 +157,13 @@ impl fmt::Display for WmsError {
                 f,
                 "logical file {file:?} produced by both {first:?} and {second:?}"
             ),
-            WmsError::UnknownSite(s) => write!(f, "site {s:?} not in site catalog"),
+            WmsError::UnknownSite { site, known } => {
+                write!(f, "site {site:?} not in site catalog")?;
+                if !known.is_empty() {
+                    write!(f, " (known sites: {})", known.join(", "))?;
+                }
+                Ok(())
+            }
             WmsError::UnresolvableTransformation {
                 transformation,
                 site,
@@ -159,6 +179,9 @@ impl fmt::Display for WmsError {
                 }
             }
             WmsError::RescueParse(reason) => write!(f, "rescue DAG parse error: {reason}"),
+            WmsError::SiteDefParse { line, reason } => {
+                write!(f, "site definition parse error at line {line}: {reason}")
+            }
             WmsError::FaultPlanParse { line, reason } => {
                 write!(f, "fault plan parse error at line {line}: {reason}")
             }
@@ -193,9 +216,19 @@ mod tests {
         assert!(WmsError::DuplicateJob("split".into())
             .to_string()
             .contains("split"));
-        assert!(WmsError::UnknownSite("osg".into())
-            .to_string()
-            .contains("osg"));
+        let e = WmsError::UnknownSite {
+            site: "mars".into(),
+            known: vec![],
+        };
+        assert_eq!(e.to_string(), "site \"mars\" not in site catalog");
+        let e = WmsError::UnknownSite {
+            site: "mars".into(),
+            known: vec!["osg".into(), "sandhills".into()],
+        };
+        assert_eq!(
+            e.to_string(),
+            "site \"mars\" not in site catalog (known sites: osg, sandhills)"
+        );
         let e = WmsError::ConflictingProducer {
             file: "out.txt".into(),
             first: "a".into(),

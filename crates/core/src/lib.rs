@@ -91,5 +91,5 @@ pub use events::{EventSink, MonitorSink, WorkflowEvent};
 pub use graph::Csr;
 pub use lint::{Diagnostic, Severity};
 pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
-pub use symbols::{FileId, JobId, SymbolTable};
+pub use symbols::{FileId, JobId, SiteId, SymbolTable};
 pub use workflow::{AbstractWorkflow, Job, LogicalFile};

@@ -216,6 +216,48 @@ pub const RULES: &[Rule] = &[
         summary: "a job's transformation has no transformation-catalog entry",
     },
     Rule {
+        code: "E0501",
+        name: "duplicate-site",
+        default: Level::Deny,
+        summary: "a site name is declared twice in the definitions file",
+    },
+    Rule {
+        code: "E0502",
+        name: "duplicate-alias",
+        default: Level::Deny,
+        summary: "an alias is declared for more than one site",
+    },
+    Rule {
+        code: "E0503",
+        name: "alias-shadows-site",
+        default: Level::Deny,
+        summary: "an alias collides with a declared site name",
+    },
+    Rule {
+        code: "E0504",
+        name: "zero-slots",
+        default: Level::Deny,
+        summary: "a site declares zero execution slots",
+    },
+    Rule {
+        code: "E0505",
+        name: "negative-site-parameter",
+        default: Level::Deny,
+        summary: "a site rate, delay, or factor is negative",
+    },
+    Rule {
+        code: "E0506",
+        name: "undefined-site-reference",
+        default: Level::Deny,
+        summary: "a catalog-site reference names no defined site",
+    },
+    Rule {
+        code: "E0507",
+        name: "site-def-syntax",
+        default: Level::Deny,
+        summary: "the site-definitions file does not parse",
+    },
+    Rule {
         code: "E0701",
         name: "workflow-started-misplaced",
         default: Level::Deny,

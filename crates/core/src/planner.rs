@@ -373,9 +373,14 @@ pub fn plan(
     replicas: &ReplicaCatalog,
     config: &PlannerConfig,
 ) -> Result<ExecutableWorkflow, WmsError> {
-    let site = sites
-        .get(&config.target_site)
-        .ok_or_else(|| WmsError::UnknownSite(config.target_site.clone()))?;
+    let site = sites.get(&config.target_site).ok_or_else(|| {
+        let mut known = sites.names();
+        known.sort();
+        WmsError::UnknownSite {
+            site: config.target_site.clone(),
+            known,
+        }
+    })?;
     // Validation happens exactly once per workflow that matters:
     // reduce/cluster validate internally, and the planned workflow is
     // checked by `validated_edges` below — no upfront `validate()`
@@ -667,7 +672,13 @@ mod tests {
         let (sites, tc, rc) = catalogs_with_submit_replicas();
         let wf = mini_blast2cap3(3);
         let err = plan(&wf, &sites, &tc, &rc, &PlannerConfig::for_site("mars")).unwrap_err();
-        assert_eq!(err, WmsError::UnknownSite("mars".into()));
+        assert_eq!(
+            err,
+            WmsError::UnknownSite {
+                site: "mars".into(),
+                known: vec!["osg".into(), "sandhills".into()],
+            }
+        );
     }
 
     #[test]

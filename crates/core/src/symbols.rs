@@ -35,6 +35,80 @@ pub struct JobId(u32);
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct FileId(u32);
 
+/// Identifier of one execution site, interned into a site registry.
+///
+/// Sites are few (the paper's two, plus user-defined platforms), so a
+/// `u16` is ample; the narrower width keeps structures that embed a
+/// site id alongside other small fields compact. Like [`JobId`],
+/// `SiteId` is `Display`ed as its bare decimal index — names appear
+/// only at render boundaries.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SiteId(u16);
+
+impl SiteId {
+    /// Wraps a dense index.
+    ///
+    /// # Panics
+    /// Panics (debug) if `index` does not fit in `u16` — 65 thousand
+    /// sites is beyond any registry this system loads.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u16::MAX as usize, "site index overflows u16");
+        SiteId(index as u16)
+    }
+
+    /// The dense index, for direct `Vec` indexing.
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u16` value.
+    #[inline]
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<usize> for SiteId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        SiteId::new(index)
+    }
+}
+
+impl From<SiteId> for usize {
+    #[inline]
+    fn from(id: SiteId) -> usize {
+        id.idx()
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl std::str::FromStr for SiteId {
+    type Err = std::num::ParseIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<u16>().map(SiteId)
+    }
+}
+
+impl Symbol for SiteId {
+    #[inline]
+    fn from_raw(raw: u32) -> Self {
+        debug_assert!(raw <= u16::MAX as u32, "site index overflows u16");
+        SiteId(raw as u16)
+    }
+    #[inline]
+    fn into_raw(self) -> u32 {
+        self.0 as u32
+    }
+}
+
 macro_rules! impl_symbol_id {
     ($name:ident) => {
         impl $name {

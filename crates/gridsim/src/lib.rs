@@ -25,7 +25,13 @@
 //!   pool;
 //! * [`faults_lint`] — the fault-plan rules of `pegasus lint`
 //!   (`E0201`–`W0205`), cross-checking plans against the workflow and
-//!   retry policy they will run under.
+//!   retry policy they will run under;
+//! * [`sites`] — declarative [`sites::SiteDef`] records and the
+//!   interning [`sites::SiteRegistry`] every consumer routes through:
+//!   one text format (`sites.def`) replaces the catalog entries, the
+//!   platform constructors, and the CLI site switches;
+//! * [`sites_lint`] — the site-definition rules of `pegasus lint`
+//!   (`E0501`–`E0507`).
 //!
 //! The key property: nothing about the paper's *findings* is
 //! hard-coded. Sandhills beating OSG, the >95 % serial-vs-workflow
@@ -39,9 +45,13 @@ pub mod faults;
 pub mod faults_lint;
 pub mod platform;
 pub mod platforms;
+pub mod sites;
+pub mod sites_lint;
 
 pub use backend::SimBackend;
 pub use faults::{AttemptTiming, FaultDecision, FaultPlan, FaultScript, Scenario};
 pub use faults_lint::{lint_plan, PlanLintContext};
 pub use platform::PlatformModel;
 pub use platforms::{osg, sandhills};
+pub use sites::{SiteDef, SiteRegistry, SpeedSpec};
+pub use sites_lint::lint_sites;

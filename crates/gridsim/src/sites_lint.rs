@@ -1,0 +1,354 @@
+//! Site-definition lint pass: the E05xx rules of `pegasus lint`.
+//!
+//! [`lint_sites`] checks a parsed slice of [`SiteDef`]s (as produced
+//! by [`crate::sites::parse_defs`], which deliberately performs no
+//! cross-definition checks so the defects survive to be reported
+//! here) and returns [`Diagnostic`]s in the shared
+//! [`pegasus_wms::lint`] vocabulary:
+//!
+//! * `E0501 duplicate-site` — a site name declared twice;
+//! * `E0502 duplicate-alias` — an alias declared for more than one
+//!   site (or twice for the same one);
+//! * `E0503 alias-shadows-site` — an alias colliding with a declared
+//!   site name, which would make resolution ambiguous;
+//! * `E0504 zero-slots` — a site with no execution slots can never
+//!   run a job;
+//! * `E0505 negative-site-parameter` — a negative rate, delay, or
+//!   factor (the simulator clamps samples, but a negative knob is
+//!   always a typo);
+//! * `E0506 undefined-site-reference` — a `catalog-site=` target that
+//!   names no defined site or alias;
+//! * `E0507 site-def-syntax` — reserved for the parse-failure path
+//!   (the CLI wraps [`WmsError::SiteDefParse`] under this code; a
+//!   parsed slice by definition has no syntax errors).
+//!
+//! The pass lives in `gridsim` rather than the core crate because the
+//! [`SiteDef`] vocabulary does; the core `lint` module only defines
+//! the rule registry entries.
+
+use crate::sites::SiteDef;
+use pegasus_wms::error::{Span, WmsError};
+use pegasus_wms::lint::Diagnostic;
+
+/// Line positions recovered for one definition by re-walking the
+/// source the same way the parser does.
+#[derive(Debug, Default, Clone)]
+struct DefSpans {
+    /// The `site <name>` header line.
+    header: Span,
+    /// First line each field key appeared on.
+    keys: Vec<(String, Span)>,
+}
+
+impl DefSpans {
+    fn key(&self, key: &str) -> Span {
+        self.keys
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, s)| *s)
+            .unwrap_or(self.header)
+    }
+}
+
+/// Maps definition index → its spans. Returns an empty vector (every
+/// span unknown) when no source is available.
+fn def_spans(source: Option<&str>) -> Vec<DefSpans> {
+    let Some(text) = source else {
+        return Vec::new();
+    };
+    let mut spans: Vec<DefSpans> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let word = trimmed.split_whitespace().next().unwrap_or("");
+        if word == "site" {
+            spans.push(DefSpans {
+                header: Span::line(line),
+                keys: Vec::new(),
+            });
+            continue;
+        }
+        let Some(current) = spans.last_mut() else {
+            continue;
+        };
+        for tok in trimmed.split_whitespace() {
+            if let Some((key, _)) = tok.split_once('=') {
+                if !current.keys.iter().any(|(k, _)| k == key) {
+                    current.keys.push((key.to_string(), Span::line(line)));
+                }
+            }
+        }
+    }
+    spans
+}
+
+fn spans_of(spans: &[DefSpans], idx: usize) -> DefSpans {
+    spans.get(idx).cloned().unwrap_or_default()
+}
+
+/// Wraps a [`WmsError::SiteDefParse`] as the `E0507` diagnostic the
+/// CLI reports when a definitions file fails to parse at all. Other
+/// error variants are rendered with an unknown span.
+pub fn syntax_diagnostic(err: &WmsError, file: &str) -> Diagnostic {
+    let (span, reason) = match err {
+        WmsError::SiteDefParse { line, reason } => (Span::line(*line), reason.clone()),
+        other => (Span::none(), other.to_string()),
+    };
+    Diagnostic::new("E0507", file, span, reason)
+        .with_help("see DESIGN.md \u{a7}11 for the sites.def format")
+}
+
+/// Lints parsed site definitions; `file` labels diagnostics and
+/// `source` (when available) recovers line numbers.
+///
+/// Deterministic: diagnostics come out in definition order, one pass
+/// per rule family, no I/O.
+pub fn lint_sites(defs: &[SiteDef], file: &str, source: Option<&str>) -> Vec<Diagnostic> {
+    let spans = def_spans(source);
+    let mut diags = Vec::new();
+
+    check_duplicate_sites(defs, &spans, file, &mut diags);
+    check_aliases(defs, &spans, file, &mut diags);
+    for (idx, def) in defs.iter().enumerate() {
+        let at = spans_of(&spans, idx);
+        check_slots(def, &at, file, &mut diags);
+        check_negative_parameters(def, &at, file, &mut diags);
+        check_catalog_reference(defs, def, &at, file, &mut diags);
+    }
+    diags
+}
+
+/// `E0501`: the same primary name declared twice.
+fn check_duplicate_sites(
+    defs: &[SiteDef],
+    spans: &[DefSpans],
+    file: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (idx, def) in defs.iter().enumerate() {
+        if defs[..idx].iter().any(|d| d.name == def.name) {
+            diags.push(
+                Diagnostic::new(
+                    "E0501",
+                    file,
+                    spans_of(spans, idx).header,
+                    format!("site {:?} declared twice", def.name),
+                )
+                .with_help("later fields silently override the earlier definition's"),
+            );
+        }
+    }
+}
+
+/// `E0502` and `E0503`: aliases colliding with other aliases or with
+/// declared site names.
+fn check_aliases(defs: &[SiteDef], spans: &[DefSpans], file: &str, diags: &mut Vec<Diagnostic>) {
+    let mut seen: Vec<(&str, &str)> = Vec::new(); // (alias, owning site)
+    for (idx, def) in defs.iter().enumerate() {
+        let span = spans_of(spans, idx).key("aliases");
+        for alias in &def.aliases {
+            if let Some(site) = defs.iter().find(|d| d.name == *alias) {
+                diags.push(
+                    Diagnostic::new(
+                        "E0503",
+                        file,
+                        span,
+                        format!(
+                            "alias {alias:?} of site {:?} shadows declared site {:?}",
+                            def.name, site.name
+                        ),
+                    )
+                    .with_help("drop the alias or rename one of the sites"),
+                );
+            }
+            if let Some((_, owner)) = seen.iter().find(|(a, _)| a == alias) {
+                let msg = if *owner == def.name {
+                    format!("alias {alias:?} declared twice for site {owner:?}")
+                } else {
+                    format!(
+                        "alias {alias:?} declared for both {owner:?} and {:?}",
+                        def.name
+                    )
+                };
+                diags.push(Diagnostic::new("E0502", file, span, msg));
+            } else {
+                seen.push((alias, &def.name));
+            }
+        }
+    }
+}
+
+/// `E0504`: a site with no slots.
+fn check_slots(def: &SiteDef, at: &DefSpans, file: &str, diags: &mut Vec<Diagnostic>) {
+    if def.slots == 0 {
+        diags.push(
+            Diagnostic::new(
+                "E0504",
+                file,
+                at.key("slots"),
+                format!("site {:?} declares zero execution slots", def.name),
+            )
+            .with_help("every job submitted here would wait forever"),
+        );
+    }
+}
+
+/// `E0505`: negative rates, delays, and factors.
+fn check_negative_parameters(
+    def: &SiteDef,
+    at: &DefSpans,
+    file: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut knobs: Vec<(&str, f64)> = vec![
+        ("startup-delay", def.startup_delay),
+        ("install-factor", def.install_time_factor),
+        ("preemption-rate", def.preemption_rate),
+        ("jitter", def.runtime_jitter_sigma),
+        ("task-overhead", def.task_overhead),
+        ("cpu-speed", def.cpu_speed),
+        ("bandwidth", def.bandwidth_bps),
+    ];
+    if let Some(churn) = def.churn {
+        knobs.push(("churn", churn.mean_up.min(churn.mean_down)));
+    }
+    for (key, value) in knobs {
+        if value < 0.0 {
+            diags.push(Diagnostic::new(
+                "E0505",
+                file,
+                at.key(key),
+                format!("site {:?} sets {key}={value}, which is negative", def.name),
+            ));
+        }
+    }
+}
+
+/// `E0506`: a `catalog-site` target that resolves to nothing.
+fn check_catalog_reference(
+    defs: &[SiteDef],
+    def: &SiteDef,
+    at: &DefSpans,
+    file: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(target) = &def.catalog_site else {
+        return;
+    };
+    let defined = defs
+        .iter()
+        .any(|d| d.name == *target || d.aliases.iter().any(|a| a == target));
+    if !defined {
+        diags.push(
+            Diagnostic::new(
+                "E0506",
+                file,
+                at.key("catalog-site"),
+                format!(
+                    "site {:?} references undefined catalog-site {target:?}",
+                    def.name
+                ),
+            )
+            .with_help("catalog-site must name another site (or alias) in the same file"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::parse_defs;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn lint(text: &str) -> Vec<Diagnostic> {
+        let defs = parse_defs(text).expect("fixture parses");
+        lint_sites(&defs, "test.def", Some(text))
+    }
+
+    #[test]
+    fn builtin_defs_lint_clean() {
+        let diags = lint(crate::sites::BUILTIN_SITES_DEF);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_site_is_flagged_at_the_second_header() {
+        let diags = lint("site a\nslots=2\n\nsite a\nslots=3\n");
+        assert_eq!(codes(&diags), vec!["E0501"]);
+        assert_eq!(diags[0].span.line, 4);
+    }
+
+    #[test]
+    fn duplicate_alias_across_and_within_sites() {
+        let diags = lint("site a\naliases=x,x\n\nsite b\naliases=x\n");
+        assert_eq!(codes(&diags), vec!["E0502", "E0502"]);
+        assert_eq!(diags[0].span.line, 2);
+        assert_eq!(diags[1].span.line, 5);
+    }
+
+    #[test]
+    fn alias_shadowing_a_site_name() {
+        let diags = lint("site a\n\nsite b\naliases=a\n");
+        assert_eq!(codes(&diags), vec!["E0503"]);
+        assert_eq!(diags[0].span.line, 4);
+    }
+
+    #[test]
+    fn zero_slots_points_at_the_slots_line() {
+        let diags = lint("site a\nslots=0\n");
+        assert_eq!(codes(&diags), vec!["E0504"]);
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn negative_parameters_name_the_key() {
+        let diags = lint("site a\nstartup-delay=-5\njitter=-0.1\n");
+        assert_eq!(codes(&diags), vec!["E0505", "E0505"]);
+        assert!(diags[0].message.contains("startup-delay"));
+        assert!(diags[1].message.contains("jitter"));
+        assert_eq!(diags[0].span.line, 2);
+        assert_eq!(diags[1].span.line, 3);
+    }
+
+    #[test]
+    fn negative_churn_is_flagged() {
+        let diags = lint("site a\nchurn=100,-1\n");
+        assert_eq!(codes(&diags), vec!["E0505"]);
+        assert!(diags[0].message.contains("churn"));
+    }
+
+    #[test]
+    fn undefined_catalog_site_reference() {
+        let diags = lint("site a\ncatalog-site=ghost\n");
+        assert_eq!(codes(&diags), vec!["E0506"]);
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn catalog_site_via_alias_is_accepted() {
+        let diags = lint("site a\naliases=base\n\nsite b\ncatalog-site=base\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn syntax_errors_wrap_as_e0507() {
+        let err = parse_defs("slots=3\n").unwrap_err();
+        let d = syntax_diagnostic(&err, "bad.def");
+        assert_eq!(d.code, "E0507");
+        assert_eq!(d.span.line, 1);
+    }
+
+    #[test]
+    fn missing_source_degrades_to_unknown_spans() {
+        let defs = parse_defs("site a\nslots=0\n").unwrap();
+        let diags = lint_sites(&defs, "test.def", None);
+        assert_eq!(codes(&diags), vec!["E0504"]);
+        assert!(diags[0].span.is_none());
+    }
+}

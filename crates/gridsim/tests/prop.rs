@@ -220,3 +220,95 @@ proptest! {
         prop_assert!((t.kickstart() - runtime / speed).abs() < 1e-6);
     }
 }
+
+// --- sites.def grammar properties -----------------------------------
+
+use gridsim::platform::ChurnModel;
+use gridsim::sites::{parse_defs, render_defs, SiteDef, SiteRegistry, SpeedSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse_defs(render_defs(x)) == x` for arbitrary definitions,
+    /// including non-ASCII names and a variant chaining to the base
+    /// site through one of its aliases. Name and alias alphabets are
+    /// case-disjoint so the generated registry always loads.
+    #[test]
+    fn site_defs_round_trip_through_text(
+        name in "[a-z\u{430}-\u{44f}][a-z0-9_.\u{430}-\u{44f}-]{0,9}",
+        alias in "[A-Z\u{391}-\u{3a9}][A-Z0-9-]{0,6}",
+        (slots, speed_pick, dist_pick) in (1usize..500, 0u8..2, 0u8..4),
+        (startup, install, hazard) in (0.0f64..1e4, 0.0f64..4.0, 0.0f64..0.01),
+        (d_a, d_b) in (0.001f64..1e3, 0.01f64..2.0),
+        (churny, cpu, bandwidth) in (0u8..2, 0.1f64..8.0, 1e6f64..1e9),
+    ) {
+        let mut def = SiteDef::new(&name);
+        def.aliases = vec![alias.clone()];
+        def.slots = slots;
+        def.speed = match speed_pick {
+            0 => SpeedSpec::Fixed(cpu),
+            _ => SpeedSpec::LognormalMedian { median: cpu, sigma: hazard * 10.0 },
+        };
+        def.queue_delay = match dist_pick {
+            0 => Dist::Fixed(d_a),
+            1 => Dist::Uniform(d_a, d_a + d_b),
+            2 => Dist::Exponential(d_b),
+            _ => Dist::LogNormal(d_a.ln(), d_b),
+        };
+        def.startup_delay = startup;
+        def.install_time_factor = install;
+        def.preemption_rate = hazard;
+        def.runtime_jitter_sigma = hazard * 2.0;
+        def.task_overhead = startup / 2.0;
+        def.churn = (churny == 1).then_some(ChurnModel { mean_up: d_a, mean_down: d_b });
+        def.shared_fs = churny == 0;
+        def.cpu_speed = cpu;
+        def.bandwidth_bps = bandwidth;
+        def.packages = vec!["python".to_string(), "cap3".to_string()];
+        def.replicas = vec!["big.db".to_string()];
+
+        // A variant reaching the base site through its alias — the
+        // catalog-site chain the registry has to resolve end-to-end.
+        let mut variant = SiteDef::new(format!("{name}_v"));
+        variant.catalog_site = Some(alias.clone());
+        variant.slots = slots;
+        variant.install_time_factor = 0.0;
+        variant.preemption_rate = hazard;
+
+        let defs = vec![def, variant];
+        let text = render_defs(&defs);
+        let reparsed = parse_defs(&text).unwrap();
+        prop_assert_eq!(&reparsed, &defs, "text was:\n{}", text);
+
+        // Second round trip: rendering the reparse is byte-identical.
+        prop_assert_eq!(render_defs(&reparsed), text);
+
+        let reg = SiteRegistry::from_defs(defs).unwrap();
+        let base = reg.resolve(&name).unwrap();
+        prop_assert_eq!(reg.resolve(&alias).unwrap(), base);
+        let v = reg.resolve(&format!("{name}_v")).unwrap();
+        prop_assert_eq!(reg.catalog_name(v), name.as_str());
+        prop_assert_eq!(reg.sweep(), vec![base]);
+    }
+
+    /// The platform a registry builds from a rendered-and-reparsed
+    /// registry is identical to the original — the text format loses
+    /// no information the simulator reads.
+    #[test]
+    fn reparsed_registry_builds_identical_platforms(
+        seed in 0u64..10_000,
+        slots in 1usize..64,
+        sigma in 0.0f64..1.0,
+        median in 0.1f64..4.0,
+    ) {
+        let mut def = SiteDef::new("prop-site");
+        def.slots = slots;
+        def.speed = SpeedSpec::LognormalMedian { median, sigma };
+        def.queue_delay = Dist::lognormal_median(median * 100.0, sigma.max(0.01));
+        let reg = SiteRegistry::from_defs(vec![def]).unwrap();
+        let reg2 = SiteRegistry::parse(&reg.to_text()).unwrap();
+        let id = reg.resolve("prop-site").unwrap();
+        let id2 = reg2.resolve("prop-site").unwrap();
+        prop_assert_eq!(reg.platform(id, seed), reg2.platform(id2, seed));
+    }
+}

@@ -43,10 +43,12 @@
 use blast2cap3::workflow::{build_workflow, WorkflowParams};
 use blast2cap3_pegasus::cli::args as cli_args;
 use blast2cap3_pegasus::cli::args::{Parsed, Verb};
-use blast2cap3_pegasus::experiment::{calibrate_workload, calibrated_chunk_costs};
+use blast2cap3_pegasus::experiment::{
+    builtin_registry, calibrate_workload, calibrated_chunk_costs,
+};
 use blast2cap3_pegasus::serve;
-use gridsim::platforms::{osg, osg_prestaged, sandhills};
-use gridsim::{FaultPlan, FaultScript, SimBackend};
+use gridsim::sites::SiteRegistry;
+use gridsim::{FaultPlan, FaultScript};
 use pegasus_wms::analyzer::analyze;
 use pegasus_wms::breakdown;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
@@ -60,6 +62,7 @@ use pegasus_wms::rescue::RescueDag;
 use pegasus_wms::statistics::{
     compute, render_csv, render_ensemble_csv, render_ensemble_text, render_text,
 };
+use pegasus_wms::symbols::SiteId;
 use std::process::ExitCode;
 
 /// A verb's parsed arguments plus exit-on-error getters: the library
@@ -107,10 +110,41 @@ fn default_replicas() -> ReplicaCatalog {
     rc
 }
 
-/// Catalogs come from `--catalog <file>` when given, otherwise the
-/// built-in paper pair with submit-host replicas of the two inputs.
+/// The site registry every verb resolves `--site` against: the
+/// built-in paper sites, or the `--sites <file>` definitions replacing
+/// them wholesale.
+fn load_registry(args: &Args) -> SiteRegistry {
+    match args.get("sites") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read site definitions {path}: {e}");
+                std::process::exit(1);
+            });
+            SiteRegistry::parse(&text).unwrap_or_else(|e| {
+                eprintln!("cannot load site definitions {path}: {e}");
+                eprintln!("(run `pegasus lint <dax> --sites {path}` for the full report)");
+                std::process::exit(1);
+            })
+        }
+        None => builtin_registry().clone(),
+    }
+}
+
+/// Resolves a site name or alias against the registry, exiting 2 with
+/// the registered names on a miss.
+fn resolve_site(args: &Args, registry: &SiteRegistry, name: &str) -> SiteId {
+    registry
+        .resolve(name)
+        .unwrap_or_else(|e| args.bail(&e.to_string()))
+}
+
+/// Catalogs come from `--catalog <file>` when given, otherwise they
+/// are synthesised from the site registry (for the built-ins: the
+/// paper pair) with submit-host replicas of the two inputs plus any
+/// files the definitions pre-stage.
 fn load_catalogs(
     args: &Args,
+    registry: &SiteRegistry,
 ) -> (
     pegasus_wms::catalog::SiteCatalog,
     pegasus_wms::catalog::TransformationCatalog,
@@ -129,8 +163,10 @@ fn load_catalogs(
             (bundle.sites, bundle.transformations, bundle.replicas)
         }
         None => {
-            let (sites, tc) = paper_catalogs();
-            (sites, tc, default_replicas())
+            let (_, tc) = paper_catalogs();
+            let mut rc = default_replicas();
+            registry.register_replicas(&mut rc);
+            (registry.site_catalog(), tc, rc)
         }
     }
 }
@@ -209,8 +245,10 @@ fn cmd_generate_workload(args: &Args) -> ExitCode {
 
 fn cmd_plan(args: &Args) -> ExitCode {
     let wf = load_dax(args.require("dax"));
-    let (sites, tc, rc) = load_catalogs(args);
-    let mut cfg = PlannerConfig::for_site(args.require("site"));
+    let registry = load_registry(args);
+    let site = resolve_site(args, &registry, args.require("site"));
+    let (sites, tc, rc) = load_catalogs(args, &registry);
+    let mut cfg = PlannerConfig::for_site(registry.catalog_name(site));
     if let Some(k) = args.parsed_opt::<usize>("cluster") {
         cfg.cluster_factor = Some(k);
     }
@@ -335,18 +373,6 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     }
 }
 
-fn platform_for(site: &str, seed: u64) -> gridsim::PlatformModel {
-    match site {
-        "sandhills" => sandhills(),
-        "osg" => osg(seed),
-        "osg_prestaged" => osg_prestaged(seed),
-        other => {
-            eprintln!("unknown platform {other:?} (use sandhills, osg, osg_prestaged)");
-            std::process::exit(2);
-        }
-    }
-}
-
 /// Builds the retry policy `run`, `statistics`, and `ensemble` share:
 /// flat retries by default, exponential backoff when `--backoff` is
 /// given, plus an optional per-attempt `--timeout`.
@@ -398,11 +424,12 @@ fn parse_event_logs(list: &str) -> Vec<Vec<pegasus_wms::events::WorkflowEvent>> 
 }
 
 /// The sweep sites behind `--site both` (the default for `breakdown`
-/// and `metrics`).
-fn sweep_sites(args: &Args) -> Vec<String> {
+/// and `metrics`): every registered non-variant site, in definition
+/// order — `[sandhills, osg]` for the built-ins.
+fn sweep_sites(args: &Args, registry: &SiteRegistry) -> Vec<SiteId> {
     match args.get("site").unwrap_or("both") {
-        "both" => vec!["sandhills".to_string(), "osg".to_string()],
-        site => vec![site.to_string()],
+        "both" => registry.sweep(),
+        site => vec![resolve_site(args, registry, site)],
     }
 }
 
@@ -412,7 +439,7 @@ fn sweep_sites(args: &Args) -> Vec<String> {
 /// event stream alone: either a fresh deterministic sweep or, with
 /// `--from-events`, recorded logs with no simulation at all.
 fn cmd_breakdown(args: &Args) -> ExitCode {
-    use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_at;
 
     let mut rows = Vec::new();
     let mut all_ok = true;
@@ -426,6 +453,7 @@ fn cmd_breakdown(args: &Args) -> ExitCode {
             rows.push(row);
         }
     } else {
+        let registry = load_registry(args);
         let seed: u64 = args.parsed("seed", 20140519u64);
         // OSG's preemption hazard needs a deep retry budget at small n
         // (few jobs, so one unlucky task sinks the run); the paper's
@@ -435,13 +463,14 @@ fn cmd_breakdown(args: &Args) -> ExitCode {
             .policy(retry_policy_from(args, retries))
             .seed(seed)
             .build();
-        for site in sweep_sites(args) {
+        for site in sweep_sites(args, &registry) {
             for &n in &sizes_from(args) {
-                let out = simulate_blast2cap3_with(&site, n, seed, &cfg, None);
+                let out = simulate_blast2cap3_at(&registry, site, n, seed, &cfg, None);
                 all_ok &= out.run.succeeded();
                 if let Some(dir) = args.get("events-dir") {
                     std::fs::create_dir_all(dir).expect("create events dir");
-                    let path = std::path::Path::new(dir).join(format!("{site}_n{n}.events"));
+                    let name = registry.name(site);
+                    let path = std::path::Path::new(dir).join(format!("{name}_n{n}.events"));
                     std::fs::write(&path, out.event_log()).expect("write event log");
                 }
                 rows.push(out.breakdown());
@@ -476,7 +505,7 @@ fn cmd_breakdown(args: &Args) -> ExitCode {
 /// under the same seed), or scraped over HTTP from a running
 /// `pegasus serve` daemon with `--scrape`.
 fn cmd_metrics(args: &Args) -> ExitCode {
-    use blast2cap3_pegasus::experiment::simulate_blast2cap3_with;
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_at;
 
     if let Some(addr) = args.get("scrape") {
         return match serve::client::scrape(addr) {
@@ -500,15 +529,16 @@ fn cmd_metrics(args: &Args) -> ExitCode {
             });
         }
     } else {
+        let sites = load_registry(args);
         let seed: u64 = args.parsed("seed", 20140519u64);
         let retries: u32 = args.parsed("retries", 20u32);
         let cfg = EngineConfig::builder()
             .policy(retry_policy_from(args, retries))
             .seed(seed)
             .build();
-        for site in sweep_sites(args) {
+        for site in sweep_sites(args, &sites) {
             for &n in &sizes_from(args) {
-                let out = simulate_blast2cap3_with(&site, n, seed, &cfg, None);
+                let out = simulate_blast2cap3_at(&sites, site, n, seed, &cfg, None);
                 metrics::record_events(&mut registry, &out.run.events)
                     .expect("engine streams replay");
             }
@@ -539,7 +569,33 @@ fn collect_lint(
     use pegasus_wms::lint::{self, Diagnostic};
 
     let mut diags = Vec::new();
-    let (sites, tc, _rc) = load_catalogs(args);
+
+    // Site-definition pass (E0501–E0507): lint `--sites` when given,
+    // and build the registry the config pass resolves `--site`
+    // against. A file that fails to parse or load degrades to the
+    // built-ins so the remaining passes still run.
+    let registry = match args.get("sites") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read site definitions {path}: {e}");
+                std::process::exit(1);
+            });
+            match gridsim::sites::parse_defs(&text) {
+                Ok(defs) => {
+                    diags.extend(gridsim::lint_sites(&defs, path, Some(&text)));
+                    // Duplicate names/aliases were just reported above;
+                    // the load failure adds nothing new.
+                    SiteRegistry::from_defs(defs).unwrap_or_else(|_| builtin_registry().clone())
+                }
+                Err(e) => {
+                    diags.push(gridsim::sites_lint::syntax_diagnostic(&e, path));
+                    builtin_registry().clone()
+                }
+            }
+        }
+        None => builtin_registry().clone(),
+    };
+    let (sites, tc, _rc) = load_catalogs(args, &registry);
 
     let text = std::fs::read_to_string(dax_path).unwrap_or_else(|e| {
         eprintln!("cannot read {dax_path}: {e}");
@@ -565,12 +621,25 @@ fn collect_lint(
 
     let policy = retry_policy_from(args, args.parsed("retries", 3u32));
     let site = args.get("site");
-    let faults_active =
-        args.get("fault-plan").is_some() || matches!(site, Some("osg" | "osg_prestaged"));
+    // An unresolvable --site flows through raw so the config pass can
+    // report it as E0301 against the synthesised site catalog; a
+    // resolvable one is canonicalised to its catalog handle (variants
+    // like osg_prestaged check against their base site's entry).
+    let site_for_ctx: Option<String> = site.map(|s| match registry.resolve(s) {
+        Ok(id) => registry.catalog_name(id).to_string(),
+        Err(_) => s.to_string(),
+    });
+    let faults_active = args.get("fault-plan").is_some()
+        || site.is_some_and(|s| {
+            registry
+                .resolve(s)
+                .map(|id| registry.faults_active(id))
+                .unwrap_or(false)
+        });
     if let Some(wf) = &wf {
         if site.is_some() || args.get("slots").is_some() {
             let ctx = lint::RunContext {
-                site: site.map(|s| if s == "osg_prestaged" { "osg" } else { s }),
+                site: site_for_ctx.as_deref(),
                 sites: Some(&sites),
                 transformations: Some(&tc),
                 retry: Some(&policy),
@@ -692,9 +761,10 @@ fn preflight_lint(args: &Args, dax_path: &str) {
 /// and all of them run concurrently over the shared simulated
 /// platform, under one seed and one slot budget.
 fn cmd_ensemble(args: &Args) -> ExitCode {
-    use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble;
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble_at;
 
-    let site = args.get("site").unwrap_or("sandhills");
+    let registry = load_registry(args);
+    let site = resolve_site(args, &registry, args.get("site").unwrap_or("sandhills"));
     let seed: u64 = args.parsed("seed", 20140519u64);
     let retries: u32 = args.parsed("retries", 3u32);
     let sizes = sizes_from(args);
@@ -712,14 +782,14 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
         use pegasus_wms::lint;
         let widest = *sizes.iter().max().expect("sizes is non-empty");
         let wf = build_workflow(&WorkflowParams::with_n(widest));
-        let (sites_cat, tc, _rc) = load_catalogs(args);
+        let (sites_cat, tc, _rc) = load_catalogs(args, &registry);
         let ctx = lint::RunContext {
-            site: Some(if site == "osg_prestaged" { "osg" } else { site }),
+            site: Some(registry.catalog_name(site)),
             sites: Some(&sites_cat),
             transformations: Some(&tc),
             retry: Some(&retry_policy_from(args, retries)),
             slot_budget,
-            faults_active: matches!(site, "osg" | "osg_prestaged"),
+            faults_active: registry.faults_active(site),
         };
         let label = format!("<blast2cap3 n={widest}>");
         let diags = lint::resolve(
@@ -731,7 +801,8 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
         }
     }
 
-    let out = simulate_blast2cap3_ensemble(site, &sizes, seed, &engine_cfg, slot_budget);
+    let out =
+        simulate_blast2cap3_ensemble_at(&registry, site, &sizes, seed, &engine_cfg, slot_budget);
 
     // Every member's provenance stream lands in one shared registry,
     // so the ensemble exposes the same metric surface as single runs.
@@ -795,18 +866,19 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         preflight_lint(args, dax_path);
     }
     let wf = load_dax(dax_path);
-    let site = args.require("site");
+    let registry = load_registry(args);
+    let site = resolve_site(args, &registry, args.require("site"));
+    let site_name = registry.name(site);
     let seed: u64 = args.parsed("seed", 20140519u64);
     let retries: u32 = args.parsed("retries", 3u32);
 
-    let (sites, tc, rc) = load_catalogs(args);
-    let catalog_site = if site == "osg_prestaged" { "osg" } else { site };
+    let (sites, tc, rc) = load_catalogs(args, &registry);
     let exec = match plan(
         &wf,
         &sites,
         &tc,
         &rc,
-        &PlannerConfig::for_site(catalog_site),
+        &PlannerConfig::for_site(registry.catalog_name(site)),
     ) {
         Ok(e) => e,
         Err(e) => {
@@ -855,16 +927,16 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         }
     }
 
-    let mut backend = SimBackend::new(platform_for(site, seed), seed);
+    let mut backend = registry.backend(site, seed);
     if let Some(script) = script {
         backend = backend.with_faults(script);
     }
     let mut status = StatusMonitor::new(exec.jobs.len());
     let mut timeline = TimelineMonitor::new();
-    let mut registry = MetricsRegistry::new();
+    let mut metrics_registry = MetricsRegistry::new();
     let n = metrics::n_label(&exec.name, exec.jobs.len());
     let run = {
-        let mut metrics_monitor = MetricsMonitor::new(&mut registry, site, &n);
+        let mut metrics_monitor = MetricsMonitor::new(&mut metrics_registry, site_name, &n);
         let mut multi = MultiMonitor::new();
         multi.push(&mut status);
         multi.push(&mut timeline);
@@ -879,10 +951,14 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         }
         // The final one-liner carries the kickstart quantiles from the
         // live metrics registry.
-        let labels = [("site", site), ("n", n.as_str()), ("phase", "kickstart")];
+        let labels = [
+            ("site", site_name),
+            ("n", n.as_str()),
+            ("phase", "kickstart"),
+        ];
         match (
-            registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.5),
-            registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.95),
+            metrics_registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.5),
+            metrics_registry.quantile(metrics::names::PHASE_SECONDS, &labels, 0.95),
         ) {
             (Some(p50), Some(p95)) => println!(
                 "status: {} | kickstart p50 {p50:.0}s p95 {p95:.0}s",
@@ -915,7 +991,7 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         }
     }
     if let Some(path) = args.get("metrics") {
-        std::fs::write(path, registry.render()).expect("write metrics");
+        std::fs::write(path, metrics_registry.render()).expect("write metrics");
         if !csv_only {
             println!("metrics exposition written to {path}");
         }
@@ -952,6 +1028,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
         tenant_slots: args.parsed_opt("tenant-slots"),
         tenant_active: args.parsed_opt("tenant-active"),
         crash_after_members: args.parsed_opt("crash-after-members"),
+        sites: args.get("sites").map(std::path::PathBuf::from),
     };
     match serve::serve(&opts) {
         Ok(()) => ExitCode::SUCCESS,

@@ -210,7 +210,16 @@ mod common {
     pub const RETRIES: Flag = opt("retries", "n", "retry budget per job");
     pub const BACKOFF: Flag = opt("backoff", "secs", "exponential retry backoff base");
     pub const TIMEOUT: Flag = opt("timeout", "secs", "per-attempt timeout");
-    pub const SITE: Flag = opt("site", "name", "target site (sandhills|osg|osg_prestaged)");
+    pub const SITE: Flag = opt(
+        "site",
+        "name",
+        "target site name or alias (built-ins: sandhills|osg|osg_prestaged)",
+    );
+    pub const SITES: Flag = opt(
+        "sites",
+        "file",
+        "site definitions file replacing the built-in sites",
+    );
     pub const SIZES: Flag = opt(
         "sizes",
         "n,n,...",
@@ -266,6 +275,7 @@ pub const VERBS: &[Verb] = &[
         flags: &[
             opt("dax", "file", "abstract workflow to plan"),
             common::SITE,
+            common::SITES,
             opt("cluster", "k", "horizontal clustering factor"),
             switch(
                 "data-reuse",
@@ -284,6 +294,7 @@ pub const VERBS: &[Verb] = &[
         flags: &[
             opt("dax", "file", "abstract workflow to run"),
             common::SITE,
+            common::SITES,
             common::SEED,
             common::RETRIES,
             common::BACKOFF,
@@ -305,6 +316,7 @@ pub const VERBS: &[Verb] = &[
         flags: &[
             opt("dax", "file", "abstract workflow to run"),
             common::SITE,
+            common::SITES,
             common::SEED,
             common::RETRIES,
             common::BACKOFF,
@@ -326,6 +338,7 @@ pub const VERBS: &[Verb] = &[
         positional: None,
         flags: &[
             common::SITE,
+            common::SITES,
             common::SIZES,
             common::SEED,
             common::RETRIES,
@@ -344,6 +357,7 @@ pub const VERBS: &[Verb] = &[
         positional: None,
         flags: &[
             common::SITE,
+            common::SITES,
             common::SIZES,
             common::SEED,
             common::RETRIES,
@@ -361,6 +375,7 @@ pub const VERBS: &[Verb] = &[
         positional: None,
         flags: &[
             common::SITE,
+            common::SITES,
             common::SIZES,
             common::SEED,
             common::RETRIES,
@@ -389,6 +404,7 @@ pub const VERBS: &[Verb] = &[
             opt("deny", "spec", "escalate lints: warnings, codes, or names"),
             opt("allow", "spec", "silence lints by code or name"),
             common::SITE,
+            common::SITES,
             common::CATALOG,
             opt("fault-plan", "file,...", "fault plans to lint"),
             opt("events", "file,...", "event logs to sanitize"),
@@ -411,6 +427,7 @@ pub const VERBS: &[Verb] = &[
                 "dir",
                 "state directory (journal + member event logs)",
             ),
+            common::SITES,
             common::SEED,
             common::RETRIES,
             opt("slots", "n", "global slot budget per round"),

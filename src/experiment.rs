@@ -23,16 +23,29 @@ use blastx::search::{SearchParams, Searcher};
 use blastx::tabular::TabularRecord;
 use cap3::Cap3Params;
 use condor::pool::{LocalPool, PoolConfig};
-use gridsim::platforms::{osg, osg_prestaged, sandhills, SERIAL_REFERENCE_SECONDS};
+use gridsim::platforms::SERIAL_REFERENCE_SECONDS;
+use gridsim::sites::SiteRegistry;
 use gridsim::SimBackend;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, WorkflowRun};
 use pegasus_wms::ensemble::{Ensemble, EnsembleConfig, EnsembleRun, Submission};
+use pegasus_wms::error::WmsError;
 use pegasus_wms::planner::{plan, ExecutableWorkflow, PlannerConfig};
 use pegasus_wms::statistics::{compute, compute_ensemble, EnsembleStatistics, WorkflowStatistics};
+use pegasus_wms::symbols::SiteId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// The process-wide built-in [`SiteRegistry`] — the paper's two
+/// platforms plus the OSG variants. The string-keyed convenience
+/// wrappers below resolve against it; callers with their own
+/// `sites.def` build a registry and use the `_at` entry points.
+pub fn builtin_registry() -> &'static SiteRegistry {
+    static REG: OnceLock<SiteRegistry> = OnceLock::new();
+    REG.get_or_init(SiteRegistry::builtin)
+}
 
 /// The calibrated per-cluster cost model.
 #[derive(Debug, Clone)]
@@ -144,8 +157,8 @@ impl ExperimentOutcome {
 }
 
 /// Simulates the paper's experiment: the Fig. 2 workflow with `n`
-/// clusters, planned for `site` (`"sandhills"`, `"osg"`, or
-/// `"osg_prestaged"`), executed on the matching platform model.
+/// clusters, planned for `site` (any name or alias in the built-in
+/// registry), executed on the matching platform model.
 ///
 /// # Panics
 /// Panics on an unknown site name or if planning fails.
@@ -173,8 +186,28 @@ pub fn simulate_blast2cap3_with(
     engine_cfg: &EngineConfig,
     script: Option<gridsim::FaultScript>,
 ) -> ExperimentOutcome {
-    let exec = plan_blast2cap3(site, n, seed);
-    let mut backend = sim_backend_for(site, seed);
+    let reg = builtin_registry();
+    let id = reg.resolve(site).expect("site in the built-in registry");
+    simulate_blast2cap3_at(reg, id, n, seed, engine_cfg, script)
+}
+
+/// Registry-parameterised simulation: plan the Fig. 2 workflow for
+/// the registered site `id` and execute it on that site's platform
+/// model. This is the core entry point; the string-keyed wrappers
+/// resolve against [`builtin_registry`] and call it.
+///
+/// # Panics
+/// Panics if planning fails.
+pub fn simulate_blast2cap3_at(
+    registry: &SiteRegistry,
+    id: SiteId,
+    n: usize,
+    seed: u64,
+    engine_cfg: &EngineConfig,
+    script: Option<gridsim::FaultScript>,
+) -> ExperimentOutcome {
+    let exec = plan_blast2cap3_at(registry, id, n, seed);
+    let mut backend = registry.backend(id, seed);
     if let Some(script) = script {
         backend = backend.with_faults(script);
     }
@@ -188,44 +221,56 @@ pub fn simulate_blast2cap3_with(
 /// distinguishable in rollup reports.
 ///
 /// # Panics
-/// Panics if planning fails.
+/// Panics on an unknown site name or if planning fails.
 pub fn plan_blast2cap3(site: &str, n: usize, seed: u64) -> ExecutableWorkflow {
+    let reg = builtin_registry();
+    let id = reg.resolve(site).expect("site in the built-in registry");
+    plan_blast2cap3_at(reg, id, n, seed)
+}
+
+/// Registry-parameterised planning. Variants plan under their base
+/// site's catalog entry (the registry resolves the `catalog-site`
+/// chain — what used to be a hand-written `osg_prestaged → osg`
+/// special case), and any files the definition pre-stages are
+/// registered into the replica catalog.
+///
+/// # Panics
+/// Panics if planning fails.
+pub fn plan_blast2cap3_at(
+    registry: &SiteRegistry,
+    id: SiteId,
+    n: usize,
+    seed: u64,
+) -> ExecutableWorkflow {
     let calibration = calibrate_workload(seed);
     let chunk_costs = calibrated_chunk_costs(&calibration, n);
     let n_effective = chunk_costs.len();
     let params = WorkflowParams::with_n(n_effective).with_chunk_costs(chunk_costs);
     let wf = build_workflow(&params);
 
-    let (sites, tc) = paper_catalogs();
+    let sites = registry.site_catalog();
+    let (_, tc) = paper_catalogs();
     let mut rc = ReplicaCatalog::new();
     rc.register("transcripts.fasta", "submit");
     rc.register("alignments.out", "submit");
-    // The prestaged variant is the same site catalog entry as OSG.
-    let catalog_site = if site == "osg_prestaged" { "osg" } else { site };
+    registry.register_replicas(&mut rc);
     let mut exec = plan(
         &wf,
         &sites,
         &tc,
         &rc,
-        &PlannerConfig::for_site(catalog_site),
+        &PlannerConfig::for_site(registry.catalog_name(id)),
     )
     .expect("planning the paper workflow");
     exec.name = format!("blast2cap3_n{n}");
     exec
 }
 
-/// Builds the simulated platform backend for `site`.
-///
-/// # Panics
-/// Panics on an unknown site name.
-pub fn sim_backend_for(site: &str, seed: u64) -> SimBackend {
-    let platform = match site {
-        "sandhills" => sandhills(),
-        "osg" => osg(seed),
-        "osg_prestaged" => osg_prestaged(seed),
-        other => panic!("unknown simulated site {other:?}"),
-    };
-    SimBackend::new(platform, seed)
+/// Builds the simulated platform backend for `site`, or a typed
+/// [`WmsError::UnknownSite`] listing the registered names.
+pub fn sim_backend_for(site: &str, seed: u64) -> Result<SimBackend, WmsError> {
+    let reg = builtin_registry();
+    Ok(reg.backend(reg.resolve(site)?, seed))
 }
 
 /// One simulated ensemble result.
@@ -253,11 +298,33 @@ pub fn simulate_blast2cap3_ensemble(
     engine_cfg: &EngineConfig,
     slot_budget: Option<usize>,
 ) -> EnsembleOutcome {
+    let reg = builtin_registry();
+    let id = reg.resolve(site).expect("site in the built-in registry");
+    simulate_blast2cap3_ensemble_at(reg, id, sizes, seed, engine_cfg, slot_budget)
+}
+
+/// Registry-parameterised ensemble sweep.
+///
+/// # Panics
+/// Panics if planning fails.
+pub fn simulate_blast2cap3_ensemble_at(
+    registry: &SiteRegistry,
+    id: SiteId,
+    sizes: &[usize],
+    seed: u64,
+    engine_cfg: &EngineConfig,
+    slot_budget: Option<usize>,
+) -> EnsembleOutcome {
     let submissions: Vec<Submission> = sizes
         .iter()
-        .map(|&n| Submission::new(plan_blast2cap3(site, n, seed), engine_cfg.clone()))
+        .map(|&n| {
+            Submission::new(
+                plan_blast2cap3_at(registry, id, n, seed),
+                engine_cfg.clone(),
+            )
+        })
         .collect();
-    let mut backend = sim_backend_for(site, seed);
+    let mut backend = registry.backend(id, seed);
     let ens_cfg = match slot_budget {
         Some(b) => EnsembleConfig::with_slot_budget(b),
         None => EnsembleConfig::default(),

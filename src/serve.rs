@@ -32,7 +32,8 @@
 //!   rollup, and metrics byte-identical to the run the crash
 //!   destroyed.
 
-use crate::experiment::{plan_blast2cap3, sim_backend_for};
+use crate::experiment::{builtin_registry, plan_blast2cap3_at};
+use gridsim::sites::SiteRegistry;
 use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
 use pegasus_wms::dax;
 use pegasus_wms::engine::{EngineConfig, WorkflowRun};
@@ -46,6 +47,7 @@ use pegasus_wms::serve::{
     JournalEntry, Ledger, Request, ResponseHead, SubmitRequest, SubmitSource,
 };
 use pegasus_wms::statistics::{compute_ensemble, render_ensemble_csv};
+use pegasus_wms::symbols::SiteId;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -77,6 +79,8 @@ pub struct ServeOptions {
     /// Test hook: abort the process (as if killed) after this many
     /// member completions, mid-round, exercising crash recovery.
     pub crash_after_members: Option<usize>,
+    /// Optional `sites.def` file replacing the built-in site registry.
+    pub sites: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -91,13 +95,30 @@ impl Default for ServeOptions {
             tenant_slots: None,
             tenant_active: None,
             crash_after_members: None,
+            sites: None,
         }
     }
 }
 
-/// One accepted submission inside the daemon.
+/// Loads the registry the daemon resolves every submission against:
+/// the `--sites` file when configured, the built-ins otherwise.
+fn load_registry(opts: &ServeOptions) -> Result<SiteRegistry, String> {
+    match &opts.sites {
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            SiteRegistry::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        None => Ok(builtin_registry().clone()),
+    }
+}
+
+/// One accepted submission inside the daemon. The site is resolved
+/// to its interned id at admission; the original string in `sub`
+/// survives for the journal and status rendering.
 struct DaemonMember {
     sub: SubmitRequest,
+    site: SiteId,
     cancelled: bool,
     run: Option<WorkflowRun>,
 }
@@ -239,30 +260,29 @@ fn load_member_run(dir: &Path, id: usize) -> Result<WorkflowRun, String> {
 /// or the round seed) — also used for workload calibration, so
 /// recovery re-plans identically.
 fn plan_member(
+    registry: &SiteRegistry,
     sub: &SubmitRequest,
     engine_seed: u64,
     default_retries: u32,
 ) -> Result<(ExecutableWorkflow, EngineConfig), String> {
+    let site = registry.resolve(&sub.site).map_err(|e| e.to_string())?;
     let exec = match &sub.source {
-        SubmitSource::Generated { n } => plan_blast2cap3(&sub.site, *n, engine_seed),
+        SubmitSource::Generated { n } => plan_blast2cap3_at(registry, site, *n, engine_seed),
         SubmitSource::Dax { path } => {
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let wf = dax::from_dax(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
-            let (sites, tc) = paper_catalogs();
+            let sites = registry.site_catalog();
+            let (_, tc) = paper_catalogs();
             let mut rc = ReplicaCatalog::new();
             rc.register("transcripts.fasta", "submit");
             rc.register("alignments.out", "submit");
-            let catalog_site = if sub.site == "osg_prestaged" {
-                "osg"
-            } else {
-                &sub.site
-            };
+            registry.register_replicas(&mut rc);
             plan(
                 &wf,
                 &sites,
                 &tc,
                 &rc,
-                &PlannerConfig::for_site(catalog_site),
+                &PlannerConfig::for_site(registry.catalog_name(site)),
             )
             .map_err(|e| format!("cannot plan {path}: {e}"))?
         }
@@ -302,6 +322,7 @@ fn preflight_dax(path: &str) -> Result<(), String> {
 /// The daemon state, owned by the scheduler thread.
 struct Daemon {
     opts: ServeOptions,
+    registry: SiteRegistry,
     members: Vec<DaemonMember>,
     rounds_done: usize,
     journal: File,
@@ -333,6 +354,13 @@ impl Daemon {
                 .to_string());
             }
         }
+        // Resolve the site before journaling: an unknown site is a
+        // clean protocol `error` reply naming the registered sites,
+        // not a failure buried inside a later `run` round.
+        let site = self
+            .registry
+            .resolve(&sub.site)
+            .map_err(|e| e.to_string())?;
         if let SubmitSource::Dax { path } = &sub.source {
             preflight_dax(path)?;
         }
@@ -343,6 +371,7 @@ impl Daemon {
         })?;
         self.members.push(DaemonMember {
             sub,
+            site,
             cancelled: false,
             run: None,
         });
@@ -364,19 +393,19 @@ impl Daemon {
     /// Executes one journaled round: plan every member, run them as
     /// one ensemble on a fresh backend seeded by the round seed, and
     /// store the per-member runs.
-    fn run_round(&mut self, site: &str, round_seed: u64, ids: &[usize]) -> Result<(), String> {
+    fn run_round(&mut self, site: SiteId, round_seed: u64, ids: &[usize]) -> Result<(), String> {
         let mut submissions = Vec::with_capacity(ids.len());
         for &id in ids {
             let sub = &self.members[id].sub;
             let engine_seed = sub.seed.unwrap_or(round_seed);
-            let (exec, cfg) = plan_member(sub, engine_seed, self.opts.retries)?;
+            let (exec, cfg) = plan_member(&self.registry, sub, engine_seed, self.opts.retries)?;
             submissions.push(
                 Submission::new(exec, cfg)
                     .with_priority(sub.priority)
                     .with_tenant(sub.tenant.clone()),
             );
         }
-        let mut backend = sim_backend_for(site, round_seed);
+        let mut backend = self.registry.backend(site, round_seed);
         let config = EnsembleConfig {
             slot_budget: self.opts.slot_budget,
             tenant_slots: self.opts.tenant_slots,
@@ -397,15 +426,22 @@ impl Daemon {
     /// `run`: journal and execute one round per site over everything
     /// queued, sites in lexicographic order, members in id order.
     fn handle_run(&mut self) -> Result<ResponseHead, String> {
-        let mut by_site: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        // Keyed by the site's primary registry name so rounds execute
+        // in lexicographic site order, as they always have; aliases
+        // collapse onto the same round via the interned id.
+        let mut by_site: BTreeMap<String, (SiteId, Vec<usize>)> = BTreeMap::new();
         for (id, m) in self.members.iter().enumerate() {
             if m.queued() {
-                by_site.entry(m.sub.site.clone()).or_default().push(id);
+                by_site
+                    .entry(self.registry.name(m.site).to_string())
+                    .or_insert_with(|| (m.site, Vec::new()))
+                    .1
+                    .push(id);
             }
         }
         let mut rounds = 0usize;
         let mut count = 0usize;
-        for (site, ids) in by_site {
+        for (_, (site, ids)) in by_site {
             let round = self.rounds_done;
             let seed = proto::round_seed(self.opts.seed, round);
             // Plan before journaling so a bad member (e.g. a DAX file
@@ -413,14 +449,19 @@ impl Daemon {
             // instead of leaving an open round.
             for &id in &ids {
                 let sub = &self.members[id].sub;
-                plan_member(sub, sub.seed.unwrap_or(seed), self.opts.retries)?;
+                plan_member(
+                    &self.registry,
+                    sub,
+                    sub.seed.unwrap_or(seed),
+                    self.opts.retries,
+                )?;
             }
             self.journal_entry(&JournalEntry::RoundStarted {
                 round,
                 seed,
                 members: ids.clone(),
             })?;
-            self.run_round(&site, seed, &ids)?;
+            self.run_round(site, seed, &ids)?;
             self.journal_entry(&JournalEntry::RoundFinished { round })?;
             self.rounds_done += 1;
             rounds += 1;
@@ -516,6 +557,7 @@ fn lines_response(payload: &str) -> String {
 /// Rebuilds daemon state from the journal and member logs, re-running
 /// the interrupted round if the previous process died mid-ensemble.
 fn recover(opts: &ServeOptions) -> Result<Daemon, String> {
+    let registry = load_registry(opts)?;
     let jpath = journal_path(&opts.dir);
     let ledger = if jpath.exists() {
         let text = fs::read_to_string(&jpath)
@@ -529,16 +571,18 @@ fn recover(opts: &ServeOptions) -> Result<Daemon, String> {
         Ledger::default()
     };
 
-    let mut members: Vec<DaemonMember> = ledger
-        .submissions
-        .iter()
-        .enumerate()
-        .map(|(id, sub)| DaemonMember {
+    let mut members = Vec::with_capacity(ledger.submissions.len());
+    for (id, sub) in ledger.submissions.iter().enumerate() {
+        // A journaled site that no longer resolves (the registry file
+        // changed under the state directory) fails recovery up front.
+        let site = registry.resolve(&sub.site).map_err(|e| e.to_string())?;
+        members.push(DaemonMember {
             sub: sub.clone(),
+            site,
             cancelled: ledger.cancelled.contains(&id),
             run: None,
-        })
-        .collect();
+        });
+    }
 
     // Completed rounds: restore member runs by replaying their logs.
     for round in ledger.rounds.iter().filter(|r| r.finished) {
@@ -553,6 +597,7 @@ fn recover(opts: &ServeOptions) -> Result<Daemon, String> {
         .map_err(|e| format!("cannot open {} for append: {e}", jpath.display()))?;
     let mut daemon = Daemon {
         opts: opts.clone(),
+        registry,
         members,
         rounds_done: ledger.rounds.len(),
         journal,
@@ -574,14 +619,14 @@ fn recover(opts: &ServeOptions) -> Result<Daemon, String> {
             }
             let _ = fs::remove_file(&path);
         }
-        let site = daemon.members[open.members[0]].sub.site.clone();
+        let site = daemon.members[open.members[0]].site;
         println!(
             "re-executing interrupted round id={} seed={} members={}",
             open.round,
             open.seed,
             open.members.len()
         );
-        daemon.run_round(&site, open.seed, &open.members)?;
+        daemon.run_round(site, open.seed, &open.members)?;
         daemon.journal_entry(&JournalEntry::RoundFinished { round: open.round })?;
     }
     Ok(daemon)
@@ -775,6 +820,9 @@ pub fn status_lines_offline(dir: &Path) -> Result<Vec<String>, String> {
         .enumerate()
         .map(|(id, sub)| DaemonMember {
             sub: sub.clone(),
+            // Offline rendering only reads journaled strings and
+            // replayed runs; the interned id never dispatches here.
+            site: SiteId::default(),
             cancelled: ledger.cancelled.contains(&id),
             run: None,
         })

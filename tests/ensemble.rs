@@ -42,11 +42,11 @@ fn singleton_unbounded_ensemble_is_bit_identical_to_engine_run() {
     let cfg = EngineConfig::builder().retries(10).seed(SEED).build();
 
     let exec = plan_blast2cap3("osg", 40, SEED);
-    let mut be_single = sim_backend_for("osg", SEED);
+    let mut be_single = sim_backend_for("osg", SEED).unwrap();
     let single = Engine::run(&mut be_single, &exec, &cfg, &mut NoopMonitor);
 
     let subs = vec![Submission::new(plan_blast2cap3("osg", 40, SEED), cfg)];
-    let mut be_ens = sim_backend_for("osg", SEED);
+    let mut be_ens = sim_backend_for("osg", SEED).unwrap();
     let ens = Ensemble::run_to_completion(&mut be_ens, subs, &EnsembleConfig::unbounded()).unwrap();
 
     assert_eq!(ens.runs.len(), 1);
@@ -79,7 +79,7 @@ fn crashed_member_rescues_and_one_resubmission_completes_it() {
         Submission::new(plan_blast2cap3("sandhills", 10, SEED), healthy_cfg.clone()),
         Submission::new(plan_blast2cap3("sandhills", 40, SEED), crashing_cfg),
     ];
-    let mut backend = sim_backend_for("sandhills", SEED);
+    let mut backend = sim_backend_for("sandhills", SEED).unwrap();
     let ens = Ensemble::run_to_completion(&mut backend, subs, &EnsembleConfig::default()).unwrap();
 
     assert!(ens.runs[0].succeeded(), "healthy member must finish");
@@ -96,7 +96,7 @@ fn crashed_member_rescues_and_one_resubmission_completes_it() {
         .rescue(&rescue)
         .build();
     let exec = plan_blast2cap3("sandhills", 40, SEED);
-    let mut backend2 = sim_backend_for("sandhills", SEED);
+    let mut backend2 = sim_backend_for("sandhills", SEED).unwrap();
     let resumed = Engine::run(&mut backend2, &exec, &resume_cfg, &mut NoopMonitor);
     assert!(
         resumed.succeeded(),
@@ -126,7 +126,7 @@ fn two_tenant_fair_share_is_deterministic_under_one_seed() {
                 .with_tenant("alice"),
             Submission::new(plan_blast2cap3("sandhills", 10, SEED), cfg).with_tenant("bob"),
         ];
-        let mut backend = sim_backend_for("sandhills", SEED);
+        let mut backend = sim_backend_for("sandhills", SEED).unwrap();
         let ens = Ensemble::run_to_completion(
             &mut backend,
             subs,

@@ -293,3 +293,47 @@ fn bad_invocations_exit_with_usage() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2), "unknown format");
 }
+
+#[test]
+fn every_site_def_rule_has_a_fixture_that_triggers_exactly_it() {
+    let dax = fixture("clean_small.dax");
+    for (name, code) in [
+        ("e0501_duplicate_site.def", "E0501"),
+        ("e0502_duplicate_alias.def", "E0502"),
+        ("e0503_alias_shadows_site.def", "E0503"),
+        ("e0504_zero_slots.def", "E0504"),
+        ("e0505_negative_parameter.def", "E0505"),
+        ("e0506_undefined_reference.def", "E0506"),
+        ("e0507_syntax.def", "E0507"),
+    ] {
+        let (ok, codes, out) = lint(&[&dax, "--sites", &fixture(name)]);
+        assert!(!ok, "{name}: site-def defects are deny-level");
+        assert!(!codes.is_empty(), "{name} produced no diagnostics: {out}");
+        assert!(
+            codes.iter().all(|c| c == code),
+            "{name} expected only {code}, got {codes:?}: {out}"
+        );
+    }
+}
+
+#[test]
+fn custom_site_file_lints_clean_and_resolves_by_alias() {
+    let def = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/sites/third_site.def"
+    );
+    let (ok, codes, out) = lint(&[&fixture("clean_small.dax"), "--sites", def]);
+    assert!(ok, "third_site.def must lint clean: {out}");
+    assert!(codes.is_empty(), "{codes:?}: {out}");
+    // The custom registry replaces the built-ins for the config pass:
+    // an alias from the file resolves, so no E0301 fires.
+    let (ok, codes, out) = lint(&[
+        &fixture("clean_small.dax"),
+        "--sites",
+        def,
+        "--site",
+        "arctic-cluster",
+    ]);
+    assert!(ok, "{out}");
+    assert!(codes.is_empty(), "{codes:?}: {out}");
+}

@@ -298,6 +298,21 @@ fn malformed_lines_and_bad_dax_submissions_are_rejected_inline() {
         matches!(head, ResponseHead::Error(_)),
         "bad DAX must be rejected, got {head:?}"
     );
+
+    // An unknown site is an `error` reply naming the registered
+    // sites — refused before journaling, not a failure inside a
+    // later `run` round.
+    let (head, _) = conn
+        .request(&generated("alice", "mars", 10))
+        .expect("request round-trip");
+    match head {
+        ResponseHead::Error(msg) => assert!(
+            msg.contains("known sites: osg, osg_churning, osg_prestaged, sandhills"),
+            "error must list the registry: {msg}"
+        ),
+        other => panic!("unknown site must be rejected, got {other:?}"),
+    }
+
     // Nothing was admitted: status is empty.
     assert_eq!(
         expect_lines(&mut conn, &Request::Status),
