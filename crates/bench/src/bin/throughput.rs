@@ -17,7 +17,12 @@
 //!   non-zero when planned jobs/sec or simulated events/sec fall
 //!   below `--min-ratio` (default 0.7, i.e. a >30% regression)
 //!   of the baseline entry for the same `n` — the CI throughput
-//!   gate.
+//!   gate. The check also asserts the tracing-off contract: the
+//!   measured run (profiling disabled, the default) must leave the
+//!   self-profiler empty — every `prof::scope` on the hot path is a
+//!   no-op — while a second profiled run of the same size must
+//!   collect samples, proving the flag (not dead instrumentation)
+//!   is what keeps the default path free.
 
 use blast2cap3::workflow::{build_workflow, WorkflowParams};
 use gridsim::platforms::sandhills;
@@ -173,6 +178,32 @@ fn main() -> ExitCode {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
         let row = measure(n, seed);
+        // Tracing-off overhead gate: the run above executed with
+        // profiling disabled, so the instrumented scopes (dax.parse,
+        // plan, graph.csr, engine.run) must have recorded nothing.
+        let leaked = pegasus_wms::prof::take_samples();
+        assert!(
+            leaked.is_empty(),
+            "profiling is off but the run recorded {} samples: {leaked:?}",
+            leaked.len()
+        );
+        // Counter-check that the instrumentation is alive when armed:
+        // a profiled re-run of the same size must produce samples.
+        pegasus_wms::prof::set_enabled(true);
+        let profiled = measure(n, seed);
+        pegasus_wms::prof::set_enabled(false);
+        let samples = pegasus_wms::prof::take_samples();
+        assert!(
+            samples.iter().any(|(l, _)| *l == "engine.run"),
+            "profiled run must sample engine.run, got {samples:?}"
+        );
+        println!(
+            "tracing-off contract ok: 0 samples unprofiled, {} profiled \
+             (simulate {:.3}s off vs {:.3}s on)",
+            samples.len(),
+            row.simulate_seconds,
+            profiled.simulate_seconds
+        );
         println!(
             "n={n}: planned {:.0} jobs/s (plan {:.3}s), simulated {:.0} events/s ({:.3}s)",
             row.jobs_per_sec_planned,

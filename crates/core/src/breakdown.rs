@@ -231,6 +231,37 @@ pub fn render_csv(rows: &[BreakdownRow]) -> String {
     out
 }
 
+/// Renders rows as a JSON array (the `pegasus breakdown --json`
+/// machine interface): one object per row, keys matching the
+/// [`CSV_HEADER`] columns, durations with millisecond precision —
+/// byte-stable for a given event stream. Hand-rolled JSON, like the
+/// lint and trace renderers: the repo's no-serde discipline.
+pub fn render_json(rows: &[BreakdownRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"site\":\"{}\",\"n\":\"{}\",\"compute_jobs\":{},\"completed\":{},\
+             \"queue_wait_mean_s\":{:.3},\"install_mean_s\":{:.3},\"kickstart_mean_s\":{:.3},\
+             \"post_overhead_mean_s\":{:.3},\"retry_badput_mean_s\":{:.3},\"total_mean_s\":{:.3}}}",
+            crate::trace::json_escape(&r.site),
+            crate::trace::json_escape(&r.n),
+            r.compute_jobs,
+            r.completed,
+            r.queue_wait_mean,
+            r.install_mean,
+            r.kickstart_mean,
+            r.post_overhead_mean,
+            r.retry_badput_mean,
+            r.total_mean,
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Renders rows as an aligned text table (the `pegasus breakdown`
 /// terminal view), durations in whole seconds.
 pub fn render_table(rows: &[BreakdownRow]) -> String {
@@ -388,6 +419,33 @@ mod tests {
         let table = render_table(&[row]);
         assert!(table.contains("kickstart"), "{table}");
         assert!(table.contains("test"), "{table}");
+    }
+
+    #[test]
+    fn json_rendering_mirrors_the_csv_columns() {
+        let run = Engine::run(
+            &mut ScriptedBackend::new(),
+            &wf(),
+            &EngineConfig::default(),
+            &mut crate::engine::NoopMonitor,
+        );
+        let row = from_events(&run.events).unwrap();
+        let json = render_json(std::slice::from_ref(&row));
+        // One object per row between the brackets, no trailing comma.
+        assert!(json.starts_with("[\n  {\"site\":\"test\""), "{json}");
+        assert!(json.ends_with("}\n]\n"), "{json}");
+        for key in CSV_HEADER.split(',') {
+            let key = key.trim();
+            assert!(json.contains(&format!("\"{key}\":")), "{json} misses {key}");
+        }
+        assert!(json.contains("\"kickstart_mean_s\":15.000"), "{json}");
+        assert_eq!(json, render_json(std::slice::from_ref(&row)));
+        // Two rows: comma-separated lines, still balanced.
+        let two = render_json(&[row.clone(), row]);
+        assert_eq!(two.matches("},\n").count(), 1, "{two}");
+        assert_eq!(two.matches('{').count(), 2);
+        assert_eq!(two.matches('}').count(), 2);
+        assert_eq!(render_json(&[]), "[\n]\n");
     }
 
     #[test]

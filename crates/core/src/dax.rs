@@ -327,6 +327,7 @@ fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
 
 /// Parses a DAX document back into an [`AbstractWorkflow`].
 pub fn from_dax(text: &str) -> Result<AbstractWorkflow, WmsError> {
+    let _prof = crate::prof::scope("dax.parse");
     let wf = from_dax_unvalidated(text)?;
     // A syntactically well-formed DAX can still describe a cyclic graph
     // or give one file two producers; surface those as their own typed

@@ -986,6 +986,7 @@ impl Engine {
         config: &EngineConfig,
         monitor: &mut dyn WorkflowMonitor,
     ) -> WorkflowRun {
+        let _prof = crate::prof::scope("engine.run");
         backend.set_timeout(config.retry.timeout);
         let mut exec = WorkflowExecution::new(wf, config, backend.now());
         for job in exec.take_initial_ready() {

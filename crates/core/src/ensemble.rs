@@ -57,6 +57,7 @@ use crate::engine::{
 use crate::error::WmsError;
 use crate::events::WorkflowEvent;
 use crate::planner::{ExecutableJob, ExecutableWorkflow};
+use crate::trace::TraceId;
 use crate::workflow::JobId;
 use std::cmp::Reverse;
 use std::fmt;
@@ -79,6 +80,10 @@ pub struct Submission {
     /// The tenant charged for this workflow's slot usage. Fair-share
     /// and quota apply per tenant before per workflow.
     pub tenant: String,
+    /// The trace id this workflow's spans are keyed by. `None` lets
+    /// the admitting surface (daemon, CLI) derive one; the ensemble
+    /// itself only carries it.
+    pub trace: Option<TraceId>,
 }
 
 impl Submission {
@@ -89,6 +94,7 @@ impl Submission {
             config,
             priority: 0,
             tenant: DEFAULT_TENANT.to_string(),
+            trace: None,
         }
     }
 
@@ -101,6 +107,12 @@ impl Submission {
     /// Names the owning tenant.
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = tenant.into();
+        self
+    }
+
+    /// Keys this workflow's spans by `trace` end to end.
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -405,6 +417,7 @@ impl Ensemble {
         backend: &mut dyn ExecutionBackend,
         monitor: &mut dyn EnsembleMonitor,
     ) -> Result<EnsembleRun, WmsError> {
+        let _prof = crate::prof::scope("ensemble.join");
         let round: Vec<(usize, Submission)> = self
             .entries
             .iter_mut()

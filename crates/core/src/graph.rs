@@ -44,6 +44,7 @@ impl Csr {
         edges: &[(JobId, JobId)],
         orient: impl Fn(&(JobId, JobId)) -> (JobId, JobId),
     ) -> Csr {
+        let _prof = crate::prof::scope("graph.csr");
         let mut offsets = vec![0u32; n + 1];
         for e in edges {
             let (from, _) = orient(e);

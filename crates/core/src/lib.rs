@@ -40,6 +40,13 @@
 //!   stream into `queue-wait → install → kickstart → post-overhead →
 //!   retry-badput` spans and per-site/per-n breakdown tables (the
 //!   paper's Fig. 7–8 decomposition);
+//! * [`trace`] — end-to-end span tracing: folds any event stream
+//!   into a workflow → job → attempt → phase span tree keyed by a
+//!   [`TraceId`], exported as a Chrome Trace Event JSON
+//!   (Perfetto-loadable) or a plain-text tree;
+//! * [`prof`] — engine self-profiling: flag-gated wall-clock scopes
+//!   over the engine's own hot path (parse, plan, simulate, serve
+//!   rounds), exported as `pegasus_engine_phase_seconds` histograms;
 //! * [`lint`] — a compiler-style static analyzer: typed diagnostics
 //!   with codes, severities, and file/line/col spans over workflows,
 //!   fault plans, run configurations, and provenance event streams
@@ -73,11 +80,13 @@ pub mod metrics;
 pub mod monitor;
 pub mod planner;
 pub mod prelude;
+pub mod prof;
 pub mod rescue;
 pub mod serve;
 pub mod statistics;
 pub mod symbols;
 pub mod synthetic;
+pub mod trace;
 pub mod workflow;
 
 pub use catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};
@@ -92,4 +101,5 @@ pub use graph::Csr;
 pub use lint::{Diagnostic, Severity};
 pub use planner::{plan, ExecutableJob, ExecutableWorkflow, JobKind, PlannerConfig};
 pub use symbols::{FileId, JobId, SiteId, SymbolTable};
+pub use trace::TraceId;
 pub use workflow::{AbstractWorkflow, Job, LogicalFile};

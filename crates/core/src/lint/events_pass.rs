@@ -13,6 +13,18 @@
 //! Truncated streams (no `workflow-finished`) are a warning, not an
 //! error: a crashed submit host legitimately leaves one behind, and
 //! rescue-from-log must keep working on it.
+//!
+//! One subtlety governs the stream-order check (`W0709`): healthy
+//! engine streams are *not* globally monotone over every `time=`
+//! field. `install-started` and `started` events are synthesized
+//! retrospectively when an attempt completes, carrying the attempt's
+//! earlier timestamps, so under parallel execution a later-finishing
+//! job's start legitimately appears after an earlier completion. Only
+//! the *emission-ordered* kinds — `workflow-started`, `skipped`,
+//! `submitted`, `retry-scheduled`, the terminal events (by their
+//! `finished` time), and `workflow-finished` — are written in
+//! nondecreasing backend-time order, and only those participate in
+//! the monotonicity check.
 
 use super::Diagnostic;
 use crate::engine::JobTimes;
@@ -39,8 +51,9 @@ fn times_ordered(t: &JobTimes) -> bool {
 /// `events` pairs each event with its one-based line number in `file`
 /// (from [`crate::events::log::parse_lines`]); streams built in memory
 /// can pass line 0.  Emits `E0701`/`E0702` (stream framing),
-/// `E0703`/`E0704`/`E0705`/`E0706` (per-job invariants), and `W0707`
-/// (truncated stream).
+/// `E0703`/`E0704`/`E0705`/`E0706` (per-job invariants), `W0707`
+/// (truncated stream), and `W0709` (emission-ordered events going
+/// backwards in time — see the module docs for which kinds count).
 pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let at = |line: usize| {
@@ -67,9 +80,45 @@ pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagno
     let mut after_finish_reported = false;
     let mut undeclared_reported: BTreeSet<JobId> = BTreeSet::new();
     let mut jobs: BTreeMap<JobId, JobState> = BTreeMap::new();
+    let mut last_emitted = f64::NEG_INFINITY;
 
     for (idx, (line, ev)) in events.iter().enumerate() {
         let line = *line;
+
+        // W0709 runs over the emission-ordered kinds only:
+        // install-started/started are retrospective (stamped with the
+        // attempt's earlier times at completion) and job declarations
+        // carry no time, so none of them constrain stream order.
+        let emitted = match ev {
+            WorkflowEvent::WorkflowStarted { time, .. }
+            | WorkflowEvent::WorkflowFinished { time, .. }
+            | WorkflowEvent::Skipped { time, .. }
+            | WorkflowEvent::Submitted { time, .. }
+            | WorkflowEvent::RetryScheduled { time, .. } => Some(*time),
+            WorkflowEvent::Completed { times, .. }
+            | WorkflowEvent::Failed { times, .. }
+            | WorkflowEvent::TimedOut { times, .. } => Some(times.finished),
+            WorkflowEvent::JobDeclared { .. }
+            | WorkflowEvent::InstallStarted { .. }
+            | WorkflowEvent::Started { .. } => None,
+        };
+        if let Some(t) = emitted {
+            if t < last_emitted {
+                diags.push(
+                    Diagnostic::new(
+                        "W0709",
+                        file,
+                        at(line),
+                        format!("stream goes backwards in time: {t} after {last_emitted}"),
+                    )
+                    .with_help(
+                        "the engine emits these kinds in nondecreasing backend time; \
+                         a reordered or merged log breaks replay assumptions",
+                    ),
+                );
+            }
+            last_emitted = last_emitted.max(t);
+        }
         if let Some(fin) = finished_at {
             if !after_finish_reported {
                 after_finish_reported = true;
@@ -374,7 +423,54 @@ completed job=0 attempt=0 submitted=10 started=5 install-done=5 finished=3
 workflow-finished time=9 wall-time=9 succeeded=true
 ";
         let diags = lint_text(text);
-        assert_eq!(codes(&diags), ["E0704", "E0704", "E0704"]);
+        // The per-job E0704s plus stream-level W0709s: the terminal's
+        // finished=3 and workflow-finished time=9 both precede the
+        // submitted time=10 high-water mark.
+        assert_eq!(codes(&diags), ["E0704", "W0709", "E0704", "E0704", "W0709"]);
+    }
+
+    #[test]
+    fn reordered_stream_is_flagged_as_nonmonotone() {
+        // Two jobs whose emission-ordered events were merged out of
+        // order: job 1's submission (time=2) appears after job 0's
+        // completion (finished=9).  Each job is individually clean, so
+        // only the stream-level rule can catch this.
+        let text = "\
+workflow-started time=0 jobs=2 site=osg name=w
+job id=0 kind=compute transformation=split name=a
+job id=1 kind=compute transformation=split name=b
+submitted time=0 job=0 attempt=0
+started time=1 job=0 attempt=0
+completed job=0 attempt=0 submitted=0 started=1 install-done=1 finished=9
+submitted time=2 job=1 attempt=0
+started time=3 job=1 attempt=0
+completed job=1 attempt=0 submitted=2 started=3 install-done=3 finished=12
+workflow-finished time=12 wall-time=12 succeeded=true
+";
+        let diags = lint_text(text);
+        assert_eq!(codes(&diags), ["W0709"]);
+        assert_eq!(diags[0].span.line, 7);
+    }
+
+    #[test]
+    fn retrospective_started_events_do_not_trip_the_stream_check() {
+        // A healthy parallel run: job 1 finishes first, then job 0's
+        // started event (synthesized retrospectively at its completion)
+        // carries time=1, *before* job 1's finished=4.  The stream is
+        // exactly what the engine emits and must stay clean.
+        let text = "\
+workflow-started time=0 jobs=2 site=osg name=w
+job id=0 kind=compute transformation=split name=a
+job id=1 kind=compute transformation=split name=b
+submitted time=0 job=0 attempt=0
+submitted time=0 job=1 attempt=0
+started time=2 job=1 attempt=0
+completed job=1 attempt=0 submitted=0 started=2 install-done=2 finished=4
+started time=1 job=0 attempt=0
+completed job=0 attempt=0 submitted=0 started=1 install-done=1 finished=7
+workflow-finished time=7 wall-time=7 succeeded=true
+";
+        assert!(lint_text(text).is_empty());
     }
 
     #[test]

@@ -305,6 +305,12 @@ pub const RULES: &[Rule] = &[
         default: Level::Deny,
         summary: "the event log is not syntactically valid",
     },
+    Rule {
+        code: "W0709",
+        name: "nonmonotone-stream",
+        default: Level::Warn,
+        summary: "emission-ordered events go backwards in time (reordered or merged stream)",
+    },
 ];
 
 /// Looks a rule up by code (`"E0103"`) or kebab-case name

@@ -387,6 +387,18 @@ pub mod names {
     /// Counter `{site,n,outcome}`: finished workflows by outcome
     /// (`success` | `failed`).
     pub const WORKFLOWS: &str = "pegasus_workflows_total";
+    /// Histogram `{phase}`: wall-clock seconds the engine itself spent
+    /// in each internal phase (`dax.parse`, `plan`, `engine.run`, …).
+    /// Populated only under `--profile` via [`crate::prof::export`].
+    pub const ENGINE_PHASE_SECONDS: &str = "pegasus_engine_phase_seconds";
+    /// Gauge: simulator event-queue depth at the end of a run.
+    pub const SIM_QUEUE_DEPTH: &str = "pegasus_sim_event_queue_depth";
+    /// Gauge: peak simulator event-queue depth over a run.
+    pub const SIM_QUEUE_PEAK: &str = "pegasus_sim_event_queue_peak_depth";
+    /// Counter: events scheduled into the simulator queue over a run.
+    pub const SIM_EVENTS_SCHEDULED: &str = "pegasus_sim_events_scheduled_total";
+    /// Gauge: peak occupied calendar-day buckets over a run.
+    pub const SIM_CALENDAR_OCCUPANCY: &str = "pegasus_sim_calendar_buckets_occupied_peak";
 }
 
 /// A [`WorkflowMonitor`] that lands every engine callback in a

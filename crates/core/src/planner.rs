@@ -373,6 +373,7 @@ pub fn plan(
     replicas: &ReplicaCatalog,
     config: &PlannerConfig,
 ) -> Result<ExecutableWorkflow, WmsError> {
+    let _prof = crate::prof::scope("plan");
     let site = sites.get(&config.target_site).ok_or_else(|| {
         let mut known = sites.names();
         known.sort();

@@ -17,6 +17,7 @@
 //! submit tenant=alice site=sandhills seed=7 retries=3 priority=2 n=100
 //! submit tenant=bob site=osg dax=runs/blast2cap3_n300.dax
 //! cancel id=3
+//! trace id=3
 //! run
 //! status
 //! rollup
@@ -36,9 +37,13 @@
 //!
 //! `tenant` and `site` are single tokens (no whitespace); `dax=` is a
 //! tail field consuming the rest of the line, so paths may contain
-//! spaces. Optional fields (`seed`, `retries`, `priority`) are
-//! omitted when at their defaults, which keeps rendering canonical:
-//! parse ∘ render is the identity (pinned by proptest).
+//! spaces. Optional fields (`seed`, `retries`, `priority`, `trace`)
+//! are omitted when at their defaults, which keeps rendering
+//! canonical: parse ∘ render is the identity (pinned by proptest).
+//! `trace=` carries a 16-hex [`TraceId`]; when absent the daemon
+//! derives one from its base seed and the submission id, journals the
+//! resolved value, and `trace id=<n>` renders that submission's span
+//! tree.
 //!
 //! # Journal
 //!
@@ -46,8 +51,8 @@
 //! can rebuild the exact schedule:
 //!
 //! ```text
-//! # pegasus serve journal v1
-//! submission id=0 tenant=alice site=sandhills seed=7 n=100
+//! # pegasus serve journal v2
+//! submission id=0 tenant=alice site=sandhills seed=7 trace=32a2cc2d414c217a n=100
 //! submission id=1 tenant=bob site=osg priority=1 n=100
 //! cancel id=1
 //! round id=0 seed=12345 members=0,2,5
@@ -71,13 +76,22 @@
 use crate::engine::WorkflowRun;
 use crate::ensemble::MemberState;
 use crate::error::WmsError;
+use crate::trace::TraceId;
 use std::fmt::Write as _;
 
 /// First line a server sends on every accepted connection.
 pub const GREETING: &str = "# pegasus serve v1";
 
-/// First line of a daemon journal file.
-pub const JOURNAL_HEADER: &str = "# pegasus serve journal v1";
+/// First line of a daemon journal file. v2 added the optional
+/// `trace=` submission field; [`Ledger::replay`] still accepts
+/// [`JOURNAL_HEADER_V1`] journals (their submissions parse with no
+/// trace id, and recovery re-derives the same ids it originally
+/// assigned).
+pub const JOURNAL_HEADER: &str = "# pegasus serve journal v2";
+
+/// The pre-trace journal header, accepted on replay for forward
+/// migration of existing spool directories.
+pub const JOURNAL_HEADER_V1: &str = "# pegasus serve journal v1";
 
 /// Where a submitted workflow comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +122,10 @@ pub struct SubmitRequest {
     pub retries: Option<u32>,
     /// Admission priority (higher wins); defaults to 0.
     pub priority: i32,
+    /// Trace id for the workflow's spans; `None` lets the daemon
+    /// derive one at admission ([`TraceId::derive`] of its base seed
+    /// and the assigned id).
+    pub trace: Option<TraceId>,
     /// The workflow itself.
     pub source: SubmitSource,
 }
@@ -120,6 +138,11 @@ pub enum Request {
     /// Withdraw a queued submission by id.
     Cancel {
         /// The submission to withdraw.
+        id: usize,
+    },
+    /// Render the span tree of a completed submission.
+    Trace {
+        /// The submission whose trace to render.
         id: usize,
     },
     /// Run everything currently queued as one deterministic round.
@@ -266,6 +289,10 @@ fn parse_submit_body(cur: &mut Cursor<'_>) -> Result<SubmitRequest, WmsError> {
         Some(v) => cur.parse_i32("priority", v)?,
         None => 0,
     };
+    let trace = match cur.take_opt("trace") {
+        Some(v) => Some(v.parse::<TraceId>().map_err(|e| cur.err(e))?),
+        None => None,
+    };
     let source = if cur.peek_key() == Some("n") {
         let n = cur.take("n")?;
         let n = cur.parse_usize("n", n)?;
@@ -287,6 +314,7 @@ fn parse_submit_body(cur: &mut Cursor<'_>) -> Result<SubmitRequest, WmsError> {
         seed,
         retries,
         priority,
+        trace,
         source,
     })
 }
@@ -302,6 +330,9 @@ fn render_submit_body(out: &mut String, sub: &SubmitRequest) {
     }
     if sub.priority != 0 {
         write!(out, " priority={}", sub.priority).unwrap();
+    }
+    if let Some(trace) = sub.trace {
+        write!(out, " trace={trace}").unwrap();
     }
     match &sub.source {
         SubmitSource::Generated { n } => write!(out, " n={n}").unwrap(),
@@ -329,6 +360,12 @@ pub fn parse_request(line: &str) -> Result<Request, WmsError> {
             cur.finish()?;
             Ok(Request::Cancel { id })
         }
+        "trace" => {
+            let id = cur.take("id")?;
+            let id = cur.parse_usize("id", id)?;
+            cur.finish()?;
+            Ok(Request::Trace { id })
+        }
         "run" | "status" | "rollup" | "metrics" | "ping" | "shutdown" => {
             cur.finish()?;
             Ok(match verb {
@@ -355,6 +392,7 @@ pub fn render_request(req: &Request) -> String {
             out
         }
         Request::Cancel { id } => format!("cancel id={id}"),
+        Request::Trace { id } => format!("trace id={id}"),
         Request::Run => "run".into(),
         Request::Status => "status".into(),
         Request::Rollup => "rollup".into(),
@@ -578,7 +616,7 @@ impl Ledger {
     pub fn replay(text: &str) -> Result<Ledger, WmsError> {
         let mut lines = text.lines().enumerate();
         let header = lines.next().map(|(_, l)| l.trim_end());
-        if header != Some(JOURNAL_HEADER) {
+        if header != Some(JOURNAL_HEADER) && header != Some(JOURNAL_HEADER_V1) {
             return Err(WmsError::ProtocolParse {
                 line: 1,
                 reason: format!("expected journal header {JOURNAL_HEADER:?}"),
@@ -840,6 +878,7 @@ mod tests {
             seed: None,
             retries: None,
             priority: 0,
+            trace: None,
             source: SubmitSource::Generated { n },
         }
     }
@@ -853,6 +892,7 @@ mod tests {
                 seed: Some(7),
                 retries: Some(3),
                 priority: -2,
+                trace: Some(TraceId::new(0xfeed_beef_0042_0007)),
                 source: SubmitSource::Generated { n: 100 },
             }),
             Request::Submit(SubmitRequest {
@@ -861,11 +901,13 @@ mod tests {
                 seed: None,
                 retries: None,
                 priority: 0,
+                trace: None,
                 source: SubmitSource::Dax {
                     path: "runs/with space.dax".into(),
                 },
             }),
             Request::Cancel { id: 12 },
+            Request::Trace { id: 4 },
             Request::Run,
             Request::Status,
             Request::Rollup,
@@ -886,6 +928,35 @@ mod tests {
     }
 
     #[test]
+    fn submit_trace_renders_between_priority_and_source() {
+        let mut with_trace = sub("alice", 10);
+        with_trace.trace = Some(TraceId::new(0xab));
+        with_trace.priority = 2;
+        let text = render_request(&Request::Submit(with_trace.clone()));
+        assert_eq!(
+            text,
+            "submit tenant=alice site=sandhills priority=2 trace=00000000000000ab n=10"
+        );
+        assert_eq!(parse_request(&text).unwrap(), Request::Submit(with_trace));
+    }
+
+    #[test]
+    fn legacy_v1_journals_still_replay() {
+        let text = format!(
+            "{JOURNAL_HEADER_V1}
+{}
+",
+            render_journal_entry(&JournalEntry::Submission {
+                id: 0,
+                sub: sub("alice", 10),
+            }),
+        );
+        let ledger = Ledger::replay(&text).unwrap();
+        assert_eq!(ledger.submissions.len(), 1);
+        assert_eq!(ledger.submissions[0].trace, None);
+    }
+
+    #[test]
     fn malformed_requests_are_typed_errors() {
         for bad in [
             "submti tenant=a site=s n=1",
@@ -894,8 +965,12 @@ mod tests {
             "submit tenant=a site=s n=0",
             "submit tenant=a site=s",
             "submit tenant= site=s n=1",
+            "submit tenant=a site=s trace=zz n=1",
+            "submit tenant=a site=s trace= n=1",
             "cancel id=",
             "cancel",
+            "trace id=x",
+            "trace",
             "run id=1", // trailing input
             "",
         ] {

@@ -747,11 +747,18 @@ fn submit_request_strategy() -> impl Strategy<Value = serve::SubmitRequest> {
         "[a-z][a-z0-9_-]{0,11}",
         (any::<bool>(), any::<u64>()),
         (any::<bool>(), 0u32..50),
-        -100i32..100,
+        (-100i32..100, (any::<bool>(), any::<u64>())),
         (any::<bool>(), 1usize..100_000, "[a-zA-Z0-9_./ -]{1,40}"),
     )
         .prop_map(
-            |(tenant, site, (has_seed, seed), (has_retries, retries), priority, src)| {
+            |(
+                tenant,
+                site,
+                (has_seed, seed),
+                (has_retries, retries),
+                (priority, (has_trace, trace)),
+                src,
+            )| {
                 let (generated, n, path) = src;
                 let source = if generated {
                     serve::SubmitSource::Generated { n }
@@ -773,6 +780,7 @@ fn submit_request_strategy() -> impl Strategy<Value = serve::SubmitRequest> {
                     seed: if has_seed { Some(seed) } else { None },
                     retries: if has_retries { Some(retries) } else { None },
                     priority,
+                    trace: has_trace.then(|| pegasus_wms::TraceId::new(trace)),
                     source,
                 }
             },
@@ -790,6 +798,7 @@ proptest! {
         let reqs = vec![
             serve::Request::Submit(sub),
             serve::Request::Cancel { id },
+            serve::Request::Trace { id },
             serve::Request::Run,
             serve::Request::Status,
             serve::Request::Rollup,

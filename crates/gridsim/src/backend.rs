@@ -10,10 +10,11 @@
 //! `wait_any` advances the event clock until a completion surfaces.
 
 use crate::dist::{sample_exponential, sample_standard_normal};
-use crate::event::EventQueue;
+use crate::event::{EventQueue, QueueStats};
 use crate::faults::{AttemptTiming, FaultScript};
 use crate::platform::PlatformModel;
 use pegasus_wms::engine::{CompletionEvent, ExecutionBackend, FaultReason, JobOutcome, JobTimes};
+use pegasus_wms::metrics::{names, MetricsRegistry};
 use pegasus_wms::planner::ExecutableJob;
 use pegasus_wms::workflow::JobId;
 use rand::rngs::StdRng;
@@ -195,6 +196,52 @@ impl SimBackend {
     /// churn/blackout evictions, scripted kills, and timeouts.
     pub fn preemptions(&self) -> u64 {
         self.preemptions
+    }
+
+    /// Lifetime depth/occupancy statistics of the discrete-event
+    /// queue driving the simulation.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.events.stats()
+    }
+
+    /// Events still pending in the discrete-event queue (0 after a
+    /// run drains).
+    pub fn queue_depth(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Folds the event-queue depth and calendar-bucket occupancy
+    /// gauges into `registry` under this platform's `site` label.
+    /// Callers gate this behind `--profile` so default expositions
+    /// stay byte-identical.
+    pub fn export_queue_metrics(&self, registry: &mut MetricsRegistry) {
+        let stats = self.queue_stats();
+        let site = self.platform.name.clone();
+        let labels = [("site", site.as_str())];
+        registry.declare_gauge(
+            names::SIM_QUEUE_DEPTH,
+            "Simulator event-queue depth at export time.",
+        );
+        registry.set(names::SIM_QUEUE_DEPTH, &labels, self.queue_depth() as f64);
+        registry.declare_gauge(
+            names::SIM_QUEUE_PEAK,
+            "Peak simulator event-queue depth over the run.",
+        );
+        registry.set(names::SIM_QUEUE_PEAK, &labels, stats.peak_depth as f64);
+        registry.declare_counter(
+            names::SIM_EVENTS_SCHEDULED,
+            "Events scheduled into the simulator queue over the run.",
+        );
+        registry.add(names::SIM_EVENTS_SCHEDULED, &labels, stats.scheduled as f64);
+        registry.declare_gauge(
+            names::SIM_CALENDAR_OCCUPANCY,
+            "Peak occupied calendar-day buckets over the run.",
+        );
+        registry.set(
+            names::SIM_CALENDAR_OCCUPANCY,
+            &labels,
+            stats.peak_buckets as f64,
+        );
     }
 
     /// Mean slot utilisation over the elapsed simulated time.
@@ -691,6 +738,44 @@ mod tests {
         assert!(registry
             .render()
             .contains("pegasus_job_failures_total{n=\"1\",reason=\"preempted\",site=\"sim\"} 4"));
+    }
+
+    #[test]
+    fn queue_stats_and_metrics_export_reflect_the_run() {
+        use pegasus_wms::metrics::{names, MetricsRegistry};
+        let p = PlatformModel::uniform("two", 2, 1.0);
+        let mut be = SimBackend::new(p, 1);
+        let wf = independent((0..4).map(|i| job(i, 10.0, 0.0)).collect());
+        let run = run_workflow(&wf, &mut be, &EngineConfig::default());
+        assert!(run.succeeded());
+        let stats = be.queue_stats();
+        // Every release schedules an Eligible and every assignment a
+        // Complete: at least two events per job passed through.
+        assert!(stats.scheduled >= 8, "{stats:?}");
+        assert!(stats.peak_depth >= 1);
+        assert!(stats.peak_buckets >= 1);
+        assert_eq!(be.queue_depth(), 0, "a finished run drains the queue");
+        let mut registry = MetricsRegistry::new();
+        be.export_queue_metrics(&mut registry);
+        let labels = [("site", "two")];
+        assert_eq!(registry.value(names::SIM_QUEUE_DEPTH, &labels), Some(0.0));
+        assert_eq!(
+            registry.value(names::SIM_QUEUE_PEAK, &labels),
+            Some(stats.peak_depth as f64)
+        );
+        assert_eq!(
+            registry.value(names::SIM_EVENTS_SCHEDULED, &labels),
+            Some(stats.scheduled as f64)
+        );
+        assert_eq!(
+            registry.value(names::SIM_CALENDAR_OCCUPANCY, &labels),
+            Some(stats.peak_buckets as f64)
+        );
+        let text = registry.render();
+        assert!(
+            text.contains("pegasus_sim_event_queue_peak_depth{site=\"two\"}"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -43,6 +43,20 @@ fn day_of(time: f64) -> u64 {
     (time / DAY_WIDTH).floor() as u64
 }
 
+/// Lifetime depth and occupancy statistics of one [`EventQueue`]:
+/// the raw material of the simulator's self-observability gauges
+/// (`pegasus_sim_event_queue_*` in the metrics exposition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Maximum simultaneously pending events.
+    pub peak_depth: usize,
+    /// Maximum simultaneously occupied calendar-day buckets
+    /// (current bucket included while non-empty).
+    pub peak_buckets: usize,
+}
+
 /// Min-queue of timed events (calendar-bucketed).
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
@@ -54,6 +68,7 @@ pub struct EventQueue<T> {
     future: BTreeMap<u64, Vec<Scheduled<T>>>,
     len: usize,
     seq: u64,
+    stats: QueueStats,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -64,6 +79,7 @@ impl<T> Default for EventQueue<T> {
             future: BTreeMap::new(),
             len: 0,
             seq: 0,
+            stats: QueueStats::default(),
         }
     }
 }
@@ -95,6 +111,10 @@ impl<T> EventQueue<T> {
         } else {
             self.future.entry(day).or_default().push(ev);
         }
+        self.stats.scheduled += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.len);
+        let occupied = self.future.len() + usize::from(!self.current.is_empty());
+        self.stats.peak_buckets = self.stats.peak_buckets.max(occupied);
     }
 
     /// Position of the minimum `(time, seq)` event in the current
@@ -154,6 +174,11 @@ impl<T> EventQueue<T> {
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Lifetime depth/occupancy statistics (peaks never reset).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -266,6 +291,30 @@ mod tests {
         }
         reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(popped, reference);
+    }
+
+    #[test]
+    fn stats_track_scheduled_peak_depth_and_bucket_occupancy() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        q.schedule(500.0, "far"); // a second (future-day) bucket
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.peak_depth, 3);
+        assert_eq!(s.peak_buckets, 2);
+        // Draining never lowers the peaks.
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.peak_depth, 3);
+        assert_eq!(s.peak_buckets, 2);
+        // Refilling keeps counting from where the lifetime left off.
+        q.schedule(1000.0, "again");
+        assert_eq!(q.stats().scheduled, 4);
+        assert_eq!(q.stats().peak_depth, 3);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod sites;
 pub mod sites_lint;
 
 pub use backend::SimBackend;
+pub use event::QueueStats;
 pub use faults::{AttemptTiming, FaultDecision, FaultPlan, FaultScript, Scenario};
 pub use faults_lint::{lint_plan, PlanLintContext};
 pub use platform::PlatformModel;

@@ -58,11 +58,13 @@ use pegasus_wms::events;
 use pegasus_wms::metrics::{self, MetricsMonitor, MetricsRegistry};
 use pegasus_wms::monitor::{MultiMonitor, StatusMonitor, TimelineMonitor};
 use pegasus_wms::planner::{plan, PlannerConfig};
+use pegasus_wms::prof;
 use pegasus_wms::rescue::RescueDag;
 use pegasus_wms::statistics::{
     compute, render_csv, render_ensemble_csv, render_ensemble_text, render_text,
 };
 use pegasus_wms::symbols::SiteId;
+use pegasus_wms::trace::{self, TraceId};
 use std::process::ExitCode;
 
 /// A verb's parsed arguments plus exit-on-error getters: the library
@@ -244,6 +246,7 @@ fn cmd_generate_workload(args: &Args) -> ExitCode {
 }
 
 fn cmd_plan(args: &Args) -> ExitCode {
+    let profiling = arm_profiler(args);
     let wf = load_dax(args.require("dax"));
     let registry = load_registry(args);
     let site = resolve_site(args, &registry, args.require("site"));
@@ -258,6 +261,7 @@ fn cmd_plan(args: &Args) -> ExitCode {
         Ok(e) => e,
         Err(e) => {
             eprintln!("planning failed: {e}");
+            profile_summary(profiling);
             return ExitCode::FAILURE;
         }
     };
@@ -283,6 +287,7 @@ fn cmd_plan(args: &Args) -> ExitCode {
     if args.flag("ascii") {
         println!("{}", ascii_dag(&exec));
     }
+    profile_summary(profiling);
     ExitCode::SUCCESS
 }
 
@@ -371,6 +376,31 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Arms the engine self-profiler when `--profile` was given; call
+/// [`profile_summary`] with the returned flag once the instrumented
+/// work is done.
+fn arm_profiler(args: &Args) -> bool {
+    let on = args.flag("profile");
+    if on {
+        prof::set_enabled(true);
+    }
+    on
+}
+
+/// Disarms the profiler, drains the collected samples, and prints the
+/// one-line summary to *stderr* (stderr so stdout goldens stay
+/// byte-identical). Returns the samples so callers can also export
+/// them as `pegasus_engine_phase_seconds` histograms.
+fn profile_summary(profiling: bool) -> Vec<(&'static str, f64)> {
+    if !profiling {
+        return Vec::new();
+    }
+    prof::set_enabled(false);
+    let samples = prof::take_samples();
+    eprintln!("{}", prof::summary(&samples));
+    samples
 }
 
 /// Builds the retry policy `run`, `statistics`, and `ensemble` share:
@@ -481,15 +511,19 @@ fn cmd_breakdown(args: &Args) -> ExitCode {
     if !args.flag("quiet") {
         println!("{}", breakdown::render_table(&rows));
     }
-    let csv = breakdown::render_csv(&rows);
+    let (rendered, what) = if args.flag("json") {
+        (breakdown::render_json(&rows), "JSON")
+    } else {
+        (breakdown::render_csv(&rows), "CSV")
+    };
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &csv).expect("write breakdown CSV");
+            std::fs::write(path, &rendered).expect("write breakdown");
             if !args.flag("quiet") {
-                println!("breakdown CSV written to {path}");
+                println!("breakdown {what} written to {path}");
             }
         }
-        None => print!("{csv}"),
+        None => print!("{rendered}"),
     }
     if all_ok {
         ExitCode::SUCCESS
@@ -763,6 +797,7 @@ fn preflight_lint(args: &Args, dax_path: &str) {
 fn cmd_ensemble(args: &Args) -> ExitCode {
     use blast2cap3_pegasus::experiment::simulate_blast2cap3_ensemble_at;
 
+    let profiling = arm_profiler(args);
     let registry = load_registry(args);
     let site = resolve_site(args, &registry, args.get("site").unwrap_or("sandhills"));
     let seed: u64 = args.parsed("seed", 20140519u64);
@@ -803,12 +838,16 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
 
     let out =
         simulate_blast2cap3_ensemble_at(&registry, site, &sizes, seed, &engine_cfg, slot_budget);
+    let prof_samples = profile_summary(profiling);
 
     // Every member's provenance stream lands in one shared registry,
     // so the ensemble exposes the same metric surface as single runs.
     let mut registry = MetricsRegistry::new();
     for run in &out.run.runs {
         metrics::record_events(&mut registry, &run.events).expect("engine streams replay");
+    }
+    if profiling {
+        prof::export(&mut registry, &prof_samples);
     }
 
     if !args.flag("quiet") {
@@ -861,6 +900,9 @@ fn cmd_ensemble(args: &Args) -> ExitCode {
 }
 
 fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
+    // `statistics` shares this body but declares no --profile flag,
+    // so profiling is only ever armed on the `run` verb.
+    let profiling = !csv_only && arm_profiler(args);
     let dax_path = args.require("dax");
     if !csv_only && !args.flag("quiet") {
         preflight_lint(args, dax_path);
@@ -944,6 +986,15 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         Engine::run(&mut backend, &exec, &engine_cfg, &mut multi)
     };
 
+    // Under --profile the engine's own wall-clock phases and the
+    // simulator's queue gauges join the run's metric surface; both
+    // are gated so default expositions stay byte-identical.
+    let prof_samples = profile_summary(profiling);
+    if profiling {
+        backend.export_queue_metrics(&mut metrics_registry);
+        prof::export(&mut metrics_registry, &prof_samples);
+    }
+
     if !csv_only && !args.flag("quiet") {
         // pegasus-status style tail: print every 10th line.
         for line in status.history.iter().step_by(status.history.len() / 10 + 1) {
@@ -1012,6 +1063,144 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
     }
 }
 
+/// Reads one event log and folds it into a span tree, recovering the
+/// trace id from the `# trace id=…` header comment when present — the
+/// offline half of the `pegasus trace` round trip.
+fn fold_trace_log(path: &str) -> trace::WorkflowTrace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read event log {path}: {e}");
+        std::process::exit(1);
+    });
+    let id = trace::trace_from_log(&text);
+    let evs = events::log::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bad event log {path}: {e}");
+        std::process::exit(1);
+    });
+    trace::fold(&evs, id).unwrap_or_else(|e| {
+        eprintln!("cannot fold event log {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `pegasus trace` — the end-to-end span layer: fold provenance
+/// streams into workflow → job → attempt → phase span trees keyed by
+/// a [`TraceId`], rendered as a plain-text tree (default) or Chrome
+/// Trace Event JSON (`--format chrome`, Perfetto-loadable). Three
+/// sources, all the same pure fold, so they render byte-identically
+/// for the same stream:
+///
+/// * live (default): simulate one blast2cap3 run and derive the trace
+///   id from the seed (`--events` also writes the log, trace header
+///   included, for the offline round trip);
+/// * `--from-events log,...`: recorded logs, trace ids recovered from
+///   their header comments;
+/// * `--events-dir dir`: every member log of a serve state directory
+///   (or its `members/` subdirectory), smallest member id first.
+fn cmd_trace(args: &Args) -> ExitCode {
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_at;
+
+    let mut traces = Vec::new();
+    if let Some(list) = args.get("from-events") {
+        for path in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            traces.push(fold_trace_log(path));
+        }
+    } else if let Some(dir) = args.get("events-dir") {
+        let dir = std::path::Path::new(dir);
+        let members = dir.join("members");
+        let scan = if members.is_dir() {
+            members
+        } else {
+            dir.to_path_buf()
+        };
+        let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(&scan) {
+            Ok(entries) => entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "events"))
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", scan.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // Shortest-name-first sorts m2 before m10: member-id order.
+        paths.sort_by_key(|p| {
+            let name = p
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            (name.len(), name)
+        });
+        if paths.is_empty() {
+            eprintln!("no .events logs under {}", scan.display());
+            return ExitCode::FAILURE;
+        }
+        for path in paths {
+            traces.push(fold_trace_log(&path.to_string_lossy()));
+        }
+    } else {
+        let registry = load_registry(args);
+        let site = resolve_site(args, &registry, args.get("site").unwrap_or("sandhills"));
+        let n: usize = args.parsed("n", 100);
+        let seed: u64 = args.parsed("seed", 20140519u64);
+        let retries: u32 = args.parsed("retries", 20u32);
+        let cfg = EngineConfig::builder()
+            .policy(retry_policy_from(args, retries))
+            .seed(seed)
+            .build();
+        let script = args.get("fault-plan").map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read fault plan {path}: {e}");
+                std::process::exit(1);
+            });
+            let plan = FaultPlan::parse(&text).unwrap_or_else(|e| {
+                eprintln!("bad fault plan {path}: {e}");
+                std::process::exit(1);
+            });
+            FaultScript::new(plan, seed)
+        });
+        let out = simulate_blast2cap3_at(&registry, site, n, seed, &cfg, script);
+        // The same derivation the serve daemon applies at admission:
+        // a single ad-hoc run is submission 0 under its seed.
+        let id = TraceId::derive(seed, 0);
+        if let Some(path) = args.get("events") {
+            let text = format!(
+                "{}{}",
+                trace::render_log_header(id),
+                events::log::append(&out.run.events)
+            );
+            std::fs::write(path, text).expect("write event log");
+            if !args.flag("quiet") {
+                eprintln!("event log written to {path}");
+            }
+        }
+        traces.push(trace::fold(&out.run.events, Some(id)).expect("engine streams replay"));
+    }
+
+    let all_ok = traces.iter().all(|t| t.succeeded);
+    let rendered = match args.get("format").unwrap_or("text") {
+        "text" => trace::render_text(&traces),
+        "chrome" => trace::render_chrome(&traces),
+        other => args.bail(&format!("unknown --format {other:?} (use text or chrome)")),
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).expect("write trace");
+            if !args.flag("quiet") {
+                println!("trace written to {path}");
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some workflows did not complete; the trace covers what ran");
+        ExitCode::FAILURE
+    }
+}
+
 /// `pegasus serve` — run the multi-tenant ensemble daemon until a
 /// `shutdown` request arrives over the protocol socket.
 fn cmd_serve(args: &Args) -> ExitCode {
@@ -1071,6 +1260,7 @@ fn cmd_submit(args: &Args) -> ExitCode {
             seed: args.parsed_opt("seed"),
             retries: args.parsed_opt("retries"),
             priority: args.parsed("priority", 0),
+            trace: args.parsed_opt("trace"),
             source,
         }));
     }
@@ -1138,7 +1328,9 @@ fn cmd_status(args: &Args) -> ExitCode {
         };
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
-    let req = if args.flag("rollup") {
+    let req = if let Some(id) = args.parsed_opt::<usize>("trace") {
+        Request::Trace { id }
+    } else if args.flag("rollup") {
         Request::Rollup
     } else if args.flag("metrics") {
         Request::Metrics
@@ -1207,6 +1399,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "ensemble" => cmd_ensemble(&args),
         "breakdown" => cmd_breakdown(&args),
+        "trace" => cmd_trace(&args),
         "metrics" => cmd_metrics(&args),
         "lint" => cmd_lint(&args),
         "serve" => cmd_serve(&args),

@@ -234,6 +234,10 @@ mod common {
         "recompute offline from event logs",
     );
     pub const ADDR: Flag = opt("addr", "host:port", "daemon protocol address");
+    pub const PROFILE: Flag = switch(
+        "profile",
+        "collect engine self-profiling scopes (summary on stderr)",
+    );
 }
 
 /// Every subcommand of the `pegasus` binary, in usage-screen order.
@@ -285,6 +289,7 @@ pub const VERBS: &[Verb] = &[
             opt("dot", "file", "write the planned DAG as Graphviz dot"),
             switch("ascii", "print the planned DAG as ASCII levels"),
             common::CATALOG,
+            common::PROFILE,
         ],
     },
     Verb {
@@ -307,6 +312,7 @@ pub const VERBS: &[Verb] = &[
             opt("metrics", "prom", "write the Prometheus exposition"),
             common::QUIET,
             common::CATALOG,
+            common::PROFILE,
         ],
     },
     Verb {
@@ -349,6 +355,7 @@ pub const VERBS: &[Verb] = &[
             opt("metrics", "prom", "write the Prometheus exposition"),
             common::QUIET,
             common::CATALOG,
+            common::PROFILE,
         ],
     },
     Verb {
@@ -366,6 +373,37 @@ pub const VERBS: &[Verb] = &[
             common::OUT,
             opt("events-dir", "dir", "also write one event log per member"),
             common::FROM_EVENTS,
+            switch("json", "emit the breakdown as JSON instead of CSV"),
+            common::QUIET,
+        ],
+    },
+    Verb {
+        name: "trace",
+        summary: "span tree / Chrome trace of a run, live or from event logs",
+        positional: None,
+        flags: &[
+            common::SITE,
+            common::SITES,
+            opt(
+                "n",
+                "clusters",
+                "decomposition size for a live run (default 100)",
+            ),
+            common::SEED,
+            common::RETRIES,
+            common::BACKOFF,
+            common::TIMEOUT,
+            opt("fault-plan", "file", "scripted fault plan for the backend"),
+            common::FROM_EVENTS,
+            opt(
+                "events-dir",
+                "dir",
+                "fold every member event log of a serve state directory",
+            ),
+            opt("events", "file", "also write the live run's event log"),
+            opt("format", "text|chrome", "output format (default text)"),
+            common::OUT,
+            common::CATALOG,
             common::QUIET,
         ],
     },
@@ -461,6 +499,7 @@ pub const VERBS: &[Verb] = &[
             common::SEED,
             common::RETRIES,
             opt("priority", "i32", "admission priority (higher first)"),
+            opt("trace", "hex", "trace id keying this workflow's spans"),
             opt("cancel", "id", "cancel a queued submission"),
             switch("run", "run every queued submission as one batch of rounds"),
             switch("shutdown", "stop the daemon"),
@@ -475,6 +514,7 @@ pub const VERBS: &[Verb] = &[
             opt("dir", "dir", "render offline from a daemon state directory"),
             switch("rollup", "print the ensemble rollup CSV instead"),
             switch("metrics", "print the Prometheus exposition instead"),
+            opt("trace", "id", "print the span tree of one member instead"),
         ],
     },
 ];

@@ -42,12 +42,14 @@ use pegasus_wms::events::{self, WorkflowEvent};
 use pegasus_wms::lint;
 use pegasus_wms::metrics::{self, MetricsRegistry};
 use pegasus_wms::planner::{plan, ExecutableWorkflow, PlannerConfig};
+use pegasus_wms::prof;
 use pegasus_wms::serve as proto;
 use pegasus_wms::serve::{
     JournalEntry, Ledger, Request, ResponseHead, SubmitRequest, SubmitSource,
 };
 use pegasus_wms::statistics::{compute_ensemble, render_ensemble_csv};
 use pegasus_wms::symbols::SiteId;
+use pegasus_wms::trace::{self, TraceId};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -191,11 +193,24 @@ struct LogMonitor {
 }
 
 impl LogMonitor {
-    fn new(dir: &Path, ids: &[usize], crash_after: Option<usize>) -> std::io::Result<Self> {
+    fn new(
+        dir: &Path,
+        ids: &[usize],
+        traces: &[Option<TraceId>],
+        crash_after: Option<usize>,
+    ) -> std::io::Result<Self> {
         let mut files = Vec::with_capacity(ids.len());
-        for id in ids {
+        for (id, tr) in ids.iter().zip(traces) {
             let mut f = File::create(member_log_path(dir, *id))?;
-            f.write_all(format!("{}\n", events::log::HEADER).as_bytes())?;
+            // The trace id rides as a comment line under the header:
+            // every event-log parser skips it, so the *events* stay
+            // byte-identical to an untraced log, while `pegasus trace
+            // --from-events` recovers the id offline.
+            let header = match tr {
+                Some(tr) => trace::render_log_header(*tr),
+                None => format!("{}\n", events::log::HEADER),
+            };
+            f.write_all(header.as_bytes())?;
             files.push(f);
         }
         Ok(LogMonitor {
@@ -365,6 +380,14 @@ impl Daemon {
             preflight_dax(path)?;
         }
         let id = self.members.len();
+        // Resolve the trace id before journaling: the journal records
+        // the id every downstream surface (member log header, `trace`
+        // verb, Chrome export) will use, and recovery re-reads it
+        // instead of re-deriving, so a restart cannot re-key spans.
+        let mut sub = sub;
+        if sub.trace.is_none() {
+            sub.trace = Some(TraceId::derive(self.opts.seed, id as u64));
+        }
         self.journal_entry(&JournalEntry::Submission {
             id,
             sub: sub.clone(),
@@ -394,16 +417,21 @@ impl Daemon {
     /// one ensemble on a fresh backend seeded by the round seed, and
     /// store the per-member runs.
     fn run_round(&mut self, site: SiteId, round_seed: u64, ids: &[usize]) -> Result<(), String> {
+        let _round = prof::scope("serve.round");
         let mut submissions = Vec::with_capacity(ids.len());
+        let mut traces = Vec::with_capacity(ids.len());
         for &id in ids {
             let sub = &self.members[id].sub;
             let engine_seed = sub.seed.unwrap_or(round_seed);
             let (exec, cfg) = plan_member(&self.registry, sub, engine_seed, self.opts.retries)?;
-            submissions.push(
-                Submission::new(exec, cfg)
-                    .with_priority(sub.priority)
-                    .with_tenant(sub.tenant.clone()),
-            );
+            let mut submission = Submission::new(exec, cfg)
+                .with_priority(sub.priority)
+                .with_tenant(sub.tenant.clone());
+            if let Some(tr) = sub.trace {
+                submission = submission.with_trace(tr);
+            }
+            traces.push(sub.trace);
+            submissions.push(submission);
         }
         let mut backend = self.registry.backend(site, round_seed);
         let config = EnsembleConfig {
@@ -412,8 +440,9 @@ impl Daemon {
             // Queue-depth quota is enforced at submit time.
             tenant_active: None,
         };
-        let mut monitor = LogMonitor::new(&self.opts.dir, ids, self.opts.crash_after_members)
-            .map_err(|e| format!("cannot open member logs: {e}"))?;
+        let mut monitor =
+            LogMonitor::new(&self.opts.dir, ids, &traces, self.opts.crash_after_members)
+                .map_err(|e| format!("cannot open member logs: {e}"))?;
         let ens =
             Ensemble::run_to_completion_monitored(&mut backend, submissions, &config, &mut monitor)
                 .map_err(|e| format!("round failed: {e}"))?;
@@ -508,6 +537,24 @@ impl Daemon {
         Ok(registry.render())
     }
 
+    /// `trace id=<n>`: the span tree of a completed member, rendered
+    /// from its event stream keyed by its journaled trace id — the
+    /// same fold `pegasus trace --from-events members/m<n>.events`
+    /// performs offline, byte-for-byte.
+    fn handle_trace(&self, id: usize) -> Result<String, String> {
+        let m = self
+            .members
+            .get(id)
+            .ok_or_else(|| format!("unknown submission {id}"))?;
+        let run = m
+            .run
+            .as_ref()
+            .ok_or_else(|| format!("submission {id} has not run"))?;
+        let tree =
+            trace::fold(&run.events, m.sub.trace).map_err(|e| format!("cannot fold trace: {e}"))?;
+        Ok(trace::render_text(std::slice::from_ref(&tree)))
+    }
+
     fn respond(&mut self, req: Request) -> String {
         let result: Result<String, String> = match req {
             Request::Submit(sub) => self
@@ -519,6 +566,7 @@ impl Daemon {
             Request::Run => self
                 .handle_run()
                 .map(|h| format!("{}\n", proto::render_response_head(&h))),
+            Request::Trace { id } => self.handle_trace(id).map(|text| lines_response(&text)),
             Request::Status => Ok(lines_response(&self.status_lines().join("\n"))),
             Request::Rollup => self.rollup_csv().map(|csv| lines_response(&csv)),
             Request::Metrics => self.exposition().map(|text| lines_response(&text)),

@@ -14,8 +14,12 @@
 //! * per-tenant queue quota rejects excess submissions at the socket;
 //! * a daemon killed mid-round (`--crash-after-members`) recovers on
 //!   restart by re-executing the interrupted round, leaving rollup,
-//!   status, and member event logs byte-identical to an uninterrupted
-//!   daemon — across several seeds;
+//!   status, member event logs, and per-member span traces
+//!   byte-identical to an uninterrupted daemon — across several seeds;
+//! * trace ids (explicit or admission-derived) are journaled, so a
+//!   crash/restart cannot re-key a member's spans;
+//! * a cancelled member survives journal replay: a restarted daemon
+//!   reports the same `cancelled` state and never runs it;
 //! * malformed request lines get `error` responses without killing
 //!   the connection, and DAX submissions are lint-checked at
 //!   admission time.
@@ -25,6 +29,7 @@ use blast2cap3_pegasus::serve::status_lines_offline;
 use pegasus_wms::events;
 use pegasus_wms::metrics::{self, MetricsRegistry};
 use pegasus_wms::serve::{Request, ResponseHead, SubmitRequest, SubmitSource};
+use pegasus_wms::trace::TraceId;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -127,6 +132,7 @@ fn generated(tenant: &str, site: &str, n: usize) -> Request {
         seed: None,
         retries: None,
         priority: 0,
+        trace: None,
         source: SubmitSource::Generated { n },
     })
 }
@@ -289,6 +295,7 @@ fn malformed_lines_and_bad_dax_submissions_are_rejected_inline() {
             seed: None,
             retries: None,
             priority: 0,
+            trace: None,
             source: SubmitSource::Dax {
                 path: bad.display().to_string(),
             },
@@ -342,6 +349,7 @@ fn dax_submissions_pass_admission_lint_and_run() {
             seed: None,
             retries: None,
             priority: 0,
+            trace: None,
             source: SubmitSource::Dax {
                 path: dax.display().to_string(),
             },
@@ -358,15 +366,84 @@ fn dax_submissions_pass_admission_lint_and_run() {
     daemon.shutdown();
 }
 
+#[test]
+fn cancelled_member_survives_journal_replay() {
+    let dir = scratch("cancel-replay");
+    let daemon = Daemon::start(&dir, &["--seed", "20140519"]);
+    let mut conn = daemon.connect();
+    expect_ok(&mut conn, &generated("alice", "sandhills", 10));
+    expect_ok(&mut conn, &generated("bob", "sandhills", 10));
+    expect_ok(&mut conn, &Request::Cancel { id: 0 });
+    let run = expect_ok(&mut conn, &Request::Run);
+    assert!(
+        run.contains(&("members".to_string(), "1".to_string())),
+        "only bob may run: {run:?}"
+    );
+    let status = expect_lines(&mut conn, &Request::Status);
+    assert_eq!(status.len(), 2);
+    assert!(status[0].contains("state=cancelled"), "{}", status[0]);
+    assert!(status[1].contains("state=succeeded"), "{}", status[1]);
+    // A cancelled member has no run, hence no spans to serve.
+    match conn.request(&Request::Trace { id: 0 }) {
+        Ok((ResponseHead::Error(msg), _)) => assert!(msg.contains("not run"), "{msg}"),
+        other => panic!("trace of a cancelled member must error, got {other:?}"),
+    }
+    drop(conn);
+    daemon.shutdown();
+
+    // The cancelled member never opened an event log.
+    assert!(
+        !dir.join("members").join("m0.events").exists(),
+        "cancelled member must not write an event log"
+    );
+
+    // Restart: the journal replay must reconstruct the cancel — same
+    // status lines, member 0 still cancelled and still not run.
+    let restarted = Daemon::start(&dir, &["--seed", "20140519"]);
+    let mut conn = restarted.connect();
+    let replayed = expect_lines(&mut conn, &Request::Status);
+    assert_eq!(
+        replayed, status,
+        "status must be byte-identical across journal replay"
+    );
+    drop(conn);
+    restarted.shutdown();
+
+    // The offline replay of the state directory agrees too.
+    let offline = status_lines_offline(&dir).expect("offline status");
+    assert_eq!(offline, status);
+}
+
 /// Runs the reference (uninterrupted) and the crash/restart session
 /// for one seed, asserting every view and every member log matches
 /// byte-for-byte.
 fn crash_recovery_round_trip(seed: u64) {
     let seed_s = seed.to_string();
+    // Bob pins an explicit trace id; alice lets the daemon derive one
+    // at admission. Both must survive the crash via the journal — the
+    // recovered daemon re-reads them rather than re-deriving.
+    let bob_trace: TraceId = "deadbeef".parse().expect("hex trace id");
     let submit_all = |daemon: &Daemon| {
         let mut conn = daemon.connect();
         expect_ok(&mut conn, &generated("alice", "sandhills", 10));
-        expect_ok(&mut conn, &generated("bob", "sandhills", 40));
+        expect_ok(
+            &mut conn,
+            &Request::Submit(SubmitRequest {
+                tenant: "bob".into(),
+                site: "sandhills".into(),
+                seed: None,
+                retries: None,
+                priority: 0,
+                trace: Some(bob_trace),
+                source: SubmitSource::Generated { n: 40 },
+            }),
+        );
+    };
+    let traces = |daemon: &Daemon| -> Vec<Vec<String>> {
+        let mut conn = daemon.connect();
+        (0..2)
+            .map(|id| expect_lines(&mut conn, &Request::Trace { id }))
+            .collect()
     };
 
     // Reference: the run the crash is never allowed to perturb.
@@ -378,6 +455,7 @@ fn crash_recovery_round_trip(seed: u64) {
     let ref_status = expect_lines(&mut conn, &Request::Status);
     let ref_rollup = expect_lines(&mut conn, &Request::Rollup);
     drop(conn);
+    let ref_traces = traces(&reference);
     reference.shutdown();
 
     // Crash: same submissions, but the daemon aborts after the first
@@ -410,6 +488,18 @@ fn crash_recovery_round_trip(seed: u64) {
     assert_eq!(status, ref_status, "seed {seed}: status must match");
     assert_eq!(rollup, ref_rollup, "seed {seed}: rollup CSV must match");
     drop(conn);
+    let rec_traces = traces(&recovered);
+    assert_eq!(
+        rec_traces, ref_traces,
+        "seed {seed}: span trees must survive crash/restart byte-identically"
+    );
+    assert!(
+        rec_traces[1]
+            .first()
+            .is_some_and(|l| l.contains("00000000deadbeef")),
+        "seed {seed}: bob's explicit trace id must key his recovered spans: {:?}",
+        rec_traces[1].first()
+    );
     recovered.shutdown();
 
     for id in 0..2 {
@@ -417,6 +507,17 @@ fn crash_recovery_round_trip(seed: u64) {
         let a = std::fs::read(ref_dir.join("members").join(&name)).expect("reference log");
         let b = std::fs::read(crash_dir.join("members").join(&name)).expect("recovered log");
         assert_eq!(a, b, "seed {seed}: {name} must be byte-identical");
+        let text = String::from_utf8(b).expect("utf8 member log");
+        let expect = if id == 1 {
+            bob_trace
+        } else {
+            TraceId::derive(seed, id as u64)
+        };
+        assert_eq!(
+            pegasus_wms::trace::trace_from_log(&text),
+            Some(expect),
+            "seed {seed}: {name} must carry its journaled trace id in the header"
+        );
     }
 }
 
