@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared helpers for the figure-regeneration binaries and benches.
 //!
 //! Every binary writes its series to `target/experiments/<name>.csv`

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Biological sequence substrate for the blast2cap3/Pegasus reproduction.
 //!

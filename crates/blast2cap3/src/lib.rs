@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! blast2cap3: protein-guided transcript assembly.
 //!

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! A CAP3-like overlap–layout–consensus assembler.
 //!

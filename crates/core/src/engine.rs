@@ -986,6 +986,25 @@ impl Engine {
         config: &EngineConfig,
         monitor: &mut dyn WorkflowMonitor,
     ) -> WorkflowRun {
+        Self::run_with_sink(backend, wf, config, monitor, &mut crate::events::NoopSink)
+    }
+
+    /// [`Engine::run`] with an extra [`EventSink`] observing the raw
+    /// event stream live, exactly as recorded — including the
+    /// `WorkflowFinished` trailer, which the monitor path only sees
+    /// as its `workflow_finished` callback.
+    ///
+    /// This is how `pegasus run --verify` attaches a
+    /// [`crate::verify::ShadowVerifier`] without buffering the run
+    /// twice; any listener needing the typed stream (not the monitor
+    /// digest) can ride along the same way.
+    pub fn run_with_sink(
+        backend: &mut dyn ExecutionBackend,
+        wf: &ExecutableWorkflow,
+        config: &EngineConfig,
+        monitor: &mut dyn WorkflowMonitor,
+        extra: &mut dyn EventSink,
+    ) -> WorkflowRun {
         let _prof = crate::prof::scope("engine.run");
         backend.set_timeout(config.retry.timeout);
         let mut exec = WorkflowExecution::new(wf, config, backend.now());
@@ -993,7 +1012,7 @@ impl Engine {
             backend.submit(&wf.jobs[job.idx()], 0);
             exec.note_submitted(job, backend.now());
         }
-        Self::forward(&mut exec, wf, monitor);
+        Self::forward(&mut exec, wf, monitor, extra);
         while !exec.is_complete() {
             let ev = backend.wait_any();
             let resp = exec
@@ -1006,7 +1025,7 @@ impl Engine {
                 backend.submit(&wf.jobs[job.idx()], 0);
                 exec.note_submitted(job, backend.now());
             }
-            Self::forward(&mut exec, wf, monitor);
+            Self::forward(&mut exec, wf, monitor, extra);
             if resp.crashed {
                 break;
             }
@@ -1014,18 +1033,27 @@ impl Engine {
         let failed = exec.failed();
         let run = exec.finish(backend.now());
         monitor.workflow_finished(!failed, run.wall_time);
+        // The trailer is appended by `finish()`, after the last
+        // `forward`: hand it to the extra sink so it sees the stream
+        // to completion.
+        if let Some(trailer) = run.events.last() {
+            extra.event(trailer);
+        }
         run
     }
 
-    /// Bridges freshly emitted events onto the monitor callbacks.
+    /// Bridges freshly emitted events onto the monitor callbacks and
+    /// the extra raw-stream sink.
     fn forward(
         exec: &mut WorkflowExecution,
         wf: &ExecutableWorkflow,
         monitor: &mut dyn WorkflowMonitor,
+        extra: &mut dyn EventSink,
     ) {
         let mut sink = MonitorSink::new(&wf.jobs, monitor);
         for ev in exec.drain_new_events() {
             sink.event(ev);
+            extra.event(ev);
         }
     }
 }

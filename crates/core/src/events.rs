@@ -194,6 +194,35 @@ impl WorkflowEvent {
             WorkflowEvent::JobDeclared { .. } => None,
         }
     }
+
+    /// The stream-ordering model shared by the `W0709` lint and the
+    /// `E08xx` verifier: the backend time at which the engine *wrote*
+    /// this event, for the kinds written in nondecreasing time order.
+    ///
+    /// Healthy engine streams are not globally monotone over every
+    /// `time=` field: `InstallStarted` and `Started` are synthesized
+    /// retrospectively when an attempt completes, carrying the
+    /// attempt's earlier timestamps, so under parallel execution a
+    /// later-finishing job's start legitimately appears after an
+    /// earlier completion.  Those two kinds — and the timeless
+    /// [`WorkflowEvent::JobDeclared`] manifest entries — return `None`
+    /// and do not constrain stream order.  Terminal events order by
+    /// their `times.finished`.
+    pub fn emission_time(&self) -> Option<f64> {
+        match self {
+            WorkflowEvent::WorkflowStarted { time, .. }
+            | WorkflowEvent::WorkflowFinished { time, .. }
+            | WorkflowEvent::Skipped { time, .. }
+            | WorkflowEvent::Submitted { time, .. }
+            | WorkflowEvent::RetryScheduled { time, .. } => Some(*time),
+            WorkflowEvent::Completed { times, .. }
+            | WorkflowEvent::Failed { times, .. }
+            | WorkflowEvent::TimedOut { times, .. } => Some(times.finished),
+            WorkflowEvent::JobDeclared { .. }
+            | WorkflowEvent::InstallStarted { .. }
+            | WorkflowEvent::Started { .. } => None,
+        }
+    }
 }
 
 /// A consumer of the live event stream.
@@ -204,6 +233,18 @@ impl WorkflowEvent {
 pub trait EventSink {
     /// Consumes one event.
     fn event(&mut self, ev: &WorkflowEvent);
+}
+
+/// An [`EventSink`] that discards every event — the default extra
+/// sink of [`Engine::run`], and a convenient placeholder wherever a
+/// sink is required but nothing listens.
+///
+/// [`Engine::run`]: crate::engine::Engine::run
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn event(&mut self, _ev: &WorkflowEvent) {}
 }
 
 /// The bridge from events to the historical [`WorkflowMonitor`]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! pegasus-wms: a workflow management system in the style of Pegasus.
 //!
@@ -51,6 +52,12 @@
 //!   with codes, severities, and file/line/col spans over workflows,
 //!   fault plans, run configurations, and provenance event streams
 //!   (the `pegasus lint` front-end);
+//! * [`verify`] — the two-layer semantic verifier behind `pegasus
+//!   verify`: an LTL-lite temporal invariant catalog (`E08xx`) over
+//!   complete event streams, and whole-plan dataflow / ensemble
+//!   feasibility checks (`E06xx`) over planned DAGs, plus the
+//!   flag-gated [`verify::ShadowVerifier`] that asserts the catalog
+//!   on live engine runs;
 //! * [`statistics`] — pegasus-statistics equivalents: Workflow Wall
 //!   Time, per-task Kickstart / Waiting / Download-Install breakdowns;
 //! * [`rescue`] — rescue DAGs: the re-submittable remainder of a
@@ -87,6 +94,7 @@ pub mod statistics;
 pub mod symbols;
 pub mod synthetic;
 pub mod trace;
+pub mod verify;
 pub mod workflow;
 
 pub use catalog::{ReplicaCatalog, SiteCatalog, TransformationCatalog};

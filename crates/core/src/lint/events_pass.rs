@@ -24,7 +24,9 @@
 //! `submitted`, `retry-scheduled`, the terminal events (by their
 //! `finished` time), and `workflow-finished` — are written in
 //! nondecreasing backend-time order, and only those participate in
-//! the monotonicity check.
+//! the monotonicity check. The single source of truth for which kinds
+//! count is [`WorkflowEvent::emission_time`], shared with the
+//! `E08xx` temporal verifier in [`crate::verify`].
 
 use super::Diagnostic;
 use crate::engine::JobTimes;
@@ -85,24 +87,11 @@ pub fn check_events(events: &[(usize, WorkflowEvent)], file: &str) -> Vec<Diagno
     for (idx, (line, ev)) in events.iter().enumerate() {
         let line = *line;
 
-        // W0709 runs over the emission-ordered kinds only:
-        // install-started/started are retrospective (stamped with the
-        // attempt's earlier times at completion) and job declarations
-        // carry no time, so none of them constrain stream order.
-        let emitted = match ev {
-            WorkflowEvent::WorkflowStarted { time, .. }
-            | WorkflowEvent::WorkflowFinished { time, .. }
-            | WorkflowEvent::Skipped { time, .. }
-            | WorkflowEvent::Submitted { time, .. }
-            | WorkflowEvent::RetryScheduled { time, .. } => Some(*time),
-            WorkflowEvent::Completed { times, .. }
-            | WorkflowEvent::Failed { times, .. }
-            | WorkflowEvent::TimedOut { times, .. } => Some(times.finished),
-            WorkflowEvent::JobDeclared { .. }
-            | WorkflowEvent::InstallStarted { .. }
-            | WorkflowEvent::Started { .. } => None,
-        };
-        if let Some(t) = emitted {
+        // W0709 runs over the emission-ordered kinds only, as defined
+        // by the one shared stream-ordering model
+        // (`WorkflowEvent::emission_time`) that the E08xx verifier
+        // uses too, so the two passes cannot drift.
+        if let Some(t) = ev.emission_time() {
             if t < last_emitted {
                 diags.push(
                     Diagnostic::new(

@@ -258,6 +258,42 @@ pub const RULES: &[Rule] = &[
         summary: "the site-definitions file does not parse",
     },
     Rule {
+        code: "E0601",
+        name: "consumed-without-producer",
+        default: Level::Deny,
+        summary: "a planned job consumes a file with no producer job and no stage-in",
+    },
+    Rule {
+        code: "W0602",
+        name: "dead-stage-out",
+        default: Level::Warn,
+        summary: "a stage-out job transfers a file no compute job produces",
+    },
+    Rule {
+        code: "W0603",
+        name: "orphan-stage-in",
+        default: Level::Warn,
+        summary: "a stage-in job transfers a file no downstream job consumes",
+    },
+    Rule {
+        code: "W0604",
+        name: "storage-footprint-exceeded",
+        default: Level::Warn,
+        summary: "the plan's peak resident file footprint exceeds the storage bound",
+    },
+    Rule {
+        code: "E0605",
+        name: "infeasible-slot-budget",
+        default: Level::Deny,
+        summary: "an ensemble quota of zero admits no member: the ensemble deadlocks",
+    },
+    Rule {
+        code: "W0606",
+        name: "quota-below-width",
+        default: Level::Warn,
+        summary: "a tenant's in-flight quota is below its narrowest member's width",
+    },
+    Rule {
         code: "E0701",
         name: "workflow-started-misplaced",
         default: Level::Deny,
@@ -310,6 +346,60 @@ pub const RULES: &[Rule] = &[
         name: "nonmonotone-stream",
         default: Level::Warn,
         summary: "emission-ordered events go backwards in time (reordered or merged stream)",
+    },
+    Rule {
+        code: "E0801",
+        name: "unterminated-submission",
+        default: Level::Deny,
+        summary: "a successful run left a submitted attempt with no terminal event",
+    },
+    Rule {
+        code: "E0802",
+        name: "attempt-regression",
+        default: Level::Deny,
+        summary: "a job's attempt numbers are not dense and strictly increasing",
+    },
+    Rule {
+        code: "E0803",
+        name: "phase-precedence",
+        default: Level::Deny,
+        summary: "an attempt's phases violate the submitted -> install -> started -> terminal order",
+    },
+    Rule {
+        code: "E0804",
+        name: "slot-capacity-exceeded",
+        default: Level::Deny,
+        summary: "more attempts run concurrently than the site has execution slots",
+    },
+    Rule {
+        code: "E0805",
+        name: "retry-envelope",
+        default: Level::Deny,
+        summary: "a retry's gap or backoff violates the configured backoff/jitter envelope",
+    },
+    Rule {
+        code: "E0806",
+        name: "finish-consistency",
+        default: Level::Deny,
+        summary: "the workflow-finished trailer contradicts the stream it closes",
+    },
+    Rule {
+        code: "E0807",
+        name: "stream-framing",
+        default: Level::Deny,
+        summary: "the header/manifest framing is broken (declarations, counts, ranges)",
+    },
+    Rule {
+        code: "E0808",
+        name: "time-consistency",
+        default: Level::Deny,
+        summary: "an event's timestamps contradict each other or the stream order",
+    },
+    Rule {
+        code: "E0809",
+        name: "trace-mismatch",
+        default: Level::Deny,
+        summary: "the event log's trace id disagrees with the journaled submission",
     },
 ];
 
@@ -460,6 +550,14 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 ///   = help: remove one of the explicit <child> edges in the cycle
 /// ```
 pub fn render_text(diags: &[Diagnostic]) -> String {
+    render_text_as(diags, "lint")
+}
+
+/// [`render_text`] with a configurable tool name in the summary
+/// trailer, so `pegasus verify` reports as `verify: N error(s), ...`
+/// through the identical rendering path (the byte-identity guarantee
+/// between live and `--from-events` verification rests on this).
+pub fn render_text_as(diags: &[Diagnostic], tool: &str) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for d in diags {
@@ -482,10 +580,131 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
     let warnings = diags.len() - errors;
     let _ = writeln!(
         out,
-        "lint: {errors} error{}, {warnings} warning{}",
+        "{tool}: {errors} error{}, {warnings} warning{}",
         if errors == 1 { "" } else { "s" },
         if warnings == 1 { "" } else { "s" },
     );
+    out
+}
+
+/// Extended prose for each code range, rendered by `--explain` after
+/// the rule's own summary — the rustc `--explain` equivalent at the
+/// granularity this registry documents.
+const RANGES: &[(&str, &str)] = &[
+    (
+        "E01",
+        "DAX structure: the abstract workflow document itself is malformed — \
+         XML syntax, duplicate job ids, dependency cycles, conflicting \
+         producers, or dangling edge references. Emitted by `check_workflow` \
+         before any planning happens.",
+    ),
+    (
+        "E02",
+        "Fault plans: a scenario file cross-checked against the workflow it \
+         targets — unknown job names, out-of-range probabilities, overlapping \
+         blackouts, scenarios that can never fire. Emitted by \
+         `gridsim::faults_lint`.",
+    ),
+    (
+        "E03",
+        "Run configuration feasibility: the engine/ensemble configuration \
+         checked against the target site — unknown sites, uninstallable \
+         transformations, timeouts below the fastest kickstart, slot budgets \
+         below the workflow width. Emitted by `check_config`.",
+    ),
+    (
+        "W04",
+        "DAX hygiene: structurally valid but suspicious workflows — \
+         disconnected jobs, never-consumed files, excessive fan-in/out, \
+         unknown transformations. Warnings by default.",
+    ),
+    (
+        "E05",
+        "Site definitions: the `--sites` file checked on its own terms — \
+         duplicate names and aliases, zero slots, negative rates, dangling \
+         catalog references.",
+    ),
+    (
+        "E06",
+        "Whole-plan dataflow (pegasus verify, layer 2): abstract \
+         interpretation over the *planned* DAG — every consumed file must \
+         have a producer or stage-in, stage-outs must move real products, \
+         stage-ins must feed someone, the peak resident footprint must fit \
+         the storage bound, and ensemble quotas must admit at least one \
+         member. Emitted by `verify::check_plan` and \
+         `verify::check_ensemble_feasibility`; serve preflight runs them at \
+         admission.",
+    ),
+    (
+        "E07",
+        "Event-stream sanitation: the happens-before checker run before \
+         provenance replay — framing, lifecycle order, per-job timestamp \
+         monotonicity, retry accounting, declaration coverage. Emitted by \
+         `check_events`.",
+    ),
+    (
+        "E08",
+        "Temporal invariants (pegasus verify, layer 1): the LTL-lite \
+         invariant catalog over complete event streams — every submission \
+         reaches a terminal, attempts increase densely, phases precede one \
+         another, concurrency never exceeds the site's slots, retry gaps \
+         respect the backoff/jitter envelope, the trailer agrees with the \
+         stream, trace ids match the journal. Emitted by \
+         `verify::check_stream`; strictly stronger than E07xx, which stays \
+         lenient for crashed/partial logs.",
+    ),
+];
+
+/// Renders rustc-style extended help for one rule (`--explain E0804`
+/// or `--explain slot-capacity-exceeded`): the rule line, its default
+/// level, and the prose for its code range. `None` when the code
+/// names no registered rule.
+pub fn explain(code_or_name: &str) -> Option<String> {
+    use std::fmt::Write as _;
+    let r = rule(code_or_name)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({})", r.code, r.name);
+    let _ = writeln!(
+        out,
+        "default: {}",
+        match r.default {
+            Level::Deny => "deny (error)",
+            Level::Warn => "warn",
+            Level::Allow => "allow",
+        }
+    );
+    let _ = writeln!(out, "\n{}\n", r.summary);
+    if let Some((_, prose)) = RANGES.iter().find(|(p, _)| r.code[1..].starts_with(&p[1..])) {
+        let _ = writeln!(out, "{prose}");
+    }
+    let _ = writeln!(
+        out,
+        "\nOverride with --deny {0} / --allow {0} (or by name).",
+        r.code
+    );
+    Some(out)
+}
+
+/// Renders the full registry as a two-column table (`lint --list`):
+/// one `CODE name [default] summary` line per rule, in code order.
+pub fn render_rule_list() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let width = RULES.iter().map(|r| r.name.len()).max().unwrap_or(0);
+    for r in RULES {
+        let _ = writeln!(
+            out,
+            "{} {:<width$}  [{}]  {}",
+            r.code,
+            r.name,
+            match r.default {
+                Level::Deny => "deny",
+                Level::Warn => "warn",
+                Level::Allow => "allow",
+            },
+            r.summary,
+        );
+    }
     out
 }
 
@@ -594,6 +813,38 @@ mod tests {
             &cfg,
         );
         assert!(has_errors(&out));
+    }
+
+    #[test]
+    fn explain_and_list_cover_every_rule() {
+        for r in RULES {
+            let by_code = explain(r.code).expect("every code explains");
+            let by_name = explain(r.name).expect("every name explains");
+            assert_eq!(by_code, by_name);
+            assert!(by_code.contains(r.summary), "{}", r.code);
+            assert!(
+                RANGES.iter().any(|(p, _)| r.code[1..].starts_with(&p[1..])),
+                "{} has no range prose",
+                r.code
+            );
+        }
+        assert!(explain("E9999").is_none());
+        let list = render_rule_list();
+        for r in RULES {
+            assert!(list.contains(r.code) && list.contains(r.name), "{}", r.code);
+        }
+    }
+
+    #[test]
+    fn render_text_as_renames_the_trailer() {
+        let diags = vec![Diagnostic::new("E0801", "m.events", Span::line(3), "boom")];
+        let text = render_text_as(&diags, "verify");
+        assert!(text.contains("verify: 1 error, 0 warnings"), "{text}");
+        assert_eq!(
+            render_text(&diags).replace("lint:", "verify:"),
+            text,
+            "render_text must stay the lint-named delegate"
+        );
     }
 
     #[test]

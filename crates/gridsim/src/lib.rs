@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! gridsim: a discrete-event simulator of distributed execution
 //! platforms.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `blast2cap3` — the end-user tool, equivalent to Buffalo's Python
 //! script the paper parallelised.
 //!

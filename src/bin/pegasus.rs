@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `pegasus` — a command-line front end mirroring the Pegasus tools
 //! the paper drives its experiments with:
 //!
@@ -24,6 +26,11 @@
 //!   rustc-style diagnostics, `--deny`/`--allow` level control, and a
 //!   JSON output mode for CI. A warn-only pass of the same rules runs
 //!   automatically at the top of `run` and `ensemble`;
+//! * `pegasus verify` — semantic verification: the temporal invariant
+//!   catalog (`E08xx`) over provenance event streams (recorded, serve
+//!   state directories, or a live run) and whole-plan dataflow /
+//!   feasibility checks (`E06xx`) over planned DAXes. `run --verify`
+//!   shadows a live run with the same catalog;
 //! * `pegasus serve` — the multi-tenant ensemble daemon (pegasus-em
 //!   server): submissions over a socket, journaled rounds, crash
 //!   recovery, and an HTTP `/metrics` scrape endpoint;
@@ -743,6 +750,25 @@ fn collect_lint(
 fn cmd_lint(args: &Args) -> ExitCode {
     use pegasus_wms::lint;
 
+    // `--explain CODE` and `--list` are documentation queries: they
+    // need no DAX and exit before any file is touched.
+    if let Some(query) = args.get("explain") {
+        return match lint::explain(query) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("no rule named {query:?} (see `pegasus lint --list`)");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.flag("list") {
+        print!("{}", lint::render_rule_list());
+        return ExitCode::SUCCESS;
+    }
+
     let dax_path = match (args.p.positionals.as_slice(), args.get("dax")) {
         ([p], None) => p.clone(),
         ([], Some(p)) => p.to_string(),
@@ -977,13 +1003,28 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
     let mut timeline = TimelineMonitor::new();
     let mut metrics_registry = MetricsRegistry::new();
     let n = metrics::n_label(&exec.name, exec.jobs.len());
+    // Under --verify a shadow verifier rides the run as an extra event
+    // sink and asserts the temporal invariant catalog once the stream
+    // completes; findings render to stderr and fail the exit code.
+    let mut shadow = args.flag("verify").then(|| {
+        pegasus_wms::verify::ShadowVerifier::new(
+            format!("<run {}>", exec.name),
+            pegasus_wms::verify::VerifyOptions {
+                slot_capacity: None,
+                retry: Some(retry_policy_from(args, retries)),
+            },
+        )
+    });
     let run = {
         let mut metrics_monitor = MetricsMonitor::new(&mut metrics_registry, site_name, &n);
         let mut multi = MultiMonitor::new();
         multi.push(&mut status);
         multi.push(&mut timeline);
         multi.push(&mut metrics_monitor);
-        Engine::run(&mut backend, &exec, &engine_cfg, &mut multi)
+        match shadow.as_mut() {
+            Some(sink) => Engine::run_with_sink(&mut backend, &exec, &engine_cfg, &mut multi, sink),
+            None => Engine::run(&mut backend, &exec, &engine_cfg, &mut multi),
+        }
     };
 
     // Under --profile the engine's own wall-clock phases and the
@@ -1048,7 +1089,24 @@ fn cmd_run(args: &Args, csv_only: bool) -> ExitCode {
         }
     }
 
+    // The shadow verdict: clean streams say so once; violations turn
+    // an otherwise successful run into a failure.
+    let mut verify_failed = false;
+    if let Some(shadow) = &shadow {
+        use pegasus_wms::lint;
+        let diags = lint::resolve(shadow.finish(), &lint::LintConfig::default());
+        if diags.is_empty() {
+            if !csv_only && !args.flag("quiet") {
+                println!("verify: {} events, invariant catalog clean", run.events.len());
+            }
+        } else {
+            eprint!("{}", lint::render_text_as(&diags, "verify"));
+            verify_failed = lint::has_errors(&diags);
+        }
+    }
+
     match &run.outcome {
+        WorkflowOutcome::Success if verify_failed => ExitCode::FAILURE,
         WorkflowOutcome::Success => ExitCode::SUCCESS,
         WorkflowOutcome::Failed(rescue) => {
             let path = args
@@ -1198,6 +1256,289 @@ fn cmd_trace(args: &Args) -> ExitCode {
     } else {
         eprintln!("some workflows did not complete; the trace covers what ran");
         ExitCode::FAILURE
+    }
+}
+
+/// Collects every member event log of a serve state directory (or any
+/// directory of `.events` logs), member-id order, pairing each with
+/// its journaled trace id when the directory carries a journal — the
+/// pairing that arms the `E0809` cross-check.
+fn collect_member_streams(
+    dir: &std::path::Path,
+    streams: &mut Vec<(String, String, Option<TraceId>)>,
+) {
+    let members = dir.join("members");
+    let scan = if members.is_dir() {
+        members
+    } else {
+        dir.to_path_buf()
+    };
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(&scan) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "events"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", scan.display());
+            std::process::exit(1);
+        }
+    };
+    // Shortest-name-first sorts m2 before m10: member-id order.
+    paths.sort_by_key(|p| {
+        let name = p
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        (name.len(), name)
+    });
+    if paths.is_empty() {
+        eprintln!("no .events logs under {}", scan.display());
+        std::process::exit(1);
+    }
+    // The journal records the trace id every member log header must
+    // carry; replaying it recovers the expected ids.
+    let journal = dir.join("journal");
+    let traces: Vec<Option<TraceId>> = if journal.is_file() {
+        let text = std::fs::read_to_string(&journal).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", journal.display());
+            std::process::exit(1);
+        });
+        match pegasus_wms::serve::Ledger::replay(&text) {
+            Ok(ledger) => ledger.submissions.iter().map(|s| s.trace).collect(),
+            Err(e) => {
+                eprintln!("corrupt journal {}: {e}", journal.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    for path in paths {
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        // Member logs are named m<id>.events; the id keys the journal.
+        let expected = name
+            .strip_prefix('m')
+            .and_then(|rest| rest.strip_suffix(".events"))
+            .and_then(|id| id.parse::<usize>().ok())
+            .and_then(|id| traces.get(id).copied().flatten());
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read event log {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        streams.push((path.to_string_lossy().into_owned(), text, expected));
+    }
+}
+
+/// `pegasus verify` — the two-layer semantic verifier. Layer 1 runs
+/// the temporal invariant catalog (`E08xx`) over complete provenance
+/// event streams; layer 2 (`--dax`) plans the workflow and verifies
+/// its dataflow and feasibility (`E06xx`). Stream sources mirror
+/// `pegasus trace`:
+///
+/// * `--from-events log,...`: recorded logs;
+/// * a serve state directory (positional or `--events-dir`): every
+///   member log, each cross-checked against its journaled trace id;
+/// * a positional `.events` file;
+/// * live (neither source nor `--dax`): simulate one blast2cap3 run,
+///   serialize it, and verify the serialized text through the same
+///   reader as the offline paths — so a live run and a later
+///   `--from-events` pass over its `--events` log render identical
+///   verdicts.
+fn cmd_verify(args: &Args) -> ExitCode {
+    use blast2cap3_pegasus::experiment::simulate_blast2cap3_at;
+    use pegasus_wms::lint;
+    use pegasus_wms::verify;
+
+    let mut config = lint::LintConfig::default();
+    if let Some(spec) = args.get("deny") {
+        if let Err(tok) = config.deny(spec) {
+            args.bail(&format!(
+                "--deny: {tok:?} names no known lint (try a code like E0801, a rule name, or `warnings`)"
+            ));
+        }
+    }
+    if let Some(spec) = args.get("allow") {
+        if let Err(tok) = config.allow(spec) {
+            args.bail(&format!("--allow: {tok:?} names no known lint"));
+        }
+    }
+
+    let retries: u32 = args.parsed("retries", 20u32);
+    // The backoff/jitter envelope is only asserted when the invocation
+    // states the policy (or runs live, where it is the engine's own).
+    let explicit_policy = args.get("retries").is_some() || args.get("backoff").is_some();
+    let mut opts = verify::VerifyOptions {
+        slot_capacity: args.parsed_opt("slots"),
+        retry: explicit_policy.then(|| retry_policy_from(args, retries)),
+    };
+
+    let mut diags = Vec::new();
+
+    // Layer 2: plan the DAX for the target site and verify dataflow.
+    if let Some(dax_path) = args.get("dax") {
+        let wf = load_dax(dax_path);
+        let registry = load_registry(args);
+        let site = resolve_site(args, &registry, args.get("site").unwrap_or("sandhills"));
+        let (sites, tc, rc) = load_catalogs(args, &registry);
+        let exec = match plan(
+            &wf,
+            &sites,
+            &tc,
+            &rc,
+            &PlannerConfig::for_site(registry.catalog_name(site)),
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("planning failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let dopts = verify::DataflowOptions {
+            storage_limit_bytes: args.parsed_opt("storage-limit"),
+        };
+        diags.extend(verify::check_plan(
+            &wf,
+            &exec,
+            &rc,
+            registry.catalog_name(site),
+            dax_path,
+            &dopts,
+        ));
+        let ens_cfg = pegasus_wms::ensemble::EnsembleConfig {
+            slot_budget: args.parsed_opt("slots"),
+            tenant_slots: None,
+            tenant_active: None,
+        };
+        let width = wf.width().unwrap_or_else(|e| {
+            eprintln!("cannot analyze {dax_path}: {e}");
+            std::process::exit(1);
+        });
+        diags.extend(verify::check_ensemble_feasibility(
+            &[(exec.name.clone(), width)],
+            &ens_cfg,
+            dax_path,
+        ));
+        if !args.flag("quiet") {
+            println!(
+                "verified plan {dax_path}: {} jobs on {}",
+                exec.jobs.len(),
+                exec.site
+            );
+        }
+    }
+
+    // Layer 1 stream sources: (label, raw text, journaled trace id).
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read event log {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let mut streams: Vec<(String, String, Option<TraceId>)> = Vec::new();
+    if let Some(list) = args.get("from-events") {
+        for path in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            streams.push((path.to_string(), read(path), None));
+        }
+    } else if let Some(dir) = args.get("events-dir") {
+        collect_member_streams(std::path::Path::new(dir), &mut streams);
+    } else {
+        match args.p.positionals.as_slice() {
+            // `--dax` alone is a pure layer-2 invocation.
+            [] if args.get("dax").is_some() => {}
+            [] => {
+                let registry = load_registry(args);
+                let site =
+                    resolve_site(args, &registry, args.get("site").unwrap_or("sandhills"));
+                let n: usize = args.parsed("n", 100);
+                let seed: u64 = args.parsed("seed", 20140519u64);
+                let cfg = EngineConfig::builder()
+                    .policy(retry_policy_from(args, retries))
+                    .seed(seed)
+                    .build();
+                let script = args.get("fault-plan").map(|path| {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read fault plan {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    let plan = FaultPlan::parse(&text).unwrap_or_else(|e| {
+                        eprintln!("bad fault plan {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    FaultScript::new(plan, seed)
+                });
+                let out = simulate_blast2cap3_at(&registry, site, n, seed, &cfg, script);
+                // A live run always knows its policy: arm the envelope.
+                opts.retry = Some(retry_policy_from(args, retries));
+                let id = TraceId::derive(seed, 0);
+                let text = format!(
+                    "{}{}",
+                    trace::render_log_header(id),
+                    events::log::append(&out.run.events)
+                );
+                let label = match args.get("events") {
+                    Some(path) => {
+                        std::fs::write(path, &text).expect("write event log");
+                        if !args.flag("quiet") {
+                            eprintln!("event log written to {path}");
+                        }
+                        path.to_string()
+                    }
+                    None => format!("<live n={n} seed={seed}>"),
+                };
+                streams.push((label, text, Some(id)));
+            }
+            [p] if std::path::Path::new(p).is_dir() => {
+                collect_member_streams(std::path::Path::new(p), &mut streams);
+            }
+            [p] => streams.push((p.clone(), read(p), None)),
+            _ => args.bail("verify takes at most one <events-or-dir>"),
+        }
+    }
+
+    let mut total_events = 0usize;
+    for (label, text, expected) in &streams {
+        let evs = match events::log::parse_lines(text) {
+            Ok(evs) => evs,
+            Err(e) => {
+                eprintln!("bad event log {label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        total_events += evs.len();
+        diags.extend(verify::check_stream(&evs, label, &opts));
+        if let Some(exp) = expected {
+            diags.extend(verify::check_trace_match(
+                trace::trace_from_log(text),
+                *exp,
+                label,
+            ));
+        }
+    }
+
+    let diags = lint::resolve(diags, &config);
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", lint::render_text_as(&diags, "verify")),
+        "json" => print!("{}", lint::render_json(&diags)),
+        other => args.bail(&format!("unknown --format {other:?} (use text or json)")),
+    }
+    if !args.flag("quiet") {
+        println!(
+            "verify: {} stream(s), {} event(s), {} finding(s)",
+            streams.len(),
+            total_events,
+            diags.len()
+        );
+    }
+    if lint::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -1402,6 +1743,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "metrics" => cmd_metrics(&args),
         "lint" => cmd_lint(&args),
+        "verify" => cmd_verify(&args),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args),
         "status" => cmd_status(&args),

@@ -310,6 +310,10 @@ pub const VERBS: &[Verb] = &[
             opt("timeline", "csv", "write the concurrency timeline"),
             opt("events", "file", "write the provenance event log"),
             opt("metrics", "prom", "write the Prometheus exposition"),
+            switch(
+                "verify",
+                "shadow-verify the live event stream against the temporal invariant catalog",
+            ),
             common::QUIET,
             common::CATALOG,
             common::PROFILE,
@@ -451,6 +455,42 @@ pub const VERBS: &[Verb] = &[
             common::TIMEOUT,
             opt("slots", "n", "slot budget for the feasibility pass"),
             opt("fan-limit", "n", "fan-in/out threshold (default 500)"),
+            opt("explain", "code", "print extended help for a rule code or name"),
+            switch("list", "list every registered rule with its default level"),
+        ],
+    },
+    Verb {
+        name: "verify",
+        summary: "semantic verification: temporal invariants over event logs, dataflow over plans",
+        positional: Some("<events-or-dir>"),
+        flags: &[
+            opt(
+                "dax",
+                "file",
+                "verify the planned dataflow of this DAX (layer 2)",
+            ),
+            common::SITE,
+            common::SITES,
+            common::CATALOG,
+            common::FROM_EVENTS,
+            opt(
+                "events-dir",
+                "dir",
+                "verify every member event log of a serve state directory",
+            ),
+            opt("format", "text|json", "diagnostic output format"),
+            opt("deny", "spec", "escalate findings: warnings, codes, or names"),
+            opt("allow", "spec", "silence findings by code or name"),
+            opt("slots", "n", "slot capacity for the concurrency sweep"),
+            opt("storage-limit", "bytes", "storage bound for the footprint sweep"),
+            common::SEED,
+            common::RETRIES,
+            common::BACKOFF,
+            common::TIMEOUT,
+            opt("fault-plan", "file", "scripted fault plan for the live run"),
+            opt("n", "clusters", "decomposition size for a live run (default 100)"),
+            opt("events", "file", "also write the live run's event log"),
+            common::QUIET,
         ],
     },
     Verb {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! blast2cap3-pegasus: the umbrella crate of the reproduction.
 //!

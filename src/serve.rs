@@ -50,6 +50,7 @@ use pegasus_wms::serve::{
 use pegasus_wms::statistics::{compute_ensemble, render_ensemble_csv};
 use pegasus_wms::symbols::SiteId;
 use pegasus_wms::trace::{self, TraceId};
+use pegasus_wms::verify;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -310,10 +311,18 @@ fn plan_member(
 }
 
 /// Admission-time preflight on a submitted DAX: parse and run the
-/// structural lint pass, rejecting error-severity findings before the
-/// submission is journaled. Generated workloads skip this — planner
-/// output is validated by construction.
-fn preflight_dax(path: &str) -> Result<(), String> {
+/// structural lint pass, then plan the workflow exactly as the round
+/// will and run the whole-plan dataflow verifier plus the ensemble
+/// feasibility check against the daemon's quotas — rejecting
+/// error-severity findings before the submission is journaled.
+/// Generated workloads skip this — planner output is validated by
+/// construction.
+fn preflight_dax(
+    path: &str,
+    registry: &SiteRegistry,
+    site: SiteId,
+    opts: &ServeOptions,
+) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let wf = match dax::from_dax_unvalidated(&text) {
         Ok(wf) => wf,
@@ -323,13 +332,56 @@ fn preflight_dax(path: &str) -> Result<(), String> {
         }
     };
     let (_sites, tc) = paper_catalogs();
-    let opts = lint::DaxLintOptions {
+    let lint_opts = lint::DaxLintOptions {
         source: Some(&text),
         ..lint::DaxLintOptions::default()
     };
-    let diags = lint::check_workflow(&wf, path, Some(&tc), &opts);
+    let diags = lint::check_workflow(&wf, path, Some(&tc), &lint_opts);
     if let Some(d) = diags.iter().find(|d| d.severity == lint::Severity::Error) {
         return Err(format!("lint {}: {}", d.code, d.message));
+    }
+    // Layer 2 verification: a plan that cannot execute (a consumed
+    // file with no producer, stage-in, or replica; a zero quota) is
+    // rejected here, not discovered as a failed member mid-round.
+    let wf = dax::from_dax(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let sites = registry.site_catalog();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    registry.register_replicas(&mut rc);
+    let exec = plan(
+        &wf,
+        &sites,
+        &tc,
+        &rc,
+        &PlannerConfig::for_site(registry.catalog_name(site)),
+    )
+    .map_err(|e| format!("cannot plan {path}: {e}"))?;
+    let mut diags = verify::check_plan(
+        &wf,
+        &exec,
+        &rc,
+        registry.catalog_name(site),
+        path,
+        &verify::DataflowOptions::default(),
+    );
+    // The queue-depth quota is enforced at submit time, so only the
+    // execution-side quotas join the feasibility check.
+    let config = EnsembleConfig {
+        slot_budget: opts.slot_budget,
+        tenant_slots: opts.tenant_slots,
+        tenant_active: None,
+    };
+    let width = wf
+        .width()
+        .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+    diags.extend(verify::check_ensemble_feasibility(
+        &[(exec.name.clone(), width)],
+        &config,
+        path,
+    ));
+    if let Some(d) = diags.iter().find(|d| d.severity == lint::Severity::Error) {
+        return Err(format!("verify {}: {}", d.code, d.message));
     }
     Ok(())
 }
@@ -377,7 +429,7 @@ impl Daemon {
             .resolve(&sub.site)
             .map_err(|e| e.to_string())?;
         if let SubmitSource::Dax { path } = &sub.source {
-            preflight_dax(path)?;
+            preflight_dax(path, &self.registry, site, &self.opts)?;
         }
         let id = self.members.len();
         // Resolve the trace id before journaling: the journal records

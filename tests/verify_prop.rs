@@ -1,0 +1,149 @@
+//! Property tests for `pegasus_wms::verify`: the soundness half of
+//! the verifier's test suite.
+//!
+//! The mutation harness (`tests/verify_mutation.rs`) shows corrupted
+//! streams are flagged; these properties show honest streams never
+//! are. For random synthetic DAG shapes, sizes, seeds, retry
+//! policies, and scripted fault plans, on both simulated platforms:
+//!
+//! * the planner's output passes the whole-plan dataflow verifier
+//!   (layer 2) with no findings, and
+//! * the engine's event stream — serialized through the log format
+//!   and re-parsed, exactly the path `pegasus verify --from-events`
+//!   takes — satisfies the full temporal invariant catalog (layer 1),
+//!   including the backoff/jitter envelope against the very policy
+//!   the run was configured with.
+
+use blast2cap3_pegasus::experiment::builtin_registry;
+use gridsim::{FaultPlan, FaultScript};
+use pegasus_wms::catalog::{paper_catalogs, ReplicaCatalog};
+use pegasus_wms::engine::{Engine, EngineConfig, NoopMonitor, RetryPolicy};
+use pegasus_wms::events::log;
+use pegasus_wms::planner::{plan, PlannerConfig};
+use pegasus_wms::synthetic;
+use pegasus_wms::verify::{self, DataflowOptions, VerifyOptions};
+use pegasus_wms::workflow::AbstractWorkflow;
+use proptest::prelude::*;
+
+const SITES: [&str; 2] = ["sandhills", "osg"];
+
+fn shape(kind: usize, size: usize) -> AbstractWorkflow {
+    match kind % 4 {
+        0 => synthetic::montage(size),
+        1 => synthetic::cybershake(size),
+        2 => synthetic::epigenomics(2, size.div_ceil(2).max(1)),
+        _ => synthetic::ligo_inspiral(size.div_ceil(5).max(1), 5),
+    }
+}
+
+/// A scripted fault plan drawn from the two hazard families the
+/// paper's OSG runs exhibit: preemption storms (kill + retry) and
+/// stragglers (slowdown, no failure).
+fn fault_text(kind: usize, start: f64, duration: f64, p: f64) -> Option<String> {
+    match kind % 3 {
+        0 => None,
+        1 => Some(format!(
+            "plan prop\npreemption-storm start={start} duration={duration} kill-probability={p}\n"
+        )),
+        _ => Some(format!(
+            "plan prop\nstraggler start={start} duration={duration} slowdown=2.5 probability={p}\n"
+        )),
+    }
+}
+
+/// Plans `wf` at `site`, runs it, and returns every verifier finding
+/// from both layers. The property under test: this is always empty.
+fn findings(
+    wf: &AbstractWorkflow,
+    site: &str,
+    seed: u64,
+    policy: &RetryPolicy,
+    faults: Option<&str>,
+) -> Vec<pegasus_wms::lint::Diagnostic> {
+    let registry = builtin_registry();
+    let id = registry.resolve(site).expect("builtin site resolves");
+    let sites = registry.site_catalog();
+    let (_, tc) = paper_catalogs();
+    let mut rc = ReplicaCatalog::new();
+    rc.register("transcripts.fasta", "submit");
+    rc.register("alignments.out", "submit");
+    registry.register_replicas(&mut rc);
+    let exec = plan(
+        wf,
+        &sites,
+        &tc,
+        &rc,
+        &PlannerConfig::for_site(registry.catalog_name(id)),
+    )
+    .expect("planning a synthetic DAG");
+
+    let label = format!("<{} on {site} seed={seed}>", wf.name);
+    let mut diags = verify::check_plan(
+        wf,
+        &exec,
+        &rc,
+        registry.catalog_name(id),
+        &label,
+        &DataflowOptions::default(),
+    );
+
+    let cfg = EngineConfig::builder()
+        .policy(policy.clone())
+        .seed(seed)
+        .build();
+    let mut backend = registry.backend(id, seed);
+    if let Some(text) = faults {
+        let plan = FaultPlan::parse(text).expect("fault plan parses");
+        backend = backend.with_faults(FaultScript::new(plan, seed));
+    }
+    let run = Engine::run(&mut backend, &exec, &cfg, &mut NoopMonitor);
+
+    // Round-trip through the log format, exactly like --from-events.
+    let text = log::write(&run.events);
+    let events = log::parse_lines(&text).expect("engine streams serialize");
+    let opts = VerifyOptions {
+        slot_capacity: None,
+        retry: Some(policy.clone()),
+    };
+    diags.extend(verify::check_stream(&events, &label, &opts));
+    diags
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_streams_satisfy_the_catalog_on_both_sites(
+        kind in 0usize..4,
+        size in 2usize..16,
+        seed in 0u64..1_000_000,
+        fault_kind in 0usize..3,
+        start in 0.0f64..2000.0,
+        duration in 100.0f64..3000.0,
+        p in 0.05f64..0.9,
+        backoff in 0.0f64..60.0,
+        jitter in 0.0f64..0.5,
+    ) {
+        let wf = shape(kind, size);
+        // Deep retries so storms exhaust before the budget does: the
+        // soundness property covers failed runs too, but mostly-
+        // succeeding cases exercise more of the catalog. A drawn base
+        // below 1s means "no backoff": the flat-policy half of the
+        // space.
+        let policy = if backoff >= 1.0 {
+            RetryPolicy::exponential(50, backoff).with_jitter(jitter)
+        } else {
+            RetryPolicy::flat(50)
+        };
+        let faults = fault_text(fault_kind, start, duration, p);
+        for site in SITES {
+            let diags = findings(&wf, site, seed, &policy, faults.as_deref());
+            prop_assert!(
+                diags.is_empty(),
+                "{} size={size} seed={seed} on {site}: honest stream flagged:\n{}",
+                wf.name,
+                pegasus_wms::lint::render_text(&diags)
+            );
+        }
+    }
+}
